@@ -1,0 +1,52 @@
+(* Shared helpers for the per-figure benchmark harnesses. *)
+
+let ms = Sim.Engine.ms
+let s = Sim.Engine.s
+
+let header title detail =
+  Printf.printf "\n=== %s ===\n%s\n\n%!" title detail
+
+let fmt_tps v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.0fK" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let fmt_ms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
+
+(* Scaled-down data sizes keep simulated runs tractable; see
+   EXPERIMENTS.md for the full-scale knobs. *)
+let ycsb_params = { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 }
+
+let tpcc_params ~workers =
+  Workload.Tpcc.with_warehouses Workload.Tpcc.default (max 1 workers)
+
+(* A standard Rolis cluster run; returns the cluster after the
+   measurement window. *)
+let run_rolis ?(stream_mode = Rolis.Config.Per_worker) ?(batch = 1000)
+    ?(networked = false) ?(disable_replay = false) ?(cores = 32)
+    ?(warmup = 300 * ms) ~workers ~duration ~app () =
+  (* The release pipeline takes ~2 batch-fill times to reach steady state;
+     never measure before it has. (TPC-C callers keep this short: the
+     warmed-up database grows at ~GB/s of simulated rows.) *)
+  let warmup = max warmup (150 * ms) in
+  let cfg =
+    {
+      Rolis.Config.default with
+      Rolis.Config.workers;
+      cores;
+      stream_mode;
+      batch_size = batch;
+      networked_clients = networked;
+      disable_replay;
+    }
+  in
+  let cluster = Rolis.Cluster.create cfg app in
+  Rolis.Cluster.run cluster ~warmup ~duration ();
+  cluster
+
+let run_silo ?(cores = 32) ?(warmup = 100 * ms) ~workers ~duration ~app () =
+  Baselines.Silo_only.run ~cores ~workers ~warmup ~duration ~app ()
+
+(* Durations scale down in --quick mode. *)
+let dur quick standard = if quick then standard / 4 else standard
+let points quick all few = if quick then few else all

@@ -1,0 +1,24 @@
+(* Figure 2: the strawman — replicating all worker threads through a
+   single MultiPaxos stream. Throughput plateaus once the shared enqueue
+   critical section saturates (~0.42M TPS after ~10 threads in the
+   paper), which motivates per-thread streams. *)
+
+open Common
+
+let run ~quick =
+  header "Figure 2: single Paxos stream (strawman), TPC-C, 3 replicas"
+    "Paper: rises to ~0.42M TPS, plateaus after ~10 threads.";
+  Printf.printf "  %-10s %12s\n" "threads" "tput";
+  let threads = points quick [ 2; 6; 10; 14; 22; 30 ] [ 2; 10; 30 ] in
+  List.iter
+    (fun workers ->
+      let cluster =
+        run_rolis ~stream_mode:Rolis.Config.Single ~workers
+          ~warmup:(dur quick (200 * ms))
+          ~duration:(dur quick (300 * ms))
+          ~app:(Workload.Tpcc.app (tpcc_params ~workers))
+          ()
+      in
+      Printf.printf "  %-10d %12s\n%!" workers (fmt_tps (Rolis.Cluster.throughput cluster));
+      Gc.compact ())
+    threads

@@ -1,0 +1,47 @@
+(* Figures 10 and 11: Rolis vs Silo throughput (and per-core throughput)
+   over worker threads, on TPC-C (a) and YCSB++ (b).
+
+   Paper landmarks: TPC-C @32 cores — Rolis 1.03M TPS = 68.8% of Silo;
+   YCSB++ @32 — Rolis 10.3M TPS = 77.3% of Silo. Per-core throughput
+   declines over the first ~15 cores, then stabilises. *)
+
+open Common
+
+let sweep ~quick ~label ~app_of ~rolis_batch ~tpcc =
+  let rolis_warmup = if tpcc then 150 * ms else 300 * ms in
+  Printf.printf "  %-8s %12s %12s %8s %14s %14s\n" "threads" "Silo" "Rolis" "ratio"
+    "Silo/core" "Rolis/core";
+  let threads = points quick [ 2; 8; 16; 24; 30 ] [ 2; 16; 30 ] in
+  List.iter
+    (fun workers ->
+      let app = app_of workers in
+      let duration =
+        (* TPC-C inserts rows at ~1 GB/s of simulated data: keep windows
+           tight to fit host memory. *)
+        if tpcc then dur quick (250 * ms) else max (dur quick (200 * ms)) (150 * ms)
+      in
+      let silo = run_silo ~workers ~duration ~app () in
+      Gc.compact ();
+      let cluster = run_rolis ~batch:rolis_batch ~workers ~warmup:rolis_warmup ~duration ~app () in
+      let rolis = Rolis.Cluster.throughput cluster in
+      let silo_tps = silo.Baselines.Silo_only.tps in
+      Printf.printf "  %-8d %12s %12s %7.1f%% %14s %14s\n%!" workers (fmt_tps silo_tps)
+        (fmt_tps rolis)
+        (100.0 *. rolis /. silo_tps)
+        (fmt_tps (silo_tps /. float_of_int workers))
+        (fmt_tps (rolis /. float_of_int workers));
+      Gc.compact ())
+    threads;
+  ignore label
+
+let run_tpcc ~quick =
+  header "Figures 10a + 11a: Rolis vs Silo, TPC-C"
+    "Paper: Rolis 1.03M @32 = 68.8% of Silo; per-core declines then flattens.";
+  sweep ~quick ~label:"tpcc" ~rolis_batch:1000 ~tpcc:true ~app_of:(fun workers ->
+      Workload.Tpcc.app (tpcc_params ~workers))
+
+let run_ycsb ~quick =
+  header "Figures 10b + 11b: Rolis vs Silo, YCSB++"
+    "Paper: Rolis 10.3M @32 = 77.3% of Silo (smaller write-set than TPC-C).";
+  sweep ~quick ~label:"ycsb" ~rolis_batch:10_000 ~tpcc:false ~app_of:(fun _ ->
+      Workload.Ycsb.app ycsb_params)

@@ -1,0 +1,39 @@
+(* Figure 12: traditional software systems on YCSB++ — 2PL (Janus-style,
+   client-server, per-transaction Paxos) and Calvin (central sequencer,
+   deterministic execution) versus Rolis.
+
+   Paper: 2PL reaches only ~137K TPS at 28 partitions; Calvin is higher
+   but still orders of magnitude below Rolis (10.3M). *)
+
+open Common
+
+let run ~quick =
+  header "Figure 12: 2PL and Calvin vs Rolis, YCSB++"
+    "Paper: 2PL ~137K @28 partitions; Calvin well below Rolis's ~10M.";
+  let pts = points quick [ 4; 8; 16; 28 ] [ 4; 28 ] in
+  Printf.printf "  %-12s %10s %10s %10s\n" "partitions" "2PL" "Calvin" "Rolis";
+  List.iter
+    (fun partitions ->
+      let twopl =
+        Baselines.Twopl.run ~partitions ~duration:(dur quick (400 * ms)) ()
+      in
+      Gc.compact ();
+      let calvin =
+        Baselines.Calvin.run ~partitions ~duration:(dur quick (400 * ms)) ()
+      in
+      Gc.compact ();
+      let rolis =
+        let cluster =
+          run_rolis ~batch:10_000 ~workers:partitions
+            ~warmup:(300 * ms)
+            ~duration:(150 * ms)
+            ~app:(Workload.Ycsb.app ycsb_params) ()
+        in
+        Rolis.Cluster.throughput cluster
+      in
+      Printf.printf "  %-12d %10s %10s %10s\n%!" partitions
+        (fmt_tps twopl.Baselines.Twopl.tps)
+        (fmt_tps calvin.Baselines.Calvin.tps)
+        (fmt_tps rolis);
+      Gc.compact ())
+    pts

@@ -1,0 +1,44 @@
+(* Figure 13: comparison with Meerkat (kernel-bypass quorum OCC) on
+   YCSB-T and YCSB++, plus Rolis with networked clients.
+
+   Paper: Meerkat scales to 2.59M TPS on YCSB-T and 1.22M on YCSB++ at 28
+   threads; Rolis reaches ~7x Meerkat's YCSB++ throughput; adding
+   networked clients costs Rolis only a little. *)
+
+open Common
+
+let run ~quick =
+  header "Figure 13: Meerkat vs Rolis, YCSB-T / YCSB++"
+    "Paper @28: Meerkat-YCSB-T 2.59M, Meerkat-YCSB++ 1.22M, Rolis ~7x the\n\
+     latter; networked Rolis drops only slightly.";
+  let pts = points quick [ 4; 12; 20; 28 ] [ 4; 28 ] in
+  Printf.printf "  %-8s %14s %14s %12s %16s\n" "threads" "Meerkat-YCSB-T"
+    "Meerkat-YCSB++" "Rolis-YCSB++" "NetworkedRolis";
+  List.iter
+    (fun threads ->
+      let m_t =
+        Baselines.Meerkat.run ~threads ~duration:(dur quick (300 * ms)) ()
+      in
+      let m_pp =
+        Baselines.Meerkat.run ~threads ~params:ycsb_params
+          ~duration:(dur quick (300 * ms)) ()
+      in
+      Gc.compact ();
+      let rolis_at networked =
+        let cluster =
+          run_rolis ~batch:10_000 ~networked ~workers:threads
+            ~warmup:(300 * ms)
+            ~duration:(150 * ms)
+            ~app:(Workload.Ycsb.app ycsb_params) ()
+        in
+        Rolis.Cluster.throughput cluster
+      in
+      let r = rolis_at false in
+      Gc.compact ();
+      let rn = rolis_at true in
+      Printf.printf "  %-8d %14s %14s %12s %16s\n%!" threads
+        (fmt_tps m_t.Baselines.Meerkat.tps)
+        (fmt_tps m_pp.Baselines.Meerkat.tps)
+        (fmt_tps r) (fmt_tps rn);
+      Gc.compact ())
+    pts

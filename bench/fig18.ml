@@ -1,0 +1,77 @@
+(* Figure 18: factor analysis — cumulative cost of each Rolis stage at 16
+   warehouses / 16 worker threads on TPC-C.
+
+   Paper: +Serialization costs 9.2% of throughput, +Replication another
+   18.1%, +Replay nothing (it runs on the followers); the leader's CPU is
+   ~100% busy throughout, and followers pay CPU + memory for replay. *)
+
+open Common
+
+let run ~quick =
+  header "Figure 18: factor analysis (TPC-C, 16 warehouses, 16 threads)"
+    "Paper: Silo -> +Serialization (-9.2%) -> +Replication (-18.1%) ->\n\
+     +Replay (-0%); leader CPU ~100% in all configurations.";
+  let workers = 16 in
+  let app = Workload.Tpcc.app (tpcc_params ~workers) in
+  let duration = dur quick (300 * ms) in
+  (* CPU is reported per worker core (busy-time / (workers x window)):
+     the paper's "leader CPU is always ~100%" claim at its granularity. *)
+  let print name tps ~vs ~cpu ~leader_mem ~follower_mem =
+    Printf.printf "  %-16s %10s  %+6.1f%%  cpu %3.0f%%  leader %s  follower %s\n%!" name
+      (fmt_tps tps)
+      (if vs > 0.0 then 100.0 *. ((tps /. vs) -. 1.0) else 0.0)
+      (100.0 *. cpu *. 32.0 /. float_of_int workers)
+      (match leader_mem with Some b -> Printf.sprintf "%.2fGB" (float_of_int b /. 1e9) | None -> "-")
+      (match follower_mem with Some b -> Printf.sprintf "%.2fGB" (float_of_int b /. 1e9) | None -> "-");
+    tps
+  in
+  (* 1. Plain Silo. *)
+  let silo = run_silo ~workers ~duration ~app () in
+  let t_silo =
+    print "Silo" silo.Baselines.Silo_only.tps ~vs:0.0
+      ~cpu:silo.Baselines.Silo_only.cpu_utilization ~leader_mem:None ~follower_mem:None
+  in
+  Gc.compact ();
+  (* 2. +Serialization: Silo plus the per-transaction log-entry memcpy. *)
+  let costs = Silo.Costs.default in
+  let ser =
+    Baselines.Silo_only.run ~cores:32 ~workers ~warmup:(100 * ms) ~duration ~app
+      ~extra_cost_per_txn:(fun log ->
+        Silo.Costs.serialize_cost costs ~bytes:(Store.Wire.txn_byte_size log))
+      ()
+  in
+  let t_ser =
+    print "+Serialization" ser.Baselines.Silo_only.tps ~vs:t_silo
+      ~cpu:ser.Baselines.Silo_only.cpu_utilization ~leader_mem:None ~follower_mem:None
+  in
+  Gc.compact ();
+  (* 3. +Replication: the full cluster with follower replay disabled. *)
+  let measure_cluster disable_replay =
+    let cluster =
+      run_rolis ~disable_replay ~workers ~warmup:(dur quick (250 * ms)) ~duration ~app ()
+    in
+    let leader = Option.get (Rolis.Cluster.leader cluster) in
+    let follower =
+      Rolis.Cluster.replicas cluster
+      |> Array.to_list
+      |> List.find (fun r -> not (Rolis.Replica.is_serving r))
+    in
+    let w_start, _ = Rolis.Cluster.window cluster in
+    ( Rolis.Cluster.throughput cluster,
+      Sim.Cpu.utilization (Rolis.Replica.cpu leader) ~since:w_start,
+      Silo.Db.total_bytes (Rolis.Replica.db leader)
+      + Rolis.Stats.speculative_bytes (Rolis.Replica.stats leader),
+      Silo.Db.total_bytes (Rolis.Replica.db follower) )
+  in
+  let tps, cpu, lmem, fmem = measure_cluster true in
+  let t_rep =
+    print "+Replication" tps ~vs:t_ser ~cpu ~leader_mem:(Some lmem) ~follower_mem:(Some fmem)
+  in
+  Gc.compact ();
+  (* 4. +Replay: full Rolis. *)
+  let tps, cpu, lmem, fmem = measure_cluster false in
+  let (_ : float) =
+    print "+Replay (Rolis)" tps ~vs:t_rep ~cpu ~leader_mem:(Some lmem)
+      ~follower_mem:(Some fmem)
+  in
+  Gc.compact ()

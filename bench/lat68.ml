@@ -1,0 +1,30 @@
+(* §6.8 (text): median latency of Rolis, Calvin and 2PL on YCSB++ with 16
+   worker threads and 3 replicas.
+
+   Paper: 2PL 21.48 ms (no batching, lowest latency, lowest throughput);
+   Rolis 70.06 ms (batching + Paxos streams + asynchronous replay);
+   Calvin 83.01 ms (10 ms epochs + ZooKeeper agreement + execution). *)
+
+open Common
+
+let run ~quick =
+  header "Section 6.8: median latency comparison (YCSB++, 16 threads)"
+    "Paper: 2PL 21.48ms < Rolis 70.06ms < Calvin 83.01ms.";
+  let twopl = Baselines.Twopl.run ~partitions:16 ~duration:(dur quick (500 * ms)) () in
+  Gc.compact ();
+  let calvin =
+    Baselines.Calvin.run ~partitions:16 ~replication:true ~duration:(dur quick (800 * ms)) ()
+  in
+  Gc.compact ();
+  let cluster =
+    run_rolis ~batch:10_000 ~workers:16
+      ~warmup:(dur quick (400 * ms))
+      ~duration:(dur quick (400 * ms))
+      ~app:(Workload.Ycsb.app ycsb_params) ()
+  in
+  let rolis_p50 = Sim.Metrics.Hist.quantile (Rolis.Cluster.latency cluster) 0.5 in
+  Printf.printf "  %-8s p50 = %6s ms   (paper 21.48)\n" "2PL" (fmt_ms twopl.Baselines.Twopl.p50_latency);
+  Printf.printf "  %-8s p50 = %6s ms   (paper 70.06)\n" "Rolis" (fmt_ms rolis_p50);
+  Printf.printf "  %-8s p50 = %6s ms   (paper 83.01)\n%!" "Calvin"
+    (fmt_ms calvin.Baselines.Calvin.p50_latency);
+  Gc.compact ()

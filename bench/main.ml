@@ -1,0 +1,87 @@
+(* Benchmark harness entry point: regenerates every table and figure from
+   the paper's evaluation (§6). Each experiment prints the paper's
+   landmark numbers next to the measured ones; EXPERIMENTS.md records a
+   full comparison.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, standard sizes
+     dune exec bench/main.exe -- --quick      # reduced sweeps (CI-sized)
+     dune exec bench/main.exe -- fig10a fig14 # selected experiments *)
+
+let experiments : (string * string * (quick:bool -> unit)) list =
+  [
+    ("fig02", "strawman: single Paxos stream (TPC-C)", Fig02.run);
+    ("fig09", "workload op-count table", Fig09.run);
+    ("fig10a", "Rolis vs Silo, TPC-C (+ per-core fig11a)", Fig10.run_tpcc);
+    ("fig10b", "Rolis vs Silo, YCSB++ (+ per-core fig11b)", Fig10.run_ycsb);
+    ("fig12", "2PL + Calvin vs Rolis (YCSB++)", Fig12.run);
+    ("fig13", "Meerkat vs Rolis (YCSB-T / YCSB++)", Fig13.run);
+    ("fig14", "failover timeline", Fig14.run);
+    ("fig15", "Silo vs replay-only", Fig15.run);
+    ("fig16", "batch size vs throughput/latency", Fig16.run);
+    ("fig17", "skewed workload", Fig17.run);
+    ("fig18", "factor analysis", Fig18.run);
+    ("lat68", "median latency: 2PL / Rolis / Calvin", Lat68.run);
+    ("mem5", "delayed-commit memory & log size", Mem5.run);
+    ("ablation", "design-choice ablations (streams/watermark/net/replicas)", Ablation.run);
+    ("recovery", "failover vs checkpoint recovery (paper s7)", Recovery.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  (* Simulated TPC-C allocates at ~GB/s of virtual rows on a small host:
+     trade GC time for memory. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 60 };
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let named = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let selected =
+    if named = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some e -> Some e
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n%!" name
+                (String.concat " " (List.map (fun (n, _, _) -> n) experiments));
+              exit 2)
+        named
+  in
+  Printf.printf "Rolis reproduction benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  Printf.printf "%d experiment(s): %s\n%!" (List.length selected)
+    (String.concat ", " (List.map (fun (n, _, _) -> n) selected));
+  let no_fork = List.mem "--no-fork" args in
+  let t0 = Unix.gettimeofday () in
+  (* Each experiment runs in its own forked child: simulated TPC-C
+     allocates GBs of rows and the OCaml major heap does not shrink back
+     between experiments, so process isolation is what keeps a long
+     multi-experiment run inside host memory. *)
+  let run_isolated name run =
+    if no_fork then run ~quick
+    else begin
+      flush stdout;
+      match Unix.fork () with
+      | 0 -> (
+          try
+            run ~quick;
+            exit 0
+          with e ->
+            Printf.eprintf "  [%s crashed: %s]\n%!" name (Printexc.to_string e);
+            exit 1)
+      | pid -> (
+          match snd (Unix.waitpid [] pid) with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED n -> Printf.printf "  [%s exited with %d]\n%!" name n
+          | Unix.WSIGNALED s -> Printf.printf "  [%s killed by signal %d]\n%!" name s
+          | Unix.WSTOPPED _ -> Printf.printf "  [%s stopped]\n%!" name)
+    end
+  in
+  List.iter
+    (fun (name, _desc, run) ->
+      let t = Unix.gettimeofday () in
+      run_isolated name run;
+      Printf.printf "  [%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    selected;
+  Printf.printf "\nAll done in %.1fs.\n%!" (Unix.gettimeofday () -. t0)

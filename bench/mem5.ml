@@ -1,0 +1,33 @@
+(* §5 (text): the cost of delayed commit — memory accumulated by
+   speculative (not-yet-released) transactions, median latency, and the
+   average log size per transaction, at 31 worker threads on TPC-C.
+
+   Paper: ~0.046 GB average accumulated memory at 1.03M TPS, median
+   latency 49.41 ms, 875.6 bytes of log per transaction. *)
+
+open Common
+
+let run ~quick =
+  header "Section 5: impact of delayed commit (TPC-C, 31 threads)"
+    "Paper: ~0.046GB average speculative memory, 49.41ms median latency,\n\
+     875.6 bytes of log per transaction.";
+  let workers = 31 in
+  let cluster =
+    run_rolis ~workers
+      ~warmup:(150 * ms)
+      ~duration:(dur quick (250 * ms))
+      ~app:(Workload.Tpcc.app (tpcc_params ~workers))
+      ()
+  in
+  let leader = Option.get (Rolis.Cluster.leader cluster) in
+  let st = Rolis.Replica.stats leader in
+  Printf.printf "  throughput:                   %s TPS\n" (fmt_tps (Rolis.Cluster.throughput cluster));
+  Printf.printf "  avg speculative memory:       %.4f GB (peak %.4f GB)\n"
+    (Rolis.Stats.avg_speculative_bytes st /. 1e9)
+    (float_of_int (Rolis.Stats.peak_speculative_bytes st) /. 1e9);
+  Printf.printf "  median latency:               %s ms\n"
+    (fmt_ms (Sim.Metrics.Hist.quantile (Rolis.Cluster.latency cluster) 0.5));
+  Printf.printf "  avg log bytes per txn:        %.1f\n%!"
+    (float_of_int (Rolis.Stats.serialized_bytes st)
+    /. float_of_int (max 1 (Rolis.Stats.executed st)));
+  Gc.compact ()

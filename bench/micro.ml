@@ -1,0 +1,110 @@
+(* Bechamel micro-benchmarks of the core primitives every experiment
+   leans on: B+tree point ops, order-preserving key encoding, log-entry
+   (de)serialization, watermark computation, replay compare-and-swap, and
+   the OCC read/validate path. These are wall-clock measurements of the
+   implementation itself (not virtual time). *)
+
+open Bechamel
+open Toolkit
+
+let prepared_tree n =
+  let t = Store.Btree.create () in
+  let rng = Sim.Rng.create 11L in
+  for _ = 1 to n do
+    ignore (Store.Btree.insert t (Printf.sprintf "%012d" (Sim.Rng.int rng 10_000_000)) 0)
+  done;
+  t
+
+let test_btree_find =
+  let tree = prepared_tree 100_000 in
+  let rng = Sim.Rng.create 3L in
+  Test.make ~name:"btree.find (100k keys)"
+    (Staged.stage (fun () ->
+         ignore (Store.Btree.find tree (Printf.sprintf "%012d" (Sim.Rng.int rng 10_000_000)))))
+
+let test_btree_insert_remove =
+  let tree = prepared_tree 100_000 in
+  let rng = Sim.Rng.create 5L in
+  Test.make ~name:"btree.insert+remove"
+    (Staged.stage (fun () ->
+         let k = Printf.sprintf "%012d" (Sim.Rng.int rng 10_000_000) in
+         ignore (Store.Btree.insert tree k 1);
+         ignore (Store.Btree.remove tree k)))
+
+let test_keycodec =
+  let rng = Sim.Rng.create 7L in
+  Test.make ~name:"keycodec.encode (3 components)"
+    (Staged.stage (fun () ->
+         ignore
+           (Store.Keycodec.encode
+              [
+                Store.Keycodec.I (Sim.Rng.int rng 100);
+                Store.Keycodec.I (Sim.Rng.int rng 10);
+                Store.Keycodec.I (Sim.Rng.int rng 1_000_000);
+              ])))
+
+let sample_entry =
+  let writes =
+    List.init 10 (fun i ->
+        { Store.Wire.table = i; key = Printf.sprintf "key-%06d" i; value = Some (String.make 60 'v') })
+  in
+  Store.Wire.make_entry ~epoch:1
+    (List.init 100 (fun i -> { Store.Wire.ts = i; writes }))
+
+let test_wire_encode =
+  Test.make ~name:"wire.encode (100-txn entry)"
+    (Staged.stage (fun () -> ignore (Store.Wire.encode sample_entry)))
+
+let test_wire_decode =
+  let encoded = Store.Wire.encode sample_entry in
+  Test.make ~name:"wire.decode (100-txn entry)"
+    (Staged.stage (fun () -> ignore (Store.Wire.decode encoded)))
+
+let test_watermark =
+  let wm = Rolis.Watermark.create ~streams:32 in
+  for s = 0 to 31 do
+    Rolis.Watermark.note_durable wm ~stream:s ~epoch:1 ~ts:(1000 + s)
+  done;
+  Test.make ~name:"watermark.compute (32 streams)"
+    (Staged.stage (fun () -> ignore (Rolis.Watermark.compute wm ~epoch:1)))
+
+let test_record_cas =
+  let r = Store.Record.make "value" in
+  let ts = ref 0 in
+  Test.make ~name:"record.cas_apply"
+    (Staged.stage (fun () ->
+         incr ts;
+         ignore (Store.Record.cas_apply r ~epoch:1 ~ts:!ts ~value:(Some "value"))))
+
+let run ~quick =
+  Common.header "Micro-benchmarks (Bechamel, wall-clock)"
+    "Per-operation cost of the primitives under every experiment.";
+  let quota = Time.second (if quick then 0.25 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        test_btree_find;
+        test_btree_insert_remove;
+        test_keycodec;
+        test_wire_encode;
+        test_wire_decode;
+        test_watermark;
+        test_record_cas;
+      ]
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with Some (x :: _) -> x | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+      Printf.printf "  %-36s %10.1f ns/op  (r²=%.3f)\n" name ns r2)
+    (List.sort compare rows);
+  Printf.printf "%!"

@@ -1,0 +1,172 @@
+(* Command-line driver: run a Rolis cluster or a baseline system with
+   custom parameters and print a measurement summary.
+
+   Examples:
+     rolis-cli run --workload tpcc --workers 16 --duration-ms 500
+     rolis-cli run --workload ycsb --workers 8 --batch 10000 --crash-at-ms 800
+     rolis-cli baseline --system 2pl --partitions 16
+     rolis-cli baseline --system meerkat --threads 28 --workload ycsb *)
+
+open Cmdliner
+
+let ms = Sim.Engine.ms
+
+let fmt_tps v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.0fK" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+(* ---- run: a Rolis cluster ---- *)
+
+let run_cluster workload workers cores batch duration_ms warmup_ms networked
+    single_stream crash_at_ms seed =
+  let app, is_tpcc =
+    match workload with
+    | "tpcc" ->
+        (Workload.Tpcc.app (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers), true)
+    | "ycsb" ->
+        ( Workload.Ycsb.app { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 },
+          false )
+    | other ->
+        Printf.eprintf "unknown workload %S (tpcc|ycsb)\n" other;
+        exit 2
+  in
+  let cfg =
+    {
+      Rolis.Config.default with
+      Rolis.Config.workers;
+      cores;
+      batch_size = batch;
+      networked_clients = networked;
+      stream_mode = (if single_stream then Rolis.Config.Single else Rolis.Config.Per_worker);
+      seed = Int64.of_int seed;
+    }
+  in
+  let cluster = Rolis.Cluster.create cfg app in
+  (match crash_at_ms with
+  | Some at ->
+      Sim.Engine.schedule (Rolis.Cluster.engine cluster) (at * ms) (fun () ->
+          Printf.printf "[t=%dms] crashing leader (replica 0)\n%!" at;
+          Rolis.Cluster.crash_replica cluster 0)
+  | None -> ());
+  Rolis.Cluster.run cluster ~warmup:(warmup_ms * ms) ~duration:(duration_ms * ms) ();
+  let lat = Rolis.Cluster.latency cluster in
+  Printf.printf "workload:        %s, %d workers, batch %d%s%s\n" workload workers batch
+    (if networked then ", networked clients" else "")
+    (if single_stream then ", SINGLE shared stream (strawman)" else "");
+  Printf.printf "throughput:      %s TPS (release-committed)\n"
+    (fmt_tps (Rolis.Cluster.throughput cluster));
+  Printf.printf "latency:         p50 %.1f ms, p95 %.1f ms\n"
+    (float_of_int (Sim.Metrics.Hist.quantile lat 0.5) /. 1e6)
+    (float_of_int (Sim.Metrics.Hist.quantile lat 0.95) /. 1e6);
+  Printf.printf "executed:        %d (user aborts: %d)\n" (Rolis.Cluster.executed cluster)
+    (Rolis.Cluster.user_aborts cluster);
+  (match Rolis.Cluster.leader cluster with
+  | Some r ->
+      Printf.printf "leader:          replica %d (epoch %d)\n" (Rolis.Replica.id r)
+        (Paxos.Election.epoch (Rolis.Replica.election r));
+      if is_tpcc then begin
+        let errors =
+          Workload.Tpcc.consistency_errors
+            (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers)
+            (Rolis.Replica.db r)
+        in
+        Printf.printf "tpcc-consistency: %s\n"
+          (if errors = [] then "OK" else String.concat "; " errors)
+      end
+  | None -> Printf.printf "leader:          none!\n")
+
+let workload_arg =
+  Arg.(value & opt string "tpcc" & info [ "workload"; "w" ] ~doc:"Workload: tpcc or ycsb.")
+
+let workers_arg = Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Database worker threads.")
+let cores_arg = Arg.(value & opt int 32 & info [ "cores" ] ~doc:"CPU cores per machine.")
+let batch_arg = Arg.(value & opt int 1000 & info [ "batch" ] ~doc:"Transactions per log entry.")
+
+let duration_arg =
+  Arg.(value & opt int 500 & info [ "duration-ms" ] ~doc:"Measured virtual time (ms).")
+
+let warmup_arg = Arg.(value & opt int 200 & info [ "warmup-ms" ] ~doc:"Warm-up (ms).")
+let networked_arg = Arg.(value & flag & info [ "networked" ] ~doc:"Open-loop networked clients.")
+
+let single_arg =
+  Arg.(value & flag & info [ "single-stream" ] ~doc:"Strawman: one shared Paxos stream.")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-at-ms" ] ~doc:"Kill the leader at this virtual time (ms).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let run_cmd =
+  let term =
+    Term.(
+      const run_cluster $ workload_arg $ workers_arg $ cores_arg $ batch_arg
+      $ duration_arg $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
+
+(* ---- baseline ---- *)
+
+let run_baseline system threads duration_ms workload =
+  let duration = duration_ms * ms in
+  match system with
+  | "silo" ->
+      let app =
+        match workload with
+        | "ycsb" -> Workload.Ycsb.app { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 }
+        | _ -> Workload.Tpcc.app (Workload.Tpcc.with_warehouses Workload.Tpcc.default threads)
+      in
+      let r = Baselines.Silo_only.run ~workers:threads ~duration ~app () in
+      Printf.printf "silo: %s TPS (aborts %d, cpu %.0f%%)\n"
+        (fmt_tps r.Baselines.Silo_only.tps)
+        r.Baselines.Silo_only.conflict_aborts
+        (100.0 *. r.Baselines.Silo_only.cpu_utilization)
+  | "2pl" ->
+      let r = Baselines.Twopl.run ~partitions:threads ~duration () in
+      Printf.printf "2pl: %s TPS, p50 %.1f ms (aborts %d)\n"
+        (fmt_tps r.Baselines.Twopl.tps)
+        (float_of_int r.Baselines.Twopl.p50_latency /. 1e6)
+        r.Baselines.Twopl.aborted
+  | "calvin" ->
+      let r = Baselines.Calvin.run ~partitions:threads ~replication:true ~duration () in
+      Printf.printf "calvin: %s TPS, p50 %.1f ms\n"
+        (fmt_tps r.Baselines.Calvin.tps)
+        (float_of_int r.Baselines.Calvin.p50_latency /. 1e6)
+  | "meerkat" ->
+      let params =
+        if workload = "ycsb" then { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 }
+        else Workload.Ycsb.ycsb_t
+      in
+      let r = Baselines.Meerkat.run ~threads ~params ~duration () in
+      Printf.printf "meerkat: %s TPS, p50 %.3f ms (aborts %d)\n"
+        (fmt_tps r.Baselines.Meerkat.tps)
+        (float_of_int r.Baselines.Meerkat.p50_latency /. 1e6)
+        r.Baselines.Meerkat.aborted
+  | other ->
+      Printf.eprintf "unknown system %S (silo|2pl|calvin|meerkat)\n" other;
+      exit 2
+
+let system_arg =
+  Arg.(
+    value & opt string "silo"
+    & info [ "system"; "s" ] ~doc:"Baseline: silo, 2pl, calvin, or meerkat.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "partitions" ] ~doc:"Threads / partitions.")
+
+let baseline_workload_arg =
+  Arg.(value & opt string "tpcc" & info [ "workload"; "w" ] ~doc:"tpcc, ycsb, or ycsb-t.")
+
+let baseline_cmd =
+  let term =
+    Term.(const run_baseline $ system_arg $ threads_arg $ duration_arg $ baseline_workload_arg)
+  in
+  Cmd.v (Cmd.info "baseline" ~doc:"Run a baseline system (Silo/2PL/Calvin/Meerkat).") term
+
+let () =
+  let doc = "Rolis (EuroSys 2022) reproduction - simulator CLI" in
+  let info = Cmd.info "rolis-cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; baseline_cmd ]))

@@ -1,0 +1,39 @@
+(* YCSB++ on Rolis vs unreplicated Silo: the paper's headline comparison
+   (Fig. 10b) at one thread count, plus the effect of turning on
+   networked clients (§6.4).
+
+   Run with: dune exec examples/ycsb_demo.exe *)
+
+let ms = Sim.Engine.ms
+
+let () =
+  let params = { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 } in
+  let workers = 16 in
+  Printf.printf "YCSB++ (50%% READ / 50%% RMW, 4 ops, uniform), %d workers\n\n%!" workers;
+  let silo =
+    Baselines.Silo_only.run ~cores:32 ~workers ~duration:(300 * ms)
+      ~app:(Workload.Ycsb.app params) ()
+  in
+  Printf.printf "Silo (no replication):    %10.0f TPS\n%!" silo.Baselines.Silo_only.tps;
+  let run_cluster networked =
+    let cfg =
+      {
+        Rolis.Config.ycsb with
+        Rolis.Config.workers;
+        cores = 32;
+        networked_clients = networked;
+      }
+    in
+    let cluster = Rolis.Cluster.create cfg (Workload.Ycsb.app params) in
+    Rolis.Cluster.run cluster ~warmup:(200 * ms) ~duration:(500 * ms) ();
+    (Rolis.Cluster.throughput cluster, Rolis.Cluster.latency cluster)
+  in
+  let tps, lat = run_cluster false in
+  Printf.printf "Rolis (3 replicas):       %10.0f TPS  (%.1f%% of Silo), p50 %.1f ms\n%!" tps
+    (100.0 *. tps /. silo.Baselines.Silo_only.tps)
+    (float_of_int (Sim.Metrics.Hist.quantile lat 0.5) /. 1e6);
+  let tps_net, lat_net = run_cluster true in
+  Printf.printf "Rolis (networked client): %10.0f TPS  (%.1f%% of embedded), p50 %.1f ms\n%!"
+    tps_net
+    (100.0 *. tps_net /. tps)
+    (float_of_int (Sim.Metrics.Hist.quantile lat_net 0.5) /. 1e6)

@@ -1,0 +1,36 @@
+(** Calvin baseline (paper §6.3, Fig. 12; latency in §6.8).
+
+    Deterministic database in the STAR-refined configuration the paper
+    compares against: a {e central sequencer} batches incoming
+    transactions into fixed 10 ms epochs, agrees on the batch with its
+    replication group (ZooKeeper in the original latency experiment —
+    replication is {e off} in throughput runs, matching the paper), and a
+    multi-threaded lock manager feeds per-partition executor threads that
+    run the batch deterministically (no aborts).
+
+    Bottleneck structure reproduced here: per-transaction sequencer and
+    lock-manager work is central, so throughput scales with partitions
+    only until the sequencer saturates; latency is dominated by epoch
+    batching plus batch agreement (~83 ms median in the paper). *)
+
+type result = {
+  tps : float;
+  committed : int;
+  p50_latency : int;
+  p95_latency : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?epoch:int ->
+  ?keys_per_partition:int ->
+  ?ops_per_txn:int ->
+  ?lock_managers:int ->
+  ?replication:bool ->
+  partitions:int ->
+  duration:int ->
+  unit ->
+  result
+(** Defaults: 10 ms epochs, 4 lock managers, replication disabled (the
+    paper's throughput configuration); pass [~replication:true] for the
+    §6.8 latency measurement. *)

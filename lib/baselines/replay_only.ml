@@ -1,0 +1,65 @@
+type result = { replay_tps : float; silo_tps : float; replayed : int }
+
+let run ?(seed = 42L) ?(cores = 32) ?costs ~threads ~generate_duration ~app () =
+  (* Phase 1: generate logs with a plain Silo run. *)
+  let eng = Sim.Engine.create ~seed () in
+  let cpu = Sim.Cpu.create eng ~cores () in
+  let db = Silo.Db.create eng cpu ?costs () in
+  app.Rolis.App.setup db;
+  let logs = Array.make threads [] in
+  (* per worker, reverse order *)
+  for w = 0 to threads - 1 do
+    let gen =
+      app.Rolis.App.make_worker db
+        ~rng:(Sim.Rng.split (Sim.Engine.rng eng))
+        ~worker:w ~nworkers:threads
+    in
+    let _p =
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Cpu.register cpu;
+          while true do
+            let body = gen () in
+            let r = Silo.Db.run db ~worker:w body in
+            match r.Silo.Db.tid with
+            | Some tid ->
+                logs.(w) <-
+                  { Store.Wire.ts = tid.Silo.Tid.ts; writes = r.Silo.Db.log } :: logs.(w)
+            | None -> ()
+          done)
+    in
+    ()
+  done;
+  Sim.Engine.run ~until:generate_duration eng;
+  let generated = Array.fold_left (fun acc l -> acc + List.length l) 0 logs in
+  let silo_tps = float_of_int generated *. 1e9 /. float_of_int generate_duration in
+  (* Phase 2: fresh engine + database with the same initial load; replay
+     the captured logs with [threads] workers. *)
+  let eng2 = Sim.Engine.create ~seed () in
+  let cpu2 = Sim.Cpu.create eng2 ~cores () in
+  let db2 = Silo.Db.create eng2 cpu2 ?costs ~physical_deletes:false () in
+  app.Rolis.App.setup db2;
+  let replayed = ref 0 in
+  let t_done = ref 0 in
+  for w = 0 to threads - 1 do
+    let mine = List.rev logs.(w) in
+    let _p =
+      Sim.Engine.spawn eng2 (fun () ->
+          Sim.Cpu.register cpu2;
+          let applied = ref 0 in
+          List.iter
+            (fun txn ->
+              Silo.Db.apply_replay db2 txn ~epoch:1 ~applied;
+              incr replayed)
+            mine;
+          Sim.Cpu.unregister cpu2;
+          if Sim.Engine.time () > !t_done then t_done := Sim.Engine.time ())
+    in
+    ()
+  done;
+  Sim.Engine.run eng2;
+  let elapsed = max 1 !t_done in
+  {
+    replay_tps = float_of_int !replayed *. 1e9 /. float_of_int elapsed;
+    silo_tps;
+    replayed = !replayed;
+  }

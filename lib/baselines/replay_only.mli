@@ -1,0 +1,28 @@
+(** Replay-only throughput (paper §6.6, Fig. 15).
+
+    Pre-generates transaction logs from an independent Silo run, loads
+    them into per-thread memory, then measures how fast [threads] replay
+    workers can apply them with the watermark and Paxos disabled. The
+    paper uses this to show replay (write-set only, compare-and-swap per
+    key) is ~1.5x faster than Silo's execute path and therefore never the
+    bottleneck. *)
+
+type result = {
+  replay_tps : float;
+  silo_tps : float;  (** execute-path throughput of the generating run *)
+  replayed : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?cores:int ->
+  ?costs:Silo.Costs.t ->
+  threads:int ->
+  generate_duration:int ->
+  app:Rolis.App.t ->
+  unit ->
+  result
+(** Phase 1: run [threads] Silo workers for [generate_duration], capturing
+    every committed write-set per worker. Phase 2: fresh database, same
+    initial load; [threads] replay workers apply their own worker's log
+    sequentially. [replay_tps] is transactions replayed per second. *)

@@ -1,0 +1,27 @@
+(** Unreplicated Silo on one machine — the paper's upper bound for every
+    throughput figure (Figs. 10, 11, 15, 17, 18).
+
+    Runs [workers] database worker threads against one {!Silo.Db} with no
+    replication layer at all. The optional [extra_cost_per_txn] hook
+    supports the factor analysis (Fig. 18): "+Serialization" is Silo plus
+    the per-transaction memcpy of its would-be log entry. *)
+
+type result = {
+  tps : float;  (** committed transactions per second *)
+  commits : int;
+  user_aborts : int;
+  conflict_aborts : int;
+  cpu_utilization : float;
+}
+
+val run :
+  ?seed:int64 ->
+  ?cores:int ->
+  ?costs:Silo.Costs.t ->
+  ?warmup:int ->
+  ?extra_cost_per_txn:(Store.Wire.txn_log -> int) ->
+  workers:int ->
+  duration:int ->
+  app:Rolis.App.t ->
+  unit ->
+  result

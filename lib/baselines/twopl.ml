@@ -1,0 +1,190 @@
+type result = {
+  tps : float;
+  committed : int;
+  aborted : int;
+  p50_latency : int;
+  p95_latency : int;
+}
+
+(* Server-side CPU costs per partition core (ns). RPC handling dominates:
+   Janus' 2PL spends most of its cycles marshalling per-operation
+   messages and running the 2PC/Paxos state machines. *)
+let op_server_cost = 33_000
+let commit_server_cost = 35_000
+let paxos_leader_cost = 37_000
+let abort_backoff = 200_000
+
+type partition = {
+  table : Store.Record.t Store.Btree.t;
+  locks : (string, unit) Hashtbl.t; (* held locks (NO_WAIT) *)
+  core : Sim.Sync.Semaphore.t; (* the partition's single CPU core *)
+  stream : Paxos.Stream.t;
+  waiting : (int, unit Sim.Sync.Ivar.t) Hashtbl.t; (* ts -> durability *)
+  mutable next_ts : int;
+}
+
+let run ?(seed = 42L) ?(clients_per_partition = 96) ?(keys_per_partition = 35_000)
+    ?(ops_per_txn = 4) ?(read_ratio = 0.5) ~partitions ~duration () =
+  let eng = Sim.Engine.create ~seed () in
+  let net =
+    Sim.Net.create eng ~nodes:3
+      ~latency:(Sim.Net.Exp_jitter { base = 25 * Sim.Engine.us; jitter_mean = 8 * Sim.Engine.us })
+  in
+  let committed = ref 0 and aborted = ref 0 in
+  let lat = Sim.Metrics.Hist.create () in
+  (* Streams: one per partition; node 0 leads all of them (stable leader,
+     no election — this benchmark measures the failure-free data path). *)
+  let all_streams = Array.make 3 [||] in
+  let parts =
+    Array.init partitions (fun p ->
+        let waiting = Hashtbl.create 64 in
+        let on_commit ~idx:_ (entry : Store.Wire.entry) =
+          match Hashtbl.find_opt waiting entry.last_ts with
+          | Some iv ->
+              Hashtbl.remove waiting entry.last_ts;
+              Sim.Sync.Ivar.fill iv ()
+          | None -> ()
+        in
+        let stream =
+          Paxos.Stream.create net ~id:p ~me:0 ~on_commit ~on_higher_epoch:(fun _ -> ()) ()
+        in
+        Paxos.Stream.become_leader stream ~epoch:1;
+        let table = Store.Btree.create () in
+        for i = 0 to keys_per_partition - 1 do
+          ignore
+            (Store.Btree.insert table
+               (Store.Keycodec.encode [ Store.Keycodec.I i ])
+               (Store.Record.make "0"))
+        done;
+        {
+          table;
+          locks = Hashtbl.create 1024;
+          core = Sim.Sync.Semaphore.create eng 1;
+          stream;
+          waiting;
+          next_ts = 0;
+        })
+  in
+  all_streams.(0) <- Array.map (fun p -> p.stream) parts;
+  (* Follower replicas accept and acknowledge. *)
+  for node = 1 to 2 do
+    all_streams.(node) <-
+      Array.init partitions (fun p ->
+          Paxos.Stream.create net ~id:p ~me:node
+            ~on_commit:(fun ~idx:_ _ -> ())
+            ~on_higher_epoch:(fun _ -> ())
+            ())
+  done;
+  for node = 0 to 2 do
+    ignore
+      (Sim.Engine.spawn eng ~name:(Printf.sprintf "2pl-dispatch-%d" node) (fun () ->
+           while true do
+             let m = Sim.Net.recv net node in
+             match m.Paxos.Msg.body with
+             | Paxos.Msg.Stream { stream; msg } ->
+                 Paxos.Stream.handle all_streams.(node).(stream) msg ~from:m.Paxos.Msg.from
+             | Paxos.Msg.Elect _ -> ()
+           done))
+  done;
+  (* Server-side work occupies the partition's core exclusively. *)
+  let server_work part cost =
+    Sim.Sync.Semaphore.acquire part.core;
+    Sim.Engine.sleep cost;
+    Sim.Sync.Semaphore.release part.core
+  in
+  let one_way = 25 * Sim.Engine.us in
+  for p = 0 to partitions - 1 do
+    for _ = 1 to clients_per_partition do
+      let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+      let part = parts.(p) in
+      ignore
+        (Sim.Engine.spawn eng ~name:"2pl-client" (fun () ->
+             while true do
+               let t_start = Sim.Engine.time () in
+               let read_only = Sim.Rng.float rng 1.0 < read_ratio in
+               let keys =
+                 List.init ops_per_txn (fun _ ->
+                     Store.Keycodec.encode
+                       [ Store.Keycodec.I (Sim.Rng.int rng keys_per_partition) ])
+               in
+               (* One attempt; NO_WAIT aborts restart the whole txn. *)
+               let rec attempt () =
+                 let held = ref [] in
+                 let release () =
+                   List.iter (fun k -> Hashtbl.remove part.locks k) !held
+                 in
+                 let conflict = ref false in
+                 List.iter
+                   (fun k ->
+                     if not !conflict then begin
+                       Sim.Engine.sleep one_way;
+                       (* Request reaches the server. Readers are blocked
+                          by writers too (shared/exclusive simplified to
+                          NO_WAIT against any holder). *)
+                       if Hashtbl.mem part.locks k then conflict := true
+                       else begin
+                         if not read_only then begin
+                           Hashtbl.replace part.locks k ();
+                           held := k :: !held
+                         end;
+                         server_work part op_server_cost;
+                         Sim.Engine.sleep one_way (* response to client *)
+                       end
+                     end)
+                   keys;
+                 if !conflict then begin
+                   release ();
+                   incr aborted;
+                   Sim.Engine.sleep abort_backoff;
+                   attempt ()
+                 end
+                 else if read_only then ()
+                 else begin
+                   (* Commit: replicate the write-set, wait durability,
+                      install, unlock. *)
+                   Sim.Engine.sleep one_way;
+                   server_work part (commit_server_cost + paxos_leader_cost);
+                   part.next_ts <- part.next_ts + 1;
+                   let ts = part.next_ts in
+                   let writes =
+                     List.map (fun k -> { Store.Wire.table = p; key = k; value = Some "1" }) keys
+                   in
+                   let entry =
+                     Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts; writes } ]
+                   in
+                   let iv = Sim.Sync.Ivar.create eng in
+                   Hashtbl.replace part.waiting ts iv;
+                   Paxos.Stream.propose part.stream entry;
+                   Sim.Sync.Ivar.read iv;
+                   List.iter
+                     (fun k ->
+                       match Store.Btree.find part.table k with
+                       | Some r ->
+                           r.Store.Record.value <-
+                             string_of_int (int_of_string r.Store.Record.value + 1)
+                       | None -> ())
+                     keys;
+                   release ();
+                   Sim.Engine.sleep one_way
+                 end
+               in
+               attempt ();
+               incr committed;
+               Sim.Metrics.Hist.add lat (Sim.Engine.time () - t_start)
+             done))
+    done
+  done;
+  (* Warm up briefly, then measure. *)
+  let warmup = 100 * Sim.Engine.ms in
+  Sim.Engine.run ~until:warmup eng;
+  committed := 0;
+  aborted := 0;
+  Sim.Metrics.Hist.clear lat;
+  Sim.Engine.run ~until:(warmup + duration) eng;
+  {
+    tps = float_of_int !committed *. 1e9 /. float_of_int duration;
+    committed = !committed;
+    aborted = !aborted;
+    p50_latency = Sim.Metrics.Hist.quantile lat 0.5;
+    p95_latency = Sim.Metrics.Hist.quantile lat 0.95;
+  }

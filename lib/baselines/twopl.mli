@@ -1,0 +1,38 @@
+(** Two-phase locking baseline (paper §6.3, Fig. 12; latency in §6.8).
+
+    Modelled on Janus' 2PL implementation: a {e client-server,
+    interactive} partitioned store. Each partition owns one CPU core and
+    one Paxos stream (reusing this repository's MultiPaxos); every
+    transaction is single-partition (the paper's "perfect partitioning"
+    favour to the baseline). Clients issue each operation as a separate
+    RPC; locks are held across those round trips (NO_WAIT on conflict:
+    abort, release, back off, retry); commit replicates the write-set
+    through the partition's Paxos stream and waits for durability before
+    releasing locks and answering the client.
+
+    The structural costs — per-operation RPCs, per-transaction
+    synchronous replication, no batching, no pipelining — are what cap
+    2PL an order of magnitude below Rolis while giving it the lowest
+    latency of the three software systems (no batching delay). *)
+
+type result = {
+  tps : float;
+  committed : int;
+  aborted : int;  (** lock-conflict aborts (retried) *)
+  p50_latency : int;  (** ns *)
+  p95_latency : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?clients_per_partition:int ->
+  ?keys_per_partition:int ->
+  ?ops_per_txn:int ->
+  ?read_ratio:float ->
+  partitions:int ->
+  duration:int ->
+  unit ->
+  result
+(** Defaults: 96 closed-loop clients per partition, ~35k keys/partition
+    (1M total at 28 partitions), 4 ops, 50%% read-only — the paper's
+    YCSB++ shape. *)

@@ -1,0 +1,151 @@
+let src = Logs.Src.create "paxos.election" ~doc:"Leader election events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type role = Leader | Follower | Candidate
+
+type t = {
+  net : Msg.t Sim.Net.t;
+  me : int;
+  n : int;
+  hb_interval : int;
+  base_timeout : int;
+  rng : Sim.Rng.t;
+  mutable role : role;
+  mutable cur_epoch : int;
+  mutable voted_epoch : int;
+  mutable votes : int list;
+  mutable last_heartbeat : int;
+  mutable leader : int option;
+  mutable my_timeout : int;
+  on_leader_elected : epoch:int -> unit;
+  on_new_epoch : epoch:int -> leader:int option -> unit;
+  on_heartbeat_tick : unit -> unit;
+}
+
+let majority t = (t.n / 2) + 1
+
+let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
+    ?(election_timeout = Sim.Engine.s) ?initial_leader ~on_leader_elected ~on_new_epoch
+    ?(on_heartbeat_tick = fun () -> ()) () =
+  let eng = Sim.Net.engine net in
+  let t =
+    {
+      net;
+      me;
+      n = Sim.Net.nodes net;
+      hb_interval = heartbeat_interval;
+      base_timeout = election_timeout;
+      rng = Sim.Rng.split (Sim.Engine.rng eng);
+      role = Follower;
+      cur_epoch = 0;
+      voted_epoch = 0;
+      votes = [];
+      last_heartbeat = Sim.Engine.now eng;
+      leader = None;
+      my_timeout = election_timeout;
+      on_leader_elected;
+      on_new_epoch;
+      on_heartbeat_tick;
+    }
+  in
+  (match initial_leader with
+  | Some l ->
+      t.cur_epoch <- 1;
+      t.voted_epoch <- 1;
+      t.leader <- Some l;
+      if l = me then t.role <- Leader
+  | None -> ());
+  t
+
+let send t ~dst body = Sim.Net.send t.net ~src:t.me ~dst { Msg.from = t.me; body }
+
+let broadcast t body =
+  Sim.Net.broadcast t.net ~src:t.me { Msg.from = t.me; body }
+
+(* Step down into epoch [e]; [leader] may still be unknown. *)
+let adopt t e leader =
+  t.cur_epoch <- e;
+  t.role <- Follower;
+  t.leader <- leader;
+  t.votes <- [];
+  t.on_new_epoch ~epoch:e ~leader
+
+let randomize_timeout t =
+  t.my_timeout <- t.base_timeout + Sim.Rng.int t.rng (t.base_timeout / 2)
+
+let become_leader t =
+  Log.debug (fun m -> m "replica %d becomes leader of epoch %d" t.me t.cur_epoch);
+  t.role <- Leader;
+  t.leader <- Some t.me;
+  t.on_leader_elected ~epoch:t.cur_epoch;
+  broadcast t (Msg.Elect (Msg.Heartbeat { epoch = t.cur_epoch; leader = t.me }))
+
+let start_election t =
+  let e = t.cur_epoch + 1 in
+  Log.debug (fun m -> m "replica %d starts election for epoch %d" t.me e);
+  t.cur_epoch <- e;
+  t.role <- Candidate;
+  t.voted_epoch <- e;
+  t.votes <- [ t.me ];
+  t.leader <- None;
+  t.last_heartbeat <- Sim.Engine.now (Sim.Net.engine t.net);
+  randomize_timeout t;
+  t.on_new_epoch ~epoch:e ~leader:None;
+  if majority t = 1 then become_leader t
+  else broadcast t (Msg.Elect (Msg.Request_vote { epoch = e; candidate = t.me }))
+
+let handle t msg ~from =
+  let now = Sim.Engine.now (Sim.Net.engine t.net) in
+  match msg with
+  | Msg.Request_vote { epoch = e; candidate } ->
+      if e > t.cur_epoch then adopt t e None;
+      if e = t.cur_epoch && t.voted_epoch < e then begin
+        t.voted_epoch <- e;
+        t.last_heartbeat <- now;
+        send t ~dst:candidate (Msg.Elect (Msg.Vote { epoch = e; granted = true }))
+      end
+      else if e >= t.cur_epoch then
+        send t ~dst:candidate (Msg.Elect (Msg.Vote { epoch = e; granted = false }))
+  | Msg.Vote { epoch = e; granted } ->
+      if t.role = Candidate && e = t.cur_epoch && granted then begin
+        if not (List.mem from t.votes) then t.votes <- from :: t.votes;
+        if List.length t.votes >= majority t then become_leader t
+      end
+  | Msg.Heartbeat { epoch = e; leader } ->
+      if e > t.cur_epoch then begin
+        adopt t e (Some leader);
+        t.last_heartbeat <- now
+      end
+      else if e = t.cur_epoch && leader <> t.me then begin
+        t.role <- Follower;
+        if t.leader <> Some leader then begin
+          t.leader <- Some leader;
+          t.on_new_epoch ~epoch:e ~leader:(Some leader)
+        end;
+        t.last_heartbeat <- now
+      end
+
+let observe_epoch t e = if e > t.cur_epoch then adopt t e None
+
+let start t =
+  let eng = Sim.Net.engine t.net in
+  Sim.Engine.spawn eng ~name:(Printf.sprintf "election-%d" t.me) (fun () ->
+      randomize_timeout t;
+      t.last_heartbeat <- Sim.Engine.now eng;
+      if t.role = Leader then t.on_leader_elected ~epoch:t.cur_epoch;
+      while true do
+        if t.role = Leader then begin
+          broadcast t (Msg.Elect (Msg.Heartbeat { epoch = t.cur_epoch; leader = t.me }));
+          t.on_heartbeat_tick ()
+        end
+        else if Sim.Engine.time () - t.last_heartbeat > t.my_timeout then
+          start_election t;
+        Sim.Engine.sleep t.hb_interval
+      done)
+
+let role t = t.role
+let is_leader t = t.role = Leader
+let epoch t = t.cur_epoch
+let leader_id t = t.leader
+let heartbeat_interval t = t.hb_interval

@@ -1,0 +1,51 @@
+(** Leader election module — one instance per replica (paper §4).
+
+    Replicas exchange heartbeats; a follower that misses them for an
+    election timeout becomes a candidate, increments the epoch, and asks
+    for votes. A majority of votes makes it leader. There is {e no} log
+    up-to-dateness restriction on voting (this is Paxos, not Raft): leader
+    completeness is provided by each stream's Prepare phase, which reads
+    the accepted tail from a majority.
+
+    All Paxos streams on a replica follow this single election: one epoch
+    number orders all leaders, and [<epoch, timestamp>] pairs serialize
+    transactions across failovers (§3.3). *)
+
+type role = Leader | Follower | Candidate
+
+type t
+
+val create :
+  Msg.t Sim.Net.t ->
+  me:int ->
+  ?heartbeat_interval:int ->
+  ?election_timeout:int ->
+  ?initial_leader:int ->
+  on_leader_elected:(epoch:int -> unit) ->
+  on_new_epoch:(epoch:int -> leader:int option -> unit) ->
+  ?on_heartbeat_tick:(unit -> unit) ->
+  unit ->
+  t
+(** [on_leader_elected] fires on the replica that wins an election, before
+    it starts heartbeating. [on_new_epoch] fires on every replica whenever
+    it observes a new epoch (leader may be unknown yet).
+    [on_heartbeat_tick] fires on the leader at every heartbeat — Rolis
+    hooks the per-stream empty transactions here (§5).
+    [initial_leader] seeds epoch 1 with a known leader so experiments
+    skip the cold-start election; omit it to start from scratch. *)
+
+val start : t -> Sim.Engine.proc
+(** Spawn the ticker process (heartbeats when leader, timeout checks when
+    follower). Returns the process so a crash can kill it. *)
+
+val handle : t -> Msg.elect -> from:int -> unit
+(** Feed an election message from the dispatcher. *)
+
+val observe_epoch : t -> int -> unit
+(** A stream saw a higher epoch (e.g. in a Nack): step down / catch up. *)
+
+val role : t -> role
+val is_leader : t -> bool
+val epoch : t -> int
+val leader_id : t -> int option
+val heartbeat_interval : t -> int

@@ -1,0 +1,66 @@
+type accepted_slot = { a_idx : int; a_epoch : int; a_entry : Store.Wire.entry }
+
+type elect =
+  | Request_vote of { epoch : int; candidate : int }
+  | Vote of { epoch : int; granted : bool }
+  | Heartbeat of { epoch : int; leader : int }
+
+type stream_msg =
+  | Prepare of { epoch : int; from_idx : int }
+  | Promise of { epoch : int; commit_idx : int; accepted : accepted_slot list }
+  | Accept of { epoch : int; idx : int; commit_idx : int; entry : Store.Wire.entry }
+  | Accepted of { epoch : int; idx : int; commit_idx : int }
+  | Commit of { epoch : int; commit_idx : int; trunc_upto : int }
+  | Fetch of { from_idx : int }
+  | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
+  | Nack of { epoch : int }
+
+type body = Elect of elect | Stream of { stream : int; msg : stream_msg }
+type t = { from : int; body : body }
+
+let header = 24 (* from + stream tag + variant tag + framing *)
+
+let slots_size slots =
+  List.fold_left (fun acc s -> acc + 16 + Store.Wire.byte_size s.a_entry) 0 slots
+
+let size t =
+  header
+  +
+  match t.body with
+  | Elect _ -> 16
+  | Stream { msg; _ } -> (
+      match msg with
+      | Prepare _ | Accepted _ | Commit _ | Fetch _ | Nack _ -> 16
+      | Promise { accepted; _ } -> 16 + slots_size accepted
+      | Accept { entry; _ } -> 24 + Store.Wire.byte_size entry
+      | Fetch_rep { entries; _ } -> 16 + slots_size entries)
+
+let pp fmt t =
+  let body =
+    match t.body with
+    | Elect (Request_vote { epoch; candidate }) ->
+        Printf.sprintf "RequestVote(e=%d,c=%d)" epoch candidate
+    | Elect (Vote { epoch; granted }) -> Printf.sprintf "Vote(e=%d,%b)" epoch granted
+    | Elect (Heartbeat { epoch; leader }) ->
+        Printf.sprintf "Heartbeat(e=%d,l=%d)" epoch leader
+    | Stream { stream; msg } ->
+        let m =
+          match msg with
+          | Prepare { epoch; from_idx } -> Printf.sprintf "Prepare(e=%d,i>=%d)" epoch from_idx
+          | Promise { epoch; commit_idx; accepted } ->
+              Printf.sprintf "Promise(e=%d,ci=%d,|acc|=%d)" epoch commit_idx
+                (List.length accepted)
+          | Accept { epoch; idx; commit_idx; _ } ->
+              Printf.sprintf "Accept(e=%d,i=%d,ci=%d)" epoch idx commit_idx
+          | Accepted { epoch; idx; commit_idx } ->
+              Printf.sprintf "Accepted(e=%d,i=%d,ci=%d)" epoch idx commit_idx
+          | Commit { epoch; commit_idx; trunc_upto } ->
+              Printf.sprintf "Commit(e=%d,ci=%d,tr=%d)" epoch commit_idx trunc_upto
+          | Fetch { from_idx } -> Printf.sprintf "Fetch(i>=%d)" from_idx
+          | Fetch_rep { commit_idx; entries } ->
+              Printf.sprintf "FetchRep(ci=%d,|e|=%d)" commit_idx (List.length entries)
+          | Nack { epoch } -> Printf.sprintf "Nack(e=%d)" epoch
+        in
+        Printf.sprintf "S%d:%s" stream m
+  in
+  Format.fprintf fmt "[%d]%s" t.from body

@@ -1,0 +1,42 @@
+(** Wire messages for the replication layer.
+
+    One cluster-wide message type covers the election module (replica
+    level, one instance per machine) and every Paxos stream (one instance
+    per database worker thread). Stream messages are tagged with their
+    stream id so a single network inbox per replica can dispatch them. *)
+
+type accepted_slot = {
+  a_idx : int;
+  a_epoch : int;  (** epoch under which the value was accepted *)
+  a_entry : Store.Wire.entry;
+}
+
+type elect =
+  | Request_vote of { epoch : int; candidate : int }
+  | Vote of { epoch : int; granted : bool }
+  | Heartbeat of { epoch : int; leader : int }
+
+type stream_msg =
+  | Prepare of { epoch : int; from_idx : int }
+      (** phase 1: new leader asks for accepted values at [idx >= from_idx] *)
+  | Promise of { epoch : int; commit_idx : int; accepted : accepted_slot list }
+  | Accept of { epoch : int; idx : int; commit_idx : int; entry : Store.Wire.entry }
+      (** phase 2; piggybacks the leader's commit index *)
+  | Accepted of { epoch : int; idx : int; commit_idx : int }
+      (** piggybacks the acceptor's own commit index, which feeds the
+          leader's safe log-truncation bound *)
+  | Commit of { epoch : int; commit_idx : int; trunc_upto : int }
+      (** [trunc_upto]: every replica has committed below this index, so
+          followers may discard those slots (log compaction) *)
+  | Fetch of { from_idx : int }
+      (** catch-up: ask for committed entries starting at [from_idx] *)
+  | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
+  | Nack of { epoch : int }  (** receiver has promised a higher epoch *)
+
+type body = Elect of elect | Stream of { stream : int; msg : stream_msg }
+type t = { from : int; body : body }
+
+val size : t -> int
+(** Approximate wire size in bytes, for network accounting. *)
+
+val pp : Format.formatter -> t -> unit

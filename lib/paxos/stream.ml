@@ -1,0 +1,356 @@
+type slot = {
+  mutable s_epoch : int; (* ballot under which the value was accepted *)
+  mutable s_entry : Store.Wire.entry;
+  mutable s_acks : int list; (* leader bookkeeping for the current ballot *)
+}
+
+type leader_state =
+  | Idle
+  | Preparing of { mutable promises : int list (* who answered *) }
+  | Active
+
+type stats = {
+  proposals : int;
+  commits : int;
+  nacks : int;
+  fetches : int;
+  truncated : int;
+}
+
+(* Truncation batching: only compact once this many slots are reclaimable,
+   to avoid per-commit churn. *)
+let truncate_batch = 64
+
+type t = {
+  net : Msg.t Sim.Net.t;
+  stream_id : int;
+  me : int;
+  n : int;
+  slots : (int, slot) Hashtbl.t;
+  mutable promised : int;
+  mutable commit_idx : int;
+  mutable next_idx : int;
+  mutable lstate : leader_state;
+  mutable leader_epoch : int;
+  mutable recovery_target : int; (* leader: last index adopted during Prepare *)
+  mutable promise_slots : Msg.accepted_slot list list; (* gathered during Prepare *)
+  pending : Store.Wire.entry Queue.t;
+  mutable fetch_inflight : bool;
+  (* Log compaction: slots below [truncated_below] have been discarded.
+     The leader may only truncate below the minimum commit index it has
+     heard from every peer (piggybacked on Accepted), so any future
+     leader's Prepare — which starts at that leader's own commit index —
+     never asks for a discarded slot. *)
+  mutable truncated_below : int;
+  peer_commit : int array;
+  on_commit : idx:int -> Store.Wire.entry -> unit;
+  on_higher_epoch : int -> unit;
+  mutable s_proposals : int;
+  mutable s_commits : int;
+  mutable s_nacks : int;
+  mutable s_fetches : int;
+  mutable s_truncated : int;
+}
+
+let create net ~id ~me ~on_commit ~on_higher_epoch () =
+  {
+    net;
+    stream_id = id;
+    me;
+    n = Sim.Net.nodes net;
+    slots = Hashtbl.create 256;
+    promised = 0;
+    commit_idx = -1;
+    next_idx = 0;
+    lstate = Idle;
+    leader_epoch = 0;
+    recovery_target = -1;
+    promise_slots = [];
+    pending = Queue.create ();
+    fetch_inflight = false;
+    truncated_below = 0;
+    peer_commit = Array.make (Sim.Net.nodes net) (-1);
+    on_commit;
+    on_higher_epoch;
+    s_proposals = 0;
+    s_commits = 0;
+    s_nacks = 0;
+    s_fetches = 0;
+    s_truncated = 0;
+  }
+
+let id t = t.stream_id
+let majority t = (t.n / 2) + 1
+
+let send t ~dst msg =
+  let m = { Msg.from = t.me; body = Msg.Stream { stream = t.stream_id; msg } } in
+  Sim.Net.send t.net ~size:(Msg.size m) ~src:t.me ~dst m
+
+let broadcast t msg =
+  let m = { Msg.from = t.me; body = Msg.Stream { stream = t.stream_id; msg } } in
+  Sim.Net.broadcast t.net ~size:(Msg.size m) ~src:t.me m
+
+let deliver t idx =
+  let slot = Hashtbl.find t.slots idx in
+  t.s_commits <- t.s_commits + 1;
+  t.on_commit ~idx slot.s_entry
+
+(* Discard slots below [upto]; [upto] must already be committed locally. *)
+let truncate_below t upto =
+  let upto = min upto (t.commit_idx + 1) in
+  if upto - t.truncated_below >= truncate_batch then begin
+    for idx = t.truncated_below to upto - 1 do
+      if Hashtbl.mem t.slots idx then begin
+        Hashtbl.remove t.slots idx;
+        t.s_truncated <- t.s_truncated + 1
+      end
+    done;
+    t.truncated_below <- upto
+  end
+
+(* Leader: every peer (and we) has committed below this bound, so no
+   future Prepare can start beneath it. *)
+let safe_trunc_bound t =
+  let bound = ref t.commit_idx in
+  Array.iteri (fun peer c -> if peer <> t.me then bound := min !bound c) t.peer_commit;
+  max 0 (!bound + 1)
+
+(* Leader: commit successive slots once a majority has accepted them under
+   the current ballot, then tell the followers where commit now stands. *)
+let try_commit t =
+  let rec advance () =
+    match t.lstate with
+    | Active | Preparing _ -> (
+        let idx = t.commit_idx + 1 in
+        match Hashtbl.find_opt t.slots idx with
+        | Some slot
+          when slot.s_epoch = t.leader_epoch
+               && List.length slot.s_acks >= majority t ->
+            t.commit_idx <- idx;
+            deliver t idx;
+            advance ()
+        | Some _ | None -> ())
+    | Idle -> ()
+  in
+  let before = t.commit_idx in
+  advance ();
+  if t.commit_idx > before then begin
+    let bound = safe_trunc_bound t in
+    truncate_below t bound;
+    broadcast t
+      (Msg.Commit { epoch = t.leader_epoch; commit_idx = t.commit_idx; trunc_upto = bound })
+  end
+
+(* Follower: advance through slots accepted under ballot [e], up to the
+   advertised commit index. A stale or missing slot triggers a fetch from
+   the advertiser. *)
+let advance_follower t ~e ~upto ~src =
+  let continue = ref true in
+  while !continue && t.commit_idx < upto do
+    match Hashtbl.find_opt t.slots (t.commit_idx + 1) with
+    | Some slot when slot.s_epoch = e ->
+        t.commit_idx <- t.commit_idx + 1;
+        deliver t t.commit_idx
+    | Some _ | None -> continue := false
+  done;
+  if t.commit_idx < upto && not t.fetch_inflight then begin
+    t.fetch_inflight <- true;
+    t.s_fetches <- t.s_fetches + 1;
+    send t ~dst:src (Msg.Fetch { from_idx = t.commit_idx + 1 })
+  end
+
+let do_propose t entry =
+  let idx = t.next_idx in
+  t.next_idx <- idx + 1;
+  t.s_proposals <- t.s_proposals + 1;
+  Hashtbl.replace t.slots idx
+    { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
+  broadcast t
+    (Msg.Accept { epoch = t.leader_epoch; idx; commit_idx = t.commit_idx; entry });
+  try_commit t
+
+let accepted_tail t ~from_idx =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun idx slot ->
+      if idx >= from_idx then
+        acc := { Msg.a_idx = idx; a_epoch = slot.s_epoch; a_entry = slot.s_entry } :: !acc)
+    t.slots;
+  List.sort (fun a b -> compare a.Msg.a_idx b.Msg.a_idx) !acc
+
+let finish_prepare t =
+  (* Adopt, per slot, the value accepted under the highest ballot; fill
+     interior gaps with no-ops; re-propose everything under our ballot. *)
+  let best : (int, Msg.accepted_slot) Hashtbl.t = Hashtbl.create 64 in
+  let max_idx = ref t.commit_idx in
+  List.iter
+    (fun slots ->
+      List.iter
+        (fun (s : Msg.accepted_slot) ->
+          if s.a_idx > !max_idx then max_idx := s.a_idx;
+          match Hashtbl.find_opt best s.a_idx with
+          | Some cur when cur.Msg.a_epoch >= s.a_epoch -> ()
+          | Some _ | None -> Hashtbl.replace best s.a_idx s)
+        slots)
+    t.promise_slots;
+  t.promise_slots <- [];
+  t.recovery_target <- !max_idx;
+  t.lstate <- Active;
+  for idx = t.commit_idx + 1 to !max_idx do
+    let entry =
+      match Hashtbl.find_opt best idx with
+      | Some s -> s.Msg.a_entry
+      | None -> Store.Wire.noop ~epoch:t.leader_epoch ~ts:0
+    in
+    Hashtbl.replace t.slots idx
+      { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
+    broadcast t
+      (Msg.Accept { epoch = t.leader_epoch; idx; commit_idx = t.commit_idx; entry })
+  done;
+  t.next_idx <- !max_idx + 1;
+  try_commit t;
+  Queue.iter (fun e -> do_propose t e) t.pending;
+  Queue.clear t.pending
+
+let become_leader t ~epoch =
+  if epoch < t.promised then invalid_arg "Stream.become_leader: stale epoch";
+  t.promised <- epoch;
+  t.leader_epoch <- epoch;
+  t.fetch_inflight <- false;
+  t.promise_slots <- [ accepted_tail t ~from_idx:(t.commit_idx + 1) ];
+  let quorum = [ t.me ] in
+  t.lstate <- Preparing { promises = quorum };
+  if List.length quorum >= majority t then finish_prepare t
+  else broadcast t (Msg.Prepare { epoch; from_idx = t.commit_idx + 1 })
+
+let step_down t =
+  t.lstate <- Idle;
+  Queue.clear t.pending
+
+let propose t entry =
+  match t.lstate with
+  | Active -> do_propose t entry
+  | Preparing _ -> Queue.add entry t.pending
+  | Idle -> () (* not leading: the proposal is speculative and lost *)
+
+let handle t msg ~from =
+  match msg with
+  | Msg.Prepare { epoch; from_idx } ->
+      if epoch >= t.promised then begin
+        t.promised <- epoch;
+        if t.lstate <> Idle && epoch > t.leader_epoch then step_down t;
+        send t ~dst:from
+          (Msg.Promise
+             {
+               epoch;
+               commit_idx = t.commit_idx;
+               accepted = accepted_tail t ~from_idx;
+             })
+      end
+      else begin
+        t.s_nacks <- t.s_nacks + 1;
+        send t ~dst:from (Msg.Nack { epoch = t.promised })
+      end
+  | Msg.Promise { epoch; accepted; commit_idx = _ } -> (
+      match t.lstate with
+      | Preparing p when epoch = t.leader_epoch ->
+          if not (List.mem from p.promises) then begin
+            p.promises <- from :: p.promises;
+            t.promise_slots <- accepted :: t.promise_slots;
+            if List.length p.promises >= majority t then finish_prepare t
+          end
+      | Preparing _ | Active | Idle -> ())
+  | Msg.Accept { epoch; idx; commit_idx; entry } ->
+      if epoch >= t.promised then begin
+        t.promised <- epoch;
+        if t.lstate <> Idle && epoch > t.leader_epoch then begin
+          step_down t;
+          t.on_higher_epoch epoch
+        end;
+        (if idx > t.commit_idx then
+           match Hashtbl.find_opt t.slots idx with
+           | Some slot when slot.s_epoch > epoch -> ()
+           | Some slot ->
+               slot.s_epoch <- epoch;
+               slot.s_entry <- entry;
+               slot.s_acks <- []
+           | None ->
+               Hashtbl.replace t.slots idx { s_epoch = epoch; s_entry = entry; s_acks = [] });
+        advance_follower t ~e:epoch ~upto:commit_idx ~src:from;
+        send t ~dst:from (Msg.Accepted { epoch; idx; commit_idx = t.commit_idx })
+      end
+      else begin
+        t.s_nacks <- t.s_nacks + 1;
+        send t ~dst:from (Msg.Nack { epoch = t.promised })
+      end
+  | Msg.Accepted { epoch; idx; commit_idx } -> (
+      if commit_idx > t.peer_commit.(from) then t.peer_commit.(from) <- commit_idx;
+      match t.lstate with
+      | (Active | Preparing _) when epoch = t.leader_epoch -> (
+          match Hashtbl.find_opt t.slots idx with
+          | Some slot when slot.s_epoch = epoch ->
+              if not (List.mem from slot.s_acks) then
+                slot.s_acks <- from :: slot.s_acks;
+              try_commit t
+          | Some _ | None -> ())
+      | Active | Preparing _ | Idle -> ())
+  | Msg.Commit { epoch; commit_idx; trunc_upto } ->
+      if epoch >= t.promised then begin
+        t.promised <- epoch;
+        advance_follower t ~e:epoch ~upto:commit_idx ~src:from;
+        truncate_below t trunc_upto
+      end
+  | Msg.Fetch { from_idx } ->
+      let entries =
+        List.filter (fun (s : Msg.accepted_slot) -> s.a_idx <= t.commit_idx)
+          (accepted_tail t ~from_idx)
+      in
+      send t ~dst:from (Msg.Fetch_rep { commit_idx = t.commit_idx; entries })
+  | Msg.Fetch_rep { commit_idx; entries } ->
+      t.fetch_inflight <- false;
+      List.iter
+        (fun (s : Msg.accepted_slot) ->
+          if s.a_idx > t.commit_idx then
+            match Hashtbl.find_opt t.slots s.a_idx with
+            | Some slot when slot.s_epoch > s.a_epoch -> ()
+            | Some slot ->
+                slot.s_epoch <- s.a_epoch;
+                slot.s_entry <- s.a_entry;
+                slot.s_acks <- []
+            | None ->
+                Hashtbl.replace t.slots s.a_idx
+                  { s_epoch = s.a_epoch; s_entry = s.a_entry; s_acks = [] })
+        entries;
+      (* These came from a replica that had them committed: trust up to
+         its commit index as long as we hold contiguous entries. *)
+      let continue = ref true in
+      while !continue && t.commit_idx < commit_idx do
+        match Hashtbl.find_opt t.slots (t.commit_idx + 1) with
+        | Some _ ->
+            t.commit_idx <- t.commit_idx + 1;
+            deliver t t.commit_idx
+        | None -> continue := false
+      done
+  | Msg.Nack { epoch } ->
+      if epoch > t.promised then begin
+        t.promised <- epoch;
+        if t.lstate <> Idle then step_down t;
+        t.on_higher_epoch epoch
+      end
+
+let is_leading t = match t.lstate with Active | Preparing _ -> true | Idle -> false
+let is_caught_up t = t.lstate = Active && t.commit_idx >= t.recovery_target
+let commit_index t = t.commit_idx
+let next_index t = t.next_idx
+
+let retained_slots t = Hashtbl.length t.slots
+let truncated_below t = t.truncated_below
+
+let stats t =
+  {
+    proposals = t.s_proposals;
+    commits = t.s_commits;
+    nacks = t.s_nacks;
+    fetches = t.s_fetches;
+    truncated = t.s_truncated;
+  }

@@ -1,0 +1,78 @@
+(** One MultiPaxos stream (paper §3.3).
+
+    Rolis runs one stream per database worker thread. A stream is a
+    replicated log of {!Store.Wire.entry} values: the leader proposes at
+    successive indices (phase 2 only, under the election module's epoch);
+    a new leader first runs a Prepare phase over the uncommitted tail and
+    re-proposes what it learns (phase 1, leader completeness), filling
+    gaps with no-ops.
+
+    Commit is {e sequential}: index [i] only commits once [i-1] has — the
+    paper's no-holes optimization (§4) — so [on_commit] fires in strict
+    index order. Followers learn commit positions from piggybacked commit
+    indices and fetch missing entries (catch-up) from whoever advertised
+    them.
+
+    Handlers never block; drive them from a per-replica dispatcher
+    process. *)
+
+type t
+
+type stats = {
+  proposals : int;
+  commits : int;
+  nacks : int;
+  fetches : int;
+  truncated : int;  (** slots reclaimed by log compaction *)
+}
+
+val create :
+  Msg.t Sim.Net.t ->
+  id:int ->
+  me:int ->
+  on_commit:(idx:int -> Store.Wire.entry -> unit) ->
+  on_higher_epoch:(int -> unit) ->
+  unit ->
+  t
+(** [on_commit] fires exactly once per index, in order, on every replica
+    that learns the commit. [on_higher_epoch] wires stream-level Nacks
+    back into the election module. *)
+
+val id : t -> int
+
+val become_leader : t -> epoch:int -> unit
+(** Start the Prepare phase for [epoch]. Proposals made before the phase
+    completes are buffered and flushed in order afterwards. *)
+
+val step_down : t -> unit
+(** Stop leading; buffered (unreplicated) proposals are dropped — they
+    were speculative and their results were never released (§3.2). *)
+
+val propose : t -> Store.Wire.entry -> unit
+(** Leader-side append. Silently dropped when not leading (the caller's
+    leadership may lapse concurrently; dropped proposals are exactly the
+    speculative transactions failover discards). *)
+
+val handle : t -> Msg.stream_msg -> from:int -> unit
+
+val is_leading : t -> bool
+val is_caught_up : t -> bool
+(** Leader only: the Prepare phase finished and every slot it adopted has
+    committed — the stream is ready for the epoch-sealing no-op. *)
+
+val commit_index : t -> int
+(** Highest committed index on this replica (-1 when empty). *)
+
+val next_index : t -> int
+
+val retained_slots : t -> int
+(** Live slots currently held (bounded by log compaction: the leader
+    truncates below the minimum commit index it has heard from every
+    replica, and piggybacks that bound to followers — so any future
+    leader's Prepare, which starts at its own commit index, never needs a
+    discarded slot). A replica that falls behind the bound forever (e.g.
+    one that crashed) rejoins through {e bootstrap}, exactly as in the
+    paper's §4.3. *)
+
+val truncated_below : t -> int
+val stats : t -> stats

@@ -1,0 +1,30 @@
+type gen = unit -> Silo.Txn.t -> unit
+
+type t = {
+  name : string;
+  setup : Silo.Db.t -> unit;
+  make_worker : Silo.Db.t -> rng:Sim.Rng.t -> worker:int -> nworkers:int -> gen;
+}
+
+let counter_app ~keys =
+  let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+  {
+    name = "counter";
+    setup =
+      (fun db ->
+        let table = Silo.Db.create_table db "counters" in
+        for i = 0 to keys - 1 do
+          Store.Table.insert table (key i) (Store.Record.make "0")
+        done);
+    make_worker =
+      (fun db ~rng ~worker:_ ~nworkers:_ ->
+        let table = Silo.Db.table db "counters" in
+        fun () txn ->
+          let k = key (Sim.Rng.int rng keys) in
+          let v =
+            match Silo.Txn.get txn table k with
+            | Some s -> int_of_string s
+            | None -> 0
+          in
+          Silo.Txn.put txn table k (string_of_int (v + 1)));
+  }

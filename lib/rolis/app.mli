@@ -1,0 +1,21 @@
+(** Application (workload) interface to a Rolis cluster.
+
+    An app declares how to populate a fresh database and how each worker
+    generates transaction bodies. [setup] runs identically on every
+    replica before the simulation starts (replicas begin in sync, as in
+    the paper's setup; adding an out-of-sync replica goes through
+    {!Bootstrap}). [make_worker] is called once per worker per replica and
+    returns a generator producing one transaction body per call; the body
+    runs under {!Silo.Db.run} on the leader. *)
+
+type gen = unit -> Silo.Txn.t -> unit
+
+type t = {
+  name : string;
+  setup : Silo.Db.t -> unit;
+  make_worker : Silo.Db.t -> rng:Sim.Rng.t -> worker:int -> nworkers:int -> gen;
+}
+
+val counter_app : keys:int -> t
+(** A tiny built-in app (random read-modify-write increments over [keys]
+    counters) used by tests and the quickstart example. *)

@@ -1,0 +1,82 @@
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  stats : Stats.t;
+  epoch : unit -> int;
+  propose : Store.Wire.entry -> unit;
+  mutex : Sim.Sync.Mutex.t option;
+  mutable txns : Store.Wire.txn_log list; (* reverse order *)
+  mutable count : int;
+  mutable bytes : int;
+  mutable oldest : int; (* submit time of the first pending txn *)
+}
+
+let create cfg ~cpu ~stats ~epoch ~propose ~shared =
+  let eng = Sim.Cpu.engine_of cpu in
+  {
+    cfg;
+    eng;
+    cpu;
+    stats;
+    epoch;
+    propose;
+    mutex = (if shared then Some (Sim.Sync.Mutex.create eng) else None);
+    txns = [];
+    count = 0;
+    bytes = 0;
+    oldest = 0;
+  }
+
+let pending t = t.count
+
+(* Build and propose the pending batch. Atomic: no yields, so no
+   transaction can slip in between this flush and a subsequent no-op. *)
+let flush t =
+  if t.count > 0 then begin
+    let entry = Store.Wire.make_entry ~epoch:(t.epoch ()) (List.rev t.txns) in
+    t.txns <- [];
+    t.count <- 0;
+    let bytes = t.bytes in
+    t.bytes <- 0;
+    Stats.note_replicated t.stats ~bytes;
+    t.propose entry
+  end
+
+let submit t txn =
+  if t.count = 0 then t.oldest <- Sim.Engine.now t.eng;
+  t.txns <- txn :: t.txns;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + Store.Wire.txn_byte_size txn;
+  if t.count >= t.cfg.Config.batch_size then flush t
+
+let charge_submit_cost t ~bytes =
+  (* Serialization (building the log entry) plus the replication layer's
+     copy of it into the stream's log list + consensus CPU (Fig. 18's
+     "+Serialization" and "+Replication" factors). *)
+  let serialize = Silo.Costs.serialize_cost t.cfg.Config.costs ~bytes in
+  let replicate =
+    Silo.Costs.replicate_cost t.cfg.Config.costs ~bytes
+    (* Fixed per-entry replication cost, amortised over the batch: the
+       reason small batches hurt throughput (Fig. 16). *)
+    + (t.cfg.Config.entry_overhead_ns / t.cfg.Config.batch_size)
+  in
+  Stats.note_serialized t.stats ~bytes;
+  match t.mutex with
+  | None -> Sim.Cpu.consume t.cpu (serialize + replicate)
+  | Some mu ->
+      (* Shared stream: serialization happens thread-locally, but the
+         enqueue itself is a serialized critical section — the strawman's
+         plateau (68.7% of CPU at 30 threads in the paper, §2.2). *)
+      Sim.Cpu.consume t.cpu (serialize + replicate);
+      Sim.Sync.Mutex.lock mu;
+      Sim.Cpu.consume t.cpu t.cfg.Config.enqueue_cs_ns;
+      Sim.Sync.Mutex.unlock mu
+
+let maybe_flush t ~max_age =
+  if t.count > 0 && Sim.Engine.now t.eng - t.oldest >= max_age then flush t
+
+let clear t =
+  t.txns <- [];
+  t.count <- 0;
+  t.bytes <- 0

@@ -1,0 +1,48 @@
+(** Per-stream transaction batching (paper §3.2, Fig. 6).
+
+    Workers hand their committed write-sets to a batcher right after
+    execution commit (atomically — still inside the commit event — so the
+    stream's entry timestamps stay monotone). When the batch reaches
+    [batch_size], or a flush timer / heartbeat tick forces it, the batch
+    becomes one {!Store.Wire.entry} and is proposed on the stream.
+
+    Cost accounting: the per-transaction serialization (memcpy) cost is
+    charged to the submitting worker via {!charge_submit_cost}; the flush
+    itself additionally charges the entry's bytes once more (the copy into
+    the Paxos stream's log list — the paper's +Replication factor).
+
+    In [Single] stream mode one batcher is shared by all workers and
+    guarded by a mutex whose critical section costs [enqueue_cs_ns] — this
+    is the strawman's scalability bottleneck (§2.2). *)
+
+type t
+
+val create :
+  Config.t ->
+  cpu:Sim.Cpu.t ->
+  stats:Stats.t ->
+  epoch:(unit -> int) ->
+  propose:(Store.Wire.entry -> unit) ->
+  shared:bool ->
+  t
+
+val submit : t -> Store.Wire.txn_log -> unit
+(** Append one committed transaction (no yield). If the batch is full it
+    is proposed immediately (still no yield). *)
+
+val charge_submit_cost : t -> bytes:int -> unit
+(** Charge the serialization cost for one submitted transaction; yields.
+    In shared mode this also serializes through the enqueue mutex,
+    charging the critical-section cost under the lock. Call {e before}
+    the next transaction executes. *)
+
+val flush : t -> unit
+(** Propose any pending partial batch (no yield). *)
+
+val maybe_flush : t -> max_age:int -> unit
+(** Flush if the oldest pending transaction is older than [max_age]. *)
+
+val clear : t -> unit
+(** Drop pending transactions (failover: speculative work is abandoned). *)
+
+val pending : t -> int

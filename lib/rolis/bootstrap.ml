@@ -1,0 +1,52 @@
+let pull_snapshot ~src ~dst ?(rows_per_yield = 256) () =
+  let copied = ref 0 in
+  let src_costs = Silo.Db.costs src in
+  List.iter
+    (fun src_table ->
+      let name = Store.Table.name src_table in
+      let dst_table =
+        try Silo.Db.table dst name with Not_found -> Silo.Db.create_table dst name
+      in
+      (* Materialise the keys first: the scan cursor must tolerate the
+         source mutating under it, and our B+tree iterators are not
+         isolated. A real implementation would use a stable cursor; the
+         cost model charges the same either way. *)
+      let rows = ref [] in
+      Store.Table.iter src_table (fun k r ->
+          if not r.Store.Record.deleted then
+            rows := (k, r.Store.Record.value, r.Store.Record.epoch, r.Store.Record.ts) :: !rows);
+      let batch = ref 0 in
+      List.iter
+        (fun (k, v, epoch, ts) ->
+          (match Store.Table.get dst_table k with
+          | Some existing ->
+              ignore (Store.Record.cas_apply existing ~epoch ~ts ~value:(Some v))
+          | None ->
+              let r = Store.Record.make ~epoch ~ts v in
+              Store.Table.insert dst_table k r);
+          incr copied;
+          incr batch;
+          if !batch >= rows_per_yield then begin
+            batch := 0;
+            (* Charge the scan burst to the source machine and yield. *)
+            Sim.Cpu.consume (Silo.Db.cpu src)
+              (rows_per_yield * src_costs.Silo.Costs.read_ns)
+          end)
+        (List.rev !rows))
+    (Silo.Db.tables src);
+  !copied
+
+let replay_entries ~dst entries =
+  let applied = ref 0 in
+  List.iter
+    (fun (entry : Store.Wire.entry) ->
+      List.iter
+        (fun txn -> Silo.Db.apply_replay dst txn ~epoch:entry.epoch ~applied)
+        entry.txns)
+    entries;
+  !applied
+
+let sync_new_replica ~src ~dst () =
+  let rows = pull_snapshot ~src:(Replica.db src) ~dst () in
+  let applies = replay_entries ~dst (Replica.archived_entries src) in
+  (rows, applies)

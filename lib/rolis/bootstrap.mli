@@ -1,0 +1,32 @@
+(** Adding a new replica without snapshots (paper §4.3, after MongoDB's
+    logless replica addition).
+
+    A brand-new replica (1) picks an existing {e follower} as its sync
+    source, (2) performs an asynchronous "pull": it scans the source's
+    live database table by table while the source keeps working, and
+    (3) replays the source's retained log entries. Because replay is an
+    idempotent per-key compare-and-swap on [(epoch, ts)], replaying
+    entries that raced with the scan cannot corrupt the copy — whichever
+    stamp is newer wins, on either path. *)
+
+val pull_snapshot :
+  src:Silo.Db.t -> dst:Silo.Db.t -> ?rows_per_yield:int -> unit -> int
+(** Copy every live record (value and [(epoch, ts)] stamp) from [src]'s
+    tables into the same-named tables of [dst], creating the tables on
+    demand. Yields to the simulation every [rows_per_yield] rows (default
+    256) and charges scan costs to the source machine, so the source keeps
+    committing concurrently — the race this module exists to tolerate.
+    Returns the number of rows copied. Must run inside a process. *)
+
+val replay_entries : dst:Silo.Db.t -> Store.Wire.entry list -> int
+(** Apply archived log entries to [dst] via the standard replay CAS
+    (charging replay cost). Safe to call with entries that overlap the
+    snapshot, or repeatedly. Returns the number of key-applies that won
+    their CAS. Must run inside a process. *)
+
+val sync_new_replica :
+  src:Replica.t -> dst:Silo.Db.t -> unit -> int * int
+(** The full §4.3 flow against a live source replica (which must have been
+    built with [archive_entries = true]): snapshot pull, then replay of
+    everything the source has made durable. Returns
+    [(rows_copied, applies_won)]. Must run inside a process. *)

@@ -1,0 +1,113 @@
+type row = { r_key : string; r_value : string; r_epoch : int; r_ts : int }
+type table_image = { t_name : string; t_rows : row array }
+type image = { tables : table_image list; bytes : int; rows : int }
+
+let size_bytes img = img.bytes
+let row_count img = img.rows
+
+(* Shared, bandwidth-limited disk: each writer holds the disk for the
+   transfer time of its burst. *)
+let disk_time ~disk_mb_per_s ~bytes =
+  int_of_float (float_of_int bytes *. 1e9 /. (float_of_int disk_mb_per_s *. 1e6))
+
+let row_bytes r = 16 + String.length r.r_key + String.length r.r_value
+
+let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512) () =
+  let eng = Silo.Db.engine db in
+  let cpu = Silo.Db.cpu db in
+  let costs = Silo.Db.costs db in
+  let disk = Sim.Sync.Mutex.create eng in
+  let tables = Silo.Db.tables db in
+  let images = Array.make (List.length tables) None in
+  let wg = Sim.Sync.Waitgroup.create eng in
+  Sim.Sync.Waitgroup.add wg threads;
+  for worker = 0 to threads - 1 do
+    ignore
+      (Sim.Engine.spawn eng ~name:"checkpointer" (fun () ->
+           Sim.Cpu.register cpu;
+           List.iteri
+             (fun i table ->
+               if i mod threads = worker then begin
+                 (* Collect the rows instantaneously (the iteration's cost
+                    is charged below, burst by burst), then pay scan CPU
+                    and disk-write time per burst of rows. *)
+                 let rows = ref [] in
+                 Store.Table.iter table (fun k (r : Store.Record.t) ->
+                     if not r.deleted then
+                       rows :=
+                         { r_key = k; r_value = r.value; r_epoch = r.epoch; r_ts = r.ts }
+                         :: !rows);
+                 let all = Array.of_list (List.rev !rows) in
+                 let n = Array.length all in
+                 let pos = ref 0 in
+                 while !pos < n do
+                   let upto = min n (!pos + rows_per_yield) in
+                   let bytes = ref 0 in
+                   for j = !pos to upto - 1 do
+                     bytes := !bytes + row_bytes all.(j)
+                   done;
+                   Sim.Cpu.consume cpu ((upto - !pos) * costs.Silo.Costs.read_ns);
+                   Sim.Sync.Mutex.lock disk;
+                   Sim.Engine.sleep (disk_time ~disk_mb_per_s ~bytes:!bytes);
+                   Sim.Sync.Mutex.unlock disk;
+                   pos := upto
+                 done;
+                 images.(i) <- Some { t_name = Store.Table.name table; t_rows = all }
+               end)
+             tables;
+           Sim.Cpu.unregister cpu;
+           Sim.Sync.Waitgroup.finish wg))
+  done;
+  Sim.Sync.Waitgroup.wait wg;
+  let tables = Array.to_list images |> List.filter_map Fun.id in
+  let bytes =
+    List.fold_left
+      (fun acc t -> Array.fold_left (fun a r -> a + row_bytes r) acc t.t_rows)
+      0 tables
+  in
+  let rows = List.fold_left (fun acc t -> acc + Array.length t.t_rows) 0 tables in
+  { tables; bytes; rows }
+
+let recover ~into ?(threads = 4) ?(disk_mb_per_s = 500) img =
+  let eng = Silo.Db.engine into in
+  let cpu = Silo.Db.cpu into in
+  let costs = Silo.Db.costs into in
+  let disk = Sim.Sync.Mutex.create eng in
+  (* Create tables up front (ids must be dense before loaders run). *)
+  List.iter (fun t -> ignore (Silo.Db.create_table into t.t_name)) img.tables;
+  let wg = Sim.Sync.Waitgroup.create eng in
+  Sim.Sync.Waitgroup.add wg threads;
+  for worker = 0 to threads - 1 do
+    ignore
+      (Sim.Engine.spawn eng ~name:"ckpt-loader" (fun () ->
+           Sim.Cpu.register cpu;
+           List.iteri
+             (fun i t ->
+               if i mod threads = worker then begin
+                 let table = Silo.Db.table into t.t_name in
+                 let n = Array.length t.t_rows in
+                 let pos = ref 0 in
+                 while !pos < n do
+                   let upto = min n (!pos + 512) in
+                   let bytes = ref 0 in
+                   for j = !pos to upto - 1 do
+                     let r = t.t_rows.(j) in
+                     bytes := !bytes + row_bytes r;
+                     Store.Table.insert table r.r_key
+                       (Store.Record.make ~epoch:r.r_epoch ~ts:r.r_ts r.r_value)
+                   done;
+                   (* Disk read for the burst, then index-rebuild CPU. *)
+                   Sim.Sync.Mutex.lock disk;
+                   Sim.Engine.sleep (disk_time ~disk_mb_per_s ~bytes:!bytes);
+                   Sim.Sync.Mutex.unlock disk;
+                   Sim.Cpu.consume cpu
+                     ((upto - !pos)
+                     * (costs.Silo.Costs.write_ns + costs.Silo.Costs.read_ns));
+                   pos := upto
+                 done
+               end)
+             img.tables;
+           Sim.Cpu.unregister cpu;
+           Sim.Sync.Waitgroup.finish wg))
+  done;
+  Sim.Sync.Waitgroup.wait wg

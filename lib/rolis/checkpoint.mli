@@ -1,0 +1,44 @@
+(** Checkpoint-based durability — the traditional single-machine
+    alternative Rolis is measured against (paper §7).
+
+    Single-machine databases (e.g. SiloR) recover by reloading a disk
+    checkpoint and replaying a tail log, which takes {e minutes} for a
+    sizeable store; Rolis's replicated failover takes 1.5–2 s. This module
+    implements the checkpoint path inside the simulator — parallel
+    checkpointer threads that scan the database and stream it to a
+    bandwidth-limited disk, and a recovery routine that reads it back and
+    rebuilds the indexes — so the `recovery` benchmark can make the
+    paper's §7 comparison concrete.
+
+    Checkpoints record each live record's value and [(epoch, ts)] stamp,
+    so recovery composes with idempotent log replay ({!Bootstrap}), giving
+    a fuzzy-checkpoint-plus-log scheme. *)
+
+type image
+(** A durable checkpoint (contents + metadata). *)
+
+val size_bytes : image -> int
+val row_count : image -> int
+
+val write :
+  Silo.Db.t ->
+  ?threads:int ->
+  ?disk_mb_per_s:int ->
+  ?rows_per_yield:int ->
+  unit ->
+  image
+(** Scan every table with [threads] checkpointer processes (tables are
+    striped across them), charging scan CPU and sharing [disk_mb_per_s]
+    of write bandwidth. Must run inside a simulation process; virtual
+    time advances by the checkpoint duration. *)
+
+val recover :
+  into:Silo.Db.t ->
+  ?threads:int ->
+  ?disk_mb_per_s:int ->
+  image ->
+  unit
+(** Read the checkpoint back (disk bandwidth) and rebuild the database
+    (per-row insert cost) with [threads] loader processes. [into] must be
+    a fresh database with no application tables; they are created on
+    demand. Must run inside a simulation process. *)

@@ -1,0 +1,77 @@
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  net : Paxos.Msg.t Sim.Net.t;
+  replicas : Replica.t array;
+  mutable w_start : int;
+  mutable w_stop : int;
+}
+
+let create ?(initial_leader = Some 0) cfg app =
+  Config.validate cfg;
+  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  let net = Sim.Net.create eng ~nodes:cfg.Config.replicas ~latency:cfg.Config.net_latency in
+  let replicas =
+    Array.init cfg.Config.replicas (fun id ->
+        Replica.create cfg eng net ~id ~app ?initial_leader ())
+  in
+  { cfg; eng; net; replicas; w_start = 0; w_stop = 0 }
+
+let engine t = t.eng
+let network t = t.net
+let config t = t.cfg
+let replicas t = t.replicas
+let replica t i = t.replicas.(i)
+
+let leader t =
+  Array.to_list t.replicas
+  |> List.find_opt (fun r -> Replica.is_serving r && Replica.is_alive r)
+
+let run t ?(warmup = 0) ~duration () =
+  if warmup > 0 then begin
+    Sim.Engine.run ~until:(Sim.Engine.now t.eng + warmup) t.eng;
+    Array.iter
+      (fun r ->
+        Stats.reset_window (Replica.stats r);
+        Sim.Cpu.reset_busy (Replica.cpu r))
+      t.replicas
+  end;
+  t.w_start <- Sim.Engine.now t.eng;
+  Sim.Engine.run ~until:(t.w_start + duration) t.eng;
+  t.w_stop <- Sim.Engine.now t.eng
+
+let crash_replica t i =
+  Sim.Net.crash t.net i;
+  Replica.crash t.replicas.(i)
+
+let window t = (t.w_start, t.w_stop)
+
+let released t =
+  Array.fold_left (fun acc r -> acc + Stats.released (Replica.stats r)) 0 t.replicas
+
+let throughput t =
+  let dt = t.w_stop - t.w_start in
+  if dt <= 0 then 0.0 else float_of_int (released t) *. 1e9 /. float_of_int dt
+
+let latency t =
+  Sim.Metrics.Hist.merge
+    (Array.to_list t.replicas |> List.map (fun r -> Stats.latency (Replica.stats r)))
+
+let release_rate t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (sec, rate) ->
+          let cur = match Hashtbl.find_opt tbl sec with Some v -> v | None -> 0.0 in
+          Hashtbl.replace tbl sec (cur +. rate))
+        (Sim.Metrics.Series.rate_per_sec (Stats.release_series (Replica.stats r))))
+    t.replicas;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let executed t =
+  Array.fold_left (fun acc r -> acc + Stats.executed (Replica.stats r)) 0 t.replicas
+
+let user_aborts t =
+  Array.fold_left (fun acc r -> acc + Stats.user_aborts (Replica.stats r)) 0 t.replicas

@@ -1,0 +1,55 @@
+(** A complete Rolis deployment inside one simulation engine: [replicas]
+    machines, a network, and an application.
+
+    Typical use (and what every benchmark does):
+
+    {[
+      let cluster = Cluster.create cfg app in
+      Cluster.run cluster ~warmup:(200 * Sim.Engine.ms) ~duration:Sim.Engine.s ();
+      let tps = Cluster.throughput cluster in
+    ]}
+
+    Throughput and latency cover {e release-committed} transactions only,
+    summed over every replica that served during the measurement window
+    (so a failover run counts the old leader's releases before the crash
+    and the new leader's after). *)
+
+type t
+
+val create : ?initial_leader:int option -> Config.t -> App.t -> t
+(** Build replicas, load the application on each, spawn all processes.
+    [initial_leader] defaults to [Some 0] (skip the cold-start election);
+    pass [None] to start leaderless. *)
+
+val engine : t -> Sim.Engine.t
+val network : t -> Paxos.Msg.t Sim.Net.t
+val config : t -> Config.t
+val replicas : t -> Replica.t array
+val replica : t -> int -> Replica.t
+
+val leader : t -> Replica.t option
+(** The replica currently serving transactions, if any. *)
+
+val run : t -> ?warmup:int -> duration:int -> unit -> unit
+(** Advance virtual time by [warmup] (then reset all windowed stats) plus
+    [duration]. May be called repeatedly to extend a run. *)
+
+val crash_replica : t -> int -> unit
+(** Crash-stop a machine: kill its processes and cut it from the network. *)
+
+val window : t -> int * int
+(** Measurement window [(start, stop)] of the last {!run}. *)
+
+val released : t -> int
+val throughput : t -> float
+(** Released transactions per virtual second over the last window. *)
+
+val latency : t -> Sim.Metrics.Hist.t
+(** Release latencies merged across replicas. *)
+
+val release_rate : t -> (float * float) list
+(** (seconds, releases/sec) in 100 ms buckets, merged across replicas —
+    the failover timeline (Fig. 14). *)
+
+val executed : t -> int
+val user_aborts : t -> int

@@ -1,0 +1,66 @@
+type stream_mode = Per_worker | Single | Sharded of int
+
+type t = {
+  replicas : int;
+  workers : int;
+  cores : int;
+  stream_mode : stream_mode;
+  batch_size : int;
+  batch_flush_interval : int;
+  watermark_interval : int;
+  heartbeat_interval : int;
+  election_timeout : int;
+  net_latency : Sim.Net.latency_model;
+  costs : Silo.Costs.t;
+  physical_serialization : bool;
+  networked_clients : bool;
+  client_rpc_overhead : int;
+  client_rtt : int;
+  enqueue_cs_ns : int;
+  entry_overhead_ns : int;
+  disable_replay : bool;
+  archive_entries : bool;
+  seed : int64;
+}
+
+let default =
+  {
+    replicas = 3;
+    workers = 16;
+    cores = 32;
+    stream_mode = Per_worker;
+    batch_size = 1000;
+    batch_flush_interval = 50 * Sim.Engine.ms;
+    watermark_interval = Sim.Engine.ms / 2;
+    heartbeat_interval = 100 * Sim.Engine.ms;
+    election_timeout = Sim.Engine.s;
+    net_latency =
+      Sim.Net.Exp_jitter { base = 25 * Sim.Engine.us; jitter_mean = 8 * Sim.Engine.us };
+    costs = Silo.Costs.default;
+    physical_serialization = false;
+    networked_clients = false;
+    client_rpc_overhead = 180;
+    client_rtt = 60 * Sim.Engine.us;
+    enqueue_cs_ns = 1_200;
+    entry_overhead_ns = 200_000;
+    disable_replay = false;
+    archive_entries = false;
+    seed = 42L;
+  }
+
+let ycsb = { default with batch_size = 10_000 }
+let nstreams t =
+  match t.stream_mode with
+  | Per_worker -> t.workers
+  | Single -> 1
+  | Sharded n -> min n t.workers
+
+let validate t =
+  if t.replicas < 1 then invalid_arg "Config: need at least one replica";
+  if t.workers < 1 then invalid_arg "Config: need at least one worker";
+  if t.cores < 1 then invalid_arg "Config: need at least one core";
+  if t.batch_size < 1 then invalid_arg "Config: batch_size must be >= 1";
+  (match t.stream_mode with
+  | Sharded n when n < 1 -> invalid_arg "Config: Sharded needs at least one stream"
+  | Sharded _ | Per_worker | Single -> ());
+  if t.watermark_interval <= 0 then invalid_arg "Config: watermark interval must be positive"

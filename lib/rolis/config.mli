@@ -1,0 +1,60 @@
+(** Cluster configuration: every tunable in one place.
+
+    Defaults follow the paper's evaluation setup (§6.1): 3 replicas,
+    32-core machines with one core reserved for the watermark/election
+    work, batch size 1000 (TPC-C) or 10000 (YCSB++), 0.5 ms watermark
+    interval, 100 ms heartbeats, 1 s election timeout, datacenter-class
+    network latency. *)
+
+type stream_mode =
+  | Per_worker  (** one Paxos stream per database worker (Rolis) *)
+  | Single  (** one shared stream for all workers (the §2.2 strawman) *)
+  | Sharded of int
+      (** [n] streams shared by the workers (ablation: the design space
+          between the strawman and Rolis) *)
+
+type t = {
+  replicas : int;
+  workers : int;  (** database worker threads per replica *)
+  cores : int;  (** CPU cores per machine *)
+  stream_mode : stream_mode;
+  batch_size : int;  (** transactions per log entry *)
+  batch_flush_interval : int;  (** ns; flush partially filled batches *)
+  watermark_interval : int;  (** ns; the 0.5 ms periodic calculation *)
+  heartbeat_interval : int;
+  election_timeout : int;
+  net_latency : Sim.Net.latency_model;
+  costs : Silo.Costs.t;
+  physical_serialization : bool;
+      (** actually encode/decode each entry through {!Store.Wire} instead
+          of only charging its byte cost — slower, used by tests *)
+  networked_clients : bool;
+      (** issue transactions from an open-loop networked client instead of
+          the embedded generator (§6.4) *)
+  client_rpc_overhead : int;  (** ns of server-side RPC work per txn *)
+  client_rtt : int;  (** ns added to client-observed latency *)
+  enqueue_cs_ns : int;
+      (** critical-section cost of appending to a {e shared} stream; the
+          strawman's bottleneck (68.7%% CPU at 30 threads, §2.2) *)
+  entry_overhead_ns : int;
+      (** fixed replication-layer cost per log entry (message handling,
+          interrupts), amortised over the batch — this is what makes
+          small batches slow in the Fig. 16 sweep *)
+  disable_replay : bool;
+      (** keep followers from applying durable entries (the paper's
+          "+Replication" factor-analysis configuration, Fig. 18) *)
+  archive_entries : bool;
+      (** retain every durable entry in memory — consumed by
+          {!Bootstrap} when seeding a brand-new replica (§4.3) *)
+  seed : int64;
+}
+
+val default : t
+(** TPC-C-oriented defaults: 3 replicas, batch 1000. *)
+
+val ycsb : t
+(** Same but batch 10000 (paper §6.1). *)
+
+val nstreams : t -> int
+val validate : t -> unit
+(** @raise Invalid_argument on inconsistent settings. *)

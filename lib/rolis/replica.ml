@@ -1,0 +1,418 @@
+let src = Logs.Src.create "rolis.replica" ~doc:"Replica lifecycle events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type meta = { m_ts : int; m_start : int; m_bytes : int }
+
+type t = {
+  cfg : Config.t;
+  rid : int;
+  eng : Sim.Engine.t;
+  net : Paxos.Msg.t Sim.Net.t;
+  cpu : Sim.Cpu.t;
+  db : Silo.Db.t;
+  stats : Stats.t;
+  (* The next four fields are assigned once during construction; they are
+     mutable only because the record must exist before the components that
+     close over it can be built. *)
+  mutable election : Paxos.Election.t option;
+  mutable streams : Paxos.Stream.t array;
+  mutable batchers : Batcher.t array;
+  mutable gens : App.gen array;
+  wm : Watermark.t;
+  replay_queues : Store.Wire.entry Queue.t array;
+  release_queues : meta Queue.t array; (* one per worker, ts-ordered *)
+  mutable procs : Sim.Engine.proc list;
+  mutable serving : bool;
+  mutable srv_epoch : int;
+  mutable tainted : bool;
+  mutable repoch : int; (* epoch currently being replayed *)
+  mutable rwm : int; (* live watermark for [repoch] *)
+  mutable alive : bool;
+  worker_active : bool array;
+  mutable archive : Store.Wire.entry list; (* reverse durable order *)
+  last_heard : int array; (* per peer: last time a message arrived *)
+}
+
+let id t = t.rid
+let db t = t.db
+let cpu t = t.cpu
+let stats t = t.stats
+let election t = Option.get t.election
+let streams t = t.streams
+let is_serving t = t.serving
+let served_epoch t = t.srv_epoch
+let is_tainted t = t.tainted
+let replay_epoch t = t.repoch
+let replay_watermark t = t.rwm
+let is_alive t = t.alive
+
+let replay_backlog t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.replay_queues
+
+let archived_entries t = List.rev t.archive
+
+let spawn t name f =
+  let p = Sim.Engine.spawn t.eng ~name:(Printf.sprintf "%s-%d" name t.rid) f in
+  t.procs <- p :: t.procs
+
+(* ---- leader side ---- *)
+
+let stream_of_worker t w =
+  match t.cfg.Config.stream_mode with
+  | Config.Per_worker -> w
+  | Config.Single -> 0
+  | Config.Sharded _ -> w mod Config.nstreams t.cfg
+
+let drop_speculative t =
+  Array.iter
+    (fun q ->
+      Queue.iter (fun m -> Stats.note_dropped_speculative t.stats ~bytes:m.m_bytes) q;
+      Queue.clear q)
+    t.release_queues;
+  Array.iter Batcher.clear t.batchers
+
+let stop_serving t =
+  if t.serving then begin
+    Log.debug (fun m -> m "replica %d stops serving (tainted)" t.rid);
+    t.serving <- false;
+    t.tainted <- true;
+    drop_speculative t
+  end
+
+let worker_loop t w () =
+  let gen = t.gens.(w) in
+  let s = stream_of_worker t w in
+  (* Stagger worker start so per-stream batch boundaries de-phase, as
+     thread drift would on real hardware; otherwise every stream flushes
+     in lockstep and the watermark wait is unrealistically small. *)
+  Sim.Engine.sleep (w * 1_700 * Sim.Engine.us);
+  while true do
+    if t.serving && t.alive then begin
+      if not t.worker_active.(w) then begin
+        Sim.Cpu.register t.cpu;
+        t.worker_active.(w) <- true
+      end;
+      let body = gen () in
+      let start = Sim.Engine.time () in
+      if t.cfg.Config.networked_clients then
+        Sim.Cpu.consume t.cpu t.cfg.Config.client_rpc_overhead;
+      let r = Silo.Db.run t.db ~worker:w body in
+      match r.Silo.Db.tid with
+      | Some tid when t.serving ->
+          Stats.note_executed t.stats;
+          let txn_log = { Store.Wire.ts = tid.Silo.Tid.ts; writes = r.Silo.Db.log } in
+          let bytes = Store.Wire.txn_byte_size txn_log in
+          (* Append + release record atomically (same event as the
+             commit), so stream timestamps stay monotone. *)
+          Batcher.submit t.batchers.(s) txn_log;
+          Queue.add { m_ts = tid.Silo.Tid.ts; m_start = start; m_bytes = bytes }
+            t.release_queues.(w);
+          Stats.note_submitted t.stats ~bytes;
+          Batcher.charge_submit_cost t.batchers.(s) ~bytes
+      | Some _ -> () (* leadership lapsed mid-transaction: speculative, dropped *)
+      | None -> Stats.note_user_abort t.stats
+    end
+    else begin
+      if t.worker_active.(w) then begin
+        Sim.Cpu.unregister t.cpu;
+        t.worker_active.(w) <- false
+      end;
+      Sim.Engine.sleep (10 * Sim.Engine.ms)
+    end
+  done
+
+(* ---- replay side ---- *)
+
+let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
+  (* [upto] truncates the batch at the (final) watermark: transactions
+     with [ts <= upto] are safe — they may already have been released to
+     clients — while later ones in the same entry may depend on lost
+     transactions and must be skipped (§4.1). *)
+  if not t.cfg.Config.disable_replay then begin
+    Sim.Cpu.register t.cpu;
+    let applied = ref 0 in
+    List.iter
+      (fun (txn : Store.Wire.txn_log) ->
+        if txn.Store.Wire.ts <= upto then begin
+          Silo.Db.apply_replay t.db txn ~epoch:entry.epoch ~applied;
+          Stats.note_replayed t.stats ~txns:1 ~writes:(List.length txn.writes)
+        end)
+      entry.txns;
+    Sim.Cpu.unregister t.cpu
+  end
+
+let replay_loop t s () =
+  let q = t.replay_queues.(s) in
+  let poll = t.cfg.Config.watermark_interval in
+  while true do
+    match Queue.peek_opt q with
+    | None -> Sim.Engine.sleep poll
+    | Some entry ->
+        let e = entry.Store.Wire.epoch in
+        if t.serving && e = t.srv_epoch then
+          (* Our own proposals: already applied by execution. *)
+          ignore (Queue.pop q)
+        else if e < t.repoch then begin
+          (* Left-over from an already-advanced epoch (defensive): apply
+             only the part below that epoch's final watermark. *)
+          ignore (Queue.pop q);
+          match Watermark.final_watermark t.wm ~epoch:e with
+          | Some w -> apply_entry t entry ~upto:w
+          | None -> ()
+        end
+        else if e = t.repoch then begin
+          if entry.Store.Wire.last_ts <= t.rwm then begin
+            ignore (Queue.pop q);
+            apply_entry t entry
+          end
+          else
+            match Watermark.final_watermark t.wm ~epoch:e with
+            | Some w ->
+                (* The epoch is sealed and this entry straddles its final
+                   watermark: replay the prefix with [ts <= W] (those
+                   results may already be at clients) and skip the tail,
+                   which may depend on lost transactions (Fig. 3). *)
+                ignore (Queue.pop q);
+                apply_entry t entry ~upto:w
+            | None -> Sim.Engine.sleep poll
+        end
+        else Sim.Engine.sleep poll (* future epoch: wait for the controller *)
+  done
+
+(* ---- controller: watermark, release, replay-epoch advancement ---- *)
+
+let release_pass t =
+  match Watermark.compute t.wm ~epoch:t.srv_epoch with
+  | None -> ()
+  | Some w ->
+      let now = Sim.Engine.now t.eng in
+      let extra_latency = if t.cfg.Config.networked_clients then t.cfg.Config.client_rtt else 0 in
+      Array.iter
+        (fun q ->
+          let continue = ref true in
+          while !continue do
+            match Queue.peek_opt q with
+            | Some m when m.m_ts <= w ->
+                ignore (Queue.pop q);
+                Stats.note_released t.stats
+                  ~latency:(now - m.m_start + extra_latency)
+                  ~bytes:m.m_bytes
+            | Some _ | None -> continue := false
+          done)
+        t.release_queues
+
+(* A leader that cannot reach a majority must stop serving: its
+   speculative transactions can never become durable, and another leader
+   may be elected on the other side of the partition. This is the lease
+   check that also bounds speculative memory accumulation (§5). *)
+let quorum_alive t =
+  let n = Array.length t.last_heard in
+  if n <= 1 then true
+  else begin
+    let now = Sim.Engine.now t.eng in
+    let fresh = ref 1 (* self *) in
+    Array.iteri
+      (fun peer at ->
+        if peer <> t.rid && now - at <= t.cfg.Config.election_timeout then incr fresh)
+      t.last_heard;
+    !fresh >= (n / 2) + 1
+  end
+
+let controller_loop t () =
+  while true do
+    Sim.Engine.sleep t.cfg.Config.watermark_interval;
+    Stats.sample_speculative_memory t.stats;
+    if t.serving && not (quorum_alive t) then stop_serving t;
+    (match Watermark.compute t.wm ~epoch:t.repoch with
+    | Some w when w > t.rwm -> t.rwm <- w
+    | Some _ | None -> ());
+    if Watermark.is_sealed t.wm ~epoch:t.repoch then begin
+      let drained =
+        Array.for_all
+          (fun q ->
+            match Queue.peek_opt q with
+            | None -> true
+            | Some e -> e.Store.Wire.epoch > t.repoch)
+          t.replay_queues
+      in
+      if drained then begin
+        t.repoch <- t.repoch + 1;
+        t.rwm <-
+          (match Watermark.compute t.wm ~epoch:t.repoch with Some w -> w | None -> 0)
+      end
+    end;
+    if t.serving then release_pass t
+  done
+
+let flush_timer_loop t () =
+  while true do
+    Sim.Engine.sleep t.cfg.Config.batch_flush_interval;
+    if t.serving then
+      Array.iter
+        (fun b -> Batcher.maybe_flush b ~max_age:t.cfg.Config.batch_flush_interval)
+        t.batchers
+  done
+
+(* ---- promotion (new-leader recovery, §4.1) ---- *)
+
+let seal_old_epoch t ~epoch =
+  Array.iteri
+    (fun i stream ->
+      Batcher.flush t.batchers.(i);
+      Paxos.Stream.propose stream
+        (Store.Wire.noop ~epoch ~ts:(Silo.Db.next_ts t.db)))
+    t.streams
+
+let promote t ~epoch =
+  spawn t "promote" (fun () ->
+      let still_leading () =
+        t.alive
+        && Paxos.Election.is_leader (election t)
+        && Paxos.Election.epoch (election t) = epoch
+      in
+      (* 1. Every stream finishes Prepare and recommits its tail. *)
+      while still_leading () && not (Array.for_all Paxos.Stream.is_caught_up t.streams) do
+        Sim.Engine.sleep (5 * Sim.Engine.ms)
+      done;
+      if still_leading () then begin
+        (* 2. Seal the old epoch with a no-op per stream. *)
+        seal_old_epoch t ~epoch;
+        (* 3. Wait until local replay drains every older epoch. *)
+        while still_leading () && t.repoch < epoch do
+          Sim.Engine.sleep (5 * Sim.Engine.ms)
+        done;
+        if still_leading () then begin
+          (* 4. Become the execution leader. *)
+          Silo.Db.set_epoch t.db epoch;
+          Silo.Db.set_physical_deletes t.db true;
+          List.iter (fun tbl -> ignore (Store.Table.compact tbl)) (Silo.Db.tables t.db);
+          t.srv_epoch <- epoch;
+          t.serving <- true;
+          Log.debug (fun m ->
+              m "replica %d serving epoch %d (promotion complete)" t.rid epoch)
+        end
+      end)
+
+(* ---- heartbeats: flush + empty transaction per stream (§5) ---- *)
+
+let heartbeat_tick t () =
+  if t.serving then
+    Array.iteri
+      (fun i stream ->
+        Batcher.flush t.batchers.(i);
+        Paxos.Stream.propose stream
+          (Store.Wire.noop ~epoch:t.srv_epoch ~ts:(Silo.Db.next_ts t.db)))
+      t.streams
+
+(* ---- construction ---- *)
+
+let create cfg eng net ~id:rid ~app ?initial_leader () =
+  Config.validate cfg;
+  let cpu = Sim.Cpu.create eng ~cores:cfg.Config.cores () in
+  let is_initial_leader = initial_leader = Some rid in
+  let db =
+    Silo.Db.create eng cpu ~costs:cfg.Config.costs
+      ~physical_deletes:is_initial_leader ()
+  in
+  app.App.setup db;
+  let nstreams = Config.nstreams cfg in
+  let t =
+    {
+      cfg;
+      rid;
+      eng;
+      net;
+      cpu;
+      db;
+      stats = Stats.create eng;
+      election = None;
+      streams = [||];
+      batchers = [||];
+      gens = [||];
+      wm = Watermark.create ~streams:nstreams;
+      replay_queues = Array.init nstreams (fun _ -> Queue.create ());
+      release_queues = Array.init cfg.Config.workers (fun _ -> Queue.create ());
+      procs = [];
+      serving = false;
+      srv_epoch = 0;
+      tainted = false;
+      repoch = 1;
+      rwm = 0;
+      alive = true;
+      worker_active = Array.make cfg.Config.workers false;
+      archive = [];
+      last_heard = Array.make cfg.Config.replicas 0;
+    }
+  in
+  let on_commit s ~idx:_ (entry : Store.Wire.entry) =
+    (* Durability commit: feed the watermark; queue for replay. Physical
+       (de)serialization is exercised when configured. *)
+    let entry =
+      if cfg.Config.physical_serialization then
+        Store.Wire.decode (Store.Wire.encode entry)
+      else entry
+    in
+    Watermark.note_durable t.wm ~stream:s ~epoch:entry.epoch ~ts:entry.last_ts;
+    if cfg.Config.archive_entries then t.archive <- entry :: t.archive;
+    Queue.add entry t.replay_queues.(s)
+  in
+  let on_higher_epoch e = Paxos.Election.observe_epoch (election t) e in
+  let streams =
+    Array.init nstreams (fun s ->
+        Paxos.Stream.create net ~id:s ~me:rid ~on_commit:(on_commit s)
+          ~on_higher_epoch ())
+  in
+  let el =
+    Paxos.Election.create net ~me:rid
+      ~heartbeat_interval:cfg.Config.heartbeat_interval
+      ~election_timeout:cfg.Config.election_timeout ?initial_leader
+      ~on_leader_elected:(fun ~epoch ->
+        Array.iter (fun s -> Paxos.Stream.become_leader s ~epoch) streams;
+        promote t ~epoch)
+      ~on_new_epoch:(fun ~epoch:_ ~leader ->
+        if leader <> Some rid then begin
+          Array.iter Paxos.Stream.step_down streams;
+          stop_serving t
+        end)
+      ~on_heartbeat_tick:(fun () -> heartbeat_tick t ())
+      ()
+  in
+  t.streams <- streams;
+  t.election <- Some el;
+  t.batchers <-
+    Array.init nstreams (fun s ->
+        Batcher.create cfg ~cpu ~stats:t.stats
+          ~epoch:(fun () -> Silo.Db.epoch db)
+          ~propose:(fun e -> Paxos.Stream.propose streams.(s) e)
+          ~shared:(nstreams < cfg.Config.workers));
+  t.gens <-
+    Array.init cfg.Config.workers (fun w ->
+        app.App.make_worker db
+          ~rng:(Sim.Rng.split (Sim.Engine.rng eng))
+          ~worker:w ~nworkers:cfg.Config.workers);
+  (* Processes. *)
+  spawn t "dispatch" (fun () ->
+      while true do
+        let m = Sim.Net.recv net rid in
+        t.last_heard.(m.Paxos.Msg.from) <- Sim.Engine.now eng;
+        match m.Paxos.Msg.body with
+        | Paxos.Msg.Elect e -> Paxos.Election.handle el e ~from:m.Paxos.Msg.from
+        | Paxos.Msg.Stream { stream; msg } ->
+            Paxos.Stream.handle streams.(stream) msg ~from:m.Paxos.Msg.from
+      done);
+  t.procs <- Paxos.Election.start el :: t.procs;
+  spawn t "controller" (controller_loop t);
+  spawn t "flush-timer" (flush_timer_loop t);
+  for w = 0 to cfg.Config.workers - 1 do
+    spawn t (Printf.sprintf "worker%d" w) (worker_loop t w)
+  done;
+  for s = 0 to nstreams - 1 do
+    spawn t (Printf.sprintf "replay%d" s) (replay_loop t s)
+  done;
+  t
+
+let crash t =
+  t.alive <- false;
+  t.serving <- false;
+  List.iter Sim.Engine.kill t.procs

@@ -1,0 +1,65 @@
+(** One Rolis replica: execution layer + replication layer + replay layer
+    on a single simulated machine (paper Fig. 4).
+
+    Every replica runs the same processes; the election module decides the
+    role:
+
+    - {b workers} (leader only): generate and execute transactions to
+      their speculative commit, append the write-set log to the worker's
+      batcher, and queue a release record;
+    - {b batchers/streams}: one Paxos stream per worker ([Per_worker]) or
+      a single shared stream (the strawman);
+    - {b controller} (the paper's "+1 core"): every [watermark_interval]
+      recomputes the watermark, releases transactions that fell below it
+      (leader), and advances the replay epoch;
+    - {b replay threads} (follower, and during promotion): apply durable
+      entries below the watermark via per-key compare-and-swap;
+    - {b promotion}: on winning an election the replica recovers all
+      streams, seals the old epoch with per-stream no-ops, waits until its
+      own replay drains the old epochs, compacts tombstones, and only then
+      serves (paper §4.1). *)
+
+type t
+
+val create :
+  Config.t ->
+  Sim.Engine.t ->
+  Paxos.Msg.t Sim.Net.t ->
+  id:int ->
+  app:App.t ->
+  ?initial_leader:int ->
+  unit ->
+  t
+(** Builds the replica's state and spawns its processes. [app.setup] runs
+    immediately on the fresh database. *)
+
+val id : t -> int
+val db : t -> Silo.Db.t
+val cpu : t -> Sim.Cpu.t
+val stats : t -> Stats.t
+val election : t -> Paxos.Election.t
+val streams : t -> Paxos.Stream.t array
+
+val is_serving : t -> bool
+(** Leader that has finished promotion and accepts transactions. *)
+
+val served_epoch : t -> int
+val is_tainted : t -> bool
+(** Stepped down after serving: local state may contain speculative writes
+    that were never released; a tainted replica must rejoin via
+    {!Bootstrap} (paper §4.3). *)
+
+val replay_epoch : t -> int
+val replay_watermark : t -> int
+val replay_backlog : t -> int
+(** Durable entries queued but not yet replayed. *)
+
+val archived_entries : t -> Store.Wire.entry list
+(** Every durable entry, in durability order, when the cluster was built
+    with [archive_entries = true] (for {!Bootstrap}). *)
+
+val crash : t -> unit
+(** Kill every process of this replica (crash-stop). The caller is
+    responsible for [Sim.Net.crash]. *)
+
+val is_alive : t -> bool

@@ -1,0 +1,93 @@
+type t = {
+  eng : Sim.Engine.t;
+  mutable executed : int;
+  mutable user_aborts : int;
+  mutable released : int;
+  mutable serialized_bytes : int;
+  mutable replicated_bytes : int;
+  mutable spec_bytes : int;
+  mutable spec_peak : int;
+  mutable spec_sum : float;
+  mutable spec_samples : int;
+  mutable replayed_txns : int;
+  mutable replayed_writes : int;
+  mutable lat : Sim.Metrics.Hist.t;
+  mutable series : Sim.Metrics.Series.t;
+}
+
+let create eng =
+  {
+    eng;
+    executed = 0;
+    user_aborts = 0;
+    released = 0;
+    serialized_bytes = 0;
+    replicated_bytes = 0;
+    spec_bytes = 0;
+    spec_peak = 0;
+    spec_sum = 0.0;
+    spec_samples = 0;
+    replayed_txns = 0;
+    replayed_writes = 0;
+    lat = Sim.Metrics.Hist.create ();
+    series = Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
+  }
+
+let note_executed t = t.executed <- t.executed + 1
+let note_user_abort t = t.user_aborts <- t.user_aborts + 1
+
+let note_submitted t ~bytes =
+  t.spec_bytes <- t.spec_bytes + bytes;
+  if t.spec_bytes > t.spec_peak then t.spec_peak <- t.spec_bytes
+
+let note_serialized t ~bytes = t.serialized_bytes <- t.serialized_bytes + bytes
+let note_replicated t ~bytes = t.replicated_bytes <- t.replicated_bytes + bytes
+
+let note_released t ~latency ~bytes =
+  t.released <- t.released + 1;
+  t.spec_bytes <- t.spec_bytes - bytes;
+  Sim.Metrics.Hist.add t.lat latency;
+  Sim.Metrics.Series.add t.series ~at:(Sim.Engine.now t.eng) 1
+
+let note_dropped_speculative t ~bytes = t.spec_bytes <- t.spec_bytes - bytes
+
+let note_replayed t ~txns ~writes =
+  t.replayed_txns <- t.replayed_txns + txns;
+  t.replayed_writes <- t.replayed_writes + writes
+
+let sample_speculative_memory t =
+  t.spec_sum <- t.spec_sum +. float_of_int t.spec_bytes;
+  t.spec_samples <- t.spec_samples + 1
+
+let released t = t.released
+let release_series t = t.series
+let latency t = t.lat
+let executed t = t.executed
+let user_aborts t = t.user_aborts
+let replayed_txns t = t.replayed_txns
+let replayed_writes t = t.replayed_writes
+let serialized_bytes t = t.serialized_bytes
+let replicated_bytes t = t.replicated_bytes
+let speculative_bytes t = t.spec_bytes
+
+let avg_speculative_bytes t =
+  if t.spec_samples = 0 then 0.0 else t.spec_sum /. float_of_int t.spec_samples
+
+let peak_speculative_bytes t = t.spec_peak
+
+let throughput t ~start ~stop =
+  let dt = stop - start in
+  if dt <= 0 then 0.0 else float_of_int t.released *. 1e9 /. float_of_int dt
+
+let reset_window t =
+  t.released <- 0;
+  t.executed <- 0;
+  t.user_aborts <- 0;
+  t.replayed_txns <- 0;
+  t.replayed_writes <- 0;
+  t.serialized_bytes <- 0;
+  t.replicated_bytes <- 0;
+  t.spec_sum <- 0.0;
+  t.spec_samples <- 0;
+  t.lat <- Sim.Metrics.Hist.create ();
+  t.series <- Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms)

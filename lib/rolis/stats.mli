@@ -1,0 +1,56 @@
+(** Per-replica measurement: release-commit throughput and latency, stage
+    byte counts, speculative-memory accounting, replay counters.
+
+    Throughput and latency are always computed over {e release-committed}
+    transactions — the paper's definition (§6.1): a transaction counts
+    when the watermark passes it and its result goes back to the client. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val note_executed : t -> unit
+(** Execution commit (speculative) — for pipeline-depth accounting. *)
+
+val note_user_abort : t -> unit
+
+val note_submitted : t -> bytes:int -> unit
+(** A transaction's log entered a batch: bytes start accumulating as
+    speculative (delayed-commit) memory (§5). *)
+
+val note_serialized : t -> bytes:int -> unit
+val note_replicated : t -> bytes:int -> unit
+
+val note_released : t -> latency:int -> bytes:int -> unit
+(** Release commit: count it, record client latency, release its bytes. *)
+
+val note_dropped_speculative : t -> bytes:int -> unit
+(** Failover dropped a speculative transaction (never released). *)
+
+val note_replayed : t -> txns:int -> writes:int -> unit
+val sample_speculative_memory : t -> unit
+(** Called at each watermark tick; feeds the average-memory gauge. *)
+
+val released : t -> int
+val release_series : t -> Sim.Metrics.Series.t
+(** Releases bucketed per 100 ms of virtual time (failover timeline). *)
+
+val latency : t -> Sim.Metrics.Hist.t
+val executed : t -> int
+val user_aborts : t -> int
+val replayed_txns : t -> int
+val replayed_writes : t -> int
+val serialized_bytes : t -> int
+val replicated_bytes : t -> int
+val speculative_bytes : t -> int
+(** Currently accumulated delayed-commit memory. *)
+
+val avg_speculative_bytes : t -> float
+val peak_speculative_bytes : t -> int
+
+val throughput : t -> start:int -> stop:int -> float
+(** Released transactions per virtual second over the window. *)
+
+val reset_window : t -> unit
+(** Zero the windowed counters (throughput, latency, series) without
+    touching gauges — call after warm-up. *)

@@ -1,0 +1,47 @@
+type stream_state = {
+  mutable cur_epoch : int;
+  mutable cur_ts : int;
+  sealed : (int, int) Hashtbl.t; (* epoch -> final durable ts in that epoch *)
+}
+
+type t = { streams : stream_state array }
+
+let create ~streams =
+  if streams < 1 then invalid_arg "Watermark.create: need at least one stream";
+  {
+    streams =
+      Array.init streams (fun _ ->
+          { cur_epoch = 0; cur_ts = 0; sealed = Hashtbl.create 4 });
+  }
+
+let note_durable t ~stream ~epoch ~ts =
+  let s = t.streams.(stream) in
+  if epoch > s.cur_epoch then begin
+    if s.cur_epoch > 0 then Hashtbl.replace s.sealed s.cur_epoch s.cur_ts;
+    s.cur_epoch <- epoch;
+    s.cur_ts <- ts
+  end
+  else if epoch = s.cur_epoch && ts > s.cur_ts then s.cur_ts <- ts
+
+let contribution s ~epoch =
+  if s.cur_epoch < epoch then None (* nothing durable in this epoch yet: W undefined *)
+  else if s.cur_epoch = epoch then Some s.cur_ts
+  else
+    (* The stream moved on; its epoch-e tail is final. A stream that never
+       produced an entry in e does not constrain W_e. *)
+    Some (match Hashtbl.find_opt s.sealed epoch with Some final -> final | None -> max_int)
+
+let compute t ~epoch =
+  Array.fold_left
+    (fun acc s ->
+      match (acc, contribution s ~epoch) with
+      | Some w, Some c -> Some (min w c)
+      | _, None | None, _ -> None)
+    (Some max_int) t.streams
+
+let is_sealed t ~epoch = Array.for_all (fun s -> s.cur_epoch > epoch) t.streams
+let final_watermark t ~epoch = if is_sealed t ~epoch then compute t ~epoch else None
+let stream_epoch t ~stream = t.streams.(stream).cur_epoch
+
+let min_epoch t =
+  Array.fold_left (fun acc s -> min acc s.cur_epoch) max_int t.streams

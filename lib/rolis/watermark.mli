@@ -1,0 +1,46 @@
+(** Watermark tracking (paper §3.4, §4.1) — the coordination-free boundary
+    between speculative and release-committed transactions.
+
+    Each replica feeds this tracker the [(epoch, last_ts)] header of every
+    log entry as it becomes {e durable} in each stream, in stream order.
+    The watermark for epoch [e] is
+
+    [W_e = min over streams of (latest durable ts in epoch e)]
+
+    computed {e periodically and locally} — an outdated value is always
+    safe because the watermark only grows within an epoch, and it never
+    crosses epochs.
+
+    Epoch bookkeeping: when a stream's durable tail moves from epoch [e]
+    to a later epoch, epoch [e] is {e sealed} for that stream at its final
+    timestamp. Once every stream has sealed [e], [final_watermark e]
+    is the replay/release boundary for the old epoch: entries at or below
+    it are safe; entries above it must be skipped (they may depend on
+    transactions that were never durable — the Fig. 3 scenario). *)
+
+type t
+
+val create : streams:int -> t
+
+val note_durable : t -> stream:int -> epoch:int -> ts:int -> unit
+(** Feed one durable entry header. Entries arrive in stream order, so
+    [(epoch, ts)] is non-decreasing per stream; older stamps are ignored
+    defensively. *)
+
+val compute : t -> epoch:int -> int option
+(** Live watermark for [epoch]: [None] while some stream has produced
+    nothing in (or after) [epoch] yet. Monotone in successive calls for a
+    fixed epoch. *)
+
+val is_sealed : t -> epoch:int -> bool
+(** Every stream's durable tail has moved past [epoch]. *)
+
+val final_watermark : t -> epoch:int -> int option
+(** The sealed boundary for [epoch]; [None] until {!is_sealed}. Streams
+    that never produced an entry in [epoch] do not constrain it. *)
+
+val stream_epoch : t -> stream:int -> int
+(** Epoch of the given stream's durable tail (0 = nothing yet). *)
+
+val min_epoch : t -> int
+(** Smallest epoch over all streams' durable tails. *)

@@ -1,0 +1,72 @@
+type t = {
+  txn_begin_ns : int;
+  read_ns : int;
+  write_ns : int;
+  scan_base_ns : int;
+  scan_row_ns : int;
+  commit_base_ns : int;
+  lock_ns : int;
+  validate_ns : int;
+  abort_ns : int;
+  value_byte_ns : float;
+  serialize_byte_ns : float;
+  replicate_byte_ns : float;
+  replay_write_ns : int;
+}
+
+(* Calibration notes. Targets are the paper's absolute scales at 32
+   threads: Silo ~1.5M TPC-C TPS and ~13M YCSB++ TPS; Rolis retains
+   ~69% / ~77% of those. TPC-C transactions average ~40 accesses of
+   ~200-byte rows; YCSB++ transactions are 4 small accesses. The
+   replication overheads are byte-proportional, split so the factor
+   analysis (Fig. 18) reproduces: serialization ~9%, replication ~18% of
+   a TPC-C transaction whose log entry is ~875 bytes. Replay costs
+   ~600 ns per written key, making replay ~1.5x faster than execution on
+   TPC-C (Fig. 15). *)
+let default =
+  {
+    txn_begin_ns = 250;
+    read_ns = 150;
+    write_ns = 90;
+    scan_base_ns = 300;
+    scan_row_ns = 90;
+    commit_base_ns = 150;
+    lock_ns = 60;
+    validate_ns = 45;
+    abort_ns = 3_000;
+    value_byte_ns = 0.5;
+    serialize_byte_ns = 1.1;
+    replicate_byte_ns = 2.2;
+    replay_write_ns = 380;
+  }
+
+let scale k t =
+  let f x = int_of_float (float_of_int x *. k) in
+  {
+    txn_begin_ns = f t.txn_begin_ns;
+    read_ns = f t.read_ns;
+    write_ns = f t.write_ns;
+    scan_base_ns = f t.scan_base_ns;
+    scan_row_ns = f t.scan_row_ns;
+    commit_base_ns = f t.commit_base_ns;
+    lock_ns = f t.lock_ns;
+    validate_ns = f t.validate_ns;
+    abort_ns = f t.abort_ns;
+    value_byte_ns = t.value_byte_ns *. k;
+    serialize_byte_ns = t.serialize_byte_ns *. k;
+    replicate_byte_ns = t.replicate_byte_ns *. k;
+    replay_write_ns = f t.replay_write_ns;
+  }
+
+let exec_cost t ~reads ~writes ~scan_rows ~scans ~value_bytes =
+  t.txn_begin_ns + (reads * t.read_ns) + (writes * t.write_ns)
+  + (scans * t.scan_base_ns)
+  + (scan_rows * t.scan_row_ns)
+  + int_of_float (float_of_int value_bytes *. t.value_byte_ns)
+
+let commit_cost t ~reads ~writes =
+  t.commit_base_ns + (writes * t.lock_ns) + (reads * t.validate_ns)
+
+let serialize_cost t ~bytes = int_of_float (float_of_int bytes *. t.serialize_byte_ns)
+let replicate_cost t ~bytes = int_of_float (float_of_int bytes *. t.replicate_byte_ns)
+let replay_cost t ~writes = writes * t.replay_write_ns

@@ -1,0 +1,49 @@
+(** Virtual-time cost model for database operations.
+
+    Every operation the engine performs charges virtual nanoseconds to the
+    machine's {!Sim.Cpu}. The defaults are calibrated so that a Silo-only
+    run reproduces the paper's absolute scale — roughly 1.5M TPC-C TPS and
+    ~13M YCSB++ TPS at 32 threads — and, more importantly, the relative
+    shapes of every figure (see the calibration notes in the
+    implementation). *)
+
+type t = {
+  txn_begin_ns : int;  (** starting a transaction + client-side generation *)
+  read_ns : int;  (** one point read: index descent + record fetch *)
+  write_ns : int;  (** buffering one write during execution *)
+  scan_base_ns : int;  (** fixed cost of positioning a range scan *)
+  scan_row_ns : int;  (** per row visited by a scan *)
+  commit_base_ns : int;  (** fixed commit-protocol overhead *)
+  lock_ns : int;  (** per write-set key: lock + install bookkeeping *)
+  validate_ns : int;  (** per read-set key at validation *)
+  abort_ns : int;  (** cleanup + backoff after an abort *)
+  value_byte_ns : float;  (** touching one byte of row data *)
+  serialize_byte_ns : float;
+      (** building the transaction's log entry (the paper's
+          "+Serialization" factor, Fig. 18) *)
+  replicate_byte_ns : float;
+      (** copying the entry into the Paxos stream + consensus CPU (the
+          "+Replication" factor) *)
+  replay_write_ns : int;
+      (** per key applied during follower replay (a compare-and-swap
+          wrapped as a small transaction, §5) *)
+}
+
+val default : t
+(** The calibrated defaults used by all experiments. *)
+
+val scale : float -> t -> t
+(** Multiply every cost by a factor. Long-timeline experiments (e.g. the
+    30-second failover run) scale costs up so the simulated database does
+    not outgrow host memory; timing-structure results are unaffected. *)
+
+val exec_cost :
+  t -> reads:int -> writes:int -> scan_rows:int -> scans:int -> value_bytes:int -> int
+(** Execution-phase cost of a transaction with the given access counts. *)
+
+val commit_cost : t -> reads:int -> writes:int -> int
+(** Commit-phase (lock + validate + install) cost. *)
+
+val serialize_cost : t -> bytes:int -> int
+val replicate_cost : t -> bytes:int -> int
+val replay_cost : t -> writes:int -> int

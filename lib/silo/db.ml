@@ -1,0 +1,235 @@
+type stats = {
+  commits : int;
+  user_aborts : int;
+  conflict_aborts : int;
+  retries : int;
+}
+
+type 'a result = {
+  value : 'a option;
+  tid : Tid.t option;
+  log : Store.Wire.write list;
+  retries : int;
+  reads : int;
+  writes : int;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  cpu : Sim.Cpu.t;
+  cost_model : Costs.t;
+  mutable physical_deletes : bool;
+  mutable table_list : Store.Table.t list; (* reverse creation order *)
+  by_name : (string, Store.Table.t) Hashtbl.t;
+  mutable by_id : Store.Table.t array;
+  mutable cur_epoch : int;
+  mutable ts_counter : int;
+  mutable s_commits : int;
+  mutable s_user_aborts : int;
+  mutable s_conflict_aborts : int;
+  mutable s_retries : int;
+}
+
+let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true) () =
+  {
+    eng;
+    cpu;
+    cost_model = costs;
+    physical_deletes;
+    table_list = [];
+    by_name = Hashtbl.create 16;
+    by_id = [||];
+    cur_epoch = 1;
+    ts_counter = 0;
+    s_commits = 0;
+    s_user_aborts = 0;
+    s_conflict_aborts = 0;
+    s_retries = 0;
+  }
+
+let engine t = t.eng
+let cpu t = t.cpu
+let costs t = t.cost_model
+
+let create_table t name =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Db.create_table: duplicate table %s" name);
+  let id = Array.length t.by_id in
+  let table = Store.Table.create ~id ~name in
+  Hashtbl.add t.by_name name table;
+  t.by_id <- Array.append t.by_id [| table |];
+  t.table_list <- table :: t.table_list;
+  table
+
+let table t name = Hashtbl.find t.by_name name
+let table_by_id t id = t.by_id.(id)
+let tables t = List.rev t.table_list
+let epoch t = t.cur_epoch
+let set_physical_deletes t b = t.physical_deletes <- b
+
+let set_epoch t e =
+  if e < t.cur_epoch then invalid_arg "Db.set_epoch: epoch must not decrease";
+  t.cur_epoch <- e
+
+let next_ts t =
+  let now = Sim.Engine.now t.eng in
+  let ts = if now > t.ts_counter then now else t.ts_counter + 1 in
+  t.ts_counter <- ts;
+  ts
+
+let last_ts t = t.ts_counter
+
+(* ---- validation ---- *)
+
+let reads_valid (txn : Txn.t) =
+  List.for_all
+    (fun ((r : Store.Record.t), seen) -> r.version = seen)
+    txn.reads
+
+let absents_valid (txn : Txn.t) =
+  List.for_all (fun (table, key) -> Store.Table.get_live table key = None) txn.absents
+
+let scan_valid (s : Txn.scan_entry) =
+  let rows = Store.Table.scan s.s_table ~lo:s.s_lo ~hi:s.s_hi ~limit:s.s_limit () in
+  let now = List.map (fun (k, (r : Store.Record.t)) -> (k, r.version)) rows in
+  now = s.s_seen
+
+let probe_valid (p : Txn.probe_entry) =
+  let now =
+    Store.Table.max_live p.p_table ~lo:p.p_lo ~hi:p.p_hi
+    |> Option.map (fun (k, (r : Store.Record.t)) -> (k, r.version))
+  in
+  now = p.p_seen
+
+let validate txn =
+  reads_valid txn && absents_valid txn
+  && List.for_all scan_valid txn.Txn.scans
+  && List.for_all probe_valid txn.Txn.probes
+
+(* ---- install ---- *)
+
+let install t (txn : Txn.t) ~epoch ~ts : Store.Wire.write list =
+  let entries =
+    List.sort
+      (fun (a : Txn.write_entry) (b : Txn.write_entry) ->
+        let c = compare (Store.Table.id a.w_table) (Store.Table.id b.w_table) in
+        if c <> 0 then c else compare a.w_key b.w_key)
+      (List.rev txn.write_order)
+  in
+  List.filter_map
+    (fun (w : Txn.write_entry) ->
+      let table = w.w_table in
+      let key = w.w_key in
+      (match (Store.Table.get table key, w.w_value) with
+      | Some r, value ->
+          let delta =
+            (match value with Some v -> String.length v | None -> 0)
+            - String.length r.Store.Record.value
+          in
+          Store.Record.install r ~epoch ~ts ~value;
+          Store.Table.account_growth table delta;
+          if value = None && t.physical_deletes then Store.Table.remove_phys table key
+      | None, Some v ->
+          let r = Store.Record.make ~epoch ~ts v in
+          r.Store.Record.version <- 1;
+          Store.Table.insert table key r
+      | None, None -> () (* delete of an absent key: nothing to do *));
+      Some { Store.Wire.table = Store.Table.id table; key; value = w.w_value })
+    entries
+
+(* ---- the run loop ---- *)
+
+let run_attempt t ~worker f =
+  let txn = Txn.create ~worker ~costs:t.cost_model in
+  match f txn with
+  | exception Txn.Abort ->
+      Sim.Cpu.consume t.cpu (Txn.exec_cost_ns txn);
+      t.s_user_aborts <- t.s_user_aborts + 1;
+      `User_abort txn
+  | v ->
+      Sim.Cpu.consume t.cpu (Txn.exec_cost_ns txn + Txn.commit_cost_ns txn);
+      (* Atomic from here: no yields between validation and install. *)
+      if validate txn then begin
+        let epoch = t.cur_epoch in
+        let ts = next_ts t in
+        let log = install t txn ~epoch ~ts in
+        t.s_commits <- t.s_commits + 1;
+        `Committed (v, { Tid.epoch; ts }, log, txn)
+      end
+      else begin
+        t.s_conflict_aborts <- t.s_conflict_aborts + 1;
+        Sim.Cpu.consume t.cpu t.cost_model.Costs.abort_ns;
+        `Conflict
+      end
+
+(* Paper (Fig. 9) convention: a scan counts as one read operation. *)
+let counts (txn : Txn.t) = (txn.Txn.nreads + txn.Txn.nscans, txn.Txn.nwrites)
+
+let run t ~worker f =
+  let rec loop retries =
+    match run_attempt t ~worker f with
+    | `User_abort txn ->
+        let reads, writes = counts txn in
+        { value = None; tid = None; log = []; retries; reads; writes }
+    | `Committed (v, tid, log, txn) ->
+        let reads, writes = counts txn in
+        { value = Some v; tid = Some tid; log; retries; reads; writes }
+    | `Conflict ->
+        t.s_retries <- t.s_retries + 1;
+        loop (retries + 1)
+  in
+  loop 0
+
+let run_once t ~worker f =
+  match run_attempt t ~worker f with
+  | `User_abort txn ->
+      let reads, writes = counts txn in
+      Some { value = None; tid = None; log = []; retries = 0; reads; writes }
+  | `Committed (v, tid, log, txn) ->
+      let reads, writes = counts txn in
+      Some { value = Some v; tid = Some tid; log; retries = 0; reads; writes }
+  | `Conflict -> None
+
+(* ---- replay ---- *)
+
+let apply_replay t (txn : Store.Wire.txn_log) ~epoch ~applied =
+  Sim.Cpu.consume t.cpu
+    (Costs.replay_cost t.cost_model ~writes:(List.length txn.writes));
+  (* Atomic: apply the whole write-set at one instant. *)
+  List.iter
+    (fun (w : Store.Wire.write) ->
+      let table = table_by_id t w.table in
+      match Store.Table.get table w.key with
+      | Some r ->
+          let old_len = String.length r.Store.Record.value in
+          if Store.Record.cas_apply r ~epoch ~ts:txn.ts ~value:w.value then begin
+            let new_len =
+              match w.value with Some v -> String.length v | None -> 0
+            in
+            Store.Table.account_growth table (new_len - old_len);
+            incr applied
+          end
+      | None ->
+          let r = Store.Record.make ~epoch:0 ~ts:(-1) "" in
+          if Store.Record.cas_apply r ~epoch ~ts:txn.ts ~value:w.value then begin
+            Store.Table.insert table w.key r;
+            incr applied
+          end)
+    txn.writes
+
+let stats t =
+  {
+    commits = t.s_commits;
+    user_aborts = t.s_user_aborts;
+    conflict_aborts = t.s_conflict_aborts;
+    retries = t.s_retries;
+  }
+
+let reset_stats t =
+  t.s_commits <- 0;
+  t.s_user_aborts <- 0;
+  t.s_conflict_aborts <- 0;
+  t.s_retries <- 0
+
+let total_bytes t =
+  List.fold_left (fun acc table -> acc + Store.Table.bytes table) 0 t.table_list

@@ -1,0 +1,90 @@
+(** The multi-core in-memory database (Silo's role in the paper).
+
+    One [Db.t] lives on each simulated machine. Worker processes call
+    {!run} with a transaction body; the engine executes it with optimistic
+    concurrency control:
+
+    + the body runs against buffered writes, recording read/scan versions;
+    + the accumulated execution + commit cost is charged to the machine's
+      CPU (the process yields here — this is the window in which
+      conflicting transactions interleave);
+    + an atomic validate-and-install step checks every read and re-runs
+      every scan; on success the transaction receives a fresh [(epoch,
+      ts)] TID and its write-set is installed, otherwise it retries.
+
+    Timestamps come from {!next_ts}: the virtual clock made strictly
+    monotone per machine — the simulator's stand-in for [rdtscp]
+    (paper §3.2). Because install happens atomically at commit, the
+    TID order {e is} the serialization order, which is exactly the
+    property Rolis's replay depends on. *)
+
+type t
+
+type stats = {
+  commits : int;
+  user_aborts : int;
+  conflict_aborts : int;
+  retries : int;
+}
+
+type 'a result = {
+  value : 'a option;  (** [None] iff the body raised {!Txn.Abort} *)
+  tid : Tid.t option;  (** [None] iff user-aborted *)
+  log : Store.Wire.write list;  (** committed write-set, install order *)
+  retries : int;
+  reads : int;
+      (** point reads of the final attempt, counting each scan once
+          (the paper's Fig. 9 convention) *)
+  writes : int;
+}
+
+val create :
+  Sim.Engine.t -> Sim.Cpu.t -> ?costs:Costs.t -> ?physical_deletes:bool -> unit -> t
+(** [physical_deletes] (default true) removes deleted keys from the index
+    at commit — leader behaviour. Followers keep tombstones so that
+    replay's compare-and-swap has a stamp to compare against. *)
+
+val engine : t -> Sim.Engine.t
+val cpu : t -> Sim.Cpu.t
+val costs : t -> Costs.t
+
+val create_table : t -> string -> Store.Table.t
+(** @raise Invalid_argument if the name is taken. *)
+
+val table : t -> string -> Store.Table.t
+(** @raise Not_found for unknown names. *)
+
+val table_by_id : t -> int -> Store.Table.t
+val tables : t -> Store.Table.t list
+
+val epoch : t -> int
+
+val set_epoch : t -> int -> unit
+(** @raise Invalid_argument if the epoch would decrease. *)
+
+val set_physical_deletes : t -> bool -> unit
+(** Flip delete behaviour — used when a follower is promoted to leader. *)
+
+val next_ts : t -> int
+(** Strictly monotone timestamp (the [rdtscp] stand-in). *)
+
+val last_ts : t -> int
+
+val run : t -> worker:int -> (Txn.t -> 'a) -> 'a result
+(** Execute a transaction body to (execution-)commit, retrying on
+    conflicts. Must be called from inside a simulation process. *)
+
+val run_once : t -> worker:int -> (Txn.t -> 'a) -> 'a result option
+(** Single attempt; [None] on a conflict abort (no retry). For baselines
+    that handle retry themselves. *)
+
+val apply_replay : t -> Store.Wire.txn_log -> epoch:int -> applied:int ref -> unit
+(** Follower-side replay of one transaction's write-set: per-key
+    compare-and-swap on [(epoch, ts)] (paper §3.4, §5), charging
+    {!Costs.replay_cost}. Missing keys are created; deletes tombstone.
+    Increments [applied] per key that actually won its CAS. Idempotent. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val total_bytes : t -> int
+(** Approximate resident bytes across all tables. *)

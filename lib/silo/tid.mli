@@ -1,0 +1,15 @@
+(** Transaction identifiers: [(epoch, timestamp)] pairs.
+
+    The timestamp plays the role of the paper's [rdtscp] value — a
+    monotone counter shared by all cores of a machine — and the epoch is
+    the replication layer's leader-election round. Together they totally
+    order transactions across failovers (§3.3): a larger epoch always
+    wins; within an epoch, the timestamp is the serialization order. *)
+
+type t = { epoch : int; ts : int }
+
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val zero : t

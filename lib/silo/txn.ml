@@ -1,0 +1,139 @@
+exception Abort
+
+type write_entry = {
+  w_table : Store.Table.t;
+  w_key : string;
+  mutable w_value : string option;
+}
+
+type scan_entry = {
+  s_table : Store.Table.t;
+  s_lo : string;
+  s_hi : string;
+  s_limit : int;
+  s_seen : (string * int) list;
+}
+
+type probe_entry = {
+  p_table : Store.Table.t;
+  p_lo : string;
+  p_hi : string;
+  p_seen : (string * int) option; (* max-live (key, version), if any *)
+}
+
+type t = {
+  worker : int;
+  costs : Costs.t;
+  mutable reads : (Store.Record.t * int) list;
+  read_keys : (int * string, unit) Hashtbl.t;
+  mutable absents : (Store.Table.t * string) list;
+  mutable scans : scan_entry list;
+  mutable probes : probe_entry list;
+  writes : (int * string, write_entry) Hashtbl.t;
+  mutable write_order : write_entry list;
+  mutable nreads : int;
+  mutable nwrites : int;
+  mutable nscans : int;
+  mutable nscan_rows : int;
+  mutable nvalue_bytes : int;
+}
+
+let create ~worker ~costs =
+  {
+    worker;
+    costs;
+    reads = [];
+    read_keys = Hashtbl.create 16;
+    absents = [];
+    scans = [];
+    probes = [];
+    writes = Hashtbl.create 8;
+    write_order = [];
+    nreads = 0;
+    nwrites = 0;
+    nscans = 0;
+    nscan_rows = 0;
+    nvalue_bytes = 0;
+  }
+
+let track_read t table key (r : Store.Record.t option) =
+  let id = (Store.Table.id table, key) in
+  if not (Hashtbl.mem t.read_keys id) then begin
+    Hashtbl.add t.read_keys id ();
+    match r with
+    | Some rec_ -> t.reads <- (rec_, rec_.Store.Record.version) :: t.reads
+    | None -> t.absents <- (table, key) :: t.absents
+  end
+
+let note_bytes t = function
+  | Some v -> t.nvalue_bytes <- t.nvalue_bytes + String.length v
+  | None -> ()
+
+let get t table key =
+  t.nreads <- t.nreads + 1;
+  match Hashtbl.find_opt t.writes (Store.Table.id table, key) with
+  | Some w ->
+      note_bytes t w.w_value;
+      w.w_value (* read-own-write; None if we deleted it *)
+  | None -> (
+      match Store.Table.get table key with
+      | Some r ->
+          track_read t table key (Some r);
+          if r.Store.Record.deleted then None
+          else begin
+            note_bytes t (Some r.Store.Record.value);
+            Some r.Store.Record.value
+          end
+      | None ->
+          track_read t table key None;
+          None)
+
+let buffer_write t table key value =
+  t.nwrites <- t.nwrites + 1;
+  note_bytes t value;
+  let id = (Store.Table.id table, key) in
+  match Hashtbl.find_opt t.writes id with
+  | Some w -> w.w_value <- value
+  | None ->
+      let w = { w_table = table; w_key = key; w_value = value } in
+      Hashtbl.add t.writes id w;
+      t.write_order <- w :: t.write_order
+
+let put t table key value = buffer_write t table key (Some value)
+let delete t table key = buffer_write t table key None
+
+let scan t table ~lo ~hi ?(limit = max_int) () =
+  t.nscans <- t.nscans + 1;
+  let rows = Store.Table.scan table ~lo ~hi ~limit () in
+  t.nscan_rows <- t.nscan_rows + List.length rows;
+  List.iter
+    (fun (_, (r : Store.Record.t)) ->
+      t.nvalue_bytes <- t.nvalue_bytes + String.length r.value)
+    rows;
+  let seen = List.map (fun (k, (r : Store.Record.t)) -> (k, r.version)) rows in
+  t.scans <- { s_table = table; s_lo = lo; s_hi = hi; s_limit = limit; s_seen = seen } :: t.scans;
+  List.map (fun (k, (r : Store.Record.t)) -> (k, r.value)) rows
+
+let first_live t table ~lo ~hi =
+  match scan t table ~lo ~hi ~limit:1 () with [] -> None | kv :: _ -> Some kv
+
+let last_live t table ~lo ~hi =
+  t.nreads <- t.nreads + 1;
+  let found = Store.Table.max_live table ~lo ~hi in
+  let seen = Option.map (fun (k, (r : Store.Record.t)) -> (k, r.version)) found in
+  t.probes <- { p_table = table; p_lo = lo; p_hi = hi; p_seen = seen } :: t.probes;
+  Option.map (fun (k, (r : Store.Record.t)) -> (k, r.value)) found
+
+let abort () = raise Abort
+
+let exec_cost_ns t =
+  Costs.exec_cost t.costs ~reads:t.nreads ~writes:t.nwrites ~scan_rows:t.nscan_rows
+    ~scans:t.nscans ~value_bytes:t.nvalue_bytes
+
+let commit_cost_ns t =
+  (* Validation revisits the scan rows, so they count as reads here. *)
+  Costs.commit_cost t.costs
+    ~reads:(List.length t.reads + List.length t.absents + t.nscan_rows)
+    ~writes:(Hashtbl.length t.writes)
+
+let write_count t = Hashtbl.length t.writes

@@ -1,0 +1,87 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock (integer nanoseconds) and an event
+    queue. Simulated activities are {e processes}: ordinary OCaml functions
+    that run cooperatively via effect handlers. A process runs atomically
+    between suspension points ([sleep], [suspend], or primitives in
+    {!Sync} built on them), which gives the usual DES guarantee that state
+    mutations between yields need no locking.
+
+    Determinism: given the same seed and the same program, every run
+    produces the same event order. Ties in virtual time are broken by a
+    monotonically increasing sequence number. *)
+
+type t
+(** A simulation engine instance. *)
+
+type proc
+(** Handle to a spawned process. *)
+
+exception Process_failure of string * exn
+(** An exception escaped a process body: the simulation model has a bug.
+    Carries the process name and the original exception. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] is a fresh engine with virtual time 0. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG; components should [Rng.split] it. *)
+
+val schedule : t -> int -> (unit -> unit) -> unit
+(** [schedule t at thunk] runs [thunk] at absolute virtual time [at]
+    (clamped to [now t] if in the past). The thunk runs outside any
+    process; it may spawn processes or wake suspended ones. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> proc
+(** [spawn t f] schedules process [f] to start at the current time. The
+    process may use the effect-based operations below. An exception
+    escaping [f] aborts the whole simulation (it is a bug in the model). *)
+
+val kill : proc -> unit
+(** [kill p] marks [p] dead. If it is suspended it will never resume; its
+    pending wakeups are dropped. Used to simulate thread/machine crashes. *)
+
+val alive : proc -> bool
+
+val proc_name : proc -> string
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue drains, or virtual time would
+    exceed [until], or [max_events] events have fired. When [until] is
+    given the clock is advanced to exactly [until] on return. *)
+
+(** {1 Operations usable only inside a process} *)
+
+val self : unit -> proc
+
+val time : unit -> int
+(** Current virtual time, from inside a process. *)
+
+val engine : unit -> t
+(** The engine running the current process. *)
+
+val sleep : int -> unit
+(** [sleep d] suspends the current process for [d] nanoseconds ([d <= 0]
+    yields: the process is rescheduled at the current time, after already
+    queued events). *)
+
+val sleep_until : int -> unit
+
+val suspend : (wake:('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the current process and calls
+    [register ~wake]. A later call to [wake v] (from an event thunk or
+    another process) resumes the process with value [v]. Only the first
+    call to [wake] has any effect; wakeups of dead processes are dropped.
+    This is the single primitive from which all of {!Sync} is built. *)
+
+val ns : int
+val us : int
+val ms : int
+val s : int
+(** Unit helpers: [5 * ms] is five virtual milliseconds. *)
+
+val pp_time : Format.formatter -> int -> unit
+(** Render a virtual time compactly ("12.5ms"). *)

@@ -1,0 +1,111 @@
+type latency_model =
+  | Fixed of int
+  | Uniform of int * int
+  | Exp_jitter of { base : int; jitter_mean : int }
+
+type 'm t = {
+  eng : Engine.t;
+  n : int;
+  latency : latency_model;
+  rng : Rng.t;
+  inboxes : 'm Sync.Mailbox.t array;
+  up : bool array;
+  cut : (int * int, unit) Hashtbl.t; (* normalised (min,max) pairs *)
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+}
+
+let create eng ~nodes ~latency =
+  if nodes <= 0 then invalid_arg "Net.create: need at least one node";
+  {
+    eng;
+    n = nodes;
+    latency;
+    rng = Rng.split (Engine.rng eng);
+    inboxes = Array.init nodes (fun _ -> Sync.Mailbox.create eng);
+    up = Array.make nodes true;
+    cut = Hashtbl.create 7;
+    messages_sent = 0;
+    bytes_sent = 0;
+  }
+
+let nodes t = t.n
+let engine t = t.eng
+
+let check_node t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Net: bad node id %d" i)
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let is_up t i =
+  check_node t i;
+  t.up.(i)
+
+let is_connected t a b =
+  check_node t a;
+  check_node t b;
+  not (Hashtbl.mem t.cut (link_key a b))
+
+let sample_latency t =
+  match t.latency with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.int_in t.rng lo hi
+  | Exp_jitter { base; jitter_mean } ->
+      base + int_of_float (Rng.exponential t.rng ~mean:(float_of_int jitter_mean))
+
+let send t ?(size = 0) ~src ~dst m =
+  check_node t src;
+  check_node t dst;
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + size;
+  if t.up.(src) && t.up.(dst) && is_connected t src dst then begin
+    let delay = if src = dst then 0 else sample_latency t in
+    Engine.schedule t.eng
+      (Engine.now t.eng + delay)
+      (fun () ->
+        (* Re-check at delivery: the destination may have crashed, or the
+           link may have been cut, while the message was in flight. *)
+        if t.up.(dst) && is_connected t src dst then
+          Sync.Mailbox.send t.inboxes.(dst) m)
+  end
+
+let broadcast t ?size ~src m =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ?size ~src ~dst m
+  done
+
+let recv t i =
+  check_node t i;
+  Sync.Mailbox.recv t.inboxes.(i)
+
+let recv_timeout t i d =
+  check_node t i;
+  Sync.Mailbox.recv_timeout t.inboxes.(i) d
+
+let try_recv t i =
+  check_node t i;
+  Sync.Mailbox.try_recv t.inboxes.(i)
+
+let inbox_length t i =
+  check_node t i;
+  Sync.Mailbox.length t.inboxes.(i)
+
+let crash t i =
+  check_node t i;
+  t.up.(i) <- false;
+  Sync.Mailbox.clear t.inboxes.(i)
+
+let recover t i =
+  check_node t i;
+  Sync.Mailbox.clear t.inboxes.(i);
+  t.up.(i) <- true
+
+let partition t a b =
+  check_node t a;
+  check_node t b;
+  Hashtbl.replace t.cut (link_key a b) ()
+
+let heal t a b = Hashtbl.remove t.cut (link_key a b)
+let heal_all t = Hashtbl.reset t.cut
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,59 @@
+(** Simulated message-passing network.
+
+    Nodes are integers [0 .. nodes-1]; each has an unbounded inbox.
+    Delivery takes a sampled latency. Crash-stop failures and (symmetric)
+    link partitions drop messages, which matches the asynchronous-network
+    assumption in the paper: messages can be lost or arbitrarily delayed,
+    and consensus — not the network — provides reliability. *)
+
+type latency_model =
+  | Fixed of int  (** constant one-way delay, ns *)
+  | Uniform of int * int  (** uniform in [lo, hi] ns *)
+  | Exp_jitter of { base : int; jitter_mean : int }
+      (** [base] plus exponentially distributed jitter; heavy-ish tail,
+          good default for a datacenter network *)
+
+type 'm t
+
+val create : Engine.t -> nodes:int -> latency:latency_model -> 'm t
+
+val nodes : 'm t -> int
+val engine : 'm t -> Engine.t
+
+val send : 'm t -> ?size:int -> src:int -> dst:int -> 'm -> unit
+(** Queue [m] for delivery to [dst]. Dropped silently if either end is
+    crashed or the link is partitioned (checked both at send and at
+    delivery time). [size] feeds byte accounting only. *)
+
+val broadcast : 'm t -> ?size:int -> src:int -> 'm -> unit
+(** Send to every node except [src]. *)
+
+val recv : 'm t -> int -> 'm
+(** Blocking receive on a node's inbox. *)
+
+val recv_timeout : 'm t -> int -> int -> 'm option
+(** [recv_timeout t node d]: wait at most [d] ns. *)
+
+val try_recv : 'm t -> int -> 'm option
+val inbox_length : 'm t -> int -> int
+
+val crash : 'm t -> int -> unit
+(** Crash-stop: inbox is discarded; all traffic to/from drops. The caller
+    is responsible for killing the node's processes. *)
+
+val recover : 'm t -> int -> unit
+(** The node rejoins with an empty inbox. *)
+
+val is_up : 'm t -> int -> bool
+
+val partition : 'm t -> int -> int -> unit
+(** Cut the (bidirectional) link between two nodes. *)
+
+val heal : 'm t -> int -> int -> unit
+val heal_all : 'm t -> unit
+val is_connected : 'm t -> int -> int -> bool
+
+val messages_sent : 'm t -> int
+val bytes_sent : 'm t -> int
+val sample_latency : 'm t -> int
+(** Draw one latency sample from the model (for tests/calibration). *)

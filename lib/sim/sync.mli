@@ -1,0 +1,85 @@
+(** Synchronization primitives for simulated processes.
+
+    All blocking operations must be called from inside a process spawned on
+    the engine the primitive was created with. Wakeups are delivered
+    through the event queue (never synchronously inside the waker), so a
+    [send]/[signal]/[fill] never yields the calling process. *)
+
+module Ivar : sig
+  (** Write-once cell ("future"). *)
+
+  type 'a t
+
+  val create : Engine.t -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** @raise Invalid_argument if already filled. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+  val read : 'a t -> 'a
+  (** Blocks until filled. *)
+end
+
+module Mailbox : sig
+  (** Unbounded FIFO channel. *)
+
+  type 'a t
+
+  val create : Engine.t -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  (** Blocks until a message is available. *)
+
+  val recv_timeout : 'a t -> int -> 'a option
+  (** [recv_timeout mb d] waits at most [d] ns; [None] on timeout. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+  val clear : 'a t -> unit
+end
+
+module Mutex : sig
+  (** FIFO mutex with ownership handoff on unlock. *)
+
+  type t
+
+  val create : Engine.t -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+  val unlock : t -> unit
+  val is_locked : t -> bool
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Condition : sig
+  type t
+
+  val create : Engine.t -> t
+  val wait : t -> Mutex.t -> unit
+  (** Atomically releases the mutex and waits; re-acquires before
+      returning. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module Semaphore : sig
+  type t
+
+  val create : Engine.t -> int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val value : t -> int
+end
+
+module Waitgroup : sig
+  (** Counts outstanding tasks; [wait] blocks until the count reaches 0. *)
+
+  type t
+
+  val create : Engine.t -> t
+  val add : t -> int -> unit
+  val finish : t -> unit
+  val wait : t -> unit
+end

@@ -1,0 +1,382 @@
+(* Branching factors. Non-root leaves hold [min_leaf, max_leaf] entries;
+   non-root internal nodes hold [min_child, max_child] children. Nodes use
+   plain arrays rebuilt on modification: nodes are small (<= 32 slots), so
+   copying beats the bookkeeping of in-place shifting. *)
+let max_leaf = 32
+let min_leaf = max_leaf / 2
+let max_child = 32
+let min_child = max_child / 2
+
+type 'a leaf = {
+  mutable keys : string array;
+  mutable vals : 'a array;
+  mutable next : 'a leaf option;
+}
+
+type 'a node = Leaf of 'a leaf | Node of 'a inner
+
+and 'a inner = {
+  mutable seps : string array; (* length = Array.length kids - 1 *)
+  mutable kids : 'a node array;
+}
+
+type 'a t = { mutable root : 'a node; mutable size : int }
+
+let create () = { root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* ---- array helpers ---- *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+(* Binary search: [Ok i] if [keys.(i) = k], otherwise [Error i] where [i]
+   is the insertion point. *)
+let bsearch keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = compare k keys.(mid) in
+    if c = 0 then found := mid else if c < 0 then hi := mid else lo := mid + 1
+  done;
+  if !found >= 0 then Ok !found else Error !lo
+
+(* Index of the child to descend into: subtree [i] holds keys [k] with
+   [seps.(i-1) <= k < seps.(i)]. *)
+let child_index n k =
+  let nseps = Array.length n.seps in
+  let i = ref 0 in
+  while !i < nseps && compare k n.seps.(!i) >= 0 do
+    incr i
+  done;
+  !i
+
+(* ---- find ---- *)
+
+let rec find_node node k =
+  match node with
+  | Leaf l -> ( match bsearch l.keys k with Ok i -> Some l.vals.(i) | Error _ -> None)
+  | Node n -> find_node n.kids.(child_index n k) k
+
+let find t k = find_node t.root k
+let mem t k = find t k <> None
+
+(* ---- insert ---- *)
+
+type 'a split = (string * 'a node) option
+
+let rec ins node k v : 'a option * 'a split =
+  match node with
+  | Leaf l -> (
+      match bsearch l.keys k with
+      | Ok i ->
+          let prev = l.vals.(i) in
+          l.vals.(i) <- v;
+          (Some prev, None)
+      | Error i ->
+          l.keys <- array_insert l.keys i k;
+          l.vals <- array_insert l.vals i v;
+          if Array.length l.keys <= max_leaf then (None, None)
+          else begin
+            let n = Array.length l.keys in
+            let h = n / 2 in
+            let right =
+              {
+                keys = Array.sub l.keys h (n - h);
+                vals = Array.sub l.vals h (n - h);
+                next = l.next;
+              }
+            in
+            l.keys <- Array.sub l.keys 0 h;
+            l.vals <- Array.sub l.vals 0 h;
+            l.next <- Some right;
+            (None, Some (right.keys.(0), Leaf right))
+          end)
+  | Node n -> (
+      let i = child_index n k in
+      let prev, split = ins n.kids.(i) k v in
+      match split with
+      | None -> (prev, None)
+      | Some (sep, right) ->
+          n.seps <- array_insert n.seps i sep;
+          n.kids <- array_insert n.kids (i + 1) right;
+          if Array.length n.kids <= max_child then (prev, None)
+          else begin
+            let m = Array.length n.kids in
+            let h = m / 2 in
+            let promoted = n.seps.(h - 1) in
+            let right_node =
+              {
+                seps = Array.sub n.seps h (m - 1 - h);
+                kids = Array.sub n.kids h (m - h);
+              }
+            in
+            n.seps <- Array.sub n.seps 0 (h - 1);
+            n.kids <- Array.sub n.kids 0 h;
+            (prev, Some (promoted, Node right_node))
+          end)
+
+let insert t k v =
+  let prev, split = ins t.root k v in
+  (match split with
+  | Some (sep, right) -> t.root <- Node { seps = [| sep |]; kids = [| t.root; right |] }
+  | None -> ());
+  if prev = None then t.size <- t.size + 1;
+  prev
+
+(* ---- delete ---- *)
+
+let node_underflows = function
+  | Leaf l -> Array.length l.keys < min_leaf
+  | Node n -> Array.length n.kids < min_child
+
+(* Repair an underfull child [i] of [n] by borrowing from or merging with
+   a sibling. Separators are maintained so that
+   max(subtree i) < seps.(i) <= min(subtree i+1). *)
+let fix_child n i =
+  let borrow_from_left i =
+    match (n.kids.(i - 1), n.kids.(i)) with
+    | Leaf left, Leaf cur ->
+        let j = Array.length left.keys - 1 in
+        let k = left.keys.(j) and v = left.vals.(j) in
+        left.keys <- array_remove left.keys j;
+        left.vals <- array_remove left.vals j;
+        cur.keys <- array_insert cur.keys 0 k;
+        cur.vals <- array_insert cur.vals 0 v;
+        n.seps.(i - 1) <- k
+    | Node left, Node cur ->
+        let j = Array.length left.kids - 1 in
+        let moved = left.kids.(j) in
+        let moved_sep = left.seps.(j - 1) in
+        left.kids <- array_remove left.kids j;
+        left.seps <- array_remove left.seps (j - 1);
+        cur.kids <- array_insert cur.kids 0 moved;
+        cur.seps <- array_insert cur.seps 0 n.seps.(i - 1);
+        n.seps.(i - 1) <- moved_sep
+    | _ -> assert false (* siblings are always the same kind *)
+  in
+  let borrow_from_right i =
+    match (n.kids.(i), n.kids.(i + 1)) with
+    | Leaf cur, Leaf right ->
+        let k = right.keys.(0) and v = right.vals.(0) in
+        right.keys <- array_remove right.keys 0;
+        right.vals <- array_remove right.vals 0;
+        cur.keys <- array_insert cur.keys (Array.length cur.keys) k;
+        cur.vals <- array_insert cur.vals (Array.length cur.vals) v;
+        n.seps.(i) <- right.keys.(0)
+    | Node cur, Node right ->
+        let moved = right.kids.(0) in
+        let moved_sep = right.seps.(0) in
+        right.kids <- array_remove right.kids 0;
+        right.seps <- array_remove right.seps 0;
+        cur.kids <- array_insert cur.kids (Array.length cur.kids) moved;
+        cur.seps <- array_insert cur.seps (Array.length cur.seps) n.seps.(i);
+        n.seps.(i) <- moved_sep
+    | _ -> assert false
+  in
+  (* Merge child [i+1] into child [i] and drop separator [i]. *)
+  let merge i =
+    (match (n.kids.(i), n.kids.(i + 1)) with
+    | Leaf left, Leaf right ->
+        left.keys <- Array.append left.keys right.keys;
+        left.vals <- Array.append left.vals right.vals;
+        left.next <- right.next
+    | Node left, Node right ->
+        left.seps <- Array.concat [ left.seps; [| n.seps.(i) |]; right.seps ];
+        left.kids <- Array.append left.kids right.kids
+    | _ -> assert false);
+    n.seps <- array_remove n.seps i;
+    n.kids <- array_remove n.kids (i + 1)
+  in
+  let has_spare = function
+    | Leaf l -> Array.length l.keys > min_leaf
+    | Node m -> Array.length m.kids > min_child
+  in
+  if node_underflows n.kids.(i) then begin
+    if i > 0 && has_spare n.kids.(i - 1) then borrow_from_left i
+    else if i < Array.length n.kids - 1 && has_spare n.kids.(i + 1) then
+      borrow_from_right i
+    else if i > 0 then merge (i - 1)
+    else merge i
+  end
+
+let rec del node k : 'a option =
+  match node with
+  | Leaf l -> (
+      match bsearch l.keys k with
+      | Ok i ->
+          let v = l.vals.(i) in
+          l.keys <- array_remove l.keys i;
+          l.vals <- array_remove l.vals i;
+          Some v
+      | Error _ -> None)
+  | Node n ->
+      let i = child_index n k in
+      let removed = del n.kids.(i) k in
+      if removed <> None then fix_child n i;
+      removed
+
+let remove t k =
+  let removed = del t.root k in
+  (match removed with
+  | Some _ -> (
+      t.size <- t.size - 1;
+      match t.root with
+      | Node n when Array.length n.kids = 1 -> t.root <- n.kids.(0)
+      | Node _ | Leaf _ -> ())
+  | None -> ());
+  removed
+
+(* ---- ordered access ---- *)
+
+let rec leftmost_leaf = function Leaf l -> l | Node n -> leftmost_leaf n.kids.(0)
+
+let rec rightmost_leaf = function
+  | Leaf l -> l
+  | Node n -> rightmost_leaf n.kids.(Array.length n.kids - 1)
+
+let min_binding t =
+  let l = leftmost_leaf t.root in
+  if Array.length l.keys = 0 then None else Some (l.keys.(0), l.vals.(0))
+
+let max_binding t =
+  let l = rightmost_leaf t.root in
+  let n = Array.length l.keys in
+  if n = 0 then None else Some (l.keys.(n - 1), l.vals.(n - 1))
+
+(* Leaf that would contain [k], i.e. the leaf reached by descent. *)
+let rec seek_leaf node k =
+  match node with Leaf l -> l | Node n -> seek_leaf n.kids.(child_index n k) k
+
+let iter_from t k f =
+  let start = seek_leaf t.root k in
+  let pos = match bsearch start.keys k with Ok i -> i | Error i -> i in
+  let rec walk (l : 'a leaf) i =
+    if i >= Array.length l.keys then
+      match l.next with None -> () | Some nl -> walk nl 0
+    else if f l.keys.(i) l.vals.(i) then walk l (i + 1)
+  in
+  walk start pos
+
+(* Largest binding with key < k: descend right-biased, backtracking to the
+   nearest left sibling subtree when a child has nothing below [k]. *)
+let find_last_lt t k =
+  let rec descend node =
+    match node with
+    | Leaf l ->
+        let i = match bsearch l.keys k with Ok i -> i | Error i -> i in
+        if i = 0 then None else Some (l.keys.(i - 1), l.vals.(i - 1))
+    | Node n ->
+        let i = child_index n k in
+        let rec try_child j =
+          if j < 0 then None
+          else
+            match descend n.kids.(j) with
+            | Some _ as r -> r
+            | None -> try_child (j - 1)
+        in
+        try_child i
+  in
+  descend t.root
+
+let find_first_geq t k =
+  let result = ref None in
+  iter_from t k (fun key v ->
+      result := Some (key, v);
+      false);
+  !result
+
+let fold_range t ~lo ~hi ~init ~f =
+  let acc = ref init in
+  iter_from t lo (fun k v ->
+      if compare k hi >= 0 then false
+      else begin
+        acc := f !acc k v;
+        true
+      end);
+  !acc
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some (l : 'a leaf) ->
+        for i = 0 to Array.length l.keys - 1 do
+          f l.keys.(i) l.vals.(i)
+        done;
+        walk l.next
+  in
+  walk (Some (leftmost_leaf t.root))
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(* ---- invariant checking (tests) ---- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let check_sorted keys ctx =
+    for i = 1 to Array.length keys - 1 do
+      if compare keys.(i - 1) keys.(i) >= 0 then fail "%s: keys not strictly sorted" ctx
+    done
+  in
+  let in_bounds k lo hi =
+    (match lo with Some l -> compare k l >= 0 | None -> true)
+    && match hi with Some h -> compare k h < 0 | None -> true
+  in
+  let count = ref 0 in
+  let leaves = ref [] in
+  let rec walk node ~is_root ~lo ~hi =
+    match node with
+    | Leaf l ->
+        check_sorted l.keys "leaf";
+        if (not is_root) && Array.length l.keys < min_leaf then fail "leaf underflow";
+        if Array.length l.keys > max_leaf then fail "leaf overflow";
+        Array.iter
+          (fun k -> if not (in_bounds k lo hi) then fail "leaf key out of bounds")
+          l.keys;
+        count := !count + Array.length l.keys;
+        leaves := l :: !leaves
+    | Node n ->
+        let nk = Array.length n.kids in
+        if Array.length n.seps <> nk - 1 then fail "separator count mismatch";
+        if (not is_root) && nk < min_child then fail "internal underflow";
+        if nk > max_child then fail "internal overflow";
+        if is_root && nk < 2 then fail "internal root with < 2 children";
+        check_sorted n.seps "inner";
+        Array.iter
+          (fun s -> if not (in_bounds s lo hi) then fail "separator out of bounds")
+          n.seps;
+        for i = 0 to nk - 1 do
+          let clo = if i = 0 then lo else Some n.seps.(i - 1) in
+          let chi = if i = nk - 1 then hi else Some n.seps.(i) in
+          walk n.kids.(i) ~is_root:false ~lo:clo ~hi:chi
+        done
+  in
+  walk t.root ~is_root:true ~lo:None ~hi:None;
+  if !count <> t.size then fail "size mismatch: counted %d, recorded %d" !count t.size;
+  (* The leaf chain must visit exactly the in-order leaves. *)
+  let in_order = List.rev !leaves in
+  let rec chain = function
+    | [] -> ()
+    | [ (last : 'a leaf) ] -> if last.next <> None then fail "dangling leaf chain tail"
+    | a :: (b :: _ as rest) ->
+        (match a.next with
+        | Some n when n == b -> ()
+        | Some _ | None -> fail "leaf chain broken");
+        chain rest
+  in
+  chain in_order

@@ -1,0 +1,58 @@
+(** In-memory B+tree from string keys to values.
+
+    This is the ordered index underneath every table — the role Masstree
+    plays in Silo. All values live in leaves; internal nodes hold copied
+    separator keys. Leaves are singly linked for fast range scans.
+    Deletion does full rebalancing (borrow from a sibling, else merge), so
+    the tree never degrades under the TPC-C new-order/delivery churn.
+
+    Not thread-safe: in the simulator, data-structure operations execute
+    atomically between process yield points, so the concurrency-control
+    story lives above this layer (in the OCC engine), exactly as conflicts
+    are resolved above the index in Silo. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live keys. O(1). *)
+
+val is_empty : 'a t -> bool
+
+val find : 'a t -> string -> 'a option
+
+val mem : 'a t -> string -> bool
+
+val insert : 'a t -> string -> 'a -> 'a option
+(** [insert t k v] sets [k -> v] and returns the previous binding. *)
+
+val remove : 'a t -> string -> 'a option
+(** [remove t k] deletes [k] and returns the removed binding. *)
+
+val min_binding : 'a t -> (string * 'a) option
+val max_binding : 'a t -> (string * 'a) option
+
+val find_first_geq : 'a t -> string -> (string * 'a) option
+(** Smallest binding with key [>= k]. *)
+
+val find_last_lt : 'a t -> string -> (string * 'a) option
+(** Largest binding with key [< k] — the descending-probe primitive behind
+    "latest order" lookups. *)
+
+val iter_from : 'a t -> string -> (string -> 'a -> bool) -> unit
+(** [iter_from t k f] visits bindings with key [>= k] in ascending order
+    while [f] returns [true]. *)
+
+val fold_range : 'a t -> lo:string -> hi:string -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+(** Fold over keys in [[lo, hi)] ascending. *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+
+val to_list : 'a t -> (string * 'a) list
+(** Ascending; for tests. *)
+
+val check_invariants : 'a t -> unit
+(** Validate structural invariants (ordering, fill factors, separator
+    consistency, leaf chain); raises [Failure] with a description
+    otherwise. For tests. *)

@@ -1,0 +1,96 @@
+type component = I of int | S of string
+
+let flip_sign x = x lxor min_int
+
+let encode_int buf x =
+  let x = flip_sign x in
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((x lsr (8 * i)) land 0xff))
+  done
+
+let encode_string buf s =
+  String.iter
+    (fun c ->
+      if c = '\x00' then Buffer.add_string buf "\x00\xff" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\x00'
+
+(* Tag bytes keep decode unambiguous and keep I/S ordering stable. *)
+let tag_int = '\x01'
+let tag_string = '\x02'
+
+let encode components =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun c ->
+      match c with
+      | I x ->
+          Buffer.add_char buf tag_int;
+          encode_int buf x
+      | S s ->
+          Buffer.add_char buf tag_string;
+          encode_string buf s)
+    components;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else if s.[pos] = tag_int then begin
+      if pos + 9 > len then invalid_arg "Keycodec.decode: truncated int";
+      let x = ref 0 in
+      for i = 0 to 7 do
+        x := (!x lsl 8) lor Char.code s.[pos + 1 + i]
+      done;
+      go (pos + 9) (I (flip_sign !x) :: acc)
+    end
+    else if s.[pos] = tag_string then begin
+      let buf = Buffer.create 16 in
+      let rec scan i =
+        if i >= len then invalid_arg "Keycodec.decode: unterminated string";
+        match s.[i] with
+        | '\x00' ->
+            if i + 1 < len && s.[i + 1] = '\xff' then begin
+              Buffer.add_char buf '\x00';
+              scan (i + 2)
+            end
+            else i + 1
+        | c ->
+            Buffer.add_char buf c;
+            scan (i + 1)
+      in
+      let next = scan (pos + 1) in
+      go next (S (Buffer.contents buf) :: acc)
+    end
+    else invalid_arg "Keycodec.decode: bad tag byte"
+  in
+  go 0 []
+
+let next_prefix p =
+  let b = Bytes.of_string p in
+  let rec bump i =
+    if i < 0 then None
+    else if Bytes.get b i = '\xff' then bump (i - 1)
+    else begin
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) + 1));
+      Some (Bytes.sub_string b 0 (i + 1))
+    end
+  in
+  bump (Bytes.length b - 1)
+
+let compare_component a b =
+  match (a, b) with
+  | I x, I y -> compare x y
+  | S x, S y -> compare x y
+  | I _, S _ -> -1
+  | S _, I _ -> 1
+
+let rec compare_components a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare_component x y in
+      if c <> 0 then c else compare_components xs ys

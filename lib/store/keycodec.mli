@@ -1,0 +1,30 @@
+(** Order-preserving composite-key encoding.
+
+    TPC-C keys are tuples like [(warehouse_id, district_id, order_id)];
+    the B+tree stores flat strings. This codec encodes component tuples so
+    that byte-wise comparison of the encodings equals lexicographic
+    comparison of the tuples — which makes prefix scans over the encoded
+    space equivalent to range queries over the composite key space.
+
+    Encoding: integers become 8-byte big-endian with the sign bit flipped
+    (so negative < positive); strings escape [\x00] as [\x00\xff] and end
+    with a [\x00] terminator (so no encoded string is a strict prefix of
+    another and ordering is preserved). *)
+
+type component = I of int | S of string
+
+val encode : component list -> string
+(** Encode a full key. *)
+
+val decode : string -> component list
+(** Inverse of {!encode}. @raise Invalid_argument on malformed input. *)
+
+val next_prefix : string -> string option
+(** [next_prefix p] is the smallest string strictly greater than every
+    string with prefix [p], or [None] if no such string exists (all
+    [0xff]). Scanning [[p, next_prefix p)] visits exactly the keys with
+    prefix [p]. *)
+
+val compare_components : component list -> component list -> int
+(** Lexicographic order on tuples; [I _ < S _] at equal positions by
+    convention (mixed-type positions do not occur in practice). *)

@@ -1,0 +1,51 @@
+type t = {
+  mutable value : string;
+  mutable deleted : bool;
+  mutable epoch : int;
+  mutable ts : int;
+  mutable version : int;
+  mutable locker : int;
+}
+
+let make ?(epoch = 0) ?(ts = 0) value =
+  { value; deleted = false; epoch; ts; version = 0; locker = -1 }
+
+let is_locked t = t.locker >= 0
+
+let try_lock t ~worker =
+  if t.locker = worker then true
+  else if t.locker >= 0 then false
+  else begin
+    t.locker <- worker;
+    true
+  end
+
+let unlock t ~worker =
+  if t.locker <> worker then invalid_arg "Record.unlock: not the lock holder";
+  t.locker <- -1
+
+let stamp t ~epoch ~ts ~value =
+  (match value with
+  | Some v ->
+      t.value <- v;
+      t.deleted <- false
+  | None ->
+      t.value <- "";
+      t.deleted <- true);
+  t.epoch <- epoch;
+  t.ts <- ts;
+  t.version <- t.version + 1
+
+let install t ~epoch ~ts ~value = stamp t ~epoch ~ts ~value
+
+let newer ~epoch ~ts ~than:t = epoch > t.epoch || (epoch = t.epoch && ts > t.ts)
+
+let cas_apply t ~epoch ~ts ~value =
+  if newer ~epoch ~ts ~than:t then begin
+    stamp t ~epoch ~ts ~value;
+    true
+  end
+  else false
+
+(* Rough heap footprint: record header + stamped fields + strings. *)
+let byte_size ~key t = 64 + String.length key + String.length t.value

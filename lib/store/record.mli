@@ -1,0 +1,42 @@
+(** Versioned record — the unit of concurrency control and replay.
+
+    Each key in a table maps to one [Record.t] carrying:
+
+    - the current value (or a tombstone after deletion);
+    - the [(epoch, ts)] pair of its last writer, used by follower replay's
+      compare-and-swap (paper §3.4): an apply only wins if its
+      [(epoch, ts)] is strictly newer;
+    - an OCC [version] counter bumped on every install, used by read-set
+      validation on the leader; and
+    - a write-lock owner field (Silo locks the write-set at commit). *)
+
+type t = {
+  mutable value : string;
+  mutable deleted : bool;
+  mutable epoch : int;
+  mutable ts : int;
+  mutable version : int;
+  mutable locker : int;  (** worker id holding the write lock; -1 = free *)
+}
+
+val make : ?epoch:int -> ?ts:int -> string -> t
+
+val is_locked : t -> bool
+val try_lock : t -> worker:int -> bool
+(** Idempotent for the same worker (re-entrant within one commit). *)
+
+val unlock : t -> worker:int -> unit
+(** @raise Invalid_argument if [worker] does not hold the lock. *)
+
+val install : t -> epoch:int -> ts:int -> value:string option -> unit
+(** Leader-side install at commit: set value ([None] = tombstone), stamp
+    [(epoch, ts)], bump [version]. *)
+
+val cas_apply : t -> epoch:int -> ts:int -> value:string option -> bool
+(** Replay-side apply: install only if [(epoch, ts)] is strictly newer
+    than the record's current stamp; returns whether it won. Idempotent:
+    re-applying the same stamped write is a no-op. *)
+
+val newer : epoch:int -> ts:int -> than:t -> bool
+val byte_size : key:string -> t -> int
+(** Approximate memory footprint for accounting. *)

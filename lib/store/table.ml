@@ -1,0 +1,83 @@
+type t = {
+  table_id : int;
+  table_name : string;
+  tree : Record.t Btree.t;
+  mutable bytes : int;
+}
+
+let create ~id ~name = { table_id = id; table_name = name; tree = Btree.create (); bytes = 0 }
+let id t = t.table_id
+let name t = t.table_name
+let tree t = t.tree
+let get t key = Btree.find t.tree key
+
+let get_live t key =
+  match Btree.find t.tree key with
+  | Some r when not r.Record.deleted -> Some r
+  | Some _ | None -> None
+
+let insert t key r =
+  match Btree.insert t.tree key r with
+  | None -> t.bytes <- t.bytes + Record.byte_size ~key r
+  | Some prev ->
+      (* Restore the binding before failing: inserts must be guarded. *)
+      ignore (Btree.insert t.tree key prev);
+      invalid_arg (Printf.sprintf "Table.insert: duplicate key in %s" t.table_name)
+
+let remove_phys t key =
+  match Btree.remove t.tree key with
+  | Some r -> t.bytes <- t.bytes - Record.byte_size ~key r
+  | None -> ()
+
+let scan t ~lo ~hi ?(limit = max_int) () =
+  let acc = ref [] in
+  let n = ref 0 in
+  Btree.iter_from t.tree lo (fun k r ->
+      if compare k hi >= 0 || !n >= limit then false
+      else begin
+        if not r.Record.deleted then begin
+          acc := (k, r) :: !acc;
+          incr n
+        end;
+        !n < limit
+      end);
+  List.rev !acc
+
+let scan_all t ~lo ~hi =
+  Btree.fold_range t.tree ~lo ~hi ~init:[] ~f:(fun acc k r -> (k, r) :: acc) |> List.rev
+
+let max_live t ~lo ~hi =
+  let rec probe below =
+    match Btree.find_last_lt t.tree below with
+    | Some (k, r) when compare k lo >= 0 ->
+        if r.Record.deleted then probe k else Some (k, r)
+    | Some _ | None -> None
+  in
+  probe hi
+
+let min_live t ~lo ~hi =
+  let result = ref None in
+  Btree.iter_from t.tree lo (fun k r ->
+      if compare k hi >= 0 then false
+      else if r.Record.deleted then true
+      else begin
+        result := Some (k, r);
+        false
+      end);
+  !result
+
+let count t = Btree.length t.tree
+let bytes t = t.bytes
+let account_growth t delta = t.bytes <- t.bytes + delta
+
+let compact t =
+  let dead = ref [] in
+  Btree.iter t.tree (fun k r -> if r.Record.deleted then dead := (k, r) :: !dead);
+  List.iter
+    (fun (k, r) ->
+      ignore (Btree.remove t.tree k);
+      t.bytes <- t.bytes - Record.byte_size ~key:k r)
+    !dead;
+  List.length !dead
+
+let iter t f = Btree.iter t.tree f

@@ -1,0 +1,55 @@
+(** A named table: a B+tree of {!Record.t} plus byte accounting.
+
+    Tables expose records, not values: the OCC engine and the replay path
+    both work directly on the record's version and lock fields. Scans skip
+    tombstoned records. *)
+
+type t
+
+val create : id:int -> name:string -> t
+val id : t -> int
+val name : t -> string
+
+val get : t -> string -> Record.t option
+(** The record for [key], including tombstones ([deleted = true]). *)
+
+val get_live : t -> string -> Record.t option
+(** Like {!get} but [None] for tombstones. *)
+
+val insert : t -> string -> Record.t -> unit
+(** Bind [key] to a fresh record. @raise Invalid_argument if present
+    (including as a tombstone); callers decide how to revive tombstones. *)
+
+val remove_phys : t -> string -> unit
+(** Physically drop the key (leader-side delete). No-op if absent. *)
+
+val scan : t -> lo:string -> hi:string -> ?limit:int -> unit -> (string * Record.t) list
+(** Live records with [lo <= key < hi], ascending, at most [limit]. *)
+
+val scan_all : t -> lo:string -> hi:string -> (string * Record.t) list
+(** Like {!scan} but including tombstones — used by replay-consistency
+    checks and bootstrap. *)
+
+val min_live : t -> lo:string -> hi:string -> (string * Record.t) option
+(** First live record in the range (TPC-C delivery's oldest-order probe). *)
+
+val max_live : t -> lo:string -> hi:string -> (string * Record.t) option
+(** Last live record in [[lo, hi)] (TPC-C's latest-order probe). *)
+
+val count : t -> int
+(** Number of physical records, tombstones included. O(1). *)
+
+val bytes : t -> int
+(** Approximate resident bytes, maintained incrementally. *)
+
+val account_growth : t -> int -> unit
+(** Adjust the byte estimate (called when a record's value is replaced by
+    one of a different size). *)
+
+val compact : t -> int
+(** Physically drop all tombstones; returns how many were dropped. Used
+    when a follower is promoted to leader. *)
+
+val iter : t -> (string -> Record.t -> unit) -> unit
+val tree : t -> Record.t Btree.t
+(** Escape hatch for tests and bootstrap. *)

@@ -1,0 +1,131 @@
+type write = { table : int; key : string; value : string option }
+type txn_log = { ts : int; writes : write list }
+type entry = { epoch : int; last_ts : int; txns : txn_log list }
+
+let make_entry ~epoch txns =
+  match List.rev txns with
+  | [] -> invalid_arg "Wire.make_entry: empty batch"
+  | last :: _ -> { epoch; last_ts = last.ts; txns }
+
+let noop ~epoch ~ts = { epoch; last_ts = ts; txns = [] }
+let is_noop e = e.txns = []
+
+(* Sizes mirror the encoding below exactly (tests enforce this). *)
+let write_byte_size w =
+  4 + 4 + String.length w.key + 1
+  + match w.value with Some v -> 4 + String.length v | None -> 0
+
+let txn_byte_size t =
+  (* Per-transaction header: ts(8) + nkv(4) + nbytes(4). *)
+  16 + List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes
+
+let byte_size e =
+  (* Entry header: epoch(8) + last_ts(8) + ntxns(4). *)
+  20 + List.fold_left (fun acc t -> acc + txn_byte_size t) 0 e.txns
+
+let txn_count e = List.length e.txns
+
+(* ---- binary encoding: little-endian fixed-width ints ---- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let encode e =
+  let buf = Buffer.create (byte_size e) in
+  add_u64 buf e.epoch;
+  add_u64 buf e.last_ts;
+  add_u32 buf (List.length e.txns);
+  List.iter
+    (fun t ->
+      add_u64 buf t.ts;
+      add_u32 buf (List.length t.writes);
+      add_u32 buf (List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes);
+      List.iter
+        (fun w ->
+          add_u32 buf w.table;
+          add_u32 buf (String.length w.key);
+          Buffer.add_string buf w.key;
+          match w.value with
+          | Some v ->
+              add_u8 buf 1;
+              add_u32 buf (String.length v);
+              Buffer.add_string buf v
+          | None -> add_u8 buf 0)
+        t.writes)
+    e.txns;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let need n = if !pos + n > len then raise (Malformed "truncated") in
+  let u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := !v lor (Char.code s.[!pos + i] lsl (8 * i))
+    done;
+    pos := !pos + 4;
+    !v
+  in
+  let u64 () =
+    need 8;
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := !v lor (Char.code s.[!pos + i] lsl (8 * i))
+    done;
+    pos := !pos + 8;
+    !v
+  in
+  let str n =
+    need n;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  try
+    let epoch = u64 () in
+    let last_ts = u64 () in
+    let ntxns = u32 () in
+    let txns =
+      List.init ntxns (fun _ ->
+          let ts = u64 () in
+          let nwrites = u32 () in
+          let _nbytes = u32 () in
+          let writes =
+            List.init nwrites (fun _ ->
+                let table = u32 () in
+                let klen = u32 () in
+                let key = str klen in
+                let value =
+                  match u8 () with
+                  | 0 -> None
+                  | 1 ->
+                      let vlen = u32 () in
+                      Some (str vlen)
+                  | _ -> raise (Malformed "bad value tag")
+                in
+                { table; key; value })
+          in
+          { ts; writes })
+    in
+    if !pos <> len then raise (Malformed "trailing bytes");
+    { epoch; last_ts; txns }
+  with Malformed m -> invalid_arg ("Wire.decode: " ^ m)

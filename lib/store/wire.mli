@@ -1,0 +1,45 @@
+(** Wire format for replicated log entries (paper Fig. 6).
+
+    A log entry batches many transactions. Each transaction carries a
+    header — timestamp, epoch (shared by the entry), number of key-value
+    pairs, byte count — followed by its write-set; read-sets are never
+    shipped. The entry's representative timestamp is the timestamp of the
+    {e last} transaction in the batch, which is what the watermark
+    compares against.
+
+    [byte_size] computes the encoded size without materialising the bytes;
+    the simulator charges serialization cost from sizes and only performs
+    physical encode/decode when configured to (and always in tests). *)
+
+type write = {
+  table : int;
+  key : string;
+  value : string option;  (** [None] encodes a delete *)
+}
+
+type txn_log = { ts : int; writes : write list }
+
+type entry = {
+  epoch : int;
+  last_ts : int;  (** timestamp of the last transaction in the batch *)
+  txns : txn_log list;
+}
+
+val make_entry : epoch:int -> txn_log list -> entry
+(** Computes [last_ts] from the batch. @raise Invalid_argument on an empty
+    batch (heartbeats use {!noop} instead). *)
+
+val noop : epoch:int -> ts:int -> entry
+(** An empty entry whose only purpose is to advance the watermark
+    (heartbeat / epoch-sealing no-op). *)
+
+val is_noop : entry -> bool
+
+val write_byte_size : write -> int
+val txn_byte_size : txn_log -> int
+val byte_size : entry -> int
+val txn_count : entry -> int
+
+val encode : entry -> string
+val decode : string -> entry
+(** @raise Invalid_argument on malformed input. *)

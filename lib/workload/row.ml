@@ -1,0 +1,42 @@
+let pack fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_int (String.length f));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let unpack s =
+  let len = String.length s in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt s pos ':' with
+      | None -> invalid_arg "Row.unpack: missing length separator"
+      | Some colon ->
+          let n =
+            match int_of_string_opt (String.sub s pos (colon - pos)) with
+            | Some n when n >= 0 -> n
+            | Some _ | None -> invalid_arg "Row.unpack: bad length"
+          in
+          if colon + 1 + n > len then invalid_arg "Row.unpack: truncated field";
+          go (colon + 1 + n) (String.sub s (colon + 1) n :: acc)
+  in
+  go 0 []
+
+let int_field = string_of_int
+
+let to_int s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Row.to_int: %S is not numeric" s)
+
+let field row i = List.nth (unpack row) i
+
+let set_field row i v =
+  let fields = unpack row in
+  pack (List.mapi (fun j f -> if j = i then v else f) fields)
+
+let pad n = String.make n 'x'

@@ -1,0 +1,22 @@
+(** Minimal row codec: a row is a list of string fields packed into one
+    value with length framing. Numeric fields go through
+    {!int_field}/{!to_int}. Padding fields reproduce realistic TPC-C row
+    and log-entry sizes (the paper measures ~875 bytes of log per TPC-C
+    transaction). *)
+
+val pack : string list -> string
+val unpack : string -> string list
+(** @raise Invalid_argument on malformed input. *)
+
+val int_field : int -> string
+val to_int : string -> int
+(** @raise Failure on a non-numeric field. *)
+
+val field : string -> int -> string
+(** [field row i] unpacks and selects; convenience for sparse access. *)
+
+val set_field : string -> int -> string -> string
+(** Functional field update (unpack, replace, repack). *)
+
+val pad : int -> string
+(** A filler string of the given length (deterministic content). *)

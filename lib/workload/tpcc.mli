@@ -1,0 +1,76 @@
+(** TPC-C: the full five-transaction OLTP benchmark (paper §6.1, Fig. 9).
+
+    Nine tables (warehouse, district, customer, history, new-order, order,
+    order-line, item, stock) plus two secondary indexes (customer by last
+    name; order by customer), with the official transaction mix:
+    NewOrder 45%%, Payment 43%%, OrderStatus 4%%, StockLevel 4%%,
+    Delivery 4%%. Each warehouse is served by the worker that owns it
+    (workers own disjoint warehouse sets), matching Silo's affinity setup.
+
+    Scale note: the default cardinalities are reduced (10k items instead
+    of 100k, 300 customers/district instead of 3000, 300 initial orders)
+    so a simulated run loads in seconds; contention characteristics are
+    preserved because hot rows (district next-order ids, warehouse YTD)
+    are per-(warehouse, district) regardless of catalogue size. Full-scale
+    numbers are a parameter away.
+
+    [fast_ids] reproduces Silo's FastIds optimization: NewOrder ids come
+    from a per-(warehouse, district) counter outside the transaction
+    instead of a read-modify-write on the hot district row. The paper
+    enables it everywhere except the skew experiment (Fig. 17). *)
+
+type params = {
+  warehouses : int;
+  districts : int;  (** per warehouse; spec: 10 *)
+  customers_per_district : int;
+  items : int;
+  init_orders_per_district : int;
+  fast_ids : bool;
+  mix : mix;
+}
+
+and mix = {
+  new_order : int;
+  payment : int;
+  order_status : int;
+  stock_level : int;
+  delivery : int;  (** percentages; must sum to 100 *)
+}
+
+val official_mix : mix
+val default : params
+(** 8 warehouses, reduced cardinalities, FastIds on, official mix. *)
+
+val with_warehouses : params -> int -> params
+
+val skewed : params
+(** The Fig. 17 setting: 4 warehouses, 100%% NewOrder, FastIds off. *)
+
+type txn_kind = New_order | Payment | Order_status | Stock_level | Delivery
+
+val kind_name : txn_kind -> string
+val all_kinds : txn_kind list
+
+val setup : params -> Silo.Db.t -> unit
+(** Create and populate all tables. Deterministic: every replica loads
+    identical data. *)
+
+(** Per-replica generator state (FastIds counters, history sequence). *)
+type state
+
+val make_state : params -> Silo.Db.t -> state
+
+val pick_kind : params -> Sim.Rng.t -> txn_kind
+
+val run_kind :
+  state -> Sim.Rng.t -> worker:int -> nworkers:int -> txn_kind -> Silo.Txn.t -> unit
+(** Build and execute one transaction body of the given kind. NewOrder
+    raises {!Silo.Txn.Abort} for the spec's 1%% rollbacks. *)
+
+val app : params -> Rolis.App.t
+
+val consistency_errors : params -> Silo.Db.t -> string list
+(** TPC-C consistency conditions (adapted): W_YTD = sum of D_YTD; every
+    order has exactly its OL_CNT order lines; every new-order row has an
+    order row; the global customer-balance equation holds. Empty list =
+    consistent. *)

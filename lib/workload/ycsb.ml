@@ -1,0 +1,66 @@
+type params = {
+  keys : int;
+  value_size : int;
+  ops_per_txn : int;
+  read_ratio : float;
+  theta : float option;
+}
+
+let default =
+  { keys = 1_000_000; value_size = 24; ops_per_txn = 4; read_ratio = 0.5; theta = None }
+
+let ycsb_t = { default with ops_per_txn = 1 }
+
+(* Standard YCSB mixes, transactionalised the same way as YCSB++ (each
+   transaction groups [ops_per_txn] operations). Workloads A/B use the
+   YCSB-default Zipfian skew; C is read-only. *)
+let workload_a = { default with read_ratio = 0.5; theta = Some 0.99 }
+let workload_b = { default with read_ratio = 0.95; theta = Some 0.99 }
+let workload_c = { default with read_ratio = 1.0; theta = None }
+let table_name = "usertable"
+let key i = Store.Keycodec.encode [ Store.Keycodec.I i ]
+
+let setup p db =
+  let t = Silo.Db.create_table db table_name in
+  let value = Row.pad p.value_size in
+  for i = 0 to p.keys - 1 do
+    Store.Table.insert t (key i) (Store.Record.make value)
+  done
+
+let pick_key p chooser rng =
+  match chooser with Some z -> Zipf.next z rng | None -> Sim.Rng.int rng p.keys
+
+let body p table chooser rng txn =
+  let read_only = Sim.Rng.float rng 1.0 < p.read_ratio in
+  for _ = 1 to p.ops_per_txn do
+    let k = key (pick_key p chooser rng) in
+    let v = Silo.Txn.get txn table k in
+    if not read_only then
+      (* Read-modify-write: flip a byte so the value really changes. *)
+      let v' =
+        match v with
+        | Some s when String.length s > 0 ->
+            let b = Bytes.of_string s in
+            Bytes.set b 0 (if Bytes.get b 0 = 'x' then 'y' else 'x');
+            Bytes.to_string b
+        | Some _ | None -> Row.pad p.value_size
+      in
+      Silo.Txn.put txn table k v'
+  done
+
+let chooser_of p = Option.map (fun theta -> Zipf.create ~n:p.keys ~theta) p.theta
+
+let txn_body p db rng txn =
+  let table = Silo.Db.table db table_name in
+  body p table (chooser_of p) rng txn
+
+let app p =
+  {
+    Rolis.App.name = "ycsb++";
+    setup = setup p;
+    make_worker =
+      (fun db ~rng ~worker:_ ~nworkers:_ ->
+        let table = Silo.Db.table db table_name in
+        let chooser = chooser_of p in
+        fun () txn -> body p table chooser rng txn);
+  }

@@ -1,0 +1,44 @@
+(** YCSB-family transactional workloads.
+
+    - {b YCSB++} (paper §6.1): derived from YCSB workload F — 50%%
+      read-only transactions of 4 point reads, 50%% read-modify-write
+      transactions of 4 RMWs; keys chosen uniformly over the keyspace.
+    - {b YCSB-T}: the small-transaction variant used by the Meerkat
+      comparison (Fig. 13) — one op per transaction, 50/50 read / RMW.
+
+    The same generators back the Rolis cluster (as a {!Rolis.App.t}), the
+    Silo-only baseline, and the 2PL / Calvin / Meerkat baselines. *)
+
+type params = {
+  keys : int;  (** records in the table (paper: 1 million) *)
+  value_size : int;  (** bytes per value *)
+  ops_per_txn : int;  (** reads or RMWs per transaction (paper: 4) *)
+  read_ratio : float;  (** fraction of read-only transactions (0.5) *)
+  theta : float option;  (** Zipf skew; [None] = uniform (the paper) *)
+}
+
+val default : params
+(** 1M keys, small (24-byte) values, 4 ops, 50/50, uniform — YCSB++'s
+    write-sets are much smaller than TPC-C's (§6.2). *)
+
+val ycsb_t : params
+(** Meerkat's YCSB-T shape: 1 op per transaction. *)
+
+val workload_a : params
+(** Classic YCSB-A: 50/50 read/update, Zipfian skew. *)
+
+val workload_b : params
+(** Classic YCSB-B: 95/5 read/update, Zipfian skew. *)
+
+val workload_c : params
+(** Classic YCSB-C: read-only, uniform. *)
+
+val table_name : string
+val key : int -> string
+val setup : params -> Silo.Db.t -> unit
+
+val txn_body : params -> Silo.Db.t -> Sim.Rng.t -> Silo.Txn.t -> unit
+(** One transaction: flips read-only vs RMW and touches [ops_per_txn]
+    random records. *)
+
+val app : params -> Rolis.App.t

@@ -1,0 +1,339 @@
+(* Tests for the replication substrate: election + MultiPaxos streams.
+
+   The harness builds an n-replica cluster with k streams per replica and
+   records every stream's committed sequence per replica, asserting
+   sequential (no-holes) delivery as it goes. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Engine.ms
+
+let entry ~epoch ~ts =
+  Store.Wire.make_entry ~epoch
+    [ { Store.Wire.ts; writes = [ { Store.Wire.table = 0; key = "k"; value = Some "v" } ] } ]
+
+type replica = {
+  id : int;
+  election : Paxos.Election.t;
+  streams : Paxos.Stream.t array;
+  committed : (int * Store.Wire.entry) list ref array; (* reverse order *)
+  mutable dispatcher : Sim.Engine.proc option;
+  mutable ticker : Sim.Engine.proc option;
+}
+
+type cluster = {
+  eng : Sim.Engine.t;
+  net : Paxos.Msg.t Sim.Net.t;
+  replicas : replica array;
+  elected : (int * int) list ref; (* (epoch, leader) in election order *)
+}
+
+let make_cluster ?(n = 3) ?(k = 2) ?(heartbeat = 20 * ms) ?(timeout = 100 * ms)
+    ?(initial_leader = Some 0) () =
+  let eng = Sim.Engine.create () in
+  let net =
+    Sim.Net.create eng ~nodes:n
+      ~latency:(Sim.Net.Exp_jitter { base = 50 * Sim.Engine.us; jitter_mean = 20 * Sim.Engine.us })
+  in
+  let elected = ref [] in
+  let replicas =
+    Array.init n (fun id ->
+        let committed = Array.init k (fun _ -> ref []) in
+        let streams = Array.make k None in
+        let election = ref None in
+        let on_commit s ~idx e =
+          (* Sequential, exactly-once delivery. *)
+          (match !(committed.(s)) with
+          | [] -> if idx <> 0 then Alcotest.failf "replica %d stream %d: first commit %d" id s idx
+          | (prev, _) :: _ ->
+              if idx <> prev + 1 then
+                Alcotest.failf "replica %d stream %d: hole %d -> %d" id s prev idx);
+          committed.(s) := (idx, e) :: !(committed.(s))
+        in
+        let on_higher_epoch e =
+          match !election with Some el -> Paxos.Election.observe_epoch el e | None -> ()
+        in
+        for s = 0 to k - 1 do
+          streams.(s) <-
+            Some (Paxos.Stream.create net ~id:s ~me:id ~on_commit:(on_commit s) ~on_higher_epoch ())
+        done;
+        let streams = Array.map Option.get streams in
+        let el =
+          Paxos.Election.create net ~me:id ~heartbeat_interval:heartbeat
+            ~election_timeout:timeout ?initial_leader
+            ~on_leader_elected:(fun ~epoch ->
+              elected := (epoch, id) :: !elected;
+              Array.iter (fun s -> Paxos.Stream.become_leader s ~epoch) streams)
+            ~on_new_epoch:(fun ~epoch:_ ~leader ->
+              if leader <> Some id then Array.iter Paxos.Stream.step_down streams)
+            ()
+        in
+        election := Some el;
+        { id; election = el; streams; committed; dispatcher = None; ticker = None })
+  in
+  let cluster = { eng; net; replicas; elected } in
+  Array.iter
+    (fun r ->
+      let dispatcher =
+        Sim.Engine.spawn eng ~name:(Printf.sprintf "dispatch-%d" r.id) (fun () ->
+            while true do
+              let m = Sim.Net.recv net r.id in
+              match m.Paxos.Msg.body with
+              | Paxos.Msg.Elect e -> Paxos.Election.handle r.election e ~from:m.Paxos.Msg.from
+              | Paxos.Msg.Stream { stream; msg } ->
+                  Paxos.Stream.handle r.streams.(stream) msg ~from:m.Paxos.Msg.from
+            done)
+      in
+      r.dispatcher <- Some dispatcher;
+      r.ticker <- Some (Paxos.Election.start r.election))
+    replicas;
+  cluster
+
+let crash c id =
+  Sim.Net.crash c.net id;
+  let r = c.replicas.(id) in
+  Option.iter Sim.Engine.kill r.dispatcher;
+  Option.iter Sim.Engine.kill r.ticker
+
+let current_leader c =
+  let leaders =
+    Array.to_list c.replicas
+    |> List.filter (fun r -> Paxos.Election.is_leader r.election && Sim.Net.is_up c.net r.id)
+  in
+  match leaders with [ r ] -> Some r | [] -> None | _ :: _ -> None
+
+let committed_list r s = List.rev !(r.committed.(s))
+
+(* Proposer process: feed [count] entries into stream [s] of whichever
+   replica currently leads, one per [gap] ns. *)
+let spawn_proposer c ~s ~count ~gap =
+  Sim.Engine.spawn c.eng ~name:"proposer" (fun () ->
+      let sent = ref 0 in
+      while !sent < count do
+        (match current_leader c with
+        | Some r when Paxos.Stream.is_caught_up r.streams.(s) ->
+            incr sent;
+            Paxos.Stream.propose r.streams.(s) (entry ~epoch:(Paxos.Election.epoch r.election) ~ts:!sent)
+        | Some _ | None -> ());
+        Sim.Engine.sleep gap
+      done)
+
+let test_stable_replication () =
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:50 ~gap:(1 * ms) in
+  Sim.Engine.run ~until:(500 * ms) c.eng;
+  Array.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "replica %d committed all" r.id)
+        50
+        (List.length (committed_list r 0)))
+    c.replicas;
+  (* Same values in the same order everywhere. *)
+  let reference = committed_list c.replicas.(0) 0 in
+  Array.iter
+    (fun r -> check_bool "identical logs" true (committed_list r 0 = reference))
+    c.replicas
+
+let test_streams_independent () =
+  let c = make_cluster ~k:3 () in
+  let _p0 = spawn_proposer c ~s:0 ~count:30 ~gap:(1 * ms) in
+  let _p1 = spawn_proposer c ~s:1 ~count:10 ~gap:(3 * ms) in
+  (* stream 2 gets nothing *)
+  Sim.Engine.run ~until:(500 * ms) c.eng;
+  let r = c.replicas.(1) in
+  check_int "stream 0" 30 (List.length (committed_list r 0));
+  check_int "stream 1" 10 (List.length (committed_list r 1));
+  check_int "stream 2" 0 (List.length (committed_list r 2))
+
+let test_cold_start_election () =
+  let c = make_cluster ~initial_leader:None () in
+  Sim.Engine.run ~until:(400 * ms) c.eng;
+  (match current_leader c with
+  | Some r -> check_bool "epoch advanced" true (Paxos.Election.epoch r.election >= 1)
+  | None -> Alcotest.fail "no leader elected from cold start");
+  (* Exactly one leader. *)
+  let nleaders =
+    Array.to_list c.replicas
+    |> List.filter (fun r -> Paxos.Election.is_leader r.election)
+    |> List.length
+  in
+  check_int "single leader" 1 nleaders
+
+let test_failover_preserves_committed () =
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:1000 ~gap:(1 * ms) in
+  (* Kill the initial leader mid-run. *)
+  Sim.Engine.schedule c.eng (200 * ms) (fun () -> crash c 0);
+  Sim.Engine.run ~until:(2_000 * ms) c.eng;
+  (match current_leader c with
+  | Some r ->
+      check_bool "new leader is not replica 0" true (r.id <> 0);
+      check_bool "epoch bumped" true (Paxos.Election.epoch r.election >= 2)
+  | None -> Alcotest.fail "no leader after failover");
+  (* Agreement: survivors' logs must be identical prefixes of each other
+     and strictly longer than what was committed before the crash. *)
+  let l1 = committed_list c.replicas.(1) 0 and l2 = committed_list c.replicas.(2) 0 in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  in
+  check_bool "survivor logs agree" true (is_prefix l1 l2 || is_prefix l2 l1);
+  check_bool "progress after failover" true (List.length l1 > 190)
+
+let test_follower_catch_up_after_partition () =
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:200 ~gap:(1 * ms) in
+  (* Cut replica 2 off from both peers for a while; majority continues. *)
+  Sim.Engine.schedule c.eng (50 * ms) (fun () ->
+      Sim.Net.partition c.net 0 2;
+      Sim.Net.partition c.net 1 2);
+  Sim.Engine.schedule c.eng (150 * ms) (fun () -> Sim.Net.heal_all c.net);
+  Sim.Engine.run ~until:(1_500 * ms) c.eng;
+  let l0 = committed_list c.replicas.(0) 0 in
+  let l2 = committed_list c.replicas.(2) 0 in
+  check_int "master log complete" 200 (List.length l0);
+  check_bool "partitioned follower caught up" true (List.length l2 >= 200);
+  check_bool "same content" true (l0 = l2)
+
+let test_old_leader_steps_down () =
+  let c = make_cluster () in
+  (* Partition the leader from both followers: they elect a new leader;
+     when healed, the old leader must step down via Nack/Heartbeat. *)
+  Sim.Engine.schedule c.eng (50 * ms) (fun () ->
+      Sim.Net.partition c.net 0 1;
+      Sim.Net.partition c.net 0 2);
+  Sim.Engine.schedule c.eng (600 * ms) (fun () -> Sim.Net.heal_all c.net);
+  Sim.Engine.run ~until:(1_500 * ms) c.eng;
+  let r0 = c.replicas.(0) in
+  check_bool "old leader stepped down" false (Paxos.Election.is_leader r0.election);
+  let nleaders =
+    Array.to_list c.replicas
+    |> List.filter (fun r -> Paxos.Election.is_leader r.election)
+    |> List.length
+  in
+  check_int "exactly one leader after heal" 1 nleaders
+
+let test_log_truncation_bounds_memory () =
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:600 ~gap:(1 * ms) in
+  Sim.Engine.run ~until:(1_500 * ms) c.eng;
+  Array.iter
+    (fun r ->
+      check_int "all committed" 600 (List.length (committed_list r 0));
+      let retained = Paxos.Stream.retained_slots r.streams.(0) in
+      check_bool
+        (Printf.sprintf "replica %d log compacted (%d retained)" r.id retained)
+        true (retained < 300);
+      check_bool "truncation accounted" true
+        ((Paxos.Stream.stats r.streams.(0)).Paxos.Stream.truncated > 0))
+    c.replicas
+
+let test_truncation_freezes_for_lagging_follower () =
+  (* While a follower is partitioned, the leader must stop truncating past
+     the follower's last known commit, so the follower can still catch up
+     from the retained log after healing. *)
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:500 ~gap:(1 * ms) in
+  Sim.Engine.schedule c.eng (50 * ms) (fun () ->
+      Sim.Net.partition c.net 0 2;
+      Sim.Net.partition c.net 1 2);
+  Sim.Engine.schedule c.eng (400 * ms) (fun () -> Sim.Net.heal_all c.net);
+  Sim.Engine.run ~until:(2_000 * ms) c.eng;
+  let l0 = committed_list c.replicas.(0) 0 and l2 = committed_list c.replicas.(2) 0 in
+  check_int "leader committed everything" 500 (List.length l0);
+  check_bool "lagging follower fully caught up" true (l0 = l2)
+
+let test_failover_after_truncation () =
+  let c = make_cluster () in
+  let _p = spawn_proposer c ~s:0 ~count:800 ~gap:(1 * ms) in
+  Sim.Engine.schedule c.eng (600 * ms) (fun () -> crash c 0);
+  Sim.Engine.run ~until:(3_000 * ms) c.eng;
+  (match current_leader c with
+  | Some r -> check_bool "new leader" true (r.id <> 0)
+  | None -> Alcotest.fail "no leader after failover");
+  let l1 = committed_list c.replicas.(1) 0 and l2 = committed_list c.replicas.(2) 0 in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  in
+  check_bool "agreement preserved across truncation + failover" true
+    (is_prefix l1 l2 || is_prefix l2 l1);
+  check_bool "progress" true (List.length l1 > 500)
+
+(* Randomized agreement property: random leader crashes and partitions;
+   afterwards all replicas' committed logs for every stream must be
+   prefixes of one another (agreement + no divergence). *)
+let agreement_qcheck =
+  QCheck.Test.make ~name:"paxos agreement under random failures" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = make_cluster ~k:2 () in
+      let rng = Sim.Rng.create (Int64.of_int (seed + 17)) in
+      let _p0 = spawn_proposer c ~s:0 ~count:300 ~gap:(1 * ms) in
+      let _p1 = spawn_proposer c ~s:1 ~count:300 ~gap:(1 * ms) in
+      (* One random partition episode plus one crash of the current leader. *)
+      let t_part = 20 * ms + Sim.Rng.int rng (200 * ms) in
+      let isolate = Sim.Rng.int rng 3 in
+      Sim.Engine.schedule c.eng t_part (fun () ->
+          Array.iter
+            (fun (r : replica) ->
+              if r.id <> isolate then Sim.Net.partition c.net isolate r.id)
+            c.replicas);
+      Sim.Engine.schedule c.eng (t_part + (150 * ms)) (fun () -> Sim.Net.heal_all c.net);
+      let t_crash = 400 * ms + Sim.Rng.int rng (200 * ms) in
+      Sim.Engine.schedule c.eng t_crash (fun () ->
+          match current_leader c with Some r -> crash c r.id | None -> ());
+      Sim.Engine.run ~until:(3_000 * ms) c.eng;
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+      in
+      let ok = ref true in
+      for s = 0 to 1 do
+        let logs =
+          Array.to_list c.replicas
+          |> List.filter (fun r -> Sim.Net.is_up c.net r.id)
+          |> List.map (fun r -> committed_list r s)
+        in
+        List.iter
+          (fun a -> List.iter (fun b -> if not (is_prefix a b || is_prefix b a) then ok := false) logs)
+          logs
+      done;
+      (* Election safety: at most one leader per epoch, ever. *)
+      let epochs = List.map fst !(c.elected) in
+      let distinct = List.sort_uniq compare epochs in
+      if List.length distinct <> List.length epochs then ok := false;
+      !ok)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "paxos"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "stable replication" `Quick test_stable_replication;
+          Alcotest.test_case "independent streams" `Quick test_streams_independent;
+          Alcotest.test_case "follower catch-up" `Quick test_follower_catch_up_after_partition;
+          Alcotest.test_case "log truncation bounds memory" `Quick
+            test_log_truncation_bounds_memory;
+          Alcotest.test_case "truncation freezes for laggard" `Quick
+            test_truncation_freezes_for_lagging_follower;
+          Alcotest.test_case "failover after truncation" `Quick
+            test_failover_after_truncation;
+        ] );
+      ( "election",
+        [
+          Alcotest.test_case "cold start" `Quick test_cold_start_election;
+          Alcotest.test_case "failover preserves commits" `Quick
+            test_failover_preserves_committed;
+          Alcotest.test_case "old leader steps down" `Quick test_old_leader_steps_down;
+        ] );
+      ("properties", [ qc agreement_qcheck ]);
+    ]

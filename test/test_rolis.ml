@@ -1,0 +1,517 @@
+(* End-to-end tests for the Rolis core: watermark laws, release/replay
+   convergence, failover safety (the paper's Fig. 3 scenario), bootstrap. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Engine.ms
+let s = Sim.Engine.s
+
+(* ---------- Watermark (pure) ---------- *)
+
+let test_watermark_min_law () =
+  let wm = Rolis.Watermark.create ~streams:3 in
+  check_bool "undefined before any entries" true
+    (Rolis.Watermark.compute wm ~epoch:1 = None);
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:10;
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:1 ~ts:7;
+  check_bool "still undefined with a silent stream" true
+    (Rolis.Watermark.compute wm ~epoch:1 = None);
+  Rolis.Watermark.note_durable wm ~stream:2 ~epoch:1 ~ts:30;
+  check_bool "min over streams" true (Rolis.Watermark.compute wm ~epoch:1 = Some 7);
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:1 ~ts:25;
+  check_bool "grows with the laggard" true
+    (Rolis.Watermark.compute wm ~epoch:1 = Some 10)
+
+let test_watermark_monotone () =
+  let wm = Rolis.Watermark.create ~streams:2 in
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:10;
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:1 ~ts:10;
+  let w1 = Rolis.Watermark.compute wm ~epoch:1 in
+  (* Stale stamps are ignored. *)
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:5;
+  check_bool "stale durable ignored" true (Rolis.Watermark.compute wm ~epoch:1 = w1)
+
+let test_watermark_epoch_sealing () =
+  let wm = Rolis.Watermark.create ~streams:2 in
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:34;
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:1 ~ts:21;
+  check_bool "not sealed yet" false (Rolis.Watermark.is_sealed wm ~epoch:1);
+  check_bool "no final watermark yet" true
+    (Rolis.Watermark.final_watermark wm ~epoch:1 = None);
+  (* Epoch-2 no-ops seal epoch 1 on both streams. *)
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:2 ~ts:100;
+  check_bool "half sealed" false (Rolis.Watermark.is_sealed wm ~epoch:1);
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:2 ~ts:101;
+  check_bool "sealed" true (Rolis.Watermark.is_sealed wm ~epoch:1);
+  check_bool "final = min of sealed tails" true
+    (Rolis.Watermark.final_watermark wm ~epoch:1 = Some 21);
+  (* The Fig. 8 example: five streams, W = min(34,27,41,21,23) = 21. *)
+  let wm8 = Rolis.Watermark.create ~streams:5 in
+  List.iteri
+    (fun i ts -> Rolis.Watermark.note_durable wm8 ~stream:i ~epoch:1 ~ts)
+    [ 34; 27; 41; 21; 23 ];
+  List.iteri
+    (fun i _ -> Rolis.Watermark.note_durable wm8 ~stream:i ~epoch:2 ~ts:200)
+    [ (); (); (); (); () ];
+  check_bool "paper Fig. 8 watermark" true
+    (Rolis.Watermark.final_watermark wm8 ~epoch:1 = Some 21)
+
+let test_watermark_skipped_epoch () =
+  let wm = Rolis.Watermark.create ~streams:2 in
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:10;
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:1 ~ts:20;
+  (* Stream 0 has entries in epoch 2; stream 1 jumps straight to 3. *)
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:2 ~ts:30;
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:3 ~ts:40;
+  Rolis.Watermark.note_durable wm ~stream:1 ~epoch:3 ~ts:50;
+  check_bool "epoch 2 sealed" true (Rolis.Watermark.is_sealed wm ~epoch:2);
+  (* Stream 1 never wrote in epoch 2, so only stream 0 constrains it. *)
+  check_bool "final for epoch 2" true
+    (Rolis.Watermark.final_watermark wm ~epoch:2 = Some 30)
+
+(* Random durability feeds: within one epoch the computed watermark must
+   be monotone over time and always equal the min of per-stream maxima. *)
+let watermark_qcheck =
+  QCheck.Test.make ~name:"watermark = min of stream maxima, monotone" ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 1 1000)))
+    (fun feed ->
+      let wm = Rolis.Watermark.create ~streams:4 in
+      let maxima = Array.make 4 0 in
+      let last_w = ref None in
+      List.for_all
+        (fun (stream, ts) ->
+          Rolis.Watermark.note_durable wm ~stream ~epoch:1 ~ts;
+          maxima.(stream) <- max maxima.(stream) ts;
+          let expected =
+            if Array.exists (fun m -> m = 0) maxima then None
+            else Some (Array.fold_left min max_int maxima)
+          in
+          let got = Rolis.Watermark.compute wm ~epoch:1 in
+          let monotone =
+            match (!last_w, got) with
+            | Some prev, Some cur -> cur >= prev
+            | Some _, None -> false
+            | None, _ -> true
+          in
+          last_w := got;
+          got = expected && monotone)
+        feed)
+
+(* ---------- cluster helpers ---------- *)
+
+(* Slow, test-friendly cost model: ~50us per transaction keeps event
+   counts small while exercising every code path. *)
+let test_costs =
+  { Silo.Costs.default with Silo.Costs.txn_begin_ns = 50_000; abort_ns = 5_000 }
+
+let test_cfg ?(workers = 4) ?(batch = 50) () =
+  {
+    Rolis.Config.default with
+    Rolis.Config.workers;
+    cores = 8;
+    batch_size = batch;
+    costs = test_costs;
+    physical_serialization = true;
+    heartbeat_interval = 50 * ms;
+    election_timeout = 300 * ms;
+  }
+
+(* A transfer app over [accounts] accounts, each starting with
+   [initial] units; every transaction moves a random amount between two
+   random accounts inside one transaction — the paper's Fig. 3 workload.
+   [stopped] freezes generation (bodies become read-only no-ops). *)
+let transfer_app ~accounts ~initial ~stopped =
+  let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+  {
+    Rolis.App.name = "transfer";
+    setup =
+      (fun db ->
+        let t = Silo.Db.create_table db "accounts" in
+        for i = 0 to accounts - 1 do
+          Store.Table.insert t (key i) (Store.Record.make (string_of_int initial))
+        done);
+    make_worker =
+      (fun db ~rng ~worker:_ ~nworkers:_ ->
+        let t = Silo.Db.table db "accounts" in
+        fun () txn ->
+          if not !stopped then begin
+            let a = Sim.Rng.int rng accounts and b = Sim.Rng.int rng accounts in
+            if a <> b then begin
+              let bal k =
+                match Silo.Txn.get txn t (key k) with
+                | Some v -> int_of_string v
+                | None -> Alcotest.failf "account %d missing" k
+              in
+              let va = bal a and vb = bal b in
+              let amount = 1 + Sim.Rng.int rng 10 in
+              Silo.Txn.put txn t (key a) (string_of_int (va - amount));
+              Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
+            end
+          end);
+  }
+
+let total_money db ~accounts =
+  let t = Silo.Db.table db "accounts" in
+  let sum = ref 0 in
+  for i = 0 to accounts - 1 do
+    match Store.Table.get_live t (Store.Keycodec.encode [ Store.Keycodec.I i ]) with
+    | Some r -> sum := !sum + int_of_string r.Store.Record.value
+    | None -> Alcotest.failf "account %d missing" i
+  done;
+  !sum
+
+let table_state db name =
+  let t = Silo.Db.table db name in
+  let acc = ref [] in
+  Store.Table.iter t (fun k r ->
+      if not r.Store.Record.deleted then acc := (k, r.Store.Record.value) :: !acc);
+  List.rev !acc
+
+(* ---------- end-to-end ---------- *)
+
+let test_basic_release () =
+  let cfg = test_cfg () in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  (* No warm-up here: with a reset window, releases of pre-window
+     executions would make the release/execute comparison meaningless. *)
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  let released = Rolis.Cluster.released cluster in
+  check_bool "transactions released" true (released > 1_000);
+  (match Rolis.Cluster.leader cluster with
+  | Some r -> check_int "initial leader serves" 0 (Rolis.Replica.id r)
+  | None -> Alcotest.fail "no serving leader");
+  let lat = Rolis.Cluster.latency cluster in
+  let p50 = Sim.Metrics.Hist.quantile lat 0.5 in
+  check_bool "median latency sane (>0.5ms, <100ms)" true
+    (p50 > ms / 2 && p50 < 100 * ms);
+  (* Released never exceeds executed. *)
+  check_bool "release <= execute" true (released <= Rolis.Cluster.executed cluster)
+
+let test_convergence_after_drain () =
+  let stopped = ref false in
+  let accounts = 50 in
+  let cfg = test_cfg () in
+  let app = transfer_app ~accounts ~initial:1_000 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  stopped := true;
+  (* Drain: heartbeat no-ops push the watermark past the last real txn;
+     followers finish replay. *)
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  let leader_state = table_state (Rolis.Replica.db (Rolis.Cluster.replica cluster 0)) "accounts" in
+  check_bool "some transfers happened" true
+    (Rolis.Cluster.released cluster > 100);
+  for i = 1 to 2 do
+    let f = Rolis.Cluster.replica cluster i in
+    (* Only the pipeline tail may still be queued: the freshest heartbeat
+       no-op per stream, plus at most one entry whose timestamp the
+       follower's (slightly lagging) watermark has not yet covered. *)
+    check_bool
+      (Printf.sprintf "follower %d drained to the pipeline tail" i)
+      true
+      (Rolis.Replica.replay_backlog f <= 2 * cfg.Rolis.Config.workers);
+    check_bool
+      (Printf.sprintf "follower %d state equals leader" i)
+      true
+      (table_state (Rolis.Replica.db f) "accounts" = leader_state)
+  done;
+  (* Money is conserved everywhere. *)
+  Array.iter
+    (fun r ->
+      check_int "money conserved" (accounts * 1_000)
+        (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas cluster)
+
+let test_failover_money_conservation () =
+  (* The Fig. 3 scenario: crash the leader mid-stream. The new leader must
+     replay a consistent prefix — transfers are two-key transactions, so
+     any torn or transitively-inconsistent replay breaks the total. *)
+  let stopped = ref false in
+  let accounts = 40 in
+  let cfg = test_cfg () in
+  let app = transfer_app ~accounts ~initial:500 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (700 * ms) (fun () -> Rolis.Cluster.crash_replica cluster 0);
+  Rolis.Cluster.run cluster ~duration:(3 * s) ();
+  (* A new leader must have taken over and be serving. *)
+  (match Rolis.Cluster.leader cluster with
+  | Some r ->
+      check_bool "new leader is a former follower" true (Rolis.Replica.id r <> 0);
+      check_bool "epoch advanced" true
+        (Paxos.Election.epoch (Rolis.Replica.election r) >= 2);
+      check_int "money conserved on new leader" (accounts * 500)
+        (total_money (Rolis.Replica.db r) ~accounts)
+  | None -> Alcotest.fail "no leader after failover");
+  (* And the cluster kept releasing transactions after the crash. *)
+  let post_crash =
+    List.filter (fun (t, rate) -> t > 1.2 && rate > 0.0) (Rolis.Cluster.release_rate cluster)
+  in
+  check_bool "throughput resumed after failover" true (post_crash <> [])
+
+let test_failover_gap_then_recovery () =
+  let cfg = test_cfg () in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:200) in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (1 * s) (fun () -> Rolis.Cluster.crash_replica cluster 0);
+  Rolis.Cluster.run cluster ~duration:(3 * s) ();
+  let series = Rolis.Cluster.release_rate cluster in
+  let rate_at t0 =
+    match List.assoc_opt t0 series with Some r -> r | None -> 0.0
+  in
+  check_bool "busy before crash" true (rate_at 0.5 > 0.0);
+  (* Election timeout is 300ms in the test config: there is a visible gap
+     right after the crash. *)
+  check_bool "gap right after crash" true (rate_at 1.2 = 0.0);
+  let resumed = List.exists (fun (t, r) -> t > 1.3 && r > 0.0) series in
+  check_bool "recovered within the run" true resumed
+
+(* Durability of released results: everything the old leader released to
+   clients must survive on the new leader. Counters only grow, so the sum
+   of counters on the new leader must be at least the number of releases
+   counted at crash time. *)
+let test_released_results_survive_crash () =
+  let cfg = test_cfg () in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  let eng = Rolis.Cluster.engine cluster in
+  let released_at_crash = ref 0 in
+  Sim.Engine.schedule eng (900 * ms) (fun () ->
+      released_at_crash :=
+        Rolis.Stats.released (Rolis.Replica.stats (Rolis.Cluster.replica cluster 0));
+      Rolis.Cluster.crash_replica cluster 0);
+  Rolis.Cluster.run cluster ~duration:(3 * s) ();
+  match Rolis.Cluster.leader cluster with
+  | None -> Alcotest.fail "no leader after crash"
+  | Some r ->
+      let t = Silo.Db.table (Rolis.Replica.db r) "counters" in
+      let sum = ref 0 in
+      Store.Table.iter t (fun _ rec_ ->
+          if not rec_.Store.Record.deleted then
+            sum := !sum + int_of_string rec_.Store.Record.value);
+      check_bool "released increments survived" true (!sum >= !released_at_crash);
+      check_bool "sanity: something was released" true (!released_at_crash > 100)
+
+let test_sharded_stream_mode () =
+  let cfg =
+    { (test_cfg ()) with Rolis.Config.stream_mode = Rolis.Config.Sharded 2 }
+  in
+  let stopped = ref false in
+  let accounts = 30 in
+  let app = transfer_app ~accounts ~initial:100 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "sharded mode releases" true (Rolis.Cluster.released cluster > 200);
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  (* Convergence and conservation must hold with workers sharing streams. *)
+  Array.iter
+    (fun r ->
+      check_int "money conserved (sharded)" (accounts * 100)
+        (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas cluster)
+
+let test_networked_clients_mode () =
+  let cfg = { (test_cfg ()) with Rolis.Config.networked_clients = true } in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "networked mode releases" true (Rolis.Cluster.released cluster > 500);
+  (* Client-observed latency includes the request/response round trip. *)
+  let p50 = Sim.Metrics.Hist.quantile (Rolis.Cluster.latency cluster) 0.5 in
+  check_bool "latency includes client RTT" true
+    (p50 >= cfg.Rolis.Config.client_rtt)
+
+let test_disable_replay_mode () =
+  let cfg = { (test_cfg ()) with Rolis.Config.disable_replay = true } in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "leader throughput unaffected" true (Rolis.Cluster.released cluster > 500);
+  (* Followers learn durability but never apply. *)
+  let f = Rolis.Cluster.replica cluster 1 in
+  check_int "follower applied nothing" 0 (Rolis.Stats.replayed_txns (Rolis.Replica.stats f));
+  let t = Silo.Db.table (Rolis.Replica.db f) "counters" in
+  let all_zero = ref true in
+  Store.Table.iter t (fun _ r -> if r.Store.Record.value <> "0" then all_zero := false);
+  check_bool "follower data untouched" true !all_zero
+
+let test_old_leader_tainted_on_partition () =
+  let cfg = test_cfg () in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  let eng = Rolis.Cluster.engine cluster in
+  (* Cut replica 0 (the leader) off from both followers. *)
+  Sim.Engine.schedule eng (500 * ms) (fun () ->
+      let net = Rolis.Cluster.network cluster in
+      Sim.Net.partition net 0 1;
+      Sim.Net.partition net 0 2);
+  Rolis.Cluster.run cluster ~duration:(2 * s) ();
+  let old_leader = Rolis.Cluster.replica cluster 0 in
+  check_bool "old leader stopped serving" false (Rolis.Replica.is_serving old_leader);
+  check_bool "old leader tainted" true (Rolis.Replica.is_tainted old_leader);
+  match Rolis.Cluster.leader cluster with
+  | Some r -> check_bool "new leader among survivors" true (Rolis.Replica.id r <> 0)
+  | None -> Alcotest.fail "no new leader"
+
+let test_single_stream_mode () =
+  let cfg = { (test_cfg ~workers:4 ()) with Rolis.Config.stream_mode = Rolis.Config.Single } in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  Rolis.Cluster.run cluster ~warmup:(200 * ms) ~duration:(1 * s) ();
+  check_bool "strawman releases transactions" true (Rolis.Cluster.released cluster > 500)
+
+let test_bootstrap_new_replica () =
+  let stopped = ref false in
+  let accounts = 30 in
+  let cfg = { (test_cfg ()) with Rolis.Config.archive_entries = true } in
+  let app = transfer_app ~accounts ~initial:200 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  (* The new replica's empty machine. *)
+  let new_cpu = Sim.Cpu.create eng ~cores:8 () in
+  let new_db = Silo.Db.create eng new_cpu ~costs:test_costs ~physical_deletes:false () in
+  let sync_done = ref false in
+  (* Start the asynchronous pull while the cluster is under load. *)
+  Sim.Engine.schedule eng (500 * ms) (fun () ->
+      ignore
+        (Sim.Engine.spawn eng ~name:"bootstrap" (fun () ->
+             let src = Rolis.Cluster.replica cluster 1 in
+             let rows, applies = Rolis.Bootstrap.sync_new_replica ~src ~dst:new_db () in
+             check_bool "copied rows" true (rows >= accounts);
+             ignore applies;
+             sync_done := true)));
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "sync completed" true !sync_done;
+  (* Top up with everything the source has made durable since, then the
+     new replica must match the source exactly (idempotent replay). *)
+  let finished = ref false in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         let src = Rolis.Cluster.replica cluster 1 in
+         ignore
+           (Rolis.Bootstrap.replay_entries ~dst:new_db
+              (Rolis.Replica.archived_entries src));
+         finished := true));
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "top-up ran" true !finished;
+  check_int "money conserved on the new replica" (accounts * 200)
+    (total_money new_db ~accounts);
+  let src_db = Rolis.Replica.db (Rolis.Cluster.replica cluster 1) in
+  check_bool "new replica equals source" true
+    (table_state new_db "accounts" = table_state src_db "accounts")
+
+(* ---------- checkpoint ---------- *)
+
+let test_checkpoint_roundtrip () =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng ~cores:8 () in
+  let db = Silo.Db.create eng cpu () in
+  let t = Silo.Db.create_table db "data" in
+  for i = 0 to 999 do
+    let r = Store.Record.make ~epoch:1 ~ts:i (Printf.sprintf "v%d" i) in
+    Store.Table.insert t (Store.Keycodec.encode [ Store.Keycodec.I i ]) r
+  done;
+  (* A tombstone must not survive the checkpoint. *)
+  (Store.Table.get t (Store.Keycodec.encode [ Store.Keycodec.I 0 ]) |> Option.get)
+    .Store.Record.deleted <- true;
+  let duration = ref 0 in
+  let checked = ref false in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        let t0 = Sim.Engine.time () in
+        let img = Rolis.Checkpoint.write db () in
+        check_int "999 live rows captured" 999 (Rolis.Checkpoint.row_count img);
+        check_bool "bytes accounted" true (Rolis.Checkpoint.size_bytes img > 0);
+        let fresh = Silo.Db.create eng cpu () in
+        Rolis.Checkpoint.recover ~into:fresh img;
+        duration := Sim.Engine.time () - t0;
+        let ft = Silo.Db.table fresh "data" in
+        check_int "all rows recovered" 999 (Store.Table.count ft);
+        (match Store.Table.get_live ft (Store.Keycodec.encode [ Store.Keycodec.I 7 ]) with
+        | Some r ->
+            check_bool "value preserved" true (r.Store.Record.value = "v7");
+            check_int "stamp preserved" 7 r.Store.Record.ts
+        | None -> Alcotest.fail "row 7 missing");
+        checked := true)
+  in
+  Sim.Engine.run eng;
+  check_bool "checkpoint body ran" true !checked;
+  check_bool "checkpointing takes virtual time" true (!duration > 0)
+
+let test_checkpoint_plus_log_replay () =
+  (* Fuzzy checkpoint composes with idempotent log replay: recovering the
+     checkpoint and then replaying a log that overlaps it converges. *)
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng ~cores:8 () in
+  let db = Silo.Db.create eng cpu ~physical_deletes:false () in
+  let t = Silo.Db.create_table db "data" in
+  let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+  for i = 0 to 99 do
+    Store.Table.insert t (key i) (Store.Record.make ~epoch:1 ~ts:i "old")
+  done;
+  let log =
+    List.init 50 (fun i ->
+        {
+          Store.Wire.ts = 1_000 + i;
+          writes = [ { Store.Wire.table = 0; key = key i; value = Some "new" } ];
+        })
+  in
+  let ok = ref false in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        let img = Rolis.Checkpoint.write db () in
+        let fresh = Silo.Db.create eng cpu ~physical_deletes:false () in
+        Rolis.Checkpoint.recover ~into:fresh img;
+        let applied =
+          Rolis.Bootstrap.replay_entries ~dst:fresh
+            [ Store.Wire.make_entry ~epoch:1 log ]
+        in
+        check_int "all log writes won" 50 applied;
+        let ft = Silo.Db.table fresh "data" in
+        let value i =
+          (Option.get (Store.Table.get_live ft (key i))).Store.Record.value
+        in
+        check_bool "updated prefix" true (value 0 = "new" && value 49 = "new");
+        check_bool "untouched tail" true (value 50 = "old" && value 99 = "old");
+        ok := true)
+  in
+  Sim.Engine.run eng;
+  check_bool "ran" true !ok
+
+let () =
+  Alcotest.run "rolis"
+    [
+      ( "watermark",
+        [
+          Alcotest.test_case "min law" `Quick test_watermark_min_law;
+          Alcotest.test_case "monotone" `Quick test_watermark_monotone;
+          Alcotest.test_case "epoch sealing (Fig 8)" `Quick test_watermark_epoch_sealing;
+          Alcotest.test_case "skipped epoch" `Quick test_watermark_skipped_epoch;
+          QCheck_alcotest.to_alcotest watermark_qcheck;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "basic release" `Quick test_basic_release;
+          Alcotest.test_case "convergence after drain" `Quick test_convergence_after_drain;
+          Alcotest.test_case "single-stream strawman" `Quick test_single_stream_mode;
+          Alcotest.test_case "sharded streams" `Quick test_sharded_stream_mode;
+          Alcotest.test_case "networked clients" `Quick test_networked_clients_mode;
+          Alcotest.test_case "replay disabled" `Quick test_disable_replay_mode;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "money conservation (Fig 3)" `Quick
+            test_failover_money_conservation;
+          Alcotest.test_case "gap then recovery" `Quick test_failover_gap_then_recovery;
+          Alcotest.test_case "released results survive crash" `Quick
+            test_released_results_survive_crash;
+          Alcotest.test_case "old leader tainted" `Quick
+            test_old_leader_tainted_on_partition;
+        ] );
+      ( "bootstrap",
+        [ Alcotest.test_case "new replica sync" `Quick test_bootstrap_new_replica ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint + log replay" `Quick
+            test_checkpoint_plus_log_replay;
+        ] );
+    ]

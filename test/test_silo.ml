@@ -1,0 +1,338 @@
+(* Tests for the OCC engine: conflict handling, phantom protection,
+   replay CAS, and a serializability oracle. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_db ?(cores = 8) ?physical_deletes f =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng ~cores ~efficiency:(fun ~active:_ -> 1.0) () in
+  let db = Silo.Db.create eng cpu ?physical_deletes () in
+  f eng cpu db
+
+let test_commit_and_read () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "accounts" in
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  Silo.Txn.put txn t "alice" "100";
+                  Silo.Txn.put txn t "bob" "50")
+            in
+            check_bool "committed" true (r.Silo.Db.tid <> None);
+            check_int "two writes in log" 2 (List.length r.Silo.Db.log);
+            let r2 =
+              Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.get txn t "alice")
+            in
+            check_bool "read back" true (r2.Silo.Db.value = Some (Some "100")))
+      in
+      Sim.Engine.run eng;
+      check_int "two commits" 2 (Silo.Db.stats db).Silo.Db.commits)
+
+let test_read_own_write () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  Silo.Txn.put txn t "k" "v1";
+                  let own = Silo.Txn.get txn t "k" in
+                  Silo.Txn.delete txn t "k";
+                  let deleted = Silo.Txn.get txn t "k" in
+                  (own, deleted))
+            in
+            check_bool "sees own write" true (r.Silo.Db.value = Some (Some "v1", None)))
+      in
+      Sim.Engine.run eng)
+
+let test_user_abort_rolls_back () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  Silo.Txn.put txn t "k" "doomed";
+                  Silo.Txn.abort ())
+            in
+            check_bool "no value" true (r.Silo.Db.value = None);
+            check_bool "no tid" true (r.Silo.Db.tid = None);
+            check_bool "nothing installed" true (Store.Table.get t "k" = None))
+      in
+      Sim.Engine.run eng;
+      check_int "user abort counted" 1 (Silo.Db.stats db).Silo.Db.user_aborts)
+
+(* Concurrent increments must not lose updates. *)
+let test_no_lost_updates () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "ctr" (Store.Record.make "0");
+      for w = 0 to 3 do
+        let _p =
+          Sim.Engine.spawn eng (fun () ->
+              for _ = 1 to 50 do
+                ignore
+                  (Silo.Db.run db ~worker:w (fun txn ->
+                       let v =
+                         match Silo.Txn.get txn t "ctr" with
+                         | Some s -> int_of_string s
+                         | None -> Alcotest.fail "counter missing"
+                       in
+                       Silo.Txn.put txn t "ctr" (string_of_int (v + 1))))
+              done)
+        in
+        ()
+      done;
+      Sim.Engine.run eng;
+      (match Store.Table.get_live t "ctr" with
+      | Some r -> check_int "no lost updates" 200 (int_of_string r.Store.Record.value)
+      | None -> Alcotest.fail "counter vanished");
+      let s = Silo.Db.stats db in
+      check_int "200 commits (+1 seed ignored)" 200 s.Silo.Db.commits;
+      check_bool "some conflicts retried" true (s.Silo.Db.conflict_aborts > 0))
+
+(* A scan must abort if a row is inserted into its range before commit. *)
+let test_phantom_protection () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "a1" (Store.Record.make "x");
+      let retries = ref 0 in
+      let scanned = ref [] in
+      let _scanner =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  let rows = Silo.Txn.scan txn t ~lo:"a" ~hi:"b" () in
+                  (* Pad the execution so the commit lands after the
+                     conflicting insert at t=2000ns. *)
+                  for _ = 1 to 100 do
+                    ignore (Silo.Txn.get txn t "a1")
+                  done;
+                  rows)
+            in
+            retries := r.Silo.Db.retries;
+            scanned := Option.value r.Silo.Db.value ~default:[])
+      in
+      let _inserter =
+        Sim.Engine.spawn eng (fun () ->
+            Sim.Engine.sleep 2_000;
+            ignore
+              (Silo.Db.run db ~worker:1 (fun txn -> Silo.Txn.put txn t "a5" "phantom")))
+      in
+      Sim.Engine.run eng;
+      check_bool "scanner retried" true (!retries >= 1);
+      check_int "retry saw the phantom" 2 (List.length !scanned))
+
+let test_physical_vs_tombstone_delete () =
+  with_db ~physical_deletes:true (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "k" (Store.Record.make "v");
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            ignore (Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.delete txn t "k")))
+      in
+      Sim.Engine.run eng;
+      check_bool "physically removed" true (Store.Table.get t "k" = None));
+  with_db ~physical_deletes:false (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "k" (Store.Record.make "v");
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            ignore (Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.delete txn t "k")))
+      in
+      Sim.Engine.run eng;
+      match Store.Table.get t "k" with
+      | Some r -> check_bool "tombstoned" true r.Store.Record.deleted
+      | None -> Alcotest.fail "tombstone expected")
+
+let test_next_ts_monotone () =
+  with_db (fun eng _cpu db ->
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            let a = Silo.Db.next_ts db in
+            let b = Silo.Db.next_ts db in
+            check_bool "strictly increasing at same instant" true (b > a);
+            Sim.Engine.sleep 1_000;
+            let c = Silo.Db.next_ts db in
+            check_bool "tracks the clock" true (c >= 1_000 && c > b))
+      in
+      Sim.Engine.run eng)
+
+let test_replay_cas_semantics () =
+  with_db ~physical_deletes:false (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      let applied = ref 0 in
+      let mk ts writes = { Store.Wire.ts; writes } in
+      let w key value = { Store.Wire.table = 0; key; value } in
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            (* Newer-first application: the older write must lose. *)
+            Silo.Db.apply_replay db (mk 100 [ w "k" (Some "new") ]) ~epoch:1 ~applied;
+            Silo.Db.apply_replay db (mk 50 [ w "k" (Some "old") ]) ~epoch:1 ~applied;
+            (* Re-applying is a no-op (idempotence). *)
+            Silo.Db.apply_replay db (mk 100 [ w "k" (Some "new") ]) ~epoch:1 ~applied;
+            (* A delete from a later epoch tombstones it. *)
+            Silo.Db.apply_replay db (mk 10 [ w "k" None ]) ~epoch:2 ~applied)
+      in
+      Sim.Engine.run eng;
+      check_int "two applies won" 2 !applied;
+      match Store.Table.get t "k" with
+      | Some r ->
+          check_bool "tombstoned by epoch-2 delete" true r.Store.Record.deleted;
+          check_int "stamped epoch" 2 r.Store.Record.epoch
+      | None -> Alcotest.fail "record should exist as tombstone")
+
+(* A reader that observed "key absent" must abort if the key appears
+   before it commits. *)
+let test_absent_read_validation () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      let retries = ref (-1) in
+      let _reader =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  let v = Silo.Txn.get txn t "k" in
+                  (* Pad so the conflicting insert lands mid-flight. *)
+                  for _ = 1 to 100 do
+                    ignore (Silo.Txn.get txn t "other")
+                  done;
+                  v)
+            in
+            retries := r.Silo.Db.retries;
+            (* The final (retried) attempt must see the new value. *)
+            check_bool "retry observes insert" true (r.Silo.Db.value = Some (Some "v")))
+      in
+      let _writer =
+        Sim.Engine.spawn eng (fun () ->
+            Sim.Engine.sleep 2_000;
+            ignore (Silo.Db.run db ~worker:1 (fun txn -> Silo.Txn.put txn t "k" "v")))
+      in
+      Sim.Engine.run eng;
+      check_bool "reader retried" true (!retries >= 1))
+
+(* A last_live probe must be invalidated when a larger key appears. *)
+let test_probe_validation () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "a1" (Store.Record.make "old");
+      let seen = ref None in
+      let _prober =
+        Sim.Engine.spawn eng (fun () ->
+            let r =
+              Silo.Db.run db ~worker:0 (fun txn ->
+                  let probe = Silo.Txn.last_live txn t ~lo:"a" ~hi:"b" in
+                  for _ = 1 to 100 do
+                    ignore (Silo.Txn.get txn t "a1")
+                  done;
+                  probe)
+            in
+            seen := Option.join r.Silo.Db.value)
+      in
+      let _writer =
+        Sim.Engine.spawn eng (fun () ->
+            Sim.Engine.sleep 2_000;
+            ignore (Silo.Db.run db ~worker:1 (fun txn -> Silo.Txn.put txn t "a9" "new")))
+      in
+      Sim.Engine.run eng;
+      check_bool "probe sees the newest key after retry" true (!seen = Some ("a9", "new")))
+
+let test_delete_then_reinsert () =
+  with_db (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      Store.Table.insert t "k" (Store.Record.make "v1");
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            ignore (Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.delete txn t "k"));
+            ignore (Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.put txn t "k" "v2"));
+            let r = Silo.Db.run db ~worker:0 (fun txn -> Silo.Txn.get txn t "k") in
+            check_bool "reinserted value" true (r.Silo.Db.value = Some (Some "v2")))
+      in
+      Sim.Engine.run eng)
+
+(* ---- serializability oracle ----
+
+   Random transactions of the form "read two keys, write their sum+1 to a
+   third key" run on concurrent workers. Afterwards, replaying the
+   committed transactions serially in TID order on a fresh store must
+   produce exactly the same final state. *)
+
+let oracle_qcheck =
+  QCheck.Test.make ~name:"OCC history is equivalent to serial TID order" ~count:30
+    QCheck.(pair (int_range 2 5) small_int)
+    (fun (nworkers, seed) ->
+      let eng = Sim.Engine.create ~seed:(Int64.of_int (seed + 1)) () in
+      let cpu = Sim.Cpu.create eng ~cores:4 ~efficiency:(fun ~active:_ -> 1.0) () in
+      let db = Silo.Db.create eng cpu () in
+      let t = Silo.Db.create_table db "t" in
+      let nkeys = 6 in
+      let key i = Printf.sprintf "k%d" i in
+      for i = 0 to nkeys - 1 do
+        Store.Table.insert t (key i) (Store.Record.make "0")
+      done;
+      let committed = ref [] in
+      (* (tid, a, b, c) *)
+      for w = 0 to nworkers - 1 do
+        let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+        let _p =
+          Sim.Engine.spawn eng (fun () ->
+              for _ = 1 to 20 do
+                let a = Sim.Rng.int rng nkeys
+                and b = Sim.Rng.int rng nkeys
+                and c = Sim.Rng.int rng nkeys in
+                let r =
+                  Silo.Db.run db ~worker:w (fun txn ->
+                      let va =
+                        int_of_string (Option.get (Silo.Txn.get txn t (key a)))
+                      in
+                      let vb =
+                        int_of_string (Option.get (Silo.Txn.get txn t (key b)))
+                      in
+                      Silo.Txn.put txn t (key c) (string_of_int (va + vb + 1)))
+                in
+                match r.Silo.Db.tid with
+                | Some tid -> committed := (tid, a, b, c) :: !committed
+                | None -> ()
+              done)
+        in
+        ()
+      done;
+      Sim.Engine.run eng;
+      (* Serial replay in TID order. *)
+      let serial = Array.make nkeys 0 in
+      let in_order =
+        List.sort (fun (x, _, _, _) (y, _, _, _) -> Silo.Tid.compare x y) !committed
+      in
+      List.iter
+        (fun (_, a, b, c) -> serial.(c) <- serial.(a) + serial.(b) + 1)
+        in_order;
+      let final i =
+        match Store.Table.get_live t (key i) with
+        | Some r -> int_of_string r.Store.Record.value
+        | None -> -1
+      in
+      List.for_all (fun i -> final i = serial.(i)) (List.init nkeys Fun.id))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "silo"
+    [
+      ( "occ",
+        [
+          Alcotest.test_case "commit and read" `Quick test_commit_and_read;
+          Alcotest.test_case "read own write" `Quick test_read_own_write;
+          Alcotest.test_case "user abort" `Quick test_user_abort_rolls_back;
+          Alcotest.test_case "no lost updates" `Quick test_no_lost_updates;
+          Alcotest.test_case "phantom protection" `Quick test_phantom_protection;
+          Alcotest.test_case "delete modes" `Quick test_physical_vs_tombstone_delete;
+          Alcotest.test_case "absent-read validation" `Quick test_absent_read_validation;
+          Alcotest.test_case "probe validation" `Quick test_probe_validation;
+          Alcotest.test_case "delete then reinsert" `Quick test_delete_then_reinsert;
+          Alcotest.test_case "monotone timestamps" `Quick test_next_ts_monotone;
+          qc oracle_qcheck;
+        ] );
+      ( "replay",
+        [ Alcotest.test_case "cas semantics" `Quick test_replay_cas_semantics ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Sim.Heap.create ~cmp:compare in
+  check_bool "empty" true (Sim.Heap.is_empty h);
+  check_bool "pop none" true (Sim.Heap.pop h = None);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.pop_exn h))
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap drains any list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Sim.Rng.int64 a = Sim.Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 7L in
+  let c = Sim.Rng.split a in
+  (* Drawing from the parent after the split must not change the child's
+     stream relative to a reference reconstruction. *)
+  let a' = Sim.Rng.create 7L in
+  let c' = Sim.Rng.split a' in
+  ignore (Sim.Rng.int64 a');
+  for _ = 1 to 50 do
+    check_bool "child unaffected" true (Sim.Rng.int64 c = Sim.Rng.int64 c')
+  done
+
+let rng_bounds_qcheck =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let r = Sim.Rng.create (Int64.of_int seed) in
+      let v = Sim.Rng.int r n in
+      v >= 0 && v < n)
+
+let test_rng_int_in () =
+  let r = Sim.Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int_in r 10 20 in
+    check_bool "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_rng_uniformity () =
+  (* Coarse sanity: each of 10 cells of [0,10) gets 5-15% of 10k draws. *)
+  let r = Sim.Rng.create 99L in
+  let cells = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 10 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  Array.iter (fun c -> check_bool "roughly uniform" true (c > 500 && c < 1500)) cells
+
+(* ---------- Engine ---------- *)
+
+let test_engine_time_order () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule eng 30 (fun () -> log := 3 :: !log);
+  Sim.Engine.schedule eng 10 (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule eng 20 (fun () -> log := 2 :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" 30 (Sim.Engine.now eng)
+
+let test_engine_fifo_ties () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule eng 10 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_process_sleep () =
+  let eng = Sim.Engine.create () in
+  let trace = ref [] in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        trace := (0, Sim.Engine.time ()) :: !trace;
+        Sim.Engine.sleep 100;
+        trace := (1, Sim.Engine.time ()) :: !trace;
+        Sim.Engine.sleep 50;
+        trace := (2, Sim.Engine.time ()) :: !trace)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "sleep advances virtual time"
+    [ (0, 0); (1, 100); (2, 150) ]
+    (List.rev !trace)
+
+let test_run_until () =
+  let eng = Sim.Engine.create () in
+  let hits = ref 0 in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        let continue = ref true in
+        while !continue do
+          Sim.Engine.sleep 10;
+          incr hits;
+          if !hits > 1000 then continue := false
+        done)
+  in
+  Sim.Engine.run ~until:105 eng;
+  check_int "ten sleeps fit in 105ns" 10 !hits;
+  check_int "clock clamped to until" 105 (Sim.Engine.now eng)
+
+let test_kill_process () =
+  let eng = Sim.Engine.create () in
+  let hits = ref 0 in
+  let p =
+    Sim.Engine.spawn eng (fun () ->
+        while true do
+          Sim.Engine.sleep 10;
+          incr hits
+        done)
+  in
+  Sim.Engine.schedule eng 35 (fun () -> Sim.Engine.kill p);
+  Sim.Engine.run ~until:1000 eng;
+  check_int "killed after 3 wakeups" 3 !hits;
+  check_bool "marked dead" false (Sim.Engine.alive p)
+
+let test_nested_spawn () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        log := "outer" :: !log;
+        let _child =
+          Sim.Engine.spawn eng (fun () ->
+              Sim.Engine.sleep 10;
+              log := "child" :: !log)
+        in
+        Sim.Engine.sleep 50;
+        log := "outer-end" :: !log)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list string))
+    "nested spawn interleaves" [ "outer"; "child"; "outer-end" ] (List.rev !log)
+
+let test_process_exception_surfaces () =
+  let eng = Sim.Engine.create () in
+  let _p = Sim.Engine.spawn eng (fun () -> failwith "boom") in
+  match Sim.Engine.run eng with
+  | () -> Alcotest.fail "expected the process failure to surface"
+  | exception Sim.Engine.Process_failure (_, Failure msg) ->
+      Alcotest.(check string) "original exception carried" "boom" msg
+
+let test_schedule_in_past_clamps () =
+  let eng = Sim.Engine.create () in
+  let fired_at = ref (-1) in
+  Sim.Engine.schedule eng 100 (fun () ->
+      (* Scheduling before "now" must clamp to now, not travel back. *)
+      Sim.Engine.schedule eng 5 (fun () -> fired_at := Sim.Engine.now eng));
+  Sim.Engine.run eng;
+  check_int "clamped to now" 100 !fired_at
+
+let test_engine_determinism () =
+  let run_once () =
+    let eng = Sim.Engine.create ~seed:5L () in
+    let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+    let log = Buffer.create 64 in
+    for i = 1 to 5 do
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            for _ = 1 to 10 do
+              Sim.Engine.sleep (Sim.Rng.int rng 100 + 1);
+              Buffer.add_string log (Printf.sprintf "%d@%d;" i (Sim.Engine.time ()))
+            done)
+      in
+      ()
+    done;
+    Sim.Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+(* ---------- Sync ---------- *)
+
+let test_ivar () =
+  let eng = Sim.Engine.create () in
+  let iv = Sim.Sync.Ivar.create eng in
+  let got = ref (-1) in
+  let _reader =
+    Sim.Engine.spawn eng (fun () -> got := Sim.Sync.Ivar.read iv)
+  in
+  let _writer =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep 50;
+        Sim.Sync.Ivar.fill iv 42)
+  in
+  Sim.Engine.run eng;
+  check_int "ivar value" 42 !got
+
+let test_mailbox_fifo () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Sync.Mailbox.create eng in
+  let got = ref [] in
+  let _reader =
+    Sim.Engine.spawn eng (fun () ->
+        for _ = 1 to 3 do
+          got := Sim.Sync.Mailbox.recv mb :: !got
+        done)
+  in
+  let _writer =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep 10;
+        Sim.Sync.Mailbox.send mb 1;
+        Sim.Sync.Mailbox.send mb 2;
+        Sim.Engine.sleep 10;
+        Sim.Sync.Mailbox.send mb 3)
+  in
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_timeout () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Sync.Mailbox.create eng in
+  let first = ref (Some 0) and second = ref None in
+  let _reader =
+    Sim.Engine.spawn eng (fun () ->
+        first := Sim.Sync.Mailbox.recv_timeout mb 50;
+        second := Sim.Sync.Mailbox.recv_timeout mb 100)
+  in
+  let _writer =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep 120;
+        Sim.Sync.Mailbox.send mb 9)
+  in
+  Sim.Engine.run eng;
+  check_bool "first timed out" true (!first = None);
+  check_bool "second delivered" true (!second = Some 9)
+
+let test_mailbox_timeout_no_double_delivery () =
+  (* A message sent after the timeout fired must stay in the queue (the
+     timed-out waiter must not consume it). *)
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Sync.Mailbox.create eng in
+  let r = ref None in
+  let _reader =
+    Sim.Engine.spawn eng (fun () ->
+        (match Sim.Sync.Mailbox.recv_timeout mb 10 with
+        | Some _ -> Alcotest.fail "unexpected delivery"
+        | None -> ());
+        Sim.Engine.sleep 100;
+        r := Sim.Sync.Mailbox.try_recv mb)
+  in
+  let _writer =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep 50;
+        Sim.Sync.Mailbox.send mb 7)
+  in
+  Sim.Engine.run eng;
+  check_bool "message kept" true (!r = Some 7)
+
+let test_mutex_exclusion () =
+  let eng = Sim.Engine.create () in
+  let mu = Sim.Sync.Mutex.create eng in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  for _ = 1 to 5 do
+    let _p =
+      Sim.Engine.spawn eng (fun () ->
+          for _ = 1 to 10 do
+            Sim.Sync.Mutex.lock mu;
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.Engine.sleep 7;
+            decr inside;
+            incr total;
+            Sim.Sync.Mutex.unlock mu
+          done)
+    in
+    ()
+  done;
+  Sim.Engine.run eng;
+  check_int "mutual exclusion" 1 !max_inside;
+  check_int "all sections ran" 50 !total
+
+let test_semaphore () =
+  let eng = Sim.Engine.create () in
+  let sem = Sim.Sync.Semaphore.create eng 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    let _p =
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Sync.Semaphore.acquire sem;
+          incr inside;
+          if !inside > !max_inside then max_inside := !inside;
+          Sim.Engine.sleep 10;
+          decr inside;
+          Sim.Sync.Semaphore.release sem)
+    in
+    ()
+  done;
+  Sim.Engine.run eng;
+  check_int "at most 2 inside" 2 !max_inside
+
+let test_condition () =
+  let eng = Sim.Engine.create () in
+  let mu = Sim.Sync.Mutex.create eng in
+  let cv = Sim.Sync.Condition.create eng in
+  let ready = ref false and observed = ref false in
+  let _waiter =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Sync.Mutex.lock mu;
+        while not !ready do
+          Sim.Sync.Condition.wait cv mu
+        done;
+        observed := true;
+        Sim.Sync.Mutex.unlock mu)
+  in
+  let _signaller =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep 100;
+        Sim.Sync.Mutex.lock mu;
+        ready := true;
+        Sim.Sync.Condition.broadcast cv;
+        Sim.Sync.Mutex.unlock mu)
+  in
+  Sim.Engine.run eng;
+  check_bool "condition woke waiter" true !observed
+
+let test_waitgroup () =
+  let eng = Sim.Engine.create () in
+  let wg = Sim.Sync.Waitgroup.create eng in
+  let finished_at = ref (-1) in
+  Sim.Sync.Waitgroup.add wg 3;
+  for i = 1 to 3 do
+    let _p =
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Engine.sleep (i * 100);
+          Sim.Sync.Waitgroup.finish wg)
+    in
+    ()
+  done;
+  let _waiter =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Sync.Waitgroup.wait wg;
+        finished_at := Sim.Engine.time ())
+  in
+  Sim.Engine.run eng;
+  check_int "waits for slowest" 300 !finished_at
+
+(* Model-based check: a semaphore of capacity k with random hold times
+   never admits more than k holders, and every acquirer eventually runs. *)
+let semaphore_model_qcheck =
+  QCheck.Test.make ~name:"semaphore admits at most k concurrent holders" ~count:50
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 30) (int_range 1 50)))
+    (fun (k, holds) ->
+      let eng = Sim.Engine.create () in
+      let sem = Sim.Sync.Semaphore.create eng k in
+      let inside = ref 0 and max_inside = ref 0 and completed = ref 0 in
+      List.iter
+        (fun hold ->
+          ignore
+            (Sim.Engine.spawn eng (fun () ->
+                 Sim.Sync.Semaphore.acquire sem;
+                 incr inside;
+                 if !inside > !max_inside then max_inside := !inside;
+                 Sim.Engine.sleep hold;
+                 decr inside;
+                 incr completed;
+                 Sim.Sync.Semaphore.release sem)))
+        holds;
+      Sim.Engine.run eng;
+      !max_inside <= k && !completed = List.length holds)
+
+(* ---------- Cpu ---------- *)
+
+let test_cpu_inflation () =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng ~cores:4 ~efficiency:(fun ~active:_ -> 1.0) () in
+  (* 8 threads on 4 cores: 2x oversubscription. *)
+  for _ = 1 to 8 do
+    Sim.Cpu.register cpu
+  done;
+  let t_end = ref 0 in
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Cpu.consume cpu 100;
+        t_end := Sim.Engine.time ())
+  in
+  Sim.Engine.run eng;
+  check_int "oversubscription doubles cost" 200 !t_end
+
+let test_cpu_efficiency_curve () =
+  check_bool "single thread no penalty" true (Sim.Cpu.default_efficiency ~active:1 = 1.0);
+  check_bool "penalty grows" true
+    (Sim.Cpu.default_efficiency ~active:8 > Sim.Cpu.default_efficiency ~active:2);
+  check_bool "flattens past 16" true
+    (Sim.Cpu.default_efficiency ~active:32 = Sim.Cpu.default_efficiency ~active:16)
+
+let test_cpu_utilization () =
+  let eng = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create eng ~cores:2 ~efficiency:(fun ~active:_ -> 1.0) () in
+  Sim.Cpu.register cpu;
+  let _p =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Cpu.consume cpu 500;
+        Sim.Engine.sleep 500)
+  in
+  Sim.Engine.run eng;
+  (* 500ns of work over 1000ns x 2 cores = 25%. *)
+  Alcotest.(check (float 0.001)) "utilization" 0.25 (Sim.Cpu.utilization cpu ~since:0)
+
+(* ---------- Net ---------- *)
+
+let test_net_delivery () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 100) in
+  let got_at = ref (-1) in
+  let _receiver =
+    Sim.Engine.spawn eng (fun () ->
+        let msg = Sim.Net.recv net 1 in
+        check_int "payload" 7 msg;
+        got_at := Sim.Engine.time ())
+  in
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src:0 ~dst:1 7) in
+  Sim.Engine.run eng;
+  check_int "fixed latency" 100 !got_at
+
+let test_net_crash_drops () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 100) in
+  Sim.Net.crash net 1;
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src:0 ~dst:1 7) in
+  Sim.Engine.run eng;
+  check_int "no delivery to crashed node" 0 (Sim.Net.inbox_length net 1);
+  Sim.Net.recover net 1;
+  check_bool "recovered" true (Sim.Net.is_up net 1)
+
+let test_net_crash_in_flight () =
+  (* The destination crashes while the message is in flight: drop. *)
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 100) in
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src:0 ~dst:1 7) in
+  Sim.Engine.schedule eng 50 (fun () -> Sim.Net.crash net 1);
+  Sim.Engine.run eng;
+  check_int "in-flight message dropped" 0 (Sim.Net.inbox_length net 1)
+
+let test_net_partition () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:3 ~latency:(Sim.Net.Fixed 10) in
+  Sim.Net.partition net 0 1;
+  let _sender =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Net.send net ~src:0 ~dst:1 1;
+        Sim.Net.send net ~src:0 ~dst:2 2)
+  in
+  Sim.Engine.run eng;
+  check_int "partitioned link drops" 0 (Sim.Net.inbox_length net 1);
+  check_int "other link delivers" 1 (Sim.Net.inbox_length net 2);
+  Sim.Net.heal net 0 1;
+  check_bool "healed" true (Sim.Net.is_connected net 0 1)
+
+let test_net_broadcast () =
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:4 ~latency:(Sim.Net.Fixed 10) in
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.broadcast net ~src:0 9) in
+  Sim.Engine.run eng;
+  check_int "not self" 0 (Sim.Net.inbox_length net 0);
+  for i = 1 to 3 do
+    check_int "others got it" 1 (Sim.Net.inbox_length net i)
+  done
+
+(* ---------- Metrics ---------- *)
+
+let test_hist_quantiles () =
+  let h = Sim.Metrics.Hist.create () in
+  for i = 1 to 100 do
+    Sim.Metrics.Hist.add h i
+  done;
+  check_int "p50" 50 (Sim.Metrics.Hist.quantile h 0.5);
+  check_int "p95" 95 (Sim.Metrics.Hist.quantile h 0.95);
+  check_int "p100" 100 (Sim.Metrics.Hist.quantile h 1.0);
+  check_int "min" 1 (Sim.Metrics.Hist.min_value h);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Sim.Metrics.Hist.mean h)
+
+let hist_qcheck =
+  QCheck.Test.make ~name:"hist max quantile equals max sample" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) small_nat)
+    (fun xs ->
+      let h = Sim.Metrics.Hist.create () in
+      List.iter (Sim.Metrics.Hist.add h) xs;
+      Sim.Metrics.Hist.quantile h 1.0 = List.fold_left max 0 xs)
+
+let test_series () =
+  let s = Sim.Metrics.Series.create ~bucket_ns:100 in
+  Sim.Metrics.Series.add s ~at:10 1;
+  Sim.Metrics.Series.add s ~at:90 1;
+  Sim.Metrics.Series.add s ~at:250 5;
+  Alcotest.(check (list (pair int int)))
+    "buckets with gap filled"
+    [ (0, 2); (100, 0); (200, 5) ]
+    (Sim.Metrics.Series.buckets s)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          qc heap_qcheck;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          qc rng_bounds_qcheck;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "process sleep" `Quick test_process_sleep;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "kill process" `Quick test_kill_process;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "process exception surfaces" `Quick
+            test_process_exception_surfaces;
+          Alcotest.test_case "past schedule clamps" `Quick test_schedule_in_past_clamps;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "ivar" `Quick test_ivar;
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox timeout" `Quick test_mailbox_timeout;
+          Alcotest.test_case "timeout no double delivery" `Quick
+            test_mailbox_timeout_no_double_delivery;
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+          Alcotest.test_case "semaphore" `Quick test_semaphore;
+          Alcotest.test_case "condition" `Quick test_condition;
+          Alcotest.test_case "waitgroup" `Quick test_waitgroup;
+          qc semaphore_model_qcheck;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "oversubscription" `Quick test_cpu_inflation;
+          Alcotest.test_case "efficiency curve" `Quick test_cpu_efficiency_curve;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "crash drops" `Quick test_net_crash_drops;
+          Alcotest.test_case "crash in flight" `Quick test_net_crash_in_flight;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "broadcast" `Quick test_net_broadcast;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "series" `Quick test_series;
+          qc hist_qcheck;
+        ] );
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the storage substrate: key codec, B+tree, records, wire. *)
+
+module SMap = Map.Make (String)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Keycodec ---------- *)
+
+let component =
+  let open QCheck.Gen in
+  let int_comp = map (fun i -> Store.Keycodec.I i) int in
+  let small_int_comp = map (fun i -> Store.Keycodec.I i) (int_range (-1000) 1000) in
+  let str_comp = map (fun s -> Store.Keycodec.S s) (string_size (0 -- 8)) in
+  oneof [ int_comp; small_int_comp; str_comp ]
+
+let components_gen = QCheck.Gen.(list_size (1 -- 4) component)
+
+let components_arb =
+  let print cs =
+    String.concat ","
+      (List.map
+         (function
+           | Store.Keycodec.I i -> Printf.sprintf "I %d" i
+           | Store.Keycodec.S s -> Printf.sprintf "S %S" s)
+         cs)
+  in
+  QCheck.make ~print components_gen
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"keycodec roundtrip" ~count:500 components_arb (fun cs ->
+      Store.Keycodec.decode (Store.Keycodec.encode cs) = cs)
+
+let codec_order_preserving =
+  QCheck.Test.make ~name:"keycodec preserves order" ~count:1000
+    (QCheck.pair components_arb components_arb)
+    (fun (a, b) ->
+      let ca = Store.Keycodec.compare_components a b in
+      let cb = compare (Store.Keycodec.encode a) (Store.Keycodec.encode b) in
+      (ca < 0) = (cb < 0) && (ca = 0) = (cb = 0))
+
+let codec_decode_fuzz =
+  QCheck.Test.make ~name:"decode of arbitrary bytes never crashes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun s ->
+      match Store.Keycodec.decode s with
+      | _ -> true
+      | exception Invalid_argument _ -> true)
+
+let test_next_prefix () =
+  check_bool "simple bump" true (Store.Keycodec.next_prefix "ab" = Some "ac");
+  check_bool "carries over 0xff" true
+    (Store.Keycodec.next_prefix "a\xff" = Some "b");
+  check_bool "all 0xff has no successor" true
+    (Store.Keycodec.next_prefix "\xff\xff" = None)
+
+let test_prefix_scan_semantics () =
+  (* Every key beginning with prefix p satisfies p <= k < next_prefix p. *)
+  let p = Store.Keycodec.encode [ Store.Keycodec.I 3 ] in
+  let inside = Store.Keycodec.encode [ Store.Keycodec.I 3; Store.Keycodec.I 99 ] in
+  let below = Store.Keycodec.encode [ Store.Keycodec.I 2; Store.Keycodec.I 99 ] in
+  let above = Store.Keycodec.encode [ Store.Keycodec.I 4 ] in
+  match Store.Keycodec.next_prefix p with
+  | None -> Alcotest.fail "expected a successor"
+  | Some q ->
+      check_bool "inside >= p" true (compare inside p >= 0);
+      check_bool "inside < q" true (compare inside q < 0);
+      check_bool "below < p" true (compare below p < 0);
+      check_bool "above >= q" true (compare above q >= 0)
+
+(* ---------- Btree ---------- *)
+
+let test_btree_basic () =
+  let t = Store.Btree.create () in
+  check_bool "empty" true (Store.Btree.is_empty t);
+  check_bool "insert new" true (Store.Btree.insert t "b" 2 = None);
+  check_bool "insert replace" true (Store.Btree.insert t "b" 3 = Some 2);
+  check_int "size" 1 (Store.Btree.length t);
+  check_bool "find" true (Store.Btree.find t "b" = Some 3);
+  check_bool "remove" true (Store.Btree.remove t "b" = Some 3);
+  check_bool "remove absent" true (Store.Btree.remove t "b" = None);
+  check_int "size after" 0 (Store.Btree.length t)
+
+let test_btree_many_sorted_inserts () =
+  let t = Store.Btree.create () in
+  for i = 0 to 9999 do
+    ignore (Store.Btree.insert t (Printf.sprintf "%08d" i) i)
+  done;
+  Store.Btree.check_invariants t;
+  check_int "size" 10000 (Store.Btree.length t);
+  for i = 0 to 9999 do
+    if Store.Btree.find t (Printf.sprintf "%08d" i) <> Some i then
+      Alcotest.failf "lost key %d" i
+  done
+
+let test_btree_reverse_inserts_then_deletes () =
+  let t = Store.Btree.create () in
+  for i = 9999 downto 0 do
+    ignore (Store.Btree.insert t (Printf.sprintf "%08d" i) i)
+  done;
+  Store.Btree.check_invariants t;
+  (* Delete every other key, then validate again. *)
+  for i = 0 to 9999 do
+    if i mod 2 = 0 then
+      if Store.Btree.remove t (Printf.sprintf "%08d" i) <> Some i then
+        Alcotest.failf "failed to delete %d" i
+  done;
+  Store.Btree.check_invariants t;
+  check_int "half remain" 5000 (Store.Btree.length t);
+  for i = 0 to 9999 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    if Store.Btree.find t (Printf.sprintf "%08d" i) <> expect then
+      Alcotest.failf "wrong lookup for %d" i
+  done
+
+let test_btree_drain () =
+  let t = Store.Btree.create () in
+  for i = 0 to 999 do
+    ignore (Store.Btree.insert t (Printf.sprintf "%04d" i) i)
+  done;
+  for i = 0 to 999 do
+    ignore (Store.Btree.remove t (Printf.sprintf "%04d" i));
+    if i mod 97 = 0 then Store.Btree.check_invariants t
+  done;
+  Store.Btree.check_invariants t;
+  check_int "empty after drain" 0 (Store.Btree.length t);
+  check_bool "min of empty" true (Store.Btree.min_binding t = None)
+
+let test_btree_range () =
+  let t = Store.Btree.create () in
+  for i = 0 to 99 do
+    ignore (Store.Btree.insert t (Printf.sprintf "%04d" i) i)
+  done;
+  let r =
+    Store.Btree.fold_range t ~lo:"0010" ~hi:"0015" ~init:[] ~f:(fun acc _ v -> v :: acc)
+  in
+  Alcotest.(check (list int)) "range [10,15)" [ 14; 13; 12; 11; 10 ] r;
+  check_bool "first geq" true (Store.Btree.find_first_geq t "0010x" = Some ("0011", 11));
+  check_bool "min" true (Store.Btree.min_binding t = Some ("0000", 0));
+  check_bool "max" true (Store.Btree.max_binding t = Some ("0099", 99))
+
+(* Model-based qcheck: a random op sequence must behave like Map. *)
+type op = Insert of string * int | Remove of string | Find of string
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = map (fun i -> Printf.sprintf "%03d" i) (int_range 0 200) in
+  frequency
+    [
+      (5, map2 (fun k v -> Insert (k, v)) key small_nat);
+      (3, map (fun k -> Remove k) key);
+      (2, map (fun k -> Find k) key);
+    ]
+
+let ops_arb =
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Insert (k, v) -> Printf.sprintf "I(%s,%d)" k v
+           | Remove k -> Printf.sprintf "R(%s)" k
+           | Find k -> Printf.sprintf "F(%s)" k)
+         ops)
+  in
+  QCheck.make ~print QCheck.Gen.(list_size (0 -- 400) op_gen)
+
+let btree_model_qcheck =
+  QCheck.Test.make ~name:"btree behaves like Map under random ops" ~count:200 ops_arb
+    (fun ops ->
+      let t = Store.Btree.create () in
+      let model = ref SMap.empty in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+              let prev = Store.Btree.insert t k v in
+              let mprev = SMap.find_opt k !model in
+              model := SMap.add k v !model;
+              if prev <> mprev then ok := false
+          | Remove k ->
+              let prev = Store.Btree.remove t k in
+              let mprev = SMap.find_opt k !model in
+              model := SMap.remove k !model;
+              if prev <> mprev then ok := false
+          | Find k -> if Store.Btree.find t k <> SMap.find_opt k !model then ok := false)
+        ops;
+      Store.Btree.check_invariants t;
+      !ok
+      && Store.Btree.length t = SMap.cardinal !model
+      && Store.Btree.to_list t = SMap.bindings !model)
+
+let btree_find_last_lt_qcheck =
+  QCheck.Test.make ~name:"find_last_lt equals Map.find_last_opt" ~count:150
+    (QCheck.pair ops_arb QCheck.small_nat)
+    (fun (ops, probe) ->
+      let k = Printf.sprintf "%03d" (probe mod 1000) in
+      let t = Store.Btree.create () in
+      let model = ref SMap.empty in
+      List.iter
+        (function
+          | Insert (key, v) ->
+              ignore (Store.Btree.insert t key v);
+              model := SMap.add key v !model
+          | Remove key ->
+              ignore (Store.Btree.remove t key);
+              model := SMap.remove key !model
+          | Find _ -> ())
+        ops;
+      Store.Btree.find_last_lt t k = SMap.find_last_opt (fun key -> key < k) !model)
+
+let btree_range_qcheck =
+  QCheck.Test.make ~name:"btree range equals Map filtered range" ~count:100
+    (QCheck.pair ops_arb (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (ops, (a, b)) ->
+      let lo = Printf.sprintf "%03d" (min a b mod 1000)
+      and hi = Printf.sprintf "%03d" (max a b mod 1000) in
+      let t = Store.Btree.create () in
+      let model = ref SMap.empty in
+      List.iter
+        (function
+          | Insert (k, v) ->
+              ignore (Store.Btree.insert t k v);
+              model := SMap.add k v !model
+          | Remove k ->
+              ignore (Store.Btree.remove t k);
+              model := SMap.remove k !model
+          | Find _ -> ())
+        ops;
+      let got =
+        Store.Btree.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+        |> List.rev
+      in
+      let want =
+        SMap.bindings !model |> List.filter (fun (k, _) -> k >= lo && k < hi)
+      in
+      got = want)
+
+(* ---------- Record ---------- *)
+
+let test_record_lock () =
+  let r = Store.Record.make "v" in
+  check_bool "lock free" true (Store.Record.try_lock r ~worker:1);
+  check_bool "reentrant" true (Store.Record.try_lock r ~worker:1);
+  check_bool "other blocked" false (Store.Record.try_lock r ~worker:2);
+  Store.Record.unlock r ~worker:1;
+  check_bool "now free" true (Store.Record.try_lock r ~worker:2);
+  Alcotest.check_raises "wrong unlocker"
+    (Invalid_argument "Record.unlock: not the lock holder") (fun () ->
+      Store.Record.unlock r ~worker:1)
+
+let test_record_cas () =
+  let r = Store.Record.make ~epoch:1 ~ts:100 "old" in
+  check_bool "older write loses" false
+    (Store.Record.cas_apply r ~epoch:1 ~ts:50 ~value:(Some "x"));
+  check_bool "value unchanged" true (r.Store.Record.value = "old");
+  check_bool "same stamp loses (idempotent)" false
+    (Store.Record.cas_apply r ~epoch:1 ~ts:100 ~value:(Some "x"));
+  check_bool "newer ts wins" true
+    (Store.Record.cas_apply r ~epoch:1 ~ts:101 ~value:(Some "new"));
+  check_bool "value updated" true (r.Store.Record.value = "new");
+  check_bool "newer epoch beats bigger ts" true
+    (Store.Record.cas_apply r ~epoch:2 ~ts:1 ~value:None);
+  check_bool "tombstoned" true r.Store.Record.deleted
+
+let record_cas_monotone_qcheck =
+  QCheck.Test.make ~name:"record stamp never regresses under random CAS" ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 0 100)))
+    (fun stamps ->
+      let r = Store.Record.make "init" in
+      List.for_all
+        (fun (epoch, ts) ->
+          let before = (r.Store.Record.epoch, r.Store.Record.ts) in
+          let won = Store.Record.cas_apply r ~epoch ~ts ~value:(Some "v") in
+          let after = (r.Store.Record.epoch, r.Store.Record.ts) in
+          if won then after = (epoch, ts) && after > before else after = before)
+        stamps)
+
+(* ---------- Table ---------- *)
+
+let test_table_tombstones () =
+  let t = Store.Table.create ~id:0 ~name:"t" in
+  Store.Table.insert t "a" (Store.Record.make "1");
+  let r = Store.Record.make "2" in
+  Store.Table.insert t "b" r;
+  r.Store.Record.deleted <- true;
+  check_bool "get sees tombstone" true (Store.Table.get t "b" <> None);
+  check_bool "get_live hides tombstone" true (Store.Table.get_live t "b" = None);
+  check_int "scan skips tombstone" 1 (List.length (Store.Table.scan t ~lo:"" ~hi:"z" ()));
+  check_int "scan_all includes it" 2 (List.length (Store.Table.scan_all t ~lo:"" ~hi:"z"));
+  check_int "compact drops one" 1 (Store.Table.compact t);
+  check_int "one physical record left" 1 (Store.Table.count t)
+
+let test_table_min_live () =
+  let t = Store.Table.create ~id:0 ~name:"t" in
+  let r1 = Store.Record.make "1" in
+  r1.Store.Record.deleted <- true;
+  Store.Table.insert t "a" r1;
+  Store.Table.insert t "b" (Store.Record.make "2");
+  match Store.Table.min_live t ~lo:"" ~hi:"z" with
+  | Some ("b", _) -> ()
+  | Some (k, _) -> Alcotest.failf "expected b, got %s" k
+  | None -> Alcotest.fail "expected a live record"
+
+let test_table_bytes_accounting () =
+  let t = Store.Table.create ~id:0 ~name:"t" in
+  check_int "empty" 0 (Store.Table.bytes t);
+  Store.Table.insert t "k" (Store.Record.make "0123456789");
+  check_bool "grew" true (Store.Table.bytes t > 0);
+  Store.Table.remove_phys t "k";
+  check_int "back to zero" 0 (Store.Table.bytes t)
+
+let test_table_duplicate_insert () =
+  let t = Store.Table.create ~id:0 ~name:"dup" in
+  Store.Table.insert t "k" (Store.Record.make "1");
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Table.insert: duplicate key in dup") (fun () ->
+      Store.Table.insert t "k" (Store.Record.make "2"));
+  (* Original binding survives the failed insert. *)
+  match Store.Table.get t "k" with
+  | Some r -> check_bool "old value" true (r.Store.Record.value = "1")
+  | None -> Alcotest.fail "binding lost"
+
+(* ---------- Wire ---------- *)
+
+let sample_entry () =
+  let w1 = { Store.Wire.table = 1; key = "k1"; value = Some "v1" } in
+  let w2 = { Store.Wire.table = 2; key = "k2"; value = None } in
+  Store.Wire.make_entry ~epoch:3
+    [
+      { Store.Wire.ts = 100; writes = [ w1; w2 ] };
+      { Store.Wire.ts = 105; writes = [ w1 ] };
+    ]
+
+let test_wire_roundtrip () =
+  let e = sample_entry () in
+  check_int "last ts from batch" 105 e.Store.Wire.last_ts;
+  let e' = Store.Wire.decode (Store.Wire.encode e) in
+  check_bool "roundtrip" true (e = e')
+
+let test_wire_size_matches_encoding () =
+  let e = sample_entry () in
+  check_int "byte_size = encoded length" (String.length (Store.Wire.encode e))
+    (Store.Wire.byte_size e)
+
+let test_wire_noop () =
+  let n = Store.Wire.noop ~epoch:2 ~ts:55 in
+  check_bool "is noop" true (Store.Wire.is_noop n);
+  check_bool "roundtrip noop" true (Store.Wire.decode (Store.Wire.encode n) = n)
+
+let test_wire_malformed () =
+  let e = sample_entry () in
+  let enc = Store.Wire.encode e in
+  let truncated = String.sub enc 0 (String.length enc - 3) in
+  (try
+     ignore (Store.Wire.decode truncated);
+     Alcotest.fail "truncated input must be rejected"
+   with Invalid_argument _ -> ());
+  let extended = enc ^ "xx" in
+  try
+    ignore (Store.Wire.decode extended);
+    Alcotest.fail "trailing bytes must be rejected"
+  with Invalid_argument _ -> ()
+
+let wire_roundtrip_qcheck =
+  let gen =
+    let open QCheck.Gen in
+    let write =
+      map3
+        (fun table key value -> { Store.Wire.table; key; value })
+        (int_range 0 20) (string_size (0 -- 10))
+        (option (string_size (0 -- 30)))
+    in
+    let txn =
+      map2 (fun ts writes -> { Store.Wire.ts; writes }) big_nat (list_size (0 -- 5) write)
+    in
+    map2
+      (fun epoch txns ->
+        match txns with
+        | [] -> Store.Wire.noop ~epoch ~ts:0
+        | _ -> Store.Wire.make_entry ~epoch txns)
+      (int_range 0 100) (list_size (0 -- 8) txn)
+  in
+  QCheck.Test.make ~name:"wire roundtrip + size law" ~count:300 (QCheck.make gen)
+    (fun e ->
+      let enc = Store.Wire.encode e in
+      Store.Wire.decode enc = e && String.length enc = Store.Wire.byte_size e)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "store"
+    [
+      ( "keycodec",
+        [
+          Alcotest.test_case "next_prefix" `Quick test_next_prefix;
+          Alcotest.test_case "prefix scan semantics" `Quick test_prefix_scan_semantics;
+          qc codec_roundtrip;
+          qc codec_order_preserving;
+          qc codec_decode_fuzz;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "sorted inserts" `Quick test_btree_many_sorted_inserts;
+          Alcotest.test_case "reverse + deletes" `Quick
+            test_btree_reverse_inserts_then_deletes;
+          Alcotest.test_case "drain" `Quick test_btree_drain;
+          Alcotest.test_case "range ops" `Quick test_btree_range;
+          qc btree_model_qcheck;
+          qc btree_range_qcheck;
+          qc btree_find_last_lt_qcheck;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "locking" `Quick test_record_lock;
+          Alcotest.test_case "cas" `Quick test_record_cas;
+          qc record_cas_monotone_qcheck;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "tombstones" `Quick test_table_tombstones;
+          Alcotest.test_case "min_live" `Quick test_table_min_live;
+          Alcotest.test_case "byte accounting" `Quick test_table_bytes_accounting;
+          Alcotest.test_case "duplicate insert" `Quick test_table_duplicate_insert;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "size law" `Quick test_wire_size_matches_encoding;
+          Alcotest.test_case "noop" `Quick test_wire_noop;
+          Alcotest.test_case "malformed input" `Quick test_wire_malformed;
+          qc wire_roundtrip_qcheck;
+        ] );
+    ]
