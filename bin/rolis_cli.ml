@@ -108,6 +108,64 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 
+(* ---- chaos: seeded fault-injection runs ---- *)
+
+let run_chaos seeds seed0 replicas workers accounts duration_ms verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Printf.printf
+    "chaos: %d seed(s) starting at %d — %d replicas, %d workers, %d accounts, \
+     %d ms of faults per seed\n\
+     %!"
+    seeds seed0 replicas workers accounts duration_ms;
+  let _, first_failure =
+    Rolis.Chaos.run_seeds ~replicas ~workers ~accounts ~duration:(duration_ms * ms)
+      ~seed0 ~seeds
+      ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
+      ()
+  in
+  match first_failure with
+  | None -> Printf.printf "chaos: all %d seed(s) passed\n" seeds
+  | Some o ->
+      Printf.printf "chaos: FIRST FAILING SEED = %d (reproduce with --seeds 1 --seed0 %d)\n"
+        o.Rolis.Chaos.seed o.Rolis.Chaos.seed;
+      exit 1
+
+let seeds_arg = Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to run.")
+let seed0_arg = Arg.(value & opt int 1 & info [ "seed0" ] ~doc:"First seed.")
+
+let replicas_arg =
+  Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replicas in the cluster.")
+
+let chaos_workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Database worker threads.")
+
+let accounts_arg =
+  Arg.(value & opt int 48 & info [ "accounts" ] ~doc:"Bank accounts in the workload.")
+
+let chaos_duration_arg =
+  Arg.(
+    value & opt int 3000
+    & info [ "duration-ms" ] ~doc:"Virtual time under fault injection (ms).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every nemesis action.")
+
+let chaos_cmd =
+  let term =
+    Term.(
+      const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
+      $ accounts_arg $ chaos_duration_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded fault-injection (crash/restart/partition/loss) and check \
+          invariants; exits 1 with the first failing seed.")
+    term
+
 (* ---- baseline ---- *)
 
 let run_baseline system threads duration_ms workload =
@@ -169,4 +227,4 @@ let baseline_cmd =
 let () =
   let doc = "Rolis (EuroSys 2022) reproduction - simulator CLI" in
   let info = Cmd.info "rolis-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; baseline_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; chaos_cmd; baseline_cmd ]))

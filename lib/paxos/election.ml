@@ -14,6 +14,8 @@ type t = {
   mutable role : role;
   mutable cur_epoch : int;
   mutable voted_epoch : int;
+  mutable voted_for : int option; (* who we voted for in voted_epoch *)
+  mutable eligible : bool; (* may stand for election (false once tainted) *)
   mutable votes : int list;
   mutable last_heartbeat : int;
   mutable leader : int option;
@@ -40,6 +42,8 @@ let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
       role = Follower;
       cur_epoch = 0;
       voted_epoch = 0;
+      voted_for = None;
+      eligible = true;
       votes = [];
       last_heartbeat = Sim.Engine.now eng;
       leader = None;
@@ -53,6 +57,7 @@ let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
   | Some l ->
       t.cur_epoch <- 1;
       t.voted_epoch <- 1;
+      t.voted_for <- Some l;
       t.leader <- Some l;
       if l = me then t.role <- Leader
   | None -> ());
@@ -69,6 +74,7 @@ let adopt t e leader =
   t.role <- Follower;
   t.leader <- leader;
   t.votes <- [];
+  t.voted_for <- None;
   t.on_new_epoch ~epoch:e ~leader
 
 let randomize_timeout t =
@@ -87,6 +93,7 @@ let start_election t =
   t.cur_epoch <- e;
   t.role <- Candidate;
   t.voted_epoch <- e;
+  t.voted_for <- Some t.me;
   t.votes <- [ t.me ];
   t.leader <- None;
   t.last_heartbeat <- Sim.Engine.now (Sim.Net.engine t.net);
@@ -100,15 +107,25 @@ let handle t msg ~from =
   match msg with
   | Msg.Request_vote { epoch = e; candidate } ->
       if e > t.cur_epoch then adopt t e None;
-      if e = t.cur_epoch && t.voted_epoch < e then begin
+      if e < t.cur_epoch then
+        (* Stale candidate (e.g. freshly restarted): answering with our
+           epoch lets it adopt instead of churning through elections. *)
+        send t ~dst:candidate
+          (Msg.Elect (Msg.Vote { epoch = t.cur_epoch; granted = false }))
+      else if
+        t.voted_epoch < e || (t.voted_epoch = e && t.voted_for = Some candidate)
+      then begin
+        (* Re-granting a duplicate request is safe and tolerates a lost
+           Vote: the candidate retries, we answer again. *)
         t.voted_epoch <- e;
+        t.voted_for <- Some candidate;
         t.last_heartbeat <- now;
         send t ~dst:candidate (Msg.Elect (Msg.Vote { epoch = e; granted = true }))
       end
-      else if e >= t.cur_epoch then
-        send t ~dst:candidate (Msg.Elect (Msg.Vote { epoch = e; granted = false }))
+      else send t ~dst:candidate (Msg.Elect (Msg.Vote { epoch = e; granted = false }))
   | Msg.Vote { epoch = e; granted } ->
-      if t.role = Candidate && e = t.cur_epoch && granted then begin
+      if e > t.cur_epoch then adopt t e None
+      else if t.role = Candidate && e = t.cur_epoch && granted then begin
         if not (List.mem from t.votes) then t.votes <- from :: t.votes;
         if List.length t.votes >= majority t then become_leader t
       end
@@ -139,11 +156,29 @@ let start t =
           broadcast t (Msg.Elect (Msg.Heartbeat { epoch = t.cur_epoch; leader = t.me }));
           t.on_heartbeat_tick ()
         end
-        else if Sim.Engine.time () - t.last_heartbeat > t.my_timeout then
-          start_election t;
+        else if t.eligible && Sim.Engine.time () - t.last_heartbeat > t.my_timeout
+        then start_election t;
         Sim.Engine.sleep t.hb_interval
       done)
 
+type vote = { v_epoch : int; v_voted_epoch : int; v_voted_for : int option }
+
+let export_vote t =
+  { v_epoch = t.cur_epoch; v_voted_epoch = t.voted_epoch; v_voted_for = t.voted_for }
+
+(* Voluntary-rebuild salvage: carrying the vote across the rebuild keeps
+   the replica from granting a second vote in an epoch it already voted
+   in. Fields are set directly — the replica is mid-bootstrap and the
+   step-down callbacks must not fire. *)
+let import_vote t v =
+  if v.v_epoch > t.cur_epoch then t.cur_epoch <- v.v_epoch;
+  if v.v_voted_epoch > t.voted_epoch then begin
+    t.voted_epoch <- v.v_voted_epoch;
+    t.voted_for <- v.v_voted_for
+  end
+
+let set_eligible t b = t.eligible <- b
+let eligible t = t.eligible
 let role t = t.role
 let is_leader t = t.role = Leader
 let epoch t = t.cur_epoch

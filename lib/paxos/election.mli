@@ -44,6 +44,26 @@ val handle : t -> Msg.elect -> from:int -> unit
 val observe_epoch : t -> int -> unit
 (** A stream saw a higher epoch (e.g. in a Nack): step down / catch up. *)
 
+type vote
+(** Opaque vote-salvage state: current epoch plus the (epoch, candidate)
+    of the last vote granted. *)
+
+val export_vote : t -> vote
+
+val import_vote : t -> vote -> unit
+(** Carry the vote across a {e voluntary} rebuild of an alive replica so
+    it cannot grant a second vote in an epoch it already voted in (the
+    in-memory analogue of persisting [votedFor]). Call on a freshly
+    created election, before the engine runs its ticker. *)
+
+val set_eligible : t -> bool -> unit
+(** An ineligible replica never stands for election (it still votes and
+    follows). Used for {e tainted} ex-leaders whose local database holds
+    speculative writes that were never released: they must not lead again
+    until rebuilt, or they would serve diverged state. *)
+
+val eligible : t -> bool
+
 val role : t -> role
 val is_leader : t -> bool
 val epoch : t -> int

@@ -15,11 +15,14 @@ type stats = {
   nacks : int;
   fetches : int;
   truncated : int;
+  retransmits : int;
 }
 
 (* Truncation batching: only compact once this many slots are reclaimable,
    to avoid per-commit churn. *)
 let truncate_batch = 64
+
+let default_fetch_timeout = 100 * Sim.Engine.ms
 
 type t = {
   net : Msg.t Sim.Net.t;
@@ -36,6 +39,10 @@ type t = {
   mutable promise_slots : Msg.accepted_slot list list; (* gathered during Prepare *)
   pending : Store.Wire.entry Queue.t;
   mutable fetch_inflight : bool;
+  fetch_timeout : int;
+  (* A Fetch or its reply can be lost; retry once the deadline passes and
+     another commit advertisement shows we are still behind. *)
+  mutable fetch_deadline : int;
   (* Log compaction: slots below [truncated_below] have been discarded.
      The leader may only truncate below the minimum commit index it has
      heard from every peer (piggybacked on Accepted), so any future
@@ -50,9 +57,11 @@ type t = {
   mutable s_nacks : int;
   mutable s_fetches : int;
   mutable s_truncated : int;
+  mutable s_retransmits : int;
 }
 
-let create net ~id ~me ~on_commit ~on_higher_epoch () =
+let create net ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commit
+    ~on_higher_epoch () =
   {
     net;
     stream_id = id;
@@ -68,6 +77,8 @@ let create net ~id ~me ~on_commit ~on_higher_epoch () =
     promise_slots = [];
     pending = Queue.create ();
     fetch_inflight = false;
+    fetch_timeout;
+    fetch_deadline = 0;
     truncated_below = 0;
     peer_commit = Array.make (Sim.Net.nodes net) (-1);
     on_commit;
@@ -77,6 +88,7 @@ let create net ~id ~me ~on_commit ~on_higher_epoch () =
     s_nacks = 0;
     s_fetches = 0;
     s_truncated = 0;
+    s_retransmits = 0;
   }
 
 let id t = t.stream_id
@@ -153,10 +165,14 @@ let advance_follower t ~e ~upto ~src =
         deliver t t.commit_idx
     | Some _ | None -> continue := false
   done;
-  if t.commit_idx < upto && not t.fetch_inflight then begin
-    t.fetch_inflight <- true;
-    t.s_fetches <- t.s_fetches + 1;
-    send t ~dst:src (Msg.Fetch { from_idx = t.commit_idx + 1 })
+  if t.commit_idx < upto then begin
+    let now = Sim.Engine.now (Sim.Net.engine t.net) in
+    if (not t.fetch_inflight) || now >= t.fetch_deadline then begin
+      t.fetch_inflight <- true;
+      t.fetch_deadline <- now + t.fetch_timeout;
+      t.s_fetches <- t.s_fetches + 1;
+      send t ~dst:src (Msg.Fetch { from_idx = t.commit_idx + 1 })
+    end
   end
 
 let do_propose t entry =
@@ -232,6 +248,75 @@ let propose t entry =
   | Active -> do_propose t entry
   | Preparing _ -> Queue.add entry t.pending
   | Idle -> () (* not leading: the proposal is speculative and lost *)
+
+(* Leader-side loss recovery, driven from the heartbeat tick. A lost
+   Prepare wedges the Preparing phase; a lost Accept leaves a slot short
+   of its majority; a lost Commit leaves followers behind. All three are
+   idempotent to re-send: receivers dedup promises/acks by sender and
+   ignore stale indices. *)
+let retransmit t =
+  match t.lstate with
+  | Idle -> ()
+  | Preparing _ ->
+      t.s_retransmits <- t.s_retransmits + 1;
+      broadcast t (Msg.Prepare { epoch = t.leader_epoch; from_idx = t.commit_idx + 1 })
+  | Active ->
+      let m = majority t in
+      for idx = t.commit_idx + 1 to t.next_idx - 1 do
+        match Hashtbl.find_opt t.slots idx with
+        | Some slot when slot.s_epoch = t.leader_epoch && List.length slot.s_acks < m ->
+            t.s_retransmits <- t.s_retransmits + 1;
+            broadcast t
+              (Msg.Accept
+                 { epoch = t.leader_epoch; idx; commit_idx = t.commit_idx; entry = slot.s_entry })
+        | Some _ | None -> ()
+      done;
+      if t.commit_idx >= 0 then
+        broadcast t
+          (Msg.Commit
+             { epoch = t.leader_epoch; commit_idx = t.commit_idx; trunc_upto = t.truncated_below })
+
+(* Bootstrap path: install one already-chosen entry at the next index, as
+   if it had been learned through the protocol — [on_commit] fires, so the
+   watermark/replay machinery sees exactly the durable history a surviving
+   replica saw. Only valid on a non-leading (fresh) stream, fed in
+   stream order from a donor's journal. *)
+let inject_committed t (entry : Store.Wire.entry) =
+  if t.lstate <> Idle then invalid_arg "Stream.inject_committed: stream is leading";
+  let idx = t.commit_idx + 1 in
+  Hashtbl.replace t.slots idx
+    { s_epoch = entry.Store.Wire.epoch; s_entry = entry; s_acks = [] };
+  t.commit_idx <- idx;
+  if t.next_idx <= idx then t.next_idx <- idx + 1;
+  if entry.Store.Wire.epoch > t.promised then t.promised <- entry.Store.Wire.epoch;
+  deliver t idx
+
+(* Salvage path for a *voluntary* rebuild of an alive replica: its Paxos
+   state is sound even when its database is tainted, and its accepted-but-
+   uncommitted slots may hold the last copy of an entry committed at a
+   since-dead leader. Export them from the old stream and graft them onto
+   the freshly bootstrapped one. *)
+type tail = int * Msg.accepted_slot list
+
+let export_tail t = (t.promised, accepted_tail t ~from_idx:(t.commit_idx + 1))
+
+let import_tail t (promised, slots) =
+  if t.lstate <> Idle then invalid_arg "Stream.import_tail: stream is leading";
+  if promised > t.promised then t.promised <- promised;
+  List.iter
+    (fun (s : Msg.accepted_slot) ->
+      if s.a_idx > t.commit_idx then (
+        match Hashtbl.find_opt t.slots s.a_idx with
+        | Some slot when slot.s_epoch >= s.a_epoch -> ()
+        | Some slot ->
+            slot.s_epoch <- s.a_epoch;
+            slot.s_entry <- s.a_entry;
+            slot.s_acks <- []
+        | None ->
+            Hashtbl.replace t.slots s.a_idx
+              { s_epoch = s.a_epoch; s_entry = s.a_entry; s_acks = [] };
+            if t.next_idx <= s.a_idx then t.next_idx <- s.a_idx + 1))
+    slots
 
 let handle t msg ~from =
   match msg with
@@ -353,4 +438,5 @@ let stats t =
     nacks = t.s_nacks;
     fetches = t.s_fetches;
     truncated = t.s_truncated;
+    retransmits = t.s_retransmits;
   }

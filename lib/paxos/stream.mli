@@ -24,10 +24,14 @@ type stats = {
   nacks : int;
   fetches : int;
   truncated : int;  (** slots reclaimed by log compaction *)
+  retransmits : int;  (** leader re-sends of Prepare/Accept on heartbeat *)
 }
+
+val default_fetch_timeout : int
 
 val create :
   Msg.t Sim.Net.t ->
+  ?fetch_timeout:int ->
   id:int ->
   me:int ->
   on_commit:(idx:int -> Store.Wire.entry -> unit) ->
@@ -36,7 +40,9 @@ val create :
   t
 (** [on_commit] fires exactly once per index, in order, on every replica
     that learns the commit. [on_higher_epoch] wires stream-level Nacks
-    back into the election module. *)
+    back into the election module. [fetch_timeout] bounds how long a
+    follower waits for a [Fetch_rep] before re-issuing the fetch (lost
+    fetches would otherwise wedge catch-up forever). *)
 
 val id : t -> int
 
@@ -54,6 +60,35 @@ val propose : t -> Store.Wire.entry -> unit
     speculative transactions failover discards). *)
 
 val handle : t -> Msg.stream_msg -> from:int -> unit
+
+val retransmit : t -> unit
+(** Leader-side loss recovery, called on every heartbeat tick: re-send the
+    in-flight Prepare (when preparing) or every uncommitted Accept still
+    short of a majority (when active), plus the current commit position.
+    All re-sends are idempotent — receivers dedup by sender. No-op on a
+    follower. *)
+
+val inject_committed : t -> Store.Wire.entry -> unit
+(** Restart bootstrap: install an already-durable entry at the next index
+    as if it had been learned through the protocol ([on_commit] fires).
+    Only valid on a non-leading stream; feed entries in stream order from
+    a donor replica's journal. *)
+
+type tail
+(** Opaque acceptor salvage state: the promised epoch plus every
+    accepted-but-uncommitted slot above the commit index. *)
+
+val export_tail : t -> tail
+
+val import_tail : t -> tail -> unit
+(** Graft a salvaged tail onto a freshly bootstrapped stream (after
+    {!inject_committed} replayed the journal). Used when an {e alive}
+    replica is voluntarily rebuilt — e.g. a tainted ex-leader: its
+    database is suspect but its Paxos acceptor state is sound, and an
+    accepted-but-uncommitted slot here may be the last surviving copy of
+    an entry committed at a since-dead leader. Slots at or below the new
+    commit index are skipped; higher-epoch slots win. Raises
+    [Invalid_argument] if the stream is leading. *)
 
 val is_leading : t -> bool
 val is_caught_up : t -> bool

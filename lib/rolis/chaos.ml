@@ -1,0 +1,194 @@
+let src = Logs.Src.create "rolis.chaos" ~doc:"Chaos harness events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ms = Sim.Engine.ms
+
+let bank_table = "accounts"
+let initial_balance = 1_000
+
+(* The paper's Fig. 3 workload: move a random amount between two random
+   accounts in one transaction. Total money is the conserved quantity the
+   final check asserts on every replica. [stopped] freezes generation so
+   the cluster can quiesce. *)
+let bank_app ~accounts ~stopped =
+  let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+  {
+    App.name = "chaos-bank";
+    setup =
+      (fun db ->
+        let t = Silo.Db.create_table db bank_table in
+        for i = 0 to accounts - 1 do
+          Store.Table.insert t (key i)
+            (Store.Record.make (string_of_int initial_balance))
+        done);
+    make_worker =
+      (fun db ~rng ~worker:_ ~nworkers:_ ->
+        let t = Silo.Db.table db bank_table in
+        fun () txn ->
+          if not !stopped then begin
+            let a = Sim.Rng.int rng accounts and b = Sim.Rng.int rng accounts in
+            if a <> b then begin
+              let bal k =
+                match Silo.Txn.get txn t (key k) with
+                | Some v -> int_of_string v
+                | None -> failwith (Printf.sprintf "chaos: account %d missing" k)
+              in
+              let va = bal a and vb = bal b in
+              let amount = 1 + Sim.Rng.int rng 10 in
+              Silo.Txn.put txn t (key a) (string_of_int (va - amount));
+              Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
+            end
+          end);
+  }
+
+type outcome = {
+  seed : int;
+  violations : Check.violation list;
+  released : int;
+  executed : int;
+  crashes : int;
+  restarts : int;
+  epochs : int;
+  entries_checked : int;
+}
+
+let ok o = o.violations = []
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "seed %d: %s (released=%d executed=%d crashes=%d restarts=%d epochs=%d \
+     entries=%d)"
+    o.seed
+    (if ok o then "ok" else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
+    o.released o.executed o.crashes o.restarts o.epochs o.entries_checked;
+  List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
+
+let chaos_costs =
+  { Silo.Costs.default with Silo.Costs.txn_begin_ns = 50_000; abort_ns = 5_000 }
+
+let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
+    ?(duration = 3 * Sim.Engine.s) ~seed () =
+  let stopped = ref false in
+  let cfg =
+    {
+      Config.default with
+      Config.replicas;
+      workers;
+      cores = 2 * workers;
+      batch_size = 50;
+      costs = chaos_costs;
+      physical_serialization = true;
+      archive_entries = true;
+      heartbeat_interval = 50 * ms;
+      election_timeout = 300 * ms;
+      seed = Int64.of_int seed;
+    }
+  in
+  let oracle = Check.Oracle.create () in
+  let crashes = ref 0 and restarts = ref 0 in
+  let cluster =
+    Cluster.create ~on_durable:(Check.Oracle.observe oracle) cfg
+      (bank_app ~accounts ~stopped)
+  in
+  let eng = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  (* Continuous light checking: sealed watermarks must agree while faults
+     are active (the oracle checks agreement on every commit already). *)
+  let periodic_viols = ref [] in
+  ignore
+    (Sim.Engine.spawn eng ~name:"chaos-checker" (fun () ->
+         while true do
+           Sim.Engine.sleep (100 * ms);
+           if !periodic_viols = [] then
+             periodic_viols := Check.watermark_agreement cluster
+         done));
+  let violations =
+    try
+      (* Steady state first, then unleash the nemesis. The plan and the
+         cluster share nothing but the seed, yet both are deterministic
+         functions of it — a failing seed replays exactly. *)
+      Cluster.run cluster ~duration:(300 * ms) ();
+      let nrng = Sim.Rng.split (Sim.Engine.rng eng) in
+      let plan = Sim.Fault.random_plan nrng ~nodes:replicas () in
+      Log.debug (fun m -> m "seed %d plan:@.%a" seed Sim.Fault.pp_plan plan);
+      ignore
+        (Sim.Fault.spawn net
+           ~on_crash:(fun i ->
+             incr crashes;
+             Cluster.crash_replica cluster i)
+           ~on_restart:(fun i ->
+             incr restarts;
+             Cluster.restart_replica cluster i)
+           ~on_step:(fun a -> Log.debug (fun m -> m "nemesis: %a" Sim.Fault.pp_action a))
+           plan);
+      Cluster.run cluster ~duration ();
+      (* Quiesce: stop the workload, heal everything, revive stragglers the
+         plan's own quiesce tail may have missed. *)
+      stopped := true;
+      Sim.Net.heal_all net;
+      Sim.Net.clear_faults net;
+      Array.iter
+        (fun r ->
+          if not (Replica.is_alive r) then begin
+            incr restarts;
+            Cluster.restart_replica cluster (Replica.id r)
+          end)
+        (Cluster.replicas cluster);
+      Cluster.run cluster ~duration:(500 * ms) ();
+      (* Tainted ex-leaders hold speculative writes that were never
+         released; rebuild them so the convergence check covers every
+         replica. *)
+      Array.iter
+        (fun r ->
+          if Replica.is_tainted r then begin
+            incr restarts;
+            Cluster.restart_replica cluster (Replica.id r)
+          end)
+        (Cluster.replicas cluster);
+      (* Drain: heartbeat no-ops push the watermark past the last real
+         transaction; followers finish replay. *)
+      Cluster.run cluster ~duration:(2_500 * ms) ();
+      Check.Oracle.violations oracle
+      @ !periodic_viols
+      @ Check.agreement cluster
+      @ Check.watermark_agreement cluster
+      @ Check.convergence cluster
+      @ Check.money cluster ~table:bank_table
+          ~expected:(accounts * initial_balance)
+    with exn ->
+      [
+        {
+          Check.check = "exception";
+          detail = Printexc.to_string exn;
+        };
+      ]
+  in
+  let epochs =
+    Array.fold_left
+      (fun m r ->
+        if Replica.is_alive r then max m (Paxos.Election.epoch (Replica.election r))
+        else m)
+      0 (Cluster.replicas cluster)
+  in
+  {
+    seed;
+    violations;
+    released = Cluster.released cluster;
+    executed = Cluster.executed cluster;
+    crashes = !crashes;
+    restarts = !restarts;
+    epochs;
+    entries_checked = Check.Oracle.entries_checked oracle;
+  }
+
+let run_seeds ?replicas ?workers ?accounts ?duration ?(seed0 = 1) ?on_outcome
+    ~seeds () =
+  let outcomes = ref [] in
+  for i = 0 to seeds - 1 do
+    let o = run_seed ?replicas ?workers ?accounts ?duration ~seed:(seed0 + i) () in
+    (match on_outcome with Some f -> f o | None -> ());
+    outcomes := o :: !outcomes
+  done;
+  let outcomes = List.rev !outcomes in
+  (outcomes, List.find_opt (fun o -> not (ok o)) outcomes)

@@ -1,0 +1,61 @@
+(** Seeded chaos harness: a bank-transfer cluster under a random fault
+    plan, checked against the {!Check} invariants.
+
+    One seed determines everything — engine schedule, workload, and
+    nemesis plan — so [run_seed ~seed] is a pure function of [seed] and a
+    failing seed reproduces exactly (then bisect with the oracle's
+    first-divergence report and the nemesis debug log).
+
+    Each run: 300 ms steady state; [duration] of faults (crashes and
+    restarts of any replica including the leader, symmetric and one-way
+    partitions, loss/dup/reorder bursts); then quiesce — stop the
+    workload, heal the network, restart dead and tainted replicas — and
+    drain until replay converges. Final checks: Paxos agreement (oracle +
+    journal prefixes), sealed-watermark agreement, cross-replica state
+    convergence, and money conservation. *)
+
+val bank_table : string
+val initial_balance : int
+
+val bank_app : accounts:int -> stopped:bool ref -> App.t
+(** Random transfers between [accounts] accounts; conserves total money.
+    Setting [stopped] freezes generation so the cluster can quiesce. *)
+
+type outcome = {
+  seed : int;
+  violations : Check.violation list;  (** empty iff the run passed *)
+  released : int;
+  executed : int;
+  crashes : int;
+  restarts : int;
+  epochs : int;  (** highest election epoch reached *)
+  entries_checked : int;  (** durability commits the oracle cross-checked *)
+}
+
+val ok : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run_seed :
+  ?replicas:int ->
+  ?workers:int ->
+  ?accounts:int ->
+  ?duration:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Defaults: 3 replicas, 4 workers, 48 accounts, 3 virtual seconds of
+    fault injection. *)
+
+val run_seeds :
+  ?replicas:int ->
+  ?workers:int ->
+  ?accounts:int ->
+  ?duration:int ->
+  ?seed0:int ->
+  ?on_outcome:(outcome -> unit) ->
+  seeds:int ->
+  unit ->
+  outcome list * outcome option
+(** Run seeds [seed0 .. seed0 + seeds - 1] (default [seed0 = 1]);
+    returns all outcomes and the first failing one, if any.
+    [on_outcome] fires after each seed (progress reporting). *)

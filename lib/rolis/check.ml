@@ -1,0 +1,174 @@
+type violation = { check : string; detail : string }
+
+let violation check fmt = Format.kasprintf (fun detail -> { check; detail }) fmt
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.check v.detail
+
+(* How many violations of one kind we keep; a diverged run would otherwise
+   produce one per commit. *)
+let cap = 20
+
+module Oracle = struct
+  type t = {
+    chosen : (int * int, Store.Wire.entry) Hashtbl.t; (* (stream, idx) *)
+    mutable checked : int;
+    mutable violations : violation list;
+    mutable nviol : int;
+  }
+
+  let create () =
+    { chosen = Hashtbl.create 4096; checked = 0; violations = []; nviol = 0 }
+
+  let entry_sig (e : Store.Wire.entry) =
+    Printf.sprintf "{epoch=%d; last_ts=%d; txns=%d; bytes=%d}" e.epoch e.last_ts
+      (List.length e.txns) (Store.Wire.byte_size e)
+
+  let observe t ~replica ~stream ~idx entry =
+    t.checked <- t.checked + 1;
+    match Hashtbl.find_opt t.chosen (stream, idx) with
+    | None -> Hashtbl.replace t.chosen (stream, idx) entry
+    | Some chosen ->
+        if chosen <> entry then begin
+          t.nviol <- t.nviol + 1;
+          if t.nviol <= cap then
+            t.violations <-
+              violation "agreement"
+                "replica %d committed %s at (stream %d, idx %d) but %s was already chosen"
+                replica (entry_sig entry) stream idx (entry_sig chosen)
+              :: t.violations
+        end
+
+  let violations t = List.rev t.violations
+  let entries_checked t = t.checked
+end
+
+let alive_replicas cluster =
+  Array.to_list (Cluster.replicas cluster) |> List.filter Replica.is_alive
+
+(* Per-stream committed sequences rebuilt from a replica's journal. *)
+let stream_logs r =
+  let tbl : (int, Store.Wire.entry list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s, e) ->
+      let cur = match Hashtbl.find_opt tbl s with Some l -> l | None -> [] in
+      Hashtbl.replace tbl s (e :: cur))
+    (Replica.journal r);
+  fun s ->
+    match Hashtbl.find_opt tbl s with
+    | Some l -> Array.of_list (List.rev l)
+    | None -> [||]
+
+let agreement cluster =
+  let reps = alive_replicas cluster in
+  let logs = List.map (fun r -> (Replica.id r, stream_logs r)) reps in
+  let nstreams = Config.nstreams (Cluster.config cluster) in
+  let viols = ref [] and nviol = ref 0 in
+  for s = 0 to nstreams - 1 do
+    let per = List.map (fun (id, f) -> (id, f s)) logs in
+    let ref_id, longest =
+      List.fold_left
+        (fun (bi, ba) (i, a) ->
+          if Array.length a > Array.length ba then (i, a) else (bi, ba))
+        (-1, [||]) per
+    in
+    List.iter
+      (fun (id, a) ->
+        if id <> ref_id then
+          Array.iteri
+            (fun i e ->
+              if i < Array.length longest && longest.(i) <> e then begin
+                incr nviol;
+                if !nviol <= cap then
+                  viols :=
+                    violation "agreement"
+                      "stream %d idx %d: replica %d has %s, replica %d has %s" s i
+                      id (Oracle.entry_sig e) ref_id
+                      (Oracle.entry_sig longest.(i))
+                    :: !viols
+              end)
+            a)
+      per
+  done;
+  List.rev !viols
+
+let watermark_agreement cluster =
+  let reps = alive_replicas cluster in
+  let max_epoch =
+    List.fold_left
+      (fun m r -> max m (Paxos.Election.epoch (Replica.election r)))
+      1 reps
+  in
+  let viols = ref [] in
+  for e = 1 to max_epoch do
+    let ws =
+      List.filter_map
+        (fun r ->
+          Option.map (fun w -> (Replica.id r, w)) (Replica.final_watermark r ~epoch:e))
+        reps
+    in
+    match ws with
+    | [] | [ _ ] -> ()
+    | (id0, w0) :: rest ->
+        List.iter
+          (fun (id, w) ->
+            if w <> w0 then
+              viols :=
+                violation "watermark"
+                  "epoch %d sealed at W=%d on replica %d but W=%d on replica %d" e
+                  w0 id0 w id
+                :: !viols)
+          rest
+  done;
+  List.rev !viols
+
+(* Live records of every table, in deterministic (table, key) order. *)
+let table_dump db =
+  Silo.Db.tables db
+  |> List.concat_map (fun t ->
+         let acc = ref [] in
+         Store.Table.iter t (fun k r ->
+             if not r.Store.Record.deleted then
+               acc := (Store.Table.name t, k, r.Store.Record.value) :: !acc);
+         List.rev !acc)
+
+let convergence cluster =
+  match alive_replicas cluster with
+  | [] | [ _ ] -> []
+  | r0 :: rest ->
+      let d0 = table_dump (Replica.db r0) in
+      List.filter_map
+        (fun r ->
+          let d = table_dump (Replica.db r) in
+          if d <> d0 then begin
+            let diff =
+              List.filter (fun x -> not (List.mem x d0)) d
+              |> List.map (fun (t, k, v) -> Printf.sprintf "%s[%S]=%S" t k v)
+            in
+            Some
+              (violation "convergence"
+                 "replica %d live state differs from replica %d (%d vs %d live \
+                  records; e.g. %s)"
+                 (Replica.id r) (Replica.id r0) (List.length d) (List.length d0)
+                 (match diff with [] -> "missing records" | x :: _ -> x))
+          end
+          else None)
+        rest
+
+let money cluster ~table ~expected =
+  alive_replicas cluster
+  |> List.filter_map (fun r ->
+         let t = Silo.Db.table (Replica.db r) table in
+         let sum = ref 0 and bad = ref 0 in
+         Store.Table.iter t (fun _ rec_ ->
+             if not rec_.Store.Record.deleted then
+               match int_of_string_opt rec_.Store.Record.value with
+               | Some v -> sum := !sum + v
+               | None -> incr bad);
+         if !bad > 0 then
+           Some
+             (violation "money" "replica %d: %d non-numeric balances in %S"
+                (Replica.id r) !bad table)
+         else if !sum <> expected then
+           Some
+             (violation "money" "replica %d: sum(%S) = %d, expected %d"
+                (Replica.id r) table !sum expected)
+         else None)

@@ -1,0 +1,53 @@
+(** Invariant checking for chaos runs.
+
+    Two layers:
+
+    - {!Oracle} checks {e Paxos agreement continuously}: an [on_durable]
+      hook feeds it every durability commit from every replica, and the
+      first conflicting commit for a [(stream, index)] slot is flagged at
+      the moment it happens — which makes a chaos failure bisectable to
+      the exact commit.
+    - The cluster-level checks run at chosen points (typically after a
+      quiesce): journal prefix agreement, sealed-watermark agreement,
+      cross-replica state convergence, and the bank money invariant.
+
+    Money conservation and convergence only hold at {e quiescent} points:
+    replay applies transactions per-key, so mid-flight a replica's state
+    can transiently violate per-transaction atomicity, but it always
+    converges to the serial result once replay drains (paper §3.4). *)
+
+type violation = { check : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+module Oracle : sig
+  type t
+
+  val create : unit -> t
+
+  val observe :
+    t -> replica:int -> stream:int -> idx:int -> Store.Wire.entry -> unit
+  (** Wire as [Cluster.create ~on_durable:(Oracle.observe oracle)]. O(1)
+      per commit: the first commit for a slot is recorded as chosen, every
+      later one (other replicas, restarted replicas re-observing their
+      injected prefix) must equal it. *)
+
+  val violations : t -> violation list
+  val entries_checked : t -> int
+end
+
+val agreement : Cluster.t -> violation list
+(** Every alive replica's per-stream committed sequence is a prefix of the
+    longest one (requires [archive_entries]). *)
+
+val watermark_agreement : Cluster.t -> violation list
+(** For every sealed epoch, all alive replicas that sealed it agree on its
+    final watermark. Safe to run at any time. *)
+
+val convergence : Cluster.t -> violation list
+(** All alive replicas hold identical live records. Quiescent points
+    only: stop the workload, heal the network, and drain replay first. *)
+
+val money : Cluster.t -> table:string -> expected:int -> violation list
+(** The integer balances in [table] sum to [expected] on every alive
+    replica. Quiescent points only. *)

@@ -2,20 +2,26 @@ type t = {
   cfg : Config.t;
   eng : Sim.Engine.t;
   net : Paxos.Msg.t Sim.Net.t;
+  app : App.t;
+  on_durable :
+    (replica:int -> stream:int -> idx:int -> Store.Wire.entry -> unit) option;
   replicas : Replica.t array;
   mutable w_start : int;
   mutable w_stop : int;
 }
 
-let create ?(initial_leader = Some 0) cfg app =
+let create ?(initial_leader = Some 0) ?on_durable cfg app =
   Config.validate cfg;
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
   let net = Sim.Net.create eng ~nodes:cfg.Config.replicas ~latency:cfg.Config.net_latency in
+  let hook id =
+    Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
+  in
   let replicas =
     Array.init cfg.Config.replicas (fun id ->
-        Replica.create cfg eng net ~id ~app ?initial_leader ())
+        Replica.create cfg eng net ~id ~app ?initial_leader ?on_durable:(hook id) ())
   in
-  { cfg; eng; net; replicas; w_start = 0; w_stop = 0 }
+  { cfg; eng; net; app; on_durable; replicas; w_start = 0; w_stop = 0 }
 
 let engine t = t.eng
 let network t = t.net
@@ -43,6 +49,41 @@ let run t ?(warmup = 0) ~duration () =
 let crash_replica t i =
   Sim.Net.crash t.net i;
   Replica.crash t.replicas.(i)
+
+let hook t id =
+  Option.map
+    (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry)
+    t.on_durable
+
+(* Crash-recovery: a restarted machine keeps nothing — it is rebuilt from
+   scratch (fresh database, fresh streams), catches up from the per-stream
+   union of every alive replica's journal, and rejoins as a follower; the
+   remaining gap closes through the ordinary fetch path.
+
+   A *voluntary* rebuild of a still-alive replica (a tainted ex-leader) is
+   different: only its database is suspect. Its own journal stays in the
+   donor set, and its Paxos acceptor state — accepted-but-uncommitted
+   slots, granted vote — is salvaged into the fresh replica, because an
+   accepted slot here may be the last surviving copy of an entry committed
+   at a since-dead leader; wiping it would let the next Prepare quorum
+   no-op-fill a chosen slot. *)
+let restart_replica t i =
+  let old = t.replicas.(i) in
+  let was_alive = Replica.is_alive old in
+  if was_alive then begin
+    Sim.Net.crash t.net i;
+    Replica.crash old
+  end;
+  let donors =
+    Array.to_list t.replicas
+    |> List.filter (fun r -> Replica.id r <> i && Replica.is_alive r)
+  in
+  let donors = if was_alive then old :: donors else donors in
+  Sim.Net.recover t.net i;
+  let r = Replica.create t.cfg t.eng t.net ~id:i ~app:t.app ?on_durable:(hook t i) () in
+  Replica.catch_up_from r ~donors;
+  if was_alive then Replica.salvage_protocol_state r ~old;
+  t.replicas.(i) <- r
 
 let window t = (t.w_start, t.w_stop)
 

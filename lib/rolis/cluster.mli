@@ -16,10 +16,16 @@
 
 type t
 
-val create : ?initial_leader:int option -> Config.t -> App.t -> t
+val create :
+  ?initial_leader:int option ->
+  ?on_durable:(replica:int -> stream:int -> idx:int -> Store.Wire.entry -> unit) ->
+  Config.t ->
+  App.t ->
+  t
 (** Build replicas, load the application on each, spawn all processes.
     [initial_leader] defaults to [Some 0] (skip the cold-start election);
-    pass [None] to start leaderless. *)
+    pass [None] to start leaderless. [on_durable] observes every
+    durability commit on every replica (see {!Check.Oracle}). *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Paxos.Msg.t Sim.Net.t
@@ -36,6 +42,13 @@ val run : t -> ?warmup:int -> duration:int -> unit -> unit
 
 val crash_replica : t -> int -> unit
 (** Crash-stop a machine: kill its processes and cut it from the network. *)
+
+val restart_replica : t -> int -> unit
+(** Rebuild replica [i] from scratch (crashing it first if still alive):
+    fresh database and streams, catch-up from the per-stream union of
+    every alive peer's journal (see {!Replica.catch_up_from}), rejoin as
+    follower. The entries committed after the snapshot arrive through
+    the hardened fetch path. *)
 
 val window : t -> int * int
 (** Measurement window [(start, stop)] of the last {!run}. *)

@@ -30,7 +30,9 @@ type t = {
   mutable rwm : int; (* live watermark for [repoch] *)
   mutable alive : bool;
   worker_active : bool array;
-  mutable archive : Store.Wire.entry list; (* reverse durable order *)
+  (* (stream, entry) pairs in reverse durable order: the journal a
+     restarted replica replays to rebuild a crashed peer (catch-up). *)
+  mutable journal : (int * Store.Wire.entry) list;
   last_heard : int array; (* per peer: last time a message arrived *)
 }
 
@@ -50,7 +52,9 @@ let is_alive t = t.alive
 let replay_backlog t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.replay_queues
 
-let archived_entries t = List.rev t.archive
+let journal t = List.rev t.journal
+let journal_length t = List.length t.journal
+let archived_entries t = List.rev_map snd t.journal
 
 let spawn t name f =
   let p = Sim.Engine.spawn t.eng ~name:(Printf.sprintf "%s-%d" name t.rid) f in
@@ -77,6 +81,11 @@ let stop_serving t =
     Log.debug (fun m -> m "replica %d stops serving (tainted)" t.rid);
     t.serving <- false;
     t.tainted <- true;
+    (* The local database holds speculative writes that were never
+       released; leading again would serve diverged state. A tainted
+       replica still votes and follows, but must be rebuilt (restart)
+       before it may stand for election. *)
+    Paxos.Election.set_eligible (election t) false;
     drop_speculative t
   end
 
@@ -297,6 +306,10 @@ let promote t ~epoch =
 (* ---- heartbeats: flush + empty transaction per stream (§5) ---- *)
 
 let heartbeat_tick t () =
+  (* Loss recovery rides the heartbeat: re-send whatever protocol step is
+     stuck (Prepare without a promise quorum, Accepts short of a majority,
+     the latest commit position). No-op on streams we do not lead. *)
+  Array.iter Paxos.Stream.retransmit t.streams;
   if t.serving then
     Array.iteri
       (fun i stream ->
@@ -307,7 +320,7 @@ let heartbeat_tick t () =
 
 (* ---- construction ---- *)
 
-let create cfg eng net ~id:rid ~app ?initial_leader () =
+let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   Config.validate cfg;
   let cpu = Sim.Cpu.create eng ~cores:cfg.Config.cores () in
   let is_initial_leader = initial_leader = Some rid in
@@ -341,11 +354,11 @@ let create cfg eng net ~id:rid ~app ?initial_leader () =
       rwm = 0;
       alive = true;
       worker_active = Array.make cfg.Config.workers false;
-      archive = [];
+      journal = [];
       last_heard = Array.make cfg.Config.replicas 0;
     }
   in
-  let on_commit s ~idx:_ (entry : Store.Wire.entry) =
+  let on_commit s ~idx (entry : Store.Wire.entry) =
     (* Durability commit: feed the watermark; queue for replay. Physical
        (de)serialization is exercised when configured. *)
     let entry =
@@ -354,7 +367,8 @@ let create cfg eng net ~id:rid ~app ?initial_leader () =
       else entry
     in
     Watermark.note_durable t.wm ~stream:s ~epoch:entry.epoch ~ts:entry.last_ts;
-    if cfg.Config.archive_entries then t.archive <- entry :: t.archive;
+    if cfg.Config.archive_entries then t.journal <- (s, entry) :: t.journal;
+    (match on_durable with Some f -> f ~stream:s ~idx entry | None -> ());
     Queue.add entry t.replay_queues.(s)
   in
   let on_higher_epoch e = Paxos.Election.observe_epoch (election t) e in
@@ -416,3 +430,69 @@ let crash t =
   t.alive <- false;
   t.serving <- false;
   List.iter Sim.Engine.kill t.procs
+
+let final_watermark t ~epoch = Watermark.final_watermark t.wm ~epoch
+
+(* Restart catch-up: replay the donors' journals of durable entries
+   through the protocol-level inject path. Because journals hold only
+   *durable* entries — never speculative writes — any alive replica is a
+   safe donor, leaders included.
+
+   The rebuilt state must be the per-stream UNION over every alive donor,
+   not one donor's journal: per-stream committed logs are prefixes of one
+   another (Paxos agreement), so per stream the longest donor log is the
+   union. A single donor is not enough — a follower can be ahead on one
+   stream and behind on another, and rebuilding a replica from it would
+   wipe this replica's memory of entries whose only other holder may
+   crash next, letting a future leader no-op-fill released transactions.
+
+   The injected commits rebuild the watermark, the replay queues, and our
+   own journal exactly as if we had followed the streams from the start;
+   whatever committed after the donors' snapshots arrives through the
+   ordinary fetch path. *)
+let catch_up_from t ~donors =
+  let nstreams = Array.length t.streams in
+  let per_stream d =
+    (* [d.journal] is in reverse durable order; prepending while iterating
+       it restores forward order per stream. *)
+    let per = Array.make nstreams [] in
+    List.iter (fun (s, e) -> per.(s) <- e :: per.(s)) d.journal;
+    per
+  in
+  let logs = List.map per_stream donors in
+  for s = 0 to nstreams - 1 do
+    let best =
+      List.fold_left
+        (fun acc per -> if List.length per.(s) > List.length acc then per.(s) else acc)
+        [] logs
+    in
+    List.iter (fun e -> Paxos.Stream.inject_committed t.streams.(s) e) best
+  done;
+  (* Also merge every donor's accepted-but-uncommitted tail (as *accepted*
+     state, never as committed — acceptance is not choice). An accepted
+     slot on a survivor can be the only remaining copy of an entry that a
+     since-crashed leader committed: without carrying it, this rebuilt
+     replica could join a Prepare quorum that excludes that survivor and
+     let the new leader no-op-fill a chosen slot. Holding a peer's
+     accepted (epoch, value) is always sound — it is equivalent to having
+     received that leader's Accept directly. *)
+  List.iter
+    (fun d ->
+      Array.iteri
+        (fun s stream ->
+          Paxos.Stream.import_tail stream (Paxos.Stream.export_tail d.streams.(s)))
+        t.streams)
+    donors
+
+(* Voluntary rebuild of an *alive* replica (a tainted ex-leader): only its
+   database is suspect — its Paxos acceptor state is sound, and an
+   accepted-but-uncommitted slot may be the last surviving copy of an
+   entry committed at a since-dead leader. Wiping it would let the next
+   Prepare quorum no-op-fill a chosen slot. Graft the old replica's
+   accepted tails and vote onto the fresh one (after [catch_up_from]). *)
+let salvage_protocol_state t ~old =
+  Array.iteri
+    (fun s stream ->
+      Paxos.Stream.import_tail stream (Paxos.Stream.export_tail old.streams.(s)))
+    t.streams;
+  Paxos.Election.import_vote (election t) (Paxos.Election.export_vote (election old))

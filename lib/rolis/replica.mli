@@ -28,10 +28,13 @@ val create :
   id:int ->
   app:App.t ->
   ?initial_leader:int ->
+  ?on_durable:(stream:int -> idx:int -> Store.Wire.entry -> unit) ->
   unit ->
   t
 (** Builds the replica's state and spawns its processes. [app.setup] runs
-    immediately on the fresh database. *)
+    immediately on the fresh database. [on_durable] observes every
+    durability commit (stream, index, entry) in commit order — the hook
+    the invariant checker's oracle uses to cross-check agreement. *)
 
 val id : t -> int
 val db : t -> Silo.Db.t
@@ -58,8 +61,42 @@ val archived_entries : t -> Store.Wire.entry list
 (** Every durable entry, in durability order, when the cluster was built
     with [archive_entries = true] (for {!Bootstrap}). *)
 
+val journal : t -> (int * Store.Wire.entry) list
+(** [(stream, entry)] pairs in durability order (requires
+    [archive_entries]); the donor data for {!catch_up_from}. *)
+
+val journal_length : t -> int
+
+val final_watermark : t -> epoch:int -> int option
+(** The sealed final watermark of [epoch], once known on this replica. *)
+
 val crash : t -> unit
 (** Kill every process of this replica (crash-stop). The caller is
     responsible for [Sim.Net.crash]. *)
 
 val is_alive : t -> bool
+
+val catch_up_from : t -> donors:t list -> unit
+(** Restart bootstrap: inject the per-stream {e union} of the donors'
+    journals — durable entries only, so any alive replica is a safe
+    donor — through the protocol commit path, rebuilding watermark /
+    replay / journal state as if this replica had followed the streams
+    from the start. The union matters: per-stream committed logs are
+    prefixes of each other, but no single replica need hold the longest
+    log of {e every} stream, and rebuilding from one donor could erase
+    this replica's memory of a committed entry whose only other holder
+    crashes next. The donors' accepted-but-uncommitted tails are merged
+    in as {e accepted} state too: a survivor's accepted slot can be the
+    only remaining copy of an entry committed at a since-crashed leader,
+    and a rebuilt replica that lacks it could join a Prepare quorum that
+    excludes that survivor. Entries committed after the snapshot arrive
+    through the ordinary fetch path. Call on a freshly created replica,
+    before the engine runs any of its events. *)
+
+val salvage_protocol_state : t -> old:t -> unit
+(** Voluntary rebuild of an {e alive} replica (a tainted ex-leader): only
+    its database is suspect — the Paxos acceptor state is sound, and an
+    accepted-but-uncommitted slot may be the last surviving copy of an
+    entry committed at a since-dead leader. Grafts [old]'s accepted
+    tails and granted vote onto the fresh replica. Call after
+    {!catch_up_from}, before the engine runs. *)

@@ -1,0 +1,153 @@
+type action =
+  | Crash of int
+  | Restart of int
+  | Partition of int * int
+  | Partition_oneway of int * int
+  | Heal of int * int
+  | Heal_all
+  | Set_faults of Net.faults
+  | Clear_faults
+
+type step = { after : int; action : action }
+type plan = step list
+
+let pp_action fmt = function
+  | Crash i -> Format.fprintf fmt "crash %d" i
+  | Restart i -> Format.fprintf fmt "restart %d" i
+  | Partition (a, b) -> Format.fprintf fmt "partition %d<->%d" a b
+  | Partition_oneway (src, dst) -> Format.fprintf fmt "partition %d->%d" src dst
+  | Heal (a, b) -> Format.fprintf fmt "heal %d<->%d" a b
+  | Heal_all -> Format.fprintf fmt "heal-all"
+  | Set_faults f ->
+      Format.fprintf fmt "faults drop=%.2f dup=%.2f reorder=%dus" f.Net.drop f.Net.dup
+        (f.Net.reorder / 1_000)
+  | Clear_faults -> Format.fprintf fmt "clear-faults"
+
+let pp_plan fmt plan =
+  let at = ref 0 in
+  List.iter
+    (fun { after; action } ->
+      at := !at + after;
+      Format.fprintf fmt "  t=+%dms %a@." (!at / 1_000_000) pp_action action)
+    plan
+
+(* Random fault plan. Invariants kept by construction: never more than
+   [max_down] nodes down at once (a majority survives so the cluster can
+   make progress), and — when [quiesce] — the plan ends by restarting
+   every downed node, healing every partition, and clearing the loss
+   model, so the cluster can converge afterwards. *)
+let random_plan rng ~nodes ?(steps = 12) ?(min_gap = 50 * Engine.ms)
+    ?(mean_gap = 150 * Engine.ms) ?(max_drop = 0.25) ?(max_dup = 0.2)
+    ?(max_reorder = 2 * Engine.ms) ?max_down ?(quiesce = true) () =
+  if nodes < 1 then invalid_arg "Fault.random_plan: need at least one node";
+  let max_down =
+    match max_down with Some m -> m | None -> max 0 ((nodes - 1) / 2)
+  in
+  let down = Array.make nodes false in
+  let ndown () = Array.fold_left (fun a b -> if b then a + 1 else a) 0 down in
+  let parted = ref false and faulty = ref false in
+  let node () = Rng.int rng nodes in
+  let pair () =
+    let a = node () in
+    let b = (a + 1 + Rng.int rng (max 1 (nodes - 1))) mod nodes in
+    (a, b)
+  in
+  let gap () =
+    min_gap + int_of_float (Rng.exponential rng ~mean:(float_of_int mean_gap))
+  in
+  let steps_acc = ref [] in
+  let emit action = steps_acc := { after = gap (); action } :: !steps_acc in
+  for _ = 1 to steps do
+    (* Weighted choice among the actions legal in the current state. *)
+    let choices = ref [] in
+    let add w c = for _ = 1 to w do choices := c :: !choices done in
+    if ndown () < max_down then add 3 `Crash;
+    if ndown () > 0 then add 4 `Restart;
+    if nodes > 1 then begin
+      add 2 `Partition;
+      add 2 `Oneway
+    end;
+    if !parted then add 3 `Heal_all;
+    if !faulty then add 2 `Clear_faults else add 3 `Set_faults;
+    let arr = Array.of_list !choices in
+    if Array.length arr > 0 then
+      match Rng.pick rng arr with
+      | `Crash ->
+          (* Pick an up node, scanning from a random start. *)
+          let start = node () in
+          let found = ref None in
+          for k = 0 to nodes - 1 do
+            let i = (start + k) mod nodes in
+            if !found = None && not down.(i) then found := Some i
+          done;
+          Option.iter
+            (fun i ->
+              down.(i) <- true;
+              emit (Crash i))
+            !found
+      | `Restart ->
+          let start = node () in
+          let found = ref None in
+          for k = 0 to nodes - 1 do
+            let i = (start + k) mod nodes in
+            if !found = None && down.(i) then found := Some i
+          done;
+          Option.iter
+            (fun i ->
+              down.(i) <- false;
+              emit (Restart i))
+            !found
+      | `Partition ->
+          let a, b = pair () in
+          parted := true;
+          emit (Partition (a, b))
+      | `Oneway ->
+          let a, b = pair () in
+          parted := true;
+          emit (Partition_oneway (a, b))
+      | `Heal_all ->
+          parted := false;
+          emit Heal_all
+      | `Set_faults ->
+          faulty := true;
+          emit
+            (Set_faults
+               {
+                 Net.drop = Rng.float rng max_drop;
+                 dup = Rng.float rng max_dup;
+                 reorder = Rng.int rng (max_reorder + 1);
+               })
+      | `Clear_faults ->
+          faulty := false;
+          emit Clear_faults
+  done;
+  if quiesce then begin
+    for i = 0 to nodes - 1 do
+      if down.(i) then emit (Restart i)
+    done;
+    if !parted then emit Heal_all;
+    if !faulty then emit Clear_faults
+  end;
+  List.rev !steps_acc
+
+let apply net ~on_crash ~on_restart = function
+  | Crash i -> on_crash i
+  | Restart i -> on_restart i
+  | Partition (a, b) -> Net.partition net a b
+  | Partition_oneway (src, dst) -> Net.partition_oneway net ~src ~dst
+  | Heal (a, b) -> Net.heal net a b
+  | Heal_all -> Net.heal_all net
+  | Set_faults f -> Net.set_default_faults net f
+  | Clear_faults -> Net.clear_faults net
+
+let spawn net ?on_crash ?on_restart ?on_step plan =
+  let on_crash = match on_crash with Some f -> f | None -> Net.crash net in
+  let on_restart = match on_restart with Some f -> f | None -> Net.recover net in
+  let eng = Net.engine net in
+  Engine.spawn eng ~name:"nemesis" (fun () ->
+      List.iter
+        (fun { after; action } ->
+          if after > 0 then Engine.sleep after;
+          (match on_step with Some f -> f action | None -> ());
+          apply net ~on_crash ~on_restart action)
+        plan)

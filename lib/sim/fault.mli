@@ -1,0 +1,59 @@
+(** Deterministic fault injection ("nemesis").
+
+    A fault {e plan} is a scripted sequence of crash / restart /
+    partition / heal / loss-burst events with virtual-time gaps between
+    them. {!spawn} runs the plan as a simulated process, so a plan plus a
+    seed reproduces the exact same adversarial schedule on every run —
+    which is what makes chaos failures bisectable.
+
+    Crash and restart semantics are owned by the caller: the default
+    handlers only toggle the network ({!Net.crash} / {!Net.recover});
+    pass [on_crash] / [on_restart] to also kill and rebuild the node's
+    processes (e.g. [Rolis.Cluster.crash_replica] / [restart_replica]). *)
+
+type action =
+  | Crash of int
+  | Restart of int
+  | Partition of int * int  (** cut both directions *)
+  | Partition_oneway of int * int  (** cut src -> dst only *)
+  | Heal of int * int
+  | Heal_all
+  | Set_faults of Net.faults  (** loss burst: applies to every link *)
+  | Clear_faults
+
+type step = { after : int; action : action }
+(** [after] is the virtual-time delay since the previous step (ns). *)
+
+type plan = step list
+
+val pp_action : Format.formatter -> action -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val random_plan :
+  Rng.t ->
+  nodes:int ->
+  ?steps:int ->
+  ?min_gap:int ->
+  ?mean_gap:int ->
+  ?max_drop:float ->
+  ?max_dup:float ->
+  ?max_reorder:int ->
+  ?max_down:int ->
+  ?quiesce:bool ->
+  unit ->
+  plan
+(** Generate a random plan from a seeded {!Rng.t}. By construction at
+    most [max_down] nodes (default: a minority) are down at any moment,
+    and with [quiesce] (default true) the plan tail restarts every downed
+    node, heals all partitions, and clears the loss model so the cluster
+    can converge. *)
+
+val spawn :
+  'm Net.t ->
+  ?on_crash:(int -> unit) ->
+  ?on_restart:(int -> unit) ->
+  ?on_step:(action -> unit) ->
+  plan ->
+  Engine.proc
+(** Run the plan as a process on the network's engine. [on_step] fires
+    before each action is applied (logging / tracing). *)

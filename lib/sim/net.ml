@@ -3,30 +3,53 @@ type latency_model =
   | Uniform of int * int
   | Exp_jitter of { base : int; jitter_mean : int }
 
+type faults = { drop : float; dup : float; reorder : int }
+
+let no_faults = { drop = 0.0; dup = 0.0; reorder = 0 }
+
+let validate_faults f =
+  if f.drop < 0.0 || f.drop >= 1.0 then invalid_arg "Net: drop must be in [0,1)";
+  if f.dup < 0.0 || f.dup >= 1.0 then invalid_arg "Net: dup must be in [0,1)";
+  if f.reorder < 0 then invalid_arg "Net: reorder jitter must be >= 0"
+
 type 'm t = {
   eng : Engine.t;
   n : int;
   latency : latency_model;
   rng : Rng.t;
+  frng : Rng.t; (* fault decisions draw from their own stream so enabling
+                   faults does not perturb latency sampling *)
   inboxes : 'm Sync.Mailbox.t array;
   up : bool array;
-  cut : (int * int, unit) Hashtbl.t; (* normalised (min,max) pairs *)
+  incarnation : int array;
+  cut : (int * int, unit) Hashtbl.t; (* directed (src, dst) pairs *)
+  mutable default_faults : faults;
+  link_faults : (int * int, faults) Hashtbl.t; (* directed overrides *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
+  mutable messages_dropped : int;
+  mutable messages_duplicated : int;
 }
 
 let create eng ~nodes ~latency =
   if nodes <= 0 then invalid_arg "Net.create: need at least one node";
+  let rng = Rng.split (Engine.rng eng) in
   {
     eng;
     n = nodes;
     latency;
-    rng = Rng.split (Engine.rng eng);
+    rng;
+    frng = Rng.split rng;
     inboxes = Array.init nodes (fun _ -> Sync.Mailbox.create eng);
     up = Array.make nodes true;
+    incarnation = Array.make nodes 0;
     cut = Hashtbl.create 7;
+    default_faults = no_faults;
+    link_faults = Hashtbl.create 7;
     messages_sent = 0;
     bytes_sent = 0;
+    messages_dropped = 0;
+    messages_duplicated = 0;
   }
 
 let nodes t = t.n
@@ -35,16 +58,39 @@ let engine t = t.eng
 let check_node t i =
   if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Net: bad node id %d" i)
 
-let link_key a b = if a < b then (a, b) else (b, a)
-
 let is_up t i =
   check_node t i;
   t.up.(i)
 
-let is_connected t a b =
-  check_node t a;
-  check_node t b;
-  not (Hashtbl.mem t.cut (link_key a b))
+let incarnation t i =
+  check_node t i;
+  t.incarnation.(i)
+
+let can_send t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  not (Hashtbl.mem t.cut (src, dst))
+
+let is_connected t a b = can_send t ~src:a ~dst:b && can_send t ~src:b ~dst:a
+
+let set_default_faults t f =
+  validate_faults f;
+  t.default_faults <- f
+
+let set_link_faults t ~src ~dst f =
+  check_node t src;
+  check_node t dst;
+  validate_faults f;
+  Hashtbl.replace t.link_faults (src, dst) f
+
+let clear_faults t =
+  t.default_faults <- no_faults;
+  Hashtbl.reset t.link_faults
+
+let link_faults t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (src, dst) with
+  | Some f -> f
+  | None -> t.default_faults
 
 let sample_latency t =
   match t.latency with
@@ -53,20 +99,46 @@ let sample_latency t =
   | Exp_jitter { base; jitter_mean } ->
       base + int_of_float (Rng.exponential t.rng ~mean:(float_of_int jitter_mean))
 
+(* A message only counts as sent once it is actually put on the wire;
+   sends that hit a dead endpoint, a cut link, or the loss model count in
+   [messages_dropped] instead (in-flight losses count in both). *)
 let send t ?(size = 0) ~src ~dst m =
   check_node t src;
   check_node t dst;
-  t.messages_sent <- t.messages_sent + 1;
-  t.bytes_sent <- t.bytes_sent + size;
-  if t.up.(src) && t.up.(dst) && is_connected t src dst then begin
-    let delay = if src = dst then 0 else sample_latency t in
-    Engine.schedule t.eng
-      (Engine.now t.eng + delay)
-      (fun () ->
-        (* Re-check at delivery: the destination may have crashed, or the
-           link may have been cut, while the message was in flight. *)
-        if t.up.(dst) && is_connected t src dst then
-          Sync.Mailbox.send t.inboxes.(dst) m)
+  if (not t.up.(src)) || (not t.up.(dst)) || Hashtbl.mem t.cut (src, dst) then
+    t.messages_dropped <- t.messages_dropped + 1
+  else begin
+    let f = link_faults t ~src ~dst in
+    if f.drop > 0.0 && Rng.float t.frng 1.0 < f.drop then
+      t.messages_dropped <- t.messages_dropped + 1
+    else begin
+      let deliver_copy () =
+        t.messages_sent <- t.messages_sent + 1;
+        t.bytes_sent <- t.bytes_sent + size;
+        let delay =
+          if src = dst then 0
+          else
+            sample_latency t
+            + (if f.reorder > 0 then Rng.int t.frng (f.reorder + 1) else 0)
+        in
+        let inc = t.incarnation.(dst) in
+        Engine.schedule t.eng
+          (Engine.now t.eng + delay)
+          (fun () ->
+            (* Re-check at delivery: the destination may have crashed (or
+               crashed and restarted: the incarnation moved on), or the
+               link may have been cut, while the message was in flight. *)
+            if t.up.(dst) && t.incarnation.(dst) = inc
+               && not (Hashtbl.mem t.cut (src, dst))
+            then Sync.Mailbox.send t.inboxes.(dst) m
+            else t.messages_dropped <- t.messages_dropped + 1)
+      in
+      deliver_copy ();
+      if f.dup > 0.0 && Rng.float t.frng 1.0 < f.dup then begin
+        t.messages_duplicated <- t.messages_duplicated + 1;
+        deliver_copy ()
+      end
+    end
   end
 
 let broadcast t ?size ~src m =
@@ -93,6 +165,9 @@ let inbox_length t i =
 let crash t i =
   check_node t i;
   t.up.(i) <- false;
+  (* In-flight messages captured the old incarnation and can never be
+     delivered, even if the node recovers before their delivery event. *)
+  t.incarnation.(i) <- t.incarnation.(i) + 1;
   Sync.Mailbox.clear t.inboxes.(i)
 
 let recover t i =
@@ -103,9 +178,20 @@ let recover t i =
 let partition t a b =
   check_node t a;
   check_node t b;
-  Hashtbl.replace t.cut (link_key a b) ()
+  Hashtbl.replace t.cut (a, b) ();
+  Hashtbl.replace t.cut (b, a) ()
 
-let heal t a b = Hashtbl.remove t.cut (link_key a b)
+let partition_oneway t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Hashtbl.replace t.cut (src, dst) ()
+
+let heal t a b =
+  Hashtbl.remove t.cut (a, b);
+  Hashtbl.remove t.cut (b, a)
+
 let heal_all t = Hashtbl.reset t.cut
 let messages_sent t = t.messages_sent
 let bytes_sent t = t.bytes_sent
+let messages_dropped t = t.messages_dropped
+let messages_duplicated t = t.messages_duplicated

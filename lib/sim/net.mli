@@ -1,10 +1,16 @@
 (** Simulated message-passing network.
 
     Nodes are integers [0 .. nodes-1]; each has an unbounded inbox.
-    Delivery takes a sampled latency. Crash-stop failures and (symmetric)
-    link partitions drop messages, which matches the asynchronous-network
-    assumption in the paper: messages can be lost or arbitrarily delayed,
-    and consensus — not the network — provides reliability. *)
+    Delivery takes a sampled latency. Crash-stop failures, symmetric and
+    one-way link partitions, and a per-link fault model (loss, duplication,
+    reorder jitter) drop, repeat, or delay messages — which matches the
+    asynchronous-network assumption in the paper: messages can be lost,
+    duplicated, or arbitrarily delayed, and consensus — not the network —
+    provides reliability.
+
+    Each node carries an {e incarnation number}, bumped on {!crash}: a
+    message in flight across a crash can never be delivered into a later
+    incarnation, even if the node recovers before the delivery event. *)
 
 type latency_model =
   | Fixed of int  (** constant one-way delay, ns *)
@@ -12,6 +18,16 @@ type latency_model =
   | Exp_jitter of { base : int; jitter_mean : int }
       (** [base] plus exponentially distributed jitter; heavy-ish tail,
           good default for a datacenter network *)
+
+type faults = {
+  drop : float;  (** probability in [0,1) of losing a message at send *)
+  dup : float;  (** probability in [0,1) of delivering a second copy *)
+  reorder : int;
+      (** extra uniform delay in [0, reorder] ns added per message;
+          enough jitter reorders deliveries *)
+}
+
+val no_faults : faults
 
 type 'm t
 
@@ -22,8 +38,9 @@ val engine : 'm t -> Engine.t
 
 val send : 'm t -> ?size:int -> src:int -> dst:int -> 'm -> unit
 (** Queue [m] for delivery to [dst]. Dropped silently if either end is
-    crashed or the link is partitioned (checked both at send and at
-    delivery time). [size] feeds byte accounting only. *)
+    crashed or the [src -> dst] direction is cut (checked both at send and
+    at delivery time), or by the link's fault model. [size] feeds byte
+    accounting only. *)
 
 val broadcast : 'm t -> ?size:int -> src:int -> 'm -> unit
 (** Send to every node except [src]. *)
@@ -38,22 +55,56 @@ val try_recv : 'm t -> int -> 'm option
 val inbox_length : 'm t -> int -> int
 
 val crash : 'm t -> int -> unit
-(** Crash-stop: inbox is discarded; all traffic to/from drops. The caller
-    is responsible for killing the node's processes. *)
+(** Crash-stop: inbox is discarded, the incarnation number advances (so
+    in-flight messages die with the old incarnation); all traffic to/from
+    drops. The caller is responsible for killing the node's processes. *)
 
 val recover : 'm t -> int -> unit
-(** The node rejoins with an empty inbox. *)
+(** The node rejoins with an empty inbox, in its current incarnation. *)
 
 val is_up : 'm t -> int -> bool
+
+val incarnation : 'm t -> int -> int
+(** Number of crashes this node has suffered. *)
 
 val partition : 'm t -> int -> int -> unit
 (** Cut the (bidirectional) link between two nodes. *)
 
+val partition_oneway : 'm t -> src:int -> dst:int -> unit
+(** Cut only the [src -> dst] direction (asymmetric partition). *)
+
 val heal : 'm t -> int -> int -> unit
+(** Restore both directions between two nodes. *)
+
 val heal_all : 'm t -> unit
+
 val is_connected : 'm t -> int -> int -> bool
+(** Both directions intact. *)
+
+val can_send : 'm t -> src:int -> dst:int -> bool
+(** The [src -> dst] direction is intact. *)
+
+val set_default_faults : 'm t -> faults -> unit
+(** Fault model applied to every link without a per-link override. *)
+
+val set_link_faults : 'm t -> src:int -> dst:int -> faults -> unit
+(** Directed per-link override of the default fault model. *)
+
+val clear_faults : 'm t -> unit
+(** Reset the default and every per-link override to {!no_faults}. *)
 
 val messages_sent : 'm t -> int
+(** Messages actually put on the wire (duplicates included). Sends that
+    hit a dead endpoint, a cut link, or the loss model are not counted
+    here — see {!messages_dropped}. *)
+
 val bytes_sent : 'm t -> int
+
+val messages_dropped : 'm t -> int
+(** Messages lost for any reason: dead endpoint or cut link at send time,
+    random loss, or crash/cut/restart while in flight. *)
+
+val messages_duplicated : 'm t -> int
+
 val sample_latency : 'm t -> int
 (** Draw one latency sample from the model (for tests/calibration). *)

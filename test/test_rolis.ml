@@ -398,6 +398,33 @@ let test_bootstrap_new_replica () =
   check_bool "new replica equals source" true
     (table_state new_db "accounts" = table_state src_db "accounts")
 
+let test_restart_rejoin_convergence () =
+  (* Crash a follower mid-run, restart it while the cluster is still under
+     load: it rebuilds from the survivors' journals (per-stream union),
+     closes the remaining gap over the fetch path, and must end up
+     byte-identical to the leader after the drain. *)
+  let stopped = ref false in
+  let accounts = 40 in
+  let cfg = { (test_cfg ()) with Rolis.Config.archive_entries = true } in
+  let app = transfer_app ~accounts ~initial:300 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (300 * ms) (fun () -> Rolis.Cluster.crash_replica cluster 2);
+  Sim.Engine.schedule eng (800 * ms) (fun () -> Rolis.Cluster.restart_replica cluster 2);
+  Rolis.Cluster.run cluster ~duration:(1_500 * ms) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "progress under churn" true (Rolis.Cluster.released cluster > 100);
+  let r2 = Rolis.Cluster.replica cluster 2 in
+  check_bool "restarted replica alive" true (Rolis.Replica.is_alive r2);
+  let leader_state =
+    table_state (Rolis.Replica.db (Rolis.Cluster.replica cluster 0)) "accounts"
+  in
+  check_bool "restarted replica equals leader" true
+    (table_state (Rolis.Replica.db r2) "accounts" = leader_state);
+  check_int "money conserved on restarted replica" (accounts * 300)
+    (total_money (Rolis.Replica.db r2) ~accounts)
+
 (* ---------- checkpoint ---------- *)
 
 let test_checkpoint_roundtrip () =
@@ -507,7 +534,11 @@ let () =
             test_old_leader_tainted_on_partition;
         ] );
       ( "bootstrap",
-        [ Alcotest.test_case "new replica sync" `Quick test_bootstrap_new_replica ] );
+        [
+          Alcotest.test_case "new replica sync" `Quick test_bootstrap_new_replica;
+          Alcotest.test_case "restart rejoin convergence" `Quick
+            test_restart_rejoin_convergence;
+        ] );
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;

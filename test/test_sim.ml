@@ -478,6 +478,106 @@ let test_net_partition () =
   Sim.Net.heal net 0 1;
   check_bool "healed" true (Sim.Net.is_connected net 0 1)
 
+let test_net_crash_recover_in_flight () =
+  (* Regression: the destination crashes *and recovers* while a message is
+     in flight. The incarnation bump must still kill the message — a
+     restarted node must never receive mail addressed to its previous
+     incarnation. *)
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 100) in
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src:0 ~dst:1 7) in
+  Sim.Engine.schedule eng 50 (fun () -> Sim.Net.crash net 1);
+  Sim.Engine.schedule eng 60 (fun () -> Sim.Net.recover net 1);
+  Sim.Engine.run eng;
+  check_bool "node is back up" true (Sim.Net.is_up net 1);
+  check_int "incarnation advanced" 1 (Sim.Net.incarnation net 1);
+  check_int "pre-crash message never arrives" 0 (Sim.Net.inbox_length net 1);
+  check_int "counted as dropped" 1 (Sim.Net.messages_dropped net);
+  (* A fresh post-recovery message flows normally. *)
+  let _sender2 = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src:0 ~dst:1 8) in
+  Sim.Engine.run eng;
+  check_int "post-recovery message arrives" 1 (Sim.Net.inbox_length net 1)
+
+let test_net_oneway_partition () =
+  (* An asymmetric cut blocks exactly one direction. *)
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 10) in
+  Sim.Net.partition_oneway net ~src:0 ~dst:1;
+  check_bool "0->1 cut" false (Sim.Net.can_send net ~src:0 ~dst:1);
+  check_bool "1->0 open" true (Sim.Net.can_send net ~src:1 ~dst:0);
+  check_bool "not fully connected" false (Sim.Net.is_connected net 0 1);
+  let _s =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Net.send net ~src:0 ~dst:1 1;
+        Sim.Net.send net ~src:1 ~dst:0 2)
+  in
+  Sim.Engine.run eng;
+  check_int "cut direction drops" 0 (Sim.Net.inbox_length net 1);
+  check_int "open direction delivers" 1 (Sim.Net.inbox_length net 0);
+  check_int "drop accounted" 1 (Sim.Net.messages_dropped net);
+  check_int "only the delivered message counts as sent" 1 (Sim.Net.messages_sent net);
+  Sim.Net.heal net 0 1;
+  check_bool "healed both ways" true (Sim.Net.is_connected net 0 1)
+
+let test_net_fault_model () =
+  (* drop = 1-epsilon loses almost everything; dup > 0 delivers extras;
+     accounting separates sent / dropped / duplicated. *)
+  let eng = Sim.Engine.create () in
+  let net = Sim.Net.create eng ~nodes:2 ~latency:(Sim.Net.Fixed 10) in
+  Sim.Net.set_default_faults net { Sim.Net.drop = 0.99; dup = 0.0; reorder = 0 };
+  let n = 200 in
+  let _s =
+    Sim.Engine.spawn eng (fun () ->
+        for i = 1 to n do
+          Sim.Net.send net ~src:0 ~dst:1 i
+        done)
+  in
+  Sim.Engine.run eng;
+  let got = Sim.Net.inbox_length net 1 in
+  check_bool "almost all lost" true (got < n / 4);
+  check_int "sent + dropped = offered" n (Sim.Net.messages_sent net + Sim.Net.messages_dropped net);
+  (* Duplication: every message arrives at least once, some twice. *)
+  let eng2 = Sim.Engine.create () in
+  let net2 = Sim.Net.create eng2 ~nodes:2 ~latency:(Sim.Net.Fixed 10) in
+  Sim.Net.set_link_faults net2 ~src:0 ~dst:1 { Sim.Net.drop = 0.0; dup = 0.5; reorder = 0 };
+  let _s2 =
+    Sim.Engine.spawn eng2 (fun () ->
+        for i = 1 to n do
+          Sim.Net.send net2 ~src:0 ~dst:1 i
+        done)
+  in
+  Sim.Engine.run eng2;
+  let got2 = Sim.Net.inbox_length net2 1 in
+  check_int "delivered = n + duplicates" (n + Sim.Net.messages_duplicated net2) got2;
+  check_bool "some duplicates happened" true (Sim.Net.messages_duplicated net2 > 0);
+  Sim.Net.clear_faults net2;
+  let _s3 = Sim.Engine.spawn eng2 (fun () -> Sim.Net.send net2 ~src:0 ~dst:1 0) in
+  let before = got2 in
+  Sim.Engine.run eng2;
+  check_int "cleared faults deliver exactly once" (before + 1) (Sim.Net.inbox_length net2 1)
+
+let test_fault_plan_deterministic () =
+  (* The same seed yields the same plan; plans keep a majority up and end
+     quiesced. *)
+  let plan_of seed =
+    let rng = Sim.Rng.create seed in
+    Sim.Fault.random_plan rng ~nodes:5 ~steps:30 ()
+  in
+  let p1 = plan_of 11L and p2 = plan_of 11L and p3 = plan_of 12L in
+  check_bool "same seed, same plan" true (p1 = p2);
+  check_bool "different seed, different plan" true (p1 <> p3);
+  let down = Array.make 5 false in
+  let ndown () = Array.fold_left (fun a b -> if b then a + 1 else a) 0 down in
+  List.iter
+    (fun { Sim.Fault.action; _ } ->
+      (match action with
+      | Sim.Fault.Crash i -> down.(i) <- true
+      | Sim.Fault.Restart i -> down.(i) <- false
+      | _ -> ());
+      check_bool "majority always up" true (ndown () <= 2))
+    p1;
+  check_int "plan ends with every node up" 0 (ndown ())
+
 let test_net_broadcast () =
   let eng = Sim.Engine.create () in
   let net = Sim.Net.create eng ~nodes:4 ~latency:(Sim.Net.Fixed 10) in
@@ -575,6 +675,12 @@ let () =
           Alcotest.test_case "crash drops" `Quick test_net_crash_drops;
           Alcotest.test_case "crash in flight" `Quick test_net_crash_in_flight;
           Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "crash+recover in flight" `Quick
+            test_net_crash_recover_in_flight;
+          Alcotest.test_case "one-way partition" `Quick test_net_oneway_partition;
+          Alcotest.test_case "fault model" `Quick test_net_fault_model;
+          Alcotest.test_case "fault plan deterministic" `Quick
+            test_fault_plan_deterministic;
           Alcotest.test_case "broadcast" `Quick test_net_broadcast;
         ] );
       ( "metrics",
