@@ -110,27 +110,68 @@ let run_cmd =
 
 (* ---- chaos: seeded fault-injection runs ---- *)
 
-let run_chaos seeds seed0 replicas workers accounts duration_ms verbose =
+(* Re-run one seed with the nemesis debug log captured to [path], so a CI
+   failure ships the exact fault schedule as an artifact. Determinism
+   makes the re-run identical to the original failure. *)
+let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration ~seed =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src level ~over k msgf ->
+          msgf (fun ?header:_ ?tags:_ f ->
+              Format.kfprintf
+                (fun fmt ->
+                  Format.pp_print_newline fmt ();
+                  over ();
+                  k ())
+                fmt
+                ("[%a] " ^^ f)
+                Logs.pp_level level));
+    }
+  in
+  let saved_reporter = Logs.reporter () and saved_level = Logs.level () in
+  Logs.set_reporter reporter;
+  Logs.set_level (Some Logs.Debug);
+  let o = Rolis.Chaos.run_seed ~replicas ~workers ~clients ~accounts ~duration ~seed () in
+  Format.fprintf fmt "%a@." Rolis.Chaos.pp_outcome o;
+  Logs.set_reporter saved_reporter;
+  Logs.set_level saved_level;
+  close_out oc
+
+let run_chaos seeds seed0 replicas workers clients accounts duration_ms verbose
+    nemesis_log =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   Printf.printf
-    "chaos: %d seed(s) starting at %d — %d replicas, %d workers, %d accounts, \
-     %d ms of faults per seed\n\
+    "chaos: %d seed(s) starting at %d — %d replicas, %d workers, %d clients, \
+     %d accounts, %d ms of faults per seed\n\
      %!"
-    seeds seed0 replicas workers accounts duration_ms;
+    seeds seed0 replicas workers clients accounts duration_ms;
+  let duration = duration_ms * ms in
   let _, first_failure =
-    Rolis.Chaos.run_seeds ~replicas ~workers ~accounts ~duration:(duration_ms * ms)
-      ~seed0 ~seeds
-      ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
-      ()
+    try
+      Rolis.Chaos.run_seeds ~replicas ~workers ~clients ~accounts ~duration ~seed0 ~seeds
+        ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
+        ()
+    with Invalid_argument msg ->
+      Printf.eprintf "chaos: invalid parameters: %s\n" msg;
+      exit 2
   in
   match first_failure with
   | None -> Printf.printf "chaos: all %d seed(s) passed\n" seeds
   | Some o ->
+      let seed = o.Rolis.Chaos.seed in
       Printf.printf "chaos: FIRST FAILING SEED = %d (reproduce with --seeds 1 --seed0 %d)\n"
-        o.Rolis.Chaos.seed o.Rolis.Chaos.seed;
+        seed seed;
+      (match nemesis_log with
+      | Some path ->
+          dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration ~seed;
+          Printf.printf "chaos: nemesis log for seed %d written to %s\n" seed path
+      | None -> ());
       exit 1
 
 let seeds_arg = Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to run.")
@@ -141,6 +182,15 @@ let replicas_arg =
 
 let chaos_workers_arg =
   Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Database worker threads.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "clients" ]
+        ~doc:
+          "Retrying client sessions driving the bank end-to-end (timeouts, \
+           leader redirects, exactly-once dedup across failover). 0 falls \
+           back to the embedded per-worker generator.")
 
 let accounts_arg =
   Arg.(value & opt int 48 & info [ "accounts" ] ~doc:"Bank accounts in the workload.")
@@ -153,17 +203,27 @@ let chaos_duration_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every nemesis action.")
 
+let nemesis_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "nemesis-log" ]
+        ~doc:
+          "On failure, re-run the first failing seed with debug logging and \
+           write the full nemesis/fault schedule to this file (CI artifact).")
+
 let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
-      $ accounts_arg $ chaos_duration_arg $ verbose_arg)
+      $ clients_arg $ accounts_arg $ chaos_duration_arg $ verbose_arg $ nemesis_log_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run seeded fault-injection (crash/restart/partition/loss) and check \
-          invariants; exits 1 with the first failing seed.")
+         "Run seeded fault-injection (crash/restart/partition/loss) against \
+          retrying client sessions and check invariants, including end-to-end \
+          exactly-once; exits 1 with the first failing seed.")
     term
 
 (* ---- baseline ---- *)

@@ -38,6 +38,7 @@ let bank_app stopped =
               Silo.Txn.put txn t (key b) (string_of_int (bal b + amount))
             end
           end);
+    client_op = None;
   }
 
 let total db =

@@ -23,7 +23,7 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ~threads ~generate_duration ~app () =
             match r.Silo.Db.tid with
             | Some tid ->
                 logs.(w) <-
-                  { Store.Wire.ts = tid.Silo.Tid.ts; writes = r.Silo.Db.log } :: logs.(w)
+                  { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log } :: logs.(w)
             | None -> ()
           done)
     in

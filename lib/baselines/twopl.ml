@@ -83,7 +83,7 @@ let run ?(seed = 42L) ?(clients_per_partition = 96) ?(keys_per_partition = 35_00
              match m.Paxos.Msg.body with
              | Paxos.Msg.Stream { stream; msg } ->
                  Paxos.Stream.handle all_streams.(node).(stream) msg ~from:m.Paxos.Msg.from
-             | Paxos.Msg.Elect _ -> ()
+             | Paxos.Msg.Elect _ | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _ -> ()
            done))
   done;
   (* Server-side work occupies the partition's core exclusively. *)
@@ -150,7 +150,7 @@ let run ?(seed = 42L) ?(clients_per_partition = 96) ?(keys_per_partition = 35_00
                      List.map (fun k -> { Store.Wire.table = p; key = k; value = Some "1" }) keys
                    in
                    let entry =
-                     Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts; writes } ]
+                     Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts; req = None; writes } ]
                    in
                    let iv = Sim.Sync.Ivar.create eng in
                    Hashtbl.replace part.waiting ts iv;

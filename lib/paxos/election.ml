@@ -20,6 +20,9 @@ type t = {
   mutable last_heartbeat : int;
   mutable leader : int option;
   mutable my_timeout : int;
+  mutable failed_candidacies : int;
+      (* consecutive candidacies without hearing a winner: drives capped
+         exponential backoff so repeated split votes converge *)
   on_leader_elected : epoch:int -> unit;
   on_new_epoch : epoch:int -> leader:int option -> unit;
   on_heartbeat_tick : unit -> unit;
@@ -27,7 +30,7 @@ type t = {
 
 let majority t = (t.n / 2) + 1
 
-let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
+let create net ~me ?peers ?(heartbeat_interval = 100 * Sim.Engine.ms)
     ?(election_timeout = Sim.Engine.s) ?initial_leader ~on_leader_elected ~on_new_epoch
     ?(on_heartbeat_tick = fun () -> ()) () =
   let eng = Sim.Net.engine net in
@@ -35,7 +38,9 @@ let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
     {
       net;
       me;
-      n = Sim.Net.nodes net;
+      (* [peers] bounds the voting membership: the net may carry extra
+         non-replica nodes (client sessions) beyond the first [peers]. *)
+      n = (match peers with Some p -> p | None -> Sim.Net.nodes net);
       hb_interval = heartbeat_interval;
       base_timeout = election_timeout;
       rng = Sim.Rng.split (Sim.Engine.rng eng);
@@ -48,6 +53,7 @@ let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
       last_heartbeat = Sim.Engine.now eng;
       leader = None;
       my_timeout = election_timeout;
+      failed_candidacies = 0;
       on_leader_elected;
       on_new_epoch;
       on_heartbeat_tick;
@@ -66,7 +72,9 @@ let create net ~me ?(heartbeat_interval = 100 * Sim.Engine.ms)
 let send t ~dst body = Sim.Net.send t.net ~src:t.me ~dst { Msg.from = t.me; body }
 
 let broadcast t body =
-  Sim.Net.broadcast t.net ~src:t.me { Msg.from = t.me; body }
+  for dst = 0 to t.n - 1 do
+    if dst <> t.me then send t ~dst body
+  done
 
 (* Step down into epoch [e]; [leader] may still be unknown. *)
 let adopt t e leader =
@@ -77,12 +85,18 @@ let adopt t e leader =
   t.voted_for <- None;
   t.on_new_epoch ~epoch:e ~leader
 
+(* Backoff multiplier is capped so a healed cluster still elects within a
+   small constant of the base timeout. *)
+let backoff_cap = 2
+
 let randomize_timeout t =
-  t.my_timeout <- t.base_timeout + Sim.Rng.int t.rng (t.base_timeout / 2)
+  let mult = 1 lsl min t.failed_candidacies backoff_cap in
+  t.my_timeout <- (t.base_timeout * mult) + Sim.Rng.int t.rng (t.base_timeout / 2)
 
 let become_leader t =
   Log.debug (fun m -> m "replica %d becomes leader of epoch %d" t.me t.cur_epoch);
   t.role <- Leader;
+  t.failed_candidacies <- 0;
   t.leader <- Some t.me;
   t.on_leader_elected ~epoch:t.cur_epoch;
   broadcast t (Msg.Elect (Msg.Heartbeat { epoch = t.cur_epoch; leader = t.me }))
@@ -97,6 +111,7 @@ let start_election t =
   t.votes <- [ t.me ];
   t.leader <- None;
   t.last_heartbeat <- Sim.Engine.now (Sim.Net.engine t.net);
+  t.failed_candidacies <- t.failed_candidacies + 1;
   randomize_timeout t;
   t.on_new_epoch ~epoch:e ~leader:None;
   if majority t = 1 then become_leader t
@@ -132,7 +147,11 @@ let handle t msg ~from =
   | Msg.Heartbeat { epoch = e; leader } ->
       if e > t.cur_epoch then begin
         adopt t e (Some leader);
-        t.last_heartbeat <- now
+        t.last_heartbeat <- now;
+        if t.failed_candidacies > 0 then begin
+          t.failed_candidacies <- 0;
+          randomize_timeout t
+        end
       end
       else if e = t.cur_epoch && leader <> t.me then begin
         t.role <- Follower;
@@ -140,7 +159,11 @@ let handle t msg ~from =
           t.leader <- Some leader;
           t.on_new_epoch ~epoch:e ~leader:(Some leader)
         end;
-        t.last_heartbeat <- now
+        t.last_heartbeat <- now;
+        if t.failed_candidacies > 0 then begin
+          t.failed_candidacies <- 0;
+          randomize_timeout t
+        end
       end
 
 let observe_epoch t e = if e > t.cur_epoch then adopt t e None
@@ -177,6 +200,7 @@ let import_vote t v =
     t.voted_for <- v.v_voted_for
   end
 
+let failed_candidacies t = t.failed_candidacies
 let set_eligible t b = t.eligible <- b
 let eligible t = t.eligible
 let role t = t.role

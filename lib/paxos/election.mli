@@ -18,6 +18,7 @@ type t
 val create :
   Msg.t Sim.Net.t ->
   me:int ->
+  ?peers:int ->
   ?heartbeat_interval:int ->
   ?election_timeout:int ->
   ?initial_leader:int ->
@@ -26,13 +27,22 @@ val create :
   ?on_heartbeat_tick:(unit -> unit) ->
   unit ->
   t
-(** [on_leader_elected] fires on the replica that wins an election, before
-    it starts heartbeating. [on_new_epoch] fires on every replica whenever
-    it observes a new epoch (leader may be unknown yet).
-    [on_heartbeat_tick] fires on the leader at every heartbeat — Rolis
-    hooks the per-stream empty transactions here (§5).
-    [initial_leader] seeds epoch 1 with a known leader so experiments
-    skip the cold-start election; omit it to start from scratch. *)
+(** [peers] is the voting membership size — nodes [0 .. peers-1] of the
+    net; defaults to every node. Pass it when the net also carries
+    non-replica nodes (client sessions). [on_leader_elected] fires on the
+    replica that wins an election, before it starts heartbeating.
+    [on_new_epoch] fires on every replica whenever it observes a new epoch
+    (leader may be unknown yet). [on_heartbeat_tick] fires on the leader
+    at every heartbeat — Rolis hooks the per-stream empty transactions
+    here (§5). [initial_leader] seeds epoch 1 with a known leader so
+    experiments skip the cold-start election; omit it to start from
+    scratch. *)
+
+val failed_candidacies : t -> int
+(** Consecutive candidacies since this replica last heard a live leader.
+    Election timeouts back off exponentially (capped) in this counter, so
+    repeated split votes under a lossy network converge; hearing a
+    heartbeat or winning resets it. *)
 
 val start : t -> Sim.Engine.proc
 (** Spawn the ticker process (heartbeats when leader, timeout checks when

@@ -15,7 +15,18 @@ type stream_msg =
   | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
   | Nack of { epoch : int }
 
-type body = Elect of elect | Stream of { stream : int; msg : stream_msg }
+type reply =
+  | Ok_released
+  | Aborted
+  | Not_leader of { hint : int option }
+  | Busy
+
+type body =
+  | Elect of elect
+  | Stream of { stream : int; msg : stream_msg }
+  | Client_req of { cid : int; seq : int; payload : string }
+  | Client_rep of { cid : int; seq : int; reply : reply }
+
 type t = { from : int; body : body }
 
 let header = 24 (* from + stream tag + variant tag + framing *)
@@ -28,6 +39,8 @@ let size t =
   +
   match t.body with
   | Elect _ -> 16
+  | Client_req { payload; _ } -> 16 + String.length payload
+  | Client_rep _ -> 16
   | Stream { msg; _ } -> (
       match msg with
       | Prepare _ | Accepted _ | Commit _ | Fetch _ | Nack _ -> 16
@@ -43,6 +56,18 @@ let pp fmt t =
     | Elect (Vote { epoch; granted }) -> Printf.sprintf "Vote(e=%d,%b)" epoch granted
     | Elect (Heartbeat { epoch; leader }) ->
         Printf.sprintf "Heartbeat(e=%d,l=%d)" epoch leader
+    | Client_req { cid; seq; payload } ->
+        Printf.sprintf "ClientReq(c=%d,s=%d,|p|=%d)" cid seq (String.length payload)
+    | Client_rep { cid; seq; reply } ->
+        let r =
+          match reply with
+          | Ok_released -> "ok"
+          | Aborted -> "aborted"
+          | Not_leader { hint = Some h } -> Printf.sprintf "not-leader(hint=%d)" h
+          | Not_leader { hint = None } -> "not-leader"
+          | Busy -> "busy"
+        in
+        Printf.sprintf "ClientRep(c=%d,s=%d,%s)" cid seq r
     | Stream { stream; msg } ->
         let m =
           match msg with

@@ -33,7 +33,24 @@ type stream_msg =
   | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
   | Nack of { epoch : int }  (** receiver has promised a higher epoch *)
 
-type body = Elect of elect | Stream of { stream : int; msg : stream_msg }
+type reply =
+  | Ok_released
+      (** the transaction committed, fell under the watermark, and its
+          result was released — the exactly-once ack *)
+  | Aborted  (** user-level abort: the transaction had no effect anywhere *)
+  | Not_leader of { hint : int option }
+      (** receiver is not serving; [hint] is its current guess at the
+          leader, for client redirect *)
+  | Busy  (** admission control shed the request; client should back off *)
+
+type body =
+  | Elect of elect
+  | Stream of { stream : int; msg : stream_msg }
+  | Client_req of { cid : int; seq : int; payload : string }
+      (** client session [cid] submits its [seq]-th request; [payload] is
+          an app-defined operation encoding *)
+  | Client_rep of { cid : int; seq : int; reply : reply }
+
 type t = { from : int; body : body }
 
 val size : t -> int

@@ -60,13 +60,16 @@ type t = {
   mutable s_retransmits : int;
 }
 
-let create net ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commit
+let create net ?peers ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commit
     ~on_higher_epoch () =
+  (* [peers] bounds the acceptor membership: the net may carry extra
+     non-replica nodes (client sessions) beyond the first [peers]. *)
+  let n = match peers with Some p -> p | None -> Sim.Net.nodes net in
   {
     net;
     stream_id = id;
     me;
-    n = Sim.Net.nodes net;
+    n;
     slots = Hashtbl.create 256;
     promised = 0;
     commit_idx = -1;
@@ -80,7 +83,7 @@ let create net ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commit
     fetch_timeout;
     fetch_deadline = 0;
     truncated_below = 0;
-    peer_commit = Array.make (Sim.Net.nodes net) (-1);
+    peer_commit = Array.make n (-1);
     on_commit;
     on_higher_epoch;
     s_proposals = 0;
@@ -100,7 +103,9 @@ let send t ~dst msg =
 
 let broadcast t msg =
   let m = { Msg.from = t.me; body = Msg.Stream { stream = t.stream_id; msg } } in
-  Sim.Net.broadcast t.net ~size:(Msg.size m) ~src:t.me m
+  for dst = 0 to t.n - 1 do
+    if dst <> t.me then Sim.Net.send t.net ~size:(Msg.size m) ~src:t.me ~dst m
+  done
 
 let deliver t idx =
   let slot = Hashtbl.find t.slots idx in

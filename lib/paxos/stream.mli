@@ -31,6 +31,7 @@ val default_fetch_timeout : int
 
 val create :
   Msg.t Sim.Net.t ->
+  ?peers:int ->
   ?fetch_timeout:int ->
   id:int ->
   me:int ->
@@ -38,11 +39,14 @@ val create :
   on_higher_epoch:(int -> unit) ->
   unit ->
   t
-(** [on_commit] fires exactly once per index, in order, on every replica
-    that learns the commit. [on_higher_epoch] wires stream-level Nacks
-    back into the election module. [fetch_timeout] bounds how long a
-    follower waits for a [Fetch_rep] before re-issuing the fetch (lost
-    fetches would otherwise wedge catch-up forever). *)
+(** [peers] is the acceptor membership size — nodes [0 .. peers-1] of the
+    net; defaults to every node. Pass it when the net also carries
+    non-replica nodes (client sessions). [on_commit] fires exactly once
+    per index, in order, on every replica that learns the commit.
+    [on_higher_epoch] wires stream-level Nacks back into the election
+    module. [fetch_timeout] bounds how long a follower waits for a
+    [Fetch_rep] before re-issuing the fetch (lost fetches would otherwise
+    wedge catch-up forever). *)
 
 val id : t -> int
 

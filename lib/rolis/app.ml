@@ -4,6 +4,7 @@ type t = {
   name : string;
   setup : Silo.Db.t -> unit;
   make_worker : Silo.Db.t -> rng:Sim.Rng.t -> worker:int -> nworkers:int -> gen;
+  client_op : (Silo.Db.t -> payload:string -> Silo.Txn.t -> unit) option;
 }
 
 let counter_app ~keys =
@@ -21,6 +22,17 @@ let counter_app ~keys =
         let table = Silo.Db.table db "counters" in
         fun () txn ->
           let k = key (Sim.Rng.int rng keys) in
+          let v =
+            match Silo.Txn.get txn table k with
+            | Some s -> int_of_string s
+            | None -> 0
+          in
+          Silo.Txn.put txn table k (string_of_int (v + 1)));
+    client_op =
+      Some
+        (fun db ~payload txn ->
+          let table = Silo.Db.table db "counters" in
+          let k = key (int_of_string payload mod keys) in
           let v =
             match Silo.Txn.get txn table k with
             | Some s -> int_of_string s

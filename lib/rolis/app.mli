@@ -14,8 +14,15 @@ type t = {
   name : string;
   setup : Silo.Db.t -> unit;
   make_worker : Silo.Db.t -> rng:Sim.Rng.t -> worker:int -> nworkers:int -> gen;
+  client_op : (Silo.Db.t -> payload:string -> Silo.Txn.t -> unit) option;
+      (** interpret a networked client request: parse [payload] (an
+          app-defined encoding) into a transaction body. Required when the
+          cluster runs with [Config.clients > 0] — workers then serve
+          queued client requests instead of calling [make_worker]'s
+          generator. *)
 }
 
 val counter_app : keys:int -> t
 (** A tiny built-in app (random read-modify-write increments over [keys]
-    counters) used by tests and the quickstart example. *)
+    counters) used by tests and the quickstart example. Its client payload
+    is a decimal key index. *)

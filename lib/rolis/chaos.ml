@@ -40,7 +40,30 @@ let bank_app ~accounts ~stopped =
               Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
             end
           end);
+    client_op =
+      Some
+        (fun db ~payload txn ->
+          let t = Silo.Db.table db bank_table in
+          match String.split_on_char ' ' payload with
+          | [ a; b; amt ] ->
+              let a = int_of_string a and b = int_of_string b in
+              let amount = int_of_string amt in
+              let bal k =
+                match Silo.Txn.get txn t (key k) with
+                | Some v -> int_of_string v
+                | None -> failwith (Printf.sprintf "chaos: account %d missing" k)
+              in
+              let va = bal a and vb = bal b in
+              Silo.Txn.put txn t (key a) (string_of_int (va - amount));
+              Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
+          | _ -> failwith "chaos: bad transfer payload");
   }
+
+(* Client-side request generator: "a b amount" with a <> b. *)
+let bank_payload rng ~accounts =
+  let a = Sim.Rng.int rng accounts in
+  let b = (a + 1 + Sim.Rng.int rng (accounts - 1)) mod accounts in
+  Printf.sprintf "%d %d %d" a b (1 + Sim.Rng.int rng 10)
 
 type outcome = {
   seed : int;
@@ -51,6 +74,10 @@ type outcome = {
   restarts : int;
   epochs : int;
   entries_checked : int;
+  acked : int;
+  client_retries : int;
+  busy_replies : int;
+  parked : int;
 }
 
 let ok o = o.violations = []
@@ -58,16 +85,17 @@ let ok o = o.violations = []
 let pp_outcome fmt o =
   Format.fprintf fmt
     "seed %d: %s (released=%d executed=%d crashes=%d restarts=%d epochs=%d \
-     entries=%d)"
+     entries=%d acked=%d retries=%d busy=%d parked=%d)"
     o.seed
     (if ok o then "ok" else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
-    o.released o.executed o.crashes o.restarts o.epochs o.entries_checked;
+    o.released o.executed o.crashes o.restarts o.epochs o.entries_checked o.acked
+    o.client_retries o.busy_replies o.parked;
   List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
 
 let chaos_costs =
   { Silo.Costs.default with Silo.Costs.txn_begin_ns = 50_000; abort_ns = 5_000 }
 
-let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
+let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     ?(duration = 3 * Sim.Engine.s) ~seed () =
   let stopped = ref false in
   let cfg =
@@ -82,6 +110,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
       archive_entries = true;
       heartbeat_interval = 50 * ms;
       election_timeout = 300 * ms;
+      clients;
       seed = Int64.of_int seed;
     }
   in
@@ -93,6 +122,16 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
   in
   let eng = Cluster.engine cluster in
   let net = Cluster.network cluster in
+  (* Real client sessions drive the bank when [clients > 0]: they retry
+     across crashes, partitions and elections, and the exactly-once check
+     below audits their acks against the union durable log. *)
+  let sessions =
+    Array.init clients (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Client.spawn net ~cfg ~cid ~stopped
+          ~gen:(fun () -> bank_payload crng ~accounts)
+          ())
+  in
   (* Continuous light checking: sealed watermarks must agree while faults
      are active (the oracle checks agreement on every commit already). *)
   let periodic_viols = ref [] in
@@ -149,6 +188,9 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
       (* Drain: heartbeat no-ops push the watermark past the last real
          transaction; followers finish replay. *)
       Cluster.run cluster ~duration:(2_500 * ms) ();
+      let acked =
+        Array.to_list sessions |> List.concat_map Client.acked_seqs
+      in
       Check.Oracle.violations oracle
       @ !periodic_viols
       @ Check.agreement cluster
@@ -156,6 +198,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
       @ Check.convergence cluster
       @ Check.money cluster ~table:bank_table
           ~expected:(accounts * initial_balance)
+      @ (if clients > 0 then Check.exactly_once cluster ~acked else [])
     with exn ->
       [
         {
@@ -171,6 +214,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
         else m)
       0 (Cluster.replicas cluster)
   in
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 sessions in
   {
     seed;
     violations;
@@ -180,13 +224,19 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(accounts = 48)
     restarts = !restarts;
     epochs;
     entries_checked = Check.Oracle.entries_checked oracle;
+    acked = sum Client.acked_count;
+    client_retries = sum Client.retries;
+    busy_replies = sum Client.busy_replies;
+    parked = sum Client.parked;
   }
 
-let run_seeds ?replicas ?workers ?accounts ?duration ?(seed0 = 1) ?on_outcome
+let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?(seed0 = 1) ?on_outcome
     ~seeds () =
   let outcomes = ref [] in
   for i = 0 to seeds - 1 do
-    let o = run_seed ?replicas ?workers ?accounts ?duration ~seed:(seed0 + i) () in
+    let o =
+      run_seed ?replicas ?workers ?clients ?accounts ?duration ~seed:(seed0 + i) ()
+    in
     (match on_outcome with Some f -> f o | None -> ());
     outcomes := o :: !outcomes
   done;

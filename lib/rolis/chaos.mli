@@ -1,10 +1,10 @@
 (** Seeded chaos harness: a bank-transfer cluster under a random fault
     plan, checked against the {!Check} invariants.
 
-    One seed determines everything — engine schedule, workload, and
-    nemesis plan — so [run_seed ~seed] is a pure function of [seed] and a
-    failing seed reproduces exactly (then bisect with the oracle's
-    first-divergence report and the nemesis debug log).
+    One seed determines everything — engine schedule, workload, client
+    sessions, and nemesis plan — so [run_seed ~seed] is a pure function
+    of [seed] and a failing seed reproduces exactly (then bisect with the
+    oracle's first-divergence report and the nemesis debug log).
 
     Each run: 300 ms steady state; [duration] of faults (crashes and
     restarts of any replica including the leader, symmetric and one-way
@@ -12,14 +12,29 @@
     workload, heal the network, restart dead and tainted replicas — and
     drain until replay converges. Final checks: Paxos agreement (oracle +
     journal prefixes), sealed-watermark agreement, cross-replica state
-    convergence, and money conservation. *)
+    convergence, money conservation, and — when [clients > 0] — the
+    end-to-end exactly-once audit of every client ack against the union
+    durable log.
+
+    With [clients > 0] (the default), the bank is driven by real
+    {!Client} sessions riding the cluster network as extra nodes: they
+    time out, back off, chase leader redirects and retry across failover,
+    which is precisely what exercises the replicated session-dedup path
+    on freshly promoted leaders. [clients = 0] falls back to the embedded
+    per-worker generator. *)
 
 val bank_table : string
 val initial_balance : int
 
 val bank_app : accounts:int -> stopped:bool ref -> App.t
 (** Random transfers between [accounts] accounts; conserves total money.
-    Setting [stopped] freezes generation so the cluster can quiesce. *)
+    Setting [stopped] freezes generation so the cluster can quiesce. The
+    app also carries a [client_op] parsing ["a b amount"] payloads, so it
+    can be driven by {!Client} sessions. *)
+
+val bank_payload : Sim.Rng.t -> accounts:int -> string
+(** One random transfer request ["a b amount"] with [a <> b], suitable as
+    a {!Client.spawn} [gen]. *)
 
 type outcome = {
   seed : int;
@@ -30,6 +45,10 @@ type outcome = {
   restarts : int;
   epochs : int;  (** highest election epoch reached *)
   entries_checked : int;  (** durability commits the oracle cross-checked *)
+  acked : int;  (** requests the client sessions got [Ok_released] for *)
+  client_retries : int;  (** client resends (timeout / redirect / busy) *)
+  busy_replies : int;  (** admission-control pushback seen by clients *)
+  parked : int;  (** times a session exhausted retries and parked *)
 }
 
 val ok : outcome -> bool
@@ -38,17 +57,19 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val run_seed :
   ?replicas:int ->
   ?workers:int ->
+  ?clients:int ->
   ?accounts:int ->
   ?duration:int ->
   seed:int ->
   unit ->
   outcome
-(** Defaults: 3 replicas, 4 workers, 48 accounts, 3 virtual seconds of
-    fault injection. *)
+(** Defaults: 3 replicas, 4 workers, 8 client sessions, 48 accounts,
+    3 virtual seconds of fault injection. *)
 
 val run_seeds :
   ?replicas:int ->
   ?workers:int ->
+  ?clients:int ->
   ?accounts:int ->
   ?duration:int ->
   ?seed0:int ->

@@ -153,6 +153,81 @@ let convergence cluster =
           else None)
         rest
 
+(* Exactly-once audit of the client-session layer. Ground truth is the
+   union durable log: per stream, the longest committed journal across
+   alive replicas (committed logs are prefixes of one another, so the
+   longest is the union). A request-carrying transaction counts as
+   *applied* iff it is below its epoch's final watermark — for the last,
+   unsealed epoch, every durable transaction counts (valid once the
+   cluster has quiesced and drained: nothing above the final watermark
+   remains unreleased). Then:
+
+   - no (client, seq) may be applied more than once, acked or not —
+     a duplicate means the session dedup failed (e.g. a retry re-executed
+     after a failover that should have answered from the rebuilt table);
+   - every *acked* (client, seq) must be applied exactly once — a zero
+     count means an ack escaped for a transaction that later vanished,
+     i.e. a release-visibility violation (§3.3). *)
+let exactly_once cluster ~acked =
+  let reps = alive_replicas cluster in
+  let nstreams = Config.nstreams (Cluster.config cluster) in
+  let final_w epoch =
+    List.fold_left
+      (fun acc r ->
+        match acc with Some _ -> acc | None -> Replica.final_watermark r ~epoch)
+      None reps
+  in
+  let logs = List.map stream_logs reps in
+  let counts : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  for s = 0 to nstreams - 1 do
+    let longest =
+      List.fold_left
+        (fun acc f ->
+          let a = f s in
+          if Array.length a > Array.length acc then a else acc)
+        [||] logs
+    in
+    Array.iter
+      (fun (e : Store.Wire.entry) ->
+        let w = match final_w e.epoch with Some w -> w | None -> max_int in
+        List.iter
+          (fun (txn : Store.Wire.txn_log) ->
+            match txn.Store.Wire.req with
+            | Some key when txn.Store.Wire.ts <= w ->
+                let cur = match Hashtbl.find_opt counts key with Some c -> c | None -> 0 in
+                Hashtbl.replace counts key (cur + 1)
+            | Some _ | None -> ())
+          e.txns)
+      longest
+  done;
+  let viols = ref [] and nviol = ref 0 in
+  Hashtbl.iter
+    (fun (cid, seq) c ->
+      if c > 1 then begin
+        incr nviol;
+        if !nviol <= cap then
+          viols :=
+            violation "exactly-once" "request (client %d, seq %d) applied %d times"
+              cid seq c
+            :: !viols
+      end)
+    counts;
+  List.iter
+    (fun (cid, seq) ->
+      match Hashtbl.find_opt counts (cid, seq) with
+      | Some _ -> () (* count > 1 already reported above *)
+      | None ->
+          incr nviol;
+          if !nviol <= cap then
+            viols :=
+              violation "exactly-once"
+                "acked request (client %d, seq %d) is not in the applied durable \
+                 log (released result lost)"
+                cid seq
+              :: !viols)
+    acked;
+  List.rev !viols
+
 let money cluster ~table ~expected =
   alive_replicas cluster
   |> List.filter_map (fun r ->

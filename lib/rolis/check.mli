@@ -51,3 +51,14 @@ val convergence : Cluster.t -> violation list
 val money : Cluster.t -> table:string -> expected:int -> violation list
 (** The integer balances in [table] sum to [expected] on every alive
     replica. Quiescent points only. *)
+
+val exactly_once : Cluster.t -> acked:(int * int) list -> violation list
+(** End-to-end exactly-once audit of the client-session layer against the
+    union durable log (per stream, the longest committed journal across
+    alive replicas; requires [archive_entries]). A request-carrying
+    transaction counts as applied iff it is at or below its epoch's final
+    watermark (all of the last, unsealed epoch after a drain). Violations:
+    any [(client, seq)] applied more than once (dedup failure), or an
+    entry of [acked] — the [(client, seq)] pairs the {!Client} sessions
+    got [Ok_released] for — applied zero times (a released result was
+    lost: the §3.3 visibility guarantee broken). Quiescent points only. *)

@@ -1,0 +1,177 @@
+let src = Logs.Src.create "rolis.client" ~doc:"Client session events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  net : Paxos.Msg.t Sim.Net.t;
+  cfg : Config.t;
+  cid : int;
+  node : int;
+  rng : Sim.Rng.t;
+  gen : unit -> string;
+  stopped : bool ref;
+  mutable hint : int; (* current guess at the leader *)
+  mutable seq : int; (* seq of the in-flight (or last issued) request *)
+  mutable completed : int; (* highest seq terminally resolved *)
+  mutable t0 : int; (* first-send time of the in-flight request *)
+  mutable acked : int list; (* Ok-acked seqs, newest first *)
+  mutable aborted : int;
+  mutable retries : int;
+  mutable redirects : int;
+  mutable busy : int;
+  mutable timeouts : int;
+  mutable parked : int;
+  lat : Sim.Metrics.Hist.t;
+}
+
+let cid t = t.cid
+let node t = t.node
+let acked_count t = List.length t.acked
+let acked_seqs t = List.rev_map (fun seq -> (t.cid, seq)) t.acked
+let aborted t = t.aborted
+let retries t = t.retries
+let redirects t = t.redirects
+let busy_replies t = t.busy
+let timeouts t = t.timeouts
+let parked t = t.parked
+let issued t = t.seq
+let latency t = t.lat
+
+let rotate_hint t = t.hint <- (t.hint + 1) mod t.cfg.Config.replicas
+
+let send_req t payload =
+  let m =
+    {
+      Paxos.Msg.from = t.node;
+      body = Paxos.Msg.Client_req { cid = t.cid; seq = t.seq; payload };
+    }
+  in
+  Sim.Net.send t.net ~size:(Paxos.Msg.size m) ~src:t.node ~dst:t.hint m
+
+(* Exponential backoff with seeded jitter: attempt [a] sleeps a uniform
+   draw from (b/2, b] where b = min(max, base * 2^a). *)
+let backoff_sleep t ~attempt =
+  let b =
+    min t.cfg.Config.client_backoff_max
+      (t.cfg.Config.client_backoff_base * (1 lsl min attempt 16))
+  in
+  Sim.Engine.sleep (b - Sim.Rng.int t.rng (max 1 (b / 2)))
+
+let record_ok t ~from =
+  let latency = Sim.Engine.time () - t.t0 in
+  Sim.Metrics.Hist.add t.lat latency;
+  t.acked <- t.seq :: t.acked;
+  t.completed <- t.seq;
+  t.hint <- from
+
+(* Drive one request to a terminal reply (Ok or Aborted), retrying through
+   timeouts, Busy shedding and leader redirects. After [client_retry_limit]
+   attempts the request is parked — the client sleeps and re-drives it
+   later, so an unreachable cluster degrades gracefully instead of
+   spinning. The request is never abandoned: exactly-once is about
+   duplicate execution, not about giving up. *)
+let drive t payload =
+  t.t0 <- Sim.Engine.time ();
+  let attempts = ref 0 in
+  let finished = ref false in
+  while (not !finished) && not !(t.stopped) do
+    if !attempts >= t.cfg.Config.client_retry_limit then begin
+      t.parked <- t.parked + 1;
+      attempts := 0;
+      Log.debug (fun m -> m "client %d parks seq %d" t.cid t.seq);
+      Sim.Engine.sleep
+        (t.cfg.Config.client_park_interval
+        + Sim.Rng.int t.rng (max 1 (t.cfg.Config.client_park_interval / 2)))
+    end;
+    if !attempts > 0 then t.retries <- t.retries + 1;
+    send_req t payload;
+    incr attempts;
+    let deadline = Sim.Engine.time () + t.cfg.Config.client_timeout in
+    let waiting = ref true in
+    while !waiting && not !finished do
+      let left = deadline - Sim.Engine.time () in
+      if left <= 0 then begin
+        t.timeouts <- t.timeouts + 1;
+        rotate_hint t;
+        waiting := false;
+        backoff_sleep t ~attempt:!attempts
+      end
+      else
+        match Sim.Net.recv_timeout t.net t.node left with
+        | Some { Paxos.Msg.from; body = Paxos.Msg.Client_rep { cid; seq; reply } }
+          when cid = t.cid && seq = t.seq -> (
+            match reply with
+            | Paxos.Msg.Ok_released ->
+                record_ok t ~from;
+                finished := true
+            | Paxos.Msg.Aborted ->
+                t.aborted <- t.aborted + 1;
+                t.completed <- t.seq;
+                t.hint <- from;
+                finished := true
+            | Paxos.Msg.Busy ->
+                t.busy <- t.busy + 1;
+                waiting := false;
+                backoff_sleep t ~attempt:!attempts
+            | Paxos.Msg.Not_leader { hint } ->
+                t.redirects <- t.redirects + 1;
+                (match hint with Some h -> t.hint <- h | None -> rotate_hint t);
+                waiting := false;
+                (* Short pause, not full backoff: an election may be in
+                   progress and the hint goes stale quickly. *)
+                Sim.Engine.sleep
+                  (t.cfg.Config.client_backoff_base
+                  + Sim.Rng.int t.rng (max 1 t.cfg.Config.client_backoff_base)))
+        | Some _ -> () (* stale reply for an older attempt or seq *)
+        | None -> () (* next iteration observes the elapsed deadline *)
+    done
+  done
+
+let run t () =
+  while true do
+    if !(t.stopped) then
+      (* Passive drain: stop issuing, but a late ack for the in-flight
+         request still counts — the cluster may release it after the
+         workload stops. *)
+      match Sim.Net.recv_timeout t.net t.node (50 * Sim.Engine.ms) with
+      | Some
+          {
+            Paxos.Msg.from;
+            body = Paxos.Msg.Client_rep { cid; seq; reply = Paxos.Msg.Ok_released };
+          }
+        when cid = t.cid && seq = t.seq && t.completed < t.seq -> record_ok t ~from
+      | Some _ | None -> ()
+    else begin
+      t.seq <- t.seq + 1;
+      drive t (t.gen ())
+    end
+  done
+
+let spawn net ~cfg ~cid ?(stopped = ref false) ~gen () =
+  if cid < 0 || cid >= cfg.Config.clients then invalid_arg "Client.spawn: bad cid";
+  let eng = Sim.Net.engine net in
+  let t =
+    {
+      net;
+      cfg;
+      cid;
+      node = cfg.Config.replicas + cid;
+      rng = Sim.Rng.split (Sim.Engine.rng eng);
+      gen;
+      stopped;
+      hint = cid mod cfg.Config.replicas;
+      seq = 0;
+      completed = 0;
+      t0 = 0;
+      acked = [];
+      aborted = 0;
+      retries = 0;
+      redirects = 0;
+      busy = 0;
+      timeouts = 0;
+      parked = 0;
+      lat = Sim.Metrics.Hist.create ();
+    }
+  in
+  ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "client-%d" cid) (run t));
+  t

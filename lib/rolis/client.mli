@@ -1,0 +1,61 @@
+(** Simulated client sessions: the end-to-end side of the paper's
+    release-visibility guarantee (§3.3).
+
+    A client is one closed-loop session process on the cluster's network
+    (node [replicas + cid]). It issues requests tagged with its session id
+    and a per-session sequence number, and drives each one to a terminal
+    reply:
+
+    - {b timeout} → retry against the next replica, with exponential
+      backoff and seeded jitter;
+    - [Not_leader {hint}] → redirect to the hinted (or next) replica;
+    - [Busy] (admission control) → back off and retry;
+    - after [Config.client_retry_limit] attempts → {e park}: sleep
+      [client_park_interval], then re-drive the same request, so an
+      unreachable cluster degrades gracefully;
+    - [Ok_released] → the result was released below the watermark: the
+      exactly-once ack. [Aborted] → user abort, no effect anywhere.
+
+    Retries are deduplicated server-side by the replicated session table
+    ({!Replica}), so a request that was committed by a since-crashed
+    leader is acked from cache by its successor instead of re-executed —
+    the oracle {!Check.exactly_once} verifies this end to end. *)
+
+type t
+
+val spawn :
+  Paxos.Msg.t Sim.Net.t ->
+  cfg:Config.t ->
+  cid:int ->
+  ?stopped:bool ref ->
+  gen:(unit -> string) ->
+  unit ->
+  t
+(** Spawn the session process. [gen] produces one request payload per
+    issued request (interpreted by the app's [client_op]). When [!stopped]
+    becomes true the client stops issuing but keeps draining its inbox, so
+    a late ack of the in-flight request still counts. The net must carry
+    [cfg.replicas + cfg.clients] nodes. *)
+
+val cid : t -> int
+val node : t -> int
+
+val issued : t -> int
+(** Highest sequence number issued so far. *)
+
+val acked_count : t -> int
+val acked_seqs : t -> (int * int) list
+(** [(cid, seq)] of every [Ok_released] ack, in issue order — the input to
+    {!Check.exactly_once}. *)
+
+val aborted : t -> int
+val retries : t -> int
+val redirects : t -> int
+val busy_replies : t -> int
+val timeouts : t -> int
+
+val parked : t -> int
+(** Times a request exhausted its retry budget and was parked. *)
+
+val latency : t -> Sim.Metrics.Hist.t
+(** Client-observed latency: first send to terminal reply. *)

@@ -13,7 +13,14 @@ type t = {
 let create ?(initial_leader = Some 0) ?on_durable cfg app =
   Config.validate cfg;
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
-  let net = Sim.Net.create eng ~nodes:cfg.Config.replicas ~latency:cfg.Config.net_latency in
+  (* Client sessions live on the same net, as nodes
+     [replicas .. replicas+clients-1]: their links share the latency and
+     fault model, so loss/dup/reorder exercises the retry + dedup path. *)
+  let net =
+    Sim.Net.create eng
+      ~nodes:(cfg.Config.replicas + cfg.Config.clients)
+      ~latency:cfg.Config.net_latency
+  in
   let hook id =
     Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
   in

@@ -25,7 +25,9 @@ val create :
 (** Build replicas, load the application on each, spawn all processes.
     [initial_leader] defaults to [Some 0] (skip the cold-start election);
     pass [None] to start leaderless. [on_durable] observes every
-    durability commit on every replica (see {!Check.Oracle}). *)
+    durability commit on every replica (see {!Check.Oracle}). With
+    [cfg.clients > 0] the net carries [replicas + clients] nodes; spawn
+    the sessions with {!Client.spawn} on {!network}. *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Paxos.Msg.t Sim.Net.t

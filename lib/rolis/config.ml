@@ -16,6 +16,15 @@ type t = {
   networked_clients : bool;
   client_rpc_overhead : int;
   client_rtt : int;
+  clients : int;
+  client_timeout : int;
+  client_retry_limit : int;
+  client_backoff_base : int;
+  client_backoff_max : int;
+  client_park_interval : int;
+  admission_max_pending : int;
+  admission_max_release : int;
+  admission_max_backlog : int;
   enqueue_cs_ns : int;
   entry_overhead_ns : int;
   disable_replay : bool;
@@ -41,6 +50,15 @@ let default =
     networked_clients = false;
     client_rpc_overhead = 180;
     client_rtt = 60 * Sim.Engine.us;
+    clients = 0;
+    client_timeout = 100 * Sim.Engine.ms;
+    client_retry_limit = 10;
+    client_backoff_base = 10 * Sim.Engine.ms;
+    client_backoff_max = 500 * Sim.Engine.ms;
+    client_park_interval = 200 * Sim.Engine.ms;
+    admission_max_pending = 512;
+    admission_max_release = 8192;
+    admission_max_backlog = 100_000;
     enqueue_cs_ns = 1_200;
     entry_overhead_ns = 200_000;
     disable_replay = false;
@@ -63,4 +81,29 @@ let validate t =
   (match t.stream_mode with
   | Sharded n when n < 1 -> invalid_arg "Config: Sharded needs at least one stream"
   | Sharded _ | Per_worker | Single -> ());
-  if t.watermark_interval <= 0 then invalid_arg "Config: watermark interval must be positive"
+  if t.watermark_interval <= 0 then invalid_arg "Config: watermark interval must be positive";
+  if t.batch_flush_interval <= 0 then
+    invalid_arg "Config: batch_flush_interval must be positive";
+  if t.heartbeat_interval <= 0 then invalid_arg "Config: heartbeat_interval must be positive";
+  if t.heartbeat_interval >= t.election_timeout then
+    invalid_arg "Config: heartbeat_interval must be smaller than election_timeout";
+  if t.client_rtt < 0 then invalid_arg "Config: client_rtt must be non-negative";
+  if t.client_rpc_overhead < 0 then
+    invalid_arg "Config: client_rpc_overhead must be non-negative";
+  if t.clients < 0 then invalid_arg "Config: clients must be non-negative";
+  if t.clients > 0 then begin
+    if t.client_timeout <= 0 then invalid_arg "Config: client_timeout must be positive";
+    if t.client_retry_limit < 1 then invalid_arg "Config: client_retry_limit must be >= 1";
+    if t.client_backoff_base <= 0 then
+      invalid_arg "Config: client_backoff_base must be positive";
+    if t.client_backoff_max < t.client_backoff_base then
+      invalid_arg "Config: client_backoff_max must be >= client_backoff_base";
+    if t.client_park_interval <= 0 then
+      invalid_arg "Config: client_park_interval must be positive";
+    if t.admission_max_pending < 1 then
+      invalid_arg "Config: admission_max_pending must be >= 1";
+    if t.admission_max_release < 1 then
+      invalid_arg "Config: admission_max_release must be >= 1";
+    if t.admission_max_backlog < 1 then
+      invalid_arg "Config: admission_max_backlog must be >= 1"
+  end

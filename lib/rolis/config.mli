@@ -33,6 +33,27 @@ type t = {
           the embedded generator (§6.4) *)
   client_rpc_overhead : int;  (** ns of server-side RPC work per txn *)
   client_rtt : int;  (** ns added to client-observed latency *)
+  clients : int;
+      (** number of networked client {e sessions} ({!Client}); when
+          positive, workers serve queued client requests instead of
+          running the embedded generator, and the cluster's net carries
+          [replicas + clients] nodes (clients are nodes
+          [replicas .. replicas+clients-1]) *)
+  client_timeout : int;  (** ns a client waits for a reply before retrying *)
+  client_retry_limit : int;
+      (** attempts before a request is parked (graceful degradation when
+          the cluster is unreachable) *)
+  client_backoff_base : int;  (** ns; first retry backoff (doubles, jittered) *)
+  client_backoff_max : int;  (** ns; backoff ceiling *)
+  client_park_interval : int;
+      (** ns a parked request sleeps before being re-driven *)
+  admission_max_pending : int;
+      (** admission control: queued-but-unclaimed client requests beyond
+          this bound are answered [Busy] *)
+  admission_max_release : int;
+      (** admission control: per-worker release-queue bound *)
+  admission_max_backlog : int;
+      (** admission control: replay-backlog bound *)
   enqueue_cs_ns : int;
       (** critical-section cost of appending to a {e shared} stream; the
           strawman's bottleneck (68.7%% CPU at 30 threads, §2.2) *)

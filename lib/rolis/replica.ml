@@ -2,7 +2,23 @@ let src = Logs.Src.create "rolis.replica" ~doc:"Replica lifecycle events"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type meta = { m_ts : int; m_start : int; m_bytes : int }
+type meta = {
+  m_ts : int;
+  m_start : int;
+  m_bytes : int;
+  m_client : (int * int) option; (* (cid, seq) to ack at release *)
+}
+
+(* Client session bookkeeping (exactly-once dedup). Sequence numbers start
+   at 1; 0 means "none". Invariant: released <= applied <= claimed on a
+   replica that only learns sessions through its own execution; replay can
+   move all three at once. *)
+type session = {
+  mutable s_claimed : int; (* highest seq handed to a worker *)
+  mutable s_applied : int; (* highest seq whose txn committed (speculative) *)
+  mutable s_released : int; (* highest seq acked to the client *)
+  mutable s_aborted : int; (* seq that ended in a user abort, if = claimed *)
+}
 
 type t = {
   cfg : Config.t;
@@ -34,6 +50,12 @@ type t = {
      restarted replica replays to rebuild a crashed peer (catch-up). *)
   mutable journal : (int * Store.Wire.entry) list;
   last_heard : int array; (* per peer: last time a message arrived *)
+  (* Client-session layer: per-session dedup state, rebuilt by replay so a
+     freshly promoted leader answers retries of its predecessor's
+     transactions from cache, and the queue of admitted-but-unclaimed
+     requests the workers drain. *)
+  sessions : (int, session) Hashtbl.t;
+  client_q : (int * int * string) Sim.Sync.Mailbox.t;
 }
 
 let id t = t.rid
@@ -56,6 +78,17 @@ let journal t = List.rev t.journal
 let journal_length t = List.length t.journal
 let archived_entries t = List.rev_map snd t.journal
 
+let session t cid =
+  match Hashtbl.find_opt t.sessions cid with
+  | Some s -> s
+  | None ->
+      let s = { s_claimed = 0; s_applied = 0; s_released = 0; s_aborted = 0 } in
+      Hashtbl.replace t.sessions cid s;
+      s
+
+let session_state t ~cid =
+  Option.map (fun s -> (s.s_applied, s.s_released)) (Hashtbl.find_opt t.sessions cid)
+
 let spawn t name f =
   let p = Sim.Engine.spawn t.eng ~name:(Printf.sprintf "%s-%d" name t.rid) f in
   t.procs <- p :: t.procs
@@ -67,6 +100,56 @@ let stream_of_worker t w =
   | Config.Per_worker -> w
   | Config.Single -> 0
   | Config.Sharded _ -> w mod Config.nstreams t.cfg
+
+(* ---- client sessions (exactly-once RPC layer) ---- *)
+
+let client_reply t ~cid ~seq reply =
+  let m = { Paxos.Msg.from = t.rid; body = Paxos.Msg.Client_rep { cid; seq; reply } } in
+  Sim.Net.send t.net ~size:(Paxos.Msg.size m) ~src:t.rid
+    ~dst:(t.cfg.Config.replicas + cid)
+    m
+
+let leader_hint t =
+  match Paxos.Election.leader_id (election t) with
+  | Some l when l <> t.rid -> Some l
+  | Some _ | None -> None
+
+(* Admission control: shed load instead of queueing without bound (§5's
+   speculative-memory concern, seen from the client side). *)
+let overloaded t =
+  Sim.Sync.Mailbox.length t.client_q >= t.cfg.Config.admission_max_pending
+  || replay_backlog t >= t.cfg.Config.admission_max_backlog
+  || Array.exists
+       (fun q -> Queue.length q >= t.cfg.Config.admission_max_release)
+       t.release_queues
+
+(* Dispatcher-side triage of a client request. The session table is
+   consulted *before* execution: a retry of a released seq is answered
+   from cache; a retry of an in-flight seq is dropped (the release pass
+   will ack it); anything new passes admission control and queues for a
+   worker. *)
+let handle_client_req t ~cid ~seq ~payload =
+  Stats.note_client_request t.stats;
+  if not (t.serving && t.alive) then begin
+    Stats.note_redirect t.stats;
+    client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint = leader_hint t })
+  end
+  else begin
+    let s = session t cid in
+    if seq <= s.s_released then begin
+      Stats.note_cached_reply t.stats;
+      client_reply t ~cid ~seq Paxos.Msg.Ok_released
+    end
+    else if seq <= s.s_claimed then begin
+      if seq = s.s_aborted then client_reply t ~cid ~seq Paxos.Msg.Aborted
+      (* else: executing or awaiting the watermark; release will ack. *)
+    end
+    else if overloaded t then begin
+      Stats.note_busy_reply t.stats;
+      client_reply t ~cid ~seq Paxos.Msg.Busy
+    end
+    else Sim.Sync.Mailbox.send t.client_q (cid, seq, payload)
+  end
 
 let drop_speculative t =
   Array.iter
@@ -110,12 +193,15 @@ let worker_loop t w () =
       match r.Silo.Db.tid with
       | Some tid when t.serving ->
           Stats.note_executed t.stats;
-          let txn_log = { Store.Wire.ts = tid.Silo.Tid.ts; writes = r.Silo.Db.log } in
+          let txn_log =
+            { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log }
+          in
           let bytes = Store.Wire.txn_byte_size txn_log in
           (* Append + release record atomically (same event as the
              commit), so stream timestamps stay monotone. *)
           Batcher.submit t.batchers.(s) txn_log;
-          Queue.add { m_ts = tid.Silo.Tid.ts; m_start = start; m_bytes = bytes }
+          Queue.add
+            { m_ts = tid.Silo.Tid.ts; m_start = start; m_bytes = bytes; m_client = None }
             t.release_queues.(w);
           Stats.note_submitted t.stats ~bytes;
           Batcher.charge_submit_cost t.batchers.(s) ~bytes
@@ -131,6 +217,82 @@ let worker_loop t w () =
     end
   done
 
+(* Client-mode worker: serve queued client requests instead of running the
+   embedded generator. Claiming the seq and executing happen without an
+   intervening yield relative to other claims, so duplicate requests of
+   the same seq can never reach two workers. *)
+let client_worker_loop t w op () =
+  let s = stream_of_worker t w in
+  Sim.Engine.sleep (w * 1_700 * Sim.Engine.us);
+  while true do
+    match Sim.Sync.Mailbox.recv_timeout t.client_q (10 * Sim.Engine.ms) with
+    | None ->
+        if t.worker_active.(w) then begin
+          Sim.Cpu.unregister t.cpu;
+          t.worker_active.(w) <- false
+        end
+    | Some (cid, seq, payload) ->
+        if not (t.serving && t.alive) then begin
+          if t.alive then begin
+            Stats.note_redirect t.stats;
+            client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint = leader_hint t })
+          end
+        end
+        else begin
+          if not t.worker_active.(w) then begin
+            Sim.Cpu.register t.cpu;
+            t.worker_active.(w) <- true
+          end;
+          let sess = session t cid in
+          if seq <= sess.s_released then begin
+            Stats.note_cached_reply t.stats;
+            client_reply t ~cid ~seq Paxos.Msg.Ok_released
+          end
+          else if seq <= sess.s_claimed then begin
+            if seq = sess.s_aborted then client_reply t ~cid ~seq Paxos.Msg.Aborted
+          end
+          else begin
+            sess.s_claimed <- seq;
+            let start = Sim.Engine.time () in
+            Sim.Cpu.consume t.cpu t.cfg.Config.client_rpc_overhead;
+            let r = Silo.Db.run t.db ~worker:w (op ~payload) in
+            match r.Silo.Db.tid with
+            | Some tid when t.serving ->
+                if seq > sess.s_applied then sess.s_applied <- seq;
+                Stats.note_executed t.stats;
+                let txn_log =
+                  {
+                    Store.Wire.ts = tid.Silo.Tid.ts;
+                    req = Some (cid, seq);
+                    writes = r.Silo.Db.log;
+                  }
+                in
+                let bytes = Store.Wire.txn_byte_size txn_log in
+                Batcher.submit t.batchers.(s) txn_log;
+                Queue.add
+                  {
+                    m_ts = tid.Silo.Tid.ts;
+                    m_start = start;
+                    m_bytes = bytes;
+                    m_client = Some (cid, seq);
+                  }
+                  t.release_queues.(w);
+                Stats.note_submitted t.stats ~bytes;
+                Batcher.charge_submit_cost t.batchers.(s) ~bytes
+            | Some _ ->
+                (* Leadership lapsed mid-transaction: the write is
+                   speculative and dropped with this tainted replica; the
+                   client's retry re-executes at the next leader. *)
+                ()
+            | None ->
+                (* User abort: no effect anywhere, safe to answer now. *)
+                sess.s_aborted <- seq;
+                Stats.note_user_abort t.stats;
+                client_reply t ~cid ~seq Paxos.Msg.Aborted
+          end
+        end
+  done
+
 (* ---- replay side ---- *)
 
 let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
@@ -144,6 +306,20 @@ let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
     List.iter
       (fun (txn : Store.Wire.txn_log) ->
         if txn.Store.Wire.ts <= upto then begin
+          (* Rebuild the client-session table from the replicated request
+             id: a replayed transaction is durable below its epoch's
+             watermark, i.e. released (or about to be) at the leader that
+             executed it. Marking it released here is what lets a freshly
+             promoted leader answer a retry from cache instead of
+             re-executing — including when the old leader died between
+             durability and release. *)
+          (match txn.Store.Wire.req with
+          | Some (cid, seq) ->
+              let sess = session t cid in
+              if seq > sess.s_claimed then sess.s_claimed <- seq;
+              if seq > sess.s_applied then sess.s_applied <- seq;
+              if seq > sess.s_released then sess.s_released <- seq
+          | None -> ());
           Silo.Db.apply_replay t.db txn ~epoch:entry.epoch ~applied;
           Stats.note_replayed t.stats ~txns:1 ~writes:(List.length txn.writes)
         end)
@@ -204,6 +380,15 @@ let release_pass t =
             match Queue.peek_opt q with
             | Some m when m.m_ts <= w ->
                 ignore (Queue.pop q);
+                (* The ack: results become visible to clients only below
+                   the watermark (§3.3) — this is the exactly-once "done"
+                   signal the oracle checks. *)
+                (match m.m_client with
+                | Some (cid, seq) ->
+                    let sess = session t cid in
+                    if seq > sess.s_released then sess.s_released <- seq;
+                    client_reply t ~cid ~seq Paxos.Msg.Ok_released
+                | None -> ());
                 Stats.note_released t.stats
                   ~latency:(now - m.m_start + extra_latency)
                   ~bytes:m.m_bytes
@@ -356,7 +541,16 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       worker_active = Array.make cfg.Config.workers false;
       journal = [];
       last_heard = Array.make cfg.Config.replicas 0;
+      sessions = Hashtbl.create 64;
+      client_q = Sim.Sync.Mailbox.create eng;
     }
+  in
+  let client_op =
+    if cfg.Config.clients > 0 then
+      match app.App.client_op with
+      | Some f -> Some (f db)
+      | None -> invalid_arg "Replica.create: Config.clients > 0 needs App.client_op"
+    else None
   in
   let on_commit s ~idx (entry : Store.Wire.entry) =
     (* Durability commit: feed the watermark; queue for replay. Physical
@@ -374,11 +568,11 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   let on_higher_epoch e = Paxos.Election.observe_epoch (election t) e in
   let streams =
     Array.init nstreams (fun s ->
-        Paxos.Stream.create net ~id:s ~me:rid ~on_commit:(on_commit s)
-          ~on_higher_epoch ())
+        Paxos.Stream.create net ~peers:cfg.Config.replicas ~id:s ~me:rid
+          ~on_commit:(on_commit s) ~on_higher_epoch ())
   in
   let el =
-    Paxos.Election.create net ~me:rid
+    Paxos.Election.create net ~me:rid ~peers:cfg.Config.replicas
       ~heartbeat_interval:cfg.Config.heartbeat_interval
       ~election_timeout:cfg.Config.election_timeout ?initial_leader
       ~on_leader_elected:(fun ~epoch ->
@@ -400,26 +594,34 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
           ~epoch:(fun () -> Silo.Db.epoch db)
           ~propose:(fun e -> Paxos.Stream.propose streams.(s) e)
           ~shared:(nstreams < cfg.Config.workers));
-  t.gens <-
-    Array.init cfg.Config.workers (fun w ->
-        app.App.make_worker db
-          ~rng:(Sim.Rng.split (Sim.Engine.rng eng))
-          ~worker:w ~nworkers:cfg.Config.workers);
+  (if client_op = None then
+     t.gens <-
+       Array.init cfg.Config.workers (fun w ->
+           app.App.make_worker db
+             ~rng:(Sim.Rng.split (Sim.Engine.rng eng))
+             ~worker:w ~nworkers:cfg.Config.workers));
   (* Processes. *)
   spawn t "dispatch" (fun () ->
       while true do
         let m = Sim.Net.recv net rid in
-        t.last_heard.(m.Paxos.Msg.from) <- Sim.Engine.now eng;
+        (* [from] may be a client node, beyond the replica-sized array. *)
+        if m.Paxos.Msg.from < Array.length t.last_heard then
+          t.last_heard.(m.Paxos.Msg.from) <- Sim.Engine.now eng;
         match m.Paxos.Msg.body with
         | Paxos.Msg.Elect e -> Paxos.Election.handle el e ~from:m.Paxos.Msg.from
         | Paxos.Msg.Stream { stream; msg } ->
             Paxos.Stream.handle streams.(stream) msg ~from:m.Paxos.Msg.from
+        | Paxos.Msg.Client_req { cid; seq; payload } ->
+            handle_client_req t ~cid ~seq ~payload
+        | Paxos.Msg.Client_rep _ -> () (* not addressed to replicas *)
       done);
   t.procs <- Paxos.Election.start el :: t.procs;
   spawn t "controller" (controller_loop t);
   spawn t "flush-timer" (flush_timer_loop t);
   for w = 0 to cfg.Config.workers - 1 do
-    spawn t (Printf.sprintf "worker%d" w) (worker_loop t w)
+    match client_op with
+    | Some op -> spawn t (Printf.sprintf "worker%d" w) (client_worker_loop t w op)
+    | None -> spawn t (Printf.sprintf "worker%d" w) (worker_loop t w)
   done;
   for s = 0 to nstreams - 1 do
     spawn t (Printf.sprintf "replay%d" s) (replay_loop t s)

@@ -6,7 +6,9 @@
 
     - {b workers} (leader only): generate and execute transactions to
       their speculative commit, append the write-set log to the worker's
-      batcher, and queue a release record;
+      batcher, and queue a release record; with [Config.clients > 0] they
+      instead serve queued client requests ({!Client}), consulting the
+      per-session dedup table before execution and acking only at release;
     - {b batchers/streams}: one Paxos stream per worker ([Per_worker]) or
       a single shared stream (the strawman);
     - {b controller} (the paper's "+1 core"): every [watermark_interval]
@@ -56,6 +58,11 @@ val replay_epoch : t -> int
 val replay_watermark : t -> int
 val replay_backlog : t -> int
 (** Durable entries queued but not yet replayed. *)
+
+val session_state : t -> cid:int -> (int * int) option
+(** [(applied, released)] highest sequence numbers this replica knows for
+    client session [cid] — from its own execution on a leader, from
+    replay on a follower. [None] if the session is unknown. *)
 
 val archived_entries : t -> Store.Wire.entry list
 (** Every durable entry, in durability order, when the cluster was built

@@ -11,6 +11,10 @@ type t = {
   mutable spec_samples : int;
   mutable replayed_txns : int;
   mutable replayed_writes : int;
+  mutable client_requests : int;
+  mutable cached_replies : int;
+  mutable busy_replies : int;
+  mutable redirects : int;
   mutable lat : Sim.Metrics.Hist.t;
   mutable series : Sim.Metrics.Series.t;
 }
@@ -29,6 +33,10 @@ let create eng =
     spec_samples = 0;
     replayed_txns = 0;
     replayed_writes = 0;
+    client_requests = 0;
+    cached_replies = 0;
+    busy_replies = 0;
+    redirects = 0;
     lat = Sim.Metrics.Hist.create ();
     series = Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
   }
@@ -51,6 +59,11 @@ let note_released t ~latency ~bytes =
 
 let note_dropped_speculative t ~bytes = t.spec_bytes <- t.spec_bytes - bytes
 
+let note_client_request t = t.client_requests <- t.client_requests + 1
+let note_cached_reply t = t.cached_replies <- t.cached_replies + 1
+let note_busy_reply t = t.busy_replies <- t.busy_replies + 1
+let note_redirect t = t.redirects <- t.redirects + 1
+
 let note_replayed t ~txns ~writes =
   t.replayed_txns <- t.replayed_txns + txns;
   t.replayed_writes <- t.replayed_writes + writes
@@ -66,6 +79,10 @@ let executed t = t.executed
 let user_aborts t = t.user_aborts
 let replayed_txns t = t.replayed_txns
 let replayed_writes t = t.replayed_writes
+let client_requests t = t.client_requests
+let cached_replies t = t.cached_replies
+let busy_replies t = t.busy_replies
+let redirects t = t.redirects
 let serialized_bytes t = t.serialized_bytes
 let replicated_bytes t = t.replicated_bytes
 let speculative_bytes t = t.spec_bytes

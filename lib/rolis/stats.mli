@@ -27,6 +27,19 @@ val note_released : t -> latency:int -> bytes:int -> unit
 val note_dropped_speculative : t -> bytes:int -> unit
 (** Failover dropped a speculative transaction (never released). *)
 
+val note_client_request : t -> unit
+(** A [Client_req] arrived at this replica (any disposition). *)
+
+val note_cached_reply : t -> unit
+(** A retried request was answered from the session table without
+    re-execution — the dedup path. *)
+
+val note_busy_reply : t -> unit
+(** Admission control shed a request with [Busy]. *)
+
+val note_redirect : t -> unit
+(** A non-serving replica answered [Not_leader]. *)
+
 val note_replayed : t -> txns:int -> writes:int -> unit
 val sample_speculative_memory : t -> unit
 (** Called at each watermark tick; feeds the average-memory gauge. *)
@@ -40,6 +53,10 @@ val executed : t -> int
 val user_aborts : t -> int
 val replayed_txns : t -> int
 val replayed_writes : t -> int
+val client_requests : t -> int
+val cached_replies : t -> int
+val busy_replies : t -> int
+val redirects : t -> int
 val serialized_bytes : t -> int
 val replicated_bytes : t -> int
 val speculative_bytes : t -> int

@@ -1,5 +1,5 @@
 type write = { table : int; key : string; value : string option }
-type txn_log = { ts : int; writes : write list }
+type txn_log = { ts : int; req : (int * int) option; writes : write list }
 type entry = { epoch : int; last_ts : int; txns : txn_log list }
 
 let make_entry ~epoch txns =
@@ -16,8 +16,11 @@ let write_byte_size w =
   + match w.value with Some v -> 4 + String.length v | None -> 0
 
 let txn_byte_size t =
-  (* Per-transaction header: ts(8) + nkv(4) + nbytes(4). *)
-  16 + List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes
+  (* Per-transaction header: ts(8) + req tag(1) [+ client(4) + seq(4)]
+     + nkv(4) + nbytes(4). *)
+  17
+  + (match t.req with Some _ -> 8 | None -> 0)
+  + List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes
 
 let byte_size e =
   (* Entry header: epoch(8) + last_ts(8) + ntxns(4). *)
@@ -47,6 +50,12 @@ let encode e =
   List.iter
     (fun t ->
       add_u64 buf t.ts;
+      (match t.req with
+      | Some (cid, seq) ->
+          add_u8 buf 1;
+          add_u32 buf cid;
+          add_u32 buf seq
+      | None -> add_u8 buf 0);
       add_u32 buf (List.length t.writes);
       add_u32 buf (List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes);
       List.iter
@@ -107,6 +116,15 @@ let decode s =
     let txns =
       List.init ntxns (fun _ ->
           let ts = u64 () in
+          let req =
+            match u8 () with
+            | 0 -> None
+            | 1 ->
+                let cid = u32 () in
+                let seq = u32 () in
+                Some (cid, seq)
+            | _ -> raise (Malformed "bad request tag")
+          in
           let nwrites = u32 () in
           let _nbytes = u32 () in
           let writes =
@@ -124,7 +142,7 @@ let decode s =
                 in
                 { table; key; value })
           in
-          { ts; writes })
+          { ts; req; writes })
     in
     if !pos <> len then raise (Malformed "trailing bytes");
     { epoch; last_ts; txns }

@@ -17,7 +17,14 @@ type write = {
   value : string option;  (** [None] encodes a delete *)
 }
 
-type txn_log = { ts : int; writes : write list }
+type txn_log = {
+  ts : int;
+  req : (int * int) option;
+      (** originating client request [(client_id, seq)], if the
+          transaction was submitted by a networked client session; threads
+          exactly-once identity through replication and replay *)
+  writes : write list;
+}
 
 type entry = {
   epoch : int;

@@ -542,6 +542,7 @@ let app p =
         fun () ->
           let kind = pick_kind p rng in
           fun txn -> run_kind st rng ~worker ~nworkers kind txn);
+    client_op = None;
   }
 
 (* ---- consistency checks ---- *)

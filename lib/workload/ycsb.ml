@@ -63,4 +63,5 @@ let app p =
         let table = Silo.Db.table db table_name in
         let chooser = chooser_of p in
         fun () txn -> body p table chooser rng txn);
+    client_op = None;
   }

@@ -10,7 +10,7 @@ let ms = Sim.Engine.ms
 
 let entry ~epoch ~ts =
   Store.Wire.make_entry ~epoch
-    [ { Store.Wire.ts; writes = [ { Store.Wire.table = 0; key = "k"; value = Some "v" } ] } ]
+    [ { Store.Wire.ts; req = None; writes = [ { Store.Wire.table = 0; key = "k"; value = Some "v" } ] } ]
 
 type replica = {
   id : int;
@@ -83,6 +83,7 @@ let make_cluster ?(n = 3) ?(k = 2) ?(heartbeat = 20 * ms) ?(timeout = 100 * ms)
               | Paxos.Msg.Elect e -> Paxos.Election.handle r.election e ~from:m.Paxos.Msg.from
               | Paxos.Msg.Stream { stream; msg } ->
                   Paxos.Stream.handle r.streams.(stream) msg ~from:m.Paxos.Msg.from
+              | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _ -> ()
             done)
       in
       r.dispatcher <- Some dispatcher;
@@ -216,6 +217,37 @@ let test_old_leader_steps_down () =
     |> List.length
   in
   check_int "exactly one leader after heal" 1 nleaders
+
+let test_candidacy_backoff_bounded () =
+  (* Livelock hardening: an isolated replica can never win an election, so
+     without backoff it would start a candidacy (and bump its epoch) every
+     ~timeout — 25+ over three seconds — and on heal its inflated epoch
+     would keep disrupting the stable majority. The capped exponential
+     backoff (2^min(failures, 2) × base + jitter) bounds the rate, and the
+     first heartbeat accepted after healing resets the failure count. *)
+  let c = make_cluster () in
+  Sim.Engine.schedule c.eng (100 * ms) (fun () ->
+      Sim.Net.partition c.net 0 2;
+      Sim.Net.partition c.net 1 2);
+  Sim.Engine.run ~until:(3_100 * ms) c.eng;
+  let r2 = c.replicas.(2) in
+  let tried = Paxos.Election.failed_candidacies r2.election in
+  check_bool "isolated node kept trying" true (tried >= 3);
+  check_bool (Printf.sprintf "candidacies bounded by backoff (got %d)" tried) true
+    (tried <= 12);
+  (* Majority side is undisturbed: replica 0 still leads epoch 1. *)
+  check_bool "majority leader undisturbed" true
+    (Paxos.Election.is_leader c.replicas.(0).election);
+  Sim.Net.heal_all c.net;
+  Sim.Engine.run ~until:(4_600 * ms) c.eng;
+  let nleaders =
+    Array.to_list c.replicas
+    |> List.filter (fun r -> Paxos.Election.is_leader r.election)
+    |> List.length
+  in
+  check_int "exactly one leader after heal" 1 nleaders;
+  check_int "backoff reset once the node rejoins" 0
+    (Paxos.Election.failed_candidacies r2.election)
 
 let test_log_truncation_bounds_memory () =
   let c = make_cluster () in
@@ -366,6 +398,8 @@ let () =
           Alcotest.test_case "failover preserves commits" `Quick
             test_failover_preserves_committed;
           Alcotest.test_case "old leader steps down" `Quick test_old_leader_steps_down;
+          Alcotest.test_case "candidacy backoff bounded" `Quick
+            test_candidacy_backoff_bounded;
         ] );
       ("properties", [ qc agreement_qcheck; qc dup_reorder_qcheck ]);
     ]

@@ -97,6 +97,55 @@ let watermark_qcheck =
           got = expected && monotone)
         feed)
 
+(* Random multi-epoch feeds, checked against an independent model:
+   - sealing is permanent — once [final_watermark ~epoch] is [Some w] it
+     never changes or reverts to [None];
+   - an absent stream does not constrain a sealed epoch (contributes
+     max_int): the final watermark equals the min over the streams that
+     actually wrote in that epoch, of their accepted maxima.
+   The model tracks per-stream epochs so out-of-order stale feeds (an
+   epoch below the stream's current one) are ignored, like the real
+   durability pipeline. *)
+let watermark_sealing_qcheck =
+  QCheck.Test.make ~name:"sealing permanent; absent stream contributes max_int"
+    ~count:300
+    QCheck.(list (triple (int_range 0 2) (int_range 1 4) (int_range 1 1000)))
+    (fun feed ->
+      let streams = 3 and max_epoch = 4 in
+      let wm = Rolis.Watermark.create ~streams in
+      let model_epoch = Array.make streams 0 in
+      let maxima : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      let sealed_seen : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      List.for_all
+        (fun (stream, epoch, ts) ->
+          Rolis.Watermark.note_durable wm ~stream ~epoch ~ts;
+          if epoch >= model_epoch.(stream) then begin
+            model_epoch.(stream) <- epoch;
+            let cur =
+              match Hashtbl.find_opt maxima (stream, epoch) with
+              | Some m -> m
+              | None -> 0
+            in
+            Hashtbl.replace maxima (stream, epoch) (max cur ts)
+          end;
+          let ok = ref true in
+          for e = 1 to max_epoch do
+            match Rolis.Watermark.final_watermark wm ~epoch:e with
+            | Some w ->
+                let expected =
+                  List.init streams Fun.id
+                  |> List.filter_map (fun s -> Hashtbl.find_opt maxima (s, e))
+                  |> List.fold_left min max_int
+                in
+                if w <> expected then ok := false;
+                (match Hashtbl.find_opt sealed_seen e with
+                | Some w0 -> if w <> w0 then ok := false
+                | None -> Hashtbl.replace sealed_seen e w)
+            | None -> if Hashtbl.mem sealed_seen e then ok := false
+          done;
+          !ok)
+        feed)
+
 (* ---------- cluster helpers ---------- *)
 
 (* Slow, test-friendly cost model: ~50us per transaction keeps event
@@ -148,6 +197,23 @@ let transfer_app ~accounts ~initial ~stopped =
               Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
             end
           end);
+    client_op =
+      Some
+        (fun db ~payload txn ->
+          let t = Silo.Db.table db "accounts" in
+          match String.split_on_char ' ' payload with
+          | [ a; b; amt ] ->
+              let a = int_of_string a and b = int_of_string b in
+              let amount = int_of_string amt in
+              let bal k =
+                match Silo.Txn.get txn t (key k) with
+                | Some v -> int_of_string v
+                | None -> Alcotest.failf "account %d missing" k
+              in
+              let va = bal a and vb = bal b in
+              Silo.Txn.put txn t (key a) (string_of_int (va - amount));
+              Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
+          | _ -> Alcotest.failf "bad transfer payload %S" payload);
   }
 
 let total_money db ~accounts =
@@ -425,6 +491,160 @@ let test_restart_rejoin_convergence () =
   check_int "money conserved on restarted replica" (accounts * 300)
     (total_money (Rolis.Replica.db r2) ~accounts)
 
+(* ---------- config validation ---------- *)
+
+let expect_invalid name cfg =
+  match Rolis.Config.validate cfg with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_config_validate_timing () =
+  let ok = test_cfg () in
+  Rolis.Config.validate ok;
+  expect_invalid "heartbeat = election timeout"
+    { ok with Rolis.Config.heartbeat_interval = ok.Rolis.Config.election_timeout };
+  expect_invalid "heartbeat > election timeout"
+    { ok with Rolis.Config.heartbeat_interval = 2 * ok.Rolis.Config.election_timeout };
+  expect_invalid "heartbeat zero" { ok with Rolis.Config.heartbeat_interval = 0 };
+  expect_invalid "flush interval zero" { ok with Rolis.Config.batch_flush_interval = 0 };
+  expect_invalid "negative flush interval"
+    { ok with Rolis.Config.batch_flush_interval = -ms };
+  expect_invalid "negative client rtt" { ok with Rolis.Config.client_rtt = -1 };
+  expect_invalid "negative client rpc overhead"
+    { ok with Rolis.Config.client_rpc_overhead = -1 }
+
+let test_config_validate_clients () =
+  let ok = test_cfg () in
+  expect_invalid "negative clients" { ok with Rolis.Config.clients = -1 };
+  (* Session knobs are only constrained once sessions exist... *)
+  Rolis.Config.validate { ok with Rolis.Config.client_timeout = 0 };
+  Rolis.Config.validate { ok with Rolis.Config.admission_max_pending = 0 };
+  (* ...then every one of them is. *)
+  let on = { ok with Rolis.Config.clients = 4 } in
+  Rolis.Config.validate on;
+  expect_invalid "client timeout zero" { on with Rolis.Config.client_timeout = 0 };
+  expect_invalid "retry limit zero" { on with Rolis.Config.client_retry_limit = 0 };
+  expect_invalid "backoff base zero" { on with Rolis.Config.client_backoff_base = 0 };
+  expect_invalid "backoff max below base"
+    { on with Rolis.Config.client_backoff_max = on.Rolis.Config.client_backoff_base - 1 };
+  expect_invalid "park interval zero" { on with Rolis.Config.client_park_interval = 0 };
+  expect_invalid "admission pending zero" { on with Rolis.Config.admission_max_pending = 0 };
+  expect_invalid "admission release zero" { on with Rolis.Config.admission_max_release = 0 };
+  expect_invalid "admission backlog zero" { on with Rolis.Config.admission_max_backlog = 0 }
+
+(* ---------- client sessions ---------- *)
+
+(* The exactly-once release-visibility case from the issue: the leader
+   dies the instant its first client transaction becomes durable — i.e.
+   after commit but before the release pass could ack it. The client must
+   never see that ack from the dead leader; its retry against the new
+   leader must succeed exactly once (either the entry was below the final
+   watermark and replay rebuilt the session table, answering from cache,
+   or it was above and the retry re-executes fresh). *)
+let test_release_visibility_across_crash () =
+  let stopped = ref false in
+  let accounts = 20 in
+  let cfg =
+    { (test_cfg ()) with Rolis.Config.clients = 4; archive_entries = true }
+  in
+  let cluster = ref None in
+  let sessions = ref [||] in
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 !sessions in
+  let crash_fired = ref false in
+  let acked_at_crash = ref (-1) in
+  let on_durable ~replica ~stream:_ ~idx:_ (e : Store.Wire.entry) =
+    if
+      (not !crash_fired)
+      && replica = 0
+      && List.exists
+           (fun (t : Store.Wire.txn_log) -> t.Store.Wire.req <> None)
+           e.Store.Wire.txns
+    then begin
+      crash_fired := true;
+      match !cluster with
+      | Some c ->
+          Sim.Engine.schedule (Rolis.Cluster.engine c) 0 (fun () ->
+              acked_at_crash := sum Rolis.Client.acked_count;
+              Rolis.Cluster.crash_replica c 0)
+      | None -> ()
+    end
+  in
+  let c =
+    Rolis.Cluster.create ~on_durable cfg (transfer_app ~accounts ~initial:1_000 ~stopped)
+  in
+  cluster := Some c;
+  let eng = Rolis.Cluster.engine c and net = Rolis.Cluster.network c in
+  sessions :=
+    Array.init cfg.Rolis.Config.clients (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid ~stopped
+          ~gen:(fun () -> Rolis.Chaos.bank_payload crng ~accounts)
+          ());
+  Rolis.Cluster.run c ~duration:(4 * s) ();
+  check_bool "leader crashed on its first durable client txn" true !crash_fired;
+  check_int "nothing was acked before the crash" 0 !acked_at_crash;
+  (match Rolis.Cluster.leader c with
+  | Some r -> check_bool "failover happened" true (Rolis.Replica.id r <> 0)
+  | None -> Alcotest.fail "no leader after the crash");
+  check_bool "acks resumed through the new leader" true
+    (sum Rolis.Client.acked_count > 0);
+  (* Quiesce, then audit every ack against the union durable log. *)
+  stopped := true;
+  Rolis.Cluster.run c ~duration:(2_500 * ms) ();
+  let acked = Array.to_list !sessions |> List.concat_map Rolis.Client.acked_seqs in
+  check_bool "sanity: something was acked" true (acked <> []);
+  let viols = Rolis.Check.exactly_once c ~acked in
+  if viols <> [] then
+    Alcotest.failf "exactly-once violated: %s"
+      (String.concat "; "
+         (List.map (fun v -> v.Rolis.Check.detail) viols));
+  check_bool "money conserved on the new leader" true
+    (match Rolis.Cluster.leader c with
+    | Some r -> total_money (Rolis.Replica.db r) ~accounts = accounts * 1_000
+    | None -> false)
+
+(* Admission control: with a starved admission queue the leader answers
+   [Busy] instead of buffering unboundedly; clients back off and retry,
+   and backpressure never costs exactly-once. *)
+let test_admission_backpressure () =
+  let stopped = ref false in
+  let accounts = 20 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.clients = 6;
+      client_timeout = 50 * ms;
+      admission_max_pending = 1;
+      archive_entries = true;
+    }
+  in
+  let c = Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:1_000 ~stopped) in
+  let eng = Rolis.Cluster.engine c and net = Rolis.Cluster.network c in
+  let sessions =
+    Array.init cfg.Rolis.Config.clients (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid ~stopped
+          ~gen:(fun () -> Rolis.Chaos.bank_payload crng ~accounts)
+          ())
+  in
+  Rolis.Cluster.run c ~duration:(1 * s) ();
+  stopped := true;
+  Rolis.Cluster.run c ~duration:(1_500 * ms) ();
+  let sum f = Array.fold_left (fun a cl -> a + f cl) 0 sessions in
+  check_bool "leader pushed back" true (sum Rolis.Client.busy_replies > 0);
+  check_bool "clients still made progress" true (sum Rolis.Client.acked_count > 0);
+  let acked = Array.to_list sessions |> List.concat_map Rolis.Client.acked_seqs in
+  let viols = Rolis.Check.exactly_once c ~acked in
+  if viols <> [] then
+    Alcotest.failf "exactly-once violated under backpressure: %s"
+      (String.concat "; " (List.map (fun v -> v.Rolis.Check.detail) viols));
+  Array.iter
+    (fun r ->
+      if Rolis.Replica.is_alive r then
+        check_int "money conserved" (accounts * 1_000)
+          (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas c)
+
 (* ---------- checkpoint ---------- *)
 
 let test_checkpoint_roundtrip () =
@@ -478,6 +698,7 @@ let test_checkpoint_plus_log_replay () =
     List.init 50 (fun i ->
         {
           Store.Wire.ts = 1_000 + i;
+          req = None;
           writes = [ { Store.Wire.table = 0; key = key i; value = Some "new" } ];
         })
   in
@@ -513,6 +734,7 @@ let () =
           Alcotest.test_case "epoch sealing (Fig 8)" `Quick test_watermark_epoch_sealing;
           Alcotest.test_case "skipped epoch" `Quick test_watermark_skipped_epoch;
           QCheck_alcotest.to_alcotest watermark_qcheck;
+          QCheck_alcotest.to_alcotest watermark_sealing_qcheck;
         ] );
       ( "cluster",
         [
@@ -532,6 +754,18 @@ let () =
             test_released_results_survive_crash;
           Alcotest.test_case "old leader tainted" `Quick
             test_old_leader_tainted_on_partition;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "timing constraints" `Quick test_config_validate_timing;
+          Alcotest.test_case "client/admission constraints" `Quick
+            test_config_validate_clients;
+        ] );
+      ( "clients",
+        [
+          Alcotest.test_case "release visibility across crash" `Quick
+            test_release_visibility_across_crash;
+          Alcotest.test_case "admission backpressure" `Quick test_admission_backpressure;
         ] );
       ( "bootstrap",
         [

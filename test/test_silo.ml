@@ -164,7 +164,7 @@ let test_replay_cas_semantics () =
   with_db ~physical_deletes:false (fun eng _cpu db ->
       let t = Silo.Db.create_table db "t" in
       let applied = ref 0 in
-      let mk ts writes = { Store.Wire.ts; writes } in
+      let mk ts writes = { Store.Wire.ts; req = None; writes } in
       let w key value = { Store.Wire.table = 0; key; value } in
       let _p =
         Sim.Engine.spawn eng (fun () ->

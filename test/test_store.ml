@@ -328,8 +328,8 @@ let sample_entry () =
   let w2 = { Store.Wire.table = 2; key = "k2"; value = None } in
   Store.Wire.make_entry ~epoch:3
     [
-      { Store.Wire.ts = 100; writes = [ w1; w2 ] };
-      { Store.Wire.ts = 105; writes = [ w1 ] };
+      { Store.Wire.ts = 100; req = Some (7, 42); writes = [ w1; w2 ] };
+      { Store.Wire.ts = 105; req = None; writes = [ w1 ] };
     ]
 
 let test_wire_roundtrip () =
@@ -372,7 +372,13 @@ let wire_roundtrip_qcheck =
         (option (string_size (0 -- 30)))
     in
     let txn =
-      map2 (fun ts writes -> { Store.Wire.ts; writes }) big_nat (list_size (0 -- 5) write)
+      let req =
+        option (map2 (fun cid seq -> (cid, seq)) (int_range 0 100) (int_range 1 1000))
+      in
+      map3
+        (fun ts req writes -> { Store.Wire.ts; req; writes })
+        big_nat req
+        (list_size (0 -- 5) write)
     in
     map2
       (fun epoch txns ->
