@@ -50,3 +50,43 @@ let run_silo ?(cores = 32) ?(warmup = 100 * ms) ~workers ~duration ~app () =
 (* Durations scale down in --quick mode. *)
 let dur quick standard = if quick then standard / 4 else standard
 let points quick all few = if quick then few else all
+
+(* ---- structured results (--json mode, see Report.Schema) ----
+
+   Every experiment records its datapoints here in addition to the
+   printed transcript; main.ml collects them into BENCH_rolis.json
+   (routing them through per-experiment part files when experiments run
+   in forked children). Virtual-time results are deterministic for a
+   fixed seed, so the JSON is byte-stable across runs and a committed
+   baseline can be compared exactly. *)
+
+let results : Report.Schema.result list ref = ref []
+
+let emit ?(gated = true) ?(knobs = []) ~fig ~title ~x_label pts =
+  results := !results @ [ { Report.Schema.fig; title; x_label; gated; knobs; points = pts } ]
+
+let point ?(stages = []) ~series ~x metrics =
+  { Report.Schema.series; x; metrics; stages }
+
+let stage_summaries cluster =
+  List.map
+    (fun (stage, count, p50, p95, p99) ->
+      {
+        Report.Schema.stage;
+        count;
+        p50_ms = float_of_int p50 /. 1e6;
+        p95_ms = float_of_int p95 /. 1e6;
+        p99_ms = float_of_int p99 /. 1e6;
+      })
+    (Rolis.Cluster.stage_breakdown cluster)
+
+(* The standard datapoint of a Rolis cluster run: released-transaction
+   throughput, release-latency percentiles, and the per-stage pipeline
+   breakdown from Trace sampling. *)
+let cluster_point ?(extra = []) ~series ~x cluster =
+  let lat = Rolis.Cluster.latency cluster in
+  let ms_of q = float_of_int (Sim.Metrics.Hist.quantile lat q) /. 1e6 in
+  point ~series ~x
+    ~stages:(stage_summaries cluster)
+    ([ ("tput", Rolis.Cluster.throughput cluster); ("p50_ms", ms_of 0.5); ("p95_ms", ms_of 0.95) ]
+    @ extra)

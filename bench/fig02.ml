@@ -10,15 +10,23 @@ let run ~quick =
     "Paper: rises to ~0.42M TPS, plateaus after ~10 threads.";
   Printf.printf "  %-10s %12s\n" "threads" "tput";
   let threads = points quick [ 2; 6; 10; 14; 22; 30 ] [ 2; 10; 30 ] in
-  List.iter
-    (fun workers ->
-      let cluster =
-        run_rolis ~stream_mode:Rolis.Config.Single ~workers
-          ~warmup:(dur quick (200 * ms))
-          ~duration:(dur quick (300 * ms))
-          ~app:(Workload.Tpcc.app (tpcc_params ~workers))
-          ()
-      in
-      Printf.printf "  %-10d %12s\n%!" workers (fmt_tps (Rolis.Cluster.throughput cluster));
-      Gc.compact ())
-    threads
+  let pts =
+    List.map
+      (fun workers ->
+        let cluster =
+          run_rolis ~stream_mode:Rolis.Config.Single ~workers
+            ~warmup:(dur quick (200 * ms))
+            ~duration:(dur quick (300 * ms))
+            ~app:(Workload.Tpcc.app (tpcc_params ~workers))
+            ()
+        in
+        Printf.printf "  %-10d %12s\n%!" workers
+          (fmt_tps (Rolis.Cluster.throughput cluster));
+        let p = cluster_point ~series:"strawman" ~x:(float_of_int workers) cluster in
+        Gc.compact ();
+        p)
+      threads
+  in
+  emit ~fig:"fig02" ~title:"single Paxos stream (strawman), TPC-C" ~x_label:"threads"
+    ~knobs:[ ("stream_mode", "single"); ("workload", "tpcc") ]
+    pts

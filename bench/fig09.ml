@@ -27,6 +27,13 @@ let run ~quick =
     | Workload.Tpcc.Stock_level -> m.Workload.Tpcc.stock_level
     | Workload.Tpcc.Delivery -> m.Workload.Tpcc.delivery
   in
+  let pts = ref [] in
+  let record ~series ~reads ~writes ~mix =
+    pts :=
+      point ~series ~x:0.0
+        [ ("reads", reads); ("writes", writes); ("mix_pct", mix) ]
+      :: !pts
+  in
   let _p =
     Sim.Engine.spawn eng (fun () ->
         (* Feed the new-order queues first so Delivery sees its full
@@ -52,11 +59,13 @@ let run ~quick =
                 incr n
               end
             done;
+            let avg_r = float_of_int !reads /. float_of_int (max 1 !n) in
+            let avg_w = float_of_int !writes /. float_of_int (max 1 !n) in
             Printf.printf "  %-12s %10.1f %10.1f   (%d%%)\n"
               (Workload.Tpcc.kind_name kind)
-              (float_of_int !reads /. float_of_int (max 1 !n))
-              (float_of_int !writes /. float_of_int (max 1 !n))
-              (share kind))
+              avg_r avg_w (share kind);
+            record ~series:(Workload.Tpcc.kind_name kind) ~reads:avg_r ~writes:avg_w
+              ~mix:(float_of_int (share kind)))
           Workload.Tpcc.all_kinds;
         (* YCSB++: READ and RMW. *)
         let ydb = Silo.Db.create eng cpu () in
@@ -73,12 +82,15 @@ let run ~quick =
               incr n
             end
           done;
-          Printf.printf "  %-12s %10.1f %10.1f   (50%%)\n" label
-            (float_of_int !reads /. float_of_int (max 1 !n))
-            (float_of_int !writes /. float_of_int (max 1 !n))
+          let avg_r = float_of_int !reads /. float_of_int (max 1 !n) in
+          let avg_w = float_of_int !writes /. float_of_int (max 1 !n) in
+          Printf.printf "  %-12s %10.1f %10.1f   (50%%)\n" label avg_r avg_w;
+          record ~series:label ~reads:avg_r ~writes:avg_w ~mix:50.0
         in
         profile ~read_ratio:1.0 "YCSB READ";
         profile ~read_ratio:0.0 "YCSB RMW")
   in
   Sim.Engine.run eng;
+  emit ~fig:"fig09" ~title:"per-type operation profile" ~x_label:"n/a"
+    (List.rev !pts);
   Printf.printf "%!"

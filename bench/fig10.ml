@@ -7,41 +7,58 @@
 
 open Common
 
-let sweep ~quick ~label ~app_of ~rolis_batch ~tpcc =
+let sweep ~quick ~fig ~title ~label ~app_of ~rolis_batch ~tpcc =
   let rolis_warmup = if tpcc then 150 * ms else 300 * ms in
   Printf.printf "  %-8s %12s %12s %8s %14s %14s\n" "threads" "Silo" "Rolis" "ratio"
     "Silo/core" "Rolis/core";
   let threads = points quick [ 2; 8; 16; 24; 30 ] [ 2; 16; 30 ] in
-  List.iter
-    (fun workers ->
-      let app = app_of workers in
-      let duration =
-        (* TPC-C inserts rows at ~1 GB/s of simulated data: keep windows
-           tight to fit host memory. *)
-        if tpcc then dur quick (250 * ms) else max (dur quick (200 * ms)) (150 * ms)
-      in
-      let silo = run_silo ~workers ~duration ~app () in
-      Gc.compact ();
-      let cluster = run_rolis ~batch:rolis_batch ~workers ~warmup:rolis_warmup ~duration ~app () in
-      let rolis = Rolis.Cluster.throughput cluster in
-      let silo_tps = silo.Baselines.Silo_only.tps in
-      Printf.printf "  %-8d %12s %12s %7.1f%% %14s %14s\n%!" workers (fmt_tps silo_tps)
-        (fmt_tps rolis)
-        (100.0 *. rolis /. silo_tps)
-        (fmt_tps (silo_tps /. float_of_int workers))
-        (fmt_tps (rolis /. float_of_int workers));
-      Gc.compact ())
-    threads;
-  ignore label
+  let pts =
+    List.concat_map
+      (fun workers ->
+        let app = app_of workers in
+        let duration =
+          (* TPC-C inserts rows at ~1 GB/s of simulated data: keep windows
+             tight to fit host memory. *)
+          if tpcc then dur quick (250 * ms) else max (dur quick (200 * ms)) (150 * ms)
+        in
+        let silo = run_silo ~workers ~duration ~app () in
+        Gc.compact ();
+        let cluster = run_rolis ~batch:rolis_batch ~workers ~warmup:rolis_warmup ~duration ~app () in
+        let rolis = Rolis.Cluster.throughput cluster in
+        let silo_tps = silo.Baselines.Silo_only.tps in
+        Printf.printf "  %-8d %12s %12s %7.1f%% %14s %14s\n%!" workers (fmt_tps silo_tps)
+          (fmt_tps rolis)
+          (100.0 *. rolis /. silo_tps)
+          (fmt_tps (silo_tps /. float_of_int workers))
+          (fmt_tps (rolis /. float_of_int workers));
+        let x = float_of_int workers in
+        let row =
+          [
+            point ~series:"silo" ~x
+              [ ("tput", silo_tps); ("tput_per_core", silo_tps /. x) ];
+            cluster_point ~series:"rolis" ~x
+              ~extra:[ ("tput_per_core", rolis /. x) ]
+              cluster;
+          ]
+        in
+        Gc.compact ();
+        row)
+      threads
+  in
+  emit ~fig ~title ~x_label:"threads"
+    ~knobs:[ ("workload", label); ("batch", string_of_int rolis_batch) ]
+    pts
 
 let run_tpcc ~quick =
   header "Figures 10a + 11a: Rolis vs Silo, TPC-C"
     "Paper: Rolis 1.03M @32 = 68.8% of Silo; per-core declines then flattens.";
-  sweep ~quick ~label:"tpcc" ~rolis_batch:1000 ~tpcc:true ~app_of:(fun workers ->
-      Workload.Tpcc.app (tpcc_params ~workers))
+  sweep ~quick ~fig:"fig10a" ~title:"Rolis vs Silo, TPC-C" ~label:"tpcc"
+    ~rolis_batch:1000 ~tpcc:true
+    ~app_of:(fun workers -> Workload.Tpcc.app (tpcc_params ~workers))
 
 let run_ycsb ~quick =
   header "Figures 10b + 11b: Rolis vs Silo, YCSB++"
     "Paper: Rolis 10.3M @32 = 77.3% of Silo (smaller write-set than TPC-C).";
-  sweep ~quick ~label:"ycsb" ~rolis_batch:10_000 ~tpcc:false ~app_of:(fun _ ->
-      Workload.Ycsb.app ycsb_params)
+  sweep ~quick ~fig:"fig10b" ~title:"Rolis vs Silo, YCSB++" ~label:"ycsb"
+    ~rolis_batch:10_000 ~tpcc:false
+    ~app_of:(fun _ -> Workload.Ycsb.app ycsb_params)

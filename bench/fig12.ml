@@ -10,30 +10,42 @@ open Common
 let run ~quick =
   header "Figure 12: 2PL and Calvin vs Rolis, YCSB++"
     "Paper: 2PL ~137K @28 partitions; Calvin well below Rolis's ~10M.";
-  let pts = points quick [ 4; 8; 16; 28 ] [ 4; 28 ] in
+  let sweep = points quick [ 4; 8; 16; 28 ] [ 4; 28 ] in
   Printf.printf "  %-12s %10s %10s %10s\n" "partitions" "2PL" "Calvin" "Rolis";
-  List.iter
-    (fun partitions ->
-      let twopl =
-        Baselines.Twopl.run ~partitions ~duration:(dur quick (400 * ms)) ()
-      in
-      Gc.compact ();
-      let calvin =
-        Baselines.Calvin.run ~partitions ~duration:(dur quick (400 * ms)) ()
-      in
-      Gc.compact ();
-      let rolis =
+  let pts =
+    List.concat_map
+      (fun partitions ->
+        let twopl =
+          Baselines.Twopl.run ~partitions ~duration:(dur quick (400 * ms)) ()
+        in
+        Gc.compact ();
+        let calvin =
+          Baselines.Calvin.run ~partitions ~duration:(dur quick (400 * ms)) ()
+        in
+        Gc.compact ();
         let cluster =
           run_rolis ~batch:10_000 ~workers:partitions
             ~warmup:(300 * ms)
             ~duration:(150 * ms)
             ~app:(Workload.Ycsb.app ycsb_params) ()
         in
-        Rolis.Cluster.throughput cluster
-      in
-      Printf.printf "  %-12d %10s %10s %10s\n%!" partitions
-        (fmt_tps twopl.Baselines.Twopl.tps)
-        (fmt_tps calvin.Baselines.Calvin.tps)
-        (fmt_tps rolis);
-      Gc.compact ())
+        let rolis = Rolis.Cluster.throughput cluster in
+        Printf.printf "  %-12d %10s %10s %10s\n%!" partitions
+          (fmt_tps twopl.Baselines.Twopl.tps)
+          (fmt_tps calvin.Baselines.Calvin.tps)
+          (fmt_tps rolis);
+        let x = float_of_int partitions in
+        let row =
+          [
+            point ~series:"2pl" ~x [ ("tput", twopl.Baselines.Twopl.tps) ];
+            point ~series:"calvin" ~x [ ("tput", calvin.Baselines.Calvin.tps) ];
+            cluster_point ~series:"rolis" ~x cluster;
+          ]
+        in
+        Gc.compact ();
+        row)
+      sweep
+  in
+  emit ~fig:"fig12" ~title:"2PL and Calvin vs Rolis, YCSB++" ~x_label:"partitions"
+    ~knobs:[ ("workload", "ycsb++"); ("batch", "10000") ]
     pts

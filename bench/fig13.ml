@@ -11,34 +11,52 @@ let run ~quick =
   header "Figure 13: Meerkat vs Rolis, YCSB-T / YCSB++"
     "Paper @28: Meerkat-YCSB-T 2.59M, Meerkat-YCSB++ 1.22M, Rolis ~7x the\n\
      latter; networked Rolis drops only slightly.";
-  let pts = points quick [ 4; 12; 20; 28 ] [ 4; 28 ] in
+  let sweep = points quick [ 4; 12; 20; 28 ] [ 4; 28 ] in
   Printf.printf "  %-8s %14s %14s %12s %16s\n" "threads" "Meerkat-YCSB-T"
     "Meerkat-YCSB++" "Rolis-YCSB++" "NetworkedRolis";
-  List.iter
-    (fun threads ->
-      let m_t =
-        Baselines.Meerkat.run ~threads ~duration:(dur quick (300 * ms)) ()
-      in
-      let m_pp =
-        Baselines.Meerkat.run ~threads ~params:ycsb_params
-          ~duration:(dur quick (300 * ms)) ()
-      in
-      Gc.compact ();
-      let rolis_at networked =
-        let cluster =
-          run_rolis ~batch:10_000 ~networked ~workers:threads
-            ~warmup:(300 * ms)
-            ~duration:(150 * ms)
-            ~app:(Workload.Ycsb.app ycsb_params) ()
+  let pts =
+    List.concat_map
+      (fun threads ->
+        let m_t =
+          Baselines.Meerkat.run ~threads ~duration:(dur quick (300 * ms)) ()
         in
-        Rolis.Cluster.throughput cluster
-      in
-      let r = rolis_at false in
-      Gc.compact ();
-      let rn = rolis_at true in
-      Printf.printf "  %-8d %14s %14s %12s %16s\n%!" threads
-        (fmt_tps m_t.Baselines.Meerkat.tps)
-        (fmt_tps m_pp.Baselines.Meerkat.tps)
-        (fmt_tps r) (fmt_tps rn);
-      Gc.compact ())
+        let m_pp =
+          Baselines.Meerkat.run ~threads ~params:ycsb_params
+            ~duration:(dur quick (300 * ms)) ()
+        in
+        Gc.compact ();
+        let rolis_at networked =
+          let cluster =
+            run_rolis ~batch:10_000 ~networked ~workers:threads
+              ~warmup:(300 * ms)
+              ~duration:(150 * ms)
+              ~app:(Workload.Ycsb.app ycsb_params) ()
+          in
+          let x = float_of_int threads in
+          let series = if networked then "rolis-networked" else "rolis" in
+          (Rolis.Cluster.throughput cluster, cluster_point ~series ~x cluster)
+        in
+        let r, p_r = rolis_at false in
+        Gc.compact ();
+        let rn, p_rn = rolis_at true in
+        Printf.printf "  %-8d %14s %14s %12s %16s\n%!" threads
+          (fmt_tps m_t.Baselines.Meerkat.tps)
+          (fmt_tps m_pp.Baselines.Meerkat.tps)
+          (fmt_tps r) (fmt_tps rn);
+        let x = float_of_int threads in
+        let row =
+          [
+            point ~series:"meerkat-ycsbt" ~x [ ("tput", m_t.Baselines.Meerkat.tps) ];
+            point ~series:"meerkat-ycsbpp" ~x
+              [ ("tput", m_pp.Baselines.Meerkat.tps) ];
+            p_r;
+            p_rn;
+          ]
+        in
+        Gc.compact ();
+        row)
+      sweep
+  in
+  emit ~fig:"fig13" ~title:"Meerkat vs Rolis, YCSB-T / YCSB++" ~x_label:"threads"
+    ~knobs:[ ("workload", "ycsb"); ("batch", "10000") ]
     pts

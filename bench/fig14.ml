@@ -19,6 +19,7 @@ let run ~quick =
     "Paper: ~1.5-2s outage (1s heartbeat timeout), recovery spike, then\n\
      steady state slightly above pre-crash. Costs scaled 50x (see note).";
   let threads = points quick [ 4; 8; 16 ] [ 8 ] in
+  let pts = ref [] in
   List.iter
     (fun workers ->
       let cfg =
@@ -64,6 +65,14 @@ let run ~quick =
       (match (!gap_start, !gap_end) with
       | Some a, Some b -> Printf.printf "  outage: %.1fs -> %.1fs (%.1fs)\n" a b (b -. a)
       | _ -> Printf.printf "  outage: not detected\n");
+      let outage =
+        match (!gap_start, !gap_end) with
+        | Some a, Some b -> [ ("outage_ms", (b -. a) *. 1000.0) ]
+        | _ -> []
+      in
+      pts :=
+        point ~series:"rolis" ~x:(float_of_int workers) (("tput", pre) :: outage)
+        :: !pts;
       List.iter
         (fun (t, r) ->
           if t >= 8.0 && t <= 16.0 then begin
@@ -74,4 +83,9 @@ let run ~quick =
         series;
       Printf.printf "%!";
       Gc.compact ())
-    threads
+    threads;
+  (* [tput] is the pre-crash average; [outage_ms] the detected gap in the
+     release-rate timeline after the leader is killed. *)
+  emit ~fig:"fig14" ~title:"failover timeline" ~x_label:"threads"
+    ~knobs:[ ("cost_scale", "50"); ("election_timeout_ms", "1000") ]
+    (List.rev !pts)

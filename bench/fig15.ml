@@ -9,18 +9,34 @@ let run ~quick =
   header "Figure 15: Silo vs replay-only (TPC-C)"
     "Paper: replay-only 2.25M @32 = 1.51x Silo's execute path.";
   Printf.printf "  %-8s %12s %12s %8s\n" "threads" "Silo" "Replay" "ratio";
-  let pts = points quick [ 2; 8; 16; 24; 30 ] [ 2; 14; 30 ] in
-  List.iter
-    (fun threads ->
-      let r =
-        Baselines.Replay_only.run ~threads
-          ~generate_duration:(dur quick (200 * ms))
-          ~app:(Workload.Tpcc.app (tpcc_params ~workers:threads))
-          ()
-      in
-      Printf.printf "  %-8d %12s %12s %7.2fx\n%!" threads
-        (fmt_tps r.Baselines.Replay_only.silo_tps)
-        (fmt_tps r.Baselines.Replay_only.replay_tps)
-        (r.Baselines.Replay_only.replay_tps /. r.Baselines.Replay_only.silo_tps);
-      Gc.compact ())
+  let sweep = points quick [ 2; 8; 16; 24; 30 ] [ 2; 14; 30 ] in
+  let pts =
+    List.concat_map
+      (fun threads ->
+        let r =
+          Baselines.Replay_only.run ~threads
+            ~generate_duration:(dur quick (200 * ms))
+            ~app:(Workload.Tpcc.app (tpcc_params ~workers:threads))
+            ()
+        in
+        Printf.printf "  %-8d %12s %12s %7.2fx\n%!" threads
+          (fmt_tps r.Baselines.Replay_only.silo_tps)
+          (fmt_tps r.Baselines.Replay_only.replay_tps)
+          (r.Baselines.Replay_only.replay_tps /. r.Baselines.Replay_only.silo_tps);
+        Gc.compact ();
+        let x = float_of_int threads in
+        [
+          point ~series:"silo" ~x [ ("tput", r.Baselines.Replay_only.silo_tps) ];
+          point ~series:"replay" ~x
+            [
+              ("tput", r.Baselines.Replay_only.replay_tps);
+              ( "ratio",
+                r.Baselines.Replay_only.replay_tps
+                /. r.Baselines.Replay_only.silo_tps );
+            ];
+        ])
+      sweep
+  in
+  emit ~fig:"fig15" ~title:"Silo vs replay-only (TPC-C)" ~x_label:"threads"
+    ~knobs:[ ("workload", "tpcc") ]
     pts

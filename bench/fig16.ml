@@ -10,22 +10,34 @@ let run ~quick =
     "Paper: tput +26.9% from batch 50->1600, declining after; p50 128.2ms\n\
      and p95 228.9ms at batch 3200.";
   Printf.printf "  %-8s %12s %8s %8s %8s  (latency ms)\n" "batch" "tput" "p10" "p50" "p95";
-  let pts = points quick [ 50; 100; 200; 400; 800; 1600; 3200 ] [ 50; 400; 3200 ] in
-  List.iter
-    (fun batch ->
-      let workers = 16 in
-      let cluster =
-        run_rolis ~batch ~workers
-          ~warmup:(dur quick (350 * ms))
-          ~duration:(dur quick (300 * ms))
-          ~app:(Workload.Tpcc.app (tpcc_params ~workers))
-          ()
-      in
-      let lat = Rolis.Cluster.latency cluster in
-      Printf.printf "  %-8d %12s %8s %8s %8s\n%!" batch
-        (fmt_tps (Rolis.Cluster.throughput cluster))
-        (fmt_ms (Sim.Metrics.Hist.quantile lat 0.10))
-        (fmt_ms (Sim.Metrics.Hist.quantile lat 0.50))
-        (fmt_ms (Sim.Metrics.Hist.quantile lat 0.95));
-      Gc.compact ())
+  let sweep = points quick [ 50; 100; 200; 400; 800; 1600; 3200 ] [ 50; 400; 3200 ] in
+  let pts =
+    List.map
+      (fun batch ->
+        let workers = 16 in
+        let cluster =
+          run_rolis ~batch ~workers
+            ~warmup:(dur quick (350 * ms))
+            ~duration:(dur quick (300 * ms))
+            ~app:(Workload.Tpcc.app (tpcc_params ~workers))
+            ()
+        in
+        let lat = Rolis.Cluster.latency cluster in
+        Printf.printf "  %-8d %12s %8s %8s %8s\n%!" batch
+          (fmt_tps (Rolis.Cluster.throughput cluster))
+          (fmt_ms (Sim.Metrics.Hist.quantile lat 0.10))
+          (fmt_ms (Sim.Metrics.Hist.quantile lat 0.50))
+          (fmt_ms (Sim.Metrics.Hist.quantile lat 0.95));
+        let p =
+          cluster_point ~series:"rolis" ~x:(float_of_int batch)
+            ~extra:
+              [ ("p10_ms", float_of_int (Sim.Metrics.Hist.quantile lat 0.10) /. 1e6) ]
+            cluster
+        in
+        Gc.compact ();
+        p)
+      sweep
+  in
+  emit ~fig:"fig16" ~title:"batch size sweep (16 threads, TPC-C)" ~x_label:"batch"
+    ~knobs:[ ("workers", "16"); ("workload", "tpcc") ]
     pts

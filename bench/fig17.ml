@@ -9,26 +9,45 @@ let run ~quick =
   header "Figure 17: skewed workload (100% NewOrder, 4 warehouses, FastIds off)"
     "Paper: Silo flattens after ~12 workers; Rolis keeps 79-82% of Silo.";
   Printf.printf "  %-8s %12s %12s %8s %10s\n" "threads" "Silo" "Rolis" "ratio" "aborts";
-  let pts = points quick [ 4; 8; 12; 16; 20; 24; 28 ] [ 4; 12; 28 ] in
+  let sweep = points quick [ 4; 8; 12; 16; 20; 24; 28 ] [ 4; 12; 28 ] in
   let params = Workload.Tpcc.skewed in
-  List.iter
-    (fun workers ->
-      let silo =
-        run_silo ~workers ~duration:(dur quick (250 * ms))
-          ~app:(Workload.Tpcc.app params) ()
-      in
-      Gc.compact ();
-      let cluster =
-        run_rolis ~workers
-          ~warmup:(dur quick (250 * ms))
-          ~duration:(dur quick (250 * ms))
-          ~app:(Workload.Tpcc.app params) ()
-      in
-      let rolis = Rolis.Cluster.throughput cluster in
-      Printf.printf "  %-8d %12s %12s %7.1f%% %10d\n%!" workers
-        (fmt_tps silo.Baselines.Silo_only.tps)
-        (fmt_tps rolis)
-        (100.0 *. rolis /. silo.Baselines.Silo_only.tps)
-        silo.Baselines.Silo_only.conflict_aborts;
-      Gc.compact ())
+  let pts =
+    List.concat_map
+      (fun workers ->
+        let silo =
+          run_silo ~workers ~duration:(dur quick (250 * ms))
+            ~app:(Workload.Tpcc.app params) ()
+        in
+        Gc.compact ();
+        let cluster =
+          run_rolis ~workers
+            ~warmup:(dur quick (250 * ms))
+            ~duration:(dur quick (250 * ms))
+            ~app:(Workload.Tpcc.app params) ()
+        in
+        let rolis = Rolis.Cluster.throughput cluster in
+        Printf.printf "  %-8d %12s %12s %7.1f%% %10d\n%!" workers
+          (fmt_tps silo.Baselines.Silo_only.tps)
+          (fmt_tps rolis)
+          (100.0 *. rolis /. silo.Baselines.Silo_only.tps)
+          silo.Baselines.Silo_only.conflict_aborts;
+        let x = float_of_int workers in
+        let row =
+          [
+            point ~series:"silo" ~x
+              [
+                ("tput", silo.Baselines.Silo_only.tps);
+                ( "conflict_aborts",
+                  float_of_int silo.Baselines.Silo_only.conflict_aborts );
+              ];
+            cluster_point ~series:"rolis" ~x cluster;
+          ]
+        in
+        Gc.compact ();
+        row)
+      sweep
+  in
+  emit ~fig:"fig17" ~title:"skewed workload (100% NewOrder, FastIds off)"
+    ~x_label:"threads"
+    ~knobs:[ ("workload", "tpcc-skewed") ]
     pts

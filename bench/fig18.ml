@@ -16,6 +16,8 @@ let run ~quick =
   let duration = dur quick (300 * ms) in
   (* CPU is reported per worker core (busy-time / (workers x window)):
      the paper's "leader CPU is always ~100%" claim at its granularity. *)
+  let pts = ref [] in
+  let stage = ref 0 in
   let print name tps ~vs ~cpu ~leader_mem ~follower_mem =
     Printf.printf "  %-16s %10s  %+6.1f%%  cpu %3.0f%%  leader %s  follower %s\n%!" name
       (fmt_tps tps)
@@ -23,6 +25,17 @@ let run ~quick =
       (100.0 *. cpu *. 32.0 /. float_of_int workers)
       (match leader_mem with Some b -> Printf.sprintf "%.2fGB" (float_of_int b /. 1e9) | None -> "-")
       (match follower_mem with Some b -> Printf.sprintf "%.2fGB" (float_of_int b /. 1e9) | None -> "-");
+    let mem tag = function
+      | Some b -> [ (tag, float_of_int b /. 1e9) ]
+      | None -> []
+    in
+    pts :=
+      point ~series:name ~x:(float_of_int !stage)
+        ([ ("tput", tps); ("cpu_pct", 100.0 *. cpu *. 32.0 /. float_of_int workers) ]
+        @ mem "leader_gb" leader_mem
+        @ mem "follower_gb" follower_mem)
+      :: !pts;
+    incr stage;
     tps
   in
   (* 1. Plain Silo. *)
@@ -74,4 +87,7 @@ let run ~quick =
     print "+Replay (Rolis)" tps ~vs:t_rep ~cpu ~leader_mem:(Some lmem)
       ~follower_mem:(Some fmem)
   in
+  emit ~fig:"fig18" ~title:"factor analysis (TPC-C, 16 threads)" ~x_label:"factor"
+    ~knobs:[ ("workers", "16"); ("workload", "tpcc") ]
+    (List.rev !pts);
   Gc.compact ()

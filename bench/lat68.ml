@@ -27,4 +27,15 @@ let run ~quick =
   Printf.printf "  %-8s p50 = %6s ms   (paper 70.06)\n" "Rolis" (fmt_ms rolis_p50);
   Printf.printf "  %-8s p50 = %6s ms   (paper 83.01)\n%!" "Calvin"
     (fmt_ms calvin.Baselines.Calvin.p50_latency);
+  let ms_of ns = float_of_int ns /. 1e6 in
+  emit ~fig:"lat68" ~title:"median latency comparison (YCSB++, 16 threads)"
+    ~x_label:"threads"
+    ~knobs:[ ("workers", "16"); ("workload", "ycsb++") ]
+    [
+      point ~series:"2pl" ~x:16.0
+        [ ("p50_ms", ms_of twopl.Baselines.Twopl.p50_latency) ];
+      cluster_point ~series:"rolis" ~x:16.0 cluster;
+      point ~series:"calvin" ~x:16.0
+        [ ("p50_ms", ms_of calvin.Baselines.Calvin.p50_latency) ];
+    ];
   Gc.compact ()

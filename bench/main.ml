@@ -6,7 +6,14 @@
    Usage:
      dune exec bench/main.exe                 # everything, standard sizes
      dune exec bench/main.exe -- --quick      # reduced sweeps (CI-sized)
-     dune exec bench/main.exe -- fig10a fig14 # selected experiments *)
+     dune exec bench/main.exe -- fig10a fig14 # selected experiments
+     dune exec bench/main.exe -- --quick --json  # + write BENCH_rolis.json
+
+   With --json every experiment's structured datapoints (Report.Schema)
+   are collected into BENCH_rolis.json in the working directory. Forked
+   experiment children hand their results to the parent through
+   per-experiment part files, merged (and deleted) after the last child
+   exits. *)
 
 let experiments : (string * string * (quick:bool -> unit)) list =
   [
@@ -53,6 +60,22 @@ let () =
   Printf.printf "%d experiment(s): %s\n%!" (List.length selected)
     (String.concat ", " (List.map (fun (n, _, _) -> n) selected));
   let no_fork = List.mem "--no-fork" args in
+  let json = List.mem "--json" args in
+  let mode = if quick then "quick" else "full" in
+  let write_report path results =
+    let oc = open_out path in
+    output_string oc (Report.Schema.to_string (Report.Schema.make_report ~mode results));
+    close_out oc
+  in
+  let parts_dir =
+    if json && not no_fork then begin
+      let d = Printf.sprintf ".bench-parts.%d" (Unix.getpid ()) in
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Some d
+    end
+    else None
+  in
+  let part_path d name = Filename.concat d (name ^ ".json") in
   let t0 = Unix.gettimeofday () in
   (* Each experiment runs in its own forked child: simulated TPC-C
      allocates GBs of rows and the OCaml major heap does not shrink back
@@ -66,6 +89,9 @@ let () =
       | 0 -> (
           try
             run ~quick;
+            (match parts_dir with
+            | Some d -> write_report (part_path d name) !Common.results
+            | None -> ());
             exit 0
           with e ->
             Printf.eprintf "  [%s crashed: %s]\n%!" name (Printexc.to_string e);
@@ -84,4 +110,33 @@ let () =
       run_isolated name run;
       Printf.printf "  [%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     selected;
+  if json then begin
+    let results =
+      match parts_dir with
+      | None -> !Common.results
+      | Some d ->
+          let merged =
+            List.concat_map
+              (fun (name, _, _) ->
+                let path = part_path d name in
+                if not (Sys.file_exists path) then []
+                else begin
+                  let ic = open_in_bin path in
+                  let s = really_input_string ic (in_channel_length ic) in
+                  close_in ic;
+                  Sys.remove path;
+                  match Report.Schema.of_string s with
+                  | Ok r -> r.Report.Schema.results
+                  | Error e ->
+                      Printf.eprintf "  [bad result part %s: %s]\n%!" name e;
+                      []
+                end)
+              selected
+          in
+          (try Unix.rmdir d with Unix.Unix_error (_, _, _) -> ());
+          merged
+    in
+    write_report "BENCH_rolis.json" results;
+    Printf.printf "\nwrote BENCH_rolis.json (%d results)\n%!" (List.length results)
+  end;
   Printf.printf "\nAll done in %.1fs.\n%!" (Unix.gettimeofday () -. t0)

@@ -30,4 +30,20 @@ let run ~quick =
   Printf.printf "  avg log bytes per txn:        %.1f\n%!"
     (float_of_int (Rolis.Stats.serialized_bytes st)
     /. float_of_int (max 1 (Rolis.Stats.executed st)));
+  emit ~fig:"mem5" ~title:"impact of delayed commit (TPC-C, 31 threads)"
+    ~x_label:"threads"
+    ~knobs:[ ("workers", "31"); ("workload", "tpcc") ]
+    [
+      cluster_point ~series:"rolis" ~x:(float_of_int workers)
+        ~extra:
+          [
+            ("avg_spec_gb", Rolis.Stats.avg_speculative_bytes st /. 1e9);
+            ( "peak_spec_gb",
+              float_of_int (Rolis.Stats.peak_speculative_bytes st) /. 1e9 );
+            ( "log_bytes_per_txn",
+              float_of_int (Rolis.Stats.serialized_bytes st)
+              /. float_of_int (max 1 (Rolis.Stats.executed st)) );
+          ]
+        cluster;
+    ];
   Gc.compact ()

@@ -99,12 +99,20 @@ let run ~quick =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
-  List.iter
-    (fun (name, est) ->
-      let ns =
-        match Analyze.OLS.estimates est with Some (x :: _) -> x | Some [] | None -> nan
-      in
-      let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
-      Printf.printf "  %-36s %10.1f ns/op  (r²=%.3f)\n" name ns r2)
-    (List.sort compare rows);
+  let pts =
+    List.map
+      (fun (name, est) ->
+        let ns =
+          match Analyze.OLS.estimates est with Some (x :: _) -> x | Some [] | None -> nan
+        in
+        let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+        Printf.printf "  %-36s %10.1f ns/op  (r²=%.3f)\n" name ns r2;
+        let guard f = if Float.is_nan f then [] else [ ("ns_per_op", f) ] in
+        Common.point ~series:name ~x:0.0 (guard ns))
+      (List.sort compare rows)
+  in
+  (* Wall-clock measurements: not deterministic, excluded from the CI
+     regression gate ([gated = false]). *)
+  Common.emit ~gated:false ~fig:"micro" ~title:"Bechamel micro-benchmarks"
+    ~x_label:"n/a" pts;
   Printf.printf "%!"

@@ -77,4 +77,20 @@ let run ~quick =
   Printf.printf
     "  conclusion: recovery time scales with data size (the paper's\n\
     \  \"several minutes\" for SiloR); Rolis failover does not.\n%!";
+  let failover =
+    if failover_ns >= 0 then [ ("failover_ms", float_of_int failover_ns /. 1e6) ]
+    else []
+  in
+  emit ~fig:"recovery" ~title:"failover vs checkpoint recovery"
+    ~x_label:"warehouses"
+    ~knobs:[ ("warehouses", string_of_int warehouses) ]
+    [
+      point ~series:"rolis" ~x:(float_of_int warehouses) failover;
+      point ~series:"checkpoint" ~x:(float_of_int warehouses)
+        [
+          ("write_ms", float_of_int !write_ns /. 1e6);
+          ("recover_ms", float_of_int !recover_ns /. 1e6);
+          ("ckpt_gb", float_of_int !ckpt_bytes /. 1e9);
+        ];
+    ];
   Gc.compact ()

@@ -5,7 +5,9 @@
      rolis-cli run --workload tpcc --workers 16 --duration-ms 500
      rolis-cli run --workload ycsb --workers 8 --batch 10000 --crash-at-ms 800
      rolis-cli baseline --system 2pl --partitions 16
-     rolis-cli baseline --system meerkat --threads 28 --workload ycsb *)
+     rolis-cli baseline --system meerkat --threads 28 --workload ycsb
+     rolis-cli trace --workload tpcc --workers 8 -o spans.jsonl
+     rolis-cli bench-diff bench/baseline_quick.json BENCH_rolis.json *)
 
 open Cmdliner
 
@@ -226,6 +228,163 @@ let chaos_cmd =
           exactly-once; exits 1 with the first failing seed.")
     term
 
+(* ---- trace: stage-span dump (JSONL) ---- *)
+
+let run_trace workload workers cores batch duration_ms warmup_ms sample_interval
+    capacity seed out =
+  let app =
+    match workload with
+    | "tpcc" ->
+        Workload.Tpcc.app (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers)
+    | "ycsb" ->
+        Workload.Ycsb.app { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 }
+    | other ->
+        Printf.eprintf "unknown workload %S (tpcc|ycsb)\n" other;
+        exit 2
+  in
+  let cfg =
+    {
+      Rolis.Config.default with
+      Rolis.Config.workers;
+      cores;
+      batch_size = batch;
+      trace_sample_interval = sample_interval;
+      trace_buffer_capacity = capacity;
+      seed = Int64.of_int seed;
+    }
+  in
+  let cluster = Rolis.Cluster.create cfg app in
+  Rolis.Cluster.run cluster ~warmup:(warmup_ms * ms) ~duration:(duration_ms * ms) ();
+  let oc = match out with Some path -> open_out path | None -> stdout in
+  let count = ref 0 in
+  Array.iter
+    (fun r ->
+      let rid = Rolis.Replica.id r in
+      List.iter
+        (fun (sp : Rolis.Trace.span) ->
+          let line =
+            Report.Json.Obj
+              [
+                ("replica", Report.Json.Int rid);
+                ("worker", Report.Json.Int sp.Rolis.Trace.sp_worker);
+                ( "stage",
+                  Report.Json.String (Rolis.Trace.stage_name sp.Rolis.Trace.sp_stage) );
+                ("ts", Report.Json.Int sp.Rolis.Trace.sp_ts);
+                ("start_ns", Report.Json.Int sp.Rolis.Trace.sp_start);
+                ("end_ns", Report.Json.Int sp.Rolis.Trace.sp_end);
+                ("dropped", Report.Json.Bool sp.Rolis.Trace.sp_dropped);
+              ]
+          in
+          output_string oc (Report.Json.to_string line);
+          output_char oc '\n';
+          incr count)
+        (Rolis.Trace.spans (Rolis.Replica.trace r)))
+    (Rolis.Cluster.replicas cluster);
+  if out <> None then close_out oc else flush stdout;
+  (* The summary goes to stderr so `rolis-cli trace | jq` stays clean. *)
+  Printf.eprintf "%d spans (1-in-%d sampling, %d workers); stage breakdown:\n" !count
+    sample_interval workers;
+  List.iter
+    (fun (stage, n, p50, p95, p99) ->
+      Printf.eprintf "  %-18s %7d spans  p50 %9.3f ms  p95 %9.3f ms  p99 %9.3f ms\n"
+        stage n
+        (float_of_int p50 /. 1e6)
+        (float_of_int p95 /. 1e6)
+        (float_of_int p99 /. 1e6))
+    (Rolis.Cluster.stage_breakdown cluster)
+
+let sample_interval_arg =
+  Arg.(
+    value
+    & opt int Rolis.Config.default.Rolis.Config.trace_sample_interval
+    & info [ "sample-interval" ]
+        ~doc:"Record spans for every N-th committed transaction per worker.")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt int Rolis.Config.default.Rolis.Config.trace_buffer_capacity
+    & info [ "capacity" ] ~doc:"Spans retained per ring buffer.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write JSONL here instead of stdout.")
+
+let trace_cmd =
+  let term =
+    Term.(
+      const run_trace $ workload_arg $ workers_arg $ cores_arg $ batch_arg
+      $ duration_arg $ warmup_arg $ sample_interval_arg $ capacity_arg $ seed_arg
+      $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a Rolis cluster with stage-level pipeline tracing and dump the \
+          sampled spans as JSONL (one object per span); a per-stage latency \
+          summary goes to stderr.")
+    term
+
+(* ---- bench-diff: the CI perf-regression gate ---- *)
+
+let run_bench_diff baseline_path current_path tolerance =
+  let load path =
+    let ic =
+      try open_in_bin path
+      with Sys_error e ->
+        Printf.eprintf "bench-diff: %s\n" e;
+        exit 2
+    in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Report.Schema.of_string s with
+    | Ok r -> r
+    | Error e ->
+        Printf.eprintf "bench-diff: %s: %s\n" path e;
+        exit 2
+  in
+  if tolerance < 0.0 then begin
+    Printf.eprintf "bench-diff: tolerance must be non-negative\n";
+    exit 2
+  end;
+  let baseline = load baseline_path in
+  let current = load current_path in
+  let outcome = Report.Diff.compare_reports ~tolerance ~baseline ~current in
+  Format.printf "%a@." Report.Diff.pp outcome;
+  if not (Report.Diff.ok outcome) then exit 1
+
+let baseline_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline report (committed reference).")
+
+let current_path_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CURRENT" ~doc:"Freshly produced report to check.")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "tolerance" ]
+        ~doc:"Allowed relative slowdown before a metric counts as regressed.")
+
+let bench_diff_cmd =
+  let term =
+    Term.(const run_bench_diff $ baseline_path_arg $ current_path_arg $ tolerance_arg)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_rolis.json reports and exit non-zero when any \
+          gated metric regressed beyond the tolerance or baseline coverage \
+          is missing.")
+    term
+
 (* ---- baseline ---- *)
 
 let run_baseline system threads duration_ms workload =
@@ -287,4 +446,4 @@ let baseline_cmd =
 let () =
   let doc = "Rolis (EuroSys 2022) reproduction - simulator CLI" in
   let info = Cmd.info "rolis-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; chaos_cmd; baseline_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; chaos_cmd; baseline_cmd; trace_cmd; bench_diff_cmd ]))

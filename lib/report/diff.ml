@@ -1,0 +1,117 @@
+type verdict = {
+  fig : string;
+  series : string;
+  x : float;
+  metric : string;
+  base : float;
+  cur : float;
+  delta : float;
+  regressed : bool;
+}
+
+type outcome = { verdicts : verdict list; missing : string list }
+
+type direction = Higher_better | Lower_better | Informational
+
+let direction_of_metric name =
+  if String.length name >= 4 && String.sub name 0 4 = "tput" then Higher_better
+  else if
+    String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_ms"
+  then Lower_better
+  else Informational
+
+(* Signed relative change, positive = worse. Zero baselines carry no
+   signal (an idle stage, an empty histogram): treat as not comparable. *)
+let relative_worse dir ~base ~cur =
+  if base = 0.0 then None
+  else
+    match dir with
+    | Higher_better -> Some ((base -. cur) /. Float.abs base)
+    | Lower_better -> Some ((cur -. base) /. Float.abs base)
+    | Informational -> None
+
+let point_metrics (p : Schema.point) =
+  p.Schema.metrics
+  @ List.concat_map
+      (fun (s : Schema.stage_summary) ->
+        [ (Printf.sprintf "stage:%s:p95_ms" s.Schema.stage, s.Schema.p95_ms) ])
+      p.Schema.stages
+
+let compare_points ~tolerance ~fig (bp : Schema.point) (cp : Schema.point) =
+  let cur_metrics = point_metrics cp in
+  List.filter_map
+    (fun (name, base) ->
+      match List.assoc_opt name cur_metrics with
+      | None -> None (* metric disappeared: not gated, coverage is per-point *)
+      | Some cur -> (
+          match relative_worse (direction_of_metric name) ~base ~cur with
+          | None -> None
+          | Some delta ->
+              Some
+                {
+                  fig;
+                  series = bp.Schema.series;
+                  x = bp.Schema.x;
+                  metric = name;
+                  base;
+                  cur;
+                  delta;
+                  regressed = delta > tolerance;
+                }))
+    (point_metrics bp)
+
+let compare_reports ~tolerance ~baseline ~current =
+  if tolerance < 0.0 then invalid_arg "Diff.compare_reports: negative tolerance";
+  let verdicts = ref [] and missing = ref [] in
+  List.iter
+    (fun (br : Schema.result) ->
+      if br.Schema.gated then
+        match Schema.find_result current ~fig:br.Schema.fig with
+        | None -> missing := Printf.sprintf "figure %s" br.Schema.fig :: !missing
+        | Some cr ->
+            List.iter
+              (fun (bp : Schema.point) ->
+                match
+                  Schema.find_point cr ~series:bp.Schema.series ~x:bp.Schema.x
+                with
+                | None ->
+                    missing :=
+                      Printf.sprintf "%s %s@x=%g" br.Schema.fig bp.Schema.series
+                        bp.Schema.x
+                      :: !missing
+                | Some cp ->
+                    verdicts :=
+                      List.rev_append
+                        (compare_points ~tolerance ~fig:br.Schema.fig bp cp)
+                        !verdicts)
+              br.Schema.points)
+    baseline.Schema.results;
+  { verdicts = List.rev !verdicts; missing = List.rev !missing }
+
+let regressions o = List.filter (fun v -> v.regressed) o.verdicts
+let ok o = regressions o = [] && o.missing = []
+
+let pp fmt o =
+  let bad = regressions o in
+  let improved =
+    List.filter (fun v -> (not v.regressed) && v.delta < -0.05) o.verdicts
+  in
+  let row v =
+    Format.fprintf fmt "  %-10s %-14s x=%-8g %-22s %12.4g -> %-12.4g %+6.1f%%@."
+      v.fig v.series v.x v.metric v.base v.cur (100.0 *. v.delta)
+  in
+  if bad <> [] then begin
+    Format.fprintf fmt "REGRESSIONS (worse than tolerance):@.";
+    List.iter row bad
+  end;
+  if o.missing <> [] then begin
+    Format.fprintf fmt "MISSING from current report:@.";
+    List.iter (fun m -> Format.fprintf fmt "  %s@." m) o.missing
+  end;
+  if improved <> [] then begin
+    Format.fprintf fmt "improvements (>5%%):@.";
+    List.iter row improved
+  end;
+  Format.fprintf fmt "%d datapoint metric(s) compared, %d regression(s), %d missing@."
+    (List.length o.verdicts) (List.length bad)
+    (List.length o.missing)

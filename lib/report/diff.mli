@@ -1,0 +1,42 @@
+(** Figure-by-figure comparison of two benchmark reports — the CI
+    perf-regression gate behind [rolis-cli bench-diff].
+
+    Only metrics with a known direction participate in the gate:
+    - ["tput"] (and any key starting with ["tput"]): higher is better;
+    - keys ending in ["_ms"], including per-stage latency percentiles
+      (compared as ["stage:<name>:p95_ms"]): lower is better.
+
+    A datapoint regresses when it is worse than the baseline by more than
+    [tolerance] (a fraction: 0.15 = 15%). Results with [gated = false]
+    (wall-clock micro-benchmarks) are skipped. A figure or datapoint
+    present in the baseline but absent from the current report is a
+    coverage regression and fails the gate. *)
+
+type verdict = {
+  fig : string;
+  series : string;
+  x : float;
+  metric : string;
+  base : float;
+  cur : float;
+  delta : float;
+      (** signed relative change, positive = worse: [(base-cur)/base] for
+          higher-better metrics, [(cur-base)/base] for lower-better *)
+  regressed : bool;
+}
+
+type outcome = {
+  verdicts : verdict list;  (** every compared (point, metric) pair *)
+  missing : string list;  (** figures/points in baseline absent from current *)
+}
+
+val compare_reports :
+  tolerance:float -> baseline:Schema.report -> current:Schema.report -> outcome
+
+val regressions : outcome -> verdict list
+val ok : outcome -> bool
+(** No regressions and nothing missing. *)
+
+val pp : Format.formatter -> outcome -> unit
+(** Human-readable table: regressions first, then notable improvements,
+    then a one-line summary. *)

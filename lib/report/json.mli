@@ -1,0 +1,41 @@
+(** A minimal JSON tree with a serializer and a parser.
+
+    The repository cannot take external dependencies, so this is the JSON
+    layer used by the benchmark harness ([BENCH_rolis.json]), the
+    [rolis-cli trace] JSONL dump and [rolis-cli bench-diff].
+
+    Numbers: integers are kept exact ([Int]); floats are printed with
+    enough digits ([%.17g]) that [of_string (to_string j)] round-trips
+    bit-for-bit for finite values. NaN and infinities are not valid JSON
+    and are rejected by {!to_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default false) adds newlines and 2-space
+    indentation.
+    @raise Invalid_argument on NaN or infinite floats. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). The error
+    string carries a character offset. *)
+
+(** {1 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] values coerce to float; [Float] values do not coerce to int. *)
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option

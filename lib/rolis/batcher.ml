@@ -3,6 +3,7 @@ type t = {
   eng : Sim.Engine.t;
   cpu : Sim.Cpu.t;
   stats : Stats.t;
+  trace : Trace.t;
   epoch : unit -> int;
   propose : Store.Wire.entry -> unit;
   mutex : Sim.Sync.Mutex.t option;
@@ -12,13 +13,14 @@ type t = {
   mutable oldest : int; (* submit time of the first pending txn *)
 }
 
-let create cfg ~cpu ~stats ~epoch ~propose ~shared =
+let create cfg ~cpu ~stats ~trace ~epoch ~propose ~shared =
   let eng = Sim.Cpu.engine_of cpu in
   {
     cfg;
     eng;
     cpu;
     stats;
+    trace;
     epoch;
     propose;
     mutex = (if shared then Some (Sim.Sync.Mutex.create eng) else None);
@@ -34,6 +36,11 @@ let pending t = t.count
    transaction can slip in between this flush and a subsequent no-op. *)
 let flush t =
   if t.count > 0 then begin
+    if Trace.has_pending t.trace then
+      List.iter
+        (fun (txn : Store.Wire.txn_log) ->
+          Trace.note_flushed t.trace ~ts:txn.Store.Wire.ts)
+        t.txns;
     let entry = Store.Wire.make_entry ~epoch:(t.epoch ()) (List.rev t.txns) in
     t.txns <- [];
     t.count <- 0;

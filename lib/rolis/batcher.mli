@@ -21,10 +21,13 @@ val create :
   Config.t ->
   cpu:Sim.Cpu.t ->
   stats:Stats.t ->
+  trace:Trace.t ->
   epoch:(unit -> int) ->
   propose:(Store.Wire.entry -> unit) ->
   shared:bool ->
   t
+(** [trace] observes batch flushes: a flush stamps the [Batch_submit]
+    span end of every sampled pending transaction in the batch. *)
 
 val submit : t -> Store.Wire.txn_log -> unit
 (** Append one committed transaction (no yield). If the batch is full it

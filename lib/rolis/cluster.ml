@@ -118,6 +118,26 @@ let release_rate t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let stage_breakdown t =
+  List.filter_map
+    (fun stage ->
+      let idx = Trace.stage_index stage in
+      let h =
+        Sim.Metrics.Hist.merge
+          (Array.to_list t.replicas
+          |> List.map (fun r -> Stats.stage_hist (Replica.stats r) idx))
+      in
+      let n = Sim.Metrics.Hist.count h in
+      if n = 0 then None
+      else
+        Some
+          ( Trace.stage_name stage,
+            n,
+            Sim.Metrics.Hist.percentile h 50.0,
+            Sim.Metrics.Hist.percentile h 95.0,
+            Sim.Metrics.Hist.percentile h 99.0 ))
+    Trace.all_stages
+
 let executed t =
   Array.fold_left (fun acc r -> acc + Stats.executed (Replica.stats r)) 0 t.replicas
 

@@ -66,5 +66,11 @@ val release_rate : t -> (float * float) list
 (** (seconds, releases/sec) in 100 ms buckets, merged across replicas —
     the failover timeline (Fig. 14). *)
 
+val stage_breakdown : t -> (string * int * int * int * int) list
+(** Per-pipeline-stage latency summary over the last window, merged
+    across replicas: [(stage, samples, p50_ns, p95_ns, p99_ns)] for every
+    {!Trace.stage} that recorded at least one sampled span. Empty when
+    tracing is disabled ([trace_sample_interval = 0]). *)
+
 val executed : t -> int
 val user_aborts : t -> int

@@ -29,6 +29,8 @@ type t = {
   entry_overhead_ns : int;
   disable_replay : bool;
   archive_entries : bool;
+  trace_sample_interval : int;
+  trace_buffer_capacity : int;
   seed : int64;
 }
 
@@ -63,6 +65,8 @@ let default =
     entry_overhead_ns = 200_000;
     disable_replay = false;
     archive_entries = false;
+    trace_sample_interval = 64;
+    trace_buffer_capacity = 4096;
     seed = 42L;
   }
 
@@ -91,6 +95,10 @@ let validate t =
   if t.client_rpc_overhead < 0 then
     invalid_arg "Config: client_rpc_overhead must be non-negative";
   if t.clients < 0 then invalid_arg "Config: clients must be non-negative";
+  if t.trace_sample_interval < 0 then
+    invalid_arg "Config: trace_sample_interval must be non-negative";
+  if t.trace_buffer_capacity < 1 then
+    invalid_arg "Config: trace_buffer_capacity must be >= 1";
   if t.clients > 0 then begin
     if t.client_timeout <= 0 then invalid_arg "Config: client_timeout must be positive";
     if t.client_retry_limit < 1 then invalid_arg "Config: client_retry_limit must be >= 1";

@@ -67,6 +67,14 @@ type t = {
   archive_entries : bool;
       (** retain every durable entry in memory — consumed by
           {!Bootstrap} when seeding a brand-new replica (§4.3) *)
+  trace_sample_interval : int;
+      (** {!Trace} sampling: record stage spans for every [n]-th
+          committed transaction per worker; [0] disables tracing. Purely
+          host-side bookkeeping — any value yields bit-identical
+          simulated results *)
+  trace_buffer_capacity : int;
+      (** spans retained per {!Trace} ring buffer (one ring per worker
+          plus one for replay/disposition events) *)
   seed : int64;
 }
 

@@ -7,6 +7,7 @@ type meta = {
   m_start : int;
   m_bytes : int;
   m_client : (int * int) option; (* (cid, seq) to ack at release *)
+  m_tok : Trace.token option; (* stage-span handle of a sampled txn *)
 }
 
 (* Client session bookkeeping (exactly-once dedup). Sequence numbers start
@@ -28,6 +29,7 @@ type t = {
   cpu : Sim.Cpu.t;
   db : Silo.Db.t;
   stats : Stats.t;
+  trace : Trace.t;
   (* The next four fields are assigned once during construction; they are
      mutable only because the record must exist before the components that
      close over it can be built. *)
@@ -62,6 +64,7 @@ let id t = t.rid
 let db t = t.db
 let cpu t = t.cpu
 let stats t = t.stats
+let trace t = t.trace
 let election t = Option.get t.election
 let streams t = t.streams
 let is_serving t = t.serving
@@ -132,12 +135,14 @@ let handle_client_req t ~cid ~seq ~payload =
   Stats.note_client_request t.stats;
   if not (t.serving && t.alive) then begin
     Stats.note_redirect t.stats;
+    Trace.note_disposition t.trace Trace.Redirect;
     client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint = leader_hint t })
   end
   else begin
     let s = session t cid in
     if seq <= s.s_released then begin
       Stats.note_cached_reply t.stats;
+      Trace.note_disposition t.trace Trace.Cached;
       client_reply t ~cid ~seq Paxos.Msg.Ok_released
     end
     else if seq <= s.s_claimed then begin
@@ -146,6 +151,7 @@ let handle_client_req t ~cid ~seq ~payload =
     end
     else if overloaded t then begin
       Stats.note_busy_reply t.stats;
+      Trace.note_disposition t.trace Trace.Busy;
       client_reply t ~cid ~seq Paxos.Msg.Busy
     end
     else Sim.Sync.Mailbox.send t.client_q (cid, seq, payload)
@@ -157,7 +163,10 @@ let drop_speculative t =
       Queue.iter (fun m -> Stats.note_dropped_speculative t.stats ~bytes:m.m_bytes) q;
       Queue.clear q)
     t.release_queues;
-  Array.iter Batcher.clear t.batchers
+  Array.iter Batcher.clear t.batchers;
+  (* Covers both release-queue and still-batched sampled transactions:
+     their spans are flushed to the rings marked dropped, never leaked. *)
+  Trace.drop_all t.trace
 
 let stop_serving t =
   if t.serving then begin
@@ -197,14 +206,24 @@ let worker_loop t w () =
             { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log }
           in
           let bytes = Store.Wire.txn_byte_size txn_log in
+          let tok =
+            Trace.sample t.trace ~worker:w ~ts:tid.Silo.Tid.ts ~exec_start:start
+          in
           (* Append + release record atomically (same event as the
              commit), so stream timestamps stay monotone. *)
           Batcher.submit t.batchers.(s) txn_log;
           Queue.add
-            { m_ts = tid.Silo.Tid.ts; m_start = start; m_bytes = bytes; m_client = None }
+            {
+              m_ts = tid.Silo.Tid.ts;
+              m_start = start;
+              m_bytes = bytes;
+              m_client = None;
+              m_tok = tok;
+            }
             t.release_queues.(w);
           Stats.note_submitted t.stats ~bytes;
-          Batcher.charge_submit_cost t.batchers.(s) ~bytes
+          Batcher.charge_submit_cost t.batchers.(s) ~bytes;
+          (match tok with Some tk -> Trace.note_serialized t.trace tk | None -> ())
       | Some _ -> () (* leadership lapsed mid-transaction: speculative, dropped *)
       | None -> Stats.note_user_abort t.stats
     end
@@ -235,6 +254,7 @@ let client_worker_loop t w op () =
         if not (t.serving && t.alive) then begin
           if t.alive then begin
             Stats.note_redirect t.stats;
+            Trace.note_disposition t.trace Trace.Redirect;
             client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint = leader_hint t })
           end
         end
@@ -246,6 +266,7 @@ let client_worker_loop t w op () =
           let sess = session t cid in
           if seq <= sess.s_released then begin
             Stats.note_cached_reply t.stats;
+            Trace.note_disposition t.trace Trace.Cached;
             client_reply t ~cid ~seq Paxos.Msg.Ok_released
           end
           else if seq <= sess.s_claimed then begin
@@ -268,6 +289,10 @@ let client_worker_loop t w op () =
                   }
                 in
                 let bytes = Store.Wire.txn_byte_size txn_log in
+                let tok =
+                  Trace.sample t.trace ~worker:w ~ts:tid.Silo.Tid.ts
+                    ~exec_start:start
+                in
                 Batcher.submit t.batchers.(s) txn_log;
                 Queue.add
                   {
@@ -275,10 +300,14 @@ let client_worker_loop t w op () =
                     m_start = start;
                     m_bytes = bytes;
                     m_client = Some (cid, seq);
+                    m_tok = tok;
                   }
                   t.release_queues.(w);
                 Stats.note_submitted t.stats ~bytes;
-                Batcher.charge_submit_cost t.batchers.(s) ~bytes
+                Batcher.charge_submit_cost t.batchers.(s) ~bytes;
+                (match tok with
+                | Some tk -> Trace.note_serialized t.trace tk
+                | None -> ())
             | Some _ ->
                 (* Leadership lapsed mid-transaction: the write is
                    speculative and dropped with this tainted replica; the
@@ -320,7 +349,12 @@ let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
               if seq > sess.s_applied then sess.s_applied <- seq;
               if seq > sess.s_released then sess.s_released <- seq
           | None -> ());
+          let sampled = Trace.sample_replay t.trace in
+          let r0 = Sim.Engine.now t.eng in
           Silo.Db.apply_replay t.db txn ~epoch:entry.epoch ~applied;
+          if sampled then
+            Trace.note_replay t.trace ~ts:txn.Store.Wire.ts ~start:r0
+              ~stop:(Sim.Engine.now t.eng);
           Stats.note_replayed t.stats ~txns:1 ~writes:(List.length txn.writes)
         end)
       entry.txns;
@@ -389,9 +423,12 @@ let release_pass t =
                     if seq > sess.s_released then sess.s_released <- seq;
                     client_reply t ~cid ~seq Paxos.Msg.Ok_released
                 | None -> ());
-                Stats.note_released t.stats
+                Stats.note_released t.stats ~start:m.m_start
                   ~latency:(now - m.m_start + extra_latency)
-                  ~bytes:m.m_bytes
+                  ~bytes:m.m_bytes;
+                (match m.m_tok with
+                | Some tk -> Trace.note_released t.trace tk
+                | None -> ())
             | Some _ | None -> continue := false
           done)
         t.release_queues
@@ -515,6 +552,12 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   in
   app.App.setup db;
   let nstreams = Config.nstreams cfg in
+  let stats = Stats.create eng in
+  let trace =
+    Trace.create eng ~stats ~workers:cfg.Config.workers
+      ~sample_interval:cfg.Config.trace_sample_interval
+      ~capacity:cfg.Config.trace_buffer_capacity
+  in
   let t =
     {
       cfg;
@@ -523,7 +566,8 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       net;
       cpu;
       db;
-      stats = Stats.create eng;
+      stats;
+      trace;
       election = None;
       streams = [||];
       batchers = [||];
@@ -561,6 +605,11 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       else entry
     in
     Watermark.note_durable t.wm ~stream:s ~epoch:entry.epoch ~ts:entry.last_ts;
+    if Trace.has_pending t.trace then
+      List.iter
+        (fun (txn : Store.Wire.txn_log) ->
+          Trace.note_durable t.trace ~ts:txn.Store.Wire.ts)
+        entry.txns;
     if cfg.Config.archive_entries then t.journal <- (s, entry) :: t.journal;
     (match on_durable with Some f -> f ~stream:s ~idx entry | None -> ());
     Queue.add entry t.replay_queues.(s)
@@ -590,7 +639,7 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   t.election <- Some el;
   t.batchers <-
     Array.init nstreams (fun s ->
-        Batcher.create cfg ~cpu ~stats:t.stats
+        Batcher.create cfg ~cpu ~stats:t.stats ~trace:t.trace
           ~epoch:(fun () -> Silo.Db.epoch db)
           ~propose:(fun e -> Paxos.Stream.propose streams.(s) e)
           ~shared:(nstreams < cfg.Config.workers));

@@ -42,6 +42,12 @@ val id : t -> int
 val db : t -> Silo.Db.t
 val cpu : t -> Sim.Cpu.t
 val stats : t -> Stats.t
+
+val trace : t -> Trace.t
+(** The replica's {!Trace} recorder: pipeline-stage spans for sampled
+    transactions (execute, serialize, batch-submit, replicate, watermark
+    wait, release; replay on followers; client dispositions). *)
+
 val election : t -> Paxos.Election.t
 val streams : t -> Paxos.Stream.t array
 

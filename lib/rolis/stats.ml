@@ -1,5 +1,10 @@
+(* Sized for Trace's stage set (10 stages today); a fixed bound keeps the
+   array allocation-free on the hot path. *)
+let max_stages = 16
+
 type t = {
   eng : Sim.Engine.t;
+  mutable window_start : int;
   mutable executed : int;
   mutable user_aborts : int;
   mutable released : int;
@@ -17,11 +22,13 @@ type t = {
   mutable redirects : int;
   mutable lat : Sim.Metrics.Hist.t;
   mutable series : Sim.Metrics.Series.t;
+  mutable stage_hists : Sim.Metrics.Hist.t array;
 }
 
 let create eng =
   {
     eng;
+    window_start = 0;
     executed = 0;
     user_aborts = 0;
     released = 0;
@@ -39,6 +46,7 @@ let create eng =
     redirects = 0;
     lat = Sim.Metrics.Hist.create ();
     series = Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
+    stage_hists = Array.init max_stages (fun _ -> Sim.Metrics.Hist.create ());
   }
 
 let note_executed t = t.executed <- t.executed + 1
@@ -51,13 +59,24 @@ let note_submitted t ~bytes =
 let note_serialized t ~bytes = t.serialized_bytes <- t.serialized_bytes + bytes
 let note_replicated t ~bytes = t.replicated_bytes <- t.replicated_bytes + bytes
 
-let note_released t ~latency ~bytes =
+let note_released t ~start ~latency ~bytes =
   t.released <- t.released + 1;
   t.spec_bytes <- t.spec_bytes - bytes;
-  Sim.Metrics.Hist.add t.lat latency;
+  (* Transactions executed before the measurement window opened carry
+     warm-up queueing in their latency; count their release (throughput)
+     but keep the contaminated sample out of the histogram. *)
+  if start >= t.window_start then Sim.Metrics.Hist.add t.lat latency;
   Sim.Metrics.Series.add t.series ~at:(Sim.Engine.now t.eng) 1
 
 let note_dropped_speculative t ~bytes = t.spec_bytes <- t.spec_bytes - bytes
+
+let note_stage t ~stage ~latency =
+  if stage >= 0 && stage < max_stages then
+    Sim.Metrics.Hist.add t.stage_hists.(stage) latency
+
+let stage_hist t stage =
+  if stage < 0 || stage >= max_stages then invalid_arg "Stats.stage_hist: bad index";
+  t.stage_hists.(stage)
 
 let note_client_request t = t.client_requests <- t.client_requests + 1
 let note_cached_reply t = t.cached_replies <- t.cached_replies + 1
@@ -97,6 +116,7 @@ let throughput t ~start ~stop =
   if dt <= 0 then 0.0 else float_of_int t.released *. 1e9 /. float_of_int dt
 
 let reset_window t =
+  t.window_start <- Sim.Engine.now t.eng;
   t.released <- 0;
   t.executed <- 0;
   t.user_aborts <- 0;
@@ -107,4 +127,5 @@ let reset_window t =
   t.spec_sum <- 0.0;
   t.spec_samples <- 0;
   t.lat <- Sim.Metrics.Hist.create ();
-  t.series <- Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms)
+  t.series <- Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
+  t.stage_hists <- Array.init max_stages (fun _ -> Sim.Metrics.Hist.create ())

@@ -21,8 +21,13 @@ val note_submitted : t -> bytes:int -> unit
 val note_serialized : t -> bytes:int -> unit
 val note_replicated : t -> bytes:int -> unit
 
-val note_released : t -> latency:int -> bytes:int -> unit
-(** Release commit: count it, record client latency, release its bytes. *)
+val note_released : t -> start:int -> latency:int -> bytes:int -> unit
+(** Release commit: count it, record client latency, release its bytes.
+    [start] is the transaction's execution-start time: samples whose
+    transaction began before the current measurement window opened (see
+    {!reset_window}) are excluded from the latency histogram — their
+    latency includes pre-warm-up queueing — but still count toward
+    throughput. *)
 
 val note_dropped_speculative : t -> bytes:int -> unit
 (** Failover dropped a speculative transaction (never released). *)
@@ -39,6 +44,18 @@ val note_busy_reply : t -> unit
 
 val note_redirect : t -> unit
 (** A non-serving replica answered [Not_leader]. *)
+
+val max_stages : int
+
+val note_stage : t -> stage:int -> latency:int -> unit
+(** Record one pipeline-stage latency sample. [stage] is a
+    {!Trace.stage_index}; out-of-range indices are ignored. Fed by
+    {!Trace} when a sampled transaction's span completes. *)
+
+val stage_hist : t -> int -> Sim.Metrics.Hist.t
+(** Latency histogram of one stage (windowed; cleared by
+    {!reset_window}).
+    @raise Invalid_argument outside [0, max_stages). *)
 
 val note_replayed : t -> txns:int -> writes:int -> unit
 val sample_speculative_memory : t -> unit
@@ -69,5 +86,7 @@ val throughput : t -> start:int -> stop:int -> float
 (** Released transactions per virtual second over the window. *)
 
 val reset_window : t -> unit
-(** Zero the windowed counters (throughput, latency, series) without
-    touching gauges — call after warm-up. *)
+(** Zero the windowed counters (throughput, latency, series, stage
+    histograms) without touching gauges — call after warm-up. Also marks
+    the window start: later releases of transactions that {e began}
+    before this moment are excluded from the latency histograms. *)

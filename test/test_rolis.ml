@@ -724,6 +724,159 @@ let test_checkpoint_plus_log_replay () =
   Sim.Engine.run eng;
   check_bool "ran" true !ok
 
+(* ---------- Trace ---------- *)
+
+(* Every released sampled transaction emits 6 spans; with [capacity = 8]
+   and [sample_interval = 1], ten transactions overflow the worker ring
+   and only the newest 8 spans survive. *)
+let test_trace_ring_wraparound () =
+  let eng = Sim.Engine.create () in
+  let st = Rolis.Stats.create eng in
+  let tr =
+    Rolis.Trace.create eng ~stats:st ~workers:1 ~sample_interval:1 ~capacity:8
+  in
+  check_bool "enabled at interval 1" true (Rolis.Trace.enabled tr);
+  (* Stamps use [Sim.Engine.now], so drive the pipeline from scheduled
+     events at t > 0 as the replica does (0 means "stage not reached"). *)
+  for i = 1 to 10 do
+    Sim.Engine.schedule eng (i * ms) (fun () ->
+        match Rolis.Trace.sample tr ~worker:0 ~ts:i ~exec_start:((i * ms) - 100) with
+        | None -> Alcotest.fail "interval 1 must sample every transaction"
+        | Some tok ->
+            Rolis.Trace.note_serialized tr tok;
+            Rolis.Trace.note_flushed tr ~ts:i;
+            Rolis.Trace.note_durable tr ~ts:i;
+            Rolis.Trace.note_released tr tok)
+  done;
+  Sim.Engine.run eng;
+  let spans = Rolis.Trace.spans tr in
+  check_int "ring bounded at capacity" 8 (List.length spans);
+  (* 6 spans per transaction: the survivors all belong to the last two. *)
+  List.iter
+    (fun sp -> check_bool "only newest spans survive" true (sp.Rolis.Trace.sp_ts >= 9))
+    spans;
+  check_int "no tokens left pending" 0 (Rolis.Trace.pending_count tr);
+  (* The histograms saw every released transaction, wrapped or not. *)
+  check_int "stage histogram kept all samples" 10
+    (Sim.Metrics.Hist.count
+       (Rolis.Stats.stage_hist st (Rolis.Trace.stage_index Rolis.Trace.Execute)))
+
+let run_traced_cluster ~interval =
+  let cfg =
+    { (test_cfg ()) with Rolis.Config.trace_sample_interval = interval }
+  in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  Rolis.Cluster.run cluster ~warmup:(200 * ms) ~duration:(1 * s) ();
+  cluster
+
+let leader_spans cluster =
+  Rolis.Trace.spans (Rolis.Replica.trace (Rolis.Cluster.replica cluster 0))
+
+let test_trace_sampling_deterministic () =
+  let c1 = run_traced_cluster ~interval:16 in
+  let c2 = run_traced_cluster ~interval:16 in
+  let s1 = leader_spans c1 and s2 = leader_spans c2 in
+  check_bool "spans recorded" true (s1 <> []);
+  check_bool "same seed, same interval -> identical spans" true (s1 = s2);
+  check_bool "pipeline stages present" true
+    (List.exists (fun sp -> sp.Rolis.Trace.sp_stage = Rolis.Trace.Execute) s1
+    && List.exists (fun sp -> sp.Rolis.Trace.sp_stage = Rolis.Trace.Release) s1);
+  (* Follower rings hold replay spans. *)
+  let follower =
+    Rolis.Trace.spans (Rolis.Replica.trace (Rolis.Cluster.replica c1 1))
+  in
+  check_bool "followers record replay spans" true
+    (List.exists (fun sp -> sp.Rolis.Trace.sp_stage = Rolis.Trace.Replay) follower);
+  let breakdown = Rolis.Cluster.stage_breakdown c1 in
+  check_bool "stage breakdown covers the pipeline" true
+    (List.exists (fun (name, n, _, _, _) -> name = "execute" && n > 0) breakdown)
+
+let test_trace_zero_overhead () =
+  (* Tracing performs no virtual-time operations, so simulated results
+     are bit-identical whether sampling is off or on — the "< 3%
+     throughput change" acceptance criterion is exactly 0 in this
+     deterministic setting. *)
+  let on = run_traced_cluster ~interval:64 in
+  let off = run_traced_cluster ~interval:0 in
+  check_int "released identical with tracing off" (Rolis.Cluster.released on)
+    (Rolis.Cluster.released off);
+  check_bool "latency histogram identical with tracing off" true
+    (Sim.Metrics.Hist.values (Rolis.Cluster.latency on)
+    = Sim.Metrics.Hist.values (Rolis.Cluster.latency off));
+  check_int "tracing off records nothing" 0 (List.length (leader_spans off));
+  check_bool "tracing off reports no stage breakdown" true
+    (Rolis.Cluster.stage_breakdown off = [])
+
+(* The Fig. 3 scenario through the tracing lens: partition the leader so
+   it steps down and abandons its speculative pipeline. Every pending
+   sampled transaction must come out as a dropped span — none may leak
+   in the pending table, and none may feed the stage histograms. *)
+let test_trace_dropped_not_leaked_on_stepdown () =
+  let cfg = { (test_cfg ()) with Rolis.Config.trace_sample_interval = 4 } in
+  let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (500 * ms) (fun () ->
+      let net = Rolis.Cluster.network cluster in
+      Sim.Net.partition net 0 1;
+      Sim.Net.partition net 0 2);
+  Rolis.Cluster.run cluster ~duration:(2 * s) ();
+  let old_leader = Rolis.Cluster.replica cluster 0 in
+  check_bool "old leader stepped down" false (Rolis.Replica.is_serving old_leader);
+  let tr = Rolis.Replica.trace old_leader in
+  check_int "no sampled tokens leak across step-down" 0
+    (Rolis.Trace.pending_count tr);
+  let spans = Rolis.Trace.spans tr in
+  check_bool "abandoned transactions emitted as dropped spans" true
+    (List.exists (fun sp -> sp.Rolis.Trace.sp_dropped) spans);
+  List.iter
+    (fun sp ->
+      check_bool "span widths never negative" true
+        (sp.Rolis.Trace.sp_end >= sp.Rolis.Trace.sp_start))
+    spans;
+  (* The new leader's pipeline keeps tracing cleanly after the failover. *)
+  match Rolis.Cluster.leader cluster with
+  | None -> Alcotest.fail "no leader after partition"
+  | Some r ->
+      check_bool "new leader records released (non-dropped) spans" true
+        (List.exists
+           (fun sp ->
+             sp.Rolis.Trace.sp_stage = Rolis.Trace.Release
+             && not sp.Rolis.Trace.sp_dropped)
+           (Rolis.Trace.spans (Rolis.Replica.trace r)))
+
+let test_trace_create_validation () =
+  let eng = Sim.Engine.create () in
+  let st = Rolis.Stats.create eng in
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted invalid trace configuration"
+  in
+  bad (fun () ->
+      Rolis.Trace.create eng ~stats:st ~workers:1 ~sample_interval:(-1) ~capacity:8);
+  bad (fun () ->
+      Rolis.Trace.create eng ~stats:st ~workers:1 ~sample_interval:1 ~capacity:0);
+  bad (fun () ->
+      Rolis.Trace.create eng ~stats:st ~workers:0 ~sample_interval:1 ~capacity:8)
+
+(* ---------- Stats window ---------- *)
+
+let test_stats_window_excludes_prewarmup () =
+  let eng = Sim.Engine.create () in
+  let st = Rolis.Stats.create eng in
+  (* A release whose transaction began before the window reset must not
+     pollute the latency histogram — but it still counts as a release
+     for throughput. *)
+  Sim.Engine.schedule eng (100 * ms) (fun () -> Rolis.Stats.reset_window st);
+  Sim.Engine.schedule eng (150 * ms) (fun () ->
+      Rolis.Stats.note_released st ~start:(50 * ms) ~latency:(100 * ms) ~bytes:8;
+      Rolis.Stats.note_released st ~start:(120 * ms) ~latency:(30 * ms) ~bytes:8);
+  Sim.Engine.run eng;
+  check_int "both releases counted" 2 (Rolis.Stats.released st);
+  check_int "pre-window latency sample excluded" 1
+    (Sim.Metrics.Hist.count (Rolis.Stats.latency st));
+  check_int "surviving sample is the post-window one" (30 * ms)
+    (Sim.Metrics.Hist.percentile (Rolis.Stats.latency st) 50.0)
+
 let () =
   Alcotest.run "rolis"
     [
@@ -778,5 +931,21 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "checkpoint + log replay" `Quick
             test_checkpoint_plus_log_replay;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_trace_sampling_deterministic;
+          Alcotest.test_case "zero virtual-time overhead" `Quick
+            test_trace_zero_overhead;
+          Alcotest.test_case "dropped not leaked on step-down" `Quick
+            test_trace_dropped_not_leaked_on_stepdown;
+          Alcotest.test_case "create validation" `Quick test_trace_create_validation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "window excludes pre-warm-up latency" `Quick
+            test_stats_window_excludes_prewarmup;
         ] );
     ]
