@@ -23,6 +23,8 @@ let tpcc_params ~workers =
 (* A standard Rolis cluster run; returns the cluster after the
    measurement window. *)
 let run_rolis ?(stream_mode = Rolis.Config.Per_worker) ?(batch = 1000)
+    ?(batch_policy = Rolis.Config.Fixed)
+    ?(target_delay = Rolis.Config.default.Rolis.Config.target_batch_delay_ns)
     ?(networked = false) ?(disable_replay = false) ?(cores = 32)
     ?(warmup = 300 * ms) ~workers ~duration ~app () =
   (* The release pipeline takes ~2 batch-fill times to reach steady state;
@@ -36,6 +38,8 @@ let run_rolis ?(stream_mode = Rolis.Config.Per_worker) ?(batch = 1000)
       cores;
       stream_mode;
       batch_size = batch;
+      batch_policy;
+      target_batch_delay_ns = target_delay;
       networked_clients = networked;
       disable_replay;
     }

@@ -20,8 +20,16 @@ let fmt_tps v =
 
 (* ---- run: a Rolis cluster ---- *)
 
-let run_cluster workload workers cores batch duration_ms warmup_ms networked
-    single_stream crash_at_ms seed =
+let batch_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "fixed" -> Rolis.Config.Fixed
+  | "adaptive" -> Rolis.Config.Adaptive
+  | other ->
+      Printf.eprintf "unknown batch policy %S (fixed|adaptive)\n" other;
+      exit 2
+
+let run_cluster workload workers cores batch batch_policy target_delay_us
+    duration_ms warmup_ms networked single_stream crash_at_ms seed =
   let app, is_tpcc =
     match workload with
     | "tpcc" ->
@@ -33,12 +41,15 @@ let run_cluster workload workers cores batch duration_ms warmup_ms networked
         Printf.eprintf "unknown workload %S (tpcc|ycsb)\n" other;
         exit 2
   in
+  let policy = batch_policy_of_string batch_policy in
   let cfg =
     {
       Rolis.Config.default with
       Rolis.Config.workers;
       cores;
       batch_size = batch;
+      batch_policy = policy;
+      target_batch_delay_ns = target_delay_us * Sim.Engine.us;
       networked_clients = networked;
       stream_mode = (if single_stream then Rolis.Config.Single else Rolis.Config.Per_worker);
       seed = Int64.of_int seed;
@@ -53,7 +64,9 @@ let run_cluster workload workers cores batch duration_ms warmup_ms networked
   | None -> ());
   Rolis.Cluster.run cluster ~warmup:(warmup_ms * ms) ~duration:(duration_ms * ms) ();
   let lat = Rolis.Cluster.latency cluster in
-  Printf.printf "workload:        %s, %d workers, batch %d%s%s\n" workload workers batch
+  Printf.printf "workload:        %s, %d workers, batch %d (%s policy)%s%s\n" workload
+    workers batch
+    (match policy with Rolis.Config.Fixed -> "fixed" | Rolis.Config.Adaptive -> "adaptive")
     (if networked then ", networked clients" else "")
     (if single_stream then ", SINGLE shared stream (strawman)" else "");
   Printf.printf "throughput:      %s TPS (release-committed)\n"
@@ -61,6 +74,12 @@ let run_cluster workload workers cores batch duration_ms warmup_ms networked
   Printf.printf "latency:         p50 %.1f ms, p95 %.1f ms\n"
     (float_of_int (Sim.Metrics.Hist.quantile lat 0.5) /. 1e6)
     (float_of_int (Sim.Metrics.Hist.quantile lat 0.95) /. 1e6);
+  if policy = Rolis.Config.Adaptive then
+    Printf.printf
+      "adaptive:        %d deadline flushes, %d event releases, %d coalesced proposals\n"
+      (Rolis.Cluster.deadline_flushes cluster)
+      (Rolis.Cluster.event_releases cluster)
+      (Rolis.Cluster.coalesced_proposals cluster);
   Printf.printf "executed:        %d (user aborts: %d)\n" (Rolis.Cluster.executed cluster)
     (Rolis.Cluster.user_aborts cluster);
   (match Rolis.Cluster.leader cluster with
@@ -85,6 +104,22 @@ let workers_arg = Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Database wor
 let cores_arg = Arg.(value & opt int 32 & info [ "cores" ] ~doc:"CPU cores per machine.")
 let batch_arg = Arg.(value & opt int 1000 & info [ "batch" ] ~doc:"Transactions per log entry.")
 
+let batch_policy_arg =
+  Arg.(
+    value & opt string "fixed"
+    & info [ "batch-policy" ]
+        ~doc:
+          "Batching policy: $(b,fixed) (static batch size + flush timer) or \
+           $(b,adaptive) (latency-targeted sizing, deadline flush, \
+           event-driven release, proposal coalescing).")
+
+let target_delay_arg =
+  Arg.(
+    value
+    & opt int (Rolis.Config.default.Rolis.Config.target_batch_delay_ns / Sim.Engine.us)
+    & info [ "target-delay-us" ]
+        ~doc:"Adaptive policy: per-batch latency budget in microseconds.")
+
 let duration_arg =
   Arg.(value & opt int 500 & info [ "duration-ms" ] ~doc:"Measured virtual time (ms).")
 
@@ -106,7 +141,8 @@ let run_cmd =
   let term =
     Term.(
       const run_cluster $ workload_arg $ workers_arg $ cores_arg $ batch_arg
-      $ duration_arg $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ seed_arg)
+      $ batch_policy_arg $ target_delay_arg $ duration_arg $ warmup_arg
+      $ networked_arg $ single_arg $ crash_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 
@@ -230,8 +266,8 @@ let chaos_cmd =
 
 (* ---- trace: stage-span dump (JSONL) ---- *)
 
-let run_trace workload workers cores batch duration_ms warmup_ms sample_interval
-    capacity seed out =
+let run_trace workload workers cores batch batch_policy duration_ms warmup_ms
+    sample_interval capacity seed out =
   let app =
     match workload with
     | "tpcc" ->
@@ -248,6 +284,7 @@ let run_trace workload workers cores batch duration_ms warmup_ms sample_interval
       Rolis.Config.workers;
       cores;
       batch_size = batch;
+      batch_policy = batch_policy_of_string batch_policy;
       trace_sample_interval = sample_interval;
       trace_buffer_capacity = capacity;
       seed = Int64.of_int seed;
@@ -316,8 +353,8 @@ let trace_cmd =
   let term =
     Term.(
       const run_trace $ workload_arg $ workers_arg $ cores_arg $ batch_arg
-      $ duration_arg $ warmup_arg $ sample_interval_arg $ capacity_arg $ seed_arg
-      $ out_arg)
+      $ batch_policy_arg $ duration_arg $ warmup_arg $ sample_interval_arg
+      $ capacity_arg $ seed_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "trace"

@@ -16,6 +16,7 @@ type stats = {
   fetches : int;
   truncated : int;
   retransmits : int;
+  coalesced : int;
 }
 
 (* Truncation batching: only compact once this many slots are reclaimable,
@@ -38,6 +39,17 @@ type t = {
   mutable recovery_target : int; (* leader: last index adopted during Prepare *)
   mutable promise_slots : Msg.accepted_slot list list; (* gathered during Prepare *)
   pending : Store.Wire.entry Queue.t;
+  (* Proposal coalescing (adaptive-batching mode): while a previous
+     quorum round is still in flight, newly proposed entries accumulate
+     here and go out as ONE merged entry once the pipeline drains —
+     bursts of small adaptive batches then pay the fixed per-entry
+     consensus cost once instead of per batch. Same-epoch entries only;
+     order (and hence per-stream timestamp monotonicity) is preserved. *)
+  coalesce : bool;
+  coalesce_max_bytes : int;
+  cbuf : Store.Wire.entry Queue.t;
+  mutable cbuf_bytes : int;
+  mutable coalesce_ewma : float; (* entries per proposed round, >= 1 *)
   mutable fetch_inflight : bool;
   fetch_timeout : int;
   (* A Fetch or its reply can be lost; retry once the deadline passes and
@@ -58,9 +70,11 @@ type t = {
   mutable s_fetches : int;
   mutable s_truncated : int;
   mutable s_retransmits : int;
+  mutable s_coalesced : int;
 }
 
-let create net ?peers ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commit
+let create net ?peers ?(fetch_timeout = default_fetch_timeout)
+    ?(coalesce = false) ?(coalesce_max_bytes = 1024 * 1024) ~id ~me ~on_commit
     ~on_higher_epoch () =
   (* [peers] bounds the acceptor membership: the net may carry extra
      non-replica nodes (client sessions) beyond the first [peers]. *)
@@ -79,6 +93,11 @@ let create net ?peers ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commi
     recovery_target = -1;
     promise_slots = [];
     pending = Queue.create ();
+    coalesce;
+    coalesce_max_bytes;
+    cbuf = Queue.create ();
+    cbuf_bytes = 0;
+    coalesce_ewma = 1.0;
     fetch_inflight = false;
     fetch_timeout;
     fetch_deadline = 0;
@@ -92,6 +111,7 @@ let create net ?peers ?(fetch_timeout = default_fetch_timeout) ~id ~me ~on_commi
     s_fetches = 0;
     s_truncated = 0;
     s_retransmits = 0;
+    s_coalesced = 0;
   }
 
 let id t = t.stream_id
@@ -132,9 +152,34 @@ let safe_trunc_bound t =
   Array.iteri (fun peer c -> if peer <> t.me then bound := min !bound c) t.peer_commit;
   max 0 (!bound + 1)
 
+(* EWMA (alpha 1/8) of entries carried per proposed quorum round; the
+   batcher's closed loop reads it to amortise the per-entry overhead. *)
+let note_round t k =
+  t.coalesce_ewma <- (0.875 *. t.coalesce_ewma) +. (0.125 *. float_of_int k)
+
+(* Merge buffered same-epoch entries, oldest first, into one log entry:
+   per-stream proposal order is preserved, so the concatenated
+   transaction list stays timestamp-monotone and the merged [last_ts] is
+   the newest tail — followers and the watermark see exactly what they
+   would have seen from the individual entries, minus the per-entry
+   consensus rounds. *)
+let merge_entries entries =
+  match entries with
+  | [ e ] -> e
+  | e0 :: _ ->
+      {
+        Store.Wire.epoch = e0.Store.Wire.epoch;
+        last_ts =
+          List.fold_left (fun acc e -> max acc e.Store.Wire.last_ts) 0 entries;
+        txns = List.concat_map (fun e -> e.Store.Wire.txns) entries;
+      }
+  | [] -> invalid_arg "Stream.merge_entries: empty"
+
 (* Leader: commit successive slots once a majority has accepted them under
-   the current ballot, then tell the followers where commit now stands. *)
-let try_commit t =
+   the current ballot, then tell the followers where commit now stands.
+   With coalescing on, a drained pipeline also releases the buffered
+   proposals as one merged round. *)
+let rec try_commit t =
   let rec advance () =
     match t.lstate with
     | Active | Preparing _ -> (
@@ -156,6 +201,30 @@ let try_commit t =
     truncate_below t bound;
     broadcast t
       (Msg.Commit { epoch = t.leader_epoch; commit_idx = t.commit_idx; trunc_upto = bound })
+  end;
+  match t.lstate with
+  | Active when t.coalesce && t.next_idx = t.commit_idx + 1 -> flush_coalesced t
+  | Active | Preparing _ | Idle -> ()
+
+and do_propose t entry =
+  let idx = t.next_idx in
+  t.next_idx <- idx + 1;
+  t.s_proposals <- t.s_proposals + 1;
+  Hashtbl.replace t.slots idx
+    { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
+  broadcast t
+    (Msg.Accept { epoch = t.leader_epoch; idx; commit_idx = t.commit_idx; entry });
+  try_commit t
+
+and flush_coalesced t =
+  if not (Queue.is_empty t.cbuf) then begin
+    let k = Queue.length t.cbuf in
+    let entries = List.of_seq (Queue.to_seq t.cbuf) in
+    Queue.clear t.cbuf;
+    t.cbuf_bytes <- 0;
+    if k > 1 then t.s_coalesced <- t.s_coalesced + (k - 1);
+    note_round t k;
+    do_propose t (merge_entries entries)
   end
 
 (* Follower: advance through slots accepted under ballot [e], up to the
@@ -179,16 +248,6 @@ let advance_follower t ~e ~upto ~src =
       send t ~dst:src (Msg.Fetch { from_idx = t.commit_idx + 1 })
     end
   end
-
-let do_propose t entry =
-  let idx = t.next_idx in
-  t.next_idx <- idx + 1;
-  t.s_proposals <- t.s_proposals + 1;
-  Hashtbl.replace t.slots idx
-    { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
-  broadcast t
-    (Msg.Accept { epoch = t.leader_epoch; idx; commit_idx = t.commit_idx; entry });
-  try_commit t
 
 let accepted_tail t ~from_idx =
   let acc = ref [] in
@@ -246,11 +305,31 @@ let become_leader t ~epoch =
 
 let step_down t =
   t.lstate <- Idle;
-  Queue.clear t.pending
+  Queue.clear t.pending;
+  (* Buffered coalesced proposals were never proposed: like [pending],
+     they are speculative work the new leader's recovery cannot see. *)
+  Queue.clear t.cbuf;
+  t.cbuf_bytes <- 0
 
 let propose t entry =
   match t.lstate with
-  | Active -> do_propose t entry
+  | Active ->
+      if t.coalesce && t.next_idx > t.commit_idx + 1 then begin
+        (* A round is in flight: buffer, to go out merged once the
+           pipeline drains. An epoch change or the byte cap forces the
+           buffer out immediately (still one merged round). *)
+        (match Queue.peek_opt t.cbuf with
+        | Some e0 when e0.Store.Wire.epoch <> entry.Store.Wire.epoch ->
+            flush_coalesced t
+        | Some _ | None -> ());
+        Queue.add entry t.cbuf;
+        t.cbuf_bytes <- t.cbuf_bytes + Store.Wire.byte_size entry;
+        if t.cbuf_bytes >= t.coalesce_max_bytes then flush_coalesced t
+      end
+      else begin
+        if t.coalesce then note_round t 1;
+        do_propose t entry
+      end
   | Preparing _ -> Queue.add entry t.pending
   | Idle -> () (* not leading: the proposal is speculative and lost *)
 
@@ -435,6 +514,7 @@ let next_index t = t.next_idx
 
 let retained_slots t = Hashtbl.length t.slots
 let truncated_below t = t.truncated_below
+let coalesce_factor t = Float.max 1.0 t.coalesce_ewma
 
 let stats t =
   {
@@ -444,4 +524,5 @@ let stats t =
     fetches = t.s_fetches;
     truncated = t.s_truncated;
     retransmits = t.s_retransmits;
+    coalesced = t.s_coalesced;
   }

@@ -25,6 +25,10 @@ type stats = {
   fetches : int;
   truncated : int;  (** slots reclaimed by log compaction *)
   retransmits : int;  (** leader re-sends of Prepare/Accept on heartbeat *)
+  coalesced : int;
+      (** proposals merged away into an earlier entry's quorum round
+          (coalescing mode): [k] buffered proposals going out as one
+          merged entry count [k - 1] here *)
 }
 
 val default_fetch_timeout : int
@@ -33,6 +37,8 @@ val create :
   Msg.t Sim.Net.t ->
   ?peers:int ->
   ?fetch_timeout:int ->
+  ?coalesce:bool ->
+  ?coalesce_max_bytes:int ->
   id:int ->
   me:int ->
   on_commit:(idx:int -> Store.Wire.entry -> unit) ->
@@ -46,7 +52,15 @@ val create :
     [on_higher_epoch] wires stream-level Nacks back into the election
     module. [fetch_timeout] bounds how long a follower waits for a
     [Fetch_rep] before re-issuing the fetch (lost fetches would otherwise
-    wedge catch-up forever). *)
+    wedge catch-up forever).
+
+    [coalesce] (default false, used by the adaptive batching policy):
+    while a quorum round is in flight, further proposals are buffered and
+    go out as {e one} merged same-epoch entry when the pipeline drains —
+    bursts of small batches then pay the fixed per-entry consensus cost
+    once. Proposal order, per-stream timestamp monotonicity, and commit
+    order are unchanged; an epoch change or the [coalesce_max_bytes] cap
+    (default 1 MiB) forces the buffer out immediately. *)
 
 val id : t -> int
 
@@ -114,4 +128,10 @@ val retained_slots : t -> int
     paper's §4.3. *)
 
 val truncated_below : t -> int
+
+val coalesce_factor : t -> float
+(** EWMA (alpha 1/8) of proposals carried per proposed quorum round,
+    >= 1.0. The batcher's closed loop folds it into the amortisation of
+    [entry_overhead_ns]; stays 1.0 when coalescing is off. *)
+
 val stats : t -> stats

@@ -112,6 +112,22 @@ let pp fmt o =
     Format.fprintf fmt "improvements (>5%%):@.";
     List.iter row improved
   end;
-  Format.fprintf fmt "%d datapoint metric(s) compared, %d regression(s), %d missing@."
+  (* The batch_submit stage is the pipeline's dominant latency term (and
+     what the adaptive batching work targets): surface its worst delta in
+     the summary so the gate's one-liner answers "did batching move?"
+     without scanning rows. *)
+  let batch_submit =
+    List.filter (fun v -> v.metric = "stage:batch_submit:p95_ms") o.verdicts
+  in
+  let batch_submit_note =
+    match batch_submit with
+    | [] -> "batch_submit p95: no samples"
+    | vs ->
+        let worst = List.fold_left (fun acc v -> Float.max acc v.delta) neg_infinity vs in
+        Printf.sprintf "batch_submit p95 worst delta %+.1f%%" (100.0 *. worst)
+  in
+  Format.fprintf fmt
+    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s@."
     (List.length o.verdicts) (List.length bad)
     (List.length o.missing)
+    batch_submit_note

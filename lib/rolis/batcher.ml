@@ -7,13 +7,30 @@ type t = {
   epoch : unit -> int;
   propose : Store.Wire.entry -> unit;
   mutex : Sim.Sync.Mutex.t option;
+  (* Closed-loop feedback from the replication layer: average number of
+     flushed entries the stream coalesces into one quorum round (>= 1).
+     Adaptive mode folds it into the per-transaction amortization of
+     [entry_overhead_ns]. *)
+  coalesce_factor : unit -> float;
+  adaptive : bool;
   mutable txns : Store.Wire.txn_log list; (* reverse order *)
   mutable count : int;
   mutable bytes : int;
   mutable oldest : int; (* submit time of the first pending txn *)
+  (* Adaptive state: smoothed inter-arrival gap (EWMA over virtual time,
+     alpha = 1/8; 0 = fewer than two submits seen) and the batch-size
+     target derived from it. *)
+  mutable last_arrival : int;
+  mutable iat_ewma : int;
+  mutable target : int;
+  (* Generation guard for the scheduled per-batch deadline flush: any
+     flush (full, byte-cap, timer, heartbeat) bumps it, so a stale
+     deadline event finds a different generation and does nothing. *)
+  mutable deadline_gen : int;
 }
 
-let create cfg ~cpu ~stats ~trace ~epoch ~propose ~shared =
+let create cfg ?(coalesce_factor = fun () -> 1.0) ~cpu ~stats ~trace ~epoch
+    ~propose ~shared () =
   let eng = Sim.Cpu.engine_of cpu in
   {
     cfg;
@@ -24,18 +41,29 @@ let create cfg ~cpu ~stats ~trace ~epoch ~propose ~shared =
     epoch;
     propose;
     mutex = (if shared then Some (Sim.Sync.Mutex.create eng) else None);
+    coalesce_factor;
+    adaptive = cfg.Config.batch_policy = Config.Adaptive;
     txns = [];
     count = 0;
     bytes = 0;
     oldest = 0;
+    last_arrival = 0;
+    iat_ewma = 0;
+    target = 1;
+    deadline_gen = 0;
   }
 
 let pending t = t.count
+let batch_target t = if t.adaptive then t.target else t.cfg.Config.batch_size
 
 (* Build and propose the pending batch. Atomic: no yields, so no
-   transaction can slip in between this flush and a subsequent no-op. *)
+   transaction can slip in between this flush and a subsequent no-op.
+   Also safe from an [Engine.schedule] thunk (the deadline event): the
+   whole path down through [propose] and the network send only schedules
+   future events, never suspends. *)
 let flush t =
   if t.count > 0 then begin
+    t.deadline_gen <- t.deadline_gen + 1;
     if Trace.has_pending t.trace then
       List.iter
         (fun (txn : Store.Wire.txn_log) ->
@@ -50,23 +78,80 @@ let flush t =
     t.propose entry
   end
 
+(* The deadline event: flush whatever the batch holds once the oldest
+   pending transaction has waited [target_batch_delay_ns]. This is what
+   lets an idle or slow stream release early instead of waiting out the
+   coarse [batch_flush_interval] timer. *)
+let schedule_deadline t ~now =
+  let gen = t.deadline_gen in
+  Sim.Engine.schedule t.eng
+    (now + t.cfg.Config.target_batch_delay_ns)
+    (fun () ->
+      if t.deadline_gen = gen && t.count > 0 then begin
+        Stats.note_deadline_flush t.stats;
+        Trace.note_disposition t.trace Trace.Deadline_flush;
+        flush t
+      end)
+
+(* Adaptive sizing: expected arrivals inside the delay budget, clamped to
+   [1, batch_size]. With no rate estimate yet (fewer than two submits
+   observed) the target stays at 1 — latency-first until the stream shows
+   a rate worth batching for. *)
+let retarget t =
+  if t.iat_ewma > 0 then
+    t.target <-
+      max 1
+        (min t.cfg.Config.batch_size
+           (t.cfg.Config.target_batch_delay_ns / t.iat_ewma))
+
 let submit t txn =
-  if t.count = 0 then t.oldest <- Sim.Engine.now t.eng;
-  t.txns <- txn :: t.txns;
-  t.count <- t.count + 1;
-  t.bytes <- t.bytes + Store.Wire.txn_byte_size txn;
-  if t.count >= t.cfg.Config.batch_size then flush t
+  if t.adaptive then begin
+    let now = Sim.Engine.now t.eng in
+    if t.count = 0 then begin
+      t.oldest <- now;
+      schedule_deadline t ~now
+    end;
+    if t.last_arrival > 0 then begin
+      let gap = now - t.last_arrival in
+      t.iat_ewma <- (if t.iat_ewma = 0 then gap else ((7 * t.iat_ewma) + gap) / 8);
+      retarget t
+    end;
+    t.last_arrival <- now;
+    t.txns <- txn :: t.txns;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + Store.Wire.txn_byte_size txn;
+    if
+      t.count >= t.cfg.Config.batch_size
+      || t.count >= t.target
+      || t.bytes >= t.cfg.Config.max_batch_bytes
+    then flush t
+  end
+  else begin
+    if t.count = 0 then t.oldest <- Sim.Engine.now t.eng;
+    t.txns <- txn :: t.txns;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + Store.Wire.txn_byte_size txn;
+    if t.count >= t.cfg.Config.batch_size then flush t
+  end
 
 let charge_submit_cost t ~bytes =
   (* Serialization (building the log entry) plus the replication layer's
      copy of it into the stream's log list + consensus CPU (Fig. 18's
      "+Serialization" and "+Replication" factors). *)
   let serialize = Silo.Costs.serialize_cost t.cfg.Config.costs ~bytes in
+  (* Fixed per-entry replication cost, amortised over the batch: the
+     reason small batches hurt throughput (Fig. 16). Fixed policy uses
+     the static batch size; Adaptive amortises over what the closed loop
+     actually achieves — the current batch-size target times the
+     replication layer's entry-coalescing factor. *)
+  let amortize =
+    if t.adaptive then
+      max 1 (int_of_float (float_of_int t.target *. t.coalesce_factor ()))
+    else t.cfg.Config.batch_size
+  in
   let replicate =
     Silo.Costs.replicate_cost t.cfg.Config.costs ~bytes
-    (* Fixed per-entry replication cost, amortised over the batch: the
-       reason small batches hurt throughput (Fig. 16). *)
-    + (t.cfg.Config.entry_overhead_ns / t.cfg.Config.batch_size)
+    + (t.cfg.Config.entry_overhead_ns / amortize)
   in
   Stats.note_serialized t.stats ~bytes;
   match t.mutex with
@@ -84,6 +169,7 @@ let maybe_flush t ~max_age =
   if t.count > 0 && Sim.Engine.now t.eng - t.oldest >= max_age then flush t
 
 let clear t =
+  t.deadline_gen <- t.deadline_gen + 1;
   t.txns <- [];
   t.count <- 0;
   t.bytes <- 0

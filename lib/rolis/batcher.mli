@@ -13,25 +13,52 @@
 
     In [Single] stream mode one batcher is shared by all workers and
     guarded by a mutex whose critical section costs [enqueue_cs_ns] — this
-    is the strawman's scalability bottleneck (§2.2). *)
+    is the strawman's scalability bottleneck (§2.2).
+
+    {2 Batch policies}
+
+    [Fixed] (the paper's static point) flushes on [batch_size]-fill or the
+    external [batch_flush_interval] timer, exactly as the original
+    pipeline did — bit-identical simulated results.
+
+    [Adaptive] closes the loop on latency: each stream tracks its arrival
+    rate (an EWMA of inter-submit gaps in virtual time) and sizes batches
+    to the number of transactions expected within
+    [target_batch_delay_ns]; the first transaction of every batch also
+    schedules a deadline event at [oldest + target_batch_delay_ns] which
+    flushes whatever is pending, so an idle or slowing stream releases
+    early instead of waiting out the coarse flush timer. Batches are
+    additionally capped at [max_batch_bytes] wire bytes and (always) at
+    [batch_size] transactions. Entry timestamps stay monotone per stream
+    and every flush remains yield-free, whichever path triggers it. *)
 
 type t
 
 val create :
   Config.t ->
+  ?coalesce_factor:(unit -> float) ->
   cpu:Sim.Cpu.t ->
   stats:Stats.t ->
   trace:Trace.t ->
   epoch:(unit -> int) ->
   propose:(Store.Wire.entry -> unit) ->
   shared:bool ->
+  unit ->
   t
 (** [trace] observes batch flushes: a flush stamps the [Batch_submit]
-    span end of every sampled pending transaction in the batch. *)
+    span end of every sampled pending transaction in the batch.
+    [coalesce_factor] (Adaptive only) reports the replication layer's
+    average entries-per-quorum-round so the per-entry overhead charge can
+    be amortised over what the wire actually carries; defaults to 1. *)
 
 val submit : t -> Store.Wire.txn_log -> unit
-(** Append one committed transaction (no yield). If the batch is full it
-    is proposed immediately (still no yield). *)
+(** Append one committed transaction (no yield). If the batch is full
+    (policy-dependent: static size, adaptive target, or byte cap) it is
+    proposed immediately (still no yield). *)
+
+val batch_target : t -> int
+(** Current flush threshold in transactions: [batch_size] under [Fixed];
+    the rate-derived target under [Adaptive]. *)
 
 val charge_submit_cost : t -> bytes:int -> unit
 (** Charge the serialization cost for one submitted transaction; yields.

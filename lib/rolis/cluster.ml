@@ -143,3 +143,27 @@ let executed t =
 
 let user_aborts t =
   Array.fold_left (fun acc r -> acc + Stats.user_aborts (Replica.stats r)) 0 t.replicas
+
+(* Batching-pipeline diagnostics, summed across replicas. *)
+let entries_flushed t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.entries_flushed (Replica.stats r))
+    0 t.replicas
+
+let deadline_flushes t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.deadline_flushes (Replica.stats r))
+    0 t.replicas
+
+let event_releases t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.event_releases (Replica.stats r))
+    0 t.replicas
+
+let coalesced_proposals t =
+  Array.fold_left
+    (fun acc r ->
+      Array.fold_left
+        (fun acc s -> acc + (Paxos.Stream.stats s).Paxos.Stream.coalesced)
+        acc (Replica.streams r))
+    0 t.replicas

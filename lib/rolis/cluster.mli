@@ -74,3 +74,19 @@ val stage_breakdown : t -> (string * int * int * int * int) list
 
 val executed : t -> int
 val user_aborts : t -> int
+
+val entries_flushed : t -> int
+(** Log entries proposed over the window, all replicas —
+    [released / entries_flushed] is the realized average batch size. *)
+
+val deadline_flushes : t -> int
+(** Batches flushed by the adaptive [target_batch_delay_ns] deadline
+    event (0 under the [Fixed] policy). *)
+
+val event_releases : t -> int
+(** Release passes triggered directly by a durability notification
+    advancing the watermark (0 under the [Fixed] policy). *)
+
+val coalesced_proposals : t -> int
+(** Proposals merged into an earlier entry's quorum round by the
+    replication layer (0 under the [Fixed] policy). *)

@@ -1,12 +1,22 @@
 type stream_mode = Per_worker | Single | Sharded of int
+type batch_policy = Fixed | Adaptive
+
+(* Conservative upper bound on one TPC-C transaction's wire footprint: a
+   Delivery touches ~130 rows; at ~120 wire bytes per write that is under
+   16 KiB. [max_batch_bytes] below this could force a batch that cannot
+   hold even one transaction. *)
+let max_txn_bytes = 16 * 1024
 
 type t = {
   replicas : int;
   workers : int;
   cores : int;
   stream_mode : stream_mode;
+  batch_policy : batch_policy;
   batch_size : int;
   batch_flush_interval : int;
+  target_batch_delay_ns : int;
+  max_batch_bytes : int;
   watermark_interval : int;
   heartbeat_interval : int;
   election_timeout : int;
@@ -40,8 +50,11 @@ let default =
     workers = 16;
     cores = 32;
     stream_mode = Per_worker;
+    batch_policy = Fixed;
     batch_size = 1000;
     batch_flush_interval = 50 * Sim.Engine.ms;
+    target_batch_delay_ns = 2 * Sim.Engine.ms;
+    max_batch_bytes = 1024 * 1024;
     watermark_interval = Sim.Engine.ms / 2;
     heartbeat_interval = 100 * Sim.Engine.ms;
     election_timeout = Sim.Engine.s;
@@ -88,6 +101,26 @@ let validate t =
   if t.watermark_interval <= 0 then invalid_arg "Config: watermark interval must be positive";
   if t.batch_flush_interval <= 0 then
     invalid_arg "Config: batch_flush_interval must be positive";
+  if t.target_batch_delay_ns <= 0 then
+    invalid_arg
+      "Config: target_batch_delay_ns must be positive (the adaptive batcher \
+       sizes batches to meet this latency budget; use batch_policy = Fixed to \
+       disable adaptive sizing instead)";
+  if t.max_batch_bytes < max_txn_bytes then
+    invalid_arg
+      (Printf.sprintf
+         "Config: max_batch_bytes (%d) must be at least %d so a batch can hold \
+          one maximum-size TPC-C transaction; smaller caps would wedge the \
+          batcher on the first large transaction"
+         t.max_batch_bytes max_txn_bytes);
+  if t.batch_policy = Adaptive && t.batch_flush_interval < t.watermark_interval
+  then
+    invalid_arg
+      "Config: adaptive batching needs batch_flush_interval >= \
+       watermark_interval — the flush timer is only the idle-stream backstop \
+       under Adaptive policy, so a timer finer than the watermark tick burns \
+       cycles without improving release latency; raise batch_flush_interval or \
+       lower watermark_interval";
   if t.heartbeat_interval <= 0 then invalid_arg "Config: heartbeat_interval must be positive";
   if t.heartbeat_interval >= t.election_timeout then
     invalid_arg "Config: heartbeat_interval must be smaller than election_timeout";

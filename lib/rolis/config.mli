@@ -13,13 +13,37 @@ type stream_mode =
       (** [n] streams shared by the workers (ablation: the design space
           between the strawman and Rolis) *)
 
+type batch_policy =
+  | Fixed
+      (** the paper's static operating point: flush on [batch_size]-fill
+          or the [batch_flush_interval] timer, release on the periodic
+          watermark tick — bit-identical to the original pipeline *)
+  | Adaptive
+      (** closed-loop latency targeting: batches are sized from the
+          stream's observed arrival rate to meet [target_batch_delay_ns],
+          a per-batch deadline event flushes idle streams early, batches
+          are additionally capped at [max_batch_bytes], and durability
+          notifications drive the release pass directly instead of
+          waiting for the watermark tick *)
+
+val max_txn_bytes : int
+(** Conservative wire-size bound on the largest TPC-C transaction;
+    [max_batch_bytes] may not be configured below it. *)
+
 type t = {
   replicas : int;
   workers : int;  (** database worker threads per replica *)
   cores : int;  (** CPU cores per machine *)
   stream_mode : stream_mode;
-  batch_size : int;  (** transactions per log entry *)
+  batch_policy : batch_policy;  (** static vs load-adaptive batching *)
+  batch_size : int;  (** transactions per log entry (Adaptive: hard cap) *)
   batch_flush_interval : int;  (** ns; flush partially filled batches *)
+  target_batch_delay_ns : int;
+      (** ns; Adaptive policy's latency budget for time spent waiting in
+          a batch — the knob the paper leaves static in Fig. 16 *)
+  max_batch_bytes : int;
+      (** Adaptive policy: flush once the pending batch reaches this many
+          wire bytes, whatever its transaction count *)
   watermark_interval : int;  (** ns; the 0.5 ms periodic calculation *)
   heartbeat_interval : int;
   election_timeout : int;

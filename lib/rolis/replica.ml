@@ -39,6 +39,15 @@ type t = {
   mutable gens : App.gen array;
   wm : Watermark.t;
   replay_queues : Store.Wire.entry Queue.t array;
+  (* Entries across all replay queues, maintained incrementally on every
+     enqueue/dequeue: admission control reads it per client request, so
+     the O(streams) fold was on the hot path. *)
+  mutable backlog : int;
+  (* Event-driven release (Adaptive policy): last watermark a release
+     pass ran for, so a durability notification that does not advance the
+     cluster minimum skips the pass. Watermarks ride the global timestamp
+     counter, hence monotone across epochs — never reset. *)
+  mutable last_rel_wm : int;
   release_queues : meta Queue.t array; (* one per worker, ts-ordered *)
   mutable procs : Sim.Engine.proc list;
   mutable serving : bool;
@@ -74,7 +83,11 @@ let replay_epoch t = t.repoch
 let replay_watermark t = t.rwm
 let is_alive t = t.alive
 
-let replay_backlog t =
+let replay_backlog t = t.backlog
+
+(* Reference implementation of the counter above — O(streams); tests
+   assert the two agree at arbitrary points. *)
+let replay_backlog_scan t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.replay_queues
 
 let journal t = List.rev t.journal
@@ -364,6 +377,10 @@ let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
 let replay_loop t s () =
   let q = t.replay_queues.(s) in
   let poll = t.cfg.Config.watermark_interval in
+  let pop () =
+    ignore (Queue.pop q);
+    t.backlog <- t.backlog - 1
+  in
   while true do
     match Queue.peek_opt q with
     | None -> Sim.Engine.sleep poll
@@ -371,18 +388,18 @@ let replay_loop t s () =
         let e = entry.Store.Wire.epoch in
         if t.serving && e = t.srv_epoch then
           (* Our own proposals: already applied by execution. *)
-          ignore (Queue.pop q)
+          pop ()
         else if e < t.repoch then begin
           (* Left-over from an already-advanced epoch (defensive): apply
              only the part below that epoch's final watermark. *)
-          ignore (Queue.pop q);
+          pop ();
           match Watermark.final_watermark t.wm ~epoch:e with
           | Some w -> apply_entry t entry ~upto:w
           | None -> ()
         end
         else if e = t.repoch then begin
           if entry.Store.Wire.last_ts <= t.rwm then begin
-            ignore (Queue.pop q);
+            pop ();
             apply_entry t entry
           end
           else
@@ -392,7 +409,7 @@ let replay_loop t s () =
                    watermark: replay the prefix with [ts <= W] (those
                    results may already be at clients) and skip the tail,
                    which may depend on lost transactions (Fig. 3). *)
-                ignore (Queue.pop q);
+                pop ();
                 apply_entry t entry ~upto:w
             | None -> Sim.Engine.sleep poll
         end
@@ -473,7 +490,12 @@ let controller_loop t () =
           (match Watermark.compute t.wm ~epoch:t.repoch with Some w -> w | None -> 0)
       end
     end;
-    if t.serving then release_pass t
+    (* Under the Adaptive policy release is event-driven — durability
+       notifications that advance the watermark run the pass directly
+       (see [on_commit]) — and the controller tick keeps only its
+       lease/seal/epoch duties above. *)
+    if t.serving && t.cfg.Config.batch_policy <> Config.Adaptive then
+      release_pass t
   done
 
 let flush_timer_loop t () =
@@ -574,6 +596,8 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       gens = [||];
       wm = Watermark.create ~streams:nstreams;
       replay_queues = Array.init nstreams (fun _ -> Queue.create ());
+      backlog = 0;
+      last_rel_wm = -1;
       release_queues = Array.init cfg.Config.workers (fun _ -> Queue.create ());
       procs = [];
       serving = false;
@@ -612,12 +636,29 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
         entry.txns;
     if cfg.Config.archive_entries then t.journal <- (s, entry) :: t.journal;
     (match on_durable with Some f -> f ~stream:s ~idx entry | None -> ());
-    Queue.add entry t.replay_queues.(s)
+    Queue.add entry t.replay_queues.(s);
+    t.backlog <- t.backlog + 1;
+    (* Event-driven release: when this durability notification advanced
+       the cluster minimum, run the release pass right here instead of
+       waiting out the controller tick. The whole pass is yield-free
+       (queue pops, stats, client acks via [Net.send]), so it is safe in
+       the dispatcher's message-handling context. *)
+    if cfg.Config.batch_policy = Config.Adaptive && t.serving
+       && entry.Store.Wire.epoch = t.srv_epoch
+    then
+      match Watermark.compute t.wm ~epoch:t.srv_epoch with
+      | Some w when w > t.last_rel_wm ->
+          t.last_rel_wm <- w;
+          Stats.note_event_release t.stats;
+          release_pass t
+      | Some _ | None -> ()
   in
   let on_higher_epoch e = Paxos.Election.observe_epoch (election t) e in
   let streams =
     Array.init nstreams (fun s ->
-        Paxos.Stream.create net ~peers:cfg.Config.replicas ~id:s ~me:rid
+        Paxos.Stream.create net ~peers:cfg.Config.replicas
+          ~coalesce:(cfg.Config.batch_policy = Config.Adaptive)
+          ~coalesce_max_bytes:cfg.Config.max_batch_bytes ~id:s ~me:rid
           ~on_commit:(on_commit s) ~on_higher_epoch ())
   in
   let el =
@@ -639,10 +680,13 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   t.election <- Some el;
   t.batchers <-
     Array.init nstreams (fun s ->
-        Batcher.create cfg ~cpu ~stats:t.stats ~trace:t.trace
+        Batcher.create cfg
+          ~coalesce_factor:(fun () -> Paxos.Stream.coalesce_factor streams.(s))
+          ~cpu ~stats:t.stats ~trace:t.trace
           ~epoch:(fun () -> Silo.Db.epoch db)
           ~propose:(fun e -> Paxos.Stream.propose streams.(s) e)
-          ~shared:(nstreams < cfg.Config.workers));
+          ~shared:(nstreams < cfg.Config.workers)
+          ());
   (if client_op = None then
      t.gens <-
        Array.init cfg.Config.workers (fun w ->

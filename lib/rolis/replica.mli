@@ -63,7 +63,14 @@ val is_tainted : t -> bool
 val replay_epoch : t -> int
 val replay_watermark : t -> int
 val replay_backlog : t -> int
-(** Durable entries queued but not yet replayed. *)
+(** Durable entries queued but not yet replayed. O(1): maintained
+    incrementally on enqueue/dequeue — admission control consults it on
+    every client request. *)
+
+val replay_backlog_scan : t -> int
+(** The same count by folding over the replay queues (O(streams));
+    reference implementation the tests assert {!replay_backlog}
+    against. *)
 
 val session_state : t -> cid:int -> (int * int) option
 (** [(applied, released)] highest sequence numbers this replica knows for

@@ -20,6 +20,9 @@ type t = {
   mutable cached_replies : int;
   mutable busy_replies : int;
   mutable redirects : int;
+  mutable entries_flushed : int;
+  mutable deadline_flushes : int;
+  mutable event_releases : int;
   mutable lat : Sim.Metrics.Hist.t;
   mutable series : Sim.Metrics.Series.t;
   mutable stage_hists : Sim.Metrics.Hist.t array;
@@ -44,6 +47,9 @@ let create eng =
     cached_replies = 0;
     busy_replies = 0;
     redirects = 0;
+    entries_flushed = 0;
+    deadline_flushes = 0;
+    event_releases = 0;
     lat = Sim.Metrics.Hist.create ();
     series = Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
     stage_hists = Array.init max_stages (fun _ -> Sim.Metrics.Hist.create ());
@@ -57,7 +63,13 @@ let note_submitted t ~bytes =
   if t.spec_bytes > t.spec_peak then t.spec_peak <- t.spec_bytes
 
 let note_serialized t ~bytes = t.serialized_bytes <- t.serialized_bytes + bytes
-let note_replicated t ~bytes = t.replicated_bytes <- t.replicated_bytes + bytes
+
+let note_replicated t ~bytes =
+  t.replicated_bytes <- t.replicated_bytes + bytes;
+  t.entries_flushed <- t.entries_flushed + 1
+
+let note_deadline_flush t = t.deadline_flushes <- t.deadline_flushes + 1
+let note_event_release t = t.event_releases <- t.event_releases + 1
 
 let note_released t ~start ~latency ~bytes =
   t.released <- t.released + 1;
@@ -105,6 +117,9 @@ let redirects t = t.redirects
 let serialized_bytes t = t.serialized_bytes
 let replicated_bytes t = t.replicated_bytes
 let speculative_bytes t = t.spec_bytes
+let entries_flushed t = t.entries_flushed
+let deadline_flushes t = t.deadline_flushes
+let event_releases t = t.event_releases
 
 let avg_speculative_bytes t =
   if t.spec_samples = 0 then 0.0 else t.spec_sum /. float_of_int t.spec_samples
@@ -124,6 +139,9 @@ let reset_window t =
   t.replayed_writes <- 0;
   t.serialized_bytes <- 0;
   t.replicated_bytes <- 0;
+  t.entries_flushed <- 0;
+  t.deadline_flushes <- 0;
+  t.event_releases <- 0;
   t.spec_sum <- 0.0;
   t.spec_samples <- 0;
   t.lat <- Sim.Metrics.Hist.create ();

@@ -19,7 +19,18 @@ val note_submitted : t -> bytes:int -> unit
     speculative (delayed-commit) memory (§5). *)
 
 val note_serialized : t -> bytes:int -> unit
+
 val note_replicated : t -> bytes:int -> unit
+(** One batch flushed into a proposed log entry of [bytes] wire bytes;
+    also counts the entry for the average-batch-size gauge. *)
+
+val note_deadline_flush : t -> unit
+(** Adaptive batching: a batch was flushed by its
+    [target_batch_delay_ns] deadline event rather than by filling. *)
+
+val note_event_release : t -> unit
+(** A durability notification advanced the watermark and drove a release
+    pass directly (event-driven release, Adaptive policy). *)
 
 val note_released : t -> start:int -> latency:int -> bytes:int -> unit
 (** Release commit: count it, record client latency, release its bytes.
@@ -78,6 +89,13 @@ val serialized_bytes : t -> int
 val replicated_bytes : t -> int
 val speculative_bytes : t -> int
 (** Currently accumulated delayed-commit memory. *)
+
+val entries_flushed : t -> int
+(** Log entries proposed this window ([released / entries_flushed] is the
+    realized average batch size). *)
+
+val deadline_flushes : t -> int
+val event_releases : t -> int
 
 val avg_speculative_bytes : t -> float
 val peak_speculative_bytes : t -> int

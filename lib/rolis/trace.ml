@@ -9,6 +9,7 @@ type stage =
   | Redirect
   | Busy
   | Cached
+  | Deadline_flush
 
 let all_stages =
   [
@@ -22,6 +23,7 @@ let all_stages =
     Redirect;
     Busy;
     Cached;
+    Deadline_flush;
   ]
 
 let n_stages = List.length all_stages
@@ -37,6 +39,7 @@ let stage_index = function
   | Redirect -> 7
   | Busy -> 8
   | Cached -> 9
+  | Deadline_flush -> 10
 
 let stage_name = function
   | Execute -> "execute"
@@ -49,6 +52,7 @@ let stage_name = function
   | Redirect -> "redirect"
   | Busy -> "busy"
   | Cached -> "cached"
+  | Deadline_flush -> "deadline_flush"
 
 let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 

@@ -55,6 +55,10 @@ type stage =
   | Redirect
   | Busy
   | Cached
+  | Deadline_flush
+      (** adaptive batching: a batch hit its [target_batch_delay_ns]
+          deadline and was flushed by the scheduled deadline event rather
+          than by filling up (zero-width disposition event) *)
 
 val all_stages : stage list
 val n_stages : int
@@ -144,8 +148,8 @@ val note_replay : t -> ts:int -> start:int -> stop:int -> unit
 (** One replayed transaction was applied (guard with {!sample_replay}). *)
 
 val note_disposition : t -> stage -> unit
-(** A [Redirect], [Busy] or [Cached] client disposition (zero-width
-    event, sampled 1-in-N). *)
+(** A [Redirect], [Busy] or [Cached] client disposition, or a
+    [Deadline_flush] batcher event (zero-width event, sampled 1-in-N). *)
 
 (** {2 Reading the rings} *)
 

@@ -30,7 +30,22 @@ val note_durable : t -> stream:int -> epoch:int -> ts:int -> unit
 val compute : t -> epoch:int -> int option
 (** Live watermark for [epoch]: [None] while some stream has produced
     nothing in (or after) [epoch] yet. Monotone in successive calls for a
-    fixed epoch. *)
+    fixed epoch.
+
+    O(1) for repeated queries of the same epoch: the tracker maintains the
+    cluster minimum incrementally (cached min + count-at-min, updated by
+    {!note_durable}); a full O(streams) rescan happens only when the
+    queried epoch changes or the unique minimum holder advances. *)
+
+val compute_scan : t -> epoch:int -> int option
+(** Reference implementation of {!compute} (the original full fold).
+    Exposed so tests and benchmarks can cross-check the incremental
+    cache; always equals [compute] for the same arguments. *)
+
+val scan_count : t -> int
+(** Number of full O(streams) rescans performed so far (telemetry: the
+    event-driven release path should keep this far below the number of
+    {!note_durable} calls). *)
 
 val is_sealed : t -> epoch:int -> bool
 (** Every stream's durable tail has moved past [epoch]. *)

@@ -28,27 +28,37 @@ let byte_size e =
 
 let txn_count e = List.length e.txns
 
-(* ---- binary encoding: little-endian fixed-width ints ---- *)
+(* ---- binary encoding: little-endian fixed-width ints ----
+
+   Encoded values are non-negative, so truncating [Int32.of_int] /
+   sign-extending [Int64.of_int] produce the same bytes the manual
+   shift-mask loops did. *)
 
 let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
-
-let add_u32 buf v =
-  for i = 0 to 3 do
-    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
-  done
-
-let add_u64 buf v =
-  for i = 0 to 7 do
-    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
-  done
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let add_u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
 
 let encode e =
-  let buf = Buffer.create (byte_size e) in
+  (* One write-bytes pass per transaction, reused for both the buffer
+     capacity and the per-transaction nbytes header. *)
+  let txns =
+    List.map
+      (fun t ->
+        (t, List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes))
+      e.txns
+  in
+  let cap =
+    List.fold_left
+      (fun acc (t, wbytes) ->
+        acc + 17 + (match t.req with Some _ -> 8 | None -> 0) + wbytes)
+      20 txns
+  in
+  let buf = Buffer.create cap in
   add_u64 buf e.epoch;
   add_u64 buf e.last_ts;
   add_u32 buf (List.length e.txns);
   List.iter
-    (fun t ->
+    (fun (t, wbytes) ->
       add_u64 buf t.ts;
       (match t.req with
       | Some (cid, seq) ->
@@ -57,7 +67,7 @@ let encode e =
           add_u32 buf seq
       | None -> add_u8 buf 0);
       add_u32 buf (List.length t.writes);
-      add_u32 buf (List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes);
+      add_u32 buf wbytes;
       List.iter
         (fun w ->
           add_u32 buf w.table;
@@ -70,7 +80,7 @@ let encode e =
               Buffer.add_string buf v
           | None -> add_u8 buf 0)
         t.writes)
-    e.txns;
+    txns;
   Buffer.contents buf
 
 exception Malformed of string

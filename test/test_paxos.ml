@@ -29,7 +29,7 @@ type cluster = {
 }
 
 let make_cluster ?(n = 3) ?(k = 2) ?(heartbeat = 20 * ms) ?(timeout = 100 * ms)
-    ?(initial_leader = Some 0) ?(seed = 1L) ?faults () =
+    ?(initial_leader = Some 0) ?(seed = 1L) ?(coalesce = false) ?faults () =
   let eng = Sim.Engine.create ~seed () in
   let net =
     Sim.Net.create eng ~nodes:n
@@ -56,7 +56,9 @@ let make_cluster ?(n = 3) ?(k = 2) ?(heartbeat = 20 * ms) ?(timeout = 100 * ms)
         in
         for s = 0 to k - 1 do
           streams.(s) <-
-            Some (Paxos.Stream.create net ~id:s ~me:id ~on_commit:(on_commit s) ~on_higher_epoch ())
+            Some
+              (Paxos.Stream.create net ~id:s ~me:id ~coalesce
+                 ~on_commit:(on_commit s) ~on_higher_epoch ())
         done;
         let streams = Array.map Option.get streams in
         let el =
@@ -298,14 +300,57 @@ let test_failover_after_truncation () =
     (is_prefix l1 l2 || is_prefix l2 l1);
   check_bool "progress" true (List.length l1 > 500)
 
+(* Proposal coalescing: a back-to-back burst while the first quorum round
+   is still in flight must buffer and then merge into one follow-up round
+   — fewer entries on the wire, every transaction delivered exactly once
+   and in order on every replica. *)
+let test_proposal_coalescing () =
+  let c = make_cluster ~coalesce:true () in
+  Sim.Engine.schedule c.eng (50 * ms) (fun () ->
+      match current_leader c with
+      | Some r ->
+          (* All 20 proposals land in one event: the first opens a round,
+             the other 19 find it in flight and buffer. *)
+          for ts = 1 to 20 do
+            Paxos.Stream.propose r.streams.(0)
+              (entry ~epoch:(Paxos.Election.epoch r.election) ~ts)
+          done
+      | None -> Alcotest.fail "no leader at burst time");
+  Sim.Engine.run ~until:(500 * ms) c.eng;
+  let reference = committed_list c.replicas.(0) 0 in
+  check_bool
+    (Printf.sprintf "fewer quorum rounds than proposals (got %d)"
+       (List.length reference))
+    true
+    (List.length reference < 20);
+  check_bool "first proposal went out alone" true (List.length reference >= 2);
+  Array.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "replica %d log identical" r.id)
+        true
+        (committed_list r 0 = reference))
+    c.replicas;
+  let ts_order =
+    List.concat_map
+      (fun (_, e) ->
+        List.map (fun (t : Store.Wire.txn_log) -> t.Store.Wire.ts) e.Store.Wire.txns)
+      reference
+  in
+  check_bool "every transaction delivered once, in order" true
+    (ts_order = List.init 20 (fun i -> i + 1));
+  let st = Paxos.Stream.stats c.replicas.(0).streams.(0) in
+  check_bool "merges counted in stats" true (st.Paxos.Stream.coalesced > 0);
+  check_bool "coalesce factor reflects multi-entry rounds" true
+    (Paxos.Stream.coalesce_factor c.replicas.(0).streams.(0) > 1.0)
+
 (* Randomized agreement property: random leader crashes and partitions;
    afterwards all replicas' committed logs for every stream must be
-   prefixes of one another (agreement + no divergence). *)
-let agreement_qcheck =
-  QCheck.Test.make ~name:"paxos agreement under random failures" ~count:15
-    QCheck.(int_range 0 10_000)
-    (fun seed ->
-      let c = make_cluster ~k:2 () in
+   prefixes of one another (agreement + no divergence). Run both with and
+   without proposal coalescing — merging pending proposals must never
+   cost agreement, whatever the failure schedule. *)
+let agreement_prop ~coalesce seed =
+      let c = make_cluster ~k:2 ~coalesce () in
       let rng = Sim.Rng.create (Int64.of_int (seed + 17)) in
       let _p0 = spawn_proposer c ~s:0 ~count:300 ~gap:(1 * ms) in
       let _p1 = spawn_proposer c ~s:1 ~count:300 ~gap:(1 * ms) in
@@ -343,7 +388,18 @@ let agreement_qcheck =
       let epochs = List.map fst !(c.elected) in
       let distinct = List.sort_uniq compare epochs in
       if List.length distinct <> List.length epochs then ok := false;
-      !ok)
+      !ok
+
+let agreement_qcheck =
+  QCheck.Test.make ~name:"paxos agreement under random failures" ~count:15
+    QCheck.(int_range 0 10_000)
+    (agreement_prop ~coalesce:false)
+
+let agreement_coalesce_qcheck =
+  QCheck.Test.make ~name:"paxos agreement under random failures (coalescing)"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (agreement_prop ~coalesce:true)
 
 (* Lossless but hostile delivery: every message may be duplicated and
    delayed by a random reorder jitter. The on_commit harness already fails
@@ -391,6 +447,7 @@ let () =
             test_truncation_freezes_for_lagging_follower;
           Alcotest.test_case "failover after truncation" `Quick
             test_failover_after_truncation;
+          Alcotest.test_case "proposal coalescing" `Quick test_proposal_coalescing;
         ] );
       ( "election",
         [
@@ -401,5 +458,7 @@ let () =
           Alcotest.test_case "candidacy backoff bounded" `Quick
             test_candidacy_backoff_bounded;
         ] );
-      ("properties", [ qc agreement_qcheck; qc dup_reorder_qcheck ]);
+      ( "properties",
+        [ qc agreement_qcheck; qc agreement_coalesce_qcheck; qc dup_reorder_qcheck ]
+      );
     ]

@@ -146,6 +146,53 @@ let watermark_sealing_qcheck =
           !ok)
         feed)
 
+(* The incremental min cache (cached min + count-at-min + undefined
+   count) must be indistinguishable from the reference full fold,
+   including across epoch switches and interleaved queries of different
+   epochs. *)
+let watermark_incremental_qcheck =
+  QCheck.Test.make ~name:"incremental compute = reference scan" ~count:300
+    QCheck.(list (triple (int_range 0 3) (int_range 1 3) (int_range 1 500)))
+    (fun feed ->
+      let wm = Rolis.Watermark.create ~streams:4 in
+      List.for_all
+        (fun (stream, epoch, ts) ->
+          Rolis.Watermark.note_durable wm ~stream ~epoch ~ts;
+          List.for_all
+            (fun e ->
+              Rolis.Watermark.compute wm ~epoch:e
+              = Rolis.Watermark.compute_scan wm ~epoch:e)
+            [ 1; 2; 3 ])
+        feed)
+
+(* What makes the event-driven release path affordable: repeated queries
+   of a stable epoch cost O(1). A full rescan happens only when the
+   unique minimum holder advances. *)
+let test_watermark_scan_amortized () =
+  let wm = Rolis.Watermark.create ~streams:4 in
+  for s = 0 to 3 do
+    Rolis.Watermark.note_durable wm ~stream:s ~epoch:1 ~ts:(s + 1)
+  done;
+  ignore (Rolis.Watermark.compute wm ~epoch:1);
+  let scans0 = Rolis.Watermark.scan_count wm in
+  (* Stream 0 stays the unique laggard: advancing the others updates the
+     cache in place and never forces a rescan. *)
+  for i = 1 to 100 do
+    for s = 1 to 3 do
+      Rolis.Watermark.note_durable wm ~stream:s ~epoch:1 ~ts:(100 + i)
+    done;
+    check_bool "min pinned at the laggard" true
+      (Rolis.Watermark.compute wm ~epoch:1 = Some 1)
+  done;
+  check_int "no rescans while the min holder is unchanged" scans0
+    (Rolis.Watermark.scan_count wm);
+  (* Moving the laggard relocates the minimum: exactly one rescan. *)
+  Rolis.Watermark.note_durable wm ~stream:0 ~epoch:1 ~ts:50;
+  check_bool "watermark advanced" true
+    (Rolis.Watermark.compute wm ~epoch:1 = Some 50);
+  check_int "one rescan to relocate the min" (scans0 + 1)
+    (Rolis.Watermark.scan_count wm)
+
 (* ---------- cluster helpers ---------- *)
 
 (* Slow, test-friendly cost model: ~50us per transaction keeps event
@@ -259,11 +306,26 @@ let test_convergence_after_drain () =
   let cfg = test_cfg () in
   let app = transfer_app ~accounts ~initial:1_000 ~stopped in
   let cluster = Rolis.Cluster.create cfg app in
+  (* The incremental backlog counter must agree with the reference fold
+     at all times, not just after the drain: check mid-run under load. *)
+  let check_backlog where =
+    Array.iter
+      (fun r ->
+        check_int
+          (Printf.sprintf "backlog counter = fold (%s, replica %d)" where
+             (Rolis.Replica.id r))
+          (Rolis.Replica.replay_backlog_scan r)
+          (Rolis.Replica.replay_backlog r))
+      (Rolis.Cluster.replicas cluster)
+  in
+  Sim.Engine.schedule (Rolis.Cluster.engine cluster) (500 * ms) (fun () ->
+      check_backlog "mid-run");
   Rolis.Cluster.run cluster ~duration:(1 * s) ();
   stopped := true;
   (* Drain: heartbeat no-ops push the watermark past the last real txn;
      followers finish replay. *)
   Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_backlog "after drain";
   let leader_state = table_state (Rolis.Replica.db (Rolis.Cluster.replica cluster 0)) "accounts" in
   check_bool "some transfers happened" true
     (Rolis.Cluster.released cluster > 100);
@@ -491,6 +553,179 @@ let test_restart_rejoin_convergence () =
   check_int "money conserved on restarted replica" (accounts * 300)
     (total_money (Rolis.Replica.db r2) ~accounts)
 
+(* ---------- adaptive batching ---------- *)
+
+(* The adaptive batcher, driven standalone over random arrival schedules:
+   every submitted transaction is flushed exactly once and in order
+   (entry timestamps monotone per stream), and no transaction waits in a
+   batch longer than target_batch_delay_ns — the per-batch deadline
+   event guarantees it even without the coarse flush timer, which runs
+   here too as the controller's backstop. *)
+let batcher_adaptive_qcheck =
+  QCheck.Test.make ~name:"adaptive batching: bounded delay, monotone, lossless"
+    ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 0 (3 * ms)))
+    (fun gaps ->
+      let cfg =
+        {
+          (test_cfg ~workers:1 ~batch:100 ()) with
+          Rolis.Config.batch_policy = Rolis.Config.Adaptive;
+        }
+      in
+      let target = cfg.Rolis.Config.target_batch_delay_ns in
+      let flush_iv = cfg.Rolis.Config.batch_flush_interval in
+      let eng = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create eng ~cores:2 () in
+      let stats = Rolis.Stats.create eng in
+      let trace =
+        Rolis.Trace.create eng ~stats ~workers:1 ~sample_interval:0 ~capacity:8
+      in
+      let flushed = ref [] in
+      (* (flush time, entry), newest first *)
+      let b =
+        Rolis.Batcher.create cfg ~cpu ~stats ~trace
+          ~epoch:(fun () -> 1)
+          ~propose:(fun e -> flushed := (Sim.Engine.now eng, e) :: !flushed)
+          ~shared:false ()
+      in
+      (* Submit times are cumulative random gaps; ts is the submit index. *)
+      let submit_at = Hashtbl.create 64 in
+      let last = ref 0 in
+      List.iteri
+        (fun i gap ->
+          last := !last + gap;
+          let at = !last and ts = i + 1 in
+          Hashtbl.replace submit_at ts at;
+          Sim.Engine.schedule eng at (fun () ->
+              Rolis.Batcher.submit b { Store.Wire.ts; req = None; writes = [] }))
+        gaps;
+      let horizon = !last + target + (2 * flush_iv) in
+      let ticks = (horizon / flush_iv) + 1 in
+      for i = 1 to ticks do
+        Sim.Engine.schedule eng (i * flush_iv) (fun () ->
+            Rolis.Batcher.maybe_flush b ~max_age:flush_iv)
+      done;
+      Sim.Engine.run eng;
+      let n = List.length gaps in
+      (* Chronological flush order; concatenated ts must be exactly
+         1..n — lossless and monotone per stream. *)
+      let entries = List.rev !flushed in
+      let ts_order =
+        List.concat_map
+          (fun (_, e) ->
+            List.map (fun (t : Store.Wire.txn_log) -> t.Store.Wire.ts)
+              e.Store.Wire.txns)
+          entries
+      in
+      ts_order = List.init n (fun i -> i + 1)
+      && List.for_all
+           (fun (at, e) ->
+             List.for_all
+               (fun (t : Store.Wire.txn_log) ->
+                 at - Hashtbl.find submit_at t.Store.Wire.ts <= target + flush_iv)
+               e.Store.Wire.txns)
+           entries)
+
+(* The Fixed policy must stay bit-identical to the pre-adaptive pipeline:
+   the counts and latency quantiles below were captured on the tree just
+   before the adaptive batching work landed. Any virtual-time drift in
+   the Fixed path — which is every default configuration — shows up here
+   as an exact mismatch. *)
+let check_fixed_golden name cfg app ~duration ~golden =
+  let g_released, g_executed, g_p50, g_p95 = golden in
+  let cluster = Rolis.Cluster.create cfg app in
+  Rolis.Cluster.run cluster ~duration ();
+  let lat = Rolis.Cluster.latency cluster in
+  check_int (name ^ ": released") g_released (Rolis.Cluster.released cluster);
+  check_int (name ^ ": executed") g_executed (Rolis.Cluster.executed cluster);
+  check_int (name ^ ": p50") g_p50 (Sim.Metrics.Hist.quantile lat 0.5);
+  check_int (name ^ ": p95") g_p95 (Sim.Metrics.Hist.quantile lat 0.95)
+
+let test_fixed_golden_counter () =
+  check_fixed_golden "counter" (test_cfg ())
+    (Rolis.App.counter_app ~keys:100)
+    ~duration:(1 * s)
+    ~golden:(60245, 60287, 2405678, 3685286)
+
+let test_fixed_golden_tpcc () =
+  let workers = 4 in
+  let app =
+    Workload.Tpcc.app (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers)
+  in
+  let cfg = { Rolis.Config.default with Rolis.Config.workers; cores = 8 } in
+  check_fixed_golden "tpcc" cfg app ~duration:(200 * ms)
+    ~golden:(42171, 46192, 12748870, 17246154)
+
+(* The acceptance criterion: at low/medium load the adaptive policy must
+   cut TPC-C release latency at least 2x against the fixed default batch
+   (the bench sweep shows 4-7x; assert the contractual bound). *)
+let test_adaptive_p50_win () =
+  let run policy =
+    let workers = 2 in
+    let cfg =
+      {
+        Rolis.Config.default with
+        Rolis.Config.workers;
+        cores = 8;
+        batch_policy = policy;
+      }
+    in
+    let app =
+      Workload.Tpcc.app
+        (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers)
+    in
+    let cluster = Rolis.Cluster.create cfg app in
+    Rolis.Cluster.run cluster ~warmup:(150 * ms) ~duration:(100 * ms) ();
+    cluster
+  in
+  let fixed = run Rolis.Config.Fixed in
+  let adaptive = run Rolis.Config.Adaptive in
+  let p50 c = Sim.Metrics.Hist.quantile (Rolis.Cluster.latency c) 0.5 in
+  check_bool "both made progress" true
+    (Rolis.Cluster.released fixed > 500 && Rolis.Cluster.released adaptive > 500);
+  check_bool
+    (Printf.sprintf "adaptive p50 (%d ns) at least 2x below fixed (%d ns)"
+       (p50 adaptive) (p50 fixed))
+    true
+    (2 * p50 adaptive <= p50 fixed);
+  (* The event-driven machinery actually carried the run. *)
+  let st = Rolis.Replica.stats (Rolis.Cluster.replica adaptive 0) in
+  check_bool "deadline flushes observed" true (Rolis.Stats.deadline_flushes st > 0);
+  check_bool "event-driven releases observed" true (Rolis.Stats.event_releases st > 0)
+
+(* End-to-end safety under the Adaptive policy: leader crash mid-run,
+   then drain — money conserved on every survivor, and the incremental
+   backlog counter still agrees with the reference fold after the
+   failover churn (clear/step-down paths included). *)
+let test_adaptive_failover_conservation () =
+  let stopped = ref false in
+  let accounts = 40 in
+  let cfg = { (test_cfg ()) with Rolis.Config.batch_policy = Rolis.Config.Adaptive } in
+  let app = transfer_app ~accounts ~initial:500 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (700 * ms) (fun () -> Rolis.Cluster.crash_replica cluster 0);
+  Rolis.Cluster.run cluster ~duration:(2 * s) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  (match Rolis.Cluster.leader cluster with
+  | Some r ->
+      check_bool "new leader took over" true (Rolis.Replica.id r <> 0);
+      check_int "money conserved on the new leader" (accounts * 500)
+        (total_money (Rolis.Replica.db r) ~accounts)
+  | None -> Alcotest.fail "no leader after failover");
+  Array.iter
+    (fun r ->
+      if Rolis.Replica.is_alive r then begin
+        check_int "money conserved" (accounts * 500)
+          (total_money (Rolis.Replica.db r) ~accounts);
+        check_int
+          (Printf.sprintf "replica %d backlog counter = fold" (Rolis.Replica.id r))
+          (Rolis.Replica.replay_backlog_scan r)
+          (Rolis.Replica.replay_backlog r)
+      end)
+    (Rolis.Cluster.replicas cluster)
+
 (* ---------- config validation ---------- *)
 
 let expect_invalid name cfg =
@@ -531,6 +766,28 @@ let test_config_validate_clients () =
   expect_invalid "admission pending zero" { on with Rolis.Config.admission_max_pending = 0 };
   expect_invalid "admission release zero" { on with Rolis.Config.admission_max_release = 0 };
   expect_invalid "admission backlog zero" { on with Rolis.Config.admission_max_backlog = 0 }
+
+let test_config_validate_batching () =
+  let ok = test_cfg () in
+  Rolis.Config.validate ok;
+  expect_invalid "target delay zero"
+    { ok with Rolis.Config.target_batch_delay_ns = 0 };
+  expect_invalid "negative target delay"
+    { ok with Rolis.Config.target_batch_delay_ns = -ms };
+  expect_invalid "byte cap below one max-size transaction"
+    { ok with Rolis.Config.max_batch_bytes = Rolis.Config.max_txn_bytes - 1 };
+  Rolis.Config.validate
+    { ok with Rolis.Config.max_batch_bytes = Rolis.Config.max_txn_bytes };
+  (* The flush timer is only the idle-stream backstop under Adaptive:
+     finer than the watermark tick is rejected there, accepted under
+     Fixed (where it is the sole latency bound). *)
+  let fine =
+    { ok with Rolis.Config.batch_flush_interval = ok.Rolis.Config.watermark_interval - 1 }
+  in
+  Rolis.Config.validate fine;
+  expect_invalid "adaptive flush timer finer than watermark tick"
+    { fine with Rolis.Config.batch_policy = Rolis.Config.Adaptive };
+  Rolis.Config.validate { ok with Rolis.Config.batch_policy = Rolis.Config.Adaptive }
 
 (* ---------- client sessions ---------- *)
 
@@ -888,6 +1145,9 @@ let () =
           Alcotest.test_case "skipped epoch" `Quick test_watermark_skipped_epoch;
           QCheck_alcotest.to_alcotest watermark_qcheck;
           QCheck_alcotest.to_alcotest watermark_sealing_qcheck;
+          QCheck_alcotest.to_alcotest watermark_incremental_qcheck;
+          Alcotest.test_case "scan count amortized" `Quick
+            test_watermark_scan_amortized;
         ] );
       ( "cluster",
         [
@@ -908,11 +1168,25 @@ let () =
           Alcotest.test_case "old leader tainted" `Quick
             test_old_leader_tainted_on_partition;
         ] );
+      ( "batching",
+        [
+          QCheck_alcotest.to_alcotest batcher_adaptive_qcheck;
+          Alcotest.test_case "fixed policy golden (counter)" `Quick
+            test_fixed_golden_counter;
+          Alcotest.test_case "fixed policy golden (tpcc)" `Quick
+            test_fixed_golden_tpcc;
+          Alcotest.test_case "adaptive p50 at least 2x below fixed" `Quick
+            test_adaptive_p50_win;
+          Alcotest.test_case "adaptive failover conservation" `Quick
+            test_adaptive_failover_conservation;
+        ] );
       ( "config",
         [
           Alcotest.test_case "timing constraints" `Quick test_config_validate_timing;
           Alcotest.test_case "client/admission constraints" `Quick
             test_config_validate_clients;
+          Alcotest.test_case "batching constraints" `Quick
+            test_config_validate_batching;
         ] );
       ( "clients",
         [
