@@ -1,28 +1,46 @@
 (* Figure 15: Silo execute-path vs replay-only throughput over threads
    (TPC-C). Replay touches only the write-set, so it outruns execution
    (~1.5x at 32 threads in the paper) — evidence that followers keep pace
-   with the leader. *)
+   with the leader.
+
+   Extended with the bulk-replay fast path: the same captured logs
+   applied entry-at-a-time through the sorted B-tree cursor sweep
+   ([Silo.Db.apply_replay_entry]), plus a cluster-level comparison of
+   per-txn vs bulk follower replay with the lag telemetry (how far the
+   replayed frontier trails the durable frontier). *)
 
 open Common
 
 let run ~quick =
   header "Figure 15: Silo vs replay-only (TPC-C)"
-    "Paper: replay-only 2.25M @32 = 1.51x Silo's execute path.";
-  Printf.printf "  %-8s %12s %12s %8s\n" "threads" "Silo" "Replay" "ratio";
+    "Paper: replay-only 2.25M @32 = 1.51x Silo's execute path.\n\
+     'Bulk' re-applies the same logs through the sorted cursor sweep.";
+  Printf.printf "  %-8s %12s %12s %8s %12s %8s\n" "threads" "Silo" "Replay"
+    "ratio" "Bulk" "bulk/pt";
   let sweep = points quick [ 2; 8; 16; 24; 30 ] [ 2; 14; 30 ] in
   let pts =
     List.concat_map
       (fun threads ->
+        let gen_dur = dur quick (200 * ms) in
+        let app = Workload.Tpcc.app (tpcc_params ~workers:threads) in
         let r =
-          Baselines.Replay_only.run ~threads
-            ~generate_duration:(dur quick (200 * ms))
-            ~app:(Workload.Tpcc.app (tpcc_params ~workers:threads))
-            ()
+          Baselines.Replay_only.run ~threads ~generate_duration:gen_dur ~app ()
         in
-        Printf.printf "  %-8d %12s %12s %7.2fx\n%!" threads
+        Gc.compact ();
+        let rb =
+          Baselines.Replay_only.run ~replay_batch:Rolis.Config.Bulk ~threads
+            ~generate_duration:gen_dur ~app ()
+        in
+        let speedup =
+          rb.Baselines.Replay_only.replay_tps
+          /. r.Baselines.Replay_only.replay_tps
+        in
+        Printf.printf "  %-8d %12s %12s %7.2fx %12s %7.2fx\n%!" threads
           (fmt_tps r.Baselines.Replay_only.silo_tps)
           (fmt_tps r.Baselines.Replay_only.replay_tps)
-          (r.Baselines.Replay_only.replay_tps /. r.Baselines.Replay_only.silo_tps);
+          (r.Baselines.Replay_only.replay_tps /. r.Baselines.Replay_only.silo_tps)
+          (fmt_tps rb.Baselines.Replay_only.replay_tps)
+          speedup;
         Gc.compact ();
         let x = float_of_int threads in
         [
@@ -34,9 +52,57 @@ let run ~quick =
                 r.Baselines.Replay_only.replay_tps
                 /. r.Baselines.Replay_only.silo_tps );
             ];
+          point ~series:"replay_bulk" ~x
+            [
+              ("tput", rb.Baselines.Replay_only.replay_tps);
+              ( "ratio",
+                rb.Baselines.Replay_only.replay_tps
+                /. rb.Baselines.Replay_only.silo_tps );
+              ("speedup", speedup);
+            ];
         ])
       sweep
   in
+  (* Cluster-level follower replay: same pipeline, per-txn vs bulk, with
+     the replay-lag telemetry (durable frontier minus replayed frontier,
+     sampled on the controller tick). Bulk must not trade throughput for
+     staleness: its lag percentiles gate against the per-txn series via
+     the _ms metric suffix. *)
+  Printf.printf "\n  %-10s %-8s %12s %12s %12s %10s\n" "cluster" "workers"
+    "tput" "lag p50" "lag p95" "replayed";
+  let cl_sweep = points quick [ 8; 16; 24 ] [ 8 ] in
+  let cluster_pts =
+    List.concat_map
+      (fun workers ->
+        let app = Workload.Tpcc.app (tpcc_params ~workers) in
+        let one ~series replay_batch =
+          let c =
+            run_rolis ~replay_batch ~workers ~duration:(dur quick (400 * ms))
+              ~app ()
+          in
+          let lag = Rolis.Cluster.replay_lag c in
+          let lag_ms p = float_of_int p /. 1e6 in
+          Printf.printf "  %-10s %-8d %12s %9.2f ms %9.2f ms %10d\n%!" series
+            workers
+            (fmt_tps (Rolis.Cluster.throughput c))
+            (match lag with Some (_, p50, _) -> lag_ms p50 | None -> nan)
+            (match lag with Some (_, _, p95) -> lag_ms p95 | None -> nan)
+            (Rolis.Cluster.replayed_txns c);
+          let extra =
+            match lag with
+            | Some (_, p50, p95) ->
+                [ ("lag_p50_ms", lag_ms p50); ("lag_p95_ms", lag_ms p95) ]
+            | None -> []
+          in
+          let p = cluster_point ~extra ~series ~x:(float_of_int workers) c in
+          Gc.compact ();
+          p
+        in
+        let pertxn = one ~series:"cluster_pertxn" Rolis.Config.PerTxn in
+        let bulk = one ~series:"cluster_bulk" Rolis.Config.Bulk in
+        [ pertxn; bulk ])
+      cl_sweep
+  in
   emit ~fig:"fig15" ~title:"Silo vs replay-only (TPC-C)" ~x_label:"threads"
     ~knobs:[ ("workload", "tpcc") ]
-    pts
+    (pts @ cluster_pts)

@@ -28,8 +28,17 @@ let batch_policy_of_string s =
       Printf.eprintf "unknown batch policy %S (fixed|adaptive)\n" other;
       exit 2
 
-let run_cluster workload workers cores batch batch_policy target_delay_us
-    duration_ms warmup_ms networked single_stream crash_at_ms seed =
+let replay_batch_of_string s =
+  match String.lowercase_ascii s with
+  | "pertxn" | "per-txn" -> Rolis.Config.PerTxn
+  | "bulk" -> Rolis.Config.Bulk
+  | other ->
+      Printf.eprintf "unknown replay batch mode %S (pertxn|bulk)\n" other;
+      exit 2
+
+let run_cluster workload workers cores batch batch_policy replay_batch
+    target_delay_us duration_ms warmup_ms networked single_stream crash_at_ms
+    seed =
   let app, is_tpcc =
     match workload with
     | "tpcc" ->
@@ -42,6 +51,7 @@ let run_cluster workload workers cores batch batch_policy target_delay_us
         exit 2
   in
   let policy = batch_policy_of_string batch_policy in
+  let rbatch = replay_batch_of_string replay_batch in
   let cfg =
     {
       Rolis.Config.default with
@@ -49,6 +59,7 @@ let run_cluster workload workers cores batch batch_policy target_delay_us
       cores;
       batch_size = batch;
       batch_policy = policy;
+      replay_batch = rbatch;
       target_batch_delay_ns = target_delay_us * Sim.Engine.us;
       networked_clients = networked;
       stream_mode = (if single_stream then Rolis.Config.Single else Rolis.Config.Per_worker);
@@ -80,6 +91,16 @@ let run_cluster workload workers cores batch batch_policy target_delay_us
       (Rolis.Cluster.deadline_flushes cluster)
       (Rolis.Cluster.event_releases cluster)
       (Rolis.Cluster.coalesced_proposals cluster);
+  Printf.printf "replay:          %d txns replayed (%s mode)%s\n"
+    (Rolis.Cluster.replayed_txns cluster)
+    (match rbatch with Rolis.Config.PerTxn -> "per-txn" | Rolis.Config.Bulk -> "bulk")
+    (match Rolis.Cluster.replay_lag cluster with
+    | Some (n, p50, p95) ->
+        Printf.sprintf ", follower lag p50 %.2f ms / p95 %.2f ms (%d samples)"
+          (float_of_int p50 /. 1e6)
+          (float_of_int p95 /. 1e6)
+          n
+    | None -> "");
   Printf.printf "executed:        %d (user aborts: %d)\n" (Rolis.Cluster.executed cluster)
     (Rolis.Cluster.user_aborts cluster);
   (match Rolis.Cluster.leader cluster with
@@ -113,6 +134,15 @@ let batch_policy_arg =
            $(b,adaptive) (latency-targeted sizing, deadline flush, \
            event-driven release, proposal coalescing).")
 
+let replay_batch_arg =
+  Arg.(
+    value & opt string "pertxn"
+    & info [ "replay-batch" ]
+        ~doc:
+          "Follower replay mode: $(b,pertxn) (one CAS transaction per \
+           replayed write-set, the paper's loop) or $(b,bulk) (sorted \
+           entry-at-a-time cursor sweep with event-driven wakeups).")
+
 let target_delay_arg =
   Arg.(
     value
@@ -141,8 +171,8 @@ let run_cmd =
   let term =
     Term.(
       const run_cluster $ workload_arg $ workers_arg $ cores_arg $ batch_arg
-      $ batch_policy_arg $ target_delay_arg $ duration_arg $ warmup_arg
-      $ networked_arg $ single_arg $ crash_arg $ seed_arg)
+      $ batch_policy_arg $ replay_batch_arg $ target_delay_arg $ duration_arg
+      $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 

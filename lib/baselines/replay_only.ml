@@ -1,6 +1,20 @@
 type result = { replay_tps : float; silo_tps : float; replayed : int }
 
-let run ?(seed = 42L) ?(cores = 32) ?costs ~threads ~generate_duration ~app () =
+(* Chunk a worker's captured log (forward order) into entries of
+   [batch_size] transactions, mirroring what the batcher would have
+   proposed. *)
+let chunk ~epoch ~batch_size txns =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else Store.Wire.make_entry ~epoch (List.rev cur) :: acc)
+    | txn :: rest ->
+        if n + 1 >= batch_size then
+          go (Store.Wire.make_entry ~epoch (List.rev (txn :: cur)) :: acc) [] 0 rest
+        else go acc (txn :: cur) (n + 1) rest
+  in
+  go [] [] 0 txns
+
+let run ?(seed = 42L) ?(cores = 32) ?costs ?(replay_batch = Rolis.Config.PerTxn)
+    ?(batch_size = 1000) ~threads ~generate_duration ~app () =
   (* Phase 1: generate logs with a plain Silo run. *)
   let eng = Sim.Engine.create ~seed () in
   let cpu = Sim.Cpu.create eng ~cores () in
@@ -33,7 +47,9 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ~threads ~generate_duration ~app () =
   let generated = Array.fold_left (fun acc l -> acc + List.length l) 0 logs in
   let silo_tps = float_of_int generated *. 1e9 /. float_of_int generate_duration in
   (* Phase 2: fresh engine + database with the same initial load; replay
-     the captured logs with [threads] workers. *)
+     the captured logs with [threads] workers — per transaction (the
+     paper's loop) or through the sorted bulk-apply fast path, entry by
+     entry. *)
   let eng2 = Sim.Engine.create ~seed () in
   let cpu2 = Sim.Cpu.create eng2 ~cores () in
   let db2 = Silo.Db.create eng2 cpu2 ?costs ~physical_deletes:false () in
@@ -45,12 +61,22 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ~threads ~generate_duration ~app () =
     let _p =
       Sim.Engine.spawn eng2 (fun () ->
           Sim.Cpu.register cpu2;
-          let applied = ref 0 in
-          List.iter
-            (fun txn ->
-              Silo.Db.apply_replay db2 txn ~epoch:1 ~applied;
-              incr replayed)
-            mine;
+          (match replay_batch with
+          | Rolis.Config.PerTxn ->
+              let applied = ref 0 in
+              List.iter
+                (fun (txn : Store.Wire.txn_log) ->
+                  Silo.Db.apply_replay db2 txn ~epoch:1
+                    ~writes:(List.length txn.Store.Wire.writes)
+                    ~applied;
+                  incr replayed)
+                mine
+          | Rolis.Config.Bulk ->
+              List.iter
+                (fun entry ->
+                  let res = Silo.Db.apply_replay_entry db2 entry ~upto:max_int in
+                  replayed := !replayed + res.Silo.Db.re_txns)
+                (chunk ~epoch:1 ~batch_size mine));
           Sim.Cpu.unregister cpu2;
           if Sim.Engine.time () > !t_done then t_done := Sim.Engine.time ())
     in

@@ -17,6 +17,8 @@ val run :
   ?seed:int64 ->
   ?cores:int ->
   ?costs:Silo.Costs.t ->
+  ?replay_batch:Rolis.Config.replay_batch ->
+  ?batch_size:int ->
   threads:int ->
   generate_duration:int ->
   app:Rolis.App.t ->
@@ -25,4 +27,8 @@ val run :
 (** Phase 1: run [threads] Silo workers for [generate_duration], capturing
     every committed write-set per worker. Phase 2: fresh database, same
     initial load; [threads] replay workers apply their own worker's log
-    sequentially. [replay_tps] is transactions replayed per second. *)
+    sequentially — per transaction (default) or, with
+    [replay_batch = Bulk], chunked into entries of [batch_size]
+    transactions (default 1000) and applied through
+    {!Silo.Db.apply_replay_entry}'s sorted cursor sweep. [replay_tps] is
+    transactions replayed per second. *)

@@ -13,8 +13,17 @@ type outcome = { verdicts : verdict list; missing : string list }
 
 type direction = Higher_better | Lower_better | Informational
 
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
 let direction_of_metric name =
-  if String.length name >= 4 && String.sub name 0 4 = "tput" then Higher_better
+  if has_prefix ~prefix:"tput" name then Higher_better
+    (* "ratio" (replay vs execute, Fig. 15) and "speedup" (bulk vs per-txn
+       replay) are throughput quotients: falling means the fast path lost
+       ground, so they gate upward like throughput. *)
+  else if has_prefix ~prefix:"ratio" name || has_prefix ~prefix:"speedup" name
+  then Higher_better
   else if
     String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_ms"
   then Lower_better
@@ -116,18 +125,26 @@ let pp fmt o =
      what the adaptive batching work targets): surface its worst delta in
      the summary so the gate's one-liner answers "did batching move?"
      without scanning rows. *)
-  let batch_submit =
-    List.filter (fun v -> v.metric = "stage:batch_submit:p95_ms") o.verdicts
-  in
-  let batch_submit_note =
-    match batch_submit with
-    | [] -> "batch_submit p95: no samples"
+  let worst_note ~label metrics =
+    let vs = List.filter (fun v -> List.mem v.metric metrics) o.verdicts in
+    match vs with
+    | [] -> Printf.sprintf "%s: no samples" label
     | vs ->
         let worst = List.fold_left (fun acc v -> Float.max acc v.delta) neg_infinity vs in
-        Printf.sprintf "batch_submit p95 worst delta %+.1f%%" (100.0 *. worst)
+        Printf.sprintf "%s worst delta %+.1f%%" label (100.0 *. worst)
+  in
+  let batch_submit_note =
+    worst_note ~label:"batch_submit p95" [ "stage:batch_submit:p95_ms" ]
+  in
+  (* The replay fast path's two promises: the bulk sweep stays fast
+     (replay stage / speedup) and does not let followers fall behind
+     (replay_lag / lag p95). One line answers "did replay move?". *)
+  let replay_note =
+    worst_note ~label:"replay p95/lag"
+      [ "stage:replay:p95_ms"; "stage:replay_lag:p95_ms"; "lag_p95_ms"; "speedup" ]
   in
   Format.fprintf fmt
-    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s@."
+    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s; %s@."
     (List.length o.verdicts) (List.length bad)
     (List.length o.missing)
-    batch_submit_note
+    batch_submit_note replay_note

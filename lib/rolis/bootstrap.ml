@@ -41,7 +41,10 @@ let replay_entries ~dst entries =
   List.iter
     (fun (entry : Store.Wire.entry) ->
       List.iter
-        (fun txn -> Silo.Db.apply_replay dst txn ~epoch:entry.epoch ~applied)
+        (fun (txn : Store.Wire.txn_log) ->
+          Silo.Db.apply_replay dst txn ~epoch:entry.epoch
+            ~writes:(List.length txn.Store.Wire.writes)
+            ~applied)
         entry.txns)
     entries;
   !applied

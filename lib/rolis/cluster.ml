@@ -160,6 +160,25 @@ let event_releases t =
     (fun acc r -> acc + Stats.event_releases (Replica.stats r))
     0 t.replicas
 
+(* Follower-replay diagnostics. *)
+let replayed_txns t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.replayed_txns (Replica.stats r))
+    0 t.replicas
+
+let replay_lag t =
+  let h =
+    Sim.Metrics.Hist.merge
+      (Array.to_list t.replicas
+      |> List.map (fun r ->
+             Stats.stage_hist (Replica.stats r) (Trace.stage_index Trace.Replay_lag)))
+  in
+  let n = Sim.Metrics.Hist.count h in
+  if n = 0 then None
+  else
+    Some
+      (n, Sim.Metrics.Hist.percentile h 50.0, Sim.Metrics.Hist.percentile h 95.0)
+
 let coalesced_proposals t =
   Array.fold_left
     (fun acc r ->

@@ -90,3 +90,15 @@ val event_releases : t -> int
 val coalesced_proposals : t -> int
 (** Proposals merged into an earlier entry's quorum round by the
     replication layer (0 under the [Fixed] policy). *)
+
+val replayed_txns : t -> int
+(** Transactions applied through follower replay over the window, all
+    replicas (identical under [PerTxn] and [Bulk] replay — the fast path
+    changes cost accounting, not coverage). *)
+
+val replay_lag : t -> (int * int * int) option
+(** Follower-lag summary over the window, merged across replicas:
+    [(samples, p50, p95)] of durable-frontier minus replayed-frontier on
+    the transaction-timestamp axis (which rides virtual ns), one sample
+    per replayed entry. [None] when tracing is disabled or no follower
+    replayed anything. *)

@@ -1,5 +1,6 @@
 type stream_mode = Per_worker | Single | Sharded of int
 type batch_policy = Fixed | Adaptive
+type replay_batch = PerTxn | Bulk
 
 (* Conservative upper bound on one TPC-C transaction's wire footprint: a
    Delivery touches ~130 rows; at ~120 wire bytes per write that is under
@@ -37,6 +38,7 @@ type t = {
   admission_max_backlog : int;
   enqueue_cs_ns : int;
   entry_overhead_ns : int;
+  replay_batch : replay_batch;
   disable_replay : bool;
   archive_entries : bool;
   trace_sample_interval : int;
@@ -76,6 +78,7 @@ let default =
     admission_max_backlog = 100_000;
     enqueue_cs_ns = 1_200;
     entry_overhead_ns = 200_000;
+    replay_batch = PerTxn;
     disable_replay = false;
     archive_entries = false;
     trace_sample_interval = 64;
@@ -128,6 +131,11 @@ let validate t =
   if t.client_rpc_overhead < 0 then
     invalid_arg "Config: client_rpc_overhead must be non-negative";
   if t.clients < 0 then invalid_arg "Config: clients must be non-negative";
+  if t.replay_batch = Bulk && t.disable_replay then
+    invalid_arg
+      "Config: replay_batch = Bulk is meaningless with disable_replay — the \
+       bulk fast path never runs when followers do not apply entries; drop one \
+       of the two settings";
   if t.trace_sample_interval < 0 then
     invalid_arg "Config: trace_sample_interval must be non-negative";
   if t.trace_buffer_capacity < 1 then

@@ -43,6 +43,23 @@ type t = {
      enqueue/dequeue: admission control reads it per client request, so
      the O(streams) fold was on the hot path. *)
   mutable backlog : int;
+  (* Watermark-state generation: bumped on every durability commit and on
+     controller-observed watermark/epoch advances. The per-transaction
+     replay loop memoizes its seal probe against it — an unsealed
+     straddling entry re-checks [Watermark.final_watermark] only after the
+     state could actually have moved, not on every poll tick. *)
+  mutable wm_gen : int;
+  (* Event-driven replay (Bulk mode): per-stream wakeup generation +
+     mailbox, same shape as the batcher's generation-guarded deadline. A
+     signal bumps the generation and posts at most one poke; the replay
+     loop re-drains while the generation moves and only then parks. *)
+  r_gen : int array;
+  r_wake : unit Sim.Sync.Mailbox.t array;
+  (* Follower-lag telemetry: per-stream replayed frontier (last consumed
+     entry timestamp) and the cluster-wide durable frontier, both on the
+     transaction-timestamp axis. Lag = durable - min(frontier). *)
+  applied_ts : int array;
+  mutable durable_max : int;
   (* Event-driven release (Adaptive policy): last watermark a release
      pass ran for, so a durability notification that does not advance the
      cluster minimum skips the pass. Watermarks ride the global timestamp
@@ -337,6 +354,45 @@ let client_worker_loop t w op () =
 
 (* ---- replay side ---- *)
 
+(* Session-table rebuild from a replicated request id: a replayed
+   transaction is durable below its epoch's watermark, i.e. released (or
+   about to be) at the leader that executed it. Marking it released here
+   is what lets a freshly promoted leader answer a retry from cache
+   instead of re-executing — including when the old leader died between
+   durability and release. *)
+let rebuild_session t (txn : Store.Wire.txn_log) =
+  match txn.Store.Wire.req with
+  | Some (cid, seq) ->
+      let sess = session t cid in
+      if seq > sess.s_claimed then sess.s_claimed <- seq;
+      if seq > sess.s_applied then sess.s_applied <- seq;
+      if seq > sess.s_released then sess.s_released <- seq
+  | None -> ()
+
+(* Follower-lag bookkeeping. Every consumed entry (replayed or skipped as
+   our own proposal) advances this stream's replayed frontier. The lag
+   sample is taken on the controller tick — a fixed cadence identical in
+   both replay modes — not at entry-apply time: the event-driven bulk
+   loop applies each entry the instant it becomes eligible, so apply-time
+   samples would always land on the crest of the durability sawtooth and
+   overstate its lag relative to the poll-delayed per-txn loop. Pure
+   host-side accounting — no virtual-time ops — so it is bit-identity
+   safe in both replay modes. *)
+let note_consumed t s (entry : Store.Wire.entry) =
+  if entry.Store.Wire.last_ts > t.applied_ts.(s) then
+    t.applied_ts.(s) <- entry.Store.Wire.last_ts
+
+let note_lag t =
+  let frontier = Array.fold_left min max_int t.applied_ts in
+  if frontier > 0 && frontier <> max_int then
+    Trace.note_replay_lag t.trace ~frontier ~durable:t.durable_max
+
+let replay_frontier t =
+  let f = Array.fold_left min max_int t.applied_ts in
+  if f = max_int then 0 else f
+
+let durable_frontier t = t.durable_max
+
 let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
   (* [upto] truncates the batch at the (final) watermark: transactions
      with [ts <= upto] are safe — they may already have been released to
@@ -348,51 +404,85 @@ let apply_entry ?(upto = max_int) t (entry : Store.Wire.entry) =
     List.iter
       (fun (txn : Store.Wire.txn_log) ->
         if txn.Store.Wire.ts <= upto then begin
-          (* Rebuild the client-session table from the replicated request
-             id: a replayed transaction is durable below its epoch's
-             watermark, i.e. released (or about to be) at the leader that
-             executed it. Marking it released here is what lets a freshly
-             promoted leader answer a retry from cache instead of
-             re-executing — including when the old leader died between
-             durability and release. *)
-          (match txn.Store.Wire.req with
-          | Some (cid, seq) ->
-              let sess = session t cid in
-              if seq > sess.s_claimed then sess.s_claimed <- seq;
-              if seq > sess.s_applied then sess.s_applied <- seq;
-              if seq > sess.s_released then sess.s_released <- seq
-          | None -> ());
+          rebuild_session t txn;
+          let nwrites = List.length txn.writes in
           let sampled = Trace.sample_replay t.trace in
           let r0 = Sim.Engine.now t.eng in
-          Silo.Db.apply_replay t.db txn ~epoch:entry.epoch ~applied;
+          Silo.Db.apply_replay t.db txn ~epoch:entry.epoch ~writes:nwrites
+            ~applied;
           if sampled then
             Trace.note_replay t.trace ~ts:txn.Store.Wire.ts ~start:r0
               ~stop:(Sim.Engine.now t.eng);
-          Stats.note_replayed t.stats ~txns:1 ~writes:(List.length txn.writes)
+          Stats.note_replayed t.stats ~txns:1 ~writes:nwrites
         end)
       entry.txns;
     Sim.Cpu.unregister t.cpu
   end
 
-let replay_loop t s () =
+(* Bulk fast path (replay_batch = Bulk): merge the whole entry's
+   write-sets (last-writer-wins per key), sort once, apply through a
+   B-tree cursor sweep — one CPU charge, one trace span, one stats update
+   per entry instead of per transaction (Rolis §5's replay headroom,
+   Fig. 15). *)
+let apply_entry_bulk ?(upto = max_int) t (entry : Store.Wire.entry) =
+  if not t.cfg.Config.disable_replay then begin
+    Sim.Cpu.register t.cpu;
+    List.iter
+      (fun (txn : Store.Wire.txn_log) ->
+        if txn.Store.Wire.ts <= upto then rebuild_session t txn)
+      entry.txns;
+    let sampled = Trace.sample_replay t.trace in
+    let r0 = Sim.Engine.now t.eng in
+    let res = Silo.Db.apply_replay_entry t.db entry ~upto in
+    if sampled then
+      Trace.note_replay t.trace ~ts:entry.Store.Wire.last_ts ~start:r0
+        ~stop:(Sim.Engine.now t.eng);
+    Stats.note_replayed t.stats ~txns:res.Silo.Db.re_txns
+      ~writes:res.Silo.Db.re_writes;
+    Sim.Cpu.unregister t.cpu
+  end
+
+(* Event-driven replay wakeup (Bulk mode): bump the stream's generation
+   and post at most one poke — [Mailbox.length] counts only queued
+   messages, so the mailbox never holds more than one. A signal landing
+   while the loop drains either bumps the generation (loop re-drains
+   before parking) or wakes the parked waiter; wakeups are never lost. *)
+let signal_replay t s =
+  t.r_gen.(s) <- t.r_gen.(s) + 1;
+  if Sim.Sync.Mailbox.length t.r_wake.(s) = 0 then
+    Sim.Sync.Mailbox.send t.r_wake.(s) ()
+
+let signal_replay_all t =
+  for s = 0 to Array.length t.r_gen - 1 do
+    signal_replay t s
+  done
+
+let replay_loop_pertxn t s () =
   let q = t.replay_queues.(s) in
   let poll = t.cfg.Config.watermark_interval in
   let pop () =
     ignore (Queue.pop q);
     t.backlog <- t.backlog - 1
   in
+  (* Seal-probe memoization (see [wm_gen]): for an unsealed straddling
+     entry, re-probe [final_watermark] only after a durability event could
+     have changed the answer, instead of on every poll tick. *)
+  let seal_gen = ref (-1) in
   while true do
     match Queue.peek_opt q with
     | None -> Sim.Engine.sleep poll
     | Some entry ->
         let e = entry.Store.Wire.epoch in
-        if t.serving && e = t.srv_epoch then
+        if t.serving && e = t.srv_epoch then begin
           (* Our own proposals: already applied by execution. *)
-          pop ()
+          pop ();
+          note_consumed t s entry
+        end
         else if e < t.repoch then begin
           (* Left-over from an already-advanced epoch (defensive): apply
              only the part below that epoch's final watermark. *)
           pop ();
+          note_consumed t s entry;
           match Watermark.final_watermark t.wm ~epoch:e with
           | Some w -> apply_entry t entry ~upto:w
           | None -> ()
@@ -400,9 +490,12 @@ let replay_loop t s () =
         else if e = t.repoch then begin
           if entry.Store.Wire.last_ts <= t.rwm then begin
             pop ();
+            note_consumed t s entry;
             apply_entry t entry
           end
-          else
+          else if !seal_gen = t.wm_gen then Sim.Engine.sleep poll
+          else begin
+            seal_gen := t.wm_gen;
             match Watermark.final_watermark t.wm ~epoch:e with
             | Some w ->
                 (* The epoch is sealed and this entry straddles its final
@@ -410,11 +503,67 @@ let replay_loop t s () =
                    results may already be at clients) and skip the tail,
                    which may depend on lost transactions (Fig. 3). *)
                 pop ();
+                note_consumed t s entry;
                 apply_entry t entry ~upto:w
             | None -> Sim.Engine.sleep poll
+          end
         end
         else Sim.Engine.sleep poll (* future epoch: wait for the controller *)
   done
+
+(* Bulk mode: same state machine, but instead of sleeping a poll interval
+   the loop drains everything applicable and then parks on the wakeup
+   mailbox, re-draining first if the generation moved while it worked. A
+   durability commit or watermark advance wakes it immediately, so replay
+   latency no longer floors at [watermark_interval]. *)
+let replay_loop_bulk t s () =
+  let q = t.replay_queues.(s) in
+  let pop () =
+    ignore (Queue.pop q);
+    t.backlog <- t.backlog - 1
+  in
+  while true do
+    let gen = t.r_gen.(s) in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt q with
+      | None -> continue := false
+      | Some entry -> (
+          let e = entry.Store.Wire.epoch in
+          if t.serving && e = t.srv_epoch then begin
+            pop ();
+            note_consumed t s entry
+          end
+          else if e < t.repoch then begin
+            pop ();
+            note_consumed t s entry;
+            match Watermark.final_watermark t.wm ~epoch:e with
+            | Some w -> apply_entry_bulk t entry ~upto:w
+            | None -> ()
+          end
+          else if e = t.repoch then begin
+            if entry.Store.Wire.last_ts <= t.rwm then begin
+              pop ();
+              note_consumed t s entry;
+              apply_entry_bulk t entry
+            end
+            else
+              match Watermark.final_watermark t.wm ~epoch:e with
+              | Some w ->
+                  pop ();
+                  note_consumed t s entry;
+                  apply_entry_bulk t entry ~upto:w
+              | None -> continue := false (* unsealed straddle: park *)
+          end
+          else continue := false (* future epoch: wait for the controller *))
+    done;
+    if t.r_gen.(s) = gen then Sim.Sync.Mailbox.recv t.r_wake.(s)
+  done
+
+let replay_loop t s () =
+  match t.cfg.Config.replay_batch with
+  | Config.PerTxn -> replay_loop_pertxn t s ()
+  | Config.Bulk -> replay_loop_bulk t s ()
 
 (* ---- controller: watermark, release, replay-epoch advancement ---- *)
 
@@ -471,11 +620,22 @@ let controller_loop t () =
   while true do
     Sim.Engine.sleep t.cfg.Config.watermark_interval;
     Stats.sample_speculative_memory t.stats;
+    (* Follower-lag sample at fixed cadence (see [note_consumed]):
+       followers only — a leader's frontier tracks its own skipped
+       proposals and would dilute the metric. *)
+    if (not t.serving) && not t.cfg.Config.disable_replay then note_lag t;
     if t.serving && not (quorum_alive t) then stop_serving t;
-    (match Watermark.compute t.wm ~epoch:t.repoch with
-    | Some w when w > t.rwm -> t.rwm <- w
-    | Some _ | None -> ());
-    if Watermark.is_sealed t.wm ~epoch:t.repoch then begin
+    let rwm_advanced =
+      match Watermark.compute t.wm ~epoch:t.repoch with
+      | Some w when w > t.rwm ->
+          t.rwm <- w;
+          true
+      | Some _ | None -> false
+    in
+    let sealed = Watermark.is_sealed t.wm ~epoch:t.repoch in
+    let epoch_advanced =
+      sealed
+      &&
       let drained =
         Array.for_all
           (fun q ->
@@ -488,8 +648,18 @@ let controller_loop t () =
         t.repoch <- t.repoch + 1;
         t.rwm <-
           (match Watermark.compute t.wm ~epoch:t.repoch with Some w -> w | None -> 0)
-      end
-    end;
+      end;
+      drained
+    in
+    if rwm_advanced || epoch_advanced then t.wm_gen <- t.wm_gen + 1;
+    (* Bulk replay parks between wakeups; poke every stream whenever its
+       go/no-go inputs moved (watermark or epoch advance) and as a sealed
+       backstop for entries straddling the final watermark, whose apply
+       decision changes without the replay watermark moving. *)
+    if
+      t.cfg.Config.replay_batch = Config.Bulk
+      && (rwm_advanced || epoch_advanced || sealed)
+    then signal_replay_all t;
     (* Under the Adaptive policy release is event-driven — durability
        notifications that advance the watermark run the pass directly
        (see [on_commit]) — and the controller tick keeps only its
@@ -597,6 +767,11 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       wm = Watermark.create ~streams:nstreams;
       replay_queues = Array.init nstreams (fun _ -> Queue.create ());
       backlog = 0;
+      wm_gen = 0;
+      r_gen = Array.make nstreams 0;
+      r_wake = Array.init nstreams (fun _ -> Sim.Sync.Mailbox.create eng);
+      applied_ts = Array.make nstreams 0;
+      durable_max = 0;
       last_rel_wm = -1;
       release_queues = Array.init cfg.Config.workers (fun _ -> Queue.create ());
       procs = [];
@@ -629,6 +804,11 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       else entry
     in
     Watermark.note_durable t.wm ~stream:s ~epoch:entry.epoch ~ts:entry.last_ts;
+    (* Watermark state moved: invalidate the per-txn replay loops' seal
+       memo and advance the durable frontier for follower-lag samples. *)
+    t.wm_gen <- t.wm_gen + 1;
+    if entry.Store.Wire.last_ts > t.durable_max then
+      t.durable_max <- entry.Store.Wire.last_ts;
     if Trace.has_pending t.trace then
       List.iter
         (fun (txn : Store.Wire.txn_log) ->
@@ -638,6 +818,21 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
     (match on_durable with Some f -> f ~stream:s ~idx entry | None -> ());
     Queue.add entry t.replay_queues.(s);
     t.backlog <- t.backlog + 1;
+    (* Event-driven replay (Bulk): advance the replay watermark right here
+       — waiting for the controller tick would floor replay latency at
+       [watermark_interval] — then wake every stream when it moved (the
+       new watermark can unblock entries parked on other streams), or just
+       this one for the enqueue. *)
+    if cfg.Config.replay_batch = Config.Bulk then begin
+      let advanced =
+        match Watermark.compute t.wm ~epoch:t.repoch with
+        | Some w when w > t.rwm ->
+            t.rwm <- w;
+            true
+        | Some _ | None -> false
+      in
+      if advanced then signal_replay_all t else signal_replay t s
+    end;
     (* Event-driven release: when this durability notification advanced
        the cluster minimum, run the release pass right here instead of
        waiting out the controller tick. The whole pass is yield-free

@@ -72,6 +72,17 @@ val replay_backlog_scan : t -> int
     reference implementation the tests assert {!replay_backlog}
     against. *)
 
+val replay_frontier : t -> int
+(** Minimum over streams of the last consumed entry timestamp — how far
+    this replica has replayed (or skipped, for its own proposals) on the
+    transaction-timestamp axis. [0] until every stream has consumed at
+    least one entry. *)
+
+val durable_frontier : t -> int
+(** Highest entry timestamp this replica has seen reach quorum
+    durability. [durable_frontier - replay_frontier] is the follower lag
+    sampled into the [Replay_lag] stage histogram. *)
+
 val session_state : t -> cid:int -> (int * int) option
 (** [(applied, released)] highest sequence numbers this replica knows for
     client session [cid] — from its own execution on a leader, from

@@ -1,4 +1,4 @@
-(* Sized for Trace's stage set (10 stages today); a fixed bound keeps the
+(* Sized for Trace's stage set (12 stages today); a fixed bound keeps the
    array allocation-free on the hot path. *)
 let max_stages = 16
 

@@ -10,6 +10,7 @@ type stage =
   | Busy
   | Cached
   | Deadline_flush
+  | Replay_lag
 
 let all_stages =
   [
@@ -24,6 +25,7 @@ let all_stages =
     Busy;
     Cached;
     Deadline_flush;
+    Replay_lag;
   ]
 
 let n_stages = List.length all_stages
@@ -40,6 +42,7 @@ let stage_index = function
   | Busy -> 8
   | Cached -> 9
   | Deadline_flush -> 10
+  | Replay_lag -> 11
 
 let stage_name = function
   | Execute -> "execute"
@@ -53,6 +56,7 @@ let stage_name = function
   | Busy -> "busy"
   | Cached -> "cached"
   | Deadline_flush -> "deadline_flush"
+  | Replay_lag -> "replay_lag"
 
 let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 
@@ -251,6 +255,27 @@ let note_replay t ~ts ~start ~stop =
       sp_dropped = false;
     };
   Stats.note_stage t.stats ~stage:(stage_index Replay) ~latency:(max 0 (stop - start))
+
+(* Follower lag: one sample per applied entry. The span runs from the
+   replica's replayed frontier to the durable frontier — both live on the
+   transaction-timestamp axis, which rides virtual time — so its width IS
+   the lag. The histogram takes every sample (entries are ~batch_size
+   rarer than transactions); the ring keeps them subject to its bound. *)
+let note_replay_lag t ~frontier ~durable =
+  if enabled t then begin
+    let durable = max frontier durable in
+    Ring.push t.rings.(t.workers)
+      {
+        sp_ts = durable;
+        sp_worker = -1;
+        sp_stage = Replay_lag;
+        sp_start = frontier;
+        sp_end = durable;
+        sp_dropped = false;
+      };
+    Stats.note_stage t.stats ~stage:(stage_index Replay_lag)
+      ~latency:(durable - frontier)
+  end
 
 let note_disposition t stage =
   if t.interval > 0 then begin

@@ -59,6 +59,10 @@ type stage =
       (** adaptive batching: a batch hit its [target_batch_delay_ns]
           deadline and was flushed by the scheduled deadline event rather
           than by filling up (zero-width disposition event) *)
+  | Replay_lag
+      (** follower lag at one entry application: durable frontier minus
+          replayed frontier on the transaction-timestamp axis — how far
+          this replica's replay trails what is already durable *)
 
 val all_stages : stage list
 val n_stages : int
@@ -145,7 +149,16 @@ val sample_replay : t -> bool
 (** Deterministic 1-in-N decision for replayed transactions. *)
 
 val note_replay : t -> ts:int -> start:int -> stop:int -> unit
-(** One replayed transaction was applied (guard with {!sample_replay}). *)
+(** One replayed transaction was applied (guard with {!sample_replay}).
+    Under bulk replay the span covers one whole entry. *)
+
+val note_replay_lag : t -> frontier:int -> durable:int -> unit
+(** One follower-lag sample (per applied entry, not 1-in-N-sampled): the
+    replica has replayed up to timestamp [frontier] while [durable] is
+    already durable cluster-wide. Feeds the [Replay_lag] stage histogram
+    with [durable - frontier] (clamped at 0) and pushes the
+    [frontier, durable] span into the replay ring. No-op when tracing is
+    disabled, like every other stage recorder. *)
 
 val note_disposition : t -> stage -> unit
 (** A [Redirect], [Busy] or [Cached] client disposition, or a

@@ -26,7 +26,13 @@ type t = {
           "+Replication" factor) *)
   replay_write_ns : int;
       (** per key applied during follower replay (a compare-and-swap
-          wrapped as a small transaction, §5) *)
+          wrapped as a small transaction, §5) — the per-transaction path *)
+  replay_seek_ns : int;
+      (** bulk replay: positioning the B-tree cursor with a fresh
+          root-to-leaf descent (plus the key's CAS + install) *)
+  replay_next_ns : int;
+      (** bulk replay: applying the next key of a sorted run inside the
+          already-positioned leaf (plus its CAS + install) *)
 }
 
 val default : t
@@ -47,3 +53,9 @@ val commit_cost : t -> reads:int -> writes:int -> int
 val serialize_cost : t -> bytes:int -> int
 val replicate_cost : t -> bytes:int -> int
 val replay_cost : t -> writes:int -> int
+(** Per-transaction replay: [writes * replay_write_ns]. *)
+
+val replay_bulk_cost : t -> seeks:int -> steps:int -> int
+(** Sorted bulk replay of one log entry:
+    [seeks * replay_seek_ns + steps * replay_next_ns], where the counts
+    come from {!Store.Btree.apply_sorted}. *)

@@ -78,11 +78,33 @@ val run_once : t -> worker:int -> (Txn.t -> 'a) -> 'a result option
 (** Single attempt; [None] on a conflict abort (no retry). For baselines
     that handle retry themselves. *)
 
-val apply_replay : t -> Store.Wire.txn_log -> epoch:int -> applied:int ref -> unit
+val apply_replay :
+  t -> Store.Wire.txn_log -> epoch:int -> writes:int -> applied:int ref -> unit
 (** Follower-side replay of one transaction's write-set: per-key
     compare-and-swap on [(epoch, ts)] (paper §3.4, §5), charging
-    {!Costs.replay_cost}. Missing keys are created; deletes tombstone.
-    Increments [applied] per key that actually won its CAS. Idempotent. *)
+    {!Costs.replay_cost}. [writes] is the precomputed
+    [List.length txn.writes] — callers already hold the count for their
+    own accounting, so the hot path never recomputes it. Missing keys are
+    created; deletes tombstone. Increments [applied] per key that
+    actually won its CAS. Idempotent. *)
+
+type replay_entry_result = {
+  re_txns : int;  (** transactions with [ts <= upto] (all merged) *)
+  re_writes : int;  (** their total logged writes *)
+  re_installed : int;  (** keys whose CAS won (deduped per key) *)
+  re_seeks : int;  (** fresh cursor descents charged *)
+  re_steps : int;  (** in-leaf continuations charged *)
+}
+
+val apply_replay_entry : t -> Store.Wire.entry -> upto:int -> replay_entry_result
+(** Bulk replay of one durable entry (the follower fast path): merges the
+    write-sets of every transaction with [ts <= upto] (per-key
+    last-writer-wins, which equals the per-transaction CAS outcome since
+    stream timestamps are strictly monotone), sorts once by (table, key),
+    and applies each table's run through a {!Store.Btree.apply_sorted}
+    cursor sweep — one {!Costs.replay_bulk_cost} CPU charge for the whole
+    entry. Observably equivalent to calling {!apply_replay} on each
+    truncated transaction in order; idempotent for the same reason. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -77,11 +77,17 @@ let mem t k = find t k <> None
 
 type 'a split = (string * 'a node) option
 
-let rec ins node k v : 'a option * 'a split =
+exception Duplicate
+
+(* [guard = true] refuses to clobber an existing binding: the exception
+   escapes before any node is touched, so a failed guarded insert leaves
+   the tree bit-identical — no insert-then-undo dance in callers. *)
+let rec ins ~guard node k v : 'a option * 'a split =
   match node with
   | Leaf l -> (
       match bsearch l.keys k with
       | Ok i ->
+          if guard then raise_notrace Duplicate;
           let prev = l.vals.(i) in
           l.vals.(i) <- v;
           (Some prev, None)
@@ -106,7 +112,7 @@ let rec ins node k v : 'a option * 'a split =
           end)
   | Node n -> (
       let i = child_index n k in
-      let prev, split = ins n.kids.(i) k v in
+      let prev, split = ins ~guard n.kids.(i) k v in
       match split with
       | None -> (prev, None)
       | Some (sep, right) ->
@@ -128,13 +134,23 @@ let rec ins node k v : 'a option * 'a split =
             (prev, Some (promoted, Node right_node))
           end)
 
-let insert t k v =
-  let prev, split = ins t.root k v in
-  (match split with
+let root_split t = function
   | Some (sep, right) -> t.root <- Node { seps = [| sep |]; kids = [| t.root; right |] }
-  | None -> ());
+  | None -> ()
+
+let insert t k v =
+  let prev, split = ins ~guard:false t.root k v in
+  root_split t split;
   if prev = None then t.size <- t.size + 1;
   prev
+
+let insert_if_absent t k v =
+  match ins ~guard:true t.root k v with
+  | exception Duplicate -> false
+  | _, split ->
+      root_split t split;
+      t.size <- t.size + 1;
+      true
 
 (* ---- delete ---- *)
 
@@ -259,6 +275,112 @@ let max_binding t =
 (* Leaf that would contain [k], i.e. the leaf reached by descent. *)
 let rec seek_leaf node k =
   match node with Leaf l -> l | Node n -> seek_leaf n.kids.(child_index n k) k
+
+(* ---- read cursor ---- *)
+
+type 'a cursor = {
+  c_tree : 'a t;
+  mutable c_leaf : 'a leaf option;
+  mutable c_idx : int;
+}
+
+let cursor t = { c_tree = t; c_leaf = None; c_idx = 0 }
+
+(* Hop to the next leaf when the index ran off the end. One hop suffices:
+   only the root leaf can be empty, and it has no successor. *)
+let rec cursor_norm c =
+  match c.c_leaf with
+  | Some l when c.c_idx >= Array.length l.keys ->
+      c.c_leaf <- l.next;
+      c.c_idx <- 0;
+      cursor_norm c
+  | Some _ | None -> ()
+
+let seek c k =
+  let l = seek_leaf c.c_tree.root k in
+  c.c_leaf <- Some l;
+  c.c_idx <- (match bsearch l.keys k with Ok i -> i | Error i -> i);
+  cursor_norm c
+
+let current c =
+  match c.c_leaf with
+  | Some l when c.c_idx < Array.length l.keys -> Some (l.keys.(c.c_idx), l.vals.(c.c_idx))
+  | Some _ | None -> None
+
+let advance c =
+  match c.c_leaf with
+  | None -> ()
+  | Some _ ->
+      c.c_idx <- c.c_idx + 1;
+      cursor_norm c
+
+(* ---- sorted bulk apply (the follower-replay fast path) ---- *)
+
+type bulk_counts = { descents : int; steps : int }
+
+(* Descent that also returns the leaf's exclusive upper bound from the
+   separator chain. The bound — not the next leaf's first key, which can
+   drift above the separator after deletions — decides whether the next
+   ascending key still belongs to this leaf. *)
+let rec seek_leaf_hi node k hi =
+  match node with
+  | Leaf l -> (l, hi)
+  | Node n ->
+      let i = child_index n k in
+      let hi = if i < Array.length n.seps then Some n.seps.(i) else hi in
+      seek_leaf_hi n.kids.(i) k hi
+
+let apply_sorted t kvs ~f =
+  let descents = ref 0 and steps = ref 0 in
+  (* Cached descent target: the current leaf plus its key-space bound.
+     While ascending keys stay below the bound they reuse the leaf (a
+     "step"); crossing it or splitting the leaf forces a fresh descent. *)
+  let cached = ref None in
+  let last = ref None in
+  List.iter
+    (fun (k, x) ->
+      (match !last with
+      | Some pk when compare pk k >= 0 ->
+          invalid_arg "Btree.apply_sorted: keys must be strictly ascending"
+      | Some _ | None -> ());
+      last := Some k;
+      let l, _hi =
+        match !cached with
+        | Some ((_, hi) as lh)
+          when match hi with None -> true | Some h -> compare k h < 0 ->
+            incr steps;
+            lh
+        | Some _ | None ->
+            incr descents;
+            let lh = seek_leaf_hi t.root k None in
+            cached := Some lh;
+            lh
+      in
+      match bsearch l.keys k with
+      | Ok i -> (
+          match f k x (Some l.vals.(i)) with
+          | Some v -> l.vals.(i) <- v
+          | None -> ())
+      | Error i -> (
+          match f k x None with
+          | None -> ()
+          | Some v ->
+              if Array.length l.keys < max_leaf then begin
+                l.keys <- array_insert l.keys i k;
+                l.vals <- array_insert l.vals i v;
+                t.size <- t.size + 1
+              end
+              else begin
+                (* Full leaf: route through the rooted insert, which
+                   handles the split (and any cascading parent splits).
+                   The cached leaf now covers only half its range —
+                   invalidate it and charge the extra descent. *)
+                cached := None;
+                incr descents;
+                ignore (insert t k v)
+              end))
+    kvs;
+  { descents = !descents; steps = !steps }
 
 let iter_from t k f =
   let start = seek_leaf t.root k in

@@ -27,6 +27,12 @@ val mem : 'a t -> string -> bool
 val insert : 'a t -> string -> 'a -> 'a option
 (** [insert t k v] sets [k -> v] and returns the previous binding. *)
 
+val insert_if_absent : 'a t -> string -> 'a -> bool
+(** [insert_if_absent t k v] binds [k -> v] only if [k] is absent;
+    returns whether it inserted. A refused insert performs no mutation at
+    all — the guarded form exists so callers never have to "undo" a
+    clobbered binding on the failure path. *)
+
 val remove : 'a t -> string -> 'a option
 (** [remove t k] deletes [k] and returns the removed binding. *)
 
@@ -51,6 +57,50 @@ val iter : 'a t -> (string -> 'a -> unit) -> unit
 
 val to_list : 'a t -> (string * 'a) list
 (** Ascending; for tests. *)
+
+(** {2 Cursors and sorted bulk application}
+
+    The follower-replay fast path: a watermark-released log entry is a
+    pre-serialized, conflict-free batch, so its write-set can be applied
+    as one sorted sweep instead of per-key point operations. With TPC-C's
+    warehouse-clustered keys most consecutive writes land in the same
+    leaf, amortizing the descent. *)
+
+type 'a cursor
+(** Read cursor over the leaf chain. Positioning and stepping are O(1)
+    amortized. The cursor observes live tree state; mutating the tree
+    (insert/remove/bulk apply) while a cursor is live invalidates it —
+    re-{!seek} before further use. *)
+
+val cursor : 'a t -> 'a cursor
+(** A fresh, unpositioned cursor ({!current} is [None] until {!seek}). *)
+
+val seek : 'a cursor -> string -> unit
+(** Position at the first binding with key [>= k] (end if none). *)
+
+val current : 'a cursor -> (string * 'a) option
+val advance : 'a cursor -> unit
+
+type bulk_counts = { descents : int; steps : int }
+(** Index work performed by {!apply_sorted}: [descents] root-to-leaf
+    walks (fresh positioning, including splits) and [steps] in-leaf
+    continuations — the two terms cost models charge separately. *)
+
+val apply_sorted :
+  'a t ->
+  (string * 'b) list ->
+  f:(string -> 'b -> 'a option -> 'a option) ->
+  bulk_counts
+(** [apply_sorted t kvs ~f] walks the tree once over the strictly
+    ascending run [kvs], calling [f key payload existing] at each key
+    with the current binding ([None] if absent). [f] returns [Some v] to
+    bind [key -> v] (insert, or replace the stored value) and [None] to
+    leave the tree's structure untouched — mutating an existing binding
+    in place and declining the insert are both expressed this way.
+    Leaf splits (and cascading parent splits) are handled; the sweep is
+    observably equivalent to a sequential [find]/[insert] loop over the
+    same run.
+    @raise Invalid_argument if the keys are not strictly ascending. *)
 
 val check_invariants : 'a t -> unit
 (** Validate structural invariants (ordering, fill factors, separator

@@ -17,12 +17,11 @@ let get_live t key =
   | Some _ | None -> None
 
 let insert t key r =
-  match Btree.insert t.tree key r with
-  | None -> t.bytes <- t.bytes + Record.byte_size ~key r
-  | Some prev ->
-      (* Restore the binding before failing: inserts must be guarded. *)
-      ignore (Btree.insert t.tree key prev);
-      invalid_arg (Printf.sprintf "Table.insert: duplicate key in %s" t.table_name)
+  (* Guarded insert: a duplicate key fails without ever touching the
+     tree, instead of clobbering the binding and re-inserting it. *)
+  if Btree.insert_if_absent t.tree key r then
+    t.bytes <- t.bytes + Record.byte_size ~key r
+  else invalid_arg (Printf.sprintf "Table.insert: duplicate key in %s" t.table_name)
 
 let remove_phys t key =
   match Btree.remove t.tree key with

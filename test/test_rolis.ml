@@ -461,6 +461,53 @@ let test_disable_replay_mode () =
   Store.Table.iter t (fun _ r -> if r.Store.Record.value <> "0" then all_zero := false);
   check_bool "follower data untouched" true !all_zero
 
+let test_bulk_replay_convergence () =
+  (* The event-driven bulk fast path must be a pure performance change:
+     followers drain to the leader's exact state and every replica still
+     conserves money — the transfer workload tears immediately if the
+     sorted sweep merges, truncates, or re-applies anything wrongly. *)
+  let stopped = ref false in
+  let accounts = 50 in
+  let cfg = { (test_cfg ()) with Rolis.Config.replay_batch = Rolis.Config.Bulk } in
+  let cluster =
+    Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:1_000 ~stopped)
+  in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  (* Mid-run, the replayed frontier can never pass the durable one. *)
+  Array.iter
+    (fun r ->
+      check_bool "replay frontier <= durable frontier" true
+        (Rolis.Replica.replay_frontier r <= Rolis.Replica.durable_frontier r))
+    (Rolis.Cluster.replicas cluster);
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "bulk mode releases" true (Rolis.Cluster.released cluster > 100);
+  let leader_state =
+    table_state (Rolis.Replica.db (Rolis.Cluster.replica cluster 0)) "accounts"
+  in
+  for i = 1 to 2 do
+    let f = Rolis.Cluster.replica cluster i in
+    check_bool
+      (Printf.sprintf "follower %d replayed in bulk" i)
+      true
+      (Rolis.Stats.replayed_txns (Rolis.Replica.stats f) > 0);
+    check_bool
+      (Printf.sprintf "follower %d state equals leader" i)
+      true
+      (table_state (Rolis.Replica.db f) "accounts" = leader_state)
+  done;
+  Array.iter
+    (fun r ->
+      check_int "money conserved" (accounts * 1_000)
+        (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas cluster);
+  (* The lag telemetry sampled on the controller tick has data. *)
+  match Rolis.Cluster.replay_lag cluster with
+  | Some (n, p50, p95) ->
+      check_bool "lag samples accumulated" true (n > 0);
+      check_bool "lag percentiles ordered" true (0 <= p50 && p50 <= p95)
+  | None -> Alcotest.fail "no replay-lag samples"
+
 let test_old_leader_tainted_on_partition () =
   let cfg = test_cfg () in
   let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
@@ -1157,6 +1204,8 @@ let () =
           Alcotest.test_case "sharded streams" `Quick test_sharded_stream_mode;
           Alcotest.test_case "networked clients" `Quick test_networked_clients_mode;
           Alcotest.test_case "replay disabled" `Quick test_disable_replay_mode;
+          Alcotest.test_case "bulk replay convergence" `Quick
+            test_bulk_replay_convergence;
         ] );
       ( "failover",
         [

@@ -166,15 +166,16 @@ let test_replay_cas_semantics () =
       let applied = ref 0 in
       let mk ts writes = { Store.Wire.ts; req = None; writes } in
       let w key value = { Store.Wire.table = 0; key; value } in
+      let ap txn ~epoch = Silo.Db.apply_replay db txn ~epoch ~writes:1 ~applied in
       let _p =
         Sim.Engine.spawn eng (fun () ->
             (* Newer-first application: the older write must lose. *)
-            Silo.Db.apply_replay db (mk 100 [ w "k" (Some "new") ]) ~epoch:1 ~applied;
-            Silo.Db.apply_replay db (mk 50 [ w "k" (Some "old") ]) ~epoch:1 ~applied;
+            ap (mk 100 [ w "k" (Some "new") ]) ~epoch:1;
+            ap (mk 50 [ w "k" (Some "old") ]) ~epoch:1;
             (* Re-applying is a no-op (idempotence). *)
-            Silo.Db.apply_replay db (mk 100 [ w "k" (Some "new") ]) ~epoch:1 ~applied;
+            ap (mk 100 [ w "k" (Some "new") ]) ~epoch:1;
             (* A delete from a later epoch tombstones it. *)
-            Silo.Db.apply_replay db (mk 10 [ w "k" None ]) ~epoch:2 ~applied)
+            ap (mk 10 [ w "k" None ]) ~epoch:2)
       in
       Sim.Engine.run eng;
       check_int "two applies won" 2 !applied;
@@ -183,6 +184,107 @@ let test_replay_cas_semantics () =
           check_bool "tombstoned by epoch-2 delete" true r.Store.Record.deleted;
           check_int "stamped epoch" 2 r.Store.Record.epoch
       | None -> Alcotest.fail "record should exist as tombstone")
+
+(* The bulk path merges an entry's write-sets (per-key last-writer-wins)
+   and installs them through one sorted cursor sweep. Its semantics must
+   be exactly those of per-txn [apply_replay]: idempotent, CAS-guarded,
+   and truncatable at a timestamp. *)
+let test_bulk_replay_entry () =
+  with_db ~physical_deletes:false (fun eng _cpu db ->
+      let t = Silo.Db.create_table db "t" in
+      let mk ts writes = { Store.Wire.ts; req = None; writes } in
+      let w key value = { Store.Wire.table = 0; key; value } in
+      let entry =
+        Store.Wire.make_entry ~epoch:1
+          [
+            mk 10 [ w "k1" (Some "a"); w "k2" (Some "a") ];
+            mk 20 [ w "k2" (Some "b") ];
+            mk 30 [ w "k1" None ];
+          ]
+      in
+      let _p =
+        Sim.Engine.spawn eng (fun () ->
+            let r = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+            check_int "all txns merged" 3 r.Silo.Db.re_txns;
+            check_int "all logged writes counted" 4 r.Silo.Db.re_writes;
+            (* Two distinct keys survive the merge; both CAS in. *)
+            check_int "deduped installs" 2 r.Silo.Db.re_installed;
+            check_bool "bulk work charged" true
+              (r.Silo.Db.re_seeks >= 1
+              && r.Silo.Db.re_seeks + r.Silo.Db.re_steps = 2);
+            (* Re-applying the same entry is a no-op: every CAS loses to
+               the stamp it already installed. *)
+            let r2 = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+            check_int "second pass installs nothing" 0 r2.Silo.Db.re_installed)
+      in
+      Sim.Engine.run eng;
+      (match Store.Table.get t "k1" with
+      | Some r ->
+          check_bool "k1 tombstoned by ts-30 delete" true r.Store.Record.deleted
+      | None -> Alcotest.fail "k1 should exist as tombstone");
+      match Store.Table.get t "k2" with
+      | Some r ->
+          check_bool "k2 kept the last writer" true
+            ((not r.Store.Record.deleted) && r.Store.Record.value = "b")
+      | None -> Alcotest.fail "k2 should exist")
+
+(* An entry straddling the epoch boundary is applied twice: first
+   truncated at the final watermark ([upto]), then in full once the next
+   epoch's watermark covers it. The two passes must land on the same
+   state as one untruncated pass. *)
+let test_bulk_replay_upto_truncation () =
+  let final_state apply =
+    with_db ~physical_deletes:false (fun eng _cpu db ->
+        let t = Silo.Db.create_table db "t" in
+        let _p = Sim.Engine.spawn eng (fun () -> apply db) in
+        Sim.Engine.run eng;
+        List.map
+          (fun (k, (r : Store.Record.t)) ->
+            (k, r.Store.Record.value, r.Store.Record.deleted))
+          (Store.Btree.to_list (Store.Table.tree t)))
+  in
+  let mk ts writes = { Store.Wire.ts; req = None; writes } in
+  let w key value = { Store.Wire.table = 0; key; value } in
+  let entry =
+    Store.Wire.make_entry ~epoch:1
+      [
+        mk 10 [ w "a" (Some "1"); w "b" (Some "1") ];
+        mk 40 [ w "b" (Some "2"); w "c" (Some "2") ];
+      ]
+  in
+  let truncated =
+    final_state (fun db ->
+        let r = Silo.Db.apply_replay_entry db entry ~upto:20 in
+        Alcotest.(check int) "only the pre-watermark txn" 1 r.Silo.Db.re_txns;
+        Alcotest.(check int) "its writes only" 2 r.Silo.Db.re_writes)
+  in
+  check_bool "ts-40 writes held back" true
+    (truncated = [ ("a", "1", false); ("b", "1", false) ]);
+  let two_pass =
+    final_state (fun db ->
+        ignore (Silo.Db.apply_replay_entry db entry ~upto:20);
+        let r = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+        (* The full pass re-merges everything, but only ts-40's keys win
+           their CAS; ts-10's are already installed. *)
+        Alcotest.(check int) "catch-up installs the rest" 2 r.Silo.Db.re_installed)
+  in
+  let one_pass =
+    final_state (fun db ->
+        ignore (Silo.Db.apply_replay_entry db entry ~upto:max_int))
+  in
+  check_bool "truncated+catch-up = one pass" true (two_pass = one_pass);
+  (* And both agree with the per-txn replay path. *)
+  let per_txn =
+    final_state (fun db ->
+        let applied = ref 0 in
+        List.iter
+          (fun txn ->
+            Silo.Db.apply_replay db txn ~epoch:1
+              ~writes:(List.length txn.Store.Wire.writes)
+              ~applied)
+          entry.Store.Wire.txns)
+  in
+  check_bool "bulk = per-txn" true (one_pass = per_txn)
 
 (* A reader that observed "key absent" must abort if the key appears
    before it commits. *)
@@ -334,5 +436,10 @@ let () =
           qc oracle_qcheck;
         ] );
       ( "replay",
-        [ Alcotest.test_case "cas semantics" `Quick test_replay_cas_semantics ] );
+        [
+          Alcotest.test_case "cas semantics" `Quick test_replay_cas_semantics;
+          Alcotest.test_case "bulk entry apply" `Quick test_bulk_replay_entry;
+          Alcotest.test_case "bulk upto truncation" `Quick
+            test_bulk_replay_upto_truncation;
+        ] );
     ]

@@ -236,6 +236,168 @@ let btree_range_qcheck =
       in
       got = want)
 
+(* ---------- Btree cursors + sorted bulk apply ---------- *)
+
+let test_btree_insert_if_absent () =
+  let t = Store.Btree.create () in
+  check_bool "absent inserts" true (Store.Btree.insert_if_absent t "k" 1);
+  check_bool "present refuses" false (Store.Btree.insert_if_absent t "k" 2);
+  check_bool "binding untouched by refusal" true (Store.Btree.find t "k" = Some 1);
+  check_int "size counted once" 1 (Store.Btree.length t);
+  (* Refusal must leave no structural damage even deep in a grown tree. *)
+  for i = 0 to 999 do
+    ignore (Store.Btree.insert_if_absent t (Printf.sprintf "%04d" i) i)
+  done;
+  for i = 0 to 999 do
+    if Store.Btree.insert_if_absent t (Printf.sprintf "%04d" i) (-1) then
+      Alcotest.failf "duplicate %d accepted" i
+  done;
+  Store.Btree.check_invariants t;
+  check_int "size stable" 1001 (Store.Btree.length t)
+
+let test_btree_cursor_walk () =
+  let t = Store.Btree.create () in
+  for i = 0 to 499 do
+    ignore (Store.Btree.insert t (Printf.sprintf "%04d" (2 * i)) i)
+  done;
+  let c = Store.Btree.cursor t in
+  check_bool "unpositioned" true (Store.Btree.current c = None);
+  (* Seek to an absent key lands on the next present one. *)
+  Store.Btree.seek c "0003";
+  check_bool "first geq" true (Store.Btree.current c = Some ("0004", 2));
+  (* Walking the cursor from the start yields exactly to_list. *)
+  Store.Btree.seek c "";
+  let walked = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Store.Btree.current c with
+    | Some kv ->
+        walked := kv :: !walked;
+        Store.Btree.advance c
+    | None -> continue := false
+  done;
+  check_bool "cursor walk = to_list" true
+    (List.rev !walked = Store.Btree.to_list t);
+  Store.Btree.seek c "9999";
+  check_bool "past the end" true (Store.Btree.current c = None)
+
+(* Reference semantics for apply_sorted: a sequential find/insert loop. *)
+let apply_seq t kvs ~f =
+  List.iter
+    (fun (k, x) ->
+      match f k x (Store.Btree.find t k) with
+      | Some v -> ignore (Store.Btree.insert t k v)
+      | None -> ())
+    kvs
+
+let batch_gen =
+  let open QCheck.Gen in
+  let key = map (fun i -> Printf.sprintf "%03d" i) (int_range 0 300) in
+  pair
+    (list_size (0 -- 300) (pair key small_nat)) (* seed inserts *)
+    (list_size (0 -- 200) (pair key small_nat)) (* bulk batch *)
+
+let batch_arb =
+  let print (seed, batch) =
+    let p l = String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "(%s,%d)" k v) l) in
+    Printf.sprintf "seed=[%s] batch=[%s]" (p seed) (p batch)
+  in
+  QCheck.make ~print batch_gen
+
+(* Dedup (last wins, like the entry merge) then sort: apply_sorted
+   requires a strictly ascending run. *)
+let sorted_run batch =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) batch;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let btree_apply_sorted_qcheck =
+  QCheck.Test.make
+    ~name:"apply_sorted = sequential find/insert loop (with splits)" ~count:300
+    batch_arb
+    (fun (seed, batch) ->
+      let run = sorted_run batch in
+      (* Install everywhere; on existing keys sum so the callback's
+         [existing] argument is exercised, not just overwritten. *)
+      let f _k x existing =
+        match existing with Some v -> Some (v + x) | None -> Some x
+      in
+      let t = Store.Btree.create () and r = Store.Btree.create () in
+      List.iter
+        (fun (k, v) ->
+          ignore (Store.Btree.insert t k v);
+          ignore (Store.Btree.insert r k v))
+        seed;
+      let counts = Store.Btree.apply_sorted t run ~f in
+      apply_seq r run ~f;
+      Store.Btree.check_invariants t;
+      Store.Btree.to_list t = Store.Btree.to_list r
+      && Store.Btree.length t = Store.Btree.length r
+      && counts.Store.Btree.descents + counts.Store.Btree.steps
+         >= List.length run)
+
+let btree_apply_sorted_decline_qcheck =
+  QCheck.Test.make ~name:"apply_sorted None leaves the tree untouched"
+    ~count:200 batch_arb
+    (fun (seed, batch) ->
+      let run = sorted_run batch in
+      (* Decline every odd payload: those keys must keep their old
+         binding (or stay absent). *)
+      let f _k x existing =
+        if x mod 2 = 1 then None
+        else match existing with Some v -> Some (v + x) | None -> Some x
+      in
+      let t = Store.Btree.create () and r = Store.Btree.create () in
+      List.iter
+        (fun (k, v) ->
+          ignore (Store.Btree.insert t k v);
+          ignore (Store.Btree.insert r k v))
+        seed;
+      ignore (Store.Btree.apply_sorted t run ~f);
+      apply_seq r run ~f;
+      Store.Btree.check_invariants t;
+      Store.Btree.to_list t = Store.Btree.to_list r)
+
+let btree_apply_sorted_cursor_qcheck =
+  QCheck.Test.make
+    ~name:"cursor iteration agrees with to_list after random bulk applies"
+    ~count:150 batch_arb
+    (fun (seed, batch) ->
+      let t = Store.Btree.create () in
+      List.iter (fun (k, v) -> ignore (Store.Btree.insert t k v)) seed;
+      ignore
+        (Store.Btree.apply_sorted t (sorted_run batch) ~f:(fun _k x _ -> Some x));
+      let c = Store.Btree.cursor t in
+      Store.Btree.seek c "";
+      let walked = ref [] in
+      let continue = ref true in
+      while !continue do
+        match Store.Btree.current c with
+        | Some kv ->
+            walked := kv :: !walked;
+            Store.Btree.advance c
+        | None -> continue := false
+      done;
+      List.rev !walked = Store.Btree.to_list t)
+
+let test_btree_apply_sorted_validation () =
+  let t = Store.Btree.create () in
+  Alcotest.check_raises "keys must be strictly ascending"
+    (Invalid_argument "Btree.apply_sorted: keys must be strictly ascending")
+    (fun () ->
+      ignore
+        (Store.Btree.apply_sorted t
+           [ ("b", 1); ("a", 2) ]
+           ~f:(fun _ x _ -> Some x)));
+  Alcotest.check_raises "duplicates rejected too"
+    (Invalid_argument "Btree.apply_sorted: keys must be strictly ascending")
+    (fun () ->
+      ignore
+        (Store.Btree.apply_sorted t
+           [ ("a", 1); ("a", 2) ]
+           ~f:(fun _ x _ -> Some x)))
+
 (* ---------- Record ---------- *)
 
 let test_record_lock () =
@@ -412,9 +574,17 @@ let () =
             test_btree_reverse_inserts_then_deletes;
           Alcotest.test_case "drain" `Quick test_btree_drain;
           Alcotest.test_case "range ops" `Quick test_btree_range;
+          Alcotest.test_case "insert_if_absent" `Quick
+            test_btree_insert_if_absent;
+          Alcotest.test_case "cursor walk" `Quick test_btree_cursor_walk;
+          Alcotest.test_case "apply_sorted validation" `Quick
+            test_btree_apply_sorted_validation;
           qc btree_model_qcheck;
           qc btree_range_qcheck;
           qc btree_find_last_lt_qcheck;
+          qc btree_apply_sorted_qcheck;
+          qc btree_apply_sorted_decline_qcheck;
+          qc btree_apply_sorted_cursor_qcheck;
         ] );
       ( "record",
         [
