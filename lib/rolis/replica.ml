@@ -495,7 +495,6 @@ let replay_loop_pertxn t s () =
           end
           else if !seal_gen = t.wm_gen then Sim.Engine.sleep poll
           else begin
-            seal_gen := t.wm_gen;
             match Watermark.final_watermark t.wm ~epoch:e with
             | Some w ->
                 (* The epoch is sealed and this entry straddles its final
@@ -505,7 +504,15 @@ let replay_loop_pertxn t s () =
                 pop ();
                 note_consumed t s entry;
                 apply_entry t entry ~upto:w
-            | None -> Sim.Engine.sleep poll
+            | None ->
+                (* Memoize only the negative probe. A successful pop must
+                   leave [seal_gen] stale so the next straddling entry on
+                   this stream re-probes under the same generation —
+                   after an epoch seals, durability events may be finite,
+                   and memoizing the hit would strand every entry after
+                   the first one. *)
+                seal_gen := t.wm_gen;
+                Sim.Engine.sleep poll
           end
         end
         else Sim.Engine.sleep poll (* future epoch: wait for the controller *)

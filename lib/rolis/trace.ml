@@ -262,8 +262,8 @@ let note_replay t ~ts ~start ~stop =
    the lag. The histogram takes every sample (entries are ~batch_size
    rarer than transactions); the ring keeps them subject to its bound. *)
 let note_replay_lag t ~frontier ~durable =
-  if enabled t then begin
-    let durable = max frontier durable in
+  let durable = max frontier durable in
+  if enabled t then
     Ring.push t.rings.(t.workers)
       {
         sp_ts = durable;
@@ -273,9 +273,11 @@ let note_replay_lag t ~frontier ~durable =
         sp_end = durable;
         sp_dropped = false;
       };
-    Stats.note_stage t.stats ~stage:(stage_index Replay_lag)
-      ~latency:(durable - frontier)
-  end
+  (* The stage histogram feeds [Cluster.replay_lag] and the bench-diff lag
+     gate — record it even with tracing disabled, like the other stage
+     stats; only the ring sample is tied to sampling. *)
+  Stats.note_stage t.stats ~stage:(stage_index Replay_lag)
+    ~latency:(durable - frontier)
 
 let note_disposition t stage =
   if t.interval > 0 then begin

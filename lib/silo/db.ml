@@ -258,17 +258,40 @@ let apply_replay_entry t (entry : Store.Wire.entry) ~upto =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  let installed = ref 0 and seeks = ref 0 and steps = ref 0 in
+  (* Group the sorted run by table (key order preserved within each). *)
   let rec by_table = function
-    | [] -> ()
+    | [] -> []
     | (((tid, _), _) :: _) as rest ->
         let mine, others =
           List.partition (fun (((tid', _), _) : (int * string) * _) -> tid' = tid) rest
         in
+        (tid, List.map (fun ((_, key), v) -> (key, v)) mine) :: by_table others
+  in
+  let groups = by_table run in
+  (* Count, charge, then sweep: a read-only pass predicts the index work
+     and the CPU is consumed *before* the trees are touched, so
+     bulk-replayed state becomes visible at the same virtual time as the
+     equivalent per-transaction consume-then-apply sequence. The
+     predicted counts are also the charged/reported ones, keeping cost
+     and stats consistent; they can drift from the live sweep by at most
+     one charge per leaf split. *)
+  let seeks = ref 0 and steps = ref 0 in
+  List.iter
+    (fun (tid, kvs) ->
+      let counts =
+        Store.Btree.count_sorted (Store.Table.tree (table_by_id t tid)) kvs
+      in
+      seeks := !seeks + counts.Store.Btree.descents;
+      steps := !steps + counts.Store.Btree.steps)
+    groups;
+  Sim.Cpu.consume t.cpu
+    (Costs.replay_bulk_cost t.cost_model ~seeks:!seeks ~steps:!steps);
+  let installed = ref 0 in
+  List.iter
+    (fun (tid, kvs) ->
         let table = table_by_id t tid in
-        let kvs = List.map (fun ((_, key), v) -> (key, v)) mine in
-        let counts =
-          Store.Btree.apply_sorted (Store.Table.tree table) kvs
+        ignore
+          (Store.Btree.apply_sorted (Store.Table.tree table) kvs
             ~f:(fun key (ts, value) existing ->
               match existing with
               | Some r ->
@@ -288,15 +311,8 @@ let apply_replay_entry t (entry : Store.Wire.entry) ~upto =
                     incr installed;
                     Some r
                   end
-                  else None)
-        in
-        seeks := !seeks + counts.Store.Btree.descents;
-        steps := !steps + counts.Store.Btree.steps;
-        by_table others
-  in
-  by_table run;
-  Sim.Cpu.consume t.cpu
-    (Costs.replay_bulk_cost t.cost_model ~seeks:!seeks ~steps:!steps);
+                  else None)))
+    groups;
   {
     re_txns = !txns;
     re_writes = !writes;

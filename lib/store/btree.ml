@@ -382,6 +382,61 @@ let apply_sorted t kvs ~f =
     kvs;
   { descents = !descents; steps = !steps }
 
+(* Read-only twin of [apply_sorted] for the replay decision pattern —
+   present keys are mutated in place (no structural change), absent keys
+   are always installed. It predicts the sweep's descent/step charges
+   against the tree's current shape, so a cost model can be charged
+   *before* the mutating sweep runs. The cached leaf carries a virtual
+   occupancy (real key count plus pending inserts); a virtual split
+   charges the rooted insert's extra descent, forces the next key to
+   re-descend (the apply path invalidates its cache), and resumes with
+   the post-split right half's occupancy — the half an ascending run
+   keeps appending into. Keys that land in the left half after a split
+   can trade a step for a descent versus the live sweep; the drift is at
+   most one charge per split. *)
+let count_sorted t kvs =
+  let descents = ref 0 and steps = ref 0 in
+  let cached = ref None in
+  let vfill = ref 0 in
+  let redescend = ref false in
+  let last = ref None in
+  List.iter
+    (fun (k, _) ->
+      (match !last with
+      | Some pk when compare pk k >= 0 ->
+          invalid_arg "Btree.count_sorted: keys must be strictly ascending"
+      | Some _ | None -> ());
+      last := Some k;
+      let l =
+        match !cached with
+        | Some (l, hi)
+          when match hi with None -> true | Some h -> compare k h < 0 ->
+            if !redescend then begin
+              redescend := false;
+              incr descents
+            end
+            else incr steps;
+            l
+        | Some _ | None ->
+            incr descents;
+            let ((l, _) as lh) = seek_leaf_hi t.root k None in
+            cached := Some lh;
+            vfill := Array.length l.keys;
+            redescend := false;
+            l
+      in
+      match bsearch l.keys k with
+      | Ok _ -> ()
+      | Error _ ->
+          if !vfill < max_leaf then incr vfill
+          else begin
+            incr descents;
+            redescend := true;
+            vfill := max_leaf + 1 - ((max_leaf + 1) / 2)
+          end)
+    kvs;
+  { descents = !descents; steps = !steps }
+
 let iter_from t k f =
   let start = seek_leaf t.root k in
   let pos = match bsearch start.keys k with Ok i -> i | Error i -> i in

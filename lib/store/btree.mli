@@ -102,6 +102,16 @@ val apply_sorted :
     same run.
     @raise Invalid_argument if the keys are not strictly ascending. *)
 
+val count_sorted : 'a t -> (string * 'b) list -> bulk_counts
+(** [count_sorted t kvs] is a read-only prediction of the charges an
+    {!apply_sorted} sweep over [kvs] will incur, for the replay decision
+    pattern (present keys mutated in place, absent keys installed). The
+    tree is not modified, so a cost model can consume the predicted work
+    {e before} the mutating sweep makes its writes visible. Counts match
+    the live sweep exactly except around leaf splits, where the
+    prediction can drift by at most one descent/step per split.
+    @raise Invalid_argument if the keys are not strictly ascending. *)
+
 val check_invariants : 'a t -> unit
 (** Validate structural invariants (ordering, fill factors, separator
     consistency, leaf chain); raises [Failure] with a description

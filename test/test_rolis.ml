@@ -377,6 +377,68 @@ let test_failover_money_conservation () =
   in
   check_bool "throughput resumed after failover" true (post_crash <> [])
 
+(* Regression for the per-txn seal-probe memo: single-transaction entries
+   with a long watermark interval leave several entries per stream beyond
+   the running watermark when the leader dies. After promotion seals the
+   epoch, each of those entries must probe the final watermark and drain;
+   memoizing a *successful* probe left every straddler after the first
+   waiting on a durability event that never comes (no replica serves
+   while promotion waits on replay), so replay stalled, the replay epoch
+   never advanced, and the cluster stayed leaderless. *)
+let test_failover_straddler_backlog () =
+  let cfg =
+    {
+      (test_cfg ~workers:2 ~batch:1 ()) with
+      Rolis.Config.watermark_interval = 100 * ms;
+    }
+  in
+  (* Worker 1 stops committing after 300 ms: its stream's durable tail
+     then only moves on heartbeat no-ops, so at the 700 ms crash the
+     sealed epoch's final watermark (the min across stream tails) sits
+     up to a heartbeat interval behind stream 0 — a dozen
+     single-transaction entries straddle it, more than promotion's few
+     post-seal durability commits can unlock one at a time. *)
+  let app =
+    let base = Rolis.App.counter_app ~keys:200 in
+    {
+      base with
+      Rolis.App.make_worker =
+        (fun db ~rng ~worker ~nworkers ->
+          let gen = base.Rolis.App.make_worker db ~rng ~worker ~nworkers in
+          fun () ->
+            let body = gen () in
+            fun txn ->
+              if worker = 1 && Sim.Engine.time () > 300 * ms then
+                Silo.Txn.abort ()
+              else body txn);
+    }
+  in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  Sim.Engine.schedule eng (700 * ms) (fun () ->
+      Rolis.Cluster.crash_replica cluster 0);
+  Rolis.Cluster.run cluster ~duration:(4 * s) ();
+  (match Rolis.Cluster.leader cluster with
+  | Some r ->
+      check_bool "new leader is a former follower" true (Rolis.Replica.id r <> 0)
+  | None -> Alcotest.fail "no leader after straddler-heavy failover");
+  (* Every survivor replayed past the sealed epoch: a stalled seal probe
+     pins the replay epoch at the crashed leader's epoch forever. *)
+  Array.iter
+    (fun r ->
+      if Rolis.Replica.is_alive r then
+        check_bool
+          (Printf.sprintf "replica %d replay epoch advanced" (Rolis.Replica.id r))
+          true
+          (Rolis.Replica.replay_epoch r >= 2))
+    (Rolis.Cluster.replicas cluster);
+  let post_crash =
+    List.filter
+      (fun (t, rate) -> t > 1.5 && rate > 0.0)
+      (Rolis.Cluster.release_rate cluster)
+  in
+  check_bool "throughput resumed after failover" true (post_crash <> [])
+
 let test_failover_gap_then_recovery () =
   let cfg = test_cfg () in
   let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:200) in
@@ -1108,8 +1170,15 @@ let test_trace_zero_overhead () =
     (Sim.Metrics.Hist.values (Rolis.Cluster.latency on)
     = Sim.Metrics.Hist.values (Rolis.Cluster.latency off));
   check_int "tracing off records nothing" 0 (List.length (leader_spans off));
-  check_bool "tracing off reports no stage breakdown" true
-    (Rolis.Cluster.stage_breakdown off = [])
+  (* Replay lag is telemetry, not tracing: it feeds the bench-diff lag
+     gate, so it records with sampling off. Every pipeline stage stays
+     silent. *)
+  check_bool "tracing off reports no pipeline stages" true
+    (List.for_all
+       (fun (name, _, _, _, _) -> name = "replay_lag")
+       (Rolis.Cluster.stage_breakdown off));
+  check_bool "lag telemetry survives tracing off" true
+    (Rolis.Cluster.replay_lag off <> None)
 
 (* The Fig. 3 scenario through the tracing lens: partition the leader so
    it steps down and abandons its speculative pipeline. Every pending
@@ -1211,6 +1280,8 @@ let () =
         [
           Alcotest.test_case "money conservation (Fig 3)" `Quick
             test_failover_money_conservation;
+          Alcotest.test_case "straddler backlog drains on promotion" `Quick
+            test_failover_straddler_backlog;
           Alcotest.test_case "gap then recovery" `Quick test_failover_gap_then_recovery;
           Alcotest.test_case "released results survive crash" `Quick
             test_released_results_survive_crash;

@@ -381,6 +381,50 @@ let btree_apply_sorted_cursor_qcheck =
       done;
       List.rev !walked = Store.Btree.to_list t)
 
+(* The replay decision pattern count_sorted models: present keys mutate
+   in place (no structural change), absent keys always install. *)
+let replay_f _k x existing =
+  match existing with Some _ -> None | None -> Some x
+
+let btree_count_sorted_qcheck =
+  QCheck.Test.make
+    ~name:"count_sorted is read-only and predicts update-only runs exactly"
+    ~count:200 batch_arb
+    (fun (seed, batch) ->
+      let t = Store.Btree.create () in
+      List.iter (fun (k, v) -> ignore (Store.Btree.insert t k v)) seed;
+      let run = sorted_run batch in
+      let before = Store.Btree.to_list t in
+      let predicted = Store.Btree.count_sorted t run in
+      let read_only = Store.Btree.to_list t = before in
+      (* Updates only (no structural change): the prediction must equal
+         the live sweep's charges, key for key. *)
+      let updates =
+        List.filter (fun (k, _) -> Store.Btree.mem t k) run
+      in
+      let predicted_upd = Store.Btree.count_sorted t updates in
+      let live_upd = Store.Btree.apply_sorted t updates ~f:replay_f in
+      read_only
+      && predicted_upd = live_upd
+      && predicted.Store.Btree.descents + predicted.Store.Btree.steps
+         >= List.length run)
+
+let btree_count_sorted_splits_qcheck =
+  QCheck.Test.make
+    ~name:"count_sorted models split charges exactly on ascending appends"
+    ~count:100
+    QCheck.(int_range 1 400)
+    (fun n ->
+      (* A fresh tree plus a strictly ascending insert run keeps every
+         key in the rightmost leaf, so the virtual-occupancy model must
+         reproduce the live sweep's split descents exactly. *)
+      let run = List.init n (fun i -> (Printf.sprintf "%04d" i, i)) in
+      let t = Store.Btree.create () in
+      let predicted = Store.Btree.count_sorted t run in
+      let live = Store.Btree.apply_sorted t run ~f:replay_f in
+      Store.Btree.check_invariants t;
+      predicted = live)
+
 let test_btree_apply_sorted_validation () =
   let t = Store.Btree.create () in
   Alcotest.check_raises "keys must be strictly ascending"
@@ -585,6 +629,8 @@ let () =
           qc btree_apply_sorted_qcheck;
           qc btree_apply_sorted_decline_qcheck;
           qc btree_apply_sorted_cursor_qcheck;
+          qc btree_count_sorted_qcheck;
+          qc btree_count_sorted_splits_qcheck;
         ] );
       ( "record",
         [
