@@ -38,7 +38,7 @@ let replay_batch_of_string s =
 
 let run_cluster workload workers cores batch batch_policy replay_batch
     target_delay_us duration_ms warmup_ms networked single_stream crash_at_ms
-    seed =
+    ckpt_interval_ms no_truncate seed =
   let app, is_tpcc =
     match workload with
     | "tpcc" ->
@@ -63,6 +63,12 @@ let run_cluster workload workers cores batch batch_policy replay_batch
       target_batch_delay_ns = target_delay_us * Sim.Engine.us;
       networked_clients = networked;
       stream_mode = (if single_stream then Rolis.Config.Single else Rolis.Config.Per_worker);
+      (* Checkpointing implies archived journals: recovery is checkpoint +
+         journal tail, and truncation needs a journal to bound. *)
+      checkpoint_interval = ckpt_interval_ms * ms;
+      checkpoint_truncate = not no_truncate;
+      archive_entries =
+        Rolis.Config.default.Rolis.Config.archive_entries || ckpt_interval_ms > 0;
       seed = Int64.of_int seed;
     }
   in
@@ -103,6 +109,28 @@ let run_cluster workload workers cores batch batch_policy replay_batch
     | None -> "");
   Printf.printf "executed:        %d (user aborts: %d)\n" (Rolis.Cluster.executed cluster)
     (Rolis.Cluster.user_aborts cluster);
+  if ckpt_interval_ms > 0 then begin
+    let newest =
+      match Rolis.Cluster.newest_checkpoint cluster with
+      | Some ck ->
+          Printf.sprintf "newest %d rows / %.1f MB at t=%dms"
+            (Rolis.Checkpoint.row_count ck.Rolis.Checkpoint.ri_image)
+            (float_of_int (Rolis.Checkpoint.size_bytes ck.Rolis.Checkpoint.ri_image)
+            /. 1e6)
+            (ck.Rolis.Checkpoint.ri_taken_at / ms)
+      | None -> "none completed"
+    in
+    Printf.printf
+      "checkpoint:      %d taken (%s); journal %d entries / %.1f MB resident, \
+       %d truncated in %d rounds%s\n"
+      (Rolis.Cluster.checkpoints_taken cluster)
+      newest
+      (Rolis.Cluster.journal_entries_total cluster)
+      (float_of_int (Rolis.Cluster.journal_bytes_total cluster) /. 1e6)
+      (Rolis.Cluster.truncated_entries_total cluster)
+      (Rolis.Cluster.truncation_rounds cluster)
+      (if no_truncate then " (truncation disabled)" else "")
+  end;
   (match Rolis.Cluster.leader cluster with
   | Some r ->
       Printf.printf "leader:          replica %d (epoch %d)\n" (Rolis.Replica.id r)
@@ -167,12 +195,31 @@ let crash_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let ckpt_interval_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-interval" ]
+        ~doc:
+          "Take a fuzzy checkpoint on each follower every this many virtual \
+           milliseconds (0 disables). Implies journal archiving; once a \
+           checkpoint frontier is quorum-stable and the retention window \
+           has passed, journals are truncated up to it.")
+
+let no_truncate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-truncate" ]
+        ~doc:
+          "Keep taking checkpoints but never truncate the journals — the \
+           unbounded-memory comparison arm of the mem5 benchmark.")
+
 let run_cmd =
   let term =
     Term.(
       const run_cluster $ workload_arg $ workers_arg $ cores_arg $ batch_arg
       $ batch_policy_arg $ replay_batch_arg $ target_delay_arg $ duration_arg
-      $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ seed_arg)
+      $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ ckpt_interval_arg
+      $ no_truncate_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 
@@ -181,7 +228,8 @@ let run_cmd =
 (* Re-run one seed with the nemesis debug log captured to [path], so a CI
    failure ships the exact fault schedule as an artifact. Determinism
    makes the re-run identical to the original failure. *)
-let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration ~seed =
+let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
+    ~checkpoint_interval ~history_warmup ~seed =
   let oc = open_out path in
   let fmt = Format.formatter_of_out_channel oc in
   let reporter =
@@ -202,27 +250,37 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration ~seed
   let saved_reporter = Logs.reporter () and saved_level = Logs.level () in
   Logs.set_reporter reporter;
   Logs.set_level (Some Logs.Debug);
-  let o = Rolis.Chaos.run_seed ~replicas ~workers ~clients ~accounts ~duration ~seed () in
+  let o =
+    Rolis.Chaos.run_seed ~replicas ~workers ~clients ~accounts ~duration
+      ~checkpoint_interval ~history_warmup ~seed ()
+  in
   Format.fprintf fmt "%a@." Rolis.Chaos.pp_outcome o;
   Logs.set_reporter saved_reporter;
   Logs.set_level saved_level;
   close_out oc
 
-let run_chaos seeds seed0 replicas workers clients accounts duration_ms verbose
-    nemesis_log =
+let run_chaos seeds seed0 replicas workers clients accounts duration_ms
+    ckpt_interval_ms history_warmup_ms verbose nemesis_log =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   Printf.printf
     "chaos: %d seed(s) starting at %d — %d replicas, %d workers, %d clients, \
-     %d accounts, %d ms of faults per seed\n\
+     %d accounts, %d ms of faults per seed%s\n\
      %!"
-    seeds seed0 replicas workers clients accounts duration_ms;
+    seeds seed0 replicas workers clients accounts duration_ms
+    (if ckpt_interval_ms > 0 then
+       Printf.sprintf ", checkpoints every %d ms (+%d ms history warm-up)"
+         ckpt_interval_ms history_warmup_ms
+     else "");
   let duration = duration_ms * ms in
+  let checkpoint_interval = ckpt_interval_ms * ms in
+  let history_warmup = history_warmup_ms * ms in
   let _, first_failure =
     try
-      Rolis.Chaos.run_seeds ~replicas ~workers ~clients ~accounts ~duration ~seed0 ~seeds
+      Rolis.Chaos.run_seeds ~replicas ~workers ~clients ~accounts ~duration
+        ~checkpoint_interval ~history_warmup ~seed0 ~seeds
         ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
         ()
     with Invalid_argument msg ->
@@ -237,7 +295,8 @@ let run_chaos seeds seed0 replicas workers clients accounts duration_ms verbose
         seed seed;
       (match nemesis_log with
       | Some path ->
-          dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration ~seed;
+          dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
+            ~checkpoint_interval ~history_warmup ~seed;
           Printf.printf "chaos: nemesis log for seed %d written to %s\n" seed path
       | None -> ());
       exit 1
@@ -268,6 +327,24 @@ let chaos_duration_arg =
     value & opt int 3000
     & info [ "duration-ms" ] ~doc:"Virtual time under fault injection (ms).")
 
+let chaos_ckpt_interval_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-interval" ]
+        ~doc:
+          "Follower fuzzy-checkpoint cadence in virtual ms (0 = checkpointing \
+           off). Retention is pinned to the election timeout so truncation \
+           rounds fire during the run.")
+
+let history_warmup_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "history-warmup" ]
+        ~doc:
+          "Extra fault-free virtual ms before the nemesis starts — grows the \
+           journals (and, with checkpointing on, lets truncation fire) so \
+           crashes land on a long, already-compacted history.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every nemesis action.")
 
@@ -284,7 +361,8 @@ let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
-      $ clients_arg $ accounts_arg $ chaos_duration_arg $ verbose_arg $ nemesis_log_arg)
+      $ clients_arg $ accounts_arg $ chaos_duration_arg $ chaos_ckpt_interval_arg
+      $ history_warmup_arg $ verbose_arg $ nemesis_log_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -7,12 +7,17 @@ type elect =
 
 type stream_msg =
   | Prepare of { epoch : int; from_idx : int }
-  | Promise of { epoch : int; commit_idx : int; accepted : accepted_slot list }
+  | Promise of {
+      epoch : int;
+      commit_idx : int;
+      truncated_below : int;
+      accepted : accepted_slot list;
+    }
   | Accept of { epoch : int; idx : int; commit_idx : int; entry : Store.Wire.entry }
   | Accepted of { epoch : int; idx : int; commit_idx : int }
   | Commit of { epoch : int; commit_idx : int; trunc_upto : int }
   | Fetch of { from_idx : int }
-  | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
+  | Fetch_rep of { commit_idx : int; truncated_below : int; entries : accepted_slot list }
   | Nack of { epoch : int }
 
 type reply =
@@ -72,9 +77,9 @@ let pp fmt t =
         let m =
           match msg with
           | Prepare { epoch; from_idx } -> Printf.sprintf "Prepare(e=%d,i>=%d)" epoch from_idx
-          | Promise { epoch; commit_idx; accepted } ->
-              Printf.sprintf "Promise(e=%d,ci=%d,|acc|=%d)" epoch commit_idx
-                (List.length accepted)
+          | Promise { epoch; commit_idx; truncated_below; accepted } ->
+              Printf.sprintf "Promise(e=%d,ci=%d,tr=%d,|acc|=%d)" epoch commit_idx
+                truncated_below (List.length accepted)
           | Accept { epoch; idx; commit_idx; _ } ->
               Printf.sprintf "Accept(e=%d,i=%d,ci=%d)" epoch idx commit_idx
           | Accepted { epoch; idx; commit_idx } ->
@@ -82,8 +87,9 @@ let pp fmt t =
           | Commit { epoch; commit_idx; trunc_upto } ->
               Printf.sprintf "Commit(e=%d,ci=%d,tr=%d)" epoch commit_idx trunc_upto
           | Fetch { from_idx } -> Printf.sprintf "Fetch(i>=%d)" from_idx
-          | Fetch_rep { commit_idx; entries } ->
-              Printf.sprintf "FetchRep(ci=%d,|e|=%d)" commit_idx (List.length entries)
+          | Fetch_rep { commit_idx; truncated_below; entries } ->
+              Printf.sprintf "FetchRep(ci=%d,tr=%d,|e|=%d)" commit_idx truncated_below
+                (List.length entries)
           | Nack { epoch } -> Printf.sprintf "Nack(e=%d)" epoch
         in
         Printf.sprintf "S%d:%s" stream m

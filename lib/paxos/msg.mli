@@ -19,7 +19,16 @@ type elect =
 type stream_msg =
   | Prepare of { epoch : int; from_idx : int }
       (** phase 1: new leader asks for accepted values at [idx >= from_idx] *)
-  | Promise of { epoch : int; commit_idx : int; accepted : accepted_slot list }
+  | Promise of {
+      epoch : int;
+      commit_idx : int;
+      truncated_below : int;
+          (** the promiser's compaction floor: a candidate whose own
+              commit index sits below it can never learn the missing
+              (checkpoint-covered) slots from the log and must rebuild
+              from a checkpoint instead of completing Prepare *)
+      accepted : accepted_slot list;
+    }
   | Accept of { epoch : int; idx : int; commit_idx : int; entry : Store.Wire.entry }
       (** phase 2; piggybacks the leader's commit index *)
   | Accepted of { epoch : int; idx : int; commit_idx : int }
@@ -30,7 +39,10 @@ type stream_msg =
           followers may discard those slots (log compaction) *)
   | Fetch of { from_idx : int }
       (** catch-up: ask for committed entries starting at [from_idx] *)
-  | Fetch_rep of { commit_idx : int; entries : accepted_slot list }
+  | Fetch_rep of { commit_idx : int; truncated_below : int; entries : accepted_slot list }
+      (** [truncated_below]: the donor's compaction floor — a fetcher
+          whose gap starts beneath it is behind the checkpoint cover and
+          stalls ({!Stream.trunc_stalled}) until rebuilt *)
   | Nack of { epoch : int }  (** receiver has promised a higher epoch *)
 
 type reply =

@@ -61,6 +61,18 @@ type t = {
      leader's Prepare — which starts at that leader's own commit index —
      never asks for a discarded slot. *)
   mutable truncated_below : int;
+  (* Checkpoint-cover floor: a quorum-stable checkpoint covers every slot
+     below it, so the leader may truncate up to here even while some peer's
+     commit index lags — that peer rebuilds from the checkpoint instead of
+     the log (the Raft InstallSnapshot discipline). Monotone. *)
+  mutable trunc_floor : int;
+  (* Ablation switch: retain every slot forever (--no-truncate). *)
+  mutable no_truncate : bool;
+  (* Set when a peer's advertised compaction floor proves the slots this
+     replica still needs are gone cluster-wide: log catch-up can never
+     complete and only a checkpoint rebuild unwedges it. Cleared on any
+     commit progress (another donor still held the slots). *)
+  mutable trunc_stalled : bool;
   peer_commit : int array;
   on_commit : idx:int -> Store.Wire.entry -> unit;
   on_higher_epoch : int -> unit;
@@ -102,6 +114,9 @@ let create net ?peers ?(fetch_timeout = default_fetch_timeout)
     fetch_timeout;
     fetch_deadline = 0;
     truncated_below = 0;
+    trunc_floor = 0;
+    no_truncate = false;
+    trunc_stalled = false;
     peer_commit = Array.make n (-1);
     on_commit;
     on_higher_epoch;
@@ -130,12 +145,13 @@ let broadcast t msg =
 let deliver t idx =
   let slot = Hashtbl.find t.slots idx in
   t.s_commits <- t.s_commits + 1;
+  t.trunc_stalled <- false;
   t.on_commit ~idx slot.s_entry
 
 (* Discard slots below [upto]; [upto] must already be committed locally. *)
 let truncate_below t upto =
   let upto = min upto (t.commit_idx + 1) in
-  if upto - t.truncated_below >= truncate_batch then begin
+  if (not t.no_truncate) && upto - t.truncated_below >= truncate_batch then begin
     for idx = t.truncated_below to upto - 1 do
       if Hashtbl.mem t.slots idx then begin
         Hashtbl.remove t.slots idx;
@@ -145,12 +161,15 @@ let truncate_below t upto =
     t.truncated_below <- upto
   end
 
-(* Leader: every peer (and we) has committed below this bound, so no
-   future Prepare can start beneath it. *)
+(* Leader: every peer (and we) has committed below this bound — or the
+   slots beneath it are covered by a quorum-stable checkpoint
+   ([trunc_floor]), in which case a peer that never committed them
+   rebuilds from the checkpoint rather than the log. Either way no future
+   Prepare that can *complete* starts beneath the bound. *)
 let safe_trunc_bound t =
   let bound = ref t.commit_idx in
   Array.iteri (fun peer c -> if peer <> t.me then bound := min !bound c) t.peer_commit;
-  max 0 (!bound + 1)
+  max 0 (max (!bound + 1) (min t.trunc_floor (t.commit_idx + 1)))
 
 (* EWMA (alpha 1/8) of entries carried per proposed quorum round; the
    batcher's closed loop reads it to amortise the per-entry overhead. *)
@@ -365,15 +384,39 @@ let retransmit t =
    watermark/replay machinery sees exactly the durable history a surviving
    replica saw. Only valid on a non-leading (fresh) stream, fed in
    stream order from a donor's journal. *)
-let inject_committed t (entry : Store.Wire.entry) =
-  if t.lstate <> Idle then invalid_arg "Stream.inject_committed: stream is leading";
-  let idx = t.commit_idx + 1 in
+let inject_committed_at t ~idx (entry : Store.Wire.entry) =
+  if t.lstate <> Idle then invalid_arg "Stream.inject_committed_at: stream is leading";
+  if idx <= t.commit_idx then
+    invalid_arg "Stream.inject_committed_at: index already committed";
+  (* A gap below [idx] means the donor truncated those slots under a
+     checkpoint cover; this replica installs the checkpoint image instead,
+     so record the same compaction floor rather than fake slots. *)
+  if idx > t.commit_idx + 1 then begin
+    t.commit_idx <- idx - 1;
+    if t.truncated_below < idx then t.truncated_below <- idx
+  end;
   Hashtbl.replace t.slots idx
     { s_epoch = entry.Store.Wire.epoch; s_entry = entry; s_acks = [] };
   t.commit_idx <- idx;
   if t.next_idx <= idx then t.next_idx <- idx + 1;
   if entry.Store.Wire.epoch > t.promised then t.promised <- entry.Store.Wire.epoch;
   deliver t idx
+
+let inject_committed t entry = inject_committed_at t ~idx:(t.commit_idx + 1) entry
+
+(* Checkpoint bootstrap: slots below [idx] are committed cluster-wide and
+   reflected in the checkpoint image this replica just installed, but
+   absent from every donor's log. Record them as this replica's compaction
+   floor so tail injection and ordinary catch-up start at [idx] instead of
+   fetching slots that no longer exist anywhere. *)
+let set_bootstrap_floor t ~idx =
+  if t.lstate <> Idle then
+    invalid_arg "Stream.set_bootstrap_floor: stream is leading";
+  if idx > t.commit_idx + 1 then begin
+    t.commit_idx <- idx - 1;
+    if t.next_idx <= t.commit_idx then t.next_idx <- idx;
+    if t.truncated_below < idx then t.truncated_below <- idx
+  end
 
 (* Salvage path for a *voluntary* rebuild of an alive replica: its Paxos
    state is sound even when its database is tainted, and its accepted-but-
@@ -413,6 +456,7 @@ let handle t msg ~from =
              {
                epoch;
                commit_idx = t.commit_idx;
+               truncated_below = t.truncated_below;
                accepted = accepted_tail t ~from_idx;
              })
       end
@@ -420,10 +464,18 @@ let handle t msg ~from =
         t.s_nacks <- t.s_nacks + 1;
         send t ~dst:from (Msg.Nack { epoch = t.promised })
       end
-  | Msg.Promise { epoch; accepted; commit_idx = _ } -> (
+  | Msg.Promise { epoch; accepted; truncated_below; commit_idx = _ } -> (
       match t.lstate with
       | Preparing p when epoch = t.leader_epoch ->
-          if not (List.mem from p.promises) then begin
+          if truncated_below > t.commit_idx + 1 then begin
+            (* The promiser compacted slots we never committed: they are
+               checkpoint-covered and gone from the log, so completing
+               Prepare here would fill committed indices with no-ops.
+               Abdicate and wait for a checkpoint rebuild. *)
+            t.trunc_stalled <- true;
+            step_down t
+          end
+          else if not (List.mem from p.promises) then begin
             p.promises <- from :: p.promises;
             t.promise_slots <- accepted :: t.promise_slots;
             if List.length p.promises >= majority t then finish_prepare t
@@ -474,8 +526,10 @@ let handle t msg ~from =
         List.filter (fun (s : Msg.accepted_slot) -> s.a_idx <= t.commit_idx)
           (accepted_tail t ~from_idx)
       in
-      send t ~dst:from (Msg.Fetch_rep { commit_idx = t.commit_idx; entries })
-  | Msg.Fetch_rep { commit_idx; entries } ->
+      send t ~dst:from
+        (Msg.Fetch_rep
+           { commit_idx = t.commit_idx; truncated_below = t.truncated_below; entries })
+  | Msg.Fetch_rep { commit_idx; truncated_below; entries } ->
       t.fetch_inflight <- false;
       List.iter
         (fun (s : Msg.accepted_slot) ->
@@ -499,7 +553,12 @@ let handle t msg ~from =
             t.commit_idx <- t.commit_idx + 1;
             deliver t t.commit_idx
         | None -> continue := false
-      done
+      done;
+      (* The donor is ahead yet compacted the very slot we need next: the
+         gap can never be filled from the log. Flag for a checkpoint
+         rebuild instead of refetching forever. *)
+      if t.commit_idx < commit_idx && truncated_below > t.commit_idx + 1 then
+        t.trunc_stalled <- true
   | Msg.Nack { epoch } ->
       if epoch > t.promised then begin
         t.promised <- epoch;
@@ -514,6 +573,11 @@ let next_index t = t.next_idx
 
 let retained_slots t = Hashtbl.length t.slots
 let truncated_below t = t.truncated_below
+
+let set_trunc_floor t idx = if idx > t.trunc_floor then t.trunc_floor <- idx
+let trunc_floor t = t.trunc_floor
+let set_no_truncate t b = t.no_truncate <- b
+let trunc_stalled t = t.trunc_stalled
 let coalesce_factor t = Float.max 1.0 t.coalesce_ewma
 
 let stats t =

@@ -92,6 +92,22 @@ val inject_committed : t -> Store.Wire.entry -> unit
     Only valid on a non-leading stream; feed entries in stream order from
     a donor replica's journal. *)
 
+val inject_committed_at : t -> idx:int -> Store.Wire.entry -> unit
+(** Like {!inject_committed} but at an absolute index, for checkpoint +
+    journal-tail bootstrap where the donor's journal starts above zero: a
+    gap below [idx] is recorded as this replica's compaction floor (the
+    checkpoint image stands in for the missing slots). Feed indices in
+    ascending order. @raise Invalid_argument if leading or if [idx] is
+    already committed. *)
+
+val set_bootstrap_floor : t -> idx:int -> unit
+(** Checkpoint bootstrap: mark every slot below [idx] as committed
+    elsewhere and covered by the checkpoint image installed alongside —
+    the commit index jumps to [idx - 1] and the slots are recorded as
+    truncated, so tail injection and ordinary catch-up start at [idx].
+    No-op when the stream is already at or past [idx].
+    @raise Invalid_argument if the stream is leading. *)
+
 type tail
 (** Opaque acceptor salvage state: the promised epoch plus every
     accepted-but-uncommitted slot above the commit index. *)
@@ -128,6 +144,28 @@ val retained_slots : t -> int
     paper's §4.3. *)
 
 val truncated_below : t -> int
+
+val set_trunc_floor : t -> int -> unit
+(** Raise the checkpoint-cover floor (monotone): a quorum-stable
+    checkpoint covers every slot below it, so {e leader-side} compaction
+    may advance to the floor even while a peer's commit index lags — that
+    peer is expected to rebuild from the checkpoint (the
+    InstallSnapshot discipline), and a candidate behind the floor
+    abdicates instead of completing Prepare. Followers learn the bound
+    through the piggybacked [trunc_upto]. *)
+
+val trunc_floor : t -> int
+
+val set_no_truncate : t -> bool -> unit
+(** Ablation: disable slot compaction entirely (the [--no-truncate]
+    mode); [trunc_upto] advertisements are ignored and the local log
+    retains every slot. *)
+
+val trunc_stalled : t -> bool
+(** Log catch-up is wedged behind a peer's compaction floor: the slots
+    this replica needs next were truncated cluster-wide, so only a
+    checkpoint rebuild can make progress. Cleared by any commit
+    progress. *)
 
 val coalesce_factor : t -> float
 (** EWMA (alpha 1/8) of proposals carried per proposed quorum round,

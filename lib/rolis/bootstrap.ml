@@ -49,7 +49,27 @@ let replay_entries ~dst entries =
     entries;
   !applied
 
-let sync_new_replica ~src ~dst () =
-  let rows = pull_snapshot ~src:(Replica.db src) ~dst () in
-  let applies = replay_entries ~dst (Replica.archived_entries src) in
-  (rows, applies)
+let sync_new_replica ~src ~dst ?ckpt () =
+  match ckpt with
+  | None ->
+      let rows = pull_snapshot ~src:(Replica.db src) ~dst () in
+      let applies = replay_entries ~dst (Replica.archived_entries src) in
+      (rows, applies)
+  | Some (ck : Checkpoint.replica_image) ->
+      (* Checkpoint-seeded variant: install the image (idempotent CAS, so
+         overlap with the tail is harmless), pay the modeled load time,
+         then replay only the source's journal tail above the image's
+         per-stream cover — the whole point of truncation-era bootstrap is
+         that the replayed tail no longer grows with history. *)
+      let rows = Checkpoint.install ~into:dst ck.Checkpoint.ri_image in
+      Sim.Engine.sleep
+        (Checkpoint.load_cost ~costs:(Silo.Db.costs dst) ck.Checkpoint.ri_image);
+      let cover = ck.Checkpoint.ri_cover in
+      let tail =
+        List.filter_map
+          (fun (s, idx, e) ->
+            if s >= Array.length cover || idx > cover.(s) then Some e else None)
+          (Replica.journal src)
+      in
+      let applies = replay_entries ~dst tail in
+      (rows, applies)

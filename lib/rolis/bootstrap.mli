@@ -25,8 +25,12 @@ val replay_entries : dst:Silo.Db.t -> Store.Wire.entry list -> int
     their CAS. Must run inside a process. *)
 
 val sync_new_replica :
-  src:Replica.t -> dst:Silo.Db.t -> unit -> int * int
+  src:Replica.t -> dst:Silo.Db.t -> ?ckpt:Checkpoint.replica_image -> unit -> int * int
 (** The full §4.3 flow against a live source replica (which must have been
     built with [archive_entries = true]): snapshot pull, then replay of
-    everything the source has made durable. Returns
-    [(rows_copied, applies_won)]. Must run inside a process. *)
+    everything the source has made durable. With [ckpt] the pull is
+    replaced by installing the persisted checkpoint image (paying its
+    modeled load time) and replaying only the source's journal {e tail}
+    above the image's per-stream cover — bounded work regardless of
+    history length. Returns [(rows_copied, applies_won)]. Must run inside
+    a process. *)

@@ -78,6 +78,9 @@ type outcome = {
   client_retries : int;
   busy_replies : int;
   parked : int;
+  checkpoints : int;
+  truncations : int;
+  rebuilds : int;
 }
 
 let ok o = o.violations = []
@@ -85,18 +88,21 @@ let ok o = o.violations = []
 let pp_outcome fmt o =
   Format.fprintf fmt
     "seed %d: %s (released=%d executed=%d crashes=%d restarts=%d epochs=%d \
-     entries=%d acked=%d retries=%d busy=%d parked=%d)"
+     entries=%d acked=%d retries=%d busy=%d parked=%d ckpts=%d truncs=%d \
+     rebuilds=%d)"
     o.seed
     (if ok o then "ok" else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
     o.released o.executed o.crashes o.restarts o.epochs o.entries_checked o.acked
-    o.client_retries o.busy_replies o.parked;
+    o.client_retries o.busy_replies o.parked o.checkpoints o.truncations
+    o.rebuilds;
   List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
 
 let chaos_costs =
   { Silo.Costs.default with Silo.Costs.txn_begin_ns = 50_000; abort_ns = 5_000 }
 
 let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
-    ?(duration = 3 * Sim.Engine.s) ~seed () =
+    ?(duration = 3 * Sim.Engine.s) ?(checkpoint_interval = 0)
+    ?(history_warmup = 0) ~seed () =
   let stopped = ref false in
   let cfg =
     {
@@ -112,6 +118,12 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
       election_timeout = 300 * ms;
       clients;
       seed = Int64.of_int seed;
+      (* Checkpoint chaos: short retention (the floor is the election
+         timeout) so truncation rounds actually fire inside a few virtual
+         seconds, making crashes race in-progress checkpoints and
+         recoveries race truncation. *)
+      checkpoint_interval;
+      checkpoint_retention = 300 * ms;
     }
   in
   let oracle = Check.Oracle.create () in
@@ -148,6 +160,11 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
          cluster share nothing but the seed, yet both are deterministic
          functions of it — a failing seed replays exactly. *)
       Cluster.run cluster ~duration:(300 * ms) ();
+      (* Long-history scenarios: keep the cluster healthy for an extra
+         warm-up so journals grow, checkpoints complete and truncation
+         rounds fire *before* the first fault — the nemesis then crashes
+         into a cluster whose logs are already compacted. *)
+      if history_warmup > 0 then Cluster.run cluster ~duration:history_warmup ();
       let nrng = Sim.Rng.split (Sim.Engine.rng eng) in
       let plan = Sim.Fault.random_plan nrng ~nodes:replicas () in
       Log.debug (fun m -> m "seed %d plan:@.%a" seed Sim.Fault.pp_plan plan);
@@ -228,14 +245,18 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     client_retries = sum Client.retries;
     busy_replies = sum Client.busy_replies;
     parked = sum Client.parked;
+    checkpoints = Cluster.checkpoints_taken cluster;
+    truncations = Cluster.truncation_rounds cluster;
+    rebuilds = Cluster.auto_rebuilds cluster;
   }
 
-let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?(seed0 = 1) ?on_outcome
-    ~seeds () =
+let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?checkpoint_interval
+    ?history_warmup ?(seed0 = 1) ?on_outcome ~seeds () =
   let outcomes = ref [] in
   for i = 0 to seeds - 1 do
     let o =
-      run_seed ?replicas ?workers ?clients ?accounts ?duration ~seed:(seed0 + i) ()
+      run_seed ?replicas ?workers ?clients ?accounts ?duration
+        ?checkpoint_interval ?history_warmup ~seed:(seed0 + i) ()
     in
     (match on_outcome with Some f -> f o | None -> ());
     outcomes := o :: !outcomes

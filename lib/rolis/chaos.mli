@@ -49,6 +49,9 @@ type outcome = {
   client_retries : int;  (** client resends (timeout / redirect / busy) *)
   busy_replies : int;  (** admission-control pushback seen by clients *)
   parked : int;  (** times a session exhausted retries and parked *)
+  checkpoints : int;  (** completed fuzzy checkpoints (current replicas) *)
+  truncations : int;  (** cluster-wide journal truncation rounds *)
+  rebuilds : int;  (** coordinator-forced checkpoint rebuilds of wedged followers *)
 }
 
 val ok : outcome -> bool
@@ -60,11 +63,21 @@ val run_seed :
   ?clients:int ->
   ?accounts:int ->
   ?duration:int ->
+  ?checkpoint_interval:int ->
+  ?history_warmup:int ->
   seed:int ->
   unit ->
   outcome
 (** Defaults: 3 replicas, 4 workers, 8 client sessions, 48 accounts,
-    3 virtual seconds of fault injection. *)
+    3 virtual seconds of fault injection, checkpointing off.
+
+    [checkpoint_interval > 0] turns on the checkpoint subsystem with a
+    retention equal to the election timeout (the minimum Config allows),
+    so truncation rounds fire inside the run and crashes race in-progress
+    checkpoints, checkpointer processes and truncation-racing recoveries.
+    [history_warmup] adds fault-free run time before the nemesis starts,
+    letting journals grow and compaction fire first — the long-history
+    crash scenarios. *)
 
 val run_seeds :
   ?replicas:int ->
@@ -72,6 +85,8 @@ val run_seeds :
   ?clients:int ->
   ?accounts:int ->
   ?duration:int ->
+  ?checkpoint_interval:int ->
+  ?history_warmup:int ->
   ?seed0:int ->
   ?on_outcome:(outcome -> unit) ->
   seeds:int ->

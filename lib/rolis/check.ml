@@ -44,50 +44,42 @@ end
 let alive_replicas cluster =
   Array.to_list (Cluster.replicas cluster) |> List.filter Replica.is_alive
 
-(* Per-stream committed sequences rebuilt from a replica's journal. *)
+(* A replica's committed journal keyed by absolute (stream, idx). Under
+   checkpoint truncation journals are no longer prefixes from zero —
+   different replicas retain different windows — so agreement compares
+   entries at overlapping absolute slots, never by list position. *)
 let stream_logs r =
-  let tbl : (int, Store.Wire.entry list) Hashtbl.t = Hashtbl.create 8 in
+  let tbl : (int * int, Store.Wire.entry) Hashtbl.t = Hashtbl.create 4096 in
   List.iter
-    (fun (s, e) ->
-      let cur = match Hashtbl.find_opt tbl s with Some l -> l | None -> [] in
-      Hashtbl.replace tbl s (e :: cur))
+    (fun (s, idx, e) -> Hashtbl.replace tbl (s, idx) e)
     (Replica.journal r);
-  fun s ->
-    match Hashtbl.find_opt tbl s with
-    | Some l -> Array.of_list (List.rev l)
-    | None -> [||]
+  tbl
 
 let agreement cluster =
   let reps = alive_replicas cluster in
   let logs = List.map (fun r -> (Replica.id r, stream_logs r)) reps in
-  let nstreams = Config.nstreams (Cluster.config cluster) in
+  let chosen : (int * int, int * Store.Wire.entry) Hashtbl.t =
+    Hashtbl.create 4096
+  in
   let viols = ref [] and nviol = ref 0 in
-  for s = 0 to nstreams - 1 do
-    let per = List.map (fun (id, f) -> (id, f s)) logs in
-    let ref_id, longest =
-      List.fold_left
-        (fun (bi, ba) (i, a) ->
-          if Array.length a > Array.length ba then (i, a) else (bi, ba))
-        (-1, [||]) per
-    in
-    List.iter
-      (fun (id, a) ->
-        if id <> ref_id then
-          Array.iteri
-            (fun i e ->
-              if i < Array.length longest && longest.(i) <> e then begin
+  List.iter
+    (fun (id, tbl) ->
+      Hashtbl.iter
+        (fun (s, idx) e ->
+          match Hashtbl.find_opt chosen (s, idx) with
+          | None -> Hashtbl.replace chosen (s, idx) (id, e)
+          | Some (id0, e0) ->
+              if e0 <> e then begin
                 incr nviol;
                 if !nviol <= cap then
                   viols :=
                     violation "agreement"
-                      "stream %d idx %d: replica %d has %s, replica %d has %s" s i
-                      id (Oracle.entry_sig e) ref_id
-                      (Oracle.entry_sig longest.(i))
+                      "stream %d idx %d: replica %d has %s, replica %d has %s" s
+                      idx id (Oracle.entry_sig e) id0 (Oracle.entry_sig e0)
                     :: !viols
               end)
-            a)
-      per
-  done;
+        tbl)
+    logs;
   List.rev !viols
 
 let watermark_agreement cluster =
@@ -154,13 +146,14 @@ let convergence cluster =
         rest
 
 (* Exactly-once audit of the client-session layer. Ground truth is the
-   union durable log: per stream, the longest committed journal across
-   alive replicas (committed logs are prefixes of one another, so the
-   longest is the union). A request-carrying transaction counts as
-   *applied* iff it is below its epoch's final watermark — for the last,
-   unsealed epoch, every durable transaction counts (valid once the
-   cluster has quiesced and drained: nothing above the final watermark
-   remains unreleased). Then:
+   union durable log: every committed (stream, idx) slot across alive
+   replicas (agreement — checked separately — makes the slot's entry
+   unambiguous), plus the cluster's harvested dedup evidence for slots
+   that checkpoint truncation dropped from every surviving journal. A
+   request-carrying transaction counts as *applied* iff it is below its
+   epoch's final watermark — for the last, unsealed epoch, every durable
+   transaction counts (valid once the cluster has quiesced and drained:
+   nothing above the final watermark remains unreleased). Then:
 
    - no (client, seq) may be applied more than once, acked or not —
      a duplicate means the session dedup failed (e.g. a retry re-executed
@@ -170,36 +163,43 @@ let convergence cluster =
      i.e. a release-visibility violation (§3.3). *)
 let exactly_once cluster ~acked =
   let reps = alive_replicas cluster in
-  let nstreams = Config.nstreams (Cluster.config cluster) in
   let final_w epoch =
     List.fold_left
       (fun acc r ->
         match acc with Some _ -> acc | None -> Replica.final_watermark r ~epoch)
       None reps
   in
-  let logs = List.map stream_logs reps in
+  let union : (int * int, Store.Wire.entry) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s, idx, e) -> Hashtbl.replace union (s, idx) e)
+        (Replica.journal r))
+    reps;
   let counts : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
-  for s = 0 to nstreams - 1 do
-    let longest =
-      List.fold_left
-        (fun acc f ->
-          let a = f s in
-          if Array.length a > Array.length acc then a else acc)
-        [||] logs
-    in
-    Array.iter
-      (fun (e : Store.Wire.entry) ->
-        let w = match final_w e.epoch with Some w -> w | None -> max_int in
-        List.iter
-          (fun (txn : Store.Wire.txn_log) ->
-            match txn.Store.Wire.req with
-            | Some key when txn.Store.Wire.ts <= w ->
-                let cur = match Hashtbl.find_opt counts key with Some c -> c | None -> 0 in
-                Hashtbl.replace counts key (cur + 1)
-            | Some _ | None -> ())
-          e.txns)
-      longest
-  done;
+  let bump key =
+    let cur = match Hashtbl.find_opt counts key with Some c -> c | None -> 0 in
+    Hashtbl.replace counts key (cur + 1)
+  in
+  Hashtbl.iter
+    (fun _ (e : Store.Wire.entry) ->
+      let w = match final_w e.epoch with Some w -> w | None -> max_int in
+      List.iter
+        (fun (txn : Store.Wire.txn_log) ->
+          match txn.Store.Wire.req with
+          | Some key when txn.Store.Wire.ts <= w -> bump key
+          | Some _ | None -> ())
+        e.txns)
+    union;
+  (* Slots truncated from every surviving journal: the coordinator
+     harvested their request keys before the drop (already filtered by
+     the final-watermark rule at harvest time). Counted only when absent
+     from the union — a slot truncated on some replicas but retained on
+     another must not count twice. *)
+  List.iter
+    (fun ((s, idx), keys) ->
+      if not (Hashtbl.mem union (s, idx)) then List.iter bump keys)
+    (Cluster.harvested_requests cluster);
   let viols = ref [] and nviol = ref 0 in
   Hashtbl.iter
     (fun (cid, seq) c ->

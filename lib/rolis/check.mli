@@ -37,8 +37,11 @@ module Oracle : sig
 end
 
 val agreement : Cluster.t -> violation list
-(** Every alive replica's per-stream committed sequence is a prefix of the
-    longest one (requires [archive_entries]). *)
+(** All alive replicas agree on the entry at every absolute
+    [(stream, idx)] slot their journals share (requires
+    [archive_entries]). Keyed by absolute index, not list position:
+    under checkpoint truncation different replicas retain different
+    journal windows. *)
 
 val watermark_agreement : Cluster.t -> violation list
 (** For every sealed epoch, all alive replicas that sealed it agree on its
@@ -54,8 +57,10 @@ val money : Cluster.t -> table:string -> expected:int -> violation list
 
 val exactly_once : Cluster.t -> acked:(int * int) list -> violation list
 (** End-to-end exactly-once audit of the client-session layer against the
-    union durable log (per stream, the longest committed journal across
-    alive replicas; requires [archive_entries]). A request-carrying
+    union durable log (every [(stream, idx)] slot committed on an alive
+    replica; requires [archive_entries]) merged with the cluster's
+    harvested dedup evidence for slots checkpoint truncation dropped
+    from every surviving journal. A request-carrying
     transaction counts as applied iff it is at or below its epoch's final
     watermark (all of the last, unsealed epoch after a drain). Violations:
     any [(client, seq)] applied more than once (dedup failure), or an

@@ -1,6 +1,27 @@
-type row = { r_key : string; r_value : string; r_epoch : int; r_ts : int }
+type row = {
+  r_key : string;
+  r_value : string;
+  r_epoch : int;
+  r_ts : int;
+  r_deleted : bool;
+}
+
 type table_image = { t_name : string; t_rows : row array }
 type image = { tables : table_image list; bytes : int; rows : int }
+
+(* A live replica's periodic fuzzy checkpoint: the database image plus
+   everything a rebuilt replica cannot rederive from the journal tail —
+   per-stream cover stamps, the watermark tracker's sealed-epoch history,
+   and the client-session dedup table (without which a retry of a
+   truncated transaction would re-execute). *)
+type replica_image = {
+  ri_image : image;
+  ri_cover : int array;
+  ri_frontier : int array;
+  ri_wm : Watermark.snapshot;
+  ri_sessions : (int * int * int * int * int) list;
+  ri_taken_at : int;
+}
 
 let size_bytes img = img.bytes
 let row_count img = img.rows
@@ -12,7 +33,8 @@ let disk_time ~disk_mb_per_s ~bytes =
 
 let row_bytes r = 16 + String.length r.r_key + String.length r.r_value
 
-let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512) () =
+let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512)
+    ?(live_only = true) () =
   let eng = Silo.Db.engine db in
   let cpu = Silo.Db.cpu db in
   let costs = Silo.Db.costs db in
@@ -33,9 +55,15 @@ let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512) () =
                     and disk-write time per burst of rows. *)
                  let rows = ref [] in
                  Store.Table.iter table (fun k (r : Store.Record.t) ->
-                     if not r.deleted then
+                     if (not r.deleted) || not live_only then
                        rows :=
-                         { r_key = k; r_value = r.value; r_epoch = r.epoch; r_ts = r.ts }
+                         {
+                           r_key = k;
+                           r_value = r.value;
+                           r_epoch = r.epoch;
+                           r_ts = r.ts;
+                           r_deleted = r.deleted;
+                         }
                          :: !rows);
                  let all = Array.of_list (List.rev !rows) in
                  let n = Array.length all in
@@ -68,6 +96,59 @@ let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512) () =
   let rows = List.fold_left (fun acc t -> acc + Array.length t.t_rows) 0 tables in
   { tables; bytes; rows }
 
+(* Sorted image install: one cursor sweep per table instead of a per-row
+   root-to-leaf descent ([Store.Table.iter] emits keys ascending, so each
+   [t_rows] run is strictly ascending). Works on fresh and pre-seeded
+   tables alike: existing records go through the idempotent (epoch, ts)
+   CAS, so installing under concurrent tail replay can never regress a
+   newer write — the ARIES install-then-replay contract. *)
+let install_table ~into (ti : table_image) =
+  let table =
+    try Silo.Db.table into ti.t_name
+    with Not_found -> Silo.Db.create_table into ti.t_name
+  in
+  let installed = ref 0 in
+  let kvs = Array.to_list (Array.map (fun r -> (r.r_key, r)) ti.t_rows) in
+  ignore
+    (Store.Btree.apply_sorted (Store.Table.tree table) kvs
+       ~f:(fun key row existing ->
+         let value = if row.r_deleted then None else Some row.r_value in
+         match existing with
+         | Some (rec_ : Store.Record.t) ->
+             let old_len = String.length rec_.value in
+             if Store.Record.cas_apply rec_ ~epoch:row.r_epoch ~ts:row.r_ts ~value
+             then begin
+               incr installed;
+               Store.Table.account_growth table
+                 (String.length rec_.value - old_len)
+             end;
+             None
+         | None ->
+             let rec_ =
+               Store.Record.make ~epoch:row.r_epoch ~ts:row.r_ts row.r_value
+             in
+             if row.r_deleted then rec_.Store.Record.deleted <- true;
+             incr installed;
+             Store.Table.account_growth table
+               (Store.Record.byte_size ~key rec_);
+             Some rec_));
+  !installed
+
+let install ~into img =
+  List.fold_left (fun acc ti -> acc + install_table ~into ti) 0 img.tables
+
+(* Virtual-time cost of reading an image back and rebuilding the indexes:
+   the disk is shared (reads serialize on it, whatever the thread count)
+   and the per-row rebuild CPU parallelises across the loader threads.
+   Matches what a [recover] run charges, without requiring the caller to
+   block through it — {!Replica} installs state synchronously and pays
+   this as an ineligibility window instead. *)
+let load_cost ~costs ?(threads = 4) ?(disk_mb_per_s = 500) img =
+  let cpu_ns =
+    img.rows * (costs.Silo.Costs.write_ns + costs.Silo.Costs.read_ns)
+  in
+  disk_time ~disk_mb_per_s ~bytes:img.bytes + (cpu_ns / max 1 threads)
+
 let recover ~into ?(threads = 4) ?(disk_mb_per_s = 500) img =
   let eng = Silo.Db.engine into in
   let cpu = Silo.Db.cpu into in
@@ -84,19 +165,24 @@ let recover ~into ?(threads = 4) ?(disk_mb_per_s = 500) img =
            List.iteri
              (fun i t ->
                if i mod threads = worker then begin
-                 let table = Silo.Db.table into t.t_name in
                  let n = Array.length t.t_rows in
                  let pos = ref 0 in
                  while !pos < n do
                    let upto = min n (!pos + 512) in
                    let bytes = ref 0 in
                    for j = !pos to upto - 1 do
-                     let r = t.t_rows.(j) in
-                     bytes := !bytes + row_bytes r;
-                     Store.Table.insert table r.r_key
-                       (Store.Record.make ~epoch:r.r_epoch ~ts:r.r_ts r.r_value)
+                     bytes := !bytes + row_bytes t.t_rows.(j)
                    done;
-                   (* Disk read for the burst, then index-rebuild CPU. *)
+                   (* One sorted sweep per burst (the rows come off the
+                      tree in key order), instead of a fresh root-to-leaf
+                      descent per row. The modeled charges are unchanged:
+                      disk read for the burst, then index-rebuild CPU. *)
+                   ignore
+                     (install_table ~into
+                        {
+                          t_name = t.t_name;
+                          t_rows = Array.sub t.t_rows !pos (upto - !pos);
+                        });
                    Sim.Sync.Mutex.lock disk;
                    Sim.Engine.sleep (disk_time ~disk_mb_per_s ~bytes:!bytes);
                    Sim.Sync.Mutex.unlock disk;

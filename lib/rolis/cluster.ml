@@ -8,27 +8,126 @@ type t = {
   replicas : Replica.t array;
   mutable w_start : int;
   mutable w_stop : int;
+  (* Per-replica durable disk: the newest checkpoint image each replica
+     published, surviving that replica's crash (a restarted node can load
+     its own image, and any image is reachable for bootstrap even while
+     its owner is down). *)
+  disk : Checkpoint.replica_image option array;
+  (* Dedup evidence harvested from journal entries before truncation
+     drops them: (stream, idx) -> request keys that counted as applied
+     (already filtered by the final-watermark rule at harvest time).
+     {!Check.exactly_once} consults it for slots absent from every
+     surviving journal. *)
+  harvested : (int * int, (int * int) list) Hashtbl.t;
+  (* Highest per-stream cover already truncated cluster-wide (inclusive);
+     a bootstrap image must cover at least this much. *)
+  mutable trunc_frontier : int array;
+  (* Retention gate: a freshly quorum-stable frontier waits
+     [checkpoint_retention] before truncation applies, so a follower
+     lagging within the permitted window still finds its slots in the
+     log. *)
+  mutable pending_frontier : (int * int array) option;
+  mutable truncation_rounds : int;
+  mutable auto_rebuilds : int;
 }
 
-let create ?(initial_leader = Some 0) ?on_durable cfg app =
-  Config.validate cfg;
-  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
-  (* Client sessions live on the same net, as nodes
-     [replicas .. replicas+clients-1]: their links share the latency and
-     fault model, so loss/dup/reorder exercises the retry + dedup path. *)
-  let net =
-    Sim.Net.create eng
-      ~nodes:(cfg.Config.replicas + cfg.Config.clients)
-      ~latency:cfg.Config.net_latency
+(* Quorum-stable frontier over the persisted images: rank images by their
+   scalar min-over-streams cover, keep the top-majority, take the
+   elementwise min F over those. Every kept image then covers F on every
+   stream, and with images persisted on disk each remains reachable even
+   while its owner is down — so some image covering F always exists for a
+   rebuild, whatever minority the nemesis takes. *)
+let stable_frontier t =
+  let images = Array.to_list t.disk |> List.filter_map Fun.id in
+  let majority = (Array.length t.replicas / 2) + 1 in
+  if List.length images < majority then None
+  else begin
+    let scalar ck =
+      Array.fold_left min max_int ck.Checkpoint.ri_cover
+    in
+    let ranked =
+      List.sort (fun a b -> compare (scalar b) (scalar a)) images
+    in
+    let top = List.filteri (fun i _ -> i < majority) ranked in
+    match top with
+    | [] -> None
+    | ck0 :: rest ->
+        let f = Array.copy ck0.Checkpoint.ri_cover in
+        List.iter
+          (fun ck ->
+            Array.iteri
+              (fun s c -> if c < f.(s) then f.(s) <- c)
+              ck.Checkpoint.ri_cover)
+          rest;
+        Some f
+  end
+
+(* Record the request keys of every journal entry at or below [cover]
+   before those entries can disappear from the union of surviving
+   journals — at truncation, and when a rebuilt replica restarts with a
+   checkpoint instead of the full journal. Idempotent per slot. *)
+let harvest_upto t ~donors ~cover =
+  let final_w epoch =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some _ -> acc
+        | None -> Replica.final_watermark r ~epoch)
+      None donors
   in
-  let hook id =
-    Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
-  in
-  let replicas =
-    Array.init cfg.Config.replicas (fun id ->
-        Replica.create cfg eng net ~id ~app ?initial_leader ?on_durable:(hook id) ())
-  in
-  { cfg; eng; net; app; on_durable; replicas; w_start = 0; w_stop = 0 }
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s, idx, (e : Store.Wire.entry)) ->
+          if idx <= cover.(s) && not (Hashtbl.mem t.harvested (s, idx)) then begin
+            let w =
+              match final_w e.Store.Wire.epoch with
+              | Some w -> w
+              | None -> max_int
+              (* Unsealed epoch: an entry below a checkpoint cover was
+                 consumed whole (last_ts <= the replay watermark), so all
+                 its transactions end up below the eventual final W. *)
+            in
+            let keys =
+              List.filter_map
+                (fun (txn : Store.Wire.txn_log) ->
+                  match txn.Store.Wire.req with
+                  | Some key when txn.Store.Wire.ts <= w -> Some key
+                  | Some _ | None -> None)
+                e.Store.Wire.txns
+            in
+            Hashtbl.replace t.harvested (s, idx) keys
+          end)
+        (Replica.journal r))
+    donors
+
+let alive_list t =
+  Array.to_list t.replicas |> List.filter Replica.is_alive
+
+(* The image a rebuilt replica bootstraps from: any persisted image whose
+   cover reaches the already-truncated frontier on every stream (entries
+   below [trunc_frontier] are gone from every surviving journal, so a
+   shallower image would leave an unfillable gap). Among the valid ones,
+   prefer the deepest cover, then the freshest — both shorten the tail. *)
+let best_image t =
+  Array.to_list t.disk
+  |> List.filter_map Fun.id
+  |> List.filter (fun ck ->
+         let ok = ref true in
+         Array.iteri
+           (fun s f -> if ck.Checkpoint.ri_cover.(s) < f then ok := false)
+           t.trunc_frontier;
+         !ok)
+  |> List.fold_left
+       (fun acc ck ->
+         let key ck =
+           ( Array.fold_left min max_int ck.Checkpoint.ri_cover,
+             ck.Checkpoint.ri_taken_at )
+         in
+         match acc with
+         | Some best when key best >= key ck -> acc
+         | Some _ | None -> Some ck)
+       None
 
 let engine t = t.eng
 let network t = t.net
@@ -62,10 +161,14 @@ let hook t id =
     (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry)
     t.on_durable
 
-(* Crash-recovery: a restarted machine keeps nothing — it is rebuilt from
-   scratch (fresh database, fresh streams), catches up from the per-stream
-   union of every alive replica's journal, and rejoins as a follower; the
-   remaining gap closes through the ordinary fetch path.
+(* Crash-recovery: a restarted machine keeps nothing but its disk — it is
+   rebuilt from scratch (fresh database, fresh streams) and rejoins as a
+   follower. Without checkpoints it catches up from the per-stream union
+   of every alive replica's journal; with a usable persisted image it
+   bootstraps checkpoint + journal tail instead
+   ({!Replica.bootstrap_from_checkpoint}), so rebuild time is bounded by
+   the checkpoint interval rather than history length. The remaining gap
+   closes through the ordinary fetch path either way.
 
    A *voluntary* rebuild of a still-alive replica (a tainted ex-leader) is
    different: only its database is suspect. Its own journal stays in the
@@ -88,9 +191,125 @@ let restart_replica t i =
   let donors = if was_alive then old :: donors else donors in
   Sim.Net.recover t.net i;
   let r = Replica.create t.cfg t.eng t.net ~id:i ~app:t.app ?on_durable:(hook t i) () in
-  Replica.catch_up_from r ~donors;
+  (match if t.cfg.Config.checkpoint_interval > 0 then best_image t else None with
+  | Some ck ->
+      (* The rebuilt replica's journal will hold only the tail above the
+         image's cover; harvest the dedup evidence of everything below it
+         while the donors still archive those entries. *)
+      harvest_upto t ~donors ~cover:ck.Checkpoint.ri_cover;
+      ignore (Replica.bootstrap_from_checkpoint r ~ckpt:ck ~donors)
+  | None -> Replica.catch_up_from r ~donors);
   if was_alive then Replica.salvage_protocol_state r ~old;
   t.replicas.(i) <- r
+
+(* The checkpoint/truncation coordinator (modeled as a crash-free
+   cluster-management duty, like the membership service real deployments
+   rely on): persist finished images to each replica's disk, advance the
+   quorum-stable frontier behind the retention gate, drive journal
+   truncation, and rebuild any follower wedged behind a compaction floor
+   ({!Paxos.Stream.trunc_stalled}). Spawned only when
+   [checkpoint_interval > 0]. *)
+let coordinator_loop t () =
+  while true do
+    Sim.Engine.sleep t.cfg.Config.watermark_interval;
+    (* 1. Persist newest images. *)
+    Array.iteri
+      (fun i r ->
+        if Replica.is_alive r then
+          match Replica.last_checkpoint r with
+          | Some ck ->
+              let newer =
+                match t.disk.(i) with
+                | None -> true
+                | Some old ->
+                    ck.Checkpoint.ri_taken_at > old.Checkpoint.ri_taken_at
+              in
+              if newer then t.disk.(i) <- Some ck
+          | None -> ())
+      t.replicas;
+    (* 2. Truncation at the retention-gated quorum-stable frontier. *)
+    if t.cfg.Config.checkpoint_truncate then begin
+      let now = Sim.Engine.now t.eng in
+      match t.pending_frontier with
+      | Some (at, f) when now - at >= t.cfg.Config.checkpoint_retention ->
+          let donors = alive_list t in
+          harvest_upto t ~donors ~cover:f;
+          List.iter (fun r -> Replica.apply_truncation r ~cover:f) donors;
+          Array.iteri
+            (fun s c -> if c > t.trunc_frontier.(s) then t.trunc_frontier.(s) <- c)
+            f;
+          t.truncation_rounds <- t.truncation_rounds + 1;
+          t.pending_frontier <- None
+      | Some _ -> ()
+      | None -> (
+          match stable_frontier t with
+          | Some f
+            when Array.exists
+                   (fun s -> f.(s) > t.trunc_frontier.(s))
+                   (Array.init (Array.length f) Fun.id) ->
+              t.pending_frontier <- Some (now, f)
+          | Some _ | None -> ())
+    end;
+    (* 3. Rebuild followers wedged behind a compaction floor: their next
+       slots were truncated cluster-wide, so only a checkpoint bootstrap
+       can make progress. *)
+    Array.iteri
+      (fun i r ->
+        if
+          Replica.is_alive r
+          && (not (Replica.is_serving r))
+          && (not (Replica.is_tainted r))
+          && Replica.any_trunc_stalled r
+          && Option.is_some (best_image t)
+        then begin
+          t.auto_rebuilds <- t.auto_rebuilds + 1;
+          restart_replica t i
+        end)
+      t.replicas
+  done
+
+let create ?(initial_leader = Some 0) ?on_durable cfg app =
+  Config.validate cfg;
+  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  (* Client sessions live on the same net, as nodes
+     [replicas .. replicas+clients-1]: their links share the latency and
+     fault model, so loss/dup/reorder exercises the retry + dedup path. *)
+  let net =
+    Sim.Net.create eng
+      ~nodes:(cfg.Config.replicas + cfg.Config.clients)
+      ~latency:cfg.Config.net_latency
+  in
+  let hook id =
+    Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
+  in
+  let replicas =
+    Array.init cfg.Config.replicas (fun id ->
+        Replica.create cfg eng net ~id ~app ?initial_leader ?on_durable:(hook id) ())
+  in
+  let nstreams = Config.nstreams cfg in
+  let t =
+    {
+      cfg;
+      eng;
+      net;
+      app;
+      on_durable;
+      replicas;
+      w_start = 0;
+      w_stop = 0;
+      disk = Array.make cfg.Config.replicas None;
+      harvested = Hashtbl.create 4096;
+      trunc_frontier = Array.make nstreams (-1);
+      pending_frontier = None;
+      truncation_rounds = 0;
+      auto_rebuilds = 0;
+    }
+  in
+  (* Spawned only when configured: the default config must stay
+     bit-identical to pre-checkpoint runs. *)
+  if cfg.Config.checkpoint_interval > 0 then
+    ignore (Sim.Engine.spawn eng ~name:"ckpt-coord" (coordinator_loop t));
+  t
 
 let window t = (t.w_start, t.w_stop)
 
@@ -186,3 +405,34 @@ let coalesced_proposals t =
         (fun acc s -> acc + (Paxos.Stream.stats s).Paxos.Stream.coalesced)
         acc (Replica.streams r))
     0 t.replicas
+
+(* Checkpoint / truncation telemetry. *)
+
+let harvested_requests t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.harvested []
+
+let trunc_frontier t = Array.copy t.trunc_frontier
+let truncation_rounds t = t.truncation_rounds
+let auto_rebuilds t = t.auto_rebuilds
+
+let checkpoints_taken t =
+  Array.fold_left (fun acc r -> acc + Replica.checkpoints_taken r) 0 t.replicas
+
+let journal_bytes_total t =
+  Array.fold_left (fun acc r -> acc + Replica.journal_bytes r) 0 t.replicas
+
+let journal_entries_total t =
+  Array.fold_left (fun acc r -> acc + Replica.journal_length r) 0 t.replicas
+
+let truncated_entries_total t =
+  Array.fold_left (fun acc r -> acc + Replica.truncated_entries r) 0 t.replicas
+
+let newest_checkpoint t =
+  Array.fold_left
+    (fun acc d ->
+      match (acc, d) with
+      | None, d -> d
+      | Some _, None -> acc
+      | Some a, Some b ->
+          if b.Checkpoint.ri_taken_at > a.Checkpoint.ri_taken_at then d else acc)
+    None t.disk

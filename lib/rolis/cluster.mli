@@ -47,10 +47,14 @@ val crash_replica : t -> int -> unit
 
 val restart_replica : t -> int -> unit
 (** Rebuild replica [i] from scratch (crashing it first if still alive):
-    fresh database and streams, catch-up from the per-stream union of
-    every alive peer's journal (see {!Replica.catch_up_from}), rejoin as
-    follower. The entries committed after the snapshot arrive through
-    the hardened fetch path. *)
+    fresh database and streams, then either checkpoint + journal-tail
+    bootstrap (when [checkpoint_interval > 0] and a persisted image
+    covers the truncated frontier — see
+    {!Replica.bootstrap_from_checkpoint}) or catch-up from the
+    per-stream union of every alive peer's journal
+    ({!Replica.catch_up_from}); rejoin as follower. The entries
+    committed after the snapshot arrive through the hardened fetch
+    path. *)
 
 val window : t -> int * int
 (** Measurement window [(start, stop)] of the last {!run}. *)
@@ -102,3 +106,42 @@ val replay_lag : t -> (int * int * int) option
     the transaction-timestamp axis (which rides virtual ns), one sample
     per replayed entry. [None] when tracing is disabled or no follower
     replayed anything. *)
+
+(** {2 Checkpoint-integrated recovery}
+
+    Active when [checkpoint_interval > 0]: a cluster coordinator process
+    (modeled crash-free, like the membership service real deployments
+    rely on) persists each follower's finished fuzzy checkpoint to that
+    replica's durable disk, computes the quorum-stable frontier over the
+    persisted images (top-majority by scalar cover, elementwise min),
+    and — after [checkpoint_retention] has elapsed, so a lagging-but-
+    permitted follower still finds its slots — truncates every alive
+    replica's journal up to it, harvesting the dropped entries' dedup
+    evidence first. A follower wedged behind a compaction floor is
+    rebuilt automatically via checkpoint bootstrap. *)
+
+val harvested_requests : t -> ((int * int) * (int * int) list) list
+(** Per truncated [(stream, idx)] slot, the client request keys its entry
+    applied — the evidence {!Check.exactly_once} uses for slots absent
+    from every surviving journal. *)
+
+val trunc_frontier : t -> int array
+(** Highest per-stream journal index truncated cluster-wide (inclusive;
+    [-1] = nothing truncated on that stream). *)
+
+val truncation_rounds : t -> int
+val auto_rebuilds : t -> int
+(** Followers rebuilt by the coordinator because log catch-up was wedged
+    behind a compaction floor. *)
+
+val checkpoints_taken : t -> int
+(** Completed checkpoints across current replicas (restart resets a
+    replica's count). *)
+
+val journal_bytes_total : t -> int
+val journal_entries_total : t -> int
+val truncated_entries_total : t -> int
+
+val newest_checkpoint : t -> Checkpoint.replica_image option
+(** The freshest persisted image across all replica disks (the `run`
+    diagnostics line). *)

@@ -41,6 +41,11 @@ type t = {
   replay_batch : replay_batch;
   disable_replay : bool;
   archive_entries : bool;
+  checkpoint_interval : int;
+  checkpoint_retention : int;
+  checkpoint_truncate : bool;
+  checkpoint_disk_mb_per_s : int;
+  checkpoint_threads : int;
   trace_sample_interval : int;
   trace_buffer_capacity : int;
   seed : int64;
@@ -81,6 +86,11 @@ let default =
     replay_batch = PerTxn;
     disable_replay = false;
     archive_entries = false;
+    checkpoint_interval = 0;
+    checkpoint_retention = 3 * Sim.Engine.s;
+    checkpoint_truncate = true;
+    checkpoint_disk_mb_per_s = 500;
+    checkpoint_threads = 4;
     trace_sample_interval = 64;
     trace_buffer_capacity = 4096;
     seed = 42L;
@@ -136,6 +146,38 @@ let validate t =
       "Config: replay_batch = Bulk is meaningless with disable_replay — the \
        bulk fast path never runs when followers do not apply entries; drop one \
        of the two settings";
+  if t.checkpoint_interval < 0 then
+    invalid_arg "Config: checkpoint_interval must be non-negative (0 disables)";
+  if t.checkpoint_interval > 0 then begin
+    if t.checkpoint_interval <= t.watermark_interval then
+      invalid_arg
+        "Config: checkpoint_interval must exceed watermark_interval — the \
+         checkpoint duty is armed from the controller tick, so an interval at \
+         or below the tick would demand a full fuzzy database scan per \
+         watermark recomputation; raise checkpoint_interval (typically 100x \
+         the tick) or lower watermark_interval";
+    if not t.archive_entries then
+      invalid_arg
+        "Config: checkpoint_interval > 0 requires archive_entries — crash \
+         recovery is checkpoint + journal tail, so without archived entries a \
+         rebuilt replica would install the checkpoint image and then have no \
+         tail to replay above its frontier (and truncation would have nothing \
+         to bound); set archive_entries = true alongside checkpointing";
+    if t.checkpoint_retention < t.election_timeout then
+      invalid_arg
+        (Printf.sprintf
+           "Config: checkpoint_retention (%d ns) must be at least \
+            election_timeout (%d ns) — the retention floor is the slowest \
+            follower lag truncation tolerates: entries younger than the floor \
+            are never dropped, and a follower that lags further than \
+            election_timeout is treated as failed and rebuilds from a \
+            checkpoint anyway; raise checkpoint_retention"
+           t.checkpoint_retention t.election_timeout);
+    if t.checkpoint_disk_mb_per_s < 1 then
+      invalid_arg "Config: checkpoint_disk_mb_per_s must be >= 1";
+    if t.checkpoint_threads < 1 then
+      invalid_arg "Config: checkpoint_threads must be >= 1"
+  end;
   if t.trace_sample_interval < 0 then
     invalid_arg "Config: trace_sample_interval must be non-negative";
   if t.trace_buffer_capacity < 1 then

@@ -106,6 +106,23 @@ type t = {
   archive_entries : bool;
       (** retain every durable entry in memory — consumed by
           {!Bootstrap} when seeding a brand-new replica (§4.3) *)
+  checkpoint_interval : int;
+      (** ns between periodic fuzzy checkpoints of below-watermark state;
+          [0] disables checkpointing (and therefore journal truncation).
+          When positive, [archive_entries] must also be set: recovery is
+          checkpoint + journal tail *)
+  checkpoint_retention : int;
+      (** ns of journal history kept beyond a quorum-stable checkpoint
+          frontier before truncation applies it — the slowest follower
+          lag truncation tolerates; must be at least [election_timeout] *)
+  checkpoint_truncate : bool;
+      (** drive {!Paxos.Stream} journal truncation from quorum-stable
+          checkpoints (the [--no-truncate] ablation keeps checkpoints but
+          retains the full journal) *)
+  checkpoint_disk_mb_per_s : int;
+      (** modeled bandwidth of the shared checkpoint disk *)
+  checkpoint_threads : int;
+      (** checkpoint writer threads striping tables across the disk *)
   trace_sample_interval : int;
       (** {!Trace} sampling: record stage spans for every [n]-th
           committed transaction per worker; [0] disables tracing. Purely

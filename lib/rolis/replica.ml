@@ -38,7 +38,9 @@ type t = {
   mutable batchers : Batcher.t array;
   mutable gens : App.gen array;
   wm : Watermark.t;
-  replay_queues : Store.Wire.entry Queue.t array;
+  (* (journal idx, entry) pairs: replay needs the index to stamp the
+     checkpoint-safe frontier once an apply completes. *)
+  replay_queues : (int * Store.Wire.entry) Queue.t array;
   (* Entries across all replay queues, maintained incrementally on every
      enqueue/dequeue: admission control reads it per client request, so
      the O(streams) fold was on the hot path. *)
@@ -60,6 +62,14 @@ type t = {
      transaction-timestamp axis. Lag = durable - min(frontier). *)
   applied_ts : int array;
   mutable durable_max : int;
+  (* Checkpoint-safe frontier: per-stream highest txn timestamp / journal
+     index whose apply has *completed*. Distinct from [applied_ts], which
+     advances before the (yielding) apply runs and so may claim entries
+     whose writes are still in flight — a fuzzy checkpoint stamping its
+     cover from [applied_ts] could advertise coverage it does not have.
+     These move only after [apply_entry]/[apply_entry_bulk] return. *)
+  safe_ts : int array;
+  safe_idx : int array;
   (* Event-driven release (Adaptive policy): last watermark a release
      pass ran for, so a durability notification that does not advance the
      cluster minimum skips the pass. Watermarks ride the global timestamp
@@ -74,9 +84,23 @@ type t = {
   mutable rwm : int; (* live watermark for [repoch] *)
   mutable alive : bool;
   worker_active : bool array;
-  (* (stream, entry) pairs in reverse durable order: the journal a
-     restarted replica replays to rebuild a crashed peer (catch-up). *)
-  mutable journal : (int * Store.Wire.entry) list;
+  (* (stream, idx, entry) triples in reverse durable order: the journal a
+     restarted replica replays to rebuild a crashed peer (catch-up). The
+     absolute stream index keys checkpoint truncation — timestamps cannot
+     (leader-change no-op fill entries carry ts = 0). *)
+  mutable journal : (int * int * Store.Wire.entry) list;
+  mutable journal_bytes : int;
+  mutable truncated_entries : int;
+  (* Checkpoint duty (followers only; interval > 0): the controller tick
+     arms [ckpt_wake] on cadence, the checkpointer process scans, and the
+     finished image is published here for the cluster coordinator to
+     persist. [ckpt_inprogress] keeps the controller from double-arming
+     across a multi-tick scan. *)
+  ckpt_wake : unit Sim.Sync.Mailbox.t;
+  mutable last_ckpt : Checkpoint.replica_image option;
+  mutable ckpt_count : int;
+  mutable ckpt_inprogress : bool;
+  mutable last_ckpt_at : int;
   last_heard : int array; (* per peer: last time a message arrived *)
   (* Client-session layer: per-session dedup state, rebuilt by replay so a
      freshly promoted leader answers retries of its predecessor's
@@ -109,7 +133,12 @@ let replay_backlog_scan t =
 
 let journal t = List.rev t.journal
 let journal_length t = List.length t.journal
-let archived_entries t = List.rev_map snd t.journal
+let journal_bytes t = t.journal_bytes
+let truncated_entries t = t.truncated_entries
+let archived_entries t = List.rev_map (fun (_, _, e) -> e) t.journal
+let last_checkpoint t = t.last_ckpt
+let checkpoints_taken t = t.ckpt_count
+let any_trunc_stalled t = Array.exists Paxos.Stream.trunc_stalled t.streams
 
 let session t cid =
   match Hashtbl.find_opt t.sessions cid with
@@ -382,6 +411,16 @@ let note_consumed t s (entry : Store.Wire.entry) =
   if entry.Store.Wire.last_ts > t.applied_ts.(s) then
     t.applied_ts.(s) <- entry.Store.Wire.last_ts
 
+(* Checkpoint-safe frontier (see [safe_ts]): called once an entry's apply
+   has fully completed — or was rightly skipped (own proposal, already in
+   the db by execution; above-final-watermark tail, excluded everywhere) —
+   so a fuzzy checkpoint stamping [safe_idx] never claims an in-flight
+   write. *)
+let note_applied t s ~idx (entry : Store.Wire.entry) =
+  if entry.Store.Wire.last_ts > t.safe_ts.(s) then
+    t.safe_ts.(s) <- entry.Store.Wire.last_ts;
+  if idx > t.safe_idx.(s) then t.safe_idx.(s) <- idx
+
 let note_lag t =
   let frontier = Array.fold_left min max_int t.applied_ts in
   if frontier > 0 && frontier <> max_int then
@@ -471,27 +510,30 @@ let replay_loop_pertxn t s () =
   while true do
     match Queue.peek_opt q with
     | None -> Sim.Engine.sleep poll
-    | Some entry ->
+    | Some (idx, entry) ->
         let e = entry.Store.Wire.epoch in
         if t.serving && e = t.srv_epoch then begin
           (* Our own proposals: already applied by execution. *)
           pop ();
-          note_consumed t s entry
+          note_consumed t s entry;
+          note_applied t s ~idx entry
         end
         else if e < t.repoch then begin
           (* Left-over from an already-advanced epoch (defensive): apply
              only the part below that epoch's final watermark. *)
           pop ();
           note_consumed t s entry;
-          match Watermark.final_watermark t.wm ~epoch:e with
+          (match Watermark.final_watermark t.wm ~epoch:e with
           | Some w -> apply_entry t entry ~upto:w
-          | None -> ()
+          | None -> ());
+          note_applied t s ~idx entry
         end
         else if e = t.repoch then begin
           if entry.Store.Wire.last_ts <= t.rwm then begin
             pop ();
             note_consumed t s entry;
-            apply_entry t entry
+            apply_entry t entry;
+            note_applied t s ~idx entry
           end
           else if !seal_gen = t.wm_gen then Sim.Engine.sleep poll
           else begin
@@ -503,7 +545,8 @@ let replay_loop_pertxn t s () =
                    which may depend on lost transactions (Fig. 3). *)
                 pop ();
                 note_consumed t s entry;
-                apply_entry t entry ~upto:w
+                apply_entry t entry ~upto:w;
+                note_applied t s ~idx entry
             | None ->
                 (* Memoize only the negative probe. A successful pop must
                    leave [seal_gen] stale so the next straddling entry on
@@ -535,34 +578,38 @@ let replay_loop_bulk t s () =
     while !continue do
       match Queue.peek_opt q with
       | None -> continue := false
-      | Some entry -> (
+      | Some (idx, entry) ->
           let e = entry.Store.Wire.epoch in
           if t.serving && e = t.srv_epoch then begin
             pop ();
-            note_consumed t s entry
+            note_consumed t s entry;
+            note_applied t s ~idx entry
           end
           else if e < t.repoch then begin
             pop ();
             note_consumed t s entry;
-            match Watermark.final_watermark t.wm ~epoch:e with
+            (match Watermark.final_watermark t.wm ~epoch:e with
             | Some w -> apply_entry_bulk t entry ~upto:w
-            | None -> ()
+            | None -> ());
+            note_applied t s ~idx entry
           end
           else if e = t.repoch then begin
             if entry.Store.Wire.last_ts <= t.rwm then begin
               pop ();
               note_consumed t s entry;
-              apply_entry_bulk t entry
+              apply_entry_bulk t entry;
+              note_applied t s ~idx entry
             end
             else
               match Watermark.final_watermark t.wm ~epoch:e with
               | Some w ->
                   pop ();
                   note_consumed t s entry;
-                  apply_entry_bulk t entry ~upto:w
+                  apply_entry_bulk t entry ~upto:w;
+                  note_applied t s ~idx entry
               | None -> continue := false (* unsealed straddle: park *)
           end
-          else continue := false (* future epoch: wait for the controller *))
+          else continue := false (* future epoch: wait for the controller *)
     done;
     if t.r_gen.(s) = gen then Sim.Sync.Mailbox.recv t.r_wake.(s)
   done
@@ -648,7 +695,7 @@ let controller_loop t () =
           (fun q ->
             match Queue.peek_opt q with
             | None -> true
-            | Some e -> e.Store.Wire.epoch > t.repoch)
+            | Some (_, e) -> e.Store.Wire.epoch > t.repoch)
           t.replay_queues
       in
       if drained then begin
@@ -672,7 +719,72 @@ let controller_loop t () =
        (see [on_commit]) — and the controller tick keeps only its
        lease/seal/epoch duties above. *)
     if t.serving && t.cfg.Config.batch_policy <> Config.Adaptive then
-      release_pass t
+      release_pass t;
+    (* Checkpoint duty (followers only — a leader's database holds
+       speculative above-watermark writes that must never reach disk):
+       arm the checkpointer on cadence; a scan spanning several ticks is
+       never double-armed. *)
+    if
+      t.cfg.Config.checkpoint_interval > 0
+      && t.alive && (not t.serving) && (not t.tainted)
+      && (not t.ckpt_inprogress)
+      && Sim.Engine.now t.eng - t.last_ckpt_at >= t.cfg.Config.checkpoint_interval
+    then begin
+      t.last_ckpt_at <- Sim.Engine.now t.eng;
+      t.ckpt_inprogress <- true;
+      if Sim.Sync.Mailbox.length t.ckpt_wake = 0 then
+        Sim.Sync.Mailbox.send t.ckpt_wake ()
+    end
+  done
+
+(* The checkpointer: stamp the safe frontier, scan the database through
+   the bandwidth-limited disk, publish the image. The scan is fuzzy —
+   replay keeps applying while it runs — which is safe because the stamped
+   cover is a *lower* bound (stamped before the scan, applies are
+   monotone) and installs go through the strictly-newer CAS. Tombstones
+   ride along ([live_only:false]): a below-watermark delete missing from
+   the image would resurrect on a rebuilt replica whose [App.setup] seeds
+   the row. *)
+let checkpoint_loop t () =
+  while true do
+    Sim.Sync.Mailbox.recv t.ckpt_wake;
+    if t.alive && (not t.serving) && not t.tainted then begin
+      let cover = Array.copy t.safe_idx in
+      let frontier = Array.copy t.safe_ts in
+      let wm_snap = Watermark.export t.wm in
+      let sessions =
+        Hashtbl.fold
+          (fun cid s acc ->
+            (cid, s.s_claimed, s.s_applied, s.s_released, s.s_aborted) :: acc)
+          t.sessions []
+        |> List.sort compare
+      in
+      let taken_at = Sim.Engine.now t.eng in
+      let img =
+        Checkpoint.write t.db ~threads:t.cfg.Config.checkpoint_threads
+          ~disk_mb_per_s:t.cfg.Config.checkpoint_disk_mb_per_s
+          ~live_only:false ()
+      in
+      (* Promotion or taint mid-scan: the image may hold speculative
+         writes that were never durable — discard it. *)
+      if (not t.serving) && not t.tainted then begin
+        t.last_ckpt <-
+          Some
+            {
+              Checkpoint.ri_image = img;
+              ri_cover = cover;
+              ri_frontier = frontier;
+              ri_wm = wm_snap;
+              ri_sessions = sessions;
+              ri_taken_at = taken_at;
+            };
+        t.ckpt_count <- t.ckpt_count + 1;
+        Log.debug (fun m ->
+            m "replica %d checkpoint #%d: %d rows, %d bytes" t.rid t.ckpt_count
+              (Checkpoint.row_count img) (Checkpoint.size_bytes img))
+      end
+    end;
+    t.ckpt_inprogress <- false
   done
 
 let flush_timer_loop t () =
@@ -779,6 +891,8 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       r_wake = Array.init nstreams (fun _ -> Sim.Sync.Mailbox.create eng);
       applied_ts = Array.make nstreams 0;
       durable_max = 0;
+      safe_ts = Array.make nstreams 0;
+      safe_idx = Array.make nstreams (-1);
       last_rel_wm = -1;
       release_queues = Array.init cfg.Config.workers (fun _ -> Queue.create ());
       procs = [];
@@ -790,6 +904,13 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       alive = true;
       worker_active = Array.make cfg.Config.workers false;
       journal = [];
+      journal_bytes = 0;
+      truncated_entries = 0;
+      ckpt_wake = Sim.Sync.Mailbox.create eng;
+      last_ckpt = None;
+      ckpt_count = 0;
+      ckpt_inprogress = false;
+      last_ckpt_at = 0;
       last_heard = Array.make cfg.Config.replicas 0;
       sessions = Hashtbl.create 64;
       client_q = Sim.Sync.Mailbox.create eng;
@@ -821,9 +942,12 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
         (fun (txn : Store.Wire.txn_log) ->
           Trace.note_durable t.trace ~ts:txn.Store.Wire.ts)
         entry.txns;
-    if cfg.Config.archive_entries then t.journal <- (s, entry) :: t.journal;
+    if cfg.Config.archive_entries then begin
+      t.journal <- (s, idx, entry) :: t.journal;
+      t.journal_bytes <- t.journal_bytes + Store.Wire.byte_size entry
+    end;
     (match on_durable with Some f -> f ~stream:s ~idx entry | None -> ());
-    Queue.add entry t.replay_queues.(s);
+    Queue.add (idx, entry) t.replay_queues.(s);
     t.backlog <- t.backlog + 1;
     (* Event-driven replay (Bulk): advance the replay watermark right here
        — waiting for the controller tick would floor replay latency at
@@ -880,6 +1004,10 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   in
   t.streams <- streams;
   t.election <- Some el;
+  if cfg.Config.checkpoint_interval > 0 && not cfg.Config.checkpoint_truncate
+  then
+    (* --no-truncate ablation: retain every slot and journal entry. *)
+    Array.iter (fun s -> Paxos.Stream.set_no_truncate s true) streams;
   t.batchers <-
     Array.init nstreams (fun s ->
         Batcher.create cfg
@@ -921,6 +1049,10 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   for s = 0 to nstreams - 1 do
     spawn t (Printf.sprintf "replay%d" s) (replay_loop t s)
   done;
+  (* Spawned only when configured: the default config must stay
+     bit-identical to pre-checkpoint runs. *)
+  if cfg.Config.checkpoint_interval > 0 then
+    spawn t "checkpointer" (checkpoint_loop t);
   t
 
 let crash t =
@@ -946,24 +1078,31 @@ let final_watermark t ~epoch = Watermark.final_watermark t.wm ~epoch
    The injected commits rebuild the watermark, the replay queues, and our
    own journal exactly as if we had followed the streams from the start;
    whatever committed after the donors' snapshots arrives through the
-   ordinary fetch path. *)
+   ordinary fetch path. Keyed by absolute stream index — under checkpoint
+   truncation a donor's journal starts above zero, and the union of
+   truncated journals is contiguous from the lowest retained slot (every
+   donor drops the same quorum-stable prefix). *)
 let catch_up_from t ~donors =
   let nstreams = Array.length t.streams in
-  let per_stream d =
-    (* [d.journal] is in reverse durable order; prepending while iterating
-       it restores forward order per stream. *)
-    let per = Array.make nstreams [] in
-    List.iter (fun (s, e) -> per.(s) <- e :: per.(s)) d.journal;
-    per
-  in
-  let logs = List.map per_stream donors in
   for s = 0 to nstreams - 1 do
-    let best =
-      List.fold_left
-        (fun acc per -> if List.length per.(s) > List.length acc then per.(s) else acc)
-        [] logs
+    let union = Hashtbl.create 256 in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (s', idx, e) -> if s' = s then Hashtbl.replace union idx e)
+          d.journal)
+      donors;
+    let idxs =
+      Hashtbl.fold (fun i _ acc -> i :: acc) union [] |> List.sort compare
     in
-    List.iter (fun e -> Paxos.Stream.inject_committed t.streams.(s) e) best
+    (match idxs with
+    | lo :: _ when lo > 0 -> Paxos.Stream.set_bootstrap_floor t.streams.(s) ~idx:lo
+    | _ -> ());
+    List.iter
+      (fun idx ->
+        Paxos.Stream.inject_committed_at t.streams.(s) ~idx
+          (Hashtbl.find union idx))
+      idxs
   done;
   (* Also merge every donor's accepted-but-uncommitted tail (as *accepted*
      state, never as committed — acceptance is not choice). An accepted
@@ -993,3 +1132,111 @@ let salvage_protocol_state t ~old =
       Paxos.Stream.import_tail stream (Paxos.Stream.export_tail old.streams.(s)))
     t.streams;
   Paxos.Election.import_vote (election t) (Paxos.Election.export_vote (election old))
+
+(* ---- checkpoint-integrated recovery ---- *)
+
+(* Cluster-coordinated journal truncation at quorum-stable frontier
+   [cover]: drop archived entries the checkpoint makes redundant and raise
+   the streams' compaction floor so slot truncation may pass lagging
+   peers' commit indices (they rebuild from the checkpoint instead). The
+   coordinator harvests dedup evidence from the entries *before* calling
+   this (see {!Cluster}). *)
+let apply_truncation t ~cover =
+  let bytes = ref 0 and dropped = ref 0 in
+  t.journal <-
+    List.filter
+      (fun (s, idx, e) ->
+        if idx <= cover.(s) then begin
+          incr dropped;
+          bytes := !bytes + Store.Wire.byte_size e;
+          false
+        end
+        else true)
+      t.journal;
+  t.truncated_entries <- t.truncated_entries + !dropped;
+  t.journal_bytes <- t.journal_bytes - !bytes;
+  if t.cfg.Config.checkpoint_truncate then
+    Array.iteri
+      (fun s stream ->
+        if cover.(s) >= 0 then Paxos.Stream.set_trunc_floor stream (cover.(s) + 1))
+      t.streams
+
+(* Checkpoint + journal-tail bootstrap (ARIES install-then-replay): the
+   image stands in for every slot at or below its cover; only the tail —
+   the idx-union over the donors' journals above the cover — goes through
+   the protocol-level inject path. Every image row and every tail write
+   lands through the strictly-newer (epoch, ts) CAS, so the overlap a
+   fuzzy image inevitably has with the tail double-applies harmlessly.
+   State installs synchronously (host-side); the modeled load time is
+   paid as an election-ineligibility window, so a rebuilt node cannot
+   lead before its recovery would really have finished. *)
+let bootstrap_from_checkpoint t ~ckpt ~donors =
+  let nstreams = Array.length t.streams in
+  let cover = ckpt.Checkpoint.ri_cover in
+  (* Client dedup state travels with the image: a retry of a transaction
+     whose journal entry was truncated must answer from cache, not
+     re-execute. *)
+  List.iter
+    (fun (cid, claimed, applied, released, aborted) ->
+      let sess = session t cid in
+      if claimed > sess.s_claimed then sess.s_claimed <- claimed;
+      if applied > sess.s_applied then sess.s_applied <- applied;
+      if released > sess.s_released then sess.s_released <- released;
+      sess.s_aborted <- aborted)
+    ckpt.Checkpoint.ri_sessions;
+  (* Sealed-epoch history below the cover cannot be rederived from the
+     tail; without it, cross-epoch straddlers would resolve wrongly. *)
+  Watermark.import t.wm ckpt.Checkpoint.ri_wm;
+  for s = 0 to nstreams - 1 do
+    let f = ckpt.Checkpoint.ri_frontier.(s) in
+    if f > t.applied_ts.(s) then t.applied_ts.(s) <- f;
+    if f > t.safe_ts.(s) then t.safe_ts.(s) <- f;
+    if cover.(s) > t.safe_idx.(s) then t.safe_idx.(s) <- cover.(s);
+    if f > t.durable_max then t.durable_max <- f
+  done;
+  let installed = Checkpoint.install ~into:t.db ckpt.Checkpoint.ri_image in
+  for s = 0 to nstreams - 1 do
+    Paxos.Stream.set_bootstrap_floor t.streams.(s) ~idx:(cover.(s) + 1);
+    let tail = Hashtbl.create 256 in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (s', idx, e) ->
+            if s' = s && idx > cover.(s) then Hashtbl.replace tail idx e)
+          d.journal)
+      donors;
+    let idxs =
+      Hashtbl.fold (fun i _ acc -> i :: acc) tail [] |> List.sort compare
+    in
+    List.iter
+      (fun idx ->
+        Paxos.Stream.inject_committed_at t.streams.(s) ~idx
+          (Hashtbl.find tail idx))
+      idxs
+  done;
+  (* Donors' accepted-but-uncommitted tails, exactly as in
+     [catch_up_from]. *)
+  List.iter
+    (fun d ->
+      Array.iteri
+        (fun s stream ->
+          Paxos.Stream.import_tail stream (Paxos.Stream.export_tail d.streams.(s)))
+        t.streams)
+    donors;
+  (* This image is this node's durable one; republish it so the
+     coordinator need not wait for the next scan. *)
+  t.last_ckpt <- Some ckpt;
+  (* Pay the checkpoint-load time: ineligible to lead until a real loader
+     would have finished reading the image back. *)
+  Paxos.Election.set_eligible (election t) false;
+  let cost =
+    Checkpoint.load_cost ~costs:t.cfg.Config.costs
+      ~threads:t.cfg.Config.checkpoint_threads
+      ~disk_mb_per_s:t.cfg.Config.checkpoint_disk_mb_per_s
+      ckpt.Checkpoint.ri_image
+  in
+  spawn t "ckpt-load" (fun () ->
+      Sim.Engine.sleep cost;
+      if t.alive && not t.tainted then
+        Paxos.Election.set_eligible (election t) true);
+  installed

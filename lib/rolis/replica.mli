@@ -92,11 +92,21 @@ val archived_entries : t -> Store.Wire.entry list
 (** Every durable entry, in durability order, when the cluster was built
     with [archive_entries = true] (for {!Bootstrap}). *)
 
-val journal : t -> (int * Store.Wire.entry) list
-(** [(stream, entry)] pairs in durability order (requires
-    [archive_entries]); the donor data for {!catch_up_from}. *)
+val journal : t -> (int * int * Store.Wire.entry) list
+(** [(stream, idx, entry)] triples in durability order (requires
+    [archive_entries]); the donor data for {!catch_up_from}. The absolute
+    stream index keys checkpoint truncation — timestamps cannot, because
+    leader-change no-op fill entries carry [ts = 0]. *)
 
 val journal_length : t -> int
+
+val journal_bytes : t -> int
+(** Resident bytes of the archived journal, maintained incrementally —
+    the quantity checkpoint truncation bounds (the `mem5` benchmark's
+    unbounded-growth axis). *)
+
+val truncated_entries : t -> int
+(** Archived entries dropped by {!apply_truncation} so far. *)
 
 val final_watermark : t -> epoch:int -> int option
 (** The sealed final watermark of [epoch], once known on this replica. *)
@@ -131,3 +141,38 @@ val salvage_protocol_state : t -> old:t -> unit
     entry committed at a since-dead leader. Grafts [old]'s accepted
     tails and granted vote onto the fresh replica. Call after
     {!catch_up_from}, before the engine runs. *)
+
+(** {2 Checkpoint-integrated recovery} *)
+
+val last_checkpoint : t -> Checkpoint.replica_image option
+(** The newest completed (and still-valid) fuzzy checkpoint, published
+    for the cluster coordinator to persist. Followers only: a leader's
+    database holds speculative above-watermark writes, and an image
+    finishing after a mid-scan promotion or taint is discarded. *)
+
+val checkpoints_taken : t -> int
+
+val any_trunc_stalled : t -> bool
+(** Some stream's log catch-up is wedged behind a peer's compaction
+    floor ({!Paxos.Stream.trunc_stalled}); only a checkpoint rebuild
+    ({!bootstrap_from_checkpoint}) can make progress. *)
+
+val apply_truncation : t -> cover:int array -> unit
+(** Truncate the archived journal up to the quorum-stable checkpoint
+    frontier [cover] (per-stream absolute index, inclusive) and raise the
+    streams' compaction floor so slot truncation may pass lagging peers.
+    Driven by the cluster coordinator, which first harvests dedup
+    evidence from the dropped entries. *)
+
+val bootstrap_from_checkpoint :
+  t -> ckpt:Checkpoint.replica_image -> donors:t list -> int
+(** Checkpoint + journal-tail bootstrap (ARIES install-then-replay):
+    install the image's rows, sessions, watermark history and frontiers,
+    then inject only journal entries {e above} the image's cover from the
+    donors' union. Every row and tail write lands through the
+    strictly-newer [(epoch, ts)] CAS, so the overlap a fuzzy image has
+    with the tail double-applies harmlessly. The modeled image-load time
+    is paid as an election-ineligibility window. Returns the number of
+    rows installed. Call on a freshly created replica, before the engine
+    runs any of its events; compose with {!salvage_protocol_state} for
+    voluntary rebuilds. *)

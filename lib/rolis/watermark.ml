@@ -109,6 +109,36 @@ let compute t ~epoch =
     if t.undefined > 0 then None else Some t.cached_min
   end
 
+(* Checkpoint image of the tracker: per-stream durable tail plus sealed
+   epochs. A replica rebuilt from a checkpoint injects only the journal
+   tail, so without this the sealed history of old epochs would be lost
+   and [contribution] would report max_int for them, corrupting
+   [final_watermark] agreement across replicas. Sealed lists are sorted
+   for deterministic images. *)
+type snapshot = (int * int * (int * int) list) array
+
+let export t : snapshot =
+  Array.map
+    (fun s ->
+      let sealed = Hashtbl.fold (fun e ts acc -> (e, ts) :: acc) s.sealed [] in
+      (s.cur_epoch, s.cur_ts, List.sort compare sealed))
+    t.streams
+
+let import t (snap : snapshot) =
+  if Array.length snap <> Array.length t.streams then
+    invalid_arg "Watermark.import: stream count mismatch";
+  Array.iteri
+    (fun i (cur_epoch, cur_ts, sealed) ->
+      let s = t.streams.(i) in
+      if s.cur_epoch > 0 || s.cur_ts > 0 || Hashtbl.length s.sealed > 0 then
+        invalid_arg "Watermark.import: tracker is not fresh";
+      s.cur_epoch <- cur_epoch;
+      s.cur_ts <- cur_ts;
+      List.iter (fun (e, ts) -> Hashtbl.replace s.sealed e ts) sealed)
+    snap;
+  (* Invalidate the incremental cache; the next compute rescans. *)
+  t.tracked <- 0
+
 let scan_count t = t.scans
 let is_sealed t ~epoch = Array.for_all (fun s -> s.cur_epoch > epoch) t.streams
 let final_watermark t ~epoch = if is_sealed t ~epoch then compute t ~epoch else None

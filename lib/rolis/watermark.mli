@@ -42,6 +42,20 @@ val compute_scan : t -> epoch:int -> int option
     Exposed so tests and benchmarks can cross-check the incremental
     cache; always equals [compute] for the same arguments. *)
 
+type snapshot = (int * int * (int * int) list) array
+(** Per-stream [(cur_epoch, cur_ts, sealed (epoch, final_ts) list)] — the
+    tracker state a checkpoint must carry so a replica rebuilt from
+    checkpoint + journal tail still knows the sealed boundaries of epochs
+    whose entries were truncated away. *)
+
+val export : t -> snapshot
+(** Deterministic image of the tracker (sealed lists sorted). *)
+
+val import : t -> snapshot -> unit
+(** Install an exported image into a {e fresh} tracker (same stream
+    count). @raise Invalid_argument on stream-count mismatch or if the
+    tracker has already observed durable entries. *)
+
 val scan_count : t -> int
 (** Number of full O(streams) rescans performed so far (telemetry: the
     event-driven release path should keep this far below the number of

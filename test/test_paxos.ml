@@ -432,6 +432,63 @@ let dup_reorder_qcheck =
       done;
       !ok)
 
+(* ---------- checkpoint bootstrap floor ---------- *)
+
+let test_entry i =
+  Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts = 100 + i; req = None; writes = [] } ]
+
+let mk_bare_stream eng =
+  let net =
+    Sim.Net.create eng ~nodes:3
+      ~latency:(Sim.Net.Exp_jitter { base = 50 * Sim.Engine.us; jitter_mean = 20 * Sim.Engine.us })
+  in
+  let committed = ref [] in
+  let s =
+    Paxos.Stream.create net ~id:0 ~me:1
+      ~on_commit:(fun ~idx e -> committed := (idx, e) :: !committed)
+      ~on_higher_epoch:(fun _ -> ())
+      ()
+  in
+  (s, committed)
+
+let test_bootstrap_floor () =
+  let eng = Sim.Engine.create () in
+  let s, committed = mk_bare_stream eng in
+  (* Position a fresh follower as if slots 0-9 were checkpoint-covered and
+     truncated cluster-wide: the commit index jumps, the gap is recorded as
+     truncated, and no on_commit fires for the covered slots. *)
+  Paxos.Stream.set_bootstrap_floor s ~idx:10;
+  Alcotest.(check int) "commit index jumps" 9 (Paxos.Stream.commit_index s);
+  Alcotest.(check int) "gap recorded as truncated" 10 (Paxos.Stream.truncated_below s);
+  Alcotest.(check int) "no commits for covered slots" 0 (List.length !committed);
+  (* Journal-tail injection continues from the floor, firing per slot. *)
+  Paxos.Stream.inject_committed_at s ~idx:10 (test_entry 0);
+  Paxos.Stream.inject_committed_at s ~idx:11 (test_entry 1);
+  Alcotest.(check int) "tail committed" 11 (Paxos.Stream.commit_index s);
+  Alcotest.(check int) "on_commit fired per tail slot" 2 (List.length !committed);
+  (* A floor at or below the commit index is a no-op, never a regression. *)
+  Paxos.Stream.set_bootstrap_floor s ~idx:5;
+  Alcotest.(check int) "floor below commit is a no-op" 11 (Paxos.Stream.commit_index s);
+  (* Re-injecting an already-committed index is a caller bug. *)
+  (match Paxos.Stream.inject_committed_at s ~idx:11 (test_entry 9) with
+  | () -> Alcotest.fail "expected Invalid_argument for committed idx"
+  | exception Invalid_argument _ -> ());
+  (* Leading streams refuse the floor outright. *)
+  Paxos.Stream.become_leader s ~epoch:2;
+  match Paxos.Stream.set_bootstrap_floor s ~idx:50 with
+  | () -> Alcotest.fail "expected Invalid_argument on a leader"
+  | exception Invalid_argument _ -> ()
+
+let test_trunc_floor_monotone () =
+  let eng = Sim.Engine.create () in
+  let s, _ = mk_bare_stream eng in
+  Alcotest.(check int) "floor starts at zero" 0 (Paxos.Stream.trunc_floor s);
+  Paxos.Stream.set_trunc_floor s 5;
+  Alcotest.(check int) "floor set" 5 (Paxos.Stream.trunc_floor s);
+  Paxos.Stream.set_trunc_floor s 3;
+  Alcotest.(check int) "floor never regresses" 5 (Paxos.Stream.trunc_floor s);
+  Alcotest.(check bool) "fresh stream not stalled" false (Paxos.Stream.trunc_stalled s)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "paxos"
@@ -448,6 +505,8 @@ let () =
           Alcotest.test_case "failover after truncation" `Quick
             test_failover_after_truncation;
           Alcotest.test_case "proposal coalescing" `Quick test_proposal_coalescing;
+          Alcotest.test_case "checkpoint bootstrap floor" `Quick test_bootstrap_floor;
+          Alcotest.test_case "trunc floor monotone" `Quick test_trunc_floor_monotone;
         ] );
       ( "election",
         [

@@ -898,6 +898,38 @@ let test_config_validate_batching () =
     { fine with Rolis.Config.batch_policy = Rolis.Config.Adaptive };
   Rolis.Config.validate { ok with Rolis.Config.batch_policy = Rolis.Config.Adaptive }
 
+let test_config_validate_checkpoint () =
+  let ok = test_cfg () in
+  let on =
+    {
+      ok with
+      Rolis.Config.checkpoint_interval = 500 * ms;
+      archive_entries = true;
+      checkpoint_retention = ok.Rolis.Config.election_timeout;
+    }
+  in
+  Rolis.Config.validate on;
+  expect_invalid "negative interval"
+    { ok with Rolis.Config.checkpoint_interval = -1 };
+  expect_invalid "interval at watermark tick"
+    { on with Rolis.Config.checkpoint_interval = ok.Rolis.Config.watermark_interval };
+  expect_invalid "checkpointing without archived journal"
+    { on with Rolis.Config.archive_entries = false };
+  expect_invalid "retention under election timeout"
+    { on with Rolis.Config.checkpoint_retention = ok.Rolis.Config.election_timeout - 1 };
+  expect_invalid "zero disk bandwidth"
+    { on with Rolis.Config.checkpoint_disk_mb_per_s = 0 };
+  expect_invalid "zero checkpoint threads"
+    { on with Rolis.Config.checkpoint_threads = 0 };
+  (* The checkpoint knobs are unconstrained while checkpointing is off. *)
+  Rolis.Config.validate
+    {
+      ok with
+      Rolis.Config.checkpoint_disk_mb_per_s = 0;
+      checkpoint_threads = 0;
+      checkpoint_retention = 0;
+    }
+
 (* ---------- client sessions ---------- *)
 
 (* The exactly-once release-visibility case from the issue: the leader
@@ -1089,6 +1121,185 @@ let test_checkpoint_plus_log_replay () =
   in
   Sim.Engine.run eng;
   check_bool "ran" true !ok
+
+(* Full-state dump including tombstones and stamps: the multiset a replica
+   image must preserve exactly. *)
+let stamp_dump db =
+  Silo.Db.tables db
+  |> List.concat_map (fun t ->
+         let acc = ref [] in
+         Store.Table.iter t (fun k r ->
+             acc :=
+               ( Store.Table.name t,
+                 k,
+                 r.Store.Record.value,
+                 r.Store.Record.epoch,
+                 r.Store.Record.ts,
+                 r.Store.Record.deleted )
+               :: !acc);
+         !acc)
+  |> List.sort compare
+
+let checkpoint_image_multiset_qcheck =
+  QCheck.Test.make ~name:"replica image round-trips the full state multiset"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let eng = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create eng ~cores:4 () in
+      let db = Silo.Db.create eng cpu ~physical_deletes:false () in
+      let ntables = 1 + Random.State.int st 3 in
+      for tn = 0 to ntables - 1 do
+        let t = Silo.Db.create_table db (Printf.sprintf "t%d" tn) in
+        for _ = 0 to Random.State.int st 150 do
+          let key =
+            Store.Keycodec.encode [ Store.Keycodec.I (Random.State.int st 400) ]
+          in
+          if Store.Table.get t key = None then begin
+            let r =
+              Store.Record.make
+                ~epoch:(1 + Random.State.int st 3)
+                ~ts:(Random.State.int st 10_000)
+                (String.make
+                   (1 + Random.State.int st 12)
+                   (Char.chr (97 + Random.State.int st 26)))
+            in
+            if Random.State.int st 5 = 0 then r.Store.Record.deleted <- true;
+            Store.Table.insert t key r
+          end
+        done
+      done;
+      let ok = ref false in
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             (* live_only:false is the replica-image mode: tombstones must
+                survive, or below-frontier deletes of setup-seeded keys would
+                resurrect on a rebuild. *)
+             let img = Rolis.Checkpoint.write db ~live_only:false () in
+             let fresh = Silo.Db.create eng cpu ~physical_deletes:false () in
+             let installed = Rolis.Checkpoint.install ~into:fresh img in
+             ok :=
+               installed = Rolis.Checkpoint.row_count img
+               && stamp_dump fresh = stamp_dump db));
+      Sim.Engine.run eng;
+      !ok)
+
+let checkpoint_fuzzy_tail_qcheck =
+  QCheck.Test.make
+    ~name:"fuzzy checkpoint + journal tail equals crash-free execution"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let eng = Sim.Engine.create () in
+      let cpu = Sim.Cpu.create eng ~cores:4 () in
+      let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+      let keys = 60 in
+      let fresh_db () =
+        let db = Silo.Db.create eng cpu ~physical_deletes:false () in
+        let t = Silo.Db.create_table db "data" in
+        for i = 0 to keys - 1 do
+          Store.Table.insert t (key i) (Store.Record.make ~epoch:1 ~ts:i "init")
+        done;
+        db
+      in
+      (* One random history of writes and deletes, as a wire entry. *)
+      let ntxn = 1 + Random.State.int st 120 in
+      let log =
+        List.init ntxn (fun i ->
+            {
+              Store.Wire.ts = 1_000 + i;
+              req = None;
+              writes =
+                [
+                  {
+                    Store.Wire.table = 0;
+                    key = key (Random.State.int st keys);
+                    value =
+                      (if Random.State.int st 6 = 0 then None
+                       else Some (Printf.sprintf "v%d" i));
+                  };
+                ];
+            })
+      in
+      let entry l = Store.Wire.make_entry ~epoch:1 l in
+      let cut = Random.State.int st (ntxn + 1) in
+      let prefix = List.filteri (fun i _ -> i < cut) log in
+      let ok = ref false in
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             (* The image is taken after some prefix of the history. *)
+             let a = fresh_db () in
+             if prefix <> [] then
+               ignore (Rolis.Bootstrap.replay_entries ~dst:a [ entry prefix ]);
+             let img = Rolis.Checkpoint.write a ~live_only:false () in
+             (* Recovery: install, then replay the FULL history — the overlap
+                with the image double-applies through the strictly-newer CAS
+                and must be harmless. *)
+             let b = Silo.Db.create eng cpu ~physical_deletes:false () in
+             ignore (Rolis.Checkpoint.install ~into:b img);
+             ignore (Rolis.Bootstrap.replay_entries ~dst:b [ entry log ]);
+             (* Reference: crash-free execution of the same history. *)
+             let c = fresh_db () in
+             ignore (Rolis.Bootstrap.replay_entries ~dst:c [ entry log ]);
+             ok := stamp_dump b = stamp_dump c));
+      Sim.Engine.run eng;
+      !ok)
+
+(* End-to-end: a cluster with live checkpointing truncates its journals
+   and still recovers a crashed follower — across the truncation frontier
+   — to byte-identical state. *)
+let test_checkpoint_truncation_restart () =
+  let stopped = ref false in
+  let accounts = 40 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.archive_entries = true;
+      checkpoint_interval = 100 * ms;
+      checkpoint_retention = 300 * ms;
+    }
+  in
+  let app = transfer_app ~accounts ~initial:300 ~stopped in
+  let cluster = Rolis.Cluster.create cfg app in
+  let eng = Rolis.Cluster.engine cluster in
+  (* Long healthy history first, so checkpoints complete and truncation
+     rounds fire; then a crash and a mid-load restart — recovery must go
+     through checkpoint install + journal tail. *)
+  Sim.Engine.schedule eng (1_200 * ms) (fun () -> Rolis.Cluster.crash_replica cluster 2);
+  Sim.Engine.schedule eng (1_500 * ms) (fun () -> Rolis.Cluster.restart_replica cluster 2);
+  Rolis.Cluster.run cluster ~duration:(2_500 * ms) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "checkpoints completed" true (Rolis.Cluster.checkpoints_taken cluster > 0);
+  check_bool "truncation fired" true (Rolis.Cluster.truncation_rounds cluster > 0);
+  check_bool "entries dropped" true (Rolis.Cluster.truncated_entries_total cluster > 0);
+  let r2 = Rolis.Cluster.replica cluster 2 in
+  check_bool "restarted replica alive" true (Rolis.Replica.is_alive r2);
+  let viols = Rolis.Check.agreement cluster @ Rolis.Check.convergence cluster in
+  if viols <> [] then
+    Alcotest.failf "violations: %s"
+      (String.concat "; " (List.map (fun v -> v.Rolis.Check.detail) viols));
+  check_int "money conserved on restarted replica" (accounts * 300)
+    (total_money (Rolis.Replica.db r2) ~accounts)
+
+(* One deterministic chaos seed with checkpointing on: crashes land on a
+   compacted history, restarts bootstrap from checkpoint + tail, and every
+   invariant (including end-to-end exactly-once across truncated journal
+   entries) must hold. *)
+let test_chaos_checkpoint_seed () =
+  let o =
+    Rolis.Chaos.run_seed
+      ~checkpoint_interval:(150 * ms)
+      ~history_warmup:(1 * s)
+      ~duration:(1_200 * ms) ~seed:7 ()
+  in
+  if not (Rolis.Chaos.ok o) then
+    Alcotest.failf "chaos seed failed: %s"
+      (Format.asprintf "%a" Rolis.Chaos.pp_outcome o);
+  check_bool "checkpoints exercised" true (o.Rolis.Chaos.checkpoints > 0);
+  check_bool "truncation exercised" true (o.Rolis.Chaos.truncations > 0)
 
 (* ---------- Trace ---------- *)
 
@@ -1307,6 +1518,8 @@ let () =
             test_config_validate_clients;
           Alcotest.test_case "batching constraints" `Quick
             test_config_validate_batching;
+          Alcotest.test_case "checkpoint constraints" `Quick
+            test_config_validate_checkpoint;
         ] );
       ( "clients",
         [
@@ -1325,6 +1538,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "checkpoint + log replay" `Quick
             test_checkpoint_plus_log_replay;
+          QCheck_alcotest.to_alcotest checkpoint_image_multiset_qcheck;
+          QCheck_alcotest.to_alcotest checkpoint_fuzzy_tail_qcheck;
+          Alcotest.test_case "truncation + restart convergence" `Quick
+            test_checkpoint_truncation_restart;
+          Alcotest.test_case "chaos seed with checkpointing" `Quick
+            test_chaos_checkpoint_seed;
         ] );
       ( "trace",
         [
