@@ -33,6 +33,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("mem5", "delayed-commit memory & log size", Mem5.run);
     ("ablation", "design-choice ablations (streams/watermark/net/replicas)", Ablation.run);
     ("recovery", "failover vs checkpoint recovery (paper s7)", Recovery.run);
+    ("avail", "availability through planned operations (reconfiguration)", Avail.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

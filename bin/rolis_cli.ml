@@ -229,7 +229,7 @@ let run_cmd =
    failure ships the exact fault schedule as an artifact. Determinism
    makes the re-run identical to the original failure. *)
 let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
-    ~checkpoint_interval ~history_warmup ~seed =
+    ~checkpoint_interval ~history_warmup ~ops ~spares ~seed =
   let oc = open_out path in
   let fmt = Format.formatter_of_out_channel oc in
   let reporter =
@@ -252,7 +252,7 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
   Logs.set_level (Some Logs.Debug);
   let o =
     Rolis.Chaos.run_seed ~replicas ~workers ~clients ~accounts ~duration
-      ~checkpoint_interval ~history_warmup ~seed ()
+      ~checkpoint_interval ~history_warmup ~ops ~spares ~seed ()
   in
   Format.fprintf fmt "%a@." Rolis.Chaos.pp_outcome o;
   Logs.set_reporter saved_reporter;
@@ -260,19 +260,22 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
   close_out oc
 
 let run_chaos seeds seed0 replicas workers clients accounts duration_ms
-    ckpt_interval_ms history_warmup_ms verbose nemesis_log =
+    ckpt_interval_ms history_warmup_ms ops spares verbose nemesis_log =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   Printf.printf
     "chaos: %d seed(s) starting at %d — %d replicas, %d workers, %d clients, \
-     %d accounts, %d ms of faults per seed%s\n\
+     %d accounts, %d ms of faults per seed%s%s\n\
      %!"
     seeds seed0 replicas workers clients accounts duration_ms
     (if ckpt_interval_ms > 0 then
        Printf.sprintf ", checkpoints every %d ms (+%d ms history warm-up)"
          ckpt_interval_ms history_warmup_ms
+     else "")
+    (if ops then
+       Printf.sprintf ", rolling operations over %d spare slot(s)" spares
      else "");
   let duration = duration_ms * ms in
   let checkpoint_interval = ckpt_interval_ms * ms in
@@ -280,7 +283,7 @@ let run_chaos seeds seed0 replicas workers clients accounts duration_ms
   let _, first_failure =
     try
       Rolis.Chaos.run_seeds ~replicas ~workers ~clients ~accounts ~duration
-        ~checkpoint_interval ~history_warmup ~seed0 ~seeds
+        ~checkpoint_interval ~history_warmup ~ops ~spares ~seed0 ~seeds
         ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
         ()
     with Invalid_argument msg ->
@@ -296,7 +299,7 @@ let run_chaos seeds seed0 replicas workers clients accounts duration_ms
       (match nemesis_log with
       | Some path ->
           dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
-            ~checkpoint_interval ~history_warmup ~seed;
+            ~checkpoint_interval ~history_warmup ~ops ~spares ~seed;
           Printf.printf "chaos: nemesis log for seed %d written to %s\n" seed path
       | None -> ());
       exit 1
@@ -345,6 +348,25 @@ let history_warmup_arg =
            journals (and, with checkpointing on, lets truncation fire) so \
            crashes land on a long, already-compacted history.")
 
+let ops_arg =
+  Arg.(
+    value & flag
+    & info [ "ops" ]
+        ~doc:
+          "Rolling-operations nemesis instead of crash/partition chaos: \
+           add-replica, remove-replica, planned leader handoff, and rolling \
+           restarts while clients keep committing. Turns checkpointing on \
+           (joining learners bootstrap from the newest image + tail) and \
+           additionally checks membership agreement.")
+
+let spares_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "spares" ]
+        ~doc:
+          "Dark spare pool slots add-replica may bring in as voters (ops \
+           mode only).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every nemesis action.")
 
@@ -362,7 +384,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
       $ clients_arg $ accounts_arg $ chaos_duration_arg $ chaos_ckpt_interval_arg
-      $ history_warmup_arg $ verbose_arg $ nemesis_log_arg)
+      $ history_warmup_arg $ ops_arg $ spares_arg $ verbose_arg $ nemesis_log_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

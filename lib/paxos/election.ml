@@ -7,7 +7,9 @@ type role = Leader | Follower | Candidate
 type t = {
   net : Msg.t Sim.Net.t;
   me : int;
-  n : int;
+  pool : int; (* broadcast bound: every replica slot, voter or not *)
+  mutable view : Member.view;
+  mutable mgen : int; (* membership generation of [view] *)
   hb_interval : int;
   base_timeout : int;
   rng : Sim.Rng.t;
@@ -28,19 +30,23 @@ type t = {
   on_heartbeat_tick : unit -> unit;
 }
 
-let majority t = (t.n / 2) + 1
-
-let create net ~me ?peers ?(heartbeat_interval = 100 * Sim.Engine.ms)
+let create net ~me ?peers ?view ?(heartbeat_interval = 100 * Sim.Engine.ms)
     ?(election_timeout = Sim.Engine.s) ?initial_leader ~on_leader_elected ~on_new_epoch
     ?(on_heartbeat_tick = fun () -> ()) () =
   let eng = Sim.Net.engine net in
+  (* [peers] bounds the replica slots: the net may carry extra
+     non-replica nodes (client sessions) beyond the first [peers]. *)
+  let pool = match peers with Some p -> p | None -> Sim.Net.nodes net in
   let t =
     {
       net;
       me;
-      (* [peers] bounds the voting membership: the net may carry extra
-         non-replica nodes (client sessions) beyond the first [peers]. *)
-      n = (match peers with Some p -> p | None -> Sim.Net.nodes net);
+      pool;
+      view =
+        (match view with
+        | Some v -> v
+        | None -> Member.stable (List.init pool Fun.id));
+      mgen = 0;
       hb_interval = heartbeat_interval;
       base_timeout = election_timeout;
       rng = Sim.Rng.split (Sim.Engine.rng eng);
@@ -71,8 +77,11 @@ let create net ~me ?peers ?(heartbeat_interval = 100 * Sim.Engine.ms)
 
 let send t ~dst body = Sim.Net.send t.net ~src:t.me ~dst { Msg.from = t.me; body }
 
+(* Broadcast reaches every replica slot, not just voters: non-voting
+   learners must see heartbeats (to track the leader) and a removed
+   member must learn it was deposed. Dead slots drop the message. *)
 let broadcast t body =
-  for dst = 0 to t.n - 1 do
+  for dst = 0 to t.pool - 1 do
     if dst <> t.me then send t ~dst body
   done
 
@@ -114,7 +123,7 @@ let start_election t =
   t.failed_candidacies <- t.failed_candidacies + 1;
   randomize_timeout t;
   t.on_new_epoch ~epoch:e ~leader:None;
-  if majority t = 1 then become_leader t
+  if Member.quorum t.view [ t.me ] then become_leader t
   else broadcast t (Msg.Elect (Msg.Request_vote { epoch = e; candidate = t.me }))
 
 let handle t msg ~from =
@@ -142,7 +151,10 @@ let handle t msg ~from =
       if e > t.cur_epoch then adopt t e None
       else if t.role = Candidate && e = t.cur_epoch && granted then begin
         if not (List.mem from t.votes) then t.votes <- from :: t.votes;
-        if List.length t.votes >= majority t then become_leader t
+        (* Joint-consensus rule: during a C_old,new transition the vote
+           set must hold a majority of both configurations (and grants
+           from non-voting learners never count). *)
+        if Member.quorum t.view t.votes then become_leader t
       end
   | Msg.Heartbeat { epoch = e; leader } ->
       if e > t.cur_epoch then begin
@@ -165,6 +177,17 @@ let handle t msg ~from =
           randomize_timeout t
         end
       end
+  | Msg.Timeout_now { epoch = e } ->
+      (* Planned handoff: the draining leader grants immediate candidacy.
+         Stand right away (no timeout wait) — but only if we may lead at
+         all, and only if the grant isn't stale. *)
+      if
+        e >= t.cur_epoch && t.role <> Leader && t.eligible
+        && Member.mem t.view t.me
+      then begin
+        if e > t.cur_epoch then adopt t e None;
+        start_election t
+      end
 
 let observe_epoch t e = if e > t.cur_epoch then adopt t e None
 
@@ -179,7 +202,10 @@ let start t =
           broadcast t (Msg.Elect (Msg.Heartbeat { epoch = t.cur_epoch; leader = t.me }));
           t.on_heartbeat_tick ()
         end
-        else if t.eligible && Sim.Engine.time () - t.last_heartbeat > t.my_timeout
+        else if
+          t.eligible
+          && Member.mem t.view t.me
+          && Sim.Engine.time () - t.last_heartbeat > t.my_timeout
         then start_election t;
         Sim.Engine.sleep t.hb_interval
       done)
@@ -200,6 +226,24 @@ let import_vote t v =
     t.voted_for <- v.v_voted_for
   end
 
+(* Adopt a membership view, keyed by its generation so replays of older
+   config entries are ignored. Candidacy backoff is reset — the old
+   split-vote history says nothing about the new configuration — but
+   vote state ([voted_epoch]/[voted_for]) is deliberately left alone:
+   clearing it here would let a removed-then-readded replica grant a
+   second vote in a ballot it already voted in, electing two leaders. *)
+let set_view t view ~gen =
+  if gen > t.mgen then begin
+    t.mgen <- gen;
+    t.view <- view;
+    if t.failed_candidacies > 0 then begin
+      t.failed_candidacies <- 0;
+      randomize_timeout t
+    end
+  end
+
+let view t = t.view
+let mgen t = t.mgen
 let failed_candidacies t = t.failed_candidacies
 let set_eligible t b = t.eligible <- b
 let eligible t = t.eligible

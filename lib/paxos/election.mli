@@ -19,6 +19,7 @@ val create :
   Msg.t Sim.Net.t ->
   me:int ->
   ?peers:int ->
+  ?view:Member.view ->
   ?heartbeat_interval:int ->
   ?election_timeout:int ->
   ?initial_leader:int ->
@@ -27,16 +28,28 @@ val create :
   ?on_heartbeat_tick:(unit -> unit) ->
   unit ->
   t
-(** [peers] is the voting membership size — nodes [0 .. peers-1] of the
-    net; defaults to every node. Pass it when the net also carries
-    non-replica nodes (client sessions). [on_leader_elected] fires on the
-    replica that wins an election, before it starts heartbeating.
+(** [peers] is the replica-slot count — nodes [0 .. peers-1] of the net;
+    defaults to every node. Pass it when the net also carries non-replica
+    nodes (client sessions). [view] is the initial voting membership
+    (defaults to all [peers] slots); heartbeats and vote requests still
+    reach every slot so learners can follow. [on_leader_elected] fires on
+    the replica that wins an election, before it starts heartbeating.
     [on_new_epoch] fires on every replica whenever it observes a new epoch
     (leader may be unknown yet). [on_heartbeat_tick] fires on the leader
     at every heartbeat — Rolis hooks the per-stream empty transactions
     here (§5). [initial_leader] seeds epoch 1 with a known leader so
     experiments skip the cold-start election; omit it to start from
     scratch. *)
+
+val set_view : t -> Member.view -> gen:int -> unit
+(** Adopt membership [view] at generation [gen] (ignored unless [gen]
+    exceeds the current generation — config entries can be replayed out
+    of order during catch-up). Resets candidacy backoff, but {e never}
+    clears [voted_for]: a removed-then-readded replica must not vote
+    twice in one ballot. *)
+
+val view : t -> Member.view
+val mgen : t -> int
 
 val failed_candidacies : t -> int
 (** Consecutive candidacies since this replica last heard a live leader.

@@ -4,6 +4,7 @@ type elect =
   | Request_vote of { epoch : int; candidate : int }
   | Vote of { epoch : int; granted : bool }
   | Heartbeat of { epoch : int; leader : int }
+  | Timeout_now of { epoch : int }
 
 type stream_msg =
   | Prepare of { epoch : int; from_idx : int }
@@ -61,6 +62,7 @@ let pp fmt t =
     | Elect (Vote { epoch; granted }) -> Printf.sprintf "Vote(e=%d,%b)" epoch granted
     | Elect (Heartbeat { epoch; leader }) ->
         Printf.sprintf "Heartbeat(e=%d,l=%d)" epoch leader
+    | Elect (Timeout_now { epoch }) -> Printf.sprintf "TimeoutNow(e=%d)" epoch
     | Client_req { cid; seq; payload } ->
         Printf.sprintf "ClientReq(c=%d,s=%d,|p|=%d)" cid seq (String.length payload)
     | Client_rep { cid; seq; reply } ->

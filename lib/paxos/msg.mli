@@ -15,6 +15,10 @@ type elect =
   | Request_vote of { epoch : int; candidate : int }
   | Vote of { epoch : int; granted : bool }
   | Heartbeat of { epoch : int; leader : int }
+  | Timeout_now of { epoch : int }
+      (** planned leader handoff: the draining leader (at [epoch]) grants
+          the target immediate candidacy, so it starts an election at
+          [epoch + 1] without waiting out its election timer *)
 
 type stream_msg =
   | Prepare of { epoch : int; from_idx : int }

@@ -29,7 +29,12 @@ type t = {
   net : Msg.t Sim.Net.t;
   stream_id : int;
   me : int;
-  n : int;
+  pool : int; (* replica slots on the net; broadcast bound *)
+  mutable view : Member.view; (* voting membership (quorum rule) *)
+  mutable mgen : int; (* membership generation of [view] *)
+  mutable learners : int list;
+  (* Non-voting slots currently catching up: they gate log truncation
+     (so their catch-up source survives) but never count in quorums. *)
   slots : (int, slot) Hashtbl.t;
   mutable promised : int;
   mutable commit_idx : int;
@@ -76,6 +81,7 @@ type t = {
   peer_commit : int array;
   on_commit : idx:int -> Store.Wire.entry -> unit;
   on_higher_epoch : int -> unit;
+  on_config : Store.Wire.member_change -> unit;
   mutable s_proposals : int;
   mutable s_commits : int;
   mutable s_nacks : int;
@@ -85,17 +91,23 @@ type t = {
   mutable s_coalesced : int;
 }
 
-let create net ?peers ?(fetch_timeout = default_fetch_timeout)
+let create net ?peers ?view ?(fetch_timeout = default_fetch_timeout)
     ?(coalesce = false) ?(coalesce_max_bytes = 1024 * 1024) ~id ~me ~on_commit
-    ~on_higher_epoch () =
-  (* [peers] bounds the acceptor membership: the net may carry extra
+    ~on_higher_epoch ?(on_config = fun _ -> ()) () =
+  (* [peers] bounds the replica slots: the net may carry extra
      non-replica nodes (client sessions) beyond the first [peers]. *)
-  let n = match peers with Some p -> p | None -> Sim.Net.nodes net in
+  let pool = match peers with Some p -> p | None -> Sim.Net.nodes net in
   {
     net;
     stream_id = id;
     me;
-    n;
+    pool;
+    view =
+      (match view with
+      | Some v -> v
+      | None -> Member.stable (List.init pool Fun.id));
+    mgen = 0;
+    learners = [];
     slots = Hashtbl.create 256;
     promised = 0;
     commit_idx = -1;
@@ -117,9 +129,10 @@ let create net ?peers ?(fetch_timeout = default_fetch_timeout)
     trunc_floor = 0;
     no_truncate = false;
     trunc_stalled = false;
-    peer_commit = Array.make n (-1);
+    peer_commit = Array.make pool (-1);
     on_commit;
     on_higher_epoch;
+    on_config;
     s_proposals = 0;
     s_commits = 0;
     s_nacks = 0;
@@ -130,15 +143,31 @@ let create net ?peers ?(fetch_timeout = default_fetch_timeout)
   }
 
 let id t = t.stream_id
-let majority t = (t.n / 2) + 1
+
+(* Membership views are adopted at *accept* time (the joint-consensus
+   discipline), keyed by generation so stale replays are ignored. *)
+let set_view t view ~gen =
+  if gen > t.mgen then begin
+    t.mgen <- gen;
+    t.view <- view
+  end
+
+let set_learners t l = t.learners <- l
+let view t = t.view
+
+let note_config t (e : Store.Wire.entry) =
+  match e.Store.Wire.config with Some c -> t.on_config c | None -> ()
 
 let send t ~dst msg =
   let m = { Msg.from = t.me; body = Msg.Stream { stream = t.stream_id; msg } } in
   Sim.Net.send t.net ~size:(Msg.size m) ~src:t.me ~dst m
 
+(* Broadcast reaches every replica slot: non-voting learners replicate
+   the log too (that is how they catch up), they just never count toward
+   a quorum. Dead slots drop the message. *)
 let broadcast t msg =
   let m = { Msg.from = t.me; body = Msg.Stream { stream = t.stream_id; msg } } in
-  for dst = 0 to t.n - 1 do
+  for dst = 0 to t.pool - 1 do
     if dst <> t.me then Sim.Net.send t.net ~size:(Msg.size m) ~src:t.me ~dst m
   done
 
@@ -146,6 +175,7 @@ let deliver t idx =
   let slot = Hashtbl.find t.slots idx in
   t.s_commits <- t.s_commits + 1;
   t.trunc_stalled <- false;
+  note_config t slot.s_entry;
   t.on_commit ~idx slot.s_entry
 
 (* Discard slots below [upto]; [upto] must already be committed locally. *)
@@ -161,14 +191,22 @@ let truncate_below t upto =
     t.truncated_below <- upto
   end
 
-(* Leader: every peer (and we) has committed below this bound — or the
+(* Leader: every voter (and we) has committed below this bound — or the
    slots beneath it are covered by a quorum-stable checkpoint
    ([trunc_floor]), in which case a peer that never committed them
    rebuilds from the checkpoint rather than the log. Either way no future
-   Prepare that can *complete* starts beneath the bound. *)
+   Prepare that can *complete* starts beneath the bound. Only current
+   voters and registered learners gate the bound: a removed member's
+   frozen commit index must not pin the log forever, and empty spare
+   slots never report at all. *)
 let safe_trunc_bound t =
   let bound = ref t.commit_idx in
-  Array.iteri (fun peer c -> if peer <> t.me then bound := min !bound c) t.peer_commit;
+  let gate peer =
+    if peer <> t.me && peer < Array.length t.peer_commit then
+      bound := min !bound t.peer_commit.(peer)
+  in
+  List.iter gate (Member.voters t.view);
+  List.iter gate t.learners;
   max 0 (max (!bound + 1) (min t.trunc_floor (t.commit_idx + 1)))
 
 (* EWMA (alpha 1/8) of entries carried per proposed quorum round; the
@@ -191,6 +229,18 @@ let merge_entries entries =
         last_ts =
           List.fold_left (fun acc e -> max acc e.Store.Wire.last_ts) 0 entries;
         txns = List.concat_map (fun e -> e.Store.Wire.txns) entries;
+        (* A buffered membership change must survive the merge; keep the
+           newest generation (changes are serialized, so at most one is
+           ever in flight). *)
+        config =
+          List.fold_left
+            (fun acc e ->
+              match (acc, e.Store.Wire.config) with
+              | None, c -> c
+              | Some a, Some c when c.Store.Wire.m_gen > a.Store.Wire.m_gen ->
+                  Some c
+              | Some _, _ -> acc)
+            None entries;
       }
   | [] -> invalid_arg "Stream.merge_entries: empty"
 
@@ -205,8 +255,8 @@ let rec try_commit t =
         let idx = t.commit_idx + 1 in
         match Hashtbl.find_opt t.slots idx with
         | Some slot
-          when slot.s_epoch = t.leader_epoch
-               && List.length slot.s_acks >= majority t ->
+          when slot.s_epoch = t.leader_epoch && Member.quorum t.view slot.s_acks
+          ->
             t.commit_idx <- idx;
             deliver t idx;
             advance ()
@@ -229,6 +279,7 @@ and do_propose t entry =
   let idx = t.next_idx in
   t.next_idx <- idx + 1;
   t.s_proposals <- t.s_proposals + 1;
+  note_config t entry;
   Hashtbl.replace t.slots idx
     { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
   broadcast t
@@ -301,6 +352,7 @@ let finish_prepare t =
       | Some s -> s.Msg.a_entry
       | None -> Store.Wire.noop ~epoch:t.leader_epoch ~ts:0
     in
+    note_config t entry;
     Hashtbl.replace t.slots idx
       { s_epoch = t.leader_epoch; s_entry = entry; s_acks = [ t.me ] };
     broadcast t
@@ -319,7 +371,7 @@ let become_leader t ~epoch =
   t.promise_slots <- [ accepted_tail t ~from_idx:(t.commit_idx + 1) ];
   let quorum = [ t.me ] in
   t.lstate <- Preparing { promises = quorum };
-  if List.length quorum >= majority t then finish_prepare t
+  if Member.quorum t.view quorum then finish_prepare t
   else broadcast t (Msg.Prepare { epoch; from_idx = t.commit_idx + 1 })
 
 let step_down t =
@@ -364,10 +416,11 @@ let retransmit t =
       t.s_retransmits <- t.s_retransmits + 1;
       broadcast t (Msg.Prepare { epoch = t.leader_epoch; from_idx = t.commit_idx + 1 })
   | Active ->
-      let m = majority t in
       for idx = t.commit_idx + 1 to t.next_idx - 1 do
         match Hashtbl.find_opt t.slots idx with
-        | Some slot when slot.s_epoch = t.leader_epoch && List.length slot.s_acks < m ->
+        | Some slot
+          when slot.s_epoch = t.leader_epoch
+               && not (Member.quorum t.view slot.s_acks) ->
             t.s_retransmits <- t.s_retransmits + 1;
             broadcast t
               (Msg.Accept
@@ -438,10 +491,12 @@ let import_tail t (promised, slots) =
         | Some slot ->
             slot.s_epoch <- s.a_epoch;
             slot.s_entry <- s.a_entry;
-            slot.s_acks <- []
+            slot.s_acks <- [];
+            note_config t s.a_entry
         | None ->
             Hashtbl.replace t.slots s.a_idx
               { s_epoch = s.a_epoch; s_entry = s.a_entry; s_acks = [] };
+            note_config t s.a_entry;
             if t.next_idx <= s.a_idx then t.next_idx <- s.a_idx + 1))
     slots
 
@@ -478,7 +533,7 @@ let handle t msg ~from =
           else if not (List.mem from p.promises) then begin
             p.promises <- from :: p.promises;
             t.promise_slots <- accepted :: t.promise_slots;
-            if List.length p.promises >= majority t then finish_prepare t
+            if Member.quorum t.view p.promises then finish_prepare t
           end
       | Preparing _ | Active | Idle -> ())
   | Msg.Accept { epoch; idx; commit_idx; entry } ->
@@ -494,9 +549,11 @@ let handle t msg ~from =
            | Some slot ->
                slot.s_epoch <- epoch;
                slot.s_entry <- entry;
-               slot.s_acks <- []
+               slot.s_acks <- [];
+               note_config t entry
            | None ->
-               Hashtbl.replace t.slots idx { s_epoch = epoch; s_entry = entry; s_acks = [] });
+               Hashtbl.replace t.slots idx { s_epoch = epoch; s_entry = entry; s_acks = [] };
+               note_config t entry);
         advance_follower t ~e:epoch ~upto:commit_idx ~src:from;
         send t ~dst:from (Msg.Accepted { epoch; idx; commit_idx = t.commit_idx })
       end
@@ -539,10 +596,12 @@ let handle t msg ~from =
             | Some slot ->
                 slot.s_epoch <- s.a_epoch;
                 slot.s_entry <- s.a_entry;
-                slot.s_acks <- []
+                slot.s_acks <- [];
+                note_config t s.a_entry
             | None ->
                 Hashtbl.replace t.slots s.a_idx
-                  { s_epoch = s.a_epoch; s_entry = s.a_entry; s_acks = [] })
+                  { s_epoch = s.a_epoch; s_entry = s.a_entry; s_acks = [] };
+                note_config t s.a_entry)
         entries;
       (* These came from a replica that had them committed: trust up to
          its commit index as long as we hold contiguous entries. *)

@@ -36,6 +36,7 @@ val default_fetch_timeout : int
 val create :
   Msg.t Sim.Net.t ->
   ?peers:int ->
+  ?view:Member.view ->
   ?fetch_timeout:int ->
   ?coalesce:bool ->
   ?coalesce_max_bytes:int ->
@@ -43,16 +44,23 @@ val create :
   me:int ->
   on_commit:(idx:int -> Store.Wire.entry -> unit) ->
   on_higher_epoch:(int -> unit) ->
+  ?on_config:(Store.Wire.member_change -> unit) ->
   unit ->
   t
-(** [peers] is the acceptor membership size — nodes [0 .. peers-1] of the
-    net; defaults to every node. Pass it when the net also carries
-    non-replica nodes (client sessions). [on_commit] fires exactly once
-    per index, in order, on every replica that learns the commit.
-    [on_higher_epoch] wires stream-level Nacks back into the election
-    module. [fetch_timeout] bounds how long a follower waits for a
-    [Fetch_rep] before re-issuing the fetch (lost fetches would otherwise
-    wedge catch-up forever).
+(** [peers] is the replica-slot count — nodes [0 .. peers-1] of the net;
+    defaults to every node. Pass it when the net also carries non-replica
+    nodes (client sessions). [view] is the initial voting membership
+    (defaults to all [peers] slots); Accepts and Commits still reach every
+    slot so non-voting learners replicate the log. [on_commit] fires
+    exactly once per index, in order, on every replica that learns the
+    commit. [on_higher_epoch] wires stream-level Nacks back into the
+    election module. [on_config] fires whenever a membership-change entry
+    is stored or learned (accept-time adoption — the replica routes it to
+    every stream and the election); it may fire repeatedly for the same
+    change, so receivers must adopt monotonically by generation.
+    [fetch_timeout] bounds how long a follower waits for a [Fetch_rep]
+    before re-issuing the fetch (lost fetches would otherwise wedge
+    catch-up forever).
 
     [coalesce] (default false, used by the adaptive batching policy):
     while a quorum round is in flight, further proposals are buffered and
@@ -63,6 +71,18 @@ val create :
     (default 1 MiB) forces the buffer out immediately. *)
 
 val id : t -> int
+
+val set_view : t -> Member.view -> gen:int -> unit
+(** Adopt a membership view at generation [gen]; ignored unless [gen]
+    exceeds the current generation. Changes which acks count toward
+    quorums (commits, Prepare completion) from the next check onward. *)
+
+val set_learners : t -> int list -> unit
+(** Register the non-voting slots currently catching up: they gate the
+    leader's safe truncation bound (their catch-up source must survive)
+    without ever counting in quorums. Replaces the previous list. *)
+
+val view : t -> Member.view
 
 val become_leader : t -> epoch:int -> unit
 (** Start the Prepare phase for [epoch]. Proposals made before the phase

@@ -81,6 +81,10 @@ type outcome = {
   checkpoints : int;
   truncations : int;
   rebuilds : int;
+  adds : int;
+  removes : int;
+  handoffs : int;
+  ops_skipped : int;
 }
 
 let ok o = o.violations = []
@@ -89,12 +93,12 @@ let pp_outcome fmt o =
   Format.fprintf fmt
     "seed %d: %s (released=%d executed=%d crashes=%d restarts=%d epochs=%d \
      entries=%d acked=%d retries=%d busy=%d parked=%d ckpts=%d truncs=%d \
-     rebuilds=%d)"
+     rebuilds=%d adds=%d removes=%d handoffs=%d skipped=%d)"
     o.seed
     (if ok o then "ok" else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
     o.released o.executed o.crashes o.restarts o.epochs o.entries_checked o.acked
     o.client_retries o.busy_replies o.parked o.checkpoints o.truncations
-    o.rebuilds;
+    o.rebuilds o.adds o.removes o.handoffs o.ops_skipped;
   List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
 
 let chaos_costs =
@@ -102,8 +106,15 @@ let chaos_costs =
 
 let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     ?(duration = 3 * Sim.Engine.s) ?(checkpoint_interval = 0)
-    ?(history_warmup = 0) ~seed () =
+    ?(history_warmup = 0) ?(ops = false) ?(spares = 2) ~seed () =
   let stopped = ref false in
+  (* Rolling-operations mode keeps checkpointing on: joining learners
+     bootstrap from the newest image + journal tail (the PR-6 path) and
+     the truncation retention gate must prove it holds log for them. *)
+  let checkpoint_interval =
+    if ops && checkpoint_interval = 0 then 500 * ms else checkpoint_interval
+  in
+  let spares = if ops then spares else 0 in
   let cfg =
     {
       Config.default with
@@ -124,6 +135,8 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
          recoveries race truncation. *)
       checkpoint_interval;
       checkpoint_retention = 300 * ms;
+      spare_replicas = spares;
+      min_members = (if ops then 2 else Config.default.Config.min_members);
     }
   in
   let oracle = Check.Oracle.create () in
@@ -141,6 +154,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     Array.init clients (fun cid ->
         let crng = Sim.Rng.split (Sim.Engine.rng eng) in
         Client.spawn net ~cfg ~cid ~stopped
+          ~stats:(Cluster.client_stats cluster)
           ~gen:(fun () -> bank_payload crng ~accounts)
           ())
   in
@@ -166,7 +180,12 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
          into a cluster whose logs are already compacted. *)
       if history_warmup > 0 then Cluster.run cluster ~duration:history_warmup ();
       let nrng = Sim.Rng.split (Sim.Engine.rng eng) in
-      let plan = Sim.Fault.random_plan nrng ~nodes:replicas () in
+      let plan =
+        if ops then
+          Sim.Fault.ops_plan nrng ~base:replicas ~spares
+            ~min_members:cfg.Config.min_members ()
+        else Sim.Fault.random_plan nrng ~nodes:replicas ()
+      in
       Log.debug (fun m -> m "seed %d plan:@.%a" seed Sim.Fault.pp_plan plan);
       ignore
         (Sim.Fault.spawn net
@@ -176,17 +195,26 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
            ~on_restart:(fun i ->
              incr restarts;
              Cluster.restart_replica cluster i)
+           ~on_add:(fun i -> ignore (Cluster.add_replica cluster i))
+           ~on_remove:(fun i -> ignore (Cluster.remove_replica cluster i))
+           ~on_handoff:(fun i -> ignore (Cluster.handoff cluster ~target:i))
            ~on_step:(fun a -> Log.debug (fun m -> m "nemesis: %a" Sim.Fault.pp_action a))
            plan);
       Cluster.run cluster ~duration ();
       (* Quiesce: stop the workload, heal everything, revive stragglers the
-         plan's own quiesce tail may have missed. *)
+         plan's own quiesce tail may have missed — but only nodes that are
+         still part of the deployment: decommissioned voters and dark
+         spare slots must stay down. *)
       stopped := true;
       Sim.Net.heal_all net;
       Sim.Net.clear_faults net;
+      let in_deployment i =
+        List.mem i (Cluster.members cluster)
+        || List.mem i (Cluster.learners cluster)
+      in
       Array.iter
         (fun r ->
-          if not (Replica.is_alive r) then begin
+          if in_deployment (Replica.id r) && not (Replica.is_alive r) then begin
             incr restarts;
             Cluster.restart_replica cluster (Replica.id r)
           end)
@@ -197,7 +225,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
          replica. *)
       Array.iter
         (fun r ->
-          if Replica.is_tainted r then begin
+          if in_deployment (Replica.id r) && Replica.is_tainted r then begin
             incr restarts;
             Cluster.restart_replica cluster (Replica.id r)
           end)
@@ -212,6 +240,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
       @ !periodic_viols
       @ Check.agreement cluster
       @ Check.watermark_agreement cluster
+      @ Check.membership_agreement cluster
       @ Check.convergence cluster
       @ Check.money cluster ~table:bank_table
           ~expected:(accounts * initial_balance)
@@ -248,15 +277,19 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     checkpoints = Cluster.checkpoints_taken cluster;
     truncations = Cluster.truncation_rounds cluster;
     rebuilds = Cluster.auto_rebuilds cluster;
+    adds = Cluster.adds cluster;
+    removes = Cluster.removes cluster;
+    handoffs = Cluster.handoffs cluster;
+    ops_skipped = Cluster.ops_skipped cluster;
   }
 
 let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?checkpoint_interval
-    ?history_warmup ?(seed0 = 1) ?on_outcome ~seeds () =
+    ?history_warmup ?ops ?spares ?(seed0 = 1) ?on_outcome ~seeds () =
   let outcomes = ref [] in
   for i = 0 to seeds - 1 do
     let o =
       run_seed ?replicas ?workers ?clients ?accounts ?duration
-        ?checkpoint_interval ?history_warmup ~seed:(seed0 + i) ()
+        ?checkpoint_interval ?history_warmup ?ops ?spares ~seed:(seed0 + i) ()
     in
     (match on_outcome with Some f -> f o | None -> ());
     outcomes := o :: !outcomes

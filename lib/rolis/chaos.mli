@@ -52,6 +52,10 @@ type outcome = {
   checkpoints : int;  (** completed fuzzy checkpoints (current replicas) *)
   truncations : int;  (** cluster-wide journal truncation rounds *)
   rebuilds : int;  (** coordinator-forced checkpoint rebuilds of wedged followers *)
+  adds : int;  (** completed add-replica membership changes (ops mode) *)
+  removes : int;  (** completed remove-replica membership changes *)
+  handoffs : int;  (** completed planned leader transfers *)
+  ops_skipped : int;  (** membership operations refused or timed out *)
 }
 
 val ok : outcome -> bool
@@ -65,6 +69,8 @@ val run_seed :
   ?duration:int ->
   ?checkpoint_interval:int ->
   ?history_warmup:int ->
+  ?ops:bool ->
+  ?spares:int ->
   seed:int ->
   unit ->
   outcome
@@ -77,7 +83,16 @@ val run_seed :
     checkpoints, checkpointer processes and truncation-racing recoveries.
     [history_warmup] adds fault-free run time before the nemesis starts,
     letting journals grow and compaction fire first — the long-history
-    crash scenarios. *)
+    crash scenarios.
+
+    [ops] switches the nemesis to the rolling-operations plan
+    ({!Sim.Fault.ops_plan}): add-replica (through [spares] dark pool
+    slots, default 2), remove-replica, planned leader handoff, and
+    rolling restarts, while the client sessions keep committing.
+    Checkpointing defaults on in ops mode (joining learners bootstrap
+    from the newest image + tail) and the final checks additionally
+    assert {!Check.membership_agreement}; the exactly-once audit covers
+    removed nodes through the evidence harvested at decommission. *)
 
 val run_seeds :
   ?replicas:int ->
@@ -87,6 +102,8 @@ val run_seeds :
   ?duration:int ->
   ?checkpoint_interval:int ->
   ?history_warmup:int ->
+  ?ops:bool ->
+  ?spares:int ->
   ?seed0:int ->
   ?on_outcome:(outcome -> unit) ->
   seeds:int ->

@@ -112,6 +112,31 @@ let watermark_agreement cluster =
   done;
   List.rev !viols
 
+(* Configurations are replicated through the log, so two replicas that
+   adopted the same membership generation must hold the same view — a
+   mismatch means a config entry forked, the membership analogue of log
+   disagreement. Replicas at *different* generations are legal (a node
+   down through a change is simply behind). *)
+let membership_agreement cluster =
+  let reps = alive_replicas cluster in
+  let by_gen : (int, int * Paxos.Member.view) Hashtbl.t = Hashtbl.create 8 in
+  let viols = ref [] in
+  List.iter
+    (fun r ->
+      let gen = Replica.mgen r and view = Replica.view r in
+      match Hashtbl.find_opt by_gen gen with
+      | None -> Hashtbl.replace by_gen gen (Replica.id r, view)
+      | Some (id0, view0) ->
+          if not (Paxos.Member.equal view view0) then
+            viols :=
+              violation "membership"
+                "generation %d: replica %d holds view %a but replica %d holds %a"
+                gen (Replica.id r) Paxos.Member.pp view id0
+                Paxos.Member.pp view0
+              :: !viols)
+    reps;
+  List.rev !viols
+
 (* Live records of every table, in deterministic (table, key) order. *)
 let table_dump db =
   Silo.Db.tables db

@@ -47,6 +47,13 @@ val watermark_agreement : Cluster.t -> violation list
 (** For every sealed epoch, all alive replicas that sealed it agree on its
     final watermark. Safe to run at any time. *)
 
+val membership_agreement : Cluster.t -> violation list
+(** Any two alive replicas that adopted the same membership generation
+    hold the same view — configurations travel through the replicated
+    log, so a same-generation mismatch is a forked config entry.
+    Different generations are legal (a node down through a change is
+    merely behind). Safe to run at any time. *)
+
 val convergence : Cluster.t -> violation list
 (** All alive replicas hold identical live records. Quiescent points
     only: stop the workload, heal the network, and drain replay first. *)

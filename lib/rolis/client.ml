@@ -10,6 +10,7 @@ type t = {
   rng : Sim.Rng.t;
   gen : unit -> string;
   stopped : bool ref;
+  stats : Stats.t option; (* shared cluster-side client stats, if wired *)
   mutable hint : int; (* current guess at the leader *)
   mutable seq : int; (* seq of the in-flight (or last issued) request *)
   mutable completed : int; (* highest seq terminally resolved *)
@@ -21,6 +22,8 @@ type t = {
   mutable busy : int;
   mutable timeouts : int;
   mutable parked : int;
+  mutable req_parked_ns : int; (* parked time of the in-flight request *)
+  mutable req_redirects : int; (* redirects of the in-flight request *)
   lat : Sim.Metrics.Hist.t;
 }
 
@@ -37,7 +40,7 @@ let parked t = t.parked
 let issued t = t.seq
 let latency t = t.lat
 
-let rotate_hint t = t.hint <- (t.hint + 1) mod t.cfg.Config.replicas
+let rotate_hint t = t.hint <- (t.hint + 1) mod Config.pool t.cfg
 
 let send_req t payload =
   let m =
@@ -57,9 +60,25 @@ let backoff_sleep t ~attempt =
   in
   Sim.Engine.sleep (b - Sim.Rng.int t.rng (max 1 (b / 2)))
 
+(* Fold the in-flight request's parked time and redirect count into the
+   shared stats once it resolves — availability seen from the client. *)
+let record_resolution t =
+  match t.stats with
+  | None -> ()
+  | Some s ->
+      if t.req_redirects > 0 then
+        Stats.note_stage s ~stage:Trace.(stage_index Client_redirect)
+          ~latency:t.req_redirects;
+      if t.req_parked_ns > 0 then begin
+        Stats.note_parked s ~ns:t.req_parked_ns;
+        Stats.note_stage s ~stage:Trace.(stage_index Client_park)
+          ~latency:t.req_parked_ns
+      end
+
 let record_ok t ~from =
   let latency = Sim.Engine.time () - t.t0 in
   Sim.Metrics.Hist.add t.lat latency;
+  record_resolution t;
   t.acked <- t.seq :: t.acked;
   t.completed <- t.seq;
   t.hint <- from
@@ -72,6 +91,8 @@ let record_ok t ~from =
    duplicate execution, not about giving up. *)
 let drive t payload =
   t.t0 <- Sim.Engine.time ();
+  t.req_parked_ns <- 0;
+  t.req_redirects <- 0;
   let attempts = ref 0 in
   let finished = ref false in
   while (not !finished) && not !(t.stopped) do
@@ -79,9 +100,12 @@ let drive t payload =
       t.parked <- t.parked + 1;
       attempts := 0;
       Log.debug (fun m -> m "client %d parks seq %d" t.cid t.seq);
-      Sim.Engine.sleep
-        (t.cfg.Config.client_park_interval
-        + Sim.Rng.int t.rng (max 1 (t.cfg.Config.client_park_interval / 2)))
+      let nap =
+        t.cfg.Config.client_park_interval
+        + Sim.Rng.int t.rng (max 1 (t.cfg.Config.client_park_interval / 2))
+      in
+      t.req_parked_ns <- t.req_parked_ns + nap;
+      Sim.Engine.sleep nap
     end;
     if !attempts > 0 then t.retries <- t.retries + 1;
     send_req t payload;
@@ -106,6 +130,7 @@ let drive t payload =
                 finished := true
             | Paxos.Msg.Aborted ->
                 t.aborted <- t.aborted + 1;
+                record_resolution t;
                 t.completed <- t.seq;
                 t.hint <- from;
                 finished := true
@@ -115,6 +140,7 @@ let drive t payload =
                 backoff_sleep t ~attempt:!attempts
             | Paxos.Msg.Not_leader { hint } ->
                 t.redirects <- t.redirects + 1;
+                t.req_redirects <- t.req_redirects + 1;
                 (match hint with Some h -> t.hint <- h | None -> rotate_hint t);
                 waiting := false;
                 (* Short pause, not full backoff: an election may be in
@@ -147,7 +173,7 @@ let run t () =
     end
   done
 
-let spawn net ~cfg ~cid ?(stopped = ref false) ~gen () =
+let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ~gen () =
   if cid < 0 || cid >= cfg.Config.clients then invalid_arg "Client.spawn: bad cid";
   let eng = Sim.Net.engine net in
   let t =
@@ -155,10 +181,11 @@ let spawn net ~cfg ~cid ?(stopped = ref false) ~gen () =
       net;
       cfg;
       cid;
-      node = cfg.Config.replicas + cid;
+      node = Config.pool cfg + cid;
       rng = Sim.Rng.split (Sim.Engine.rng eng);
       gen;
       stopped;
+      stats;
       hint = cid mod cfg.Config.replicas;
       seq = 0;
       completed = 0;
@@ -170,6 +197,8 @@ let spawn net ~cfg ~cid ?(stopped = ref false) ~gen () =
       busy = 0;
       timeouts = 0;
       parked = 0;
+      req_parked_ns = 0;
+      req_redirects = 0;
       lat = Sim.Metrics.Hist.create ();
     }
   in

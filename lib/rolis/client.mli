@@ -2,7 +2,7 @@
     release-visibility guarantee (§3.3).
 
     A client is one closed-loop session process on the cluster's network
-    (node [replicas + cid]). It issues requests tagged with its session id
+    (node [Config.pool cfg + cid], above the replica pool). It issues requests tagged with its session id
     and a per-session sequence number, and drives each one to a terminal
     reply:
 
@@ -28,6 +28,7 @@ val spawn :
   cfg:Config.t ->
   cid:int ->
   ?stopped:bool ref ->
+  ?stats:Stats.t ->
   gen:(unit -> string) ->
   unit ->
   t
@@ -35,7 +36,12 @@ val spawn :
     issued request (interpreted by the app's [client_op]). When [!stopped]
     becomes true the client stops issuing but keeps draining its inbox, so
     a late ack of the in-flight request still counts. The net must carry
-    [cfg.replicas + cfg.clients] nodes. *)
+    [Config.pool cfg + cfg.clients] nodes (clients sit above the replica
+    pool, spares included). [stats] — typically
+    {!Cluster.client_stats} — receives each resolved request's total
+    parked time ({!Stats.note_parked} plus the [Client_park] stage
+    histogram) and redirect count (the [Client_redirect] stage), the
+    availability axes the reconfiguration bench reports. *)
 
 val cid : t -> int
 val node : t -> int

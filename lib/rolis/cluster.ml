@@ -1,3 +1,7 @@
+let src = Logs.Src.create "rolis.cluster" ~doc:"Cluster coordination events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   cfg : Config.t;
   eng : Sim.Engine.t;
@@ -5,9 +9,23 @@ type t = {
   app : App.t;
   on_durable :
     (replica:int -> stream:int -> idx:int -> Store.Wire.entry -> unit) option;
-  replicas : Replica.t array;
+  replicas : Replica.t array; (* pool-sized: members + spare slots *)
   mutable w_start : int;
   mutable w_stop : int;
+  (* Cluster-side membership mirror, advanced as operations complete.
+     Ground truth is the replicated configuration log; this mirror decides
+     which pool slots the management plane treats as voters. *)
+  mutable members : int list;
+  mutable mgen : int;
+  mutable learners : int list;
+  (* Client-side parked-time / redirect-count stats: pass to
+     {!Client.spawn} (via [?stats]) so every session records into it;
+     merged into [stage_breakdown]. *)
+  client_stats : Stats.t;
+  mutable adds : int;
+  mutable removes : int;
+  mutable handoffs : int;
+  mutable ops_skipped : int;
   (* Per-replica durable disk: the newest checkpoint image each replica
      published, surviving that replica's crash (a restarted node can load
      its own image, and any image is reachable for bootstrap even while
@@ -36,10 +54,12 @@ type t = {
    elementwise min F over those. Every kept image then covers F on every
    stream, and with images persisted on disk each remains reachable even
    while its owner is down — so some image covering F always exists for a
-   rebuild, whatever minority the nemesis takes. *)
+   rebuild, whatever minority the nemesis takes. Majority is over the
+   current voter set: spares and removed nodes neither count toward nor
+   against stability. *)
 let stable_frontier t =
-  let images = Array.to_list t.disk |> List.filter_map Fun.id in
-  let majority = (Array.length t.replicas / 2) + 1 in
+  let images = List.filter_map (fun i -> t.disk.(i)) t.members in
+  let majority = (List.length t.members / 2) + 1 in
   if List.length images < majority then None
   else begin
     let scalar ck =
@@ -134,6 +154,14 @@ let network t = t.net
 let config t = t.cfg
 let replicas t = t.replicas
 let replica t i = t.replicas.(i)
+let members t = t.members
+let learners t = t.learners
+let membership_gen t = t.mgen
+let client_stats t = t.client_stats
+let adds t = t.adds
+let removes t = t.removes
+let handoffs t = t.handoffs
+let ops_skipped t = t.ops_skipped
 
 let leader t =
   Array.to_list t.replicas
@@ -146,7 +174,8 @@ let run t ?(warmup = 0) ~duration () =
       (fun r ->
         Stats.reset_window (Replica.stats r);
         Sim.Cpu.reset_busy (Replica.cpu r))
-      t.replicas
+      t.replicas;
+    Stats.reset_window t.client_stats
   end;
   t.w_start <- Sim.Engine.now t.eng;
   Sim.Engine.run ~until:(t.w_start + duration) t.eng;
@@ -177,7 +206,25 @@ let hook t id =
    accepted slot here may be the last surviving copy of an entry committed
    at a since-dead leader; wiping it would let the next Prepare quorum
    no-op-fill a chosen slot. *)
-let restart_replica t i =
+(* The newest membership view any alive replica has adopted — the cluster
+   mirror may lag a change that completed while the coordinator was not
+   looking. Falls back to the mirror when everything is down. *)
+let current_view t =
+  let best =
+    Array.fold_left
+      (fun acc r ->
+        if Replica.is_alive r then
+          match acc with
+          | Some (g, _) when g >= Replica.mgen r -> acc
+          | Some _ | None -> Some (Replica.mgen r, Replica.view r)
+        else acc)
+      None t.replicas
+  in
+  match best with
+  | Some (g, v) -> (v, g)
+  | None -> (Paxos.Member.stable t.members, t.mgen)
+
+let restart_replica ?(learner = false) t i =
   let old = t.replicas.(i) in
   let was_alive = Replica.is_alive old in
   if was_alive then begin
@@ -190,7 +237,10 @@ let restart_replica t i =
   in
   let donors = if was_alive then old :: donors else donors in
   Sim.Net.recover t.net i;
-  let r = Replica.create t.cfg t.eng t.net ~id:i ~app:t.app ?on_durable:(hook t i) () in
+  let r =
+    Replica.create t.cfg t.eng t.net ~id:i ~app:t.app
+      ~membership:(current_view t) ~learner ?on_durable:(hook t i) ()
+  in
   (match if t.cfg.Config.checkpoint_interval > 0 then best_image t else None with
   | Some ck ->
       (* The rebuilt replica's journal will hold only the tail above the
@@ -199,8 +249,19 @@ let restart_replica t i =
       harvest_upto t ~donors ~cover:ck.Checkpoint.ri_cover;
       ignore (Replica.bootstrap_from_checkpoint r ~ckpt:ck ~donors)
   | None -> Replica.catch_up_from r ~donors);
-  if was_alive then Replica.salvage_protocol_state r ~old;
-  t.replicas.(i) <- r
+  if was_alive then Replica.salvage_protocol_state r ~old
+  else
+    (* Persistent votedFor: even a crash-restarted node must remember the
+       vote it granted, or — removed, re-added and restarted inside one
+       ballot — it could vote twice in the same epoch. *)
+    Replica.salvage_vote r ~old;
+  t.replicas.(i) <- r;
+  (* A leader's learner registrations die with its stream objects on
+     restart; re-assert them everywhere. *)
+  if t.learners <> [] then
+    Array.iter
+      (fun r -> if Replica.is_alive r then Replica.set_learners r t.learners)
+      t.replicas
 
 (* The checkpoint/truncation coordinator (modeled as a crash-free
    cluster-management duty, like the membership service real deployments
@@ -271,21 +332,27 @@ let coordinator_loop t () =
 let create ?(initial_leader = Some 0) ?on_durable cfg app =
   Config.validate cfg;
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  let pool = Config.pool cfg in
   (* Client sessions live on the same net, as nodes
-     [replicas .. replicas+clients-1]: their links share the latency and
-     fault model, so loss/dup/reorder exercises the retry + dedup path. *)
+     [pool .. pool+clients-1]: their links share the latency and fault
+     model, so loss/dup/reorder exercises the retry + dedup path. Spare
+     pool slots sit between the base replicas and the clients; they are
+     dark (crashed at birth) until a membership change brings one in. *)
   let net =
-    Sim.Net.create eng
-      ~nodes:(cfg.Config.replicas + cfg.Config.clients)
+    Sim.Net.create eng ~nodes:(pool + cfg.Config.clients)
       ~latency:cfg.Config.net_latency
   in
   let hook id =
     Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
   in
   let replicas =
-    Array.init cfg.Config.replicas (fun id ->
+    Array.init pool (fun id ->
         Replica.create cfg eng net ~id ~app ?initial_leader ?on_durable:(hook id) ())
   in
+  for id = cfg.Config.replicas to pool - 1 do
+    Sim.Net.crash net id;
+    Replica.crash replicas.(id)
+  done;
   let nstreams = Config.nstreams cfg in
   let t =
     {
@@ -297,7 +364,15 @@ let create ?(initial_leader = Some 0) ?on_durable cfg app =
       replicas;
       w_start = 0;
       w_stop = 0;
-      disk = Array.make cfg.Config.replicas None;
+      members = List.init cfg.Config.replicas Fun.id;
+      mgen = 0;
+      learners = [];
+      client_stats = Stats.create eng;
+      adds = 0;
+      removes = 0;
+      handoffs = 0;
+      ops_skipped = 0;
+      disk = Array.make pool None;
       harvested = Hashtbl.create 4096;
       trunc_frontier = Array.make nstreams (-1);
       pending_frontier = None;
@@ -310,6 +385,175 @@ let create ?(initial_leader = Some 0) ?on_durable cfg app =
   if cfg.Config.checkpoint_interval > 0 then
     ignore (Sim.Engine.spawn eng ~name:"ckpt-coord" (coordinator_loop t));
   t
+
+(* ---- live reconfiguration operations ----
+
+   Blocking management-plane operations: call them from inside a spawned
+   simulation process (the nemesis, a bench driver). Each is defensive —
+   an operation that is illegal or cannot complete within its deadline is
+   counted in [ops_skipped] and returns [false], leaving the cluster in a
+   safe (possibly unchanged) state; chaos plans may therefore schedule
+   operations optimistically. *)
+
+let op_deadline t = Sim.Engine.now t.eng + (10 * t.cfg.Config.election_timeout)
+
+let wait_until t ~deadline pred =
+  while (not (pred ())) && Sim.Engine.now t.eng < deadline do
+    Sim.Engine.sleep (10 * Sim.Engine.ms)
+  done;
+  pred ()
+
+let skip t reason =
+  t.ops_skipped <- t.ops_skipped + 1;
+  Log.debug (fun m -> m "membership op skipped: %s" reason);
+  false
+
+let set_all_learners t =
+  Array.iter
+    (fun r -> if Replica.is_alive r then Replica.set_learners r t.learners)
+    t.replicas
+
+(* Drive a reconfiguration to the stable voter set [target] (sorted):
+   re-propose through whoever currently leads until a leader's adopted
+   view is exactly [Stable target]. Re-proposing is safe — a leader
+   refuses while a change is in flight, and adopted generations are
+   monotone. *)
+let drive_reconfig t ~target ~deadline =
+  let adopted () =
+    match leader t with
+    | Some l -> (
+        match Replica.view l with
+        | Paxos.Member.Stable c -> c = target
+        | Paxos.Member.Joint _ -> false)
+    | None -> false
+  in
+  let ok = ref (adopted ()) in
+  while (not !ok) && Sim.Engine.now t.eng < deadline do
+    (match leader t with
+    | Some l -> ignore (Replica.propose_reconfig l ~members:target)
+    | None -> ());
+    Sim.Engine.sleep (20 * Sim.Engine.ms);
+    ok := adopted ()
+  done;
+  if !ok then begin
+    t.members <- target;
+    (match leader t with
+    | Some l -> t.mgen <- max t.mgen (Replica.mgen l)
+    | None -> ());
+    t.learners <- List.filter (fun i -> not (List.mem i target)) t.learners;
+    set_all_learners t
+  end;
+  !ok
+
+(* Planned leader transfer to [target]; see {!Replica.begin_handoff}. *)
+let handoff t ~target =
+  match leader t with
+  | None -> skip t "handoff: no serving leader"
+  | Some l when Replica.id l = target -> skip t "handoff: target already leads"
+  | Some l ->
+      if not (List.mem target t.members) then skip t "handoff: target not a voter"
+      else if not (Replica.is_alive t.replicas.(target)) then
+        skip t "handoff: target down"
+      else if Replica.is_tainted t.replicas.(target) then
+        skip t "handoff: target tainted"
+      else begin
+        let e0 = Replica.served_epoch l in
+        let deadline = op_deadline t in
+        Replica.begin_handoff l ~target;
+        let done_ () =
+          match leader t with
+          | Some l' -> Replica.id l' = target && Replica.served_epoch l' > e0
+          | None -> false
+        in
+        if wait_until t ~deadline done_ then begin
+          t.handoffs <- t.handoffs + 1;
+          true
+        end
+        else skip t "handoff: transfer did not complete"
+      end
+
+(* Bring pool slot [i] in as a voter: restart it as a non-voting learner,
+   bootstrap it (checkpoint + tail when available), wait until its replay
+   frontier trails the leader's durable frontier by at most
+   [learner_lag_bound], then run the joint-consensus change that promotes
+   it. *)
+let add_replica t i =
+  if i < 0 || i >= Array.length t.replicas then skip t "add: bad node id"
+  else if List.mem i t.members then skip t "add: already a voter"
+  else if List.mem i t.learners then skip t "add: already joining"
+  else begin
+    restart_replica ~learner:true t i;
+    t.learners <- List.sort_uniq compare (i :: t.learners);
+    set_all_learners t;
+    let deadline = op_deadline t in
+    let caught_up () =
+      Replica.is_alive t.replicas.(i)
+      &&
+      match leader t with
+      | Some l ->
+          Replica.durable_frontier l - Replica.replay_frontier t.replicas.(i)
+          <= t.cfg.Config.learner_lag_bound
+      | None -> false
+    in
+    if not (wait_until t ~deadline caught_up) then begin
+      t.learners <- List.filter (fun x -> x <> i) t.learners;
+      set_all_learners t;
+      skip t "add: learner never caught up"
+    end
+    else begin
+      let target = List.sort_uniq compare (i :: t.members) in
+      if drive_reconfig t ~target ~deadline then begin
+        t.adds <- t.adds + 1;
+        Log.debug (fun m -> m "added replica %d (gen %d)" i t.mgen);
+        true
+      end
+      else begin
+        t.learners <- List.filter (fun x -> x <> i) t.learners;
+        set_all_learners t;
+        skip t "add: reconfiguration did not commit"
+      end
+    end
+  end
+
+(* Take voter [i] out: joint-consensus change to the remaining set (the
+   leader hands off first if it is removing itself), then harvest the
+   removed node's full journal as dedup evidence and decommission it.
+   Refuses to go below [min_members]. *)
+let remove_replica t i =
+  if not (List.mem i t.members) then skip t "remove: not a voter"
+  else if List.length t.members - 1 < t.cfg.Config.min_members then
+    skip t "remove: would violate min_members"
+  else begin
+    let target = List.filter (fun x -> x <> i) t.members in
+    (match leader t with
+    | Some l when Replica.id l = i -> (
+        (* Self-removal: transfer leadership to a survivor first so the
+           change is driven (and completed) by a remaining voter. The
+           leader-side fallback in [Replica.propose_reconfig] covers the
+           case where this handoff fails. *)
+        match List.filter (fun x -> Replica.is_alive t.replicas.(x)) target with
+        | tgt :: _ -> ignore (handoff t ~target:tgt)
+        | [] -> ())
+    | Some _ | None -> ());
+    let deadline = op_deadline t in
+    if drive_reconfig t ~target ~deadline then begin
+      let victim = t.replicas.(i) in
+      if Replica.is_alive victim then begin
+        (* Evidence harvest before decommission: the removed node's
+           journal leaves the surviving union, but any request it alone
+           still archives must stay auditable for exactly-once. *)
+        let everything =
+          Array.make (Config.nstreams t.cfg) max_int
+        in
+        harvest_upto t ~donors:[ victim ] ~cover:everything;
+        crash_replica t i
+      end;
+      t.removes <- t.removes + 1;
+      Log.debug (fun m -> m "removed replica %d (gen %d)" i t.mgen);
+      true
+    end
+    else skip t "remove: reconfiguration did not commit"
+  end
 
 let window t = (t.w_start, t.w_stop)
 
@@ -343,8 +587,9 @@ let stage_breakdown t =
       let idx = Trace.stage_index stage in
       let h =
         Sim.Metrics.Hist.merge
-          (Array.to_list t.replicas
-          |> List.map (fun r -> Stats.stage_hist (Replica.stats r) idx))
+          (Stats.stage_hist t.client_stats idx
+          :: (Array.to_list t.replicas
+             |> List.map (fun r -> Stats.stage_hist (Replica.stats r) idx)))
       in
       let n = Sim.Metrics.Hist.count h in
       if n = 0 then None

@@ -25,9 +25,12 @@ val create :
 (** Build replicas, load the application on each, spawn all processes.
     [initial_leader] defaults to [Some 0] (skip the cold-start election);
     pass [None] to start leaderless. [on_durable] observes every
-    durability commit on every replica (see {!Check.Oracle}). With
-    [cfg.clients > 0] the net carries [replicas + clients] nodes; spawn
-    the sessions with {!Client.spawn} on {!network}. *)
+    durability commit on every replica (see {!Check.Oracle}). The network
+    carries [pool + clients] nodes, where [pool = replicas +
+    spare_replicas]: spare slots are created dark (crashed at birth) and
+    only join through {!add_replica}; client sessions occupy
+    [pool .. pool+clients-1] — spawn them with {!Client.spawn} on
+    {!network}, passing {!client_stats}. *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Paxos.Msg.t Sim.Net.t
@@ -38,6 +41,30 @@ val replica : t -> int -> Replica.t
 val leader : t -> Replica.t option
 (** The replica currently serving transactions, if any. *)
 
+val members : t -> int list
+(** Current voter set as the management plane tracks it (advanced when a
+    reconfiguration completes; the replicated configuration log is ground
+    truth). *)
+
+val learners : t -> int list
+(** Pool slots currently catching up as non-voting learners. *)
+
+val membership_gen : t -> int
+(** Generation of the last completed membership change. *)
+
+val client_stats : t -> Stats.t
+(** Shared client-side stats (parked time, redirect counts): pass to
+    {!Client.spawn} via [?stats]; merged into {!stage_breakdown} as the
+    [client_park] / [client_redirect] stages. *)
+
+val adds : t -> int
+val removes : t -> int
+val handoffs : t -> int
+
+val ops_skipped : t -> int
+(** Membership operations refused (illegal at the time) or timed out;
+    each leaves the cluster in a safe state. *)
+
 val run : t -> ?warmup:int -> duration:int -> unit -> unit
 (** Advance virtual time by [warmup] (then reset all windowed stats) plus
     [duration]. May be called repeatedly to extend a run. *)
@@ -45,16 +72,46 @@ val run : t -> ?warmup:int -> duration:int -> unit -> unit
 val crash_replica : t -> int -> unit
 (** Crash-stop a machine: kill its processes and cut it from the network. *)
 
-val restart_replica : t -> int -> unit
+val restart_replica : ?learner:bool -> t -> int -> unit
 (** Rebuild replica [i] from scratch (crashing it first if still alive):
     fresh database and streams, then either checkpoint + journal-tail
     bootstrap (when [checkpoint_interval > 0] and a persisted image
     covers the truncated frontier — see
     {!Replica.bootstrap_from_checkpoint}) or catch-up from the
     per-stream union of every alive peer's journal
-    ({!Replica.catch_up_from}); rejoin as follower. The entries
-    committed after the snapshot arrive through the hardened fetch
-    path. *)
+    ({!Replica.catch_up_from}); rejoin as follower, carrying the newest
+    adopted membership view and — always — the vote the old incarnation
+    granted (persistent votedFor; a node that forgot it could vote twice
+    in one ballot). [learner] starts it non-voting (see
+    {!add_replica}). The entries committed after the snapshot arrive
+    through the hardened fetch path. *)
+
+(** {2 Live reconfiguration}
+
+    Blocking management-plane operations — call them from inside a
+    spawned simulation process (a nemesis, a bench driver). Every
+    operation is defensive: illegal or timed-out operations count in
+    {!ops_skipped}, return [false] and leave the cluster in a safe
+    state, so chaos plans may schedule them optimistically. *)
+
+val add_replica : t -> int -> bool
+(** Bring pool slot [i] in as a voter: restart it as a non-voting
+    learner (checkpoint + journal-tail bootstrap when available),
+    register it with every replica's truncation gate, wait until its
+    replay frontier trails the leader's durable frontier by at most
+    [Config.learner_lag_bound], then run the joint-consensus membership
+    change (C_old,new, then C_new) that promotes it. *)
+
+val remove_replica : t -> int -> bool
+(** Take voter [i] out via joint consensus (the leader hands off first
+    when removing itself), then harvest the node's full journal as dedup
+    evidence for {!Check.exactly_once} and decommission (crash) it.
+    Refuses to shrink below [Config.min_members]. *)
+
+val handoff : t -> target:int -> bool
+(** Planned leader transfer: the serving leader drains its release
+    queues, steps down clean and grants [target] immediate candidacy —
+    no election-timeout gap (see {!Replica.begin_handoff}). *)
 
 val window : t -> int * int
 (** Measurement window [(start, stop)] of the last {!run}. *)

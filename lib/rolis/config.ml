@@ -10,6 +10,10 @@ let max_txn_bytes = 16 * 1024
 
 type t = {
   replicas : int;
+  spare_replicas : int;
+  min_members : int;
+  learner_lag_bound : int;
+  handoff_drain_timeout : int;
   workers : int;
   cores : int;
   stream_mode : stream_mode;
@@ -54,6 +58,10 @@ type t = {
 let default =
   {
     replicas = 3;
+    spare_replicas = 0;
+    min_members = 1;
+    learner_lag_bound = 200 * Sim.Engine.ms;
+    handoff_drain_timeout = 500 * Sim.Engine.ms;
     workers = 16;
     cores = 32;
     stream_mode = Per_worker;
@@ -97,6 +105,12 @@ let default =
   }
 
 let ycsb = { default with batch_size = 10_000 }
+
+(* Node numbering: replica slots first (initial members, then spares kept
+   dark for add-replica operations), clients after. With no spares this
+   is exactly the historical numbering. *)
+let pool t = t.replicas + t.spare_replicas
+
 let nstreams t =
   match t.stream_mode with
   | Per_worker -> t.workers
@@ -105,6 +119,33 @@ let nstreams t =
 
 let validate t =
   if t.replicas < 1 then invalid_arg "Config: need at least one replica";
+  if t.spare_replicas < 0 then
+    invalid_arg "Config: spare_replicas must be non-negative";
+  if t.min_members < 1 then
+    invalid_arg
+      "Config: min_members must be >= 1 — remove-replica operations may \
+       never shrink the voting membership to nothing; a single-member group \
+       is the smallest that can still commit";
+  if t.min_members > t.replicas then
+    invalid_arg
+      (Printf.sprintf
+         "Config: min_members (%d) cannot exceed the initial membership \
+          (replicas = %d) — the cluster would be born below its own \
+          reconfiguration floor and no remove-replica operation could ever \
+          have been responsible for it"
+         t.min_members t.replicas);
+  if t.learner_lag_bound <= 0 then
+    invalid_arg
+      "Config: learner_lag_bound must be positive — it is the maximum \
+       replay lag (ns) a catching-up learner may carry before being \
+       promoted to voter; a zero or negative bound could promote a learner \
+       that would immediately stall quorums (or never promote at all)";
+  if t.handoff_drain_timeout <= 0 then
+    invalid_arg
+      "Config: handoff_drain_timeout must be positive — a planned leader \
+       handoff waits this long (ns) for in-flight proposals to drain \
+       before transferring; without a positive bound a wedged stream would \
+       block the handoff forever";
   if t.workers < 1 then invalid_arg "Config: need at least one worker";
   if t.cores < 1 then invalid_arg "Config: need at least one core";
   if t.batch_size < 1 then invalid_arg "Config: batch_size must be >= 1";

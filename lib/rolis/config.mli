@@ -43,7 +43,24 @@ val max_txn_bytes : int
     [max_batch_bytes] may not be configured below it. *)
 
 type t = {
-  replicas : int;
+  replicas : int;  (** initial voting membership *)
+  spare_replicas : int;
+      (** extra replica slots provisioned dark (crashed at birth) so
+          add-replica operations have nodes to bring in; node numbering is
+          [0 .. replicas-1] members, [replicas .. pool-1] spares, then
+          clients — with zero spares the historical numbering (and every
+          simulated timing) is unchanged *)
+  min_members : int;
+      (** reconfiguration floor: remove-replica refuses to shrink the
+          voting membership below this (>= 1) *)
+  learner_lag_bound : int;
+      (** ns; a joining node stays a non-voting learner until its replay
+          frontier is within this bound of the leader's durable frontier —
+          promoting a laggard would stall every quorum behind it *)
+  handoff_drain_timeout : int;
+      (** ns; planned leader handoff waits at most this long for in-flight
+          proposals to drain before granting the target immediate
+          candidacy *)
   workers : int;  (** database worker threads per replica *)
   cores : int;  (** CPU cores per machine *)
   stream_mode : stream_mode;
@@ -141,5 +158,10 @@ val ycsb : t
 (** Same but batch 10000 (paper §6.1). *)
 
 val nstreams : t -> int
+
+val pool : t -> int
+(** Total replica slots ([replicas + spare_replicas]); clients are
+    numbered after the pool. *)
+
 val validate : t -> unit
 (** @raise Invalid_argument on inconsistent settings. *)

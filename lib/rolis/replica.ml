@@ -80,6 +80,19 @@ type t = {
   mutable serving : bool;
   mutable srv_epoch : int;
   mutable tainted : bool;
+  (* Membership: the voting view this replica currently believes in,
+     adopted from replicated config entries (accept-time, monotone by
+     generation) and mirrored into the election and every stream. *)
+  mutable view : Paxos.Member.view;
+  mutable mgen : int;
+  mutable learner : bool; (* non-voting: catching up toward promotion *)
+  mutable ckpt_loading : bool; (* checkpoint-load ineligibility window *)
+  (* Planned handoff: while draining, new client work is redirected at
+     [handoff_target] and the handoff process waits for the release
+     queues to empty before granting the target immediate candidacy. *)
+  mutable draining : bool;
+  mutable handoff_target : int option;
+  mutable reconfig_inflight : bool; (* leader: one change at a time *)
   mutable repoch : int; (* epoch currently being replayed *)
   mutable rwm : int; (* live watermark for [repoch] *)
   mutable alive : bool;
@@ -111,6 +124,11 @@ type t = {
 }
 
 let id t = t.rid
+let view t = t.view
+let mgen t = t.mgen
+let members t = Paxos.Member.voters t.view
+let is_learner t = t.learner
+let is_draining t = t.draining
 let db t = t.db
 let cpu t = t.cpu
 let stats t = t.stats
@@ -168,13 +186,13 @@ let stream_of_worker t w =
 let client_reply t ~cid ~seq reply =
   let m = { Paxos.Msg.from = t.rid; body = Paxos.Msg.Client_rep { cid; seq; reply } } in
   Sim.Net.send t.net ~size:(Paxos.Msg.size m) ~src:t.rid
-    ~dst:(t.cfg.Config.replicas + cid)
+    ~dst:(Config.pool t.cfg + cid)
     m
 
 let leader_hint t =
   match Paxos.Election.leader_id (election t) with
   | Some l when l <> t.rid -> Some l
-  | Some _ | None -> None
+  | Some _ | None -> t.handoff_target
 
 (* Admission control: shed load instead of queueing without bound (§5's
    speculative-memory concern, seen from the client side). *)
@@ -207,6 +225,13 @@ let handle_client_req t ~cid ~seq ~payload =
     else if seq <= s.s_claimed then begin
       if seq = s.s_aborted then client_reply t ~cid ~seq Paxos.Msg.Aborted
       (* else: executing or awaiting the watermark; release will ack. *)
+    end
+    else if t.draining then begin
+      (* Planned handoff: in-flight work keeps releasing, but new work
+         goes to the designated successor. *)
+      Stats.note_redirect t.stats;
+      Trace.note_disposition t.trace Trace.Redirect;
+      client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint = leader_hint t })
     end
     else if overloaded t then begin
       Stats.note_busy_reply t.stats;
@@ -248,7 +273,7 @@ let worker_loop t w () =
      in lockstep and the watermark wait is unrealistically small. *)
   Sim.Engine.sleep (w * 1_700 * Sim.Engine.us);
   while true do
-    if t.serving && t.alive then begin
+    if t.serving && t.alive && not t.draining then begin
       if not t.worker_active.(w) then begin
         Sim.Cpu.register t.cpu;
         t.worker_active.(w) <- true
@@ -330,6 +355,12 @@ let client_worker_loop t w op () =
           end
           else if seq <= sess.s_claimed then begin
             if seq = sess.s_aborted then client_reply t ~cid ~seq Paxos.Msg.Aborted
+          end
+          else if t.draining then begin
+            Stats.note_redirect t.stats;
+            Trace.note_disposition t.trace Trace.Redirect;
+            client_reply t ~cid ~seq
+              (Paxos.Msg.Not_leader { hint = leader_hint t })
           end
           else begin
             sess.s_claimed <- seq;
@@ -658,16 +689,21 @@ let release_pass t =
    may be elected on the other side of the partition. This is the lease
    check that also bounds speculative memory accumulation (§5). *)
 let quorum_alive t =
-  let n = Array.length t.last_heard in
-  if n <= 1 then true
+  let voters = Paxos.Member.voters t.view in
+  if List.length voters <= 1 then true
   else begin
     let now = Sim.Engine.now t.eng in
-    let fresh = ref 1 (* self *) in
-    Array.iteri
-      (fun peer at ->
-        if peer <> t.rid && now - at <= t.cfg.Config.election_timeout then incr fresh)
-      t.last_heard;
-    !fresh >= (n / 2) + 1
+    (* Self counts as heard; a joint view needs a fresh majority of BOTH
+       configurations, which [Member.quorum] enforces. *)
+    let fresh =
+      List.filter
+        (fun peer ->
+          peer = t.rid
+          || peer < Array.length t.last_heard
+             && now - t.last_heard.(peer) <= t.cfg.Config.election_timeout)
+        voters
+    in
+    Paxos.Member.quorum t.view fresh
   end
 
 let controller_loop t () =
@@ -796,6 +832,141 @@ let flush_timer_loop t () =
         t.batchers
   done
 
+(* ---- membership (joint consensus) ---- *)
+
+let view_of_change (c : Store.Wire.member_change) =
+  match c.Store.Wire.m_old with
+  | [] -> Paxos.Member.stable c.Store.Wire.m_new
+  | old_ -> Paxos.Member.joint ~old_ ~new_:c.Store.Wire.m_new
+
+(* Adopt a replicated configuration at *accept* time (Raft §6: a server
+   always uses the latest configuration in its log, committed or not).
+   Monotone by generation; mirrored into the election and every stream so
+   the quorum rule switches atomically with the view. *)
+let adopt_config t (c : Store.Wire.member_change) =
+  if c.Store.Wire.m_gen > t.mgen then begin
+    let view = view_of_change c in
+    t.mgen <- c.Store.Wire.m_gen;
+    t.view <- view;
+    Paxos.Election.set_view (election t) view ~gen:c.Store.Wire.m_gen;
+    Array.iter
+      (fun s -> Paxos.Stream.set_view s view ~gen:c.Store.Wire.m_gen)
+      t.streams;
+    (* Learner promotion: the moment the adopted view makes us a voter we
+       may stand for election — unless a checkpoint load or taint still
+       forbids it. *)
+    if t.learner && Paxos.Member.mem view t.rid then begin
+      t.learner <- false;
+      if t.alive && (not t.tainted) && not t.ckpt_loading then
+        Paxos.Election.set_eligible (election t) true
+    end;
+    Log.debug (fun m ->
+        m "replica %d adopts config gen %d: %a" t.rid c.Store.Wire.m_gen
+          Paxos.Member.pp view)
+  end
+
+(* Propose a configuration entry on stream 0 (configs are totally ordered
+   there) and adopt it locally right away. *)
+let propose_config t (c : Store.Wire.member_change) =
+  adopt_config t c;
+  Paxos.Stream.propose t.streams.(0)
+    (Store.Wire.config_entry ~epoch:t.srv_epoch ~ts:(Silo.Db.next_ts t.db) c)
+
+(* Start a membership change toward voter set [members]: commit the joint
+   configuration C_old,new first; once it is durable, [on_commit] follows
+   up with the stable C_new (see [create]). One change in flight at a
+   time; a leader mid-drain refuses. *)
+let propose_reconfig t ~members =
+  let members = List.sort_uniq compare members in
+  if
+    (not (t.serving && t.alive))
+    || t.draining || t.reconfig_inflight || members = []
+  then false
+  else
+    match t.view with
+    | Paxos.Member.Joint _ -> false (* a change is already in flight *)
+    | Paxos.Member.Stable old_ ->
+        if members = old_ then false
+        else begin
+          t.reconfig_inflight <- true;
+          propose_config t
+            { Store.Wire.m_gen = t.mgen + 1; m_old = old_; m_new = members };
+          true
+        end
+
+(* Learners this leader must not truncate away from (forwarded to every
+   stream's retention gate). *)
+let set_learners t l =
+  Array.iter (fun s -> Paxos.Stream.set_learners s l) t.streams
+
+(* ---- planned leader handoff ---- *)
+
+(* Drain-then-transfer (Raft leadership transfer, adapted to the
+   speculative pipeline): stop admitting new client work, wait for every
+   release queue to empty — everything executed here is then released, so
+   the database is exactly the replicated prefix — step down *clean* (no
+   taint, still eligible) and grant the target immediate candidacy with
+   [Timeout_now], closing the election-timeout gap. If the drain times
+   out, the transfer still proceeds but the step-down goes through the
+   ordinary deposition path (taint) when the target's election lands. If
+   no new epoch appears at all, resume serving: a failed handoff must not
+   leave the epoch leaderless. *)
+let begin_handoff t ~target =
+  if t.serving && t.alive && (not t.draining) && target <> t.rid then begin
+    t.draining <- true;
+    t.handoff_target <- Some target;
+    let epoch = t.srv_epoch in
+    Log.debug (fun m ->
+        m "replica %d draining epoch %d for handoff to %d" t.rid epoch target);
+    spawn t "handoff" (fun () ->
+        let deadline =
+          Sim.Engine.now t.eng + t.cfg.Config.handoff_drain_timeout
+        in
+        Array.iter Batcher.flush t.batchers;
+        let drained () = Array.for_all Queue.is_empty t.release_queues in
+        while
+          t.serving && t.alive
+          && (not (drained ()))
+          && Sim.Engine.now t.eng < deadline
+        do
+          Sim.Engine.sleep (5 * Sim.Engine.ms)
+        done;
+        if t.serving && t.alive && t.srv_epoch = epoch then begin
+          if drained () then begin
+            t.serving <- false;
+            Log.debug (fun m ->
+                m "replica %d hands off epoch %d to %d (drained clean)" t.rid
+                  epoch target)
+          end;
+          let msg =
+            {
+              Paxos.Msg.from = t.rid;
+              body = Paxos.Msg.Elect (Paxos.Msg.Timeout_now { epoch });
+            }
+          in
+          Sim.Net.send t.net ~size:(Paxos.Msg.size msg) ~src:t.rid ~dst:target
+            msg;
+          (* Failed-transfer backstop: if the grant elects no one (target
+             crashed, ineligible, still loading) resume serving — our
+             still-Leader heartbeats have kept everyone's timers reset. *)
+          Sim.Engine.sleep (2 * t.cfg.Config.election_timeout);
+          if
+            t.alive
+            && Paxos.Election.is_leader (election t)
+            && Paxos.Election.epoch (election t) = epoch
+            && (not t.serving) && not t.tainted
+          then begin
+            Log.debug (fun m ->
+                m "replica %d handoff to %d failed; resuming epoch %d" t.rid
+                  target epoch);
+            t.serving <- true;
+            t.handoff_target <- None
+          end;
+          t.draining <- false
+        end
+        else t.draining <- false)
+  end
+
 (* ---- promotion (new-leader recovery, §4.1) ---- *)
 
 let seal_old_epoch t ~epoch =
@@ -831,6 +1002,17 @@ let promote t ~epoch =
           List.iter (fun tbl -> ignore (Store.Table.compact tbl)) (Silo.Db.tables t.db);
           t.srv_epoch <- epoch;
           t.serving <- true;
+          t.draining <- false;
+          t.handoff_target <- None;
+          (* Recover an interrupted membership change (Raft §6): a joint
+             view must not persist — the new leader completes it by
+             committing the stable target configuration. *)
+          (match t.view with
+          | Paxos.Member.Joint (_, new_) ->
+              t.reconfig_inflight <- true;
+              propose_config t
+                { Store.Wire.m_gen = t.mgen + 1; m_old = []; m_new = new_ }
+          | Paxos.Member.Stable _ -> t.reconfig_inflight <- false);
           Log.debug (fun m ->
               m "replica %d serving epoch %d (promotion complete)" t.rid epoch)
         end
@@ -853,7 +1035,8 @@ let heartbeat_tick t () =
 
 (* ---- construction ---- *)
 
-let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
+let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = false)
+    ?on_durable () =
   Config.validate cfg;
   let cpu = Sim.Cpu.create eng ~cores:cfg.Config.cores () in
   let is_initial_leader = initial_leader = Some rid in
@@ -863,6 +1046,13 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   in
   app.App.setup db;
   let nstreams = Config.nstreams cfg in
+  (* Default membership: the base replica set. Spare pool slots exist on
+     the network but are not voters until a reconfiguration adds them. *)
+  let view0, mgen0 =
+    match membership with
+    | Some (v, g) -> (v, g)
+    | None -> (Paxos.Member.stable (List.init cfg.Config.replicas Fun.id), 0)
+  in
   let stats = Stats.create eng in
   let trace =
     Trace.create eng ~stats ~workers:cfg.Config.workers
@@ -899,6 +1089,13 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       serving = false;
       srv_epoch = 0;
       tainted = false;
+      view = view0;
+      mgen = mgen0;
+      learner;
+      ckpt_loading = false;
+      draining = false;
+      handoff_target = None;
+      reconfig_inflight = false;
       repoch = 1;
       rwm = 0;
       alive = true;
@@ -911,7 +1108,7 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       ckpt_count = 0;
       ckpt_inprogress = false;
       last_ckpt_at = 0;
-      last_heard = Array.make cfg.Config.replicas 0;
+      last_heard = Array.make (Config.pool cfg) 0;
       sessions = Hashtbl.create 64;
       client_q = Sim.Sync.Mailbox.create eng;
     }
@@ -931,6 +1128,31 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
         Store.Wire.decode (Store.Wire.encode entry)
       else entry
     in
+    (* Membership-change progress: adoption is normally accept-time (the
+       stream's [on_config] hook), but commit is where the *leader* acts —
+       a committed joint stage is followed by the stable target, and a
+       committed stable stage ends the change. A leader that committed its
+       own removal hands off to the first remaining voter. *)
+    (match entry.Store.Wire.config with
+    | Some c ->
+        adopt_config t c;
+        if t.serving && c.Store.Wire.m_gen = t.mgen then begin
+          if c.Store.Wire.m_old <> [] then
+            propose_config t
+              {
+                Store.Wire.m_gen = t.mgen + 1;
+                m_old = [];
+                m_new = c.Store.Wire.m_new;
+              }
+          else begin
+            t.reconfig_inflight <- false;
+            if not (Paxos.Member.mem t.view t.rid) then
+              match Paxos.Member.voters t.view with
+              | target :: _ -> begin_handoff t ~target
+              | [] -> ()
+          end
+        end
+    | None -> ());
     Watermark.note_durable t.wm ~stream:s ~epoch:entry.epoch ~ts:entry.last_ts;
     (* Watermark state moved: invalidate the per-txn replay loops' seal
        memo and advance the durable frontier for follower-lag samples. *)
@@ -982,13 +1204,15 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
   let on_higher_epoch e = Paxos.Election.observe_epoch (election t) e in
   let streams =
     Array.init nstreams (fun s ->
-        Paxos.Stream.create net ~peers:cfg.Config.replicas
+        Paxos.Stream.create net ~peers:(Config.pool cfg) ~view:view0
           ~coalesce:(cfg.Config.batch_policy = Config.Adaptive)
           ~coalesce_max_bytes:cfg.Config.max_batch_bytes ~id:s ~me:rid
-          ~on_commit:(on_commit s) ~on_higher_epoch ())
+          ~on_commit:(on_commit s) ~on_higher_epoch
+          ~on_config:(fun c -> adopt_config t c)
+          ())
   in
   let el =
-    Paxos.Election.create net ~me:rid ~peers:cfg.Config.replicas
+    Paxos.Election.create net ~me:rid ~peers:(Config.pool cfg) ~view:view0
       ~heartbeat_interval:cfg.Config.heartbeat_interval
       ~election_timeout:cfg.Config.election_timeout ?initial_leader
       ~on_leader_elected:(fun ~epoch ->
@@ -997,13 +1221,26 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?on_durable () =
       ~on_new_epoch:(fun ~epoch:_ ~leader ->
         if leader <> Some rid then begin
           Array.iter Paxos.Stream.step_down streams;
-          stop_serving t
+          stop_serving t;
+          (* A definite successor ends any handoff from our side. *)
+          if leader <> None then begin
+            t.handoff_target <- None;
+            t.draining <- false
+          end
         end)
       ~on_heartbeat_tick:(fun () -> heartbeat_tick t ())
       ()
   in
   t.streams <- streams;
   t.election <- Some el;
+  (* A restarted member rejoins with the cluster's current view; stamp its
+     generation past the freshly created components' gen-0 default. *)
+  if mgen0 > 0 then begin
+    Array.iter (fun s -> Paxos.Stream.set_view s view0 ~gen:mgen0) streams;
+    Paxos.Election.set_view el view0 ~gen:mgen0
+  end;
+  (* A learner replicates and replays but neither votes nor stands. *)
+  if learner then Paxos.Election.set_eligible el false;
   if cfg.Config.checkpoint_interval > 0 && not cfg.Config.checkpoint_truncate
   then
     (* --no-truncate ablation: retain every slot and journal entry. *)
@@ -1133,6 +1370,13 @@ let salvage_protocol_state t ~old =
     t.streams;
   Paxos.Election.import_vote (election t) (Paxos.Election.export_vote (election old))
 
+(* Vote durability across restarts, separable from tail salvage: a
+   rejoining node must remember the vote it cast before crashing or it
+   can grant two votes in one ballot — the removed-then-readded
+   double-vote hazard. Models persistent votedFor. *)
+let salvage_vote t ~old =
+  Paxos.Election.import_vote (election t) (Paxos.Election.export_vote (election old))
+
 (* ---- checkpoint-integrated recovery ---- *)
 
 (* Cluster-coordinated journal truncation at quorum-stable frontier
@@ -1228,6 +1472,7 @@ let bootstrap_from_checkpoint t ~ckpt ~donors =
   t.last_ckpt <- Some ckpt;
   (* Pay the checkpoint-load time: ineligible to lead until a real loader
      would have finished reading the image back. *)
+  t.ckpt_loading <- true;
   Paxos.Election.set_eligible (election t) false;
   let cost =
     Checkpoint.load_cost ~costs:t.cfg.Config.costs
@@ -1237,6 +1482,9 @@ let bootstrap_from_checkpoint t ~ckpt ~donors =
   in
   spawn t "ckpt-load" (fun () ->
       Sim.Engine.sleep cost;
-      if t.alive && not t.tainted then
+      t.ckpt_loading <- false;
+      (* A learner stays ineligible past the load: promotion to voter
+         (see [adopt_config]) is what re-arms candidacy. *)
+      if t.alive && (not t.tainted) && not t.learner then
         Paxos.Election.set_eligible (election t) true);
   installed

@@ -30,15 +30,40 @@ val create :
   id:int ->
   app:App.t ->
   ?initial_leader:int ->
+  ?membership:Paxos.Member.view * int ->
+  ?learner:bool ->
   ?on_durable:(stream:int -> idx:int -> Store.Wire.entry -> unit) ->
   unit ->
   t
 (** Builds the replica's state and spawns its processes. [app.setup] runs
     immediately on the fresh database. [on_durable] observes every
     durability commit (stream, index, entry) in commit order — the hook
-    the invariant checker's oracle uses to cross-check agreement. *)
+    the invariant checker's oracle uses to cross-check agreement.
+    [membership] seeds the voting view and its generation (default: the
+    stable set [0 .. replicas-1] at generation 0 — spare pool slots are
+    not voters); [learner] starts the replica non-voting and
+    election-ineligible until a replicated configuration makes it a
+    voter. *)
 
 val id : t -> int
+
+val view : t -> Paxos.Member.view
+(** The voting view this replica currently believes in (accept-time
+    adoption — latest configuration in its log, committed or not). *)
+
+val mgen : t -> int
+(** Membership generation of {!view}; monotone. *)
+
+val members : t -> int list
+(** Voters of {!view} (union of both configurations while joint). *)
+
+val is_learner : t -> bool
+(** Still non-voting: replicates and replays, never votes or stands. *)
+
+val is_draining : t -> bool
+(** A planned handoff is in progress: new client work is redirected at
+    the designated successor while in-flight work finishes releasing. *)
+
 val db : t -> Silo.Db.t
 val cpu : t -> Sim.Cpu.t
 val stats : t -> Stats.t
@@ -141,6 +166,38 @@ val salvage_protocol_state : t -> old:t -> unit
     entry committed at a since-dead leader. Grafts [old]'s accepted
     tails and granted vote onto the fresh replica. Call after
     {!catch_up_from}, before the engine runs. *)
+
+val salvage_vote : t -> old:t -> unit
+(** Carry only the granted vote of [old] onto this fresh replica — models
+    persistent [votedFor]. Every restart path must call this (directly or
+    via {!salvage_protocol_state}): a rejoining node that forgets its
+    vote can grant two votes in one ballot, the removed-then-readded
+    double-vote hazard. *)
+
+(** {2 Membership change and planned handoff} *)
+
+val propose_reconfig : t -> members:int list -> bool
+(** Start a joint-consensus membership change toward voter set [members]
+    (serving leader only; one change in flight; refused while draining).
+    Commits the transitional C_old,new configuration first — durability
+    then requires a majority of {e both} configurations — and follows up
+    with the stable C_new once the joint stage is durable. A leader that
+    commits its own removal hands off to the first remaining voter.
+    Returns whether the change was started. *)
+
+val begin_handoff : t -> target:int -> unit
+(** Planned leader transfer: stop admitting client work (redirecting at
+    [target]), drain the release queues (bounded by
+    [Config.handoff_drain_timeout]), step down {e clean} — no taint; the
+    database is exactly the replicated prefix — and grant [target]
+    immediate candidacy with [Timeout_now], so the cluster never waits
+    out an election timeout. A timed-out drain still transfers but takes
+    the ordinary taint path; a transfer that elects no one resumes
+    serving. *)
+
+val set_learners : t -> int list -> unit
+(** Register the learners every stream's truncation gate must retain log
+    for (leader-side; see {!Paxos.Stream.set_learners}). *)
 
 (** {2 Checkpoint-integrated recovery} *)
 

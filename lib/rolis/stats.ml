@@ -1,4 +1,4 @@
-(* Sized for Trace's stage set (12 stages today); a fixed bound keeps the
+(* Sized for Trace's stage set (14 stages today); a fixed bound keeps the
    array allocation-free on the hot path. *)
 let max_stages = 16
 
@@ -20,6 +20,8 @@ type t = {
   mutable cached_replies : int;
   mutable busy_replies : int;
   mutable redirects : int;
+  mutable parked_ns : int;
+  mutable parked_requests : int;
   mutable entries_flushed : int;
   mutable deadline_flushes : int;
   mutable event_releases : int;
@@ -47,6 +49,8 @@ let create eng =
     cached_replies = 0;
     busy_replies = 0;
     redirects = 0;
+    parked_ns = 0;
+    parked_requests = 0;
     entries_flushed = 0;
     deadline_flushes = 0;
     event_releases = 0;
@@ -95,6 +99,10 @@ let note_cached_reply t = t.cached_replies <- t.cached_replies + 1
 let note_busy_reply t = t.busy_replies <- t.busy_replies + 1
 let note_redirect t = t.redirects <- t.redirects + 1
 
+let note_parked t ~ns =
+  t.parked_requests <- t.parked_requests + 1;
+  t.parked_ns <- t.parked_ns + ns
+
 let note_replayed t ~txns ~writes =
   t.replayed_txns <- t.replayed_txns + txns;
   t.replayed_writes <- t.replayed_writes + writes
@@ -114,6 +122,8 @@ let client_requests t = t.client_requests
 let cached_replies t = t.cached_replies
 let busy_replies t = t.busy_replies
 let redirects t = t.redirects
+let parked_ns t = t.parked_ns
+let parked_requests t = t.parked_requests
 let serialized_bytes t = t.serialized_bytes
 let replicated_bytes t = t.replicated_bytes
 let speculative_bytes t = t.spec_bytes

@@ -56,6 +56,12 @@ val note_busy_reply : t -> unit
 val note_redirect : t -> unit
 (** A non-serving replica answered [Not_leader]. *)
 
+val note_parked : t -> ns:int -> unit
+(** A client request that had been parked (retry limit exhausted) finally
+    resolved after spending [ns] parked in total; counts the request and
+    accumulates the parked time. Recorded client-side — pair it with the
+    [Client_park] stage histogram for the distribution. *)
+
 val max_stages : int
 
 val note_stage : t -> stage:int -> latency:int -> unit
@@ -85,6 +91,13 @@ val client_requests : t -> int
 val cached_replies : t -> int
 val busy_replies : t -> int
 val redirects : t -> int
+
+val parked_ns : t -> int
+(** Total ns resolved client requests spent parked (availability gap). *)
+
+val parked_requests : t -> int
+(** Resolved client requests that were parked at least once. *)
+
 val serialized_bytes : t -> int
 val replicated_bytes : t -> int
 val speculative_bytes : t -> int

@@ -11,6 +11,8 @@ type stage =
   | Cached
   | Deadline_flush
   | Replay_lag
+  | Client_park
+  | Client_redirect
 
 let all_stages =
   [
@@ -26,6 +28,8 @@ let all_stages =
     Cached;
     Deadline_flush;
     Replay_lag;
+    Client_park;
+    Client_redirect;
   ]
 
 let n_stages = List.length all_stages
@@ -43,6 +47,8 @@ let stage_index = function
   | Cached -> 9
   | Deadline_flush -> 10
   | Replay_lag -> 11
+  | Client_park -> 12
+  | Client_redirect -> 13
 
 let stage_name = function
   | Execute -> "execute"
@@ -57,6 +63,8 @@ let stage_name = function
   | Cached -> "cached"
   | Deadline_flush -> "deadline_flush"
   | Replay_lag -> "replay_lag"
+  | Client_park -> "client_park"
+  | Client_redirect -> "client_redirect"
 
 let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 

@@ -63,6 +63,15 @@ type stage =
       (** follower lag at one entry application: durable frontier minus
           replayed frontier on the transaction-timestamp axis — how far
           this replica's replay trails what is already durable *)
+  | Client_park
+      (** total ns one client request spent parked (retry limit reached,
+          waiting out [client_park_interval] cycles) before finally
+          resolving — the availability cost of an unreachable cluster,
+          one histogram sample per resolved request *)
+  | Client_redirect
+      (** leader-chasing redirects ([Not_leader] replies) one client
+          request absorbed before resolving — dimensionless count, one
+          sample per resolved request *)
 
 val all_stages : stage list
 val n_stages : int

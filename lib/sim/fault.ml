@@ -7,6 +7,9 @@ type action =
   | Heal_all
   | Set_faults of Net.faults
   | Clear_faults
+  | Add_node of int
+  | Remove_node of int
+  | Handoff_to of int
 
 type step = { after : int; action : action }
 type plan = step list
@@ -22,6 +25,9 @@ let pp_action fmt = function
       Format.fprintf fmt "faults drop=%.2f dup=%.2f reorder=%dus" f.Net.drop f.Net.dup
         (f.Net.reorder / 1_000)
   | Clear_faults -> Format.fprintf fmt "clear-faults"
+  | Add_node i -> Format.fprintf fmt "add-node %d" i
+  | Remove_node i -> Format.fprintf fmt "remove-node %d" i
+  | Handoff_to i -> Format.fprintf fmt "handoff-to %d" i
 
 let pp_plan fmt plan =
   let at = ref 0 in
@@ -130,7 +136,78 @@ let random_plan rng ~nodes ?(steps = 12) ?(min_gap = 50 * Engine.ms)
   end;
   List.rev !steps_acc
 
-let apply net ~on_crash ~on_restart = function
+(* Rolling-operations plan: membership changes, planned handoffs and
+   rolling restarts over a pool of [base + spares] slots, while at most
+   one node is ever down. Membership is tracked by construction so every
+   scheduled operation is legal {e if} the cluster kept up — the
+   management plane still re-checks and skips safely when a concurrent
+   election makes it stale. *)
+let ops_plan rng ~base ~spares ?(min_members = 1) ?(ops = 8)
+    ?(min_gap = 400 * Engine.ms) ?(mean_gap = 700 * Engine.ms) () =
+  if base < 1 then invalid_arg "Fault.ops_plan: need at least one base node";
+  if spares < 0 then invalid_arg "Fault.ops_plan: negative spares";
+  let pool = base + spares in
+  let member = Array.make pool false in
+  for i = 0 to base - 1 do
+    member.(i) <- true
+  done;
+  let nmembers () =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 member
+  in
+  let pick_where pred =
+    let start = Rng.int rng pool in
+    let found = ref None in
+    for k = 0 to pool - 1 do
+      let i = (start + k) mod pool in
+      if !found = None && pred i then found := Some i
+    done;
+    !found
+  in
+  let gap () =
+    min_gap + int_of_float (Rng.exponential rng ~mean:(float_of_int mean_gap))
+  in
+  let steps_acc = ref [] in
+  let emit action = steps_acc := { after = gap (); action } :: !steps_acc in
+  for _ = 1 to ops do
+    let choices = ref [] in
+    let add w c = for _ = 1 to w do choices := c :: !choices done in
+    if nmembers () < pool then add 3 `Add;
+    if nmembers () > min_members then add 2 `Remove;
+    if nmembers () > 1 then begin
+      add 3 `Handoff;
+      add 2 `Rolling
+    end;
+    let arr = Array.of_list !choices in
+    if Array.length arr > 0 then
+      match Rng.pick rng arr with
+      | `Add ->
+          Option.iter
+            (fun i ->
+              member.(i) <- true;
+              emit (Add_node i))
+            (pick_where (fun i -> not member.(i)))
+      | `Remove ->
+          Option.iter
+            (fun i ->
+              member.(i) <- false;
+              emit (Remove_node i))
+            (pick_where (fun i -> member.(i)))
+      | `Handoff ->
+          Option.iter (fun i -> emit (Handoff_to i))
+            (pick_where (fun i -> member.(i)))
+      | `Rolling ->
+          (* Cycle every current member, one down at a time. *)
+          for i = 0 to pool - 1 do
+            if member.(i) then begin
+              emit (Crash i);
+              emit (Restart i)
+            end
+          done
+  done;
+  List.rev !steps_acc
+
+let apply net ?(on_add = ignore) ?(on_remove = ignore) ?(on_handoff = ignore)
+    ~on_crash ~on_restart = function
   | Crash i -> on_crash i
   | Restart i -> on_restart i
   | Partition (a, b) -> Net.partition net a b
@@ -139,8 +216,12 @@ let apply net ~on_crash ~on_restart = function
   | Heal_all -> Net.heal_all net
   | Set_faults f -> Net.set_default_faults net f
   | Clear_faults -> Net.clear_faults net
+  | Add_node i -> on_add i
+  | Remove_node i -> on_remove i
+  | Handoff_to i -> on_handoff i
 
-let spawn net ?on_crash ?on_restart ?on_step plan =
+let spawn net ?on_crash ?on_restart ?on_add ?on_remove ?on_handoff ?on_step plan
+    =
   let on_crash = match on_crash with Some f -> f | None -> Net.crash net in
   let on_restart = match on_restart with Some f -> f | None -> Net.recover net in
   let eng = Net.engine net in
@@ -149,5 +230,5 @@ let spawn net ?on_crash ?on_restart ?on_step plan =
         (fun { after; action } ->
           if after > 0 then Engine.sleep after;
           (match on_step with Some f -> f action | None -> ());
-          apply net ~on_crash ~on_restart action)
+          apply net ?on_add ?on_remove ?on_handoff ~on_crash ~on_restart action)
         plan)

@@ -20,6 +20,9 @@ type action =
   | Heal_all
   | Set_faults of Net.faults  (** loss burst: applies to every link *)
   | Clear_faults
+  | Add_node of int  (** bring a spare pool slot in as a voter *)
+  | Remove_node of int  (** reconfigure a voter out and decommission it *)
+  | Handoff_to of int  (** planned leader transfer to this node *)
 
 type step = { after : int; action : action }
 (** [after] is the virtual-time delay since the previous step (ns). *)
@@ -48,12 +51,39 @@ val random_plan :
     node, heals all partitions, and clears the loss model so the cluster
     can converge. *)
 
+val ops_plan :
+  Rng.t ->
+  base:int ->
+  spares:int ->
+  ?min_members:int ->
+  ?ops:int ->
+  ?min_gap:int ->
+  ?mean_gap:int ->
+  unit ->
+  plan
+(** Generate a rolling-operations plan over a pool of [base + spares]
+    node slots: add-replica, remove-replica, planned handoff, and rolling
+    restarts that cycle every current member with at most one node down
+    at a time. Membership is tracked by construction — never below
+    [min_members], adds only target non-members — so each scheduled
+    operation is legal if the cluster kept up; the management plane
+    re-checks and skips safely otherwise. [ops] counts operation rounds
+    (a rolling restart is one round). Gaps default wider than
+    {!random_plan}'s ([min_gap] 400 ms, [mean_gap] 700 ms): membership
+    changes need time to commit between ops. *)
+
 val spawn :
   'm Net.t ->
   ?on_crash:(int -> unit) ->
   ?on_restart:(int -> unit) ->
+  ?on_add:(int -> unit) ->
+  ?on_remove:(int -> unit) ->
+  ?on_handoff:(int -> unit) ->
   ?on_step:(action -> unit) ->
   plan ->
   Engine.proc
 (** Run the plan as a process on the network's engine. [on_step] fires
-    before each action is applied (logging / tracing). *)
+    before each action is applied (logging / tracing). The membership
+    actions dispatch to [on_add] / [on_remove] / [on_handoff] (e.g.
+    [Rolis.Cluster.add_replica] / [remove_replica] / [handoff]); they
+    default to no-ops. *)

@@ -1,13 +1,24 @@
 type write = { table : int; key : string; value : string option }
 type txn_log = { ts : int; req : (int * int) option; writes : write list }
-type entry = { epoch : int; last_ts : int; txns : txn_log list }
+type member_change = { m_gen : int; m_old : int list; m_new : int list }
+
+type entry = {
+  epoch : int;
+  last_ts : int;
+  txns : txn_log list;
+  config : member_change option;
+}
 
 let make_entry ~epoch txns =
   match List.rev txns with
   | [] -> invalid_arg "Wire.make_entry: empty batch"
-  | last :: _ -> { epoch; last_ts = last.ts; txns }
+  | last :: _ -> { epoch; last_ts = last.ts; txns; config = None }
 
-let noop ~epoch ~ts = { epoch; last_ts = ts; txns = [] }
+let noop ~epoch ~ts = { epoch; last_ts = ts; txns = []; config = None }
+
+let config_entry ~epoch ~ts change =
+  { epoch; last_ts = ts; txns = []; config = Some change }
+
 let is_noop e = e.txns = []
 
 (* Sizes mirror the encoding below exactly (tests enforce this). *)
@@ -22,9 +33,19 @@ let txn_byte_size t =
   + (match t.req with Some _ -> 8 | None -> 0)
   + List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes
 
+(* Config trailer: tag(1) + gen(4) + n_old(4) + 4*|old| + n_new(4) +
+   4*|new|. Entries without a config change append nothing, so the
+   common-case encoding (and therefore simulated network timing) is
+   byte-identical to the pre-reconfiguration format. *)
+let config_byte_size = function
+  | None -> 0
+  | Some c -> 13 + (4 * List.length c.m_old) + (4 * List.length c.m_new)
+
 let byte_size e =
   (* Entry header: epoch(8) + last_ts(8) + ntxns(4). *)
-  20 + List.fold_left (fun acc t -> acc + txn_byte_size t) 0 e.txns
+  20
+  + List.fold_left (fun acc t -> acc + txn_byte_size t) 0 e.txns
+  + config_byte_size e.config
 
 let txn_count e = List.length e.txns
 
@@ -81,6 +102,15 @@ let encode e =
           | None -> add_u8 buf 0)
         t.writes)
     txns;
+  (match e.config with
+  | None -> ()
+  | Some c ->
+      add_u8 buf 1;
+      add_u32 buf c.m_gen;
+      add_u32 buf (List.length c.m_old);
+      List.iter (add_u32 buf) c.m_old;
+      add_u32 buf (List.length c.m_new);
+      List.iter (add_u32 buf) c.m_new);
   Buffer.contents buf
 
 exception Malformed of string
@@ -154,6 +184,20 @@ let decode s =
           in
           { ts; req; writes })
     in
+    let config =
+      if !pos = len then None
+      else begin
+        (match u8 () with
+        | 1 -> ()
+        | _ -> raise (Malformed "bad config tag"));
+        let m_gen = u32 () in
+        let n_old = u32 () in
+        let m_old = List.init n_old (fun _ -> u32 ()) in
+        let n_new = u32 () in
+        let m_new = List.init n_new (fun _ -> u32 ()) in
+        Some { m_gen; m_old; m_new }
+      end
+    in
     if !pos <> len then raise (Malformed "trailing bytes");
-    { epoch; last_ts; txns }
+    { epoch; last_ts; txns; config }
   with Malformed m -> invalid_arg ("Wire.decode: " ^ m)

@@ -26,10 +26,22 @@ type txn_log = {
   writes : write list;
 }
 
+type member_change = {
+  m_gen : int;  (** monotone membership generation; adoption is gated on it *)
+  m_old : int list;
+      (** previous voter set during a joint [C_old,new] transition; [[]]
+          marks the final switch to a stable [m_new] configuration *)
+  m_new : int list;  (** target voter set *)
+}
+
 type entry = {
   epoch : int;
   last_ts : int;  (** timestamp of the last transaction in the batch *)
   txns : txn_log list;
+  config : member_change option;
+      (** membership change replicated through the log (joint consensus);
+          [None] for ordinary batches, and encoded as a trailing section so
+          the common-case wire bytes are unchanged *)
 }
 
 val make_entry : epoch:int -> txn_log list -> entry
@@ -39,6 +51,10 @@ val make_entry : epoch:int -> txn_log list -> entry
 val noop : epoch:int -> ts:int -> entry
 (** An empty entry whose only purpose is to advance the watermark
     (heartbeat / epoch-sealing no-op). *)
+
+val config_entry : epoch:int -> ts:int -> member_change -> entry
+(** A membership-change entry: txn-free like {!noop} (so the watermark
+    machinery treats it uniformly) but carrying a [config] payload. *)
 
 val is_noop : entry -> bool
 

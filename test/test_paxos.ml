@@ -489,6 +489,129 @@ let test_trunc_floor_monotone () =
   Alcotest.(check int) "floor never regresses" 5 (Paxos.Stream.trunc_floor s);
   Alcotest.(check bool) "fresh stream not stalled" false (Paxos.Stream.trunc_stalled s)
 
+(* ---------- membership: quorum rules, vote persistence, Timeout_now ---------- *)
+
+let test_member_quorum () =
+  let stable = Paxos.Member.stable [ 0; 1; 2 ] in
+  check_bool "stable majority" true (Paxos.Member.quorum stable [ 0; 1 ]);
+  check_bool "stable minority" false (Paxos.Member.quorum stable [ 0 ]);
+  check_bool "learner acks ignored" false (Paxos.Member.quorum stable [ 0; 5 ]);
+  check_bool "learner plus majority" true
+    (Paxos.Member.quorum stable [ 0; 1; 5 ]);
+  let joint = Paxos.Member.joint ~old_:[ 0; 1; 2 ] ~new_:[ 2; 3; 4 ] in
+  (* Joint quorums need a majority of BOTH configurations — the
+     intersection argument. *)
+  check_bool "majority of both sides" true
+    (Paxos.Member.quorum joint [ 0; 1; 2; 3 ]);
+  check_bool "old majority alone is not enough" false
+    (Paxos.Member.quorum joint [ 0; 1; 2 ]);
+  check_bool "new majority alone is not enough" false
+    (Paxos.Member.quorum joint [ 2; 3; 4 ]);
+  check_bool "overlap node counts for both" true
+    (Paxos.Member.quorum joint [ 0; 2; 3 ]);
+  Alcotest.(check (list int))
+    "joint voters are the union" [ 0; 1; 2; 3; 4 ]
+    (Paxos.Member.voters joint);
+  check_bool "views equal" true
+    (Paxos.Member.equal stable (Paxos.Member.stable [ 2; 1; 0 ]))
+
+(* A replica that is removed from the membership and later re-added (or
+   rebuilt in between) must still remember the vote it granted: forgetting
+   [voted_for] lets one ballot collect two votes from the same node. *)
+let test_vote_survives_membership_cycle () =
+  let eng = Sim.Engine.create () in
+  let net =
+    Sim.Net.create eng ~nodes:3
+      ~latency:
+        (Sim.Net.Exp_jitter
+           { base = 50 * Sim.Engine.us; jitter_mean = 20 * Sim.Engine.us })
+  in
+  let votes = Array.make 2 [] in
+  (* Candidates 0 and 1 are passive recorders of the vote replies. *)
+  for cand = 0 to 1 do
+    ignore
+      (Sim.Engine.spawn eng ~name:(Printf.sprintf "cand-%d" cand) (fun () ->
+           while true do
+             match (Sim.Net.recv net cand).Paxos.Msg.body with
+             | Paxos.Msg.Elect (Paxos.Msg.Vote { epoch; granted }) ->
+                 votes.(cand) <- (epoch, granted) :: votes.(cand)
+             | _ -> ()
+           done))
+  done;
+  let mk () =
+    Paxos.Election.create net ~me:2
+      ~on_leader_elected:(fun ~epoch:_ -> ())
+      ~on_new_epoch:(fun ~epoch:_ ~leader:_ -> ())
+      ()
+  in
+  let el = mk () in
+  (* Grant epoch 5 to candidate 0. *)
+  Paxos.Election.handle el
+    (Paxos.Msg.Request_vote { epoch = 5; candidate = 0 })
+    ~from:0;
+  (* Membership churn: removed at gen 1, re-added at gen 2. The backoff
+     reset on a generation change must not clear the granted vote. *)
+  Paxos.Election.set_view el (Paxos.Member.stable [ 0; 1 ]) ~gen:1;
+  Paxos.Election.set_view el (Paxos.Member.stable [ 0; 1; 2 ]) ~gen:2;
+  Paxos.Election.handle el
+    (Paxos.Msg.Request_vote { epoch = 5; candidate = 1 })
+    ~from:1;
+  (* Same cycle across a rebuild: only the salvaged vote protects the
+     ballot. *)
+  let el2 = mk () in
+  Paxos.Election.import_vote el2 (Paxos.Election.export_vote el);
+  Paxos.Election.handle el2
+    (Paxos.Msg.Request_vote { epoch = 5; candidate = 1 })
+    ~from:1;
+  Sim.Engine.run eng;
+  (match votes.(0) with
+  | [ (5, true) ] -> ()
+  | v ->
+      Alcotest.failf "candidate 0 expected one granted vote, got %d (%s)"
+        (List.length v)
+        (String.concat ","
+           (List.map (fun (e, g) -> Printf.sprintf "%d:%b" e g) v)));
+  List.iter
+    (fun (e, g) ->
+      check_int "denied vote is for epoch 5" 5 e;
+      check_bool "epoch 5 already voted: denied" false g)
+    votes.(1);
+  check_int "both denials arrived" 2 (List.length votes.(1))
+
+(* Planned handoff: a Timeout_now grant makes the target stand immediately
+   — the new leader emerges well inside the election timeout, with no
+   heartbeat-silence gap. *)
+let test_timeout_now_handoff () =
+  let c = make_cluster () in
+  Sim.Engine.run ~until:(30 * ms) c.eng;
+  check_bool "initial leader serving" true
+    (Paxos.Election.is_leader c.replicas.(0).election);
+  let t0 = Sim.Engine.now c.eng in
+  Paxos.Election.handle c.replicas.(1).election
+    (Paxos.Msg.Timeout_now { epoch = 2 })
+    ~from:0;
+  (* Run strictly less than the 100 ms election timeout: a timeout-driven
+     election cannot have fired, so any new leader came from the grant. *)
+  Sim.Engine.run ~until:(t0 + (50 * ms)) c.eng;
+  check_bool "target took over" true
+    (Paxos.Election.is_leader c.replicas.(1).election);
+  check_int "above the granted epoch" 3
+    (Paxos.Election.epoch c.replicas.(1).election);
+  check_bool "old leader stepped down" false
+    (Paxos.Election.is_leader c.replicas.(0).election);
+  (* A grant to a non-member is refused: removed nodes cannot be handed
+     the cluster. *)
+  Paxos.Election.set_view
+    c.replicas.(2).election
+    (Paxos.Member.stable [ 0; 1 ])
+    ~gen:1;
+  Paxos.Election.handle c.replicas.(2).election
+    (Paxos.Msg.Timeout_now { epoch = 4 })
+    ~from:1;
+  Sim.Engine.run ~until:(t0 + (90 * ms)) c.eng;
+  check_bool "non-member grant refused" false
+    (Paxos.Election.is_leader c.replicas.(2).election)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "paxos"
@@ -516,6 +639,14 @@ let () =
           Alcotest.test_case "old leader steps down" `Quick test_old_leader_steps_down;
           Alcotest.test_case "candidacy backoff bounded" `Quick
             test_candidacy_backoff_bounded;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "joint quorum rules" `Quick test_member_quorum;
+          Alcotest.test_case "vote survives membership cycle" `Quick
+            test_vote_survives_membership_cycle;
+          Alcotest.test_case "timeout-now handoff" `Quick
+            test_timeout_now_handoff;
         ] );
       ( "properties",
         [ qc agreement_qcheck; qc agreement_coalesce_qcheck; qc dup_reorder_qcheck ]

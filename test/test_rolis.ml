@@ -930,6 +930,25 @@ let test_config_validate_checkpoint () =
       checkpoint_retention = 0;
     }
 
+let test_config_validate_reconfig () =
+  let ok = test_cfg () in
+  Rolis.Config.validate ok;
+  (* A deployment with spare slots and a raised floor is legal... *)
+  Rolis.Config.validate
+    { ok with Rolis.Config.spare_replicas = 2; min_members = 2 };
+  (* ...and each reconfiguration knob is individually constrained. *)
+  expect_invalid "negative spare slots" { ok with Rolis.Config.spare_replicas = -1 };
+  expect_invalid "membership floor zero" { ok with Rolis.Config.min_members = 0 };
+  expect_invalid "membership floor above initial voters"
+    { ok with Rolis.Config.min_members = ok.Rolis.Config.replicas + 1 };
+  expect_invalid "learner lag bound zero" { ok with Rolis.Config.learner_lag_bound = 0 };
+  expect_invalid "negative learner lag bound"
+    { ok with Rolis.Config.learner_lag_bound = -ms };
+  expect_invalid "handoff drain timeout zero"
+    { ok with Rolis.Config.handoff_drain_timeout = 0 };
+  expect_invalid "negative handoff drain timeout"
+    { ok with Rolis.Config.handoff_drain_timeout = -ms }
+
 (* ---------- client sessions ---------- *)
 
 (* The exactly-once release-visibility case from the issue: the leader
@@ -1301,6 +1320,144 @@ let test_chaos_checkpoint_seed () =
   check_bool "checkpoints exercised" true (o.Rolis.Chaos.checkpoints > 0);
   check_bool "truncation exercised" true (o.Rolis.Chaos.truncations > 0)
 
+(* ---------- live reconfiguration ---------- *)
+
+(* A spare brought in *after* the cluster has truncated its journals can
+   no longer be bootstrapped from the log alone: promotion must go
+   through the newest checkpoint image plus the retained tail. The
+   property: for any seed, the add completes, the new voter appears in a
+   higher membership generation, and its database matches the deployment
+   (money conserved, full convergence). *)
+let learner_after_truncation_qcheck =
+  QCheck.Test.make
+    ~name:"learner added after truncation converges from image + tail" ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let stopped = ref false in
+      let accounts = 30 in
+      let cfg =
+        {
+          (test_cfg ()) with
+          Rolis.Config.archive_entries = true;
+          checkpoint_interval = 100 * ms;
+          checkpoint_retention = 300 * ms;
+          spare_replicas = 1;
+          seed = Int64.of_int (0x5EED + seed);
+        }
+      in
+      let cluster =
+        Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:500 ~stopped)
+      in
+      let eng = Rolis.Cluster.engine cluster in
+      let added = ref false in
+      (* Long healthy prefix so checkpoints land and truncation discards
+         the journal head; only then bring the dark spare (slot 3) in. *)
+      ignore
+        (Sim.Engine.spawn eng ~name:"add-op" (fun () ->
+             Sim.Engine.sleep (1_500 * ms);
+             added := Rolis.Cluster.add_replica cluster 3));
+      Rolis.Cluster.run cluster ~duration:(2_500 * ms) ();
+      stopped := true;
+      Rolis.Cluster.run cluster ~duration:(1 * s) ();
+      let viols =
+        Rolis.Check.agreement cluster
+        @ Rolis.Check.membership_agreement cluster
+        @ Rolis.Check.convergence cluster
+      in
+      Rolis.Cluster.truncation_rounds cluster > 0
+      && !added
+      && List.mem 3 (Rolis.Cluster.members cluster)
+      && Rolis.Cluster.membership_gen cluster > 0
+      && Rolis.Replica.is_alive (Rolis.Cluster.replica cluster 3)
+      && total_money (Rolis.Replica.db (Rolis.Cluster.replica cluster 3)) ~accounts
+         = accounts * 500
+      && viols = [])
+
+(* End-to-end rolling restart: clients keep committing while a planned
+   handoff runs and then every voter is cycled (crash + restart) one at a
+   time. Exactly-once must hold across all three generations of each
+   node's life, and money must be conserved everywhere. *)
+let test_rolling_restart_exactly_once () =
+  let stopped = ref false in
+  let accounts = 24 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.clients = 4;
+      archive_entries = true;
+      checkpoint_interval = 200 * ms;
+      checkpoint_retention = 300 * ms;
+      min_members = 2;
+    }
+  in
+  let cluster =
+    Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:1_000 ~stopped)
+  in
+  let eng = Rolis.Cluster.engine cluster and net = Rolis.Cluster.network cluster in
+  let sessions =
+    Array.init cfg.Rolis.Config.clients (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid ~stopped
+          ~stats:(Rolis.Cluster.client_stats cluster)
+          ~gen:(fun () -> Rolis.Chaos.bank_payload crng ~accounts)
+          ())
+  in
+  let cycled = ref [] in
+  ignore
+    (Sim.Engine.spawn eng ~name:"rolling-op" (fun () ->
+         Sim.Engine.sleep (600 * ms);
+         ignore (Rolis.Cluster.handoff cluster ~target:1);
+         List.iter
+           (fun i ->
+             Rolis.Cluster.crash_replica cluster i;
+             Sim.Engine.sleep (400 * ms);
+             Rolis.Cluster.restart_replica cluster i;
+             Sim.Engine.sleep (500 * ms);
+             cycled := i :: !cycled)
+           (Rolis.Cluster.members cluster)));
+  Rolis.Cluster.run cluster ~duration:(5 * s) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(2_500 * ms) ();
+  check_int "all three voters were cycled" 3 (List.length !cycled);
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 sessions in
+  check_bool "clients committed through the operations" true
+    (sum Rolis.Client.acked_count > 0);
+  check_bool "leader churn was visible to clients as redirects" true
+    (sum Rolis.Client.redirects > 0);
+  Array.iter
+    (fun r ->
+      if Rolis.Replica.is_alive r then
+        check_int
+          (Printf.sprintf "money conserved on replica %d" (Rolis.Replica.id r))
+          (accounts * 1_000)
+          (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas cluster);
+  let acked = Array.to_list sessions |> List.concat_map Rolis.Client.acked_seqs in
+  check_bool "sanity: something was acked" true (acked <> []);
+  let viols =
+    Rolis.Check.membership_agreement cluster
+    @ Rolis.Check.exactly_once cluster ~acked
+  in
+  if viols <> [] then
+    Alcotest.failf "rolling restart violated invariants: %s"
+      (String.concat "; " (List.map (fun v -> v.Rolis.Check.detail) viols))
+
+(* One deterministic rolling-operations chaos seed: the nemesis schedules
+   add / remove / handoff / rolling-restart operations against a pool with
+   spares while clients run, and every invariant (agreement across
+   membership generations, exactly-once with evidence harvested from
+   removed nodes) must hold. *)
+let test_chaos_ops_seed () =
+  let o =
+    Rolis.Chaos.run_seed ~ops:true ~history_warmup:(1 * s)
+      ~duration:(3 * s) ~seed:11 ()
+  in
+  if not (Rolis.Chaos.ok o) then
+    Alcotest.failf "ops chaos seed failed: %s"
+      (Format.asprintf "%a" Rolis.Chaos.pp_outcome o);
+  check_bool "management-plane operations ran" true
+    (o.Rolis.Chaos.adds + o.Rolis.Chaos.removes + o.Rolis.Chaos.handoffs > 0)
+
 (* ---------- Trace ---------- *)
 
 (* Every released sampled transaction emits 6 spans; with [capacity = 8]
@@ -1520,6 +1677,8 @@ let () =
             test_config_validate_batching;
           Alcotest.test_case "checkpoint constraints" `Quick
             test_config_validate_checkpoint;
+          Alcotest.test_case "reconfiguration constraints" `Quick
+            test_config_validate_reconfig;
         ] );
       ( "clients",
         [
@@ -1544,6 +1703,13 @@ let () =
             test_checkpoint_truncation_restart;
           Alcotest.test_case "chaos seed with checkpointing" `Quick
             test_chaos_checkpoint_seed;
+        ] );
+      ( "reconfig",
+        [
+          QCheck_alcotest.to_alcotest learner_after_truncation_qcheck;
+          Alcotest.test_case "rolling restart exactly-once" `Quick
+            test_rolling_restart_exactly_once;
+          Alcotest.test_case "ops chaos seed" `Quick test_chaos_ops_seed;
         ] );
       ( "trace",
         [
