@@ -63,6 +63,39 @@ let run ~quick =
         ])
       sweep
   in
+  (* Intra-entry parallel replay: the same captured logs, bulk path, but
+     each entry's sorted run cut into [ways] key-disjoint slices applied
+     by concurrent processes. Few streams, many spare cores — the regime
+     where a follower would otherwise idle most of its machine — so
+     replay throughput should scale with [ways] until the slices stop
+     amortizing. *)
+  Printf.printf "\n  %-8s %12s %9s   (parallel bulk replay, %d streams)\n"
+    "ways" "Replay" "speedup" 4;
+  let par_threads = 4 in
+  let par_gen_dur = dur quick (200 * ms) in
+  let par_app = Workload.Tpcc.app (tpcc_params ~workers:par_threads) in
+  let par_base = ref nan in
+  let par_pts =
+    List.map
+      (fun ways ->
+        let r =
+          Baselines.Replay_only.run ~replay_batch:Rolis.Config.Bulk
+            ~replay_parallel:ways ~threads:par_threads
+            ~generate_duration:par_gen_dur ~app:par_app ()
+        in
+        Gc.compact ();
+        if ways = 1 then par_base := r.Baselines.Replay_only.replay_tps;
+        let speedup = r.Baselines.Replay_only.replay_tps /. !par_base in
+        Printf.printf "  %-8d %12s %8.2fx\n%!" ways
+          (fmt_tps r.Baselines.Replay_only.replay_tps)
+          speedup;
+        point ~series:"replay_par" ~x:(float_of_int ways)
+          [
+            ("tput", r.Baselines.Replay_only.replay_tps);
+            ("speedup", speedup);
+          ])
+      (points quick [ 1; 2; 4; 8 ] [ 1; 4 ])
+  in
   (* Cluster-level follower replay: same pipeline, per-txn vs bulk, with
      the replay-lag telemetry (durable frontier minus replayed frontier,
      sampled on the controller tick). Bulk must not trade throughput for
@@ -105,4 +138,4 @@ let run ~quick =
   in
   emit ~fig:"fig15" ~title:"Silo vs replay-only (TPC-C)" ~x_label:"threads"
     ~knobs:[ ("workload", "tpcc") ]
-    (pts @ cluster_pts)
+    (pts @ par_pts @ cluster_pts)

@@ -1,0 +1,64 @@
+(* Hash-index vs B-tree on point-lookup workloads.
+
+   YCSB-C (read-only, uniform point gets) is the best case for the hash
+   representation: every access is a bucket probe charged at
+   [hash_read_ns] instead of a tree descent at [read_ns]. TPC-C hashes
+   only its read-only "item" table — item is probed by every NewOrder
+   but never range-scanned, so it is the one TPC-C table the hash repr
+   legally covers; the gain is correspondingly smaller. Correctness
+   equivalence between the two representations under random ops is
+   enforced by the qcheck suite in test_store.ml. *)
+
+open Common
+
+let ycsb_c = { Workload.Ycsb.workload_c with Workload.Ycsb.keys = 200_000 }
+
+let run ~quick =
+  header "Hash index: point-lookup tables, hash vs B-tree"
+    "Same workload, same seed; the only change is the index behind the\n\
+     point-lookup tables (Config.hash_tables). YCSB-C hashes usertable;\n\
+     TPC-C hashes item.";
+  Printf.printf "  %-10s %-8s %12s %12s %9s\n" "workload" "workers" "btree"
+    "hash" "speedup";
+  let sweep = points quick [ 8; 16; 32 ] [ 8; 32 ] in
+  let pair ~workload ~app ~hash_tables workers =
+    let dur_w = dur quick (200 * ms) in
+    let bt = run_silo ~workers ~duration:dur_w ~app () in
+    Gc.compact ();
+    let hs =
+      Baselines.Silo_only.run ~hash_tables ~workers ~warmup:(100 * ms)
+        ~duration:dur_w ~app ()
+    in
+    Gc.compact ();
+    let speedup = hs.Baselines.Silo_only.tps /. bt.Baselines.Silo_only.tps in
+    Printf.printf "  %-10s %-8d %12s %12s %8.2fx\n%!" workload workers
+      (fmt_tps bt.Baselines.Silo_only.tps)
+      (fmt_tps hs.Baselines.Silo_only.tps)
+      speedup;
+    let x = float_of_int workers in
+    [
+      point ~series:(workload ^ "_btree") ~x
+        [ ("tput", bt.Baselines.Silo_only.tps) ];
+      point ~series:(workload ^ "_hash") ~x
+        [ ("tput", hs.Baselines.Silo_only.tps); ("speedup", speedup) ];
+    ]
+  in
+  let ycsb_pts =
+    List.concat_map
+      (fun w ->
+        pair ~workload:"ycsbc" ~app:(Workload.Ycsb.app ycsb_c)
+          ~hash_tables:[ Workload.Ycsb.table_name ] w)
+      sweep
+  in
+  let tpcc_pts =
+    List.concat_map
+      (fun w ->
+        pair ~workload:"tpcc"
+          ~app:(Workload.Tpcc.app (tpcc_params ~workers:w))
+          ~hash_tables:[ "item" ] w)
+      (points quick [ 8; 32 ] [ 8 ])
+  in
+  emit ~fig:"hashidx" ~title:"hash index vs B-tree (point lookups)"
+    ~x_label:"workers"
+    ~knobs:[ ("hash_tables", "usertable/item") ]
+    (ycsb_pts @ tpcc_pts)

@@ -34,6 +34,8 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("ablation", "design-choice ablations (streams/watermark/net/replicas)", Ablation.run);
     ("recovery", "failover vs checkpoint recovery (paper s7)", Recovery.run);
     ("avail", "availability through planned operations (reconfiguration)", Avail.run);
+    ("alloc", "words allocated per txn / encode (deterministic Gc counters)", Alloc.run);
+    ("hashidx", "hash-index vs B-tree point lookups (YCSB-C / TPC-C item)", Hashidx.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

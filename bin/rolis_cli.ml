@@ -37,8 +37,8 @@ let replay_batch_of_string s =
       exit 2
 
 let run_cluster workload workers cores batch batch_policy replay_batch
-    target_delay_us duration_ms warmup_ms networked single_stream crash_at_ms
-    ckpt_interval_ms no_truncate seed =
+    replay_parallel hash_tables target_delay_us duration_ms warmup_ms networked
+    single_stream crash_at_ms ckpt_interval_ms no_truncate seed =
   let app, is_tpcc =
     match workload with
     | "tpcc" ->
@@ -60,6 +60,8 @@ let run_cluster workload workers cores batch batch_policy replay_batch
       batch_size = batch;
       batch_policy = policy;
       replay_batch = rbatch;
+      replay_parallel;
+      hash_tables;
       target_batch_delay_ns = target_delay_us * Sim.Engine.us;
       networked_clients = networked;
       stream_mode = (if single_stream then Rolis.Config.Single else Rolis.Config.Per_worker);
@@ -99,7 +101,11 @@ let run_cluster workload workers cores batch batch_policy replay_batch
       (Rolis.Cluster.coalesced_proposals cluster);
   Printf.printf "replay:          %d txns replayed (%s mode)%s\n"
     (Rolis.Cluster.replayed_txns cluster)
-    (match rbatch with Rolis.Config.PerTxn -> "per-txn" | Rolis.Config.Bulk -> "bulk")
+    (match rbatch with
+    | Rolis.Config.PerTxn -> "per-txn"
+    | Rolis.Config.Bulk ->
+        if replay_parallel > 1 then Printf.sprintf "bulk x%d" replay_parallel
+        else "bulk")
     (match Rolis.Cluster.replay_lag cluster with
     | Some (n, p50, p95) ->
         Printf.sprintf ", follower lag p50 %.2f ms / p95 %.2f ms (%d samples)"
@@ -171,6 +177,26 @@ let replay_batch_arg =
            replayed write-set, the paper's loop) or $(b,bulk) (sorted \
            entry-at-a-time cursor sweep with event-driven wakeups).")
 
+let replay_parallel_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replay-parallel" ]
+        ~doc:
+          "Bulk replay fan-out: cut each released entry's sorted run into \
+           this many key-disjoint slices applied concurrently on the \
+           follower (requires $(b,--replay-batch bulk)). 1 = sequential \
+           sweep.")
+
+let hash_tables_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "hash-tables" ]
+        ~doc:
+          "Comma-separated table names to back with the point-lookup hash \
+           index instead of the B-tree (e.g. $(b,usertable) for YCSB, \
+           $(b,item) for TPC-C). Listed tables must never be range-scanned.")
+
 let target_delay_arg =
   Arg.(
     value
@@ -217,8 +243,9 @@ let run_cmd =
   let term =
     Term.(
       const run_cluster $ workload_arg $ workers_arg $ cores_arg $ batch_arg
-      $ batch_policy_arg $ replay_batch_arg $ target_delay_arg $ duration_arg
-      $ warmup_arg $ networked_arg $ single_arg $ crash_arg $ ckpt_interval_arg
+      $ batch_policy_arg $ replay_batch_arg $ replay_parallel_arg
+      $ hash_tables_arg $ target_delay_arg $ duration_arg $ warmup_arg
+      $ networked_arg $ single_arg $ crash_arg $ ckpt_interval_arg
       $ no_truncate_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term

@@ -14,11 +14,12 @@ let chunk ~epoch ~batch_size txns =
   go [] [] 0 txns
 
 let run ?(seed = 42L) ?(cores = 32) ?costs ?(replay_batch = Rolis.Config.PerTxn)
-    ?(batch_size = 1000) ~threads ~generate_duration ~app () =
+    ?(batch_size = 1000) ?(replay_parallel = 1) ?(hash_tables = []) ~threads
+    ~generate_duration ~app () =
   (* Phase 1: generate logs with a plain Silo run. *)
   let eng = Sim.Engine.create ~seed () in
   let cpu = Sim.Cpu.create eng ~cores () in
-  let db = Silo.Db.create eng cpu ?costs () in
+  let db = Silo.Db.create eng cpu ?costs ~hash_tables () in
   app.Rolis.App.setup db;
   let logs = Array.make threads [] in
   (* per worker, reverse order *)
@@ -52,7 +53,7 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ?(replay_batch = Rolis.Config.PerTxn)
      entry. *)
   let eng2 = Sim.Engine.create ~seed () in
   let cpu2 = Sim.Cpu.create eng2 ~cores () in
-  let db2 = Silo.Db.create eng2 cpu2 ?costs ~physical_deletes:false () in
+  let db2 = Silo.Db.create eng2 cpu2 ?costs ~physical_deletes:false ~hash_tables () in
   app.Rolis.App.setup db2;
   let replayed = ref 0 in
   let t_done = ref 0 in
@@ -74,7 +75,10 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ?(replay_batch = Rolis.Config.PerTxn)
           | Rolis.Config.Bulk ->
               List.iter
                 (fun entry ->
-                  let res = Silo.Db.apply_replay_entry db2 entry ~upto:max_int in
+                  let res =
+                    Silo.Db.apply_replay_entry db2 entry ~ways:replay_parallel
+                      ~upto:max_int ()
+                  in
                   replayed := !replayed + res.Silo.Db.re_txns)
                 (chunk ~epoch:1 ~batch_size mine));
           Sim.Cpu.unregister cpu2;

@@ -19,6 +19,8 @@ val run :
   ?costs:Silo.Costs.t ->
   ?replay_batch:Rolis.Config.replay_batch ->
   ?batch_size:int ->
+  ?replay_parallel:int ->
+  ?hash_tables:string list ->
   threads:int ->
   generate_duration:int ->
   app:Rolis.App.t ->
@@ -30,5 +32,7 @@ val run :
     sequentially — per transaction (default) or, with
     [replay_batch = Bulk], chunked into entries of [batch_size]
     transactions (default 1000) and applied through
-    {!Silo.Db.apply_replay_entry}'s sorted cursor sweep. [replay_tps] is
-    transactions replayed per second. *)
+    {!Silo.Db.apply_replay_entry}'s sorted sweep. [replay_parallel]
+    (default 1) is passed to the bulk path as its intra-entry fan-out;
+    [hash_tables] selects hash-indexed tables in both phases.
+    [replay_tps] is transactions replayed per second. *)

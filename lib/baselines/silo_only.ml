@@ -7,10 +7,11 @@ type result = {
 }
 
 let run ?(seed = 42L) ?(cores = 32) ?costs ?(warmup = 0)
-    ?(extra_cost_per_txn = fun _ -> 0) ~workers ~duration ~app () =
+    ?(extra_cost_per_txn = fun _ -> 0) ?(hash_tables = []) ~workers ~duration
+    ~app () =
   let eng = Sim.Engine.create ~seed () in
   let cpu = Sim.Cpu.create eng ~cores () in
-  let db = Silo.Db.create eng cpu ?costs () in
+  let db = Silo.Db.create eng cpu ?costs ~hash_tables () in
   app.Rolis.App.setup db;
   for w = 0 to workers - 1 do
     let gen =

@@ -20,6 +20,7 @@ val run :
   ?costs:Silo.Costs.t ->
   ?warmup:int ->
   ?extra_cost_per_txn:(Store.Wire.txn_log -> int) ->
+  ?hash_tables:string list ->
   workers:int ->
   duration:int ->
   app:Rolis.App.t ->

@@ -27,6 +27,12 @@ let direction_of_metric name =
   else if
     String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_ms"
   then Lower_better
+    (* "_words" metrics are deterministic Gc allocation counts (bench
+       alloc): growth is a commit-path allocation regression. *)
+  else if
+    String.length name >= 6
+    && String.sub name (String.length name - 6) 6 = "_words"
+  then Lower_better
   else Informational
 
 (* Signed relative change, positive = worse. Zero baselines carry no
@@ -143,8 +149,13 @@ let pp fmt o =
     worst_note ~label:"replay p95/lag"
       [ "stage:replay:p95_ms"; "stage:replay_lag:p95_ms"; "lag_p95_ms"; "speedup" ]
   in
+  (* The allocation gate's one-liner: worst movement of the deterministic
+     words-allocated counters (bench alloc). *)
+  let alloc_note =
+    worst_note ~label:"alloc words" [ "exec_words"; "encode_words" ]
+  in
   Format.fprintf fmt
-    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s; %s@."
+    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s; %s; %s@."
     (List.length o.verdicts) (List.length bad)
     (List.length o.missing)
-    batch_submit_note replay_note
+    batch_submit_note replay_note alloc_note

@@ -2,9 +2,12 @@
     perf-regression gate behind [rolis-cli bench-diff].
 
     Only metrics with a known direction participate in the gate:
-    - ["tput"] (and any key starting with ["tput"]): higher is better;
+    - ["tput"] (and any key starting with ["tput"]), plus the throughput
+      quotients ["ratio"] and ["speedup"]: higher is better;
     - keys ending in ["_ms"], including per-stage latency percentiles
-      (compared as ["stage:<name>:p95_ms"]): lower is better.
+      (compared as ["stage:<name>:p95_ms"]): lower is better;
+    - keys ending in ["_words"] (deterministic Gc allocation counters
+      from the alloc bench): lower is better.
 
     A datapoint regresses when it is worse than the baseline by more than
     [tolerance] (a fraction: 0.15 = 15%). Results with [gated = false]

@@ -96,12 +96,14 @@ let write db ?(threads = 4) ?(disk_mb_per_s = 500) ?(rows_per_yield = 512)
   let rows = List.fold_left (fun acc t -> acc + Array.length t.t_rows) 0 tables in
   { tables; bytes; rows }
 
-(* Sorted image install: one cursor sweep per table instead of a per-row
-   root-to-leaf descent ([Store.Table.iter] emits keys ascending, so each
-   [t_rows] run is strictly ascending). Works on fresh and pre-seeded
-   tables alike: existing records go through the idempotent (epoch, ts)
-   CAS, so installing under concurrent tail replay can never regress a
-   newer write — the ARIES install-then-replay contract. *)
+(* Sorted image install: one sweep per table instead of a per-row point
+   lookup ([Store.Table.iter] emits keys ascending for every
+   representation, so each [t_rows] run is strictly ascending —
+   [apply_sorted_run] dispatches it to a B-tree cursor sweep or hash
+   probes as the table demands). Works on fresh and pre-seeded tables
+   alike: existing records go through the idempotent (epoch, ts) CAS, so
+   installing under concurrent tail replay can never regress a newer
+   write — the ARIES install-then-replay contract. *)
 let install_table ~into (ti : table_image) =
   let table =
     try Silo.Db.table into ti.t_name
@@ -110,7 +112,7 @@ let install_table ~into (ti : table_image) =
   let installed = ref 0 in
   let kvs = Array.to_list (Array.map (fun r -> (r.r_key, r)) ti.t_rows) in
   ignore
-    (Store.Btree.apply_sorted (Store.Table.tree table) kvs
+    (Store.Table.apply_sorted_run table kvs
        ~f:(fun key row existing ->
          let value = if row.r_deleted then None else Some row.r_value in
          match existing with

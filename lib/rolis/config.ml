@@ -43,7 +43,9 @@ type t = {
   enqueue_cs_ns : int;
   entry_overhead_ns : int;
   replay_batch : replay_batch;
+  replay_parallel : int;
   disable_replay : bool;
+  hash_tables : string list;
   archive_entries : bool;
   checkpoint_interval : int;
   checkpoint_retention : int;
@@ -92,7 +94,9 @@ let default =
     enqueue_cs_ns = 1_200;
     entry_overhead_ns = 200_000;
     replay_batch = PerTxn;
+    replay_parallel = 1;
     disable_replay = false;
+    hash_tables = [];
     archive_entries = false;
     checkpoint_interval = 0;
     checkpoint_retention = 3 * Sim.Engine.s;
@@ -187,6 +191,23 @@ let validate t =
       "Config: replay_batch = Bulk is meaningless with disable_replay — the \
        bulk fast path never runs when followers do not apply entries; drop one \
        of the two settings";
+  if t.replay_parallel < 1 then
+    invalid_arg "Config: replay_parallel must be >= 1";
+  if t.replay_parallel > 1 && t.replay_batch <> Bulk then
+    invalid_arg
+      "Config: replay_parallel > 1 requires replay_batch = Bulk — only the \
+       bulk path materialises the sorted, conflict-free run that can be cut \
+       into key-disjoint slices; the per-transaction path replays in commit \
+       order and cannot be parallelised safely";
+  (let rec dup = function
+     | [] -> None
+     | x :: rest -> if List.mem x rest then Some x else dup rest
+   in
+   match dup t.hash_tables with
+   | Some name ->
+       invalid_arg
+         (Printf.sprintf "Config: hash_tables lists %S twice" name)
+   | None -> ());
   if t.checkpoint_interval < 0 then
     invalid_arg "Config: checkpoint_interval must be non-negative (0 disables)";
   if t.checkpoint_interval > 0 then begin

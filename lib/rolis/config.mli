@@ -117,9 +117,19 @@ type t = {
   replay_batch : replay_batch;
       (** per-transaction vs sorted-bulk follower replay (default
           [PerTxn]) *)
+  replay_parallel : int;
+      (** bulk-replay fan-out: each released entry's sorted run is cut
+          into this many key-disjoint slices applied by concurrent
+          processes on the follower's CPU (default [1] = the sequential
+          bulk sweep). Values > 1 require [replay_batch = Bulk] *)
   disable_replay : bool;
       (** keep followers from applying durable entries (the paper's
           "+Replication" factor-analysis configuration, Fig. 18) *)
+  hash_tables : string list;
+      (** names of tables every replica backs with the point-lookup hash
+          representation instead of the ordered B-tree (default []);
+          tables listed here must never be range-scanned — see
+          {!Store.Table.repr} *)
   archive_entries : bool;
       (** retain every durable entry in memory — consumed by
           {!Bootstrap} when seeding a brand-new replica (§4.3) *)

@@ -503,7 +503,10 @@ let apply_entry_bulk ?(upto = max_int) t (entry : Store.Wire.entry) =
       entry.txns;
     let sampled = Trace.sample_replay t.trace in
     let r0 = Sim.Engine.now t.eng in
-    let res = Silo.Db.apply_replay_entry t.db entry ~upto in
+    let res =
+      Silo.Db.apply_replay_entry t.db entry
+        ~ways:t.cfg.Config.replay_parallel ~upto ()
+    in
     if sampled then
       Trace.note_replay t.trace ~ts:entry.Store.Wire.last_ts ~start:r0
         ~stop:(Sim.Engine.now t.eng);
@@ -1042,7 +1045,8 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
   let is_initial_leader = initial_leader = Some rid in
   let db =
     Silo.Db.create eng cpu ~costs:cfg.Config.costs
-      ~physical_deletes:is_initial_leader ()
+      ~physical_deletes:is_initial_leader
+      ~hash_tables:cfg.Config.hash_tables ()
   in
   app.App.setup db;
   let nstreams = Config.nstreams cfg in
@@ -1120,12 +1124,15 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
       | None -> invalid_arg "Replica.create: Config.clients > 0 needs App.client_op"
     else None
   in
+  (* One encode arena per replica: on_commit runs to completion between
+     yields, so the commit-path encodes can all stage through it. *)
+  let wire_scratch = Store.Wire.Scratch.create () in
   let on_commit s ~idx (entry : Store.Wire.entry) =
     (* Durability commit: feed the watermark; queue for replay. Physical
        (de)serialization is exercised when configured. *)
     let entry =
       if cfg.Config.physical_serialization then
-        Store.Wire.decode (Store.Wire.encode entry)
+        Store.Wire.decode (Store.Wire.encode_into wire_scratch entry)
       else entry
     in
     (* Membership-change progress: adoption is normally accept-time (the

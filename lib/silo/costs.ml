@@ -14,6 +14,8 @@ type t = {
   replay_write_ns : int;
   replay_seek_ns : int;
   replay_next_ns : int;
+  hash_read_ns : int;
+  hash_write_ns : int;
 }
 
 (* Calibration notes. Targets are the paper's absolute scales at 32
@@ -49,6 +51,13 @@ let default =
     replay_write_ns = 380;
     replay_seek_ns = 240;
     replay_next_ns = 120;
+    (* Hash-index probes skip the root-to-leaf descent: a point read is a
+       single bucket probe (~90 ns vs the tree's 150 ns descent+fetch),
+       and a replay install (probe + CAS + install) lands between the
+       tree's positioned-leaf step and a fresh descent. The gap is what
+       the hash-vs-btree YCSB-C experiment measures. *)
+    hash_read_ns = 90;
+    hash_write_ns = 180;
   }
 
 let scale k t =
@@ -69,10 +78,16 @@ let scale k t =
     replay_write_ns = f t.replay_write_ns;
     replay_seek_ns = f t.replay_seek_ns;
     replay_next_ns = f t.replay_next_ns;
+    hash_read_ns = f t.hash_read_ns;
+    hash_write_ns = f t.hash_write_ns;
   }
 
-let exec_cost t ~reads ~writes ~scan_rows ~scans ~value_bytes =
-  t.txn_begin_ns + (reads * t.read_ns) + (writes * t.write_ns)
+let exec_cost t ?(hash_reads = 0) ~reads ~writes ~scan_rows ~scans ~value_bytes
+    () =
+  t.txn_begin_ns
+  + ((reads - hash_reads) * t.read_ns)
+  + (hash_reads * t.hash_read_ns)
+  + (writes * t.write_ns)
   + (scans * t.scan_base_ns)
   + (scan_rows * t.scan_row_ns)
   + int_of_float (float_of_int value_bytes *. t.value_byte_ns)
@@ -84,5 +99,6 @@ let serialize_cost t ~bytes = int_of_float (float_of_int bytes *. t.serialize_by
 let replicate_cost t ~bytes = int_of_float (float_of_int bytes *. t.replicate_byte_ns)
 let replay_cost t ~writes = writes * t.replay_write_ns
 
-let replay_bulk_cost t ~seeks ~steps =
+let replay_bulk_cost t ?(hash_probes = 0) ~seeks ~steps () =
   (seeks * t.replay_seek_ns) + (steps * t.replay_next_ns)
+  + (hash_probes * t.hash_write_ns)

@@ -33,6 +33,12 @@ type t = {
   replay_next_ns : int;
       (** bulk replay: applying the next key of a sorted run inside the
           already-positioned leaf (plus its CAS + install) *)
+  hash_read_ns : int;
+      (** one point read against a hash-indexed table: a bucket probe
+          instead of a root-to-leaf descent *)
+  hash_write_ns : int;
+      (** bulk replay against a hash-indexed table: probe + CAS + install
+          for one key — no run locality to amortize *)
 }
 
 val default : t
@@ -44,8 +50,19 @@ val scale : float -> t -> t
     not outgrow host memory; timing-structure results are unaffected. *)
 
 val exec_cost :
-  t -> reads:int -> writes:int -> scan_rows:int -> scans:int -> value_bytes:int -> int
-(** Execution-phase cost of a transaction with the given access counts. *)
+  t ->
+  ?hash_reads:int ->
+  reads:int ->
+  writes:int ->
+  scan_rows:int ->
+  scans:int ->
+  value_bytes:int ->
+  unit ->
+  int
+(** Execution-phase cost of a transaction with the given access counts.
+    [hash_reads] (default 0) is the subset of [reads] that hit
+    hash-indexed tables; those are charged [hash_read_ns] instead of
+    [read_ns]. *)
 
 val commit_cost : t -> reads:int -> writes:int -> int
 (** Commit-phase (lock + validate + install) cost. *)
@@ -55,7 +72,9 @@ val replicate_cost : t -> bytes:int -> int
 val replay_cost : t -> writes:int -> int
 (** Per-transaction replay: [writes * replay_write_ns]. *)
 
-val replay_bulk_cost : t -> seeks:int -> steps:int -> int
+val replay_bulk_cost : t -> ?hash_probes:int -> seeks:int -> steps:int -> unit -> int
 (** Sorted bulk replay of one log entry:
-    [seeks * replay_seek_ns + steps * replay_next_ns], where the counts
-    come from {!Store.Btree.apply_sorted}. *)
+    [seeks * replay_seek_ns + steps * replay_next_ns +
+    hash_probes * hash_write_ns], where [seeks]/[steps] come from
+    {!Store.Btree.apply_sorted} over tree tables and [hash_probes]
+    (default 0) counts keys applied to hash-indexed tables. *)

@@ -19,9 +19,13 @@ type t = {
   cpu : Sim.Cpu.t;
   cost_model : Costs.t;
   mutable physical_deletes : bool;
+  hash_tables : string list;
+      (* table names created with the hash-index representation *)
   mutable table_list : Store.Table.t list; (* reverse creation order *)
   by_name : (string, Store.Table.t) Hashtbl.t;
   mutable by_id : Store.Table.t array;
+  txn_pool : (int, Txn.t) Hashtbl.t;
+  mutable install_scratch : Txn.write_entry array;
   mutable cur_epoch : int;
   mutable ts_counter : int;
   mutable s_commits : int;
@@ -30,15 +34,19 @@ type t = {
   mutable s_retries : int;
 }
 
-let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true) () =
+let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true)
+    ?(hash_tables = []) () =
   {
     eng;
     cpu;
     cost_model = costs;
     physical_deletes;
+    hash_tables;
     table_list = [];
     by_name = Hashtbl.create 16;
     by_id = [||];
+    txn_pool = Hashtbl.create 16;
+    install_scratch = [||];
     cur_epoch = 1;
     ts_counter = 0;
     s_commits = 0;
@@ -55,7 +63,10 @@ let create_table t name =
   if Hashtbl.mem t.by_name name then
     invalid_arg (Printf.sprintf "Db.create_table: duplicate table %s" name);
   let id = Array.length t.by_id in
-  let table = Store.Table.create ~id ~name in
+  let repr =
+    if List.mem name t.hash_tables then Store.Table.Hash else Store.Table.Btree
+  in
+  let table = Store.Table.create ~repr ~id ~name () in
   Hashtbl.add t.by_name name table;
   t.by_id <- Array.append t.by_id [| table |];
   t.table_list <- table :: t.table_list;
@@ -108,44 +119,118 @@ let validate txn =
 
 (* ---- install ---- *)
 
+let ws_cmp (a : Txn.write_entry) (b : Txn.write_entry) =
+  let c = compare (Store.Table.id a.w_table) (Store.Table.id b.w_table) in
+  if c <> 0 then c else compare a.w_key b.w_key
+
+(* In-place sort of [arr.(0 .. n-1)] by (table, key). Keys are unique
+   within a write-set, so the comparator is total and stability is moot.
+   Transactional write-sets are small — insertion sort there is both
+   allocation-free and fast; the [Array.sort]-over-a-copy fallback only
+   triggers for the rare huge loader transactions. *)
+let sort_prefix arr n =
+  if n <= 32 then
+    for i = 1 to n - 1 do
+      let w = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && ws_cmp arr.(!j) w > 0 do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- w
+    done
+  else begin
+    let sub = Array.sub arr 0 n in
+    Array.sort ws_cmp sub;
+    Array.blit sub 0 arr 0 n
+  end
+
+(* Install runs yield-free (between validation and the log hand-off), so
+   one per-Db scratch array can be shared by every worker: staging the
+   write-set there and sorting in place replaces the List.rev + List.sort
+   cons churn of the former list pipeline. *)
 let install t (txn : Txn.t) ~epoch ~ts : Store.Wire.write list =
-  let entries =
-    List.sort
-      (fun (a : Txn.write_entry) (b : Txn.write_entry) ->
-        let c = compare (Store.Table.id a.w_table) (Store.Table.id b.w_table) in
-        if c <> 0 then c else compare a.w_key b.w_key)
-      (List.rev txn.write_order)
-  in
-  List.filter_map
-    (fun (w : Txn.write_entry) ->
-      let table = w.w_table in
-      let key = w.w_key in
-      (match (Store.Table.get table key, w.w_value) with
-      | Some r, value ->
-          let delta =
-            (match value with Some v -> String.length v | None -> 0)
-            - String.length r.Store.Record.value
-          in
-          Store.Record.install r ~epoch ~ts ~value;
-          Store.Table.account_growth table delta;
-          if value = None && t.physical_deletes then Store.Table.remove_phys table key
-      | None, Some v ->
-          let r = Store.Record.make ~epoch ~ts v in
-          r.Store.Record.version <- 1;
-          Store.Table.insert table key r
-      | None, None -> () (* delete of an absent key: nothing to do *));
-      Some { Store.Wire.table = Store.Table.id table; key; value = w.w_value })
-    entries
+  match txn.Txn.write_order with
+  | [] -> []
+  | first :: _ ->
+      let n = Hashtbl.length txn.Txn.writes in
+      if Array.length t.install_scratch < n then begin
+        let cap = ref (max 16 (Array.length t.install_scratch)) in
+        while !cap < n do
+          cap := !cap * 2
+        done;
+        t.install_scratch <- Array.make !cap first
+      end;
+      let arr = t.install_scratch in
+      let i = ref n in
+      List.iter
+        (fun w ->
+          decr i;
+          arr.(!i) <- w)
+        txn.write_order;
+      sort_prefix arr n;
+      for k = 0 to n - 1 do
+        let w = arr.(k) in
+        let table = w.Txn.w_table in
+        let key = w.Txn.w_key in
+        match (Store.Table.get table key, w.Txn.w_value) with
+        | Some r, value ->
+            let delta =
+              (match value with Some v -> String.length v | None -> 0)
+              - String.length r.Store.Record.value
+            in
+            Store.Record.install r ~epoch ~ts ~value;
+            Store.Table.account_growth table delta;
+            if value = None && t.physical_deletes then
+              Store.Table.remove_phys table key
+        | None, Some v ->
+            let r = Store.Record.make ~epoch ~ts v in
+            r.Store.Record.version <- 1;
+            Store.Table.insert table key r
+        | None, None -> () (* delete of an absent key: nothing to do *)
+      done;
+      let rec build k acc =
+        if k < 0 then acc
+        else
+          let w = arr.(k) in
+          build (k - 1)
+            ({
+               Store.Wire.table = Store.Table.id w.Txn.w_table;
+               key = w.Txn.w_key;
+               value = w.Txn.w_value;
+             }
+            :: acc)
+      in
+      build (n - 1) []
 
 (* ---- the run loop ---- *)
 
+(* Per-worker pooled transaction contexts. The pool hands a context out
+   by *removing* it: a worker id shared by two concurrently-running procs
+   (legal in tests) then simply falls back to a fresh [Txn.create] for the
+   second taker instead of two attempts clobbering one context across the
+   yield points of [Sim.Cpu.consume]. *)
+let take_txn t ~worker =
+  match Hashtbl.find_opt t.txn_pool worker with
+  | Some txn ->
+      Hashtbl.remove t.txn_pool worker;
+      Txn.reset txn;
+      txn
+  | None -> Txn.create ~worker ~costs:t.cost_model
+
+let release_txn t (txn : Txn.t) = Hashtbl.replace t.txn_pool txn.Txn.worker txn
+
 let run_attempt t ~worker f =
-  let txn = Txn.create ~worker ~costs:t.cost_model in
+  let txn = take_txn t ~worker in
+  let finish outcome =
+    release_txn t txn;
+    outcome
+  in
   match f txn with
   | exception Txn.Abort ->
       Sim.Cpu.consume t.cpu (Txn.exec_cost_ns txn);
       t.s_user_aborts <- t.s_user_aborts + 1;
-      `User_abort txn
+      finish (`User_abort txn)
   | v ->
       Sim.Cpu.consume t.cpu (Txn.exec_cost_ns txn + Txn.commit_cost_ns txn);
       (* Atomic from here: no yields between validation and install. *)
@@ -154,12 +239,12 @@ let run_attempt t ~worker f =
         let ts = next_ts t in
         let log = install t txn ~epoch ~ts in
         t.s_commits <- t.s_commits + 1;
-        `Committed (v, { Tid.epoch; ts }, log, txn)
+        finish (`Committed (v, { Tid.epoch; ts }, log, txn))
       end
       else begin
         t.s_conflict_aborts <- t.s_conflict_aborts + 1;
         Sim.Cpu.consume t.cpu t.cost_model.Costs.abort_ns;
-        `Conflict
+        finish `Conflict
       end
 
 (* Paper (Fig. 9) convention: a scan counts as one read operation. *)
@@ -235,7 +320,8 @@ type replay_entry_result = {
    entry replaces the per-transaction charges; the per-key CAS semantics
    (and therefore idempotence and crash-tolerance) are exactly those of
    [apply_replay] run transaction by transaction. *)
-let apply_replay_entry t (entry : Store.Wire.entry) ~upto =
+let apply_replay_entry t (entry : Store.Wire.entry) ?(ways = 1) ~upto () =
+  if ways < 1 then invalid_arg "Db.apply_replay_entry: ways must be >= 1";
   let epoch = entry.Store.Wire.epoch in
   let txns = ref 0 and writes = ref 0 in
   let merged : (int * string, int * string option) Hashtbl.t =
@@ -258,7 +344,7 @@ let apply_replay_entry t (entry : Store.Wire.entry) ~upto =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  (* Group the sorted run by table (key order preserved within each). *)
+  (* Group a sorted (sub-)run by table (key order preserved within each). *)
   let rec by_table = function
     | [] -> []
     | (((tid, _), _) :: _) as rest ->
@@ -267,52 +353,97 @@ let apply_replay_entry t (entry : Store.Wire.entry) ~upto =
         in
         (tid, List.map (fun ((_, key), v) -> (key, v)) mine) :: by_table others
   in
-  let groups = by_table run in
+  let seeks = ref 0 and steps = ref 0 and hash_probes = ref 0 in
+  let installed = ref 0 in
+  (* Predict the index work of [groups]: tree tables report cursor
+     descents + in-leaf steps, hash tables one probe per key. *)
+  let charge_of groups =
+    let s = ref 0 and st = ref 0 and hp = ref 0 in
+    List.iter
+      (fun (tid, kvs) ->
+        let table = table_by_id t tid in
+        let counts = Store.Table.count_sorted_run table kvs in
+        match Store.Table.repr table with
+        | Store.Table.Hash -> hp := !hp + counts.Store.Btree.descents
+        | Store.Table.Btree ->
+            s := !s + counts.Store.Btree.descents;
+            st := !st + counts.Store.Btree.steps)
+      groups;
+    seeks := !seeks + !s;
+    steps := !steps + !st;
+    hash_probes := !hash_probes + !hp;
+    Costs.replay_bulk_cost t.cost_model ~hash_probes:!hp ~seeks:!s ~steps:!st ()
+  in
+  let sweep groups =
+    List.iter
+      (fun (tid, kvs) ->
+        let table = table_by_id t tid in
+        ignore
+          (Store.Table.apply_sorted_run table kvs
+             ~f:(fun key (ts, value) existing ->
+               match existing with
+               | Some r ->
+                   let old_len = String.length r.Store.Record.value in
+                   if Store.Record.cas_apply r ~epoch ~ts ~value then begin
+                     let new_len =
+                       match value with Some v -> String.length v | None -> 0
+                     in
+                     Store.Table.account_growth table (new_len - old_len);
+                     incr installed
+                   end;
+                   None (* record mutated in place; no structural change *)
+               | None ->
+                   let r = Store.Record.make ~epoch:0 ~ts:(-1) "" in
+                   if Store.Record.cas_apply r ~epoch ~ts ~value then begin
+                     Store.Table.account_growth table (Store.Record.byte_size ~key r);
+                     incr installed;
+                     Some r
+                   end
+                   else None)))
+      groups
+  in
   (* Count, charge, then sweep: a read-only pass predicts the index work
-     and the CPU is consumed *before* the trees are touched, so
+     and the CPU is consumed *before* the indexes are touched, so
      bulk-replayed state becomes visible at the same virtual time as the
      equivalent per-transaction consume-then-apply sequence. The
      predicted counts are also the charged/reported ones, keeping cost
      and stats consistent; they can drift from the live sweep by at most
      one charge per leaf split. *)
-  let seeks = ref 0 and steps = ref 0 in
-  List.iter
-    (fun (tid, kvs) ->
-      let counts =
-        Store.Btree.count_sorted (Store.Table.tree (table_by_id t tid)) kvs
-      in
-      seeks := !seeks + counts.Store.Btree.descents;
-      steps := !steps + counts.Store.Btree.steps)
-    groups;
-  Sim.Cpu.consume t.cpu
-    (Costs.replay_bulk_cost t.cost_model ~seeks:!seeks ~steps:!steps);
-  let installed = ref 0 in
-  List.iter
-    (fun (tid, kvs) ->
-        let table = table_by_id t tid in
-        ignore
-          (Store.Btree.apply_sorted (Store.Table.tree table) kvs
-            ~f:(fun key (ts, value) existing ->
-              match existing with
-              | Some r ->
-                  let old_len = String.length r.Store.Record.value in
-                  if Store.Record.cas_apply r ~epoch ~ts ~value then begin
-                    let new_len =
-                      match value with Some v -> String.length v | None -> 0
-                    in
-                    Store.Table.account_growth table (new_len - old_len);
-                    incr installed
-                  end;
-                  None (* record mutated in place; no structural change *)
-              | None ->
-                  let r = Store.Record.make ~epoch:0 ~ts:(-1) "" in
-                  if Store.Record.cas_apply r ~epoch ~ts ~value then begin
-                    Store.Table.account_growth table (Store.Record.byte_size ~key r);
-                    incr installed;
-                    Some r
-                  end
-                  else None)))
-    groups;
+  let n = List.length run in
+  if ways = 1 || n <= 1 then begin
+    let groups = by_table run in
+    Sim.Cpu.consume t.cpu (charge_of groups);
+    sweep groups
+  end
+  else begin
+    (* Parallel bulk replay: slice the globally sorted run into [w]
+       contiguous pieces. Contiguity in the sorted order makes the key
+       ranges disjoint, so the slices commute — each helper process
+       charges and sweeps its own slice concurrently, and follower replay
+       scales with the machine's cores the way leader execution does.
+       Safe below the watermark for the same reason the sequential bulk
+       path is: everything in [run] is already durable and conflict-free.
+       Helpers register as active threads, so the CPU model's efficiency
+       and oversubscription factors apply to replay exactly as they do to
+       leader workers. *)
+    let w = min ways n in
+    let arr = Array.of_list run in
+    let wg = Sim.Sync.Waitgroup.create t.eng in
+    Sim.Sync.Waitgroup.add wg w;
+    for i = 0 to w - 1 do
+      let lo = i * n / w and hi = (i + 1) * n / w in
+      let groups = by_table (Array.to_list (Array.sub arr lo (hi - lo))) in
+      ignore
+        (Sim.Engine.spawn t.eng ~name:(Printf.sprintf "replay-par-%d" i)
+           (fun () ->
+             Sim.Cpu.register t.cpu;
+             Sim.Cpu.consume t.cpu (charge_of groups);
+             sweep groups;
+             Sim.Cpu.unregister t.cpu;
+             Sim.Sync.Waitgroup.finish wg))
+    done;
+    Sim.Sync.Waitgroup.wait wg
+  end;
   {
     re_txns = !txns;
     re_writes = !writes;

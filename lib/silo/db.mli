@@ -39,10 +39,20 @@ type 'a result = {
 }
 
 val create :
-  Sim.Engine.t -> Sim.Cpu.t -> ?costs:Costs.t -> ?physical_deletes:bool -> unit -> t
+  Sim.Engine.t ->
+  Sim.Cpu.t ->
+  ?costs:Costs.t ->
+  ?physical_deletes:bool ->
+  ?hash_tables:string list ->
+  unit ->
+  t
 (** [physical_deletes] (default true) removes deleted keys from the index
     at commit — leader behaviour. Followers keep tombstones so that
-    replay's compare-and-swap has a stamp to compare against. *)
+    replay's compare-and-swap has a stamp to compare against.
+    [hash_tables] (default []) names tables that {!create_table} will back
+    with the point-lookup hash representation instead of the B-tree; every
+    replica of a database must use the same list, or replay and checkpoint
+    exchange runs against mismatched index semantics. *)
 
 val engine : t -> Sim.Engine.t
 val cpu : t -> Sim.Cpu.t
@@ -96,15 +106,25 @@ type replay_entry_result = {
   re_steps : int;  (** in-leaf continuations charged *)
 }
 
-val apply_replay_entry : t -> Store.Wire.entry -> upto:int -> replay_entry_result
+val apply_replay_entry :
+  t -> Store.Wire.entry -> ?ways:int -> upto:int -> unit -> replay_entry_result
 (** Bulk replay of one durable entry (the follower fast path): merges the
     write-sets of every transaction with [ts <= upto] (per-key
     last-writer-wins, which equals the per-transaction CAS outcome since
     stream timestamps are strictly monotone), sorts once by (table, key),
-    and applies each table's run through a {!Store.Btree.apply_sorted}
-    cursor sweep — one {!Costs.replay_bulk_cost} CPU charge for the whole
-    entry. Observably equivalent to calling {!apply_replay} on each
-    truncated transaction in order; idempotent for the same reason. *)
+    and applies each table's run through a
+    {!Store.Table.apply_sorted_run} sweep — one {!Costs.replay_bulk_cost}
+    CPU charge for the whole entry. Observably equivalent to calling
+    {!apply_replay} on each truncated transaction in order; idempotent
+    for the same reason.
+
+    [ways] (default 1) parallelizes the sweep: the globally sorted run is
+    cut into [ways] contiguous — hence key-disjoint, hence commuting —
+    slices, each charged and applied by its own spawned process
+    registered on the machine's CPU. [ways = 1] is exactly the
+    sequential path. Final state and reported counts are
+    [ways]-independent; only the virtual-time shape changes.
+    @raise Invalid_argument if [ways < 1]. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -32,6 +32,7 @@ type t = {
   writes : (int * string, write_entry) Hashtbl.t;
   mutable write_order : write_entry list;
   mutable nreads : int;
+  mutable nhash_reads : int;
   mutable nwrites : int;
   mutable nscans : int;
   mutable nscan_rows : int;
@@ -50,11 +51,31 @@ let create ~worker ~costs =
     writes = Hashtbl.create 8;
     write_order = [];
     nreads = 0;
+    nhash_reads = 0;
     nwrites = 0;
     nscans = 0;
     nscan_rows = 0;
     nvalue_bytes = 0;
   }
+
+(* Return a transaction context to its just-created state so a worker can
+   reuse it across attempts. [Hashtbl.clear] (not [reset]) keeps the grown
+   bucket arrays, so a warmed-up context executes without allocating its
+   bookkeeping structures again. *)
+let reset t =
+  t.reads <- [];
+  Hashtbl.clear t.read_keys;
+  t.absents <- [];
+  t.scans <- [];
+  t.probes <- [];
+  Hashtbl.clear t.writes;
+  t.write_order <- [];
+  t.nreads <- 0;
+  t.nhash_reads <- 0;
+  t.nwrites <- 0;
+  t.nscans <- 0;
+  t.nscan_rows <- 0;
+  t.nvalue_bytes <- 0
 
 let track_read t table key (r : Store.Record.t option) =
   let id = (Store.Table.id table, key) in
@@ -71,6 +92,8 @@ let note_bytes t = function
 
 let get t table key =
   t.nreads <- t.nreads + 1;
+  if Store.Table.repr table = Store.Table.Hash then
+    t.nhash_reads <- t.nhash_reads + 1;
   match Hashtbl.find_opt t.writes (Store.Table.id table, key) with
   | Some w ->
       note_bytes t w.w_value;
@@ -127,8 +150,9 @@ let last_live t table ~lo ~hi =
 let abort () = raise Abort
 
 let exec_cost_ns t =
-  Costs.exec_cost t.costs ~reads:t.nreads ~writes:t.nwrites ~scan_rows:t.nscan_rows
-    ~scans:t.nscans ~value_bytes:t.nvalue_bytes
+  Costs.exec_cost t.costs ~hash_reads:t.nhash_reads ~reads:t.nreads
+    ~writes:t.nwrites ~scan_rows:t.nscan_rows ~scans:t.nscans
+    ~value_bytes:t.nvalue_bytes ()
 
 let commit_cost_ns t =
   (* Validation revisits the scan rows, so they count as reads here. *)

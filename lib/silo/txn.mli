@@ -53,6 +53,9 @@ type t = {
   writes : (int * string, write_entry) Hashtbl.t;
   mutable write_order : write_entry list;  (** reverse execution order *)
   mutable nreads : int;
+  mutable nhash_reads : int;
+      (** subset of [nreads] that hit hash-indexed tables (charged at
+          [Costs.hash_read_ns]) *)
   mutable nwrites : int;
   mutable nscans : int;
   mutable nscan_rows : int;
@@ -60,6 +63,12 @@ type t = {
 }
 
 val create : worker:int -> costs:Costs.t -> t
+
+val reset : t -> unit
+(** Restore the just-created state while keeping the (grown) hash-table
+    buckets, so pooled contexts run allocation-light. Only {!Db} calls
+    this — a context must never be reset while an attempt still reads
+    it. *)
 
 val get : t -> Store.Table.t -> string -> string option
 (** Point read; observes the transaction's own writes first. *)

@@ -1,82 +1,205 @@
+type repr = Btree | Hash
+
+type index =
+  | Tree of Record.t Btree.t
+  | Htbl of (string, Record.t) Hashtbl.t
+
 type t = {
   table_id : int;
   table_name : string;
-  tree : Record.t Btree.t;
+  index : index;
   mutable bytes : int;
 }
 
-let create ~id ~name = { table_id = id; table_name = name; tree = Btree.create (); bytes = 0 }
+let create ?(repr = Btree) ~id ~name () =
+  let index =
+    match repr with
+    | Btree -> Tree (Btree.create ())
+    | Hash -> Htbl (Hashtbl.create 256)
+  in
+  { table_id = id; table_name = name; index; bytes = 0 }
+
 let id t = t.table_id
 let name t = t.table_name
-let tree t = t.tree
-let get t key = Btree.find t.tree key
+let repr t = match t.index with Tree _ -> Btree | Htbl _ -> Hash
+
+let tree t =
+  match t.index with
+  | Tree tr -> tr
+  | Htbl _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Table.tree: %s is hash-indexed; use apply_sorted_run / iter \
+            instead of reaching for the B-tree"
+           t.table_name)
+
+let no_range t op =
+  invalid_arg
+    (Printf.sprintf
+       "Table.%s: %s is hash-indexed (point lookups only). Range operations \
+        need the ordered B-tree representation — drop the table from \
+        Config.hash_tables if the workload scans it."
+       op t.table_name)
+
+let get t key =
+  match t.index with
+  | Tree tr -> Btree.find tr key
+  | Htbl h -> Hashtbl.find_opt h key
 
 let get_live t key =
-  match Btree.find t.tree key with
+  match get t key with
   | Some r when not r.Record.deleted -> Some r
   | Some _ | None -> None
 
 let insert t key r =
   (* Guarded insert: a duplicate key fails without ever touching the
-     tree, instead of clobbering the binding and re-inserting it. *)
-  if Btree.insert_if_absent t.tree key r then
-    t.bytes <- t.bytes + Record.byte_size ~key r
+     index, instead of clobbering the binding and re-inserting it. *)
+  let inserted =
+    match t.index with
+    | Tree tr -> Btree.insert_if_absent tr key r
+    | Htbl h ->
+        if Hashtbl.mem h key then false
+        else begin
+          Hashtbl.add h key r;
+          true
+        end
+  in
+  if inserted then t.bytes <- t.bytes + Record.byte_size ~key r
   else invalid_arg (Printf.sprintf "Table.insert: duplicate key in %s" t.table_name)
 
 let remove_phys t key =
-  match Btree.remove t.tree key with
+  let removed =
+    match t.index with
+    | Tree tr -> Btree.remove tr key
+    | Htbl h ->
+        let r = Hashtbl.find_opt h key in
+        if r <> None then Hashtbl.remove h key;
+        r
+  in
+  match removed with
   | Some r -> t.bytes <- t.bytes - Record.byte_size ~key r
   | None -> ()
 
 let scan t ~lo ~hi ?(limit = max_int) () =
-  let acc = ref [] in
-  let n = ref 0 in
-  Btree.iter_from t.tree lo (fun k r ->
-      if compare k hi >= 0 || !n >= limit then false
-      else begin
-        if not r.Record.deleted then begin
-          acc := (k, r) :: !acc;
-          incr n
-        end;
-        !n < limit
-      end);
-  List.rev !acc
+  match t.index with
+  | Htbl _ -> no_range t "scan"
+  | Tree tr ->
+      let acc = ref [] in
+      let n = ref 0 in
+      Btree.iter_from tr lo (fun k r ->
+          if compare k hi >= 0 || !n >= limit then false
+          else begin
+            if not r.Record.deleted then begin
+              acc := (k, r) :: !acc;
+              incr n
+            end;
+            !n < limit
+          end);
+      List.rev !acc
 
 let scan_all t ~lo ~hi =
-  Btree.fold_range t.tree ~lo ~hi ~init:[] ~f:(fun acc k r -> (k, r) :: acc) |> List.rev
+  match t.index with
+  | Htbl _ -> no_range t "scan_all"
+  | Tree tr ->
+      Btree.fold_range tr ~lo ~hi ~init:[] ~f:(fun acc k r -> (k, r) :: acc)
+      |> List.rev
 
 let max_live t ~lo ~hi =
-  let rec probe below =
-    match Btree.find_last_lt t.tree below with
-    | Some (k, r) when compare k lo >= 0 ->
-        if r.Record.deleted then probe k else Some (k, r)
-    | Some _ | None -> None
-  in
-  probe hi
+  match t.index with
+  | Htbl _ -> no_range t "max_live"
+  | Tree tr ->
+      let rec probe below =
+        match Btree.find_last_lt tr below with
+        | Some (k, r) when compare k lo >= 0 ->
+            if r.Record.deleted then probe k else Some (k, r)
+        | Some _ | None -> None
+      in
+      probe hi
 
 let min_live t ~lo ~hi =
-  let result = ref None in
-  Btree.iter_from t.tree lo (fun k r ->
-      if compare k hi >= 0 then false
-      else if r.Record.deleted then true
-      else begin
-        result := Some (k, r);
-        false
-      end);
-  !result
+  match t.index with
+  | Htbl _ -> no_range t "min_live"
+  | Tree tr ->
+      let result = ref None in
+      Btree.iter_from tr lo (fun k r ->
+          if compare k hi >= 0 then false
+          else if r.Record.deleted then true
+          else begin
+            result := Some (k, r);
+            false
+          end);
+      !result
 
-let count t = Btree.length t.tree
+let count t =
+  match t.index with Tree tr -> Btree.length tr | Htbl h -> Hashtbl.length h
+
 let bytes t = t.bytes
 let account_growth t delta = t.bytes <- t.bytes + delta
 
+(* Hash iteration order is an implementation detail of [Hashtbl] (and has
+   changed across compiler releases), so the hash arm sorts keys before
+   visiting: [iter] promises ascending keys for *every* representation.
+   Checkpointing leans on that promise — its table scans must produce
+   strictly ascending runs for the bootstrap-side [apply_sorted] — and it
+   keeps virtual-time results independent of the stdlib's hashing. *)
+let iter t f =
+  match t.index with
+  | Tree tr -> Btree.iter tr f
+  | Htbl h ->
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+      List.iter
+        (fun k -> match Hashtbl.find_opt h k with Some r -> f k r | None -> ())
+        (List.sort compare keys)
+
 let compact t =
   let dead = ref [] in
-  Btree.iter t.tree (fun k r -> if r.Record.deleted then dead := (k, r) :: !dead);
+  iter t (fun k r -> if r.Record.deleted then dead := (k, r) :: !dead);
   List.iter
     (fun (k, r) ->
-      ignore (Btree.remove t.tree k);
+      (match t.index with
+      | Tree tr -> ignore (Btree.remove tr k)
+      | Htbl h -> Hashtbl.remove h k);
       t.bytes <- t.bytes - Record.byte_size ~key:k r)
     !dead;
   List.length !dead
 
-let iter t f = Btree.iter t.tree f
+(* ---- sorted bulk application, representation-dispatched ----
+
+   The bulk-replay and checkpoint-bootstrap paths hand a strictly
+   ascending (key, payload) run to the table. For a B-tree that is one
+   cursor sweep (PR 5's fast path); for a hash index there is no locality
+   to exploit, so each key is an independent probe — reported as one
+   "descent" with zero in-leaf steps, which is exactly how the cost model
+   wants to charge a hash lookup. *)
+
+let check_ascending kvs =
+  let rec go = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if compare a b >= 0 then
+          invalid_arg "Table.apply_sorted_run: keys not strictly ascending";
+        go rest
+    | _ -> ()
+  in
+  go kvs
+
+let count_sorted_run t kvs =
+  match t.index with
+  | Tree tr -> Btree.count_sorted tr kvs
+  | Htbl _ ->
+      check_ascending kvs;
+      { Btree.descents = List.length kvs; steps = 0 }
+
+let apply_sorted_run t kvs ~f =
+  match t.index with
+  | Tree tr -> Btree.apply_sorted tr kvs ~f
+  | Htbl h ->
+      check_ascending kvs;
+      let descents = ref 0 in
+      List.iter
+        (fun (key, payload) ->
+          incr descents;
+          match f key payload (Hashtbl.find_opt h key) with
+          | Some r -> Hashtbl.replace h key r
+          | None -> ())
+        kvs;
+      { Btree.descents = !descents; steps = 0 }

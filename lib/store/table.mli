@@ -1,14 +1,30 @@
-(** A named table: a B+tree of {!Record.t} plus byte accounting.
+(** A named table: an index of {!Record.t} plus byte accounting.
 
     Tables expose records, not values: the OCC engine and the replay path
     both work directly on the record's version and lock fields. Scans skip
-    tombstoned records. *)
+    tombstoned records.
+
+    Two index representations live behind this interface. The default is
+    the ordered B+tree; point-lookup-only tables (YCSB's usertable,
+    TPC-C's item) can instead be declared {!Hash} — O(1) probes, no
+    ordering, and therefore no range operations: {!scan}, {!scan_all},
+    {!min_live}, {!max_live} and {!tree} raise [Invalid_argument] on a
+    hash table. {!iter} visits keys in ascending order for {e both}
+    representations (the hash arm sorts), so checkpointing and
+    consistency sweeps are representation-independent and deterministic
+    across compiler releases. *)
 
 type t
 
-val create : id:int -> name:string -> t
+type repr = Btree | Hash  (** index representation, fixed at creation *)
+
+val create : ?repr:repr -> id:int -> name:string -> unit -> t
+(** [repr] defaults to [Btree], the behavior-compatible representation. *)
+
 val id : t -> int
 val name : t -> string
+
+val repr : t -> repr
 
 val get : t -> string -> Record.t option
 (** The record for [key], including tombstones ([deleted = true]). *)
@@ -51,5 +67,24 @@ val compact : t -> int
     when a follower is promoted to leader. *)
 
 val iter : t -> (string -> Record.t -> unit) -> unit
+(** Visit every record (tombstones included) in ascending key order,
+    whatever the representation. *)
+
 val tree : t -> Record.t Btree.t
-(** Escape hatch for tests and bootstrap. *)
+(** Escape hatch for tests and bootstrap. @raise Invalid_argument on a
+    hash-indexed table — dispatch through {!apply_sorted_run} instead. *)
+
+val count_sorted_run : t -> (string * 'b) list -> Btree.bulk_counts
+(** Predict the index work of {!apply_sorted_run} over a strictly
+    ascending run without mutating: {!Btree.count_sorted} for trees, one
+    descent (and no steps) per key for hash tables. *)
+
+val apply_sorted_run :
+  t ->
+  (string * 'b) list ->
+  f:(string -> 'b -> Record.t option -> Record.t option) ->
+  Btree.bulk_counts
+(** Representation-dispatched {!Btree.apply_sorted}: a single cursor
+    sweep over a B-tree, independent point probes over a hash index.
+    [f]'s contract is exactly {!Btree.apply_sorted}'s.
+    @raise Invalid_argument if keys are not strictly ascending. *)

@@ -51,67 +51,106 @@ let txn_count e = List.length e.txns
 
 (* ---- binary encoding: little-endian fixed-width ints ----
 
-   Encoded values are non-negative, so truncating [Int32.of_int] /
-   sign-extending [Int64.of_int] produce the same bytes the manual
-   shift-mask loops did. *)
+   Encoded values are non-negative, so the manual shift-mask stores below
+   write exactly the bytes the former [Buffer.add_int32/64_le] calls did.
+   The encoder works over a reusable [Scratch] arena: [byte_size] gives
+   the exact encoded length up front, the arena is grown (geometrically,
+   amortized) to hold it, and the only per-call allocation is the result
+   string itself — no [Buffer] doubling copies, no per-transaction
+   intermediate lists. *)
 
-let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
-let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
-let add_u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+module Scratch = struct
+  type t = { mutable buf : Bytes.t }
 
-let encode e =
-  (* One write-bytes pass per transaction, reused for both the buffer
-     capacity and the per-transaction nbytes header. *)
-  let txns =
-    List.map
-      (fun t ->
-        (t, List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes))
-      e.txns
+  let create ?(capacity = 1 lsl 16) () = { buf = Bytes.create (max 16 capacity) }
+  let capacity t = Bytes.length t.buf
+
+  let reserve t n =
+    if n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      (* Grown for capacity only: encoders rewrite from offset 0, so the
+         old contents need not be carried over. *)
+      t.buf <- Bytes.create !cap
+    end
+end
+
+let set_u8 b pos v = Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff))
+
+let set_u32 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let set_u64 b pos v =
+  set_u32 b pos v;
+  set_u32 b (pos + 4) (v lsr 32)
+
+let encode_into (scratch : Scratch.t) e =
+  let n = byte_size e in
+  Scratch.reserve scratch n;
+  let b = scratch.Scratch.buf in
+  let pos = ref 0 in
+  let u8 v =
+    set_u8 b !pos v;
+    incr pos
   in
-  let cap =
-    List.fold_left
-      (fun acc (t, wbytes) ->
-        acc + 17 + (match t.req with Some _ -> 8 | None -> 0) + wbytes)
-      20 txns
+  let u32 v =
+    set_u32 b !pos v;
+    pos := !pos + 4
   in
-  let buf = Buffer.create cap in
-  add_u64 buf e.epoch;
-  add_u64 buf e.last_ts;
-  add_u32 buf (List.length e.txns);
+  let u64 v =
+    set_u64 b !pos v;
+    pos := !pos + 8
+  in
+  let str s =
+    let len = String.length s in
+    Bytes.blit_string s 0 b !pos len;
+    pos := !pos + len
+  in
+  u64 e.epoch;
+  u64 e.last_ts;
+  u32 (List.length e.txns);
   List.iter
-    (fun (t, wbytes) ->
-      add_u64 buf t.ts;
+    (fun t ->
+      u64 t.ts;
       (match t.req with
       | Some (cid, seq) ->
-          add_u8 buf 1;
-          add_u32 buf cid;
-          add_u32 buf seq
-      | None -> add_u8 buf 0);
-      add_u32 buf (List.length t.writes);
-      add_u32 buf wbytes;
+          u8 1;
+          u32 cid;
+          u32 seq
+      | None -> u8 0);
+      u32 (List.length t.writes);
+      u32 (List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes);
       List.iter
         (fun w ->
-          add_u32 buf w.table;
-          add_u32 buf (String.length w.key);
-          Buffer.add_string buf w.key;
+          u32 w.table;
+          u32 (String.length w.key);
+          str w.key;
           match w.value with
           | Some v ->
-              add_u8 buf 1;
-              add_u32 buf (String.length v);
-              Buffer.add_string buf v
-          | None -> add_u8 buf 0)
+              u8 1;
+              u32 (String.length v);
+              str v
+          | None -> u8 0)
         t.writes)
-    txns;
+    e.txns;
   (match e.config with
   | None -> ()
   | Some c ->
-      add_u8 buf 1;
-      add_u32 buf c.m_gen;
-      add_u32 buf (List.length c.m_old);
-      List.iter (add_u32 buf) c.m_old;
-      add_u32 buf (List.length c.m_new);
-      List.iter (add_u32 buf) c.m_new);
-  Buffer.contents buf
+      u8 1;
+      u32 c.m_gen;
+      u32 (List.length c.m_old);
+      List.iter u32 c.m_old;
+      u32 (List.length c.m_new);
+      List.iter u32 c.m_new);
+  assert (!pos = n);
+  Bytes.sub_string b 0 n
+
+let encode e = encode_into (Scratch.create ~capacity:(byte_size e) ()) e
 
 exception Malformed of string
 

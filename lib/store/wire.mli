@@ -63,6 +63,24 @@ val txn_byte_size : txn_log -> int
 val byte_size : entry -> int
 val txn_count : entry -> int
 
+(** Reusable encode arena. The hot path encodes thousands of entries per
+    virtual second; threading one scratch per worker (or per replica)
+    replaces per-entry [Buffer] churn with a single amortized allocation —
+    after warm-up the only garbage per encode is the result string. *)
+module Scratch : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh arena; [capacity] defaults to 64 KiB and grows geometrically
+      on demand. *)
+
+  val capacity : t -> int
+end
+
+val encode_into : Scratch.t -> entry -> string
+(** Same bytes as {!encode}, but staged through the caller's arena instead
+    of a fresh [Buffer]. *)
+
 val encode : entry -> string
 val decode : string -> entry
 (** @raise Invalid_argument on malformed input. *)

@@ -364,6 +364,107 @@ let test_diff_ungated_drop_ignored () =
   in
   check_bool "wall-clock figures never gate" true (Report.Diff.ok o)
 
+(* A delta of exactly the tolerance is not a regression (the gate is
+   strict-greater): tolerance 0.15 must accept a 15.000% drop and reject
+   the first representable step past it. *)
+let test_diff_tolerance_boundary () =
+  let drop frac =
+    with_metric sample_report ~fig:"fig10a" ~series:"rolis" ~metric:"tput"
+      (1.23e6 *. (1.0 -. frac))
+  in
+  let run current =
+    Report.Diff.compare_reports ~tolerance:0.15 ~baseline:sample_report ~current
+  in
+  let at = run (drop 0.15) in
+  check_bool "drop = tolerance passes" true (Report.Diff.ok at);
+  (let v =
+     List.find
+       (fun (v : Report.Diff.verdict) -> v.Report.Diff.metric = "tput")
+       at.Report.Diff.verdicts
+   in
+   check_bool "boundary delta still reported" true
+     (Float.abs (v.Report.Diff.delta -. 0.15) < 1e-9));
+  let past = run (drop 0.1501) in
+  check_bool "a hair past tolerance fails" false (Report.Diff.ok past)
+
+(* A single datapoint (series, x) present in the baseline but absent
+   from the run is a coverage regression even when the figure itself
+   survives. *)
+let test_diff_missing_point_fails () =
+  let current =
+    {
+      sample_report with
+      Report.Schema.results =
+        List.map
+          (fun (r : Report.Schema.result) ->
+            if r.Report.Schema.fig <> "fig10a" then r
+            else
+              {
+                r with
+                Report.Schema.points =
+                  List.filter
+                    (fun (p : Report.Schema.point) ->
+                      p.Report.Schema.series <> "silo")
+                    r.Report.Schema.points;
+              })
+          sample_report.Report.Schema.results;
+    }
+  in
+  let o =
+    Report.Diff.compare_reports ~tolerance:0.15 ~baseline:sample_report ~current
+  in
+  check_bool "missing datapoint fails the gate" false (Report.Diff.ok o);
+  check_bool "missing list names series and x" true
+    (List.exists (contains_substring ~sub:"silo@x=16") o.Report.Diff.missing);
+  (* The surviving series is still compared as usual. *)
+  check_bool "other points still compared" true
+    (List.exists
+       (fun (v : Report.Diff.verdict) -> v.Report.Diff.series = "rolis")
+       o.Report.Diff.verdicts)
+
+(* "_words" allocation counters gate downward: growth is a regression,
+   shrinkage an improvement. *)
+let test_diff_words_lower_better () =
+  let with_words v =
+    {
+      sample_report with
+      Report.Schema.results =
+        sample_report.Report.Schema.results
+        @ [
+            {
+              Report.Schema.fig = "alloc";
+              title = "words allocated";
+              x_label = "workload";
+              gated = true;
+              knobs = [];
+              points =
+                [
+                  {
+                    Report.Schema.series = "tpcc";
+                    x = 1.0;
+                    metrics = [ ("exec_words", v) ];
+                    stages = [];
+                  };
+                ];
+            };
+          ];
+    }
+  in
+  let baseline = with_words 900.0 in
+  let grown =
+    Report.Diff.compare_reports ~tolerance:0.15 ~baseline
+      ~current:(with_words 1200.0)
+  in
+  check_bool "allocation growth fails the gate" false (Report.Diff.ok grown);
+  (match Report.Diff.regressions grown with
+  | [ v ] -> check_string "regressed metric" "exec_words" v.Report.Diff.metric
+  | vs -> Alcotest.failf "expected one regression, got %d" (List.length vs));
+  let shrunk =
+    Report.Diff.compare_reports ~tolerance:0.15 ~baseline
+      ~current:(with_words 500.0)
+  in
+  check_bool "allocation drop passes" true (Report.Diff.ok shrunk)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "report"
@@ -401,5 +502,11 @@ let () =
             test_diff_missing_figure_fails;
           Alcotest.test_case "ungated drop ignored" `Quick
             test_diff_ungated_drop_ignored;
+          Alcotest.test_case "tolerance boundary exact" `Quick
+            test_diff_tolerance_boundary;
+          Alcotest.test_case "missing datapoint fails" `Quick
+            test_diff_missing_point_fails;
+          Alcotest.test_case "_words gates downward" `Quick
+            test_diff_words_lower_better;
         ] );
     ]

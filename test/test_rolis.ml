@@ -570,6 +570,51 @@ let test_bulk_replay_convergence () =
       check_bool "lag percentiles ordered" true (0 <= p50 && p50 <= p95)
   | None -> Alcotest.fail "no replay-lag samples"
 
+let test_parallel_hash_replay_convergence () =
+  (* Both new raw-speed knobs at once: intra-entry parallel bulk replay
+     (4 ways) over a hash-indexed table. Correctness must be untouched —
+     followers drain to the leader's exact state and money is conserved
+     on every replica. *)
+  let stopped = ref false in
+  let accounts = 50 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.replay_batch = Rolis.Config.Bulk;
+      replay_parallel = 4;
+      hash_tables = [ "accounts" ];
+    }
+  in
+  Rolis.Config.validate cfg;
+  let cluster =
+    Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:1_000 ~stopped)
+  in
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  stopped := true;
+  Rolis.Cluster.run cluster ~duration:(1 * s) ();
+  check_bool "parallel hash mode releases" true
+    (Rolis.Cluster.released cluster > 100);
+  let leader_db = Rolis.Replica.db (Rolis.Cluster.replica cluster 0) in
+  check_bool "table is hash-indexed" true
+    (Store.Table.repr (Silo.Db.table leader_db "accounts") = Store.Table.Hash);
+  let leader_state = table_state leader_db "accounts" in
+  for i = 1 to 2 do
+    let f = Rolis.Cluster.replica cluster i in
+    check_bool
+      (Printf.sprintf "follower %d replayed" i)
+      true
+      (Rolis.Stats.replayed_txns (Rolis.Replica.stats f) > 0);
+    check_bool
+      (Printf.sprintf "follower %d state equals leader" i)
+      true
+      (table_state (Rolis.Replica.db f) "accounts" = leader_state)
+  done;
+  Array.iter
+    (fun r ->
+      check_int "money conserved" (accounts * 1_000)
+        (total_money (Rolis.Replica.db r) ~accounts))
+    (Rolis.Cluster.replicas cluster)
+
 let test_old_leader_tainted_on_partition () =
   let cfg = test_cfg () in
   let cluster = Rolis.Cluster.create cfg (Rolis.App.counter_app ~keys:100) in
@@ -929,6 +974,26 @@ let test_config_validate_checkpoint () =
       checkpoint_threads = 0;
       checkpoint_retention = 0;
     }
+
+let test_config_validate_replay () =
+  let ok = test_cfg () in
+  Rolis.Config.validate ok;
+  expect_invalid "replay fan-out zero" { ok with Rolis.Config.replay_parallel = 0 };
+  expect_invalid "negative replay fan-out"
+    { ok with Rolis.Config.replay_parallel = -2 };
+  (* Fan-out only exists on the bulk path: PerTxn has no sorted run to
+     slice, so asking for both is a configuration contradiction. *)
+  expect_invalid "parallel replay without bulk batching"
+    { ok with Rolis.Config.replay_parallel = 4 };
+  Rolis.Config.validate
+    {
+      ok with
+      Rolis.Config.replay_parallel = 4;
+      replay_batch = Rolis.Config.Bulk;
+    };
+  Rolis.Config.validate { ok with Rolis.Config.hash_tables = [ "item"; "usertable" ] };
+  expect_invalid "duplicate hash table"
+    { ok with Rolis.Config.hash_tables = [ "item"; "usertable"; "item" ] }
 
 let test_config_validate_reconfig () =
   let ok = test_cfg () in
@@ -1643,6 +1708,8 @@ let () =
           Alcotest.test_case "replay disabled" `Quick test_disable_replay_mode;
           Alcotest.test_case "bulk replay convergence" `Quick
             test_bulk_replay_convergence;
+          Alcotest.test_case "parallel replay over hash index" `Quick
+            test_parallel_hash_replay_convergence;
         ] );
       ( "failover",
         [
@@ -1677,6 +1744,8 @@ let () =
             test_config_validate_batching;
           Alcotest.test_case "checkpoint constraints" `Quick
             test_config_validate_checkpoint;
+          Alcotest.test_case "replay fan-out and hash-table constraints" `Quick
+            test_config_validate_replay;
           Alcotest.test_case "reconfiguration constraints" `Quick
             test_config_validate_reconfig;
         ] );

@@ -204,7 +204,7 @@ let test_bulk_replay_entry () =
       in
       let _p =
         Sim.Engine.spawn eng (fun () ->
-            let r = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+            let r = Silo.Db.apply_replay_entry db entry ~upto:max_int () in
             check_int "all txns merged" 3 r.Silo.Db.re_txns;
             check_int "all logged writes counted" 4 r.Silo.Db.re_writes;
             (* Two distinct keys survive the merge; both CAS in. *)
@@ -214,7 +214,7 @@ let test_bulk_replay_entry () =
               && r.Silo.Db.re_seeks + r.Silo.Db.re_steps = 2);
             (* Re-applying the same entry is a no-op: every CAS loses to
                the stamp it already installed. *)
-            let r2 = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+            let r2 = Silo.Db.apply_replay_entry db entry ~upto:max_int () in
             check_int "second pass installs nothing" 0 r2.Silo.Db.re_installed)
       in
       Sim.Engine.run eng;
@@ -254,7 +254,7 @@ let test_bulk_replay_upto_truncation () =
   in
   let truncated =
     final_state (fun db ->
-        let r = Silo.Db.apply_replay_entry db entry ~upto:20 in
+        let r = Silo.Db.apply_replay_entry db entry ~upto:20 () in
         Alcotest.(check int) "only the pre-watermark txn" 1 r.Silo.Db.re_txns;
         Alcotest.(check int) "its writes only" 2 r.Silo.Db.re_writes)
   in
@@ -262,15 +262,15 @@ let test_bulk_replay_upto_truncation () =
     (truncated = [ ("a", "1", false); ("b", "1", false) ]);
   let two_pass =
     final_state (fun db ->
-        ignore (Silo.Db.apply_replay_entry db entry ~upto:20);
-        let r = Silo.Db.apply_replay_entry db entry ~upto:max_int in
+        ignore (Silo.Db.apply_replay_entry db entry ~upto:20 ());
+        let r = Silo.Db.apply_replay_entry db entry ~upto:max_int () in
         (* The full pass re-merges everything, but only ts-40's keys win
            their CAS; ts-10's are already installed. *)
         Alcotest.(check int) "catch-up installs the rest" 2 r.Silo.Db.re_installed)
   in
   let one_pass =
     final_state (fun db ->
-        ignore (Silo.Db.apply_replay_entry db entry ~upto:max_int))
+        ignore (Silo.Db.apply_replay_entry db entry ~upto:max_int ()))
   in
   check_bool "truncated+catch-up = one pass" true (two_pass = one_pass);
   (* And both agree with the per-txn replay path. *)
@@ -285,6 +285,60 @@ let test_bulk_replay_upto_truncation () =
           entry.Store.Wire.txns)
   in
   check_bool "bulk = per-txn" true (one_pass = per_txn)
+
+(* Intra-entry parallel replay: slicing the sorted run into [ways]
+   key-disjoint pieces applied by concurrent processes must land on
+   exactly the sequential sweep's state and install count, for any
+   [ways] (including more ways than keys) and for both index
+   representations. *)
+let test_parallel_replay_ways_equivalence () =
+  let mk ts writes = { Store.Wire.ts; req = None; writes } in
+  let w key value = { Store.Wire.table = 0; key; value } in
+  let entry =
+    (* 6 txns over 20 keys with overwrites and deletes, so the merged run
+       exercises CAS losers and tombstones in every slice. *)
+    Store.Wire.make_entry ~epoch:1
+      (List.init 6 (fun i ->
+           mk
+             ((i + 1) * 10)
+             (List.init 7 (fun j ->
+                  let k = Printf.sprintf "k%02d" ((i * 5 + j * 3) mod 20) in
+                  if (i + j) mod 5 = 4 then w k None
+                  else w k (Some (Printf.sprintf "v%d.%d" i j))))))
+  in
+  let final_state ~hash_tables ~ways () =
+    let eng = Sim.Engine.create () in
+    let cpu = Sim.Cpu.create eng ~cores:8 ~efficiency:(fun ~active:_ -> 1.0) () in
+    let db =
+      Silo.Db.create eng cpu ~physical_deletes:false ~hash_tables ()
+    in
+    let t = Silo.Db.create_table db "t" in
+    let installed = ref 0 in
+    let _p =
+      Sim.Engine.spawn eng (fun () ->
+          let r = Silo.Db.apply_replay_entry db entry ~ways ~upto:max_int () in
+          installed := r.Silo.Db.re_installed;
+          check_int "all txns merged" 6 r.Silo.Db.re_txns)
+    in
+    Sim.Engine.run eng;
+    let dump = ref [] in
+    Store.Table.iter t (fun k (r : Store.Record.t) ->
+        dump := (k, r.Store.Record.value, r.Store.Record.deleted) :: !dump);
+    (!installed, List.rev !dump)
+  in
+  List.iter
+    (fun hash_tables ->
+      let seq = final_state ~hash_tables ~ways:1 () in
+      check_bool "sequential installs something" true (fst seq > 0);
+      List.iter
+        (fun ways ->
+          let par = final_state ~hash_tables ~ways () in
+          check_bool
+            (Printf.sprintf "ways=%d matches sequential (hash=%b)" ways
+               (hash_tables <> []))
+            true (par = seq))
+        [ 2; 3; 7; 64 ])
+    [ []; [ "t" ] ]
 
 (* A reader that observed "key absent" must abort if the key appears
    before it commits. *)
@@ -441,5 +495,7 @@ let () =
           Alcotest.test_case "bulk entry apply" `Quick test_bulk_replay_entry;
           Alcotest.test_case "bulk upto truncation" `Quick
             test_bulk_replay_upto_truncation;
+          Alcotest.test_case "parallel ways equivalence" `Quick
+            test_parallel_replay_ways_equivalence;
         ] );
     ]

@@ -485,7 +485,7 @@ let record_cas_monotone_qcheck =
 (* ---------- Table ---------- *)
 
 let test_table_tombstones () =
-  let t = Store.Table.create ~id:0 ~name:"t" in
+  let t = Store.Table.create ~id:0 ~name:"t" () in
   Store.Table.insert t "a" (Store.Record.make "1");
   let r = Store.Record.make "2" in
   Store.Table.insert t "b" r;
@@ -498,7 +498,7 @@ let test_table_tombstones () =
   check_int "one physical record left" 1 (Store.Table.count t)
 
 let test_table_min_live () =
-  let t = Store.Table.create ~id:0 ~name:"t" in
+  let t = Store.Table.create ~id:0 ~name:"t" () in
   let r1 = Store.Record.make "1" in
   r1.Store.Record.deleted <- true;
   Store.Table.insert t "a" r1;
@@ -509,7 +509,7 @@ let test_table_min_live () =
   | None -> Alcotest.fail "expected a live record"
 
 let test_table_bytes_accounting () =
-  let t = Store.Table.create ~id:0 ~name:"t" in
+  let t = Store.Table.create ~id:0 ~name:"t" () in
   check_int "empty" 0 (Store.Table.bytes t);
   Store.Table.insert t "k" (Store.Record.make "0123456789");
   check_bool "grew" true (Store.Table.bytes t > 0);
@@ -517,7 +517,7 @@ let test_table_bytes_accounting () =
   check_int "back to zero" 0 (Store.Table.bytes t)
 
 let test_table_duplicate_insert () =
-  let t = Store.Table.create ~id:0 ~name:"dup" in
+  let t = Store.Table.create ~id:0 ~name:"dup" () in
   Store.Table.insert t "k" (Store.Record.make "1");
   Alcotest.check_raises "duplicate rejected"
     (Invalid_argument "Table.insert: duplicate key in dup") (fun () ->
@@ -526,6 +526,142 @@ let test_table_duplicate_insert () =
   match Store.Table.get t "k" with
   | Some r -> check_bool "old value" true (r.Store.Record.value = "1")
   | None -> Alcotest.fail "binding lost"
+
+(* ---------- Hash-indexed tables ---------- *)
+
+let test_hash_point_ops () =
+  let t = Store.Table.create ~repr:Store.Table.Hash ~id:7 ~name:"item" () in
+  check_bool "repr" true (Store.Table.repr t = Store.Table.Hash);
+  Store.Table.insert t "a" (Store.Record.make "1");
+  let r = Store.Record.make "2" in
+  Store.Table.insert t "b" r;
+  r.Store.Record.deleted <- true;
+  check_bool "get sees tombstone" true (Store.Table.get t "b" <> None);
+  check_bool "get_live hides tombstone" true (Store.Table.get_live t "b" = None);
+  check_int "count" 2 (Store.Table.count t);
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Table.insert: duplicate key in item") (fun () ->
+      Store.Table.insert t "a" (Store.Record.make "x"));
+  check_int "compact drops tombstone" 1 (Store.Table.compact t);
+  Store.Table.remove_phys t "a";
+  check_int "empty after removes" 0 (Store.Table.count t)
+
+let test_hash_range_ops_raise () =
+  let t = Store.Table.create ~repr:Store.Table.Hash ~id:0 ~name:"h" () in
+  Store.Table.insert t "k" (Store.Record.make "v");
+  let expect_raise label f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s must raise on a hash table" label
+    with Invalid_argument _ -> ()
+  in
+  expect_raise "scan" (fun () -> Store.Table.scan t ~lo:"" ~hi:"z" ());
+  expect_raise "scan_all" (fun () -> Store.Table.scan_all t ~lo:"" ~hi:"z");
+  expect_raise "min_live" (fun () -> Store.Table.min_live t ~lo:"" ~hi:"z");
+  expect_raise "max_live" (fun () -> Store.Table.max_live t ~lo:"" ~hi:"z");
+  expect_raise "tree" (fun () -> Store.Table.tree t)
+
+let test_hash_iter_ascending () =
+  let t = Store.Table.create ~repr:Store.Table.Hash ~id:0 ~name:"h" () in
+  List.iter
+    (fun k -> Store.Table.insert t k (Store.Record.make k))
+    [ "q"; "b"; "z"; "a"; "m" ];
+  let seen = ref [] in
+  Store.Table.iter t (fun k _ -> seen := k :: !seen);
+  check_bool "ascending order" true
+    (List.rev !seen = [ "a"; "b"; "m"; "q"; "z" ])
+
+let test_hash_apply_sorted_run () =
+  let t = Store.Table.create ~repr:Store.Table.Hash ~id:0 ~name:"h" () in
+  Store.Table.insert t "b" (Store.Record.make "old");
+  let run = [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  let counts = Store.Table.count_sorted_run t run in
+  check_int "one descent per key" 3 counts.Store.Btree.descents;
+  check_int "no steps on hash" 0 counts.Store.Btree.steps;
+  let applied =
+    Store.Table.apply_sorted_run t run ~f:(fun _key payload existing ->
+        match existing with
+        | Some r ->
+            r.Store.Record.value <- payload;
+            None
+        | None -> Some (Store.Record.make payload))
+  in
+  check_int "applied descents" 3 applied.Store.Btree.descents;
+  check_int "all present" 3 (Store.Table.count t);
+  (match Store.Table.get t "b" with
+  | Some r -> check_bool "updated in place" true (r.Store.Record.value = "2")
+  | None -> Alcotest.fail "b lost");
+  Alcotest.check_raises "unsorted run rejected"
+    (Invalid_argument "Table.apply_sorted_run: keys not strictly ascending")
+    (fun () ->
+      ignore
+        (Store.Table.apply_sorted_run t [ ("z", "1"); ("a", "2") ]
+           ~f:(fun _ _ _ -> None)))
+
+(* Model-based equivalence: the same random point-op trace against a
+   B-tree table and a hash table must be observationally identical —
+   every get result, the final count, and the ascending [iter] listing.
+   This is the contract that lets a config flip a table's representation
+   without replicas diverging. *)
+let hash_btree_equiv_qcheck =
+  let op_gen =
+    let open QCheck.Gen in
+    let key = map (Printf.sprintf "k%02d") (int_range 0 30) in
+    frequency
+      [
+        (4, map2 (fun k v -> `Upsert (k, v)) key (string_size (1 -- 8)));
+        (2, map (fun k -> `Get k) key);
+        (1, map (fun k -> `Remove k) key);
+        (1, map (fun k -> `Tombstone k) key);
+      ]
+  in
+  QCheck.Test.make ~name:"hash table = btree table (point ops)" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (0 -- 60) op_gen))
+    (fun ops ->
+      let bt = Store.Table.create ~id:0 ~name:"t" () in
+      let ht = Store.Table.create ~repr:Store.Table.Hash ~id:0 ~name:"t" () in
+      let value t k =
+        match Store.Table.get t k with
+        | None -> None
+        | Some r -> Some (r.Store.Record.value, r.Store.Record.deleted)
+      in
+      let upsert t k v =
+        match Store.Table.get t k with
+        | Some r ->
+            r.Store.Record.value <- v;
+            r.Store.Record.deleted <- false
+        | None -> Store.Table.insert t k (Store.Record.make v)
+      in
+      let tombstone t k =
+        match Store.Table.get t k with
+        | Some r -> r.Store.Record.deleted <- true
+        | None -> ()
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Upsert (k, v) ->
+              upsert bt k v;
+              upsert ht k v
+          | `Remove k ->
+              Store.Table.remove_phys bt k;
+              Store.Table.remove_phys ht k
+          | `Tombstone k ->
+              tombstone bt k;
+              tombstone ht k
+          | `Get _ -> ());
+          match op with
+          | `Get k -> value bt k = value ht k
+          | _ -> true)
+        ops
+      &&
+      let listing t =
+        let acc = ref [] in
+        Store.Table.iter t (fun k r ->
+            acc := (k, r.Store.Record.value, r.Store.Record.deleted) :: !acc);
+        List.rev !acc
+      in
+      Store.Table.count bt = Store.Table.count ht && listing bt = listing ht)
 
 (* ---------- Wire ---------- *)
 
@@ -568,35 +704,61 @@ let test_wire_malformed () =
     Alcotest.fail "trailing bytes must be rejected"
   with Invalid_argument _ -> ()
 
-let wire_roundtrip_qcheck =
-  let gen =
-    let open QCheck.Gen in
-    let write =
-      map3
-        (fun table key value -> { Store.Wire.table; key; value })
-        (int_range 0 20) (string_size (0 -- 10))
-        (option (string_size (0 -- 30)))
-    in
-    let txn =
-      let req =
-        option (map2 (fun cid seq -> (cid, seq)) (int_range 0 100) (int_range 1 1000))
-      in
-      map3
-        (fun ts req writes -> { Store.Wire.ts; req; writes })
-        big_nat req
-        (list_size (0 -- 5) write)
-    in
-    map2
-      (fun epoch txns ->
-        match txns with
-        | [] -> Store.Wire.noop ~epoch ~ts:0
-        | _ -> Store.Wire.make_entry ~epoch txns)
-      (int_range 0 100) (list_size (0 -- 8) txn)
+let wire_entry_gen =
+  let open QCheck.Gen in
+  let write =
+    map3
+      (fun table key value -> { Store.Wire.table; key; value })
+      (int_range 0 20) (string_size (0 -- 10))
+      (option (string_size (0 -- 30)))
   in
-  QCheck.Test.make ~name:"wire roundtrip + size law" ~count:300 (QCheck.make gen)
-    (fun e ->
+  let txn =
+    let req =
+      option (map2 (fun cid seq -> (cid, seq)) (int_range 0 100) (int_range 1 1000))
+    in
+    map3
+      (fun ts req writes -> { Store.Wire.ts; req; writes })
+      big_nat req
+      (list_size (0 -- 5) write)
+  in
+  map2
+    (fun epoch txns ->
+      match txns with
+      | [] -> Store.Wire.noop ~epoch ~ts:0
+      | _ -> Store.Wire.make_entry ~epoch txns)
+    (int_range 0 100) (list_size (0 -- 8) txn)
+
+let wire_roundtrip_qcheck =
+  QCheck.Test.make ~name:"wire roundtrip + size law" ~count:300
+    (QCheck.make wire_entry_gen) (fun e ->
       let enc = Store.Wire.encode e in
       Store.Wire.decode enc = e && String.length enc = Store.Wire.byte_size e)
+
+(* The allocation-light encoder must be byte-for-byte the same as the
+   one-shot [encode], including when the scratch buffer is reused across
+   entries of wildly different sizes (reuse is the whole point: one
+   scratch per worker, never reallocated once warm). *)
+let wire_encode_into_qcheck =
+  let scratch = Store.Wire.Scratch.create ~capacity:8 () in
+  QCheck.Test.make ~name:"encode_into = encode (reused scratch)" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 6) wire_entry_gen))
+    (fun entries ->
+      List.for_all
+        (fun e -> Store.Wire.encode_into scratch e = Store.Wire.encode e)
+        entries)
+
+let test_wire_scratch_growth () =
+  let s = Store.Wire.Scratch.create ~capacity:4 () in
+  check_bool "initial capacity honoured" true
+    (Store.Wire.Scratch.capacity s >= 4);
+  let e = sample_entry () in
+  let enc = Store.Wire.encode_into s e in
+  check_bool "matches one-shot encode" true (enc = Store.Wire.encode e);
+  check_bool "grew to fit" true
+    (Store.Wire.Scratch.capacity s >= String.length enc);
+  let cap = Store.Wire.Scratch.capacity s in
+  ignore (Store.Wire.encode_into s e);
+  check_int "stable once warm" cap (Store.Wire.Scratch.capacity s)
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -645,12 +807,22 @@ let () =
           Alcotest.test_case "byte accounting" `Quick test_table_bytes_accounting;
           Alcotest.test_case "duplicate insert" `Quick test_table_duplicate_insert;
         ] );
+      ( "hash-table",
+        [
+          Alcotest.test_case "point ops" `Quick test_hash_point_ops;
+          Alcotest.test_case "range ops raise" `Quick test_hash_range_ops_raise;
+          Alcotest.test_case "iter ascending" `Quick test_hash_iter_ascending;
+          Alcotest.test_case "apply_sorted_run" `Quick test_hash_apply_sorted_run;
+          qc hash_btree_equiv_qcheck;
+        ] );
       ( "wire",
         [
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "size law" `Quick test_wire_size_matches_encoding;
           Alcotest.test_case "noop" `Quick test_wire_noop;
           Alcotest.test_case "malformed input" `Quick test_wire_malformed;
+          Alcotest.test_case "scratch growth" `Quick test_wire_scratch_growth;
           qc wire_roundtrip_qcheck;
+          qc wire_encode_into_qcheck;
         ] );
     ]
