@@ -36,6 +36,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("avail", "availability through planned operations (reconfiguration)", Avail.run);
     ("alloc", "words allocated per txn / encode (deterministic Gc counters)", Alloc.run);
     ("hashidx", "hash-index vs B-tree point lookups (YCSB-C / TPC-C item)", Hashidx.run);
+    ("reads", "follower-read capacity: serving replicas sweep + WAN routing", Reads.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -38,18 +38,22 @@ let replay_batch_of_string s =
 
 let run_cluster workload workers cores batch batch_policy replay_batch
     replay_parallel hash_tables target_delay_us duration_ms warmup_ms networked
-    single_stream crash_at_ms ckpt_interval_ms no_truncate seed =
+    single_stream crash_at_ms ckpt_interval_ms no_truncate follower_reads
+    read_lease_us wan_profile seed =
+  let ycsb_params = { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 } in
   let app, is_tpcc =
     match workload with
     | "tpcc" ->
         (Workload.Tpcc.app (Workload.Tpcc.with_warehouses Workload.Tpcc.default workers), true)
-    | "ycsb" ->
-        ( Workload.Ycsb.app { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 },
-          false )
+    | "ycsb" -> (Workload.Ycsb.app ycsb_params, false)
     | other ->
         Printf.eprintf "unknown workload %S (tpcc|ycsb)\n" other;
         exit 2
   in
+  if follower_reads && is_tpcc then begin
+    Printf.eprintf "--follower-reads needs a workload with a read_op (use --workload ycsb)\n";
+    exit 2
+  end;
   let policy = batch_policy_of_string batch_policy in
   let rbatch = replay_batch_of_string replay_batch in
   let cfg =
@@ -72,9 +76,25 @@ let run_cluster workload workers cores batch batch_policy replay_batch
       archive_entries =
         Rolis.Config.default.Rolis.Config.archive_entries || ckpt_interval_ms > 0;
       seed = Int64.of_int seed;
+      follower_reads;
+      read_lease = read_lease_us * Sim.Engine.us;
+      wan_profile;
+      (* Read-only sessions ride client network slots; the write path
+         stays on the embedded generator (Ycsb.app has no client_op). *)
+      clients = (if follower_reads then 4 else Rolis.Config.default.Rolis.Config.clients);
     }
   in
   let cluster = Rolis.Cluster.create cfg app in
+  let read_sessions =
+    if not follower_reads then [||]
+    else
+      Array.init cfg.Rolis.Config.clients (fun cid ->
+          let rng = Sim.Rng.split (Sim.Engine.rng (Rolis.Cluster.engine cluster)) in
+          Rolis.Client.spawn (Rolis.Cluster.network cluster) ~cfg ~cid ~ro:true
+            ~stats:(Rolis.Cluster.client_read_stats cluster)
+            ~gen:(Workload.Ycsb.read_payload_gen ycsb_params rng)
+            ())
+  in
   (match crash_at_ms with
   | Some at ->
       Sim.Engine.schedule (Rolis.Cluster.engine cluster) (at * ms) (fun () ->
@@ -115,6 +135,27 @@ let run_cluster workload workers cores batch batch_policy replay_batch
     | None -> "");
   Printf.printf "executed:        %d (user aborts: %d)\n" (Rolis.Cluster.executed cluster)
     (Rolis.Cluster.user_aborts cluster);
+  if follower_reads then begin
+    let acked =
+      Array.fold_left (fun a c -> a + Rolis.Client.acked_count c) 0 read_sessions
+    in
+    Printf.printf
+      "reads:           %d acked / %d served, parked %d, redirected %d, \
+       misses %d%s%s\n"
+      acked
+      (Rolis.Cluster.reads_served cluster)
+      (Rolis.Cluster.reads_parked cluster)
+      (Rolis.Cluster.reads_redirected cluster)
+      (Rolis.Cluster.read_misses cluster)
+      (match Rolis.Cluster.read_staleness cluster with
+      | Some (n, p50, p95) ->
+          Printf.sprintf ", staleness p50 %.2f ms / p95 %.2f ms (%d samples)"
+            (float_of_int p50 /. 1e6)
+            (float_of_int p95 /. 1e6)
+            n
+      | None -> "")
+      (if wan_profile <> "" then Printf.sprintf " [%s]" wan_profile else "")
+  end;
   if ckpt_interval_ms > 0 then begin
     let newest =
       match Rolis.Cluster.newest_checkpoint cluster with
@@ -239,6 +280,36 @@ let no_truncate_arg =
           "Keep taking checkpoints but never truncate the journals — the \
            unbounded-memory comparison arm of the mem5 benchmark.")
 
+let follower_reads_arg =
+  Arg.(
+    value & flag
+    & info [ "follower-reads" ]
+        ~doc:
+          "Serve watermark-snapshot reads from every replica: read-only \
+           client sessions hit lease-holding followers (and the leader) at \
+           a pin no higher than the release watermark. Requires a workload \
+           with a read_op ($(b,ycsb)).")
+
+let read_lease_arg =
+  Arg.(
+    value
+    & opt int (Rolis.Config.default.Rolis.Config.read_lease / Sim.Engine.us)
+    & info [ "read-lease-us" ]
+        ~doc:
+          "Follower freshness-lease duration in microseconds (must be \
+           smaller than the election timeout — that gap is the fencing \
+           margin).")
+
+let wan_profile_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "wan-profile" ]
+        ~doc:
+          "Named inter-region latency matrix applied to every link \
+           (replicas and clients round-robin over the regions): \
+           $(b,wan3) (3 regions, ~30 ms cross-region), $(b,metro3) \
+           (~1 ms). Empty = uniform latency.")
+
 let run_cmd =
   let term =
     Term.(
@@ -246,7 +317,8 @@ let run_cmd =
       $ batch_policy_arg $ replay_batch_arg $ replay_parallel_arg
       $ hash_tables_arg $ target_delay_arg $ duration_arg $ warmup_arg
       $ networked_arg $ single_arg $ crash_arg $ ckpt_interval_arg
-      $ no_truncate_arg $ seed_arg)
+      $ no_truncate_arg $ follower_reads_arg $ read_lease_arg $ wan_profile_arg
+      $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 
@@ -256,7 +328,8 @@ let run_cmd =
    failure ships the exact fault schedule as an artifact. Determinism
    makes the re-run identical to the original failure. *)
 let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
-    ~checkpoint_interval ~history_warmup ~ops ~spares ~seed =
+    ~checkpoint_interval ~history_warmup ~ops ~spares ~follower_reads
+    ~read_lease ~wan_profile ~seed =
   let oc = open_out path in
   let fmt = Format.formatter_of_out_channel oc in
   let reporter =
@@ -279,7 +352,8 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
   Logs.set_level (Some Logs.Debug);
   let o =
     Rolis.Chaos.run_seed ~replicas ~workers ~clients ~accounts ~duration
-      ~checkpoint_interval ~history_warmup ~ops ~spares ~seed ()
+      ~checkpoint_interval ~history_warmup ~ops ~spares ~follower_reads
+      ?read_lease ~wan_profile ~seed ()
   in
   Format.fprintf fmt "%a@." Rolis.Chaos.pp_outcome o;
   Logs.set_reporter saved_reporter;
@@ -287,7 +361,8 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
   close_out oc
 
 let run_chaos seeds seed0 replicas workers clients accounts duration_ms
-    ckpt_interval_ms history_warmup_ms ops spares verbose nemesis_log =
+    ckpt_interval_ms history_warmup_ms ops spares follower_reads read_lease_us
+    wan_profile verbose nemesis_log =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -304,13 +379,23 @@ let run_chaos seeds seed0 replicas workers clients accounts duration_ms
     (if ops then
        Printf.sprintf ", rolling operations over %d spare slot(s)" spares
      else "");
+  if follower_reads then
+    Printf.printf "chaos: follower reads ON%s%s\n%!"
+      (if read_lease_us > 0 then Printf.sprintf " (lease %d us)" read_lease_us
+       else "")
+      (if wan_profile <> "" then Printf.sprintf ", WAN profile %s" wan_profile
+       else "");
   let duration = duration_ms * ms in
   let checkpoint_interval = ckpt_interval_ms * ms in
   let history_warmup = history_warmup_ms * ms in
+  let read_lease =
+    if read_lease_us > 0 then Some (read_lease_us * Sim.Engine.us) else None
+  in
   let _, first_failure =
     try
       Rolis.Chaos.run_seeds ~replicas ~workers ~clients ~accounts ~duration
-        ~checkpoint_interval ~history_warmup ~ops ~spares ~seed0 ~seeds
+        ~checkpoint_interval ~history_warmup ~ops ~spares ~follower_reads
+        ?read_lease ~wan_profile ~seed0 ~seeds
         ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
         ()
     with Invalid_argument msg ->
@@ -326,7 +411,8 @@ let run_chaos seeds seed0 replicas workers clients accounts duration_ms
       (match nemesis_log with
       | Some path ->
           dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
-            ~checkpoint_interval ~history_warmup ~ops ~spares ~seed;
+            ~checkpoint_interval ~history_warmup ~ops ~spares ~follower_reads
+            ~read_lease ~wan_profile ~seed;
           Printf.printf "chaos: nemesis log for seed %d written to %s\n" seed path
       | None -> ());
       exit 1
@@ -406,12 +492,40 @@ let nemesis_log_arg =
           "On failure, re-run the first failing seed with debug logging and \
            write the full nemesis/fault schedule to this file (CI artifact).")
 
+let chaos_follower_reads_arg =
+  Arg.(
+    value & flag
+    & info [ "follower-reads" ]
+        ~doc:
+          "Add read-only client sessions driving watermark-snapshot balance \
+           reads at the whole replica pool during the faults, and run the \
+           snapshot-read oracle at the end (no read above its pin, none \
+           torn, lease-lapsed followers never serve).")
+
+let chaos_read_lease_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "read-lease-us" ]
+        ~doc:
+          "Follower freshness-lease duration in microseconds (0 = the \
+           chaos default, 150 ms against the 300 ms election timeout).")
+
+let chaos_wan_profile_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "wan-profile" ]
+        ~doc:
+          "Named inter-region latency matrix ($(b,wan3), $(b,metro3)); \
+           empty = uniform.")
+
 let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
       $ clients_arg $ accounts_arg $ chaos_duration_arg $ chaos_ckpt_interval_arg
-      $ history_warmup_arg $ ops_arg $ spares_arg $ verbose_arg $ nemesis_log_arg)
+      $ history_warmup_arg $ ops_arg $ spares_arg $ chaos_follower_reads_arg
+      $ chaos_read_lease_arg $ chaos_wan_profile_arg $ verbose_arg
+      $ nemesis_log_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

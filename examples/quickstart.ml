@@ -39,6 +39,7 @@ let bank_app stopped =
             end
           end);
     client_op = None;
+    read_op = None;
   }
 
 let total db =

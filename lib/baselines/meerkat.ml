@@ -58,7 +58,7 @@ let run ?(seed = 42L) ?(keys_per_thread = 10_000) ?(pipeline = 16)
                     and replication of this transaction. *)
                  Sim.Cpu.consume cpu (base_cost + (ops * per_op_cost));
                  (* One validation round trip to the farthest replica. *)
-                 Sim.Engine.sleep (2 * Sim.Net.sample_latency net);
+                 Sim.Engine.sleep (2 * Sim.Net.sample_latency net ~src:0 ~dst:1);
                  (* Atomic validation across the three stores. *)
                  let ok =
                    List.for_all

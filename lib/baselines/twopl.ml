@@ -83,7 +83,8 @@ let run ?(seed = 42L) ?(clients_per_partition = 96) ?(keys_per_partition = 35_00
              match m.Paxos.Msg.body with
              | Paxos.Msg.Stream { stream; msg } ->
                  Paxos.Stream.handle all_streams.(node).(stream) msg ~from:m.Paxos.Msg.from
-             | Paxos.Msg.Elect _ | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _ -> ()
+             | Paxos.Msg.Elect _ | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _
+             | Paxos.Msg.Read_req _ | Paxos.Msg.Read_lease _ -> ()
            done))
   done;
   (* Server-side work occupies the partition's core exclusively. *)

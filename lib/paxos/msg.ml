@@ -23,6 +23,7 @@ type stream_msg =
 
 type reply =
   | Ok_released
+  | Ok_read of { value : string }
   | Aborted
   | Not_leader of { hint : int option }
   | Busy
@@ -32,6 +33,8 @@ type body =
   | Stream of { stream : int; msg : stream_msg }
   | Client_req of { cid : int; seq : int; payload : string }
   | Client_rep of { cid : int; seq : int; reply : reply }
+  | Read_req of { cid : int; seq : int; payload : string }
+  | Read_lease of { epoch : int; until : int }
 
 type t = { from : int; body : body }
 
@@ -46,7 +49,10 @@ let size t =
   match t.body with
   | Elect _ -> 16
   | Client_req { payload; _ } -> 16 + String.length payload
+  | Client_rep { reply = Ok_read { value }; _ } -> 16 + String.length value
   | Client_rep _ -> 16
+  | Read_req { payload; _ } -> 16 + String.length payload
+  | Read_lease _ -> 16
   | Stream { msg; _ } -> (
       match msg with
       | Prepare _ | Accepted _ | Commit _ | Fetch _ | Nack _ -> 16
@@ -69,12 +75,17 @@ let pp fmt t =
         let r =
           match reply with
           | Ok_released -> "ok"
+          | Ok_read { value } -> Printf.sprintf "ok-read(|v|=%d)" (String.length value)
           | Aborted -> "aborted"
           | Not_leader { hint = Some h } -> Printf.sprintf "not-leader(hint=%d)" h
           | Not_leader { hint = None } -> "not-leader"
           | Busy -> "busy"
         in
         Printf.sprintf "ClientRep(c=%d,s=%d,%s)" cid seq r
+    | Read_req { cid; seq; payload } ->
+        Printf.sprintf "ReadReq(c=%d,s=%d,|p|=%d)" cid seq (String.length payload)
+    | Read_lease { epoch; until } ->
+        Printf.sprintf "ReadLease(e=%d,until=%d)" epoch until
     | Stream { stream; msg } ->
         let m =
           match msg with

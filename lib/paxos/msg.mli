@@ -53,6 +53,9 @@ type reply =
   | Ok_released
       (** the transaction committed, fell under the watermark, and its
           result was released — the exactly-once ack *)
+  | Ok_read of { value : string }
+      (** a snapshot read served at the replica's pinned watermark;
+          [value] is the app-encoded result *)
   | Aborted  (** user-level abort: the transaction had no effect anywhere *)
   | Not_leader of { hint : int option }
       (** receiver is not serving; [hint] is its current guess at the
@@ -66,6 +69,13 @@ type body =
       (** client session [cid] submits its [seq]-th request; [payload] is
           an app-defined operation encoding *)
   | Client_rep of { cid : int; seq : int; reply : reply }
+  | Read_req of { cid : int; seq : int; payload : string }
+      (** read-only session request: served from a watermark-pinned
+          snapshot by any lease-holding replica, never proposed to Paxos *)
+  | Read_lease of { epoch : int; until : int }
+      (** leader grant riding the heartbeat tick: the receiver may serve
+          snapshot reads until virtual time [until], provided its own
+          election epoch still equals [epoch] *)
 
 type t = { from : int; body : body }
 

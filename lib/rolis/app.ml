@@ -5,6 +5,7 @@ type t = {
   setup : Silo.Db.t -> unit;
   make_worker : Silo.Db.t -> rng:Sim.Rng.t -> worker:int -> nworkers:int -> gen;
   client_op : (Silo.Db.t -> payload:string -> Silo.Txn.t -> unit) option;
+  read_op : (Silo.Db.t -> payload:string -> Silo.Db.snap -> string) option;
 }
 
 let counter_app ~keys =
@@ -39,4 +40,12 @@ let counter_app ~keys =
             | None -> 0
           in
           Silo.Txn.put txn table k (string_of_int (v + 1)));
+    read_op =
+      Some
+        (fun db ~payload snap ->
+          let table = Silo.Db.table db "counters" in
+          let k = key (int_of_string payload mod keys) in
+          match Silo.Db.snap_get snap table k with
+          | Some s -> s
+          | None -> "0");
   }

@@ -20,6 +20,13 @@ type t = {
           cluster runs with [Config.clients > 0] — workers then serve
           queued client requests instead of calling [make_worker]'s
           generator. *)
+  read_op : (Silo.Db.t -> payload:string -> Silo.Db.snap -> string) option;
+      (** interpret a read-only client request against a watermark-pinned
+          snapshot ({!Silo.Db.read_at}): parse [payload] and return the
+          reply value carried back in [Ok_read]. The body must be pure
+          reads through {!Silo.Db.snap_get} — there is no transaction, no
+          locks and no validation. Required when the cluster runs with
+          [Config.follower_reads] and read-only client sessions. *)
 }
 
 val counter_app : keys:int -> t

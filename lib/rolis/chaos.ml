@@ -57,6 +57,13 @@ let bank_app ~accounts ~stopped =
               Silo.Txn.put txn t (key a) (string_of_int (va - amount));
               Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
           | _ -> failwith "chaos: bad transfer payload");
+    read_op =
+      Some
+        (fun db ~payload snap ->
+          let t = Silo.Db.table db bank_table in
+          match Silo.Db.snap_get snap t (key (int_of_string payload)) with
+          | Some v -> v
+          | None -> string_of_int initial_balance);
   }
 
 (* Client-side request generator: "a b amount" with a <> b. *)
@@ -64,6 +71,9 @@ let bank_payload rng ~accounts =
   let a = Sim.Rng.int rng accounts in
   let b = (a + 1 + Sim.Rng.int rng (accounts - 1)) mod accounts in
   Printf.sprintf "%d %d %d" a b (1 + Sim.Rng.int rng 10)
+
+(* Read-session payload: one account id, answered with its balance. *)
+let bank_read_payload rng ~accounts = string_of_int (Sim.Rng.int rng accounts)
 
 type outcome = {
   seed : int;
@@ -85,6 +95,11 @@ type outcome = {
   removes : int;
   handoffs : int;
   ops_skipped : int;
+  reads_acked : int;
+  reads_served : int;
+  reads_parked : int;
+  reads_redirected : int;
+  read_misses : int;
 }
 
 let ok o = o.violations = []
@@ -99,6 +114,11 @@ let pp_outcome fmt o =
     o.released o.executed o.crashes o.restarts o.epochs o.entries_checked o.acked
     o.client_retries o.busy_replies o.parked o.checkpoints o.truncations
     o.rebuilds o.adds o.removes o.handoffs o.ops_skipped;
+  if o.reads_acked + o.reads_served + o.reads_parked + o.reads_redirected > 0 then
+    Format.fprintf fmt
+      " (reads: acked=%d served=%d parked=%d redirected=%d misses=%d)"
+      o.reads_acked o.reads_served o.reads_parked o.reads_redirected
+      o.read_misses;
   List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
 
 let chaos_costs =
@@ -106,8 +126,11 @@ let chaos_costs =
 
 let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     ?(duration = 3 * Sim.Engine.s) ?(checkpoint_interval = 0)
-    ?(history_warmup = 0) ?(ops = false) ?(spares = 2) ~seed () =
+    ?(history_warmup = 0) ?(ops = false) ?(spares = 2)
+    ?(follower_reads = false) ?(read_clients = 4) ?(read_lease = 150 * ms)
+    ?(wan_profile = "") ~seed () =
   let stopped = ref false in
+  let read_clients = if follower_reads then read_clients else 0 in
   (* Rolling-operations mode keeps checkpointing on: joining learners
      bootstrap from the newest image + journal tail (the PR-6 path) and
      the truncation retention gate must prove it holds log for them. *)
@@ -127,8 +150,11 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
       archive_entries = true;
       heartbeat_interval = 50 * ms;
       election_timeout = 300 * ms;
-      clients;
+      clients = clients + read_clients;
       seed = Int64.of_int seed;
+      follower_reads;
+      read_lease;
+      wan_profile;
       (* Checkpoint chaos: short retention (the floor is the election
          timeout) so truncation rounds actually fire inside a few virtual
          seconds, making crashes race in-progress checkpoints and
@@ -156,6 +182,18 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
         Client.spawn net ~cfg ~cid ~stopped
           ~stats:(Cluster.client_stats cluster)
           ~gen:(fun () -> bank_payload crng ~accounts)
+          ())
+  in
+  (* Read-only sessions ride the same network on the client ids above the
+     write sessions. Their acks are balance reads — they must NOT feed
+     the exactly-once audit (reads are idempotent by construction); the
+     snapshot-read oracle audits them instead. *)
+  let read_sessions =
+    Array.init read_clients (fun j ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Client.spawn net ~cfg ~cid:(clients + j) ~stopped ~ro:true
+          ~stats:(Cluster.client_read_stats cluster)
+          ~gen:(fun () -> bank_read_payload crng ~accounts)
           ())
   in
   (* Continuous light checking: sealed watermarks must agree while faults
@@ -245,6 +283,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
       @ Check.money cluster ~table:bank_table
           ~expected:(accounts * initial_balance)
       @ (if clients > 0 then Check.exactly_once cluster ~acked else [])
+      @ (if follower_reads then Check.snapshot_reads cluster else [])
     with exn ->
       [
         {
@@ -261,6 +300,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
       0 (Cluster.replicas cluster)
   in
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 sessions in
+  let rsum f = Array.fold_left (fun acc c -> acc + f c) 0 read_sessions in
   {
     seed;
     violations;
@@ -281,15 +321,22 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     removes = Cluster.removes cluster;
     handoffs = Cluster.handoffs cluster;
     ops_skipped = Cluster.ops_skipped cluster;
+    reads_acked = rsum Client.acked_count;
+    reads_served = Cluster.reads_served cluster;
+    reads_parked = Cluster.reads_parked cluster;
+    reads_redirected = Cluster.reads_redirected cluster;
+    read_misses = Cluster.read_misses cluster;
   }
 
 let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?checkpoint_interval
-    ?history_warmup ?ops ?spares ?(seed0 = 1) ?on_outcome ~seeds () =
+    ?history_warmup ?ops ?spares ?follower_reads ?read_clients ?read_lease
+    ?wan_profile ?(seed0 = 1) ?on_outcome ~seeds () =
   let outcomes = ref [] in
   for i = 0 to seeds - 1 do
     let o =
       run_seed ?replicas ?workers ?clients ?accounts ?duration
-        ?checkpoint_interval ?history_warmup ?ops ?spares ~seed:(seed0 + i) ()
+        ?checkpoint_interval ?history_warmup ?ops ?spares ?follower_reads
+        ?read_clients ?read_lease ?wan_profile ~seed:(seed0 + i) ()
     in
     (match on_outcome with Some f -> f o | None -> ());
     outcomes := o :: !outcomes

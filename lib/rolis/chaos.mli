@@ -36,6 +36,10 @@ val bank_payload : Sim.Rng.t -> accounts:int -> string
 (** One random transfer request ["a b amount"] with [a <> b], suitable as
     a {!Client.spawn} [gen]. *)
 
+val bank_read_payload : Sim.Rng.t -> accounts:int -> string
+(** One random balance-read request (an account id), suitable as a
+    read-only {!Client.spawn} [gen] against [bank_app]'s [read_op]. *)
+
 type outcome = {
   seed : int;
   violations : Check.violation list;  (** empty iff the run passed *)
@@ -56,6 +60,11 @@ type outcome = {
   removes : int;  (** completed remove-replica membership changes *)
   handoffs : int;  (** completed planned leader transfers *)
   ops_skipped : int;  (** membership operations refused or timed out *)
+  reads_acked : int;  (** balance reads the read-only sessions got answered *)
+  reads_served : int;  (** snapshot reads answered, all replicas *)
+  reads_parked : int;  (** read requests bounced Busy (lease lapse / backlog) *)
+  reads_redirected : int;  (** read requests bounced Not_leader *)
+  read_misses : int;  (** snapshot-miss retries (reclaimed version races) *)
 }
 
 val ok : outcome -> bool
@@ -71,6 +80,10 @@ val run_seed :
   ?history_warmup:int ->
   ?ops:bool ->
   ?spares:int ->
+  ?follower_reads:bool ->
+  ?read_clients:int ->
+  ?read_lease:int ->
+  ?wan_profile:string ->
   seed:int ->
   unit ->
   outcome
@@ -92,7 +105,17 @@ val run_seed :
     Checkpointing defaults on in ops mode (joining learners bootstrap
     from the newest image + tail) and the final checks additionally
     assert {!Check.membership_agreement}; the exactly-once audit covers
-    removed nodes through the evidence harvested at decommission. *)
+    removed nodes through the evidence harvested at decommission.
+
+    [follower_reads] turns on the watermark-snapshot read path and adds
+    [read_clients] (default 4) read-only {!Client} sessions driving
+    balance reads at the replica pool, with a freshness lease of
+    [read_lease] (default 150 ms — the chaos election timeout is 300 ms
+    and Config requires lease < timeout). The final checks then also run
+    {!Check.snapshot_reads} over every replica's audited read sample; the
+    read sessions' acks are excluded from the exactly-once audit (reads
+    are idempotent). [wan_profile] applies a named {!Sim.Net.wan_profile}
+    latency matrix to the whole deployment ([""] = uniform). *)
 
 val run_seeds :
   ?replicas:int ->
@@ -104,6 +127,10 @@ val run_seeds :
   ?history_warmup:int ->
   ?ops:bool ->
   ?spares:int ->
+  ?follower_reads:bool ->
+  ?read_clients:int ->
+  ?read_lease:int ->
+  ?wan_profile:string ->
   ?seed0:int ->
   ?on_outcome:(outcome -> unit) ->
   seeds:int ->

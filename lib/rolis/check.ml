@@ -253,6 +253,107 @@ let exactly_once cluster ~acked =
     acked;
   List.rev !viols
 
+(* Snapshot-read audit. Every replica keeps a deterministic sample of the
+   reads it served: the pin each used and every observation (table, key,
+   observed version timestamp) its body made. Ground truth is again the
+   union durable log, filtered by the final-watermark rule: a write counts
+   as *applied* iff its transaction is below its epoch's final watermark
+   (unsealed last epoch: everything durable — valid once quiesced). For
+   each observation, with [exp] = the newest applied write timestamp <=
+   the read's pin for that key (0 if none, i.e. only the ts-0 setup record
+   could exist):
+
+   - [ots > pin] is always a violation — the read escaped its snapshot and
+     saw above-watermark (possibly speculative, never-released) state;
+   - [ots < exp] with [exp > 0] is a violation — the read missed an
+     applied write below its pin, i.e. a torn or stale snapshot (version
+     reclamation dropped a version a pinned read still needed);
+   - [ots > exp] is a violation unless checkpoint truncation has dropped
+     journal slots (then the write's provenance may simply be gone);
+     [ots <= 0] (setup record or absent) is always consistent with
+     [exp = 0]. *)
+let snapshot_reads cluster =
+  let reps = alive_replicas cluster in
+  let final_w epoch =
+    List.fold_left
+      (fun acc r ->
+        match acc with Some _ -> acc | None -> Replica.final_watermark r ~epoch)
+      None reps
+  in
+  let union : (int * int, Store.Wire.entry) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s, idx, e) -> Hashtbl.replace union (s, idx) e)
+        (Replica.journal r))
+    reps;
+  (* Applied write timestamps per (table, key), descending order not
+     needed — we only ever take the max below a pin. *)
+  let writes : (int * string, int list) Hashtbl.t = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun _ (e : Store.Wire.entry) ->
+      let w = match final_w e.epoch with Some w -> w | None -> max_int in
+      List.iter
+        (fun (txn : Store.Wire.txn_log) ->
+          if txn.Store.Wire.ts <= w then
+            List.iter
+              (fun (wr : Store.Wire.write) ->
+                let key = (wr.Store.Wire.table, wr.Store.Wire.key) in
+                let cur =
+                  match Hashtbl.find_opt writes key with
+                  | Some l -> l
+                  | None -> []
+                in
+                Hashtbl.replace writes key (txn.Store.Wire.ts :: cur))
+              txn.Store.Wire.writes)
+        e.txns)
+    union;
+  let truncated =
+    Array.exists (fun c -> c >= 0) (Cluster.trunc_frontier cluster)
+  in
+  let expected_at ~table ~key ~pin =
+    match Hashtbl.find_opt writes (table, key) with
+    | None -> 0
+    | Some l -> List.fold_left (fun m ts -> if ts <= pin then max m ts else m) 0 l
+  in
+  let viols = ref [] and nviol = ref 0 in
+  let bad fmt =
+    Format.kasprintf
+      (fun detail ->
+        incr nviol;
+        if !nviol <= cap then
+          viols := { check = "snapshot-read"; detail } :: !viols)
+      fmt
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (pin, obs) ->
+          List.iter
+            (fun (table, key, ots) ->
+              if ots > pin then
+                bad
+                  "replica %d: read pinned at %d observed table %d key %S at \
+                   ts %d — above its snapshot"
+                  (Replica.id r) pin table key ots
+              else
+                let exp = expected_at ~table ~key ~pin in
+                if ots < exp && exp > 0 then
+                  bad
+                    "replica %d: read pinned at %d observed table %d key %S \
+                     at ts %d but an applied write at ts %d <= pin exists \
+                     (stale/torn snapshot)"
+                    (Replica.id r) pin table key ots exp
+                else if ots > exp && ots > 0 && not truncated then
+                  bad
+                    "replica %d: read pinned at %d observed table %d key %S \
+                     at ts %d which is in no applied durable transaction"
+                    (Replica.id r) pin table key ots)
+            obs)
+        (Replica.read_audits r))
+    reps;
+  List.rev !viols
+
 let money cluster ~table ~expected =
   alive_replicas cluster
   |> List.filter_map (fun r ->

@@ -74,3 +74,17 @@ val exactly_once : Cluster.t -> acked:(int * int) list -> violation list
     entry of [acked] — the [(client, seq)] pairs the {!Client} sessions
     got [Ok_released] for — applied zero times (a released result was
     lost: the §3.3 visibility guarantee broken). Quiescent points only. *)
+
+val snapshot_reads : Cluster.t -> violation list
+(** Audit of the follower snapshot-read path against the union durable
+    log (requires [archive_entries]; meaningful with
+    [Config.follower_reads]). Each replica's deterministic sample of
+    served reads ({!Replica.read_audits}) records the pin and every
+    observation [(table, key, observed version ts)]. Violations: an
+    observation above the read's pin (escaped its snapshot — possibly
+    speculative state); an observation older than an applied durable
+    write at or below the pin (stale or torn snapshot: version
+    reclamation raced a pinned read); or — absent checkpoint
+    truncation — an observed version present in no applied durable
+    transaction. Quiescent points only (the final-watermark rule needs
+    the drain). *)

@@ -11,6 +11,12 @@ type t = {
   gen : unit -> string;
   stopped : bool ref;
   stats : Stats.t option; (* shared cluster-side client stats, if wired *)
+  ro : bool; (* read-only session: issues [Read_req] instead of [Client_req] *)
+  (* Read routing preference: replica ids in try-order (nearest first in a
+     WAN topology, or the lease-holding subset a bench arm serves from).
+     Write sessions ignore it and rotate over the whole pool. *)
+  prefer : int array;
+  mutable pref_i : int; (* current index into [prefer] *)
   mutable hint : int; (* current guess at the leader *)
   mutable seq : int; (* seq of the in-flight (or last issued) request *)
   mutable completed : int; (* highest seq terminally resolved *)
@@ -29,6 +35,7 @@ type t = {
 
 let cid t = t.cid
 let node t = t.node
+let is_ro t = t.ro
 let acked_count t = List.length t.acked
 let acked_seqs t = List.rev_map (fun seq -> (t.cid, seq)) t.acked
 let aborted t = t.aborted
@@ -40,15 +47,21 @@ let parked t = t.parked
 let issued t = t.seq
 let latency t = t.lat
 
-let rotate_hint t = t.hint <- (t.hint + 1) mod Config.pool t.cfg
+(* Read sessions rotate within their preference list; write sessions scan
+   the whole pool looking for the leader. *)
+let rotate_hint t =
+  if t.ro then begin
+    t.pref_i <- (t.pref_i + 1) mod Array.length t.prefer;
+    t.hint <- t.prefer.(t.pref_i)
+  end
+  else t.hint <- (t.hint + 1) mod Config.pool t.cfg
 
 let send_req t payload =
-  let m =
-    {
-      Paxos.Msg.from = t.node;
-      body = Paxos.Msg.Client_req { cid = t.cid; seq = t.seq; payload };
-    }
+  let body =
+    if t.ro then Paxos.Msg.Read_req { cid = t.cid; seq = t.seq; payload }
+    else Paxos.Msg.Client_req { cid = t.cid; seq = t.seq; payload }
   in
+  let m = { Paxos.Msg.from = t.node; body } in
   Sim.Net.send t.net ~size:(Paxos.Msg.size m) ~src:t.node ~dst:t.hint m
 
 (* Exponential backoff with seeded jitter: attempt [a] sleeps a uniform
@@ -87,12 +100,26 @@ let record_ok t ~from =
    timeouts, Busy shedding and leader redirects. After [client_retry_limit]
    attempts the request is parked — the client sleeps and re-drives it
    later, so an unreachable cluster degrades gracefully instead of
-   spinning. The request is never abandoned: exactly-once is about
-   duplicate execution, not about giving up. *)
+   spinning. A write request is never abandoned: exactly-once is about
+   duplicate execution, not about giving up. A read request, being
+   idempotent and free of any exactly-once obligation, is abandoned after
+   one park: a permanently unservable read (a hot key overwritten faster
+   than the snapshot pin advances past it) must not head-of-line block
+   the session forever. *)
 let drive t payload =
   t.t0 <- Sim.Engine.time ();
   t.req_parked_ns <- 0;
   t.req_redirects <- 0;
+  (* Each read starts back at the session's home replica (nearest under a
+     WAN profile, the assigned serving replica otherwise). Busy/redirect
+     rotations and [record_ok]'s hint adoption are per-request routing
+     state: without this reset, a warmup-time Busy storm from followers
+     that have no lease yet would funnel every session to the leader
+     permanently. *)
+  if t.ro then begin
+    t.pref_i <- t.cid mod Array.length t.prefer;
+    t.hint <- t.prefer.(t.pref_i)
+  end;
   let attempts = ref 0 in
   let finished = ref false in
   while (not !finished) && not !(t.stopped) do
@@ -105,52 +132,74 @@ let drive t payload =
         + Sim.Rng.int t.rng (max 1 (t.cfg.Config.client_park_interval / 2))
       in
       t.req_parked_ns <- t.req_parked_ns + nap;
-      Sim.Engine.sleep nap
-    end;
-    if !attempts > 0 then t.retries <- t.retries + 1;
-    send_req t payload;
-    incr attempts;
-    let deadline = Sim.Engine.time () + t.cfg.Config.client_timeout in
-    let waiting = ref true in
-    while !waiting && not !finished do
-      let left = deadline - Sim.Engine.time () in
-      if left <= 0 then begin
-        t.timeouts <- t.timeouts + 1;
-        rotate_hint t;
-        waiting := false;
-        backoff_sleep t ~attempt:!attempts
+      Sim.Engine.sleep nap;
+      if t.ro then begin
+        record_resolution t;
+        t.completed <- t.seq;
+        finished := true
       end
-      else
-        match Sim.Net.recv_timeout t.net t.node left with
-        | Some { Paxos.Msg.from; body = Paxos.Msg.Client_rep { cid; seq; reply } }
-          when cid = t.cid && seq = t.seq -> (
-            match reply with
-            | Paxos.Msg.Ok_released ->
-                record_ok t ~from;
-                finished := true
-            | Paxos.Msg.Aborted ->
-                t.aborted <- t.aborted + 1;
-                record_resolution t;
-                t.completed <- t.seq;
-                t.hint <- from;
-                finished := true
-            | Paxos.Msg.Busy ->
-                t.busy <- t.busy + 1;
-                waiting := false;
-                backoff_sleep t ~attempt:!attempts
-            | Paxos.Msg.Not_leader { hint } ->
-                t.redirects <- t.redirects + 1;
-                t.req_redirects <- t.req_redirects + 1;
-                (match hint with Some h -> t.hint <- h | None -> rotate_hint t);
-                waiting := false;
-                (* Short pause, not full backoff: an election may be in
-                   progress and the hint goes stale quickly. *)
-                Sim.Engine.sleep
-                  (t.cfg.Config.client_backoff_base
-                  + Sim.Rng.int t.rng (max 1 t.cfg.Config.client_backoff_base)))
-        | Some _ -> () (* stale reply for an older attempt or seq *)
-        | None -> () (* next iteration observes the elapsed deadline *)
-    done
+    end;
+    if not !finished then begin
+      if !attempts > 0 then t.retries <- t.retries + 1;
+      send_req t payload;
+      incr attempts;
+      let deadline = Sim.Engine.time () + t.cfg.Config.client_timeout in
+      let waiting = ref true in
+      while !waiting && not !finished do
+        let left = deadline - Sim.Engine.time () in
+        if left <= 0 then begin
+          t.timeouts <- t.timeouts + 1;
+          rotate_hint t;
+          waiting := false;
+          backoff_sleep t ~attempt:!attempts
+        end
+        else
+          match Sim.Net.recv_timeout t.net t.node left with
+          | Some
+              { Paxos.Msg.from; body = Paxos.Msg.Client_rep { cid; seq; reply } }
+            when cid = t.cid && seq = t.seq -> (
+              match reply with
+              | Paxos.Msg.Ok_released | Paxos.Msg.Ok_read _ ->
+                  record_ok t ~from;
+                  finished := true
+              | Paxos.Msg.Aborted ->
+                  t.aborted <- t.aborted + 1;
+                  record_resolution t;
+                  t.completed <- t.seq;
+                  t.hint <- from;
+                  finished := true
+              | Paxos.Msg.Busy ->
+                  t.busy <- t.busy + 1;
+                  (* A read session tries another lease holder after the
+                     backoff — the replica that shed us may be lease-parked
+                     for a while; a write session re-tries the same leader. *)
+                  if t.ro then rotate_hint t;
+                  waiting := false;
+                  backoff_sleep t ~attempt:!attempts
+              | Paxos.Msg.Not_leader { hint } ->
+                  t.redirects <- t.redirects + 1;
+                  t.req_redirects <- t.req_redirects + 1;
+                  (* A read session never leaves its preference list: the
+                     hint points at the leader, and adopting it — e.g.
+                     during warmup, before the first heartbeat has granted
+                     any lease — would permanently funnel every session
+                     there. Rotate to the next preferred replica instead. *)
+                  if t.ro then rotate_hint t
+                  else (
+                    match hint with
+                    | Some h -> t.hint <- h
+                    | None -> rotate_hint t);
+                  waiting := false;
+                  (* Short pause, not full backoff: an election may be in
+                     progress and the hint goes stale quickly. *)
+                  Sim.Engine.sleep
+                    (t.cfg.Config.client_backoff_base
+                    + Sim.Rng.int t.rng (max 1 t.cfg.Config.client_backoff_base)
+                    ))
+          | Some _ -> () (* stale reply for an older attempt or seq *)
+          | None -> () (* next iteration observes the elapsed deadline *)
+      done
+    end
   done
 
 let run t () =
@@ -163,7 +212,9 @@ let run t () =
       | Some
           {
             Paxos.Msg.from;
-            body = Paxos.Msg.Client_rep { cid; seq; reply = Paxos.Msg.Ok_released };
+            body =
+              Paxos.Msg.Client_rep
+                { cid; seq; reply = Paxos.Msg.Ok_released | Paxos.Msg.Ok_read _ };
           }
         when cid = t.cid && seq = t.seq && t.completed < t.seq -> record_ok t ~from
       | Some _ | None -> ()
@@ -173,9 +224,25 @@ let run t () =
     end
   done
 
-let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ~gen () =
+let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ?(ro = false) ?prefer ~gen
+    () =
   if cid < 0 || cid >= cfg.Config.clients then invalid_arg "Client.spawn: bad cid";
+  if ro && not cfg.Config.follower_reads then
+    invalid_arg "Client.spawn: read-only sessions need Config.follower_reads";
+  let prefer =
+    match prefer with
+    | Some p ->
+        if Array.length p = 0 then invalid_arg "Client.spawn: empty prefer list";
+        Array.iter
+          (fun r ->
+            if r < 0 || r >= Config.pool cfg then
+              invalid_arg "Client.spawn: prefer entry outside the pool")
+          p;
+        p
+    | None -> Array.init cfg.Config.replicas Fun.id
+  in
   let eng = Sim.Net.engine net in
+  let pref_i = cid mod Array.length prefer in
   let t =
     {
       net;
@@ -186,7 +253,10 @@ let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ~gen () =
       gen;
       stopped;
       stats;
-      hint = cid mod cfg.Config.replicas;
+      ro;
+      prefer;
+      pref_i;
+      hint = (if ro then prefer.(pref_i) else cid mod cfg.Config.replicas);
       seq = 0;
       completed = 0;
       t0 = 0;

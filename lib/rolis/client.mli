@@ -12,7 +12,10 @@
     - [Busy] (admission control) → back off and retry;
     - after [Config.client_retry_limit] attempts → {e park}: sleep
       [client_park_interval], then re-drive the same request, so an
-      unreachable cluster degrades gracefully;
+      unreachable cluster degrades gracefully (a read-only session
+      instead abandons the request after the park — reads are idempotent
+      and must not head-of-line block the session on a permanently
+      unservable key);
     - [Ok_released] → the result was released below the watermark: the
       exactly-once ack. [Aborted] → user abort, no effect anywhere.
 
@@ -29,6 +32,8 @@ val spawn :
   cid:int ->
   ?stopped:bool ref ->
   ?stats:Stats.t ->
+  ?ro:bool ->
+  ?prefer:int array ->
   gen:(unit -> string) ->
   unit ->
   t
@@ -41,10 +46,29 @@ val spawn :
     {!Cluster.client_stats} — receives each resolved request's total
     parked time ({!Stats.note_parked} plus the [Client_park] stage
     histogram) and redirect count (the [Client_redirect] stage), the
-    availability axes the reconfiguration bench reports. *)
+    availability axes the reconfiguration bench reports.
+
+    [ro] makes this a {e read-only} session: it issues [Read_req] instead
+    of [Client_req] (interpreted by the app's [read_op] against a
+    watermark-pinned snapshot, see {!Replica}), counts [Ok_read] as its
+    terminal ack, and rotates within [prefer] — the replica ids to try in
+    order (nearest first under a WAN profile, or the serving subset a
+    bench arm reads from; defaults to the base replica set). A [Busy]
+    shed rotates a read session to the next preferred replica, since the
+    shedding follower may stay lease-parked for a while; a [Not_leader]
+    redirect also rotates within [prefer] rather than adopting the hint,
+    so read traffic never funnels to the leader. Requires
+    [Config.follower_reads]; read-only acks must {e not} feed
+    {!Check.exactly_once} (reads execute no transaction — filter with
+    {!is_ro}).
+    @raise Invalid_argument on an empty or out-of-pool [prefer], or if
+    [ro] is set without [Config.follower_reads]. *)
 
 val cid : t -> int
 val node : t -> int
+
+val is_ro : t -> bool
+(** True for read-only sessions (spawned with [~ro:true]). *)
 
 val issued : t -> int
 (** Highest sequence number issued so far. *)

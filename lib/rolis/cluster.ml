@@ -20,8 +20,11 @@ type t = {
   mutable learners : int list;
   (* Client-side parked-time / redirect-count stats: pass to
      {!Client.spawn} (via [?stats]) so every session records into it;
-     merged into [stage_breakdown]. *)
+     merged into [stage_breakdown]. Read-only sessions record into the
+     separate [client_read_stats] so read and write dispositions stay
+     distinguishable. *)
   client_stats : Stats.t;
+  client_read_stats : Stats.t;
   mutable adds : int;
   mutable removes : int;
   mutable handoffs : int;
@@ -158,6 +161,7 @@ let members t = t.members
 let learners t = t.learners
 let membership_gen t = t.mgen
 let client_stats t = t.client_stats
+let client_read_stats t = t.client_read_stats
 let adds t = t.adds
 let removes t = t.removes
 let handoffs t = t.handoffs
@@ -175,7 +179,8 @@ let run t ?(warmup = 0) ~duration () =
         Stats.reset_window (Replica.stats r);
         Sim.Cpu.reset_busy (Replica.cpu r))
       t.replicas;
-    Stats.reset_window t.client_stats
+    Stats.reset_window t.client_stats;
+    Stats.reset_window t.client_read_stats
   end;
   t.w_start <- Sim.Engine.now t.eng;
   Sim.Engine.run ~until:(t.w_start + duration) t.eng;
@@ -342,6 +347,18 @@ let create ?(initial_leader = Some 0) ?on_durable cfg app =
     Sim.Net.create eng ~nodes:(pool + cfg.Config.clients)
       ~latency:cfg.Config.net_latency
   in
+  (* Geo topology: a named WAN profile assigns every node (replicas,
+     spares and clients alike) a region round-robin and installs the
+     profile's intra/inter latency matrix. [Config.validate] already
+     rejected unknown names; [""] (the default) installs nothing, so the
+     network draws the identical RNG sequence as before. *)
+  (match Sim.Net.wan_profile cfg.Config.wan_profile with
+  | Some p ->
+      let nodes = pool + cfg.Config.clients in
+      let regions = Array.init nodes (fun i -> i mod p.Sim.Net.wp_regions) in
+      Sim.Net.apply_regions net ~regions ~intra:p.Sim.Net.wp_intra
+        ~inter:p.Sim.Net.wp_inter
+  | None -> ());
   let hook id =
     Option.map (fun f ~stream ~idx entry -> f ~replica:id ~stream ~idx entry) on_durable
   in
@@ -368,6 +385,7 @@ let create ?(initial_leader = Some 0) ?on_durable cfg app =
       mgen = 0;
       learners = [];
       client_stats = Stats.create eng;
+      client_read_stats = Stats.create eng;
       adds = 0;
       removes = 0;
       handoffs = 0;
@@ -588,6 +606,7 @@ let stage_breakdown t =
       let h =
         Sim.Metrics.Hist.merge
           (Stats.stage_hist t.client_stats idx
+          :: Stats.stage_hist t.client_read_stats idx
           :: (Array.to_list t.replicas
              |> List.map (fun r -> Stats.stage_hist (Replica.stats r) idx)))
       in
@@ -636,6 +655,41 @@ let replay_lag t =
       (Array.to_list t.replicas
       |> List.map (fun r ->
              Stats.stage_hist (Replica.stats r) (Trace.stage_index Trace.Replay_lag)))
+  in
+  let n = Sim.Metrics.Hist.count h in
+  if n = 0 then None
+  else
+    Some
+      (n, Sim.Metrics.Hist.percentile h 50.0, Sim.Metrics.Hist.percentile h 95.0)
+
+(* Follower-read diagnostics. *)
+let reads_served t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.reads_served (Replica.stats r))
+    0 t.replicas
+
+let reads_parked t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.reads_parked (Replica.stats r))
+    0 t.replicas
+
+let reads_redirected t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.reads_redirected (Replica.stats r))
+    0 t.replicas
+
+let read_misses t =
+  Array.fold_left
+    (fun acc r -> acc + Stats.read_misses (Replica.stats r))
+    0 t.replicas
+
+let read_staleness t =
+  let h =
+    Sim.Metrics.Hist.merge
+      (Array.to_list t.replicas
+      |> List.map (fun r ->
+             Stats.stage_hist (Replica.stats r)
+               (Trace.stage_index Trace.Read_staleness)))
   in
   let n = Sim.Metrics.Hist.count h in
   if n = 0 then None

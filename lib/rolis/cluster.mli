@@ -57,6 +57,12 @@ val client_stats : t -> Stats.t
     {!Client.spawn} via [?stats]; merged into {!stage_breakdown} as the
     [client_park] / [client_redirect] stages. *)
 
+val client_read_stats : t -> Stats.t
+(** Shared stats for {e read-only} client sessions: pass to
+    {!Client.spawn} via [?stats] when spawning with [~ro:true], so the
+    read dispositions (park / redirect) stay separate from the write
+    path's. Merged into {!stage_breakdown} alongside {!client_stats}. *)
+
 val adds : t -> int
 val removes : t -> int
 val handoffs : t -> int
@@ -163,6 +169,31 @@ val replay_lag : t -> (int * int * int) option
     the transaction-timestamp axis (which rides virtual ns), one sample
     per replayed entry. [None] when tracing is disabled or no follower
     replayed anything. *)
+
+(** {2 Follower-read diagnostics}
+
+    All zero unless [Config.follower_reads] is on. *)
+
+val reads_served : t -> int
+(** Snapshot reads answered with [Ok_read], all replicas. *)
+
+val reads_parked : t -> int
+(** Read requests bounced with [Busy]: lease lapsed, admission-control
+    backlog, or retry budget exhausted on snapshot misses. *)
+
+val reads_redirected : t -> int
+(** Read requests bounced with [Not_leader] at a replica that could not
+    serve but knew a leader hint. *)
+
+val read_misses : t -> int
+(** [Snapshot_miss] retries: a read body touched a key whose
+    below-pin version was already reclaimed (the read retried at a
+    fresher pin). *)
+
+val read_staleness : t -> (int * int * int) option
+(** Staleness summary over the last window, merged across replicas:
+    [(samples, p50, p95)] of durable-frontier minus read pin in virtual
+    ns at serve time. [None] when tracing is off or nothing served. *)
 
 (** {2 Checkpoint-integrated recovery}
 

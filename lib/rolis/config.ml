@@ -52,6 +52,11 @@ type t = {
   checkpoint_truncate : bool;
   checkpoint_disk_mb_per_s : int;
   checkpoint_threads : int;
+  follower_reads : bool;
+  read_lease : int;
+  read_workers : int;
+  read_retry_limit : int;
+  wan_profile : string;
   trace_sample_interval : int;
   trace_buffer_capacity : int;
   seed : int64;
@@ -103,6 +108,11 @@ let default =
     checkpoint_truncate = true;
     checkpoint_disk_mb_per_s = 500;
     checkpoint_threads = 4;
+    follower_reads = false;
+    read_lease = 400 * Sim.Engine.ms;
+    read_workers = 2;
+    read_retry_limit = 8;
+    wan_profile = "";
     trace_sample_interval = 64;
     trace_buffer_capacity = 4096;
     seed = 42L;
@@ -240,6 +250,30 @@ let validate t =
     if t.checkpoint_threads < 1 then
       invalid_arg "Config: checkpoint_threads must be >= 1"
   end;
+  if t.follower_reads then begin
+    if t.read_lease <= 0 then
+      invalid_arg "Config: read_lease must be positive with follower_reads";
+    if t.read_lease >= t.election_timeout then
+      invalid_arg
+        (Printf.sprintf
+           "Config: read_lease (%d ns) must be smaller than election_timeout \
+            (%d ns) — a deposed leader's cohort may keep serving snapshot \
+            reads until its last lease expires, and a new leader can be \
+            elected (and commit writes) only after election_timeout of \
+            silence; a lease outliving the timeout would let stale followers \
+            serve past the point where the new leader considers their reads \
+            fenced"
+           t.read_lease t.election_timeout);
+    if t.read_workers < 1 then
+      invalid_arg "Config: read_workers must be >= 1 with follower_reads";
+    if t.read_retry_limit < 1 then
+      invalid_arg "Config: read_retry_limit must be >= 1 with follower_reads"
+  end;
+  if t.wan_profile <> "" && Sim.Net.wan_profile t.wan_profile = None then
+    invalid_arg
+      (Printf.sprintf "Config: unknown wan_profile %S (known: %s, or \"\")"
+         t.wan_profile
+         (String.concat ", " Sim.Net.wan_profile_names));
   if t.trace_sample_interval < 0 then
     invalid_arg "Config: trace_sample_interval must be non-negative";
   if t.trace_buffer_capacity < 1 then

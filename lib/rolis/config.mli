@@ -150,6 +150,25 @@ type t = {
       (** modeled bandwidth of the shared checkpoint disk *)
   checkpoint_threads : int;
       (** checkpoint writer threads striping tables across the disk *)
+  follower_reads : bool;
+      (** serve read-only client sessions from watermark-pinned snapshots
+          on every lease-holding replica (followers at their replayed
+          frontier, the leader at its release watermark); default [false]
+          — the write path and every simulated timing are bit-identical
+          with it off *)
+  read_lease : int;
+      (** ns of read-serving authority one leader heartbeat grants; must
+          stay below [election_timeout] so no stale lease outlives a
+          leader change (see {!validate}) *)
+  read_workers : int;
+      (** snapshot-read worker processes per serving replica *)
+  read_retry_limit : int;
+      (** times a snapshot read retries at a fresher pin after a
+          reclaimed-version miss before answering [Busy] *)
+  wan_profile : string;
+      (** named {!Sim.Net.wan_profile} applied to the cluster's links
+          (replicas and clients assigned to regions round-robin);
+          [""] (default) keeps the uniform [net_latency] model *)
   trace_sample_interval : int;
       (** {!Trace} sampling: record stage spans for every [n]-th
           committed transaction per worker; [0] disables tracing. Purely

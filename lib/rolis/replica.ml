@@ -121,6 +121,20 @@ type t = {
      requests the workers drain. *)
   sessions : (int, session) Hashtbl.t;
   client_q : (int * int * string) Sim.Sync.Mailbox.t;
+  (* Follower-read engine (gated on [Config.follower_reads]; all dormant
+     otherwise). The freshness lease is the leader's heartbeat-carried
+     promise that no newer epoch has released writes: a follower serves
+     snapshot reads only while [lease_epoch] is current and [lease_until]
+     has not passed. Read requests queue in [read_q] for the read worker
+     pool; a deterministic 1-in-N sample of served reads lands in
+     [read_audit] as [(pin, observations)] for {!Check.snapshot_reads}. *)
+  mutable lease_epoch : int;
+  mutable lease_until : int;
+  read_q : (int * int * string) Sim.Sync.Mailbox.t;
+  read_active : bool array;
+  mutable read_seen : int;
+  mutable read_audit : (int * (int * string * int) list) list;
+  mutable read_audit_n : int;
 }
 
 let id t = t.rid
@@ -709,6 +723,173 @@ let quorum_alive t =
     Paxos.Member.quorum t.view fresh
   end
 
+(* ---- snapshot reads (epoch-guarded freshness leases) ---- *)
+
+(* Audit sampling of served reads: deterministic (counter-based, no RNG
+   draws) and bounded, so long runs keep a representative prefix without
+   unbounded host memory. *)
+let read_audit_interval = 64
+let read_audit_cap = 4096
+
+(* May this replica serve a snapshot read right now? A serving leader may
+   — provided it still sees a quorum (the same condition that lets it
+   keep releasing); a follower needs a live freshness lease from the
+   current epoch's leader. The lease is a fence, not just a hint:
+   [Config.validate] enforces [read_lease < election_timeout], and grants
+   are only issued while the leader has fresh quorum contact, so by the
+   time any successor can finish an election (a full timeout of silence
+   later) every lease the deposed leader granted has expired — a
+   lease-holding follower can never serve a snapshot that a newer leader
+   has silently surpassed. A tainted replica's database holds speculative
+   never-durable writes and must not serve reads at all. *)
+let may_serve_reads t =
+  t.cfg.Config.follower_reads && t.alive && (not t.tainted)
+  &&
+  if t.serving then quorum_alive t
+  else
+    t.lease_epoch >= Paxos.Election.epoch (election t)
+    && Sim.Engine.now t.eng <= t.lease_until
+
+(* The snapshot pin. Leader: the release watermark — exactly the frontier
+   below which results are client-visible (§3.3), so a leader-served read
+   observes the same prefix a client can know about. Follower: the
+   minimum over streams of the fully-applied frontier [safe_ts] — every
+   transaction at or below it has completely replayed here, and
+   per-stream timestamp monotonicity means nothing below it is still in
+   flight. Pins only advance, and read bodies are yield-free, so version
+   reclamation against the current pin (see {!Silo.Db.set_read_floor})
+   can never pull a version out from under an in-progress read. *)
+let read_pin t =
+  if t.serving then
+    match Watermark.compute t.wm ~epoch:t.srv_epoch with
+    | Some w -> w
+    | None -> 0
+  else begin
+    let f = Array.fold_left min max_int t.safe_ts in
+    if f = max_int || f < 0 then 0 else f
+  end
+
+(* Dispatcher-side triage of a read request. No session state — snapshot
+   reads are idempotent, so there is nothing to deduplicate. An
+   ineligible replica redirects toward the leader when it knows one (a
+   serving leader always serves reads too) and parks the client with
+   [Busy] otherwise; a full read queue sheds like the write path's
+   admission control. *)
+let handle_read_req t ~cid ~seq ~payload =
+  if not (may_serve_reads t) then begin
+    match leader_hint t with
+    | Some _ as hint ->
+        Stats.note_read_redirect t.stats;
+        Trace.note_disposition t.trace Trace.Redirect;
+        client_reply t ~cid ~seq (Paxos.Msg.Not_leader { hint })
+    | None ->
+        Stats.note_read_parked t.stats;
+        Trace.note_disposition t.trace Trace.Busy;
+        client_reply t ~cid ~seq Paxos.Msg.Busy
+  end
+  else if Sim.Sync.Mailbox.length t.read_q >= t.cfg.Config.admission_max_pending
+  then begin
+    Stats.note_read_parked t.stats;
+    Trace.note_disposition t.trace Trace.Busy;
+    client_reply t ~cid ~seq Paxos.Msg.Busy
+  end
+  else Sim.Sync.Mailbox.send t.read_q (cid, seq, payload)
+
+(* Leader half of the lease protocol, called from the heartbeat tick:
+   re-arm every pool node's lease while we are serving AND still see a
+   quorum. Spares and learners are included — they replay and may serve
+   reads once current. Gated: with follower reads off this sends no
+   messages at all (bit-identity of the default path). *)
+let grant_leases t =
+  if t.cfg.Config.follower_reads && t.serving && quorum_alive t then begin
+    let until = Sim.Engine.now t.eng + t.cfg.Config.read_lease in
+    let body = Paxos.Msg.Read_lease { epoch = t.srv_epoch; until } in
+    for peer = 0 to Config.pool t.cfg - 1 do
+      if peer <> t.rid then begin
+        let m = { Paxos.Msg.from = t.rid; body } in
+        Sim.Net.send t.net ~size:(Paxos.Msg.size m) ~src:t.rid ~dst:peer m
+      end
+    done
+  end
+
+(* Follower half: adopt a grant unless it is from an epoch older than one
+   we already hold a lease for. [lease_until] is max-monotone — grant
+   times ride real heartbeats, so a newer epoch's grant never shortens an
+   adopted lease. Staleness relative to our *known* epoch is checked at
+   serve time ([may_serve_reads]), where the answer can still change. *)
+let handle_read_lease t ~epoch ~until =
+  if epoch >= t.lease_epoch then begin
+    t.lease_epoch <- epoch;
+    if until > t.lease_until then t.lease_until <- until
+  end
+
+(* Read worker: drain the read queue, serving each request against a
+   freshly pinned snapshot. The serve path takes no locks and validates
+   nothing — its whole cost is [txn_begin_ns] plus [snapshot_read_ns] per
+   point read (charged inside {!Silo.Db.read_at}) — which is what
+   multiplies cluster read capacity: followers burn their own idle cores.
+   A reclaimed-version miss ({!Silo.Db.Snapshot_miss}) retries at the
+   fresher pin up to [read_retry_limit] times before shedding. *)
+let read_worker_loop t w rop () =
+  Sim.Engine.sleep (w * 1_300 * Sim.Engine.us);
+  while true do
+    match Sim.Sync.Mailbox.recv_timeout t.read_q (10 * Sim.Engine.ms) with
+    | None ->
+        if t.read_active.(w) then begin
+          Sim.Cpu.unregister t.cpu;
+          t.read_active.(w) <- false
+        end
+    | Some (cid, seq, payload) ->
+        if not (may_serve_reads t) then begin
+          (* The lease lapsed (or we were deposed) while the request sat
+             queued: never serve — the snapshot could trail a newer
+             leader's released writes. Park the client instead. *)
+          if t.alive then begin
+            Stats.note_read_parked t.stats;
+            Trace.note_disposition t.trace Trace.Busy;
+            client_reply t ~cid ~seq Paxos.Msg.Busy
+          end
+        end
+        else begin
+          if not t.read_active.(w) then begin
+            Sim.Cpu.register t.cpu;
+            t.read_active.(w) <- true
+          end;
+          let start = Sim.Engine.time () in
+          t.read_seen <- t.read_seen + 1;
+          let audit =
+            (t.read_seen - 1) mod read_audit_interval = 0
+            && t.read_audit_n < read_audit_cap
+          in
+          let rec attempt n =
+            let pin = read_pin t in
+            match Silo.Db.read_at t.db ~audit ~pin (fun s -> rop ~payload s) with
+            | v, obs -> Some (pin, v, obs)
+            | exception Silo.Db.Snapshot_miss ->
+                Stats.note_read_miss t.stats;
+                if n + 1 >= t.cfg.Config.read_retry_limit then None
+                else attempt (n + 1)
+          in
+          match attempt 0 with
+          | Some (pin, value, obs) ->
+              if audit then begin
+                t.read_audit <- (pin, obs) :: t.read_audit;
+                t.read_audit_n <- t.read_audit_n + 1
+              end;
+              Stats.note_read_served t.stats;
+              Trace.note_read_serve t.trace ~start ~stop:(Sim.Engine.time ())
+                ~staleness:(t.durable_max - pin);
+              client_reply t ~cid ~seq (Paxos.Msg.Ok_read { value })
+          | None ->
+              Stats.note_read_parked t.stats;
+              Trace.note_disposition t.trace Trace.Busy;
+              client_reply t ~cid ~seq Paxos.Msg.Busy
+        end
+  done
+
+let read_audits t = List.rev t.read_audit
+let lease_valid t = may_serve_reads t
+
 let controller_loop t () =
   while true do
     Sim.Engine.sleep t.cfg.Config.watermark_interval;
@@ -1034,7 +1215,10 @@ let heartbeat_tick t () =
         Batcher.flush t.batchers.(i);
         Paxos.Stream.propose stream
           (Store.Wire.noop ~epoch:t.srv_epoch ~ts:(Silo.Db.next_ts t.db)))
-      t.streams
+      t.streams;
+  (* Freshness leases ride the same tick (no-op unless follower reads are
+     on and we lead with quorum contact). *)
+  grant_leases t
 
 (* ---- construction ---- *)
 
@@ -1115,15 +1299,43 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
       last_heard = Array.make (Config.pool cfg) 0;
       sessions = Hashtbl.create 64;
       client_q = Sim.Sync.Mailbox.create eng;
+      lease_epoch = 0;
+      lease_until = -1;
+      read_q = Sim.Sync.Mailbox.create eng;
+      read_active = Array.make cfg.Config.read_workers false;
+      read_seen = 0;
+      read_audit = [];
+      read_audit_n = 0;
     }
   in
   let client_op =
     if cfg.Config.clients > 0 then
       match app.App.client_op with
       | Some f -> Some (f db)
-      | None -> invalid_arg "Replica.create: Config.clients > 0 needs App.client_op"
+      | None ->
+          (* Read-only deployments: client slots may exist purely for
+             read sessions. The write workers then keep the embedded
+             generator, so the write path is identical to clients = 0 —
+             exactly what a read-capacity comparison wants. *)
+          if cfg.Config.follower_reads && app.App.read_op <> None then None
+          else invalid_arg "Replica.create: Config.clients > 0 needs App.client_op"
     else None
   in
+  let read_op =
+    if cfg.Config.follower_reads then
+      match app.App.read_op with
+      | Some f -> Some (f db)
+      | None ->
+          invalid_arg "Replica.create: Config.follower_reads needs App.read_op"
+    else None
+  in
+  (* Turn on prior-version retention in the store: from here on, every
+     install that would overwrite a version at or below the current pin
+     keeps it in the record's snapshot slot (see {!Silo.Db.set_read_floor}).
+     Gated — with follower reads off the store runs the historical
+     install path verbatim. *)
+  if cfg.Config.follower_reads then
+    Silo.Db.set_read_floor db (Some (fun () -> read_pin t));
   (* One encode arena per replica: on_commit runs to completion between
      yields, so the commit-path encodes can all stage through it. *)
   let wire_scratch = Store.Wire.Scratch.create () in
@@ -1280,6 +1492,10 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
             Paxos.Stream.handle streams.(stream) msg ~from:m.Paxos.Msg.from
         | Paxos.Msg.Client_req { cid; seq; payload } ->
             handle_client_req t ~cid ~seq ~payload
+        | Paxos.Msg.Read_req { cid; seq; payload } ->
+            handle_read_req t ~cid ~seq ~payload
+        | Paxos.Msg.Read_lease { epoch; until } ->
+            handle_read_lease t ~epoch ~until
         | Paxos.Msg.Client_rep _ -> () (* not addressed to replicas *)
       done);
   t.procs <- Paxos.Election.start el :: t.procs;
@@ -1293,6 +1509,14 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
   for s = 0 to nstreams - 1 do
     spawn t (Printf.sprintf "replay%d" s) (replay_loop t s)
   done;
+  (* Read worker pool — spawned only when follower reads are on, so the
+     default config runs the identical process set. *)
+  (match read_op with
+  | Some rop ->
+      for w = 0 to cfg.Config.read_workers - 1 do
+        spawn t (Printf.sprintf "read-worker%d" w) (read_worker_loop t w rop)
+      done
+  | None -> ());
   (* Spawned only when configured: the default config must stay
      bit-identical to pre-checkpoint runs. *)
   if cfg.Config.checkpoint_interval > 0 then

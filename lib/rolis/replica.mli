@@ -108,6 +108,25 @@ val durable_frontier : t -> int
     durability. [durable_frontier - replay_frontier] is the follower lag
     sampled into the [Replay_lag] stage histogram. *)
 
+val read_pin : t -> int
+(** The snapshot pin a read served right now would use: the release
+    watermark on a serving leader, the minimum fully-applied frontier
+    ([safe_ts]) on a follower. Monotone; reads never observe state above
+    it. *)
+
+val lease_valid : t -> bool
+(** Whether this replica may serve snapshot reads right now: a serving
+    leader with quorum contact, or a follower holding an unexpired
+    freshness lease from the newest epoch it knows
+    ([Config.follower_reads] only; always false otherwise). *)
+
+val read_audits : t -> (int * (int * string * int) list) list
+(** The deterministic sample of served reads kept for
+    {!Check.snapshot_reads}: per audited read, its pin and every
+    observation [(table id, key, observed version timestamp)] the read
+    body made ([-1] = key absent at the pin). Oldest first; bounded
+    (1-in-64 sampling, capped per replica). *)
+
 val session_state : t -> cid:int -> (int * int) option
 (** [(applied, released)] highest sequence numbers this replica knows for
     client session [cid] — from its own execution on a leader, from

@@ -1,6 +1,6 @@
-(* Sized for Trace's stage set (14 stages today); a fixed bound keeps the
+(* Sized for Trace's stage set (16 stages today); a fixed bound keeps the
    array allocation-free on the hot path. *)
-let max_stages = 16
+let max_stages = 20
 
 type t = {
   eng : Sim.Engine.t;
@@ -25,6 +25,10 @@ type t = {
   mutable entries_flushed : int;
   mutable deadline_flushes : int;
   mutable event_releases : int;
+  mutable reads_served : int;
+  mutable reads_parked : int;
+  mutable reads_redirected : int;
+  mutable read_misses : int;
   mutable lat : Sim.Metrics.Hist.t;
   mutable series : Sim.Metrics.Series.t;
   mutable stage_hists : Sim.Metrics.Hist.t array;
@@ -54,6 +58,10 @@ let create eng =
     entries_flushed = 0;
     deadline_flushes = 0;
     event_releases = 0;
+    reads_served = 0;
+    reads_parked = 0;
+    reads_redirected = 0;
+    read_misses = 0;
     lat = Sim.Metrics.Hist.create ();
     series = Sim.Metrics.Series.create ~bucket_ns:(100 * Sim.Engine.ms);
     stage_hists = Array.init max_stages (fun _ -> Sim.Metrics.Hist.create ());
@@ -103,6 +111,11 @@ let note_parked t ~ns =
   t.parked_requests <- t.parked_requests + 1;
   t.parked_ns <- t.parked_ns + ns
 
+let note_read_served t = t.reads_served <- t.reads_served + 1
+let note_read_parked t = t.reads_parked <- t.reads_parked + 1
+let note_read_redirect t = t.reads_redirected <- t.reads_redirected + 1
+let note_read_miss t = t.read_misses <- t.read_misses + 1
+
 let note_replayed t ~txns ~writes =
   t.replayed_txns <- t.replayed_txns + txns;
   t.replayed_writes <- t.replayed_writes + writes
@@ -130,6 +143,10 @@ let speculative_bytes t = t.spec_bytes
 let entries_flushed t = t.entries_flushed
 let deadline_flushes t = t.deadline_flushes
 let event_releases t = t.event_releases
+let reads_served t = t.reads_served
+let reads_parked t = t.reads_parked
+let reads_redirected t = t.reads_redirected
+let read_misses t = t.read_misses
 
 let avg_speculative_bytes t =
   if t.spec_samples = 0 then 0.0 else t.spec_sum /. float_of_int t.spec_samples
@@ -152,6 +169,10 @@ let reset_window t =
   t.entries_flushed <- 0;
   t.deadline_flushes <- 0;
   t.event_releases <- 0;
+  t.reads_served <- 0;
+  t.reads_parked <- 0;
+  t.reads_redirected <- 0;
+  t.read_misses <- 0;
   t.spec_sum <- 0.0;
   t.spec_samples <- 0;
   t.lat <- Sim.Metrics.Hist.create ();

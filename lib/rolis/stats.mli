@@ -110,6 +110,26 @@ val entries_flushed : t -> int
 val deadline_flushes : t -> int
 val event_releases : t -> int
 
+val note_read_served : t -> unit
+(** A snapshot read was served with [Ok_read] from this replica. *)
+
+val note_read_parked : t -> unit
+(** A read request was refused (no valid lease, or retry budget
+    exhausted) — the replica answered [Busy]. *)
+
+val note_read_redirect : t -> unit
+(** A read request was answered [Not_leader] (redirect to a serving
+    replica). *)
+
+val note_read_miss : t -> unit
+(** A pinned read hit a reclaimed version ({!Silo.Db.Snapshot_miss}) and
+    was retried at a fresher pin. *)
+
+val reads_served : t -> int
+val reads_parked : t -> int
+val reads_redirected : t -> int
+val read_misses : t -> int
+
 val avg_speculative_bytes : t -> float
 val peak_speculative_bytes : t -> int
 

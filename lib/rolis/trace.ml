@@ -13,6 +13,8 @@ type stage =
   | Replay_lag
   | Client_park
   | Client_redirect
+  | Read_serve
+  | Read_staleness
 
 let all_stages =
   [
@@ -30,6 +32,8 @@ let all_stages =
     Replay_lag;
     Client_park;
     Client_redirect;
+    Read_serve;
+    Read_staleness;
   ]
 
 let n_stages = List.length all_stages
@@ -49,6 +53,8 @@ let stage_index = function
   | Replay_lag -> 11
   | Client_park -> 12
   | Client_redirect -> 13
+  | Read_serve -> 14
+  | Read_staleness -> 15
 
 let stage_name = function
   | Execute -> "execute"
@@ -65,6 +71,8 @@ let stage_name = function
   | Replay_lag -> "replay_lag"
   | Client_park -> "client_park"
   | Client_redirect -> "client_redirect"
+  | Read_serve -> "read_serve"
+  | Read_staleness -> "read_staleness"
 
 let stage_of_name s = List.find_opt (fun st -> stage_name st = s) all_stages
 
@@ -286,6 +294,32 @@ let note_replay_lag t ~frontier ~durable =
      stats; only the ring sample is tied to sampling. *)
   Stats.note_stage t.stats ~stage:(stage_index Replay_lag)
     ~latency:(durable - frontier)
+
+(* Snapshot-read service: [Read_serve] is dequeue-to-reply latency of one
+   served read, [Read_staleness] the gap between the replica's durable
+   frontier and the snapshot pin it served at (both on the
+   transaction-timestamp axis, like replay lag). Histograms take every
+   serve — they feed the [reads:] diagnostics and the bench staleness
+   metric — while the ring sample follows disposition sampling. *)
+let note_read_serve t ~start ~stop ~staleness =
+  Stats.note_stage t.stats ~stage:(stage_index Read_serve)
+    ~latency:(max 0 (stop - start));
+  Stats.note_stage t.stats ~stage:(stage_index Read_staleness)
+    ~latency:(max 0 staleness);
+  if t.interval > 0 then begin
+    let n = t.disp_counter in
+    t.disp_counter <- n + 1;
+    if n mod t.interval = 0 then
+      Ring.push t.rings.(t.workers)
+        {
+          sp_ts = 0;
+          sp_worker = -1;
+          sp_stage = Read_serve;
+          sp_start = start;
+          sp_end = max start stop;
+          sp_dropped = false;
+        }
+  end
 
 let note_disposition t stage =
   if t.interval > 0 then begin

@@ -72,6 +72,14 @@ type stage =
       (** leader-chasing redirects ([Not_leader] replies) one client
           request absorbed before resolving — dimensionless count, one
           sample per resolved request *)
+  | Read_serve
+      (** dequeue-to-reply latency of one served snapshot read (virtual
+          ns), one histogram sample per [Ok_read] *)
+  | Read_staleness
+      (** staleness of one served snapshot read: the replica's durable
+          frontier minus the watermark pin it served at, on the
+          transaction-timestamp axis (which rides virtual time) — how far
+          behind the freshest durable state the read observed *)
 
 val all_stages : stage list
 val n_stages : int
@@ -168,6 +176,14 @@ val note_replay_lag : t -> frontier:int -> durable:int -> unit
     with [durable - frontier] (clamped at 0) and pushes the
     [frontier, durable] span into the replay ring. No-op when tracing is
     disabled, like every other stage recorder. *)
+
+val note_read_serve : t -> start:int -> stop:int -> staleness:int -> unit
+(** One snapshot read served: feeds the [Read_serve] histogram with
+    [stop - start] (dequeue to reply) and the [Read_staleness] histogram
+    with [staleness] (durable frontier minus pin), both clamped at 0.
+    Histograms record every serve — they back the [reads:] diagnostics
+    line and the bench staleness metric — while the ring sample follows
+    the 1-in-N disposition sampling. *)
 
 val note_disposition : t -> stage -> unit
 (** A [Redirect], [Busy] or [Cached] client disposition, or a

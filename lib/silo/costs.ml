@@ -16,6 +16,7 @@ type t = {
   replay_next_ns : int;
   hash_read_ns : int;
   hash_write_ns : int;
+  snapshot_read_ns : int;
 }
 
 (* Calibration notes. Targets are the paper's absolute scales at 32
@@ -58,6 +59,11 @@ let default =
        the hash-vs-btree YCSB-C experiment measures. *)
     hash_read_ns = 90;
     hash_write_ns = 180;
+    (* A snapshot read takes no locks and skips validation, but pays the
+       index descent plus a stamped-visibility check against the pin
+       (and, on a concurrent overwrite, the prior-slot fallback): a
+       little over a plain read, far below read + validate. *)
+    snapshot_read_ns = 160;
   }
 
 let scale k t =
@@ -80,6 +86,7 @@ let scale k t =
     replay_next_ns = f t.replay_next_ns;
     hash_read_ns = f t.hash_read_ns;
     hash_write_ns = f t.hash_write_ns;
+    snapshot_read_ns = f t.snapshot_read_ns;
   }
 
 let exec_cost t ?(hash_reads = 0) ~reads ~writes ~scan_rows ~scans ~value_bytes

@@ -39,6 +39,10 @@ type t = {
   hash_write_ns : int;
       (** bulk replay against a hash-indexed table: probe + CAS + install
           for one key — no run locality to amortize *)
+  snapshot_read_ns : int;
+      (** one point read inside a watermark-pinned snapshot transaction:
+          index descent + stamped-visibility check, no lock, no
+          validation *)
 }
 
 val default : t

@@ -28,10 +28,15 @@ type t = {
   mutable install_scratch : Txn.write_entry array;
   mutable cur_epoch : int;
   mutable ts_counter : int;
+  mutable read_floor : (unit -> int) option;
+      (* snapshot read-pin floor; [Some _] turns on prior-version
+         retention at every install site *)
   mutable s_commits : int;
   mutable s_user_aborts : int;
   mutable s_conflict_aborts : int;
   mutable s_retries : int;
+  mutable s_snap_reads : int;
+  mutable s_snap_misses : int;
 }
 
 let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true)
@@ -49,10 +54,13 @@ let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true)
     install_scratch = [||];
     cur_epoch = 1;
     ts_counter = 0;
+    read_floor = None;
     s_commits = 0;
     s_user_aborts = 0;
     s_conflict_aborts = 0;
     s_retries = 0;
+    s_snap_reads = 0;
+    s_snap_misses = 0;
   }
 
 let engine t = t.eng
@@ -71,6 +79,8 @@ let create_table t name =
   t.by_id <- Array.append t.by_id [| table |];
   t.table_list <- table :: t.table_list;
   table
+
+let set_read_floor t f = t.read_floor <- f
 
 let table t name = Hashtbl.find t.by_name name
 let table_by_id t id = t.by_id.(id)
@@ -118,6 +128,13 @@ let validate txn =
   && List.for_all probe_valid txn.Txn.probes
 
 (* ---- install ---- *)
+
+(* Bytes attributable to a record's occupied prior-version slot; mirrors
+   the slot term of [Store.Record.byte_size]. *)
+let slot_bytes (r : Store.Record.t) =
+  if r.Store.Record.snap_ts >= 0 then
+    32 + String.length r.Store.Record.snap_value
+  else 0
 
 let ws_cmp (a : Txn.write_entry) (b : Txn.write_entry) =
   let c = compare (Store.Table.id a.w_table) (Store.Table.id b.w_table) in
@@ -174,15 +191,28 @@ let install t (txn : Txn.t) ~epoch ~ts : Store.Wire.write list =
         let table = w.Txn.w_table in
         let key = w.Txn.w_key in
         match (Store.Table.get table key, w.Txn.w_value) with
-        | Some r, value ->
-            let delta =
-              (match value with Some v -> String.length v | None -> 0)
-              - String.length r.Store.Record.value
-            in
-            Store.Record.install r ~epoch ~ts ~value;
-            Store.Table.account_growth table delta;
-            if value = None && t.physical_deletes then
-              Store.Table.remove_phys table key
+        | Some r, value -> (
+            match t.read_floor with
+            | None ->
+                let delta =
+                  (match value with Some v -> String.length v | None -> 0)
+                  - String.length r.Store.Record.value
+                in
+                Store.Record.install r ~epoch ~ts ~value;
+                Store.Table.account_growth table delta;
+                if value = None && t.physical_deletes then
+                  Store.Table.remove_phys table key
+            | Some floor ->
+                let before = String.length r.Store.Record.value + slot_bytes r in
+                Store.Record.install_retain r ~floor:(floor ()) ~epoch ~ts ~value;
+                let after = String.length r.Store.Record.value + slot_bytes r in
+                Store.Table.account_growth table (after - before);
+                (* A retained tombstone must stay in the index: a pinned
+                   reader still resolves the prior version through it. *)
+                if
+                  value = None && t.physical_deletes
+                  && r.Store.Record.snap_ts < 0
+                then Store.Table.remove_phys table key)
         | None, Some v ->
             let r = Store.Record.make ~epoch ~ts v in
             r.Store.Record.version <- 1;
@@ -277,6 +307,31 @@ let run_once t ~worker f =
 
 (* ---- replay ---- *)
 
+(* Replay CAS against an existing record, with byte accounting; when the
+   snapshot read floor is wired, the losing version is retained in the
+   prior-version slot (and its bytes accounted) so pinned readers keep a
+   consistent view under concurrent replay. *)
+let cas_existing t table r ~epoch ~ts ~value =
+  match t.read_floor with
+  | None ->
+      let old_len = String.length r.Store.Record.value in
+      if Store.Record.cas_apply r ~epoch ~ts ~value then begin
+        let new_len = match value with Some v -> String.length v | None -> 0 in
+        Store.Table.account_growth table (new_len - old_len);
+        true
+      end
+      else false
+  | Some floor ->
+      let before = String.length r.Store.Record.value + slot_bytes r in
+      let applied =
+        Store.Record.cas_apply_retain r ~floor:(floor ()) ~epoch ~ts ~value
+      in
+      (* Both outcomes can move bytes: an applied write swaps value and
+         slot, a rejected ts-crossed write can still land in the slot. *)
+      let after = String.length r.Store.Record.value + slot_bytes r in
+      if after <> before then Store.Table.account_growth table (after - before);
+      applied
+
 (* [writes] is the precomputed [List.length txn.writes]: callers already
    need the count for their own accounting, so the hot path computes it
    exactly once. *)
@@ -288,14 +343,8 @@ let apply_replay t (txn : Store.Wire.txn_log) ~epoch ~writes ~applied =
       let table = table_by_id t w.table in
       match Store.Table.get table w.key with
       | Some r ->
-          let old_len = String.length r.Store.Record.value in
-          if Store.Record.cas_apply r ~epoch ~ts:txn.ts ~value:w.value then begin
-            let new_len =
-              match w.value with Some v -> String.length v | None -> 0
-            in
-            Store.Table.account_growth table (new_len - old_len);
+          if cas_existing t table r ~epoch ~ts:txn.ts ~value:w.value then
             incr applied
-          end
       | None ->
           let r = Store.Record.make ~epoch:0 ~ts:(-1) "" in
           if Store.Record.cas_apply r ~epoch ~ts:txn.ts ~value:w.value then begin
@@ -383,14 +432,8 @@ let apply_replay_entry t (entry : Store.Wire.entry) ?(ways = 1) ~upto () =
              ~f:(fun key (ts, value) existing ->
                match existing with
                | Some r ->
-                   let old_len = String.length r.Store.Record.value in
-                   if Store.Record.cas_apply r ~epoch ~ts ~value then begin
-                     let new_len =
-                       match value with Some v -> String.length v | None -> 0
-                     in
-                     Store.Table.account_growth table (new_len - old_len);
-                     incr installed
-                   end;
+                   if cas_existing t table r ~epoch ~ts ~value then
+                     incr installed;
                    None (* record mutated in place; no structural change *)
                | None ->
                    let r = Store.Record.make ~epoch:0 ~ts:(-1) "" in
@@ -451,6 +494,55 @@ let apply_replay_entry t (entry : Store.Wire.entry) ?(ways = 1) ~upto () =
     re_seeks = !seeks;
     re_steps = !steps;
   }
+
+(* ---- snapshot reads ---- *)
+
+exception Snapshot_miss
+
+type snap = {
+  s_pin : int;
+  mutable s_reads : int;
+  s_audited : bool;
+  mutable s_obs : (int * string * int) list;
+}
+
+let snap_pin s = s.s_pin
+
+let snap_get s table key =
+  s.s_reads <- s.s_reads + 1;
+  let v, ts =
+    match Store.Table.get table key with
+    | None -> (None, -1)
+    | Some r -> (
+        match Store.Record.read_at r ~pin:s.s_pin with
+        | Store.Record.Visible (v, ts) -> (v, ts)
+        | Store.Record.Miss -> raise Snapshot_miss)
+  in
+  if s.s_audited then s.s_obs <- (Store.Table.id table, key, ts) :: s.s_obs;
+  v
+
+let read_at t ?(audit = false) ~pin f =
+  let s = { s_pin = pin; s_reads = 0; s_audited = audit; s_obs = [] } in
+  (* The body is yield-free (no locks, no validation): the cost is
+     consumed after it, so a pinned read never spans an install — which
+     is what lets retention reclaim slots against the bare floor. *)
+  let charge () =
+    Sim.Cpu.consume t.cpu
+      (t.cost_model.Costs.txn_begin_ns
+      + (s.s_reads * t.cost_model.Costs.snapshot_read_ns))
+  in
+  match f s with
+  | v ->
+      t.s_snap_reads <- t.s_snap_reads + 1;
+      charge ();
+      (v, s.s_obs)
+  | exception Snapshot_miss ->
+      t.s_snap_misses <- t.s_snap_misses + 1;
+      charge ();
+      raise Snapshot_miss
+
+let snapshot_reads t = t.s_snap_reads
+let snapshot_misses t = t.s_snap_misses
 
 let stats t =
   {

@@ -126,6 +126,50 @@ val apply_replay_entry :
     [ways]-independent; only the virtual-time shape changes.
     @raise Invalid_argument if [ways < 1]. *)
 
+val set_read_floor : t -> (unit -> int) option -> unit
+(** Wire the snapshot read-pin floor. [Some f] turns on prior-version
+    retention at every install site: before a record is overwritten by a
+    write stamped [ts], the outgoing version is kept in its bounded slot
+    iff [f () < ts] (some live or future read pinned at or above the
+    floor may still need it), otherwise the slot is reclaimed. [f] must
+    be monotone (a watermark); [None] (the default) keeps every install
+    path byte-identical to the pre-snapshot behaviour. *)
+
+exception Snapshot_miss
+(** A pinned read needed a version already reclaimed past its pin (the
+    key was overwritten twice above the pin). Retry at a fresher pin. *)
+
+type snap
+(** A watermark-pinned read-only transaction context. *)
+
+val snap_pin : snap -> int
+val snap_get : snap -> Store.Table.t -> string -> string option
+(** Point read at the snapshot's pin: no lock, no read-set, no
+    validation. [None] = key absent (or deleted) at the pin.
+    @raise Snapshot_miss if the pinned version was reclaimed. *)
+
+val read_at :
+  t ->
+  ?audit:bool ->
+  pin:int ->
+  (snap -> 'a) ->
+  'a * (int * string * int) list
+(** Run a read-only body against the snapshot at watermark [pin],
+    charging [txn_begin_ns + reads * snapshot_read_ns] to the CPU. The
+    body must not yield. With [audit] (default false) the second
+    component lists every read as [(table_id, key, observed_ts)]
+    ([observed_ts = -1] for keys absent at the pin) for the
+    {e snapshot_reads} oracle. Must be called from inside a simulation
+    process.
+    @raise Snapshot_miss (after charging the partial cost) on a
+    reclaimed version; the caller retries at a fresher pin. *)
+
+val snapshot_reads : t -> int
+(** Completed snapshot-read transactions. *)
+
+val snapshot_misses : t -> int
+(** Snapshot reads that raised {!Snapshot_miss}. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
 val total_bytes : t -> int

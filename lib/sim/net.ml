@@ -12,6 +12,14 @@ let validate_faults f =
   if f.dup < 0.0 || f.dup >= 1.0 then invalid_arg "Net: dup must be in [0,1)";
   if f.reorder < 0 then invalid_arg "Net: reorder jitter must be >= 0"
 
+let validate_latency = function
+  | Fixed d -> if d < 0 then invalid_arg "Net: Fixed latency must be >= 0"
+  | Uniform (lo, hi) ->
+      if lo < 0 || hi < lo then invalid_arg "Net: Uniform needs 0 <= lo <= hi"
+  | Exp_jitter { base; jitter_mean } ->
+      if base < 0 || jitter_mean < 0 then
+        invalid_arg "Net: Exp_jitter needs non-negative base and jitter"
+
 type 'm t = {
   eng : Engine.t;
   n : int;
@@ -25,6 +33,9 @@ type 'm t = {
   cut : (int * int, unit) Hashtbl.t; (* directed (src, dst) pairs *)
   mutable default_faults : faults;
   link_faults : (int * int, faults) Hashtbl.t; (* directed overrides *)
+  link_latency : (int * int, latency_model) Hashtbl.t;
+      (* directed per-link latency overrides (geo topologies); links
+         without an entry use the global model *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable messages_dropped : int;
@@ -46,6 +57,7 @@ let create eng ~nodes ~latency =
     cut = Hashtbl.create 7;
     default_faults = no_faults;
     link_faults = Hashtbl.create 7;
+    link_latency = Hashtbl.create 7;
     messages_sent = 0;
     bytes_sent = 0;
     messages_dropped = 0;
@@ -92,12 +104,74 @@ let link_faults t ~src ~dst =
   | Some f -> f
   | None -> t.default_faults
 
-let sample_latency t =
-  match t.latency with
+let set_link_latency t ~src ~dst model =
+  check_node t src;
+  check_node t dst;
+  validate_latency model;
+  Hashtbl.replace t.link_latency (src, dst) model
+
+let link_latency_model t ~src ~dst =
+  match Hashtbl.find_opt t.link_latency (src, dst) with
+  | Some m -> m
+  | None -> t.latency
+
+let sample_model t model =
+  match model with
   | Fixed d -> d
   | Uniform (lo, hi) -> Rng.int_in t.rng lo hi
   | Exp_jitter { base; jitter_mean } ->
       base + int_of_float (Rng.exponential t.rng ~mean:(float_of_int jitter_mean))
+
+let sample_latency t ~src ~dst = sample_model t (link_latency_model t ~src ~dst)
+
+(* ---- geo topologies ---- *)
+
+(* [regions.(i)] is node [i]'s region; nodes beyond the array keep the
+   global model. Every ordered pair of covered nodes gets an explicit
+   per-link override, so a later profile application fully replaces an
+   earlier one for those nodes. *)
+let apply_regions t ~regions ~intra ~inter =
+  validate_latency intra;
+  validate_latency inter;
+  let n = min (Array.length regions) t.n in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        set_link_latency t ~src ~dst
+          (if regions.(src) = regions.(dst) then intra else inter)
+    done
+  done
+
+type wan_profile = {
+  wp_regions : int;  (** region count nodes are assigned to round-robin *)
+  wp_intra : latency_model;
+  wp_inter : latency_model;
+}
+
+(* Named profiles keep CLI flags and Config validation in one place.
+   Numbers are one-way delays: intra-DC a few tens of microseconds,
+   cross-region tens of milliseconds (continental RTT ~60-70 ms),
+   metro-area ~1 ms between availability zones. *)
+let wan_profile = function
+  | "wan3" ->
+      Some
+        {
+          wp_regions = 3;
+          wp_intra = Exp_jitter { base = 25 * 1_000; jitter_mean = 8 * 1_000 };
+          wp_inter =
+            Exp_jitter { base = 30 * 1_000_000; jitter_mean = 3 * 1_000_000 };
+        }
+  | "metro3" ->
+      Some
+        {
+          wp_regions = 3;
+          wp_intra = Exp_jitter { base = 25 * 1_000; jitter_mean = 8 * 1_000 };
+          wp_inter =
+            Exp_jitter { base = 1_000_000; jitter_mean = 150 * 1_000 };
+        }
+  | _ -> None
+
+let wan_profile_names = [ "wan3"; "metro3" ]
 
 (* A message only counts as sent once it is actually put on the wire;
    sends that hit a dead endpoint, a cut link, or the loss model count in
@@ -118,7 +192,7 @@ let send t ?(size = 0) ~src ~dst m =
         let delay =
           if src = dst then 0
           else
-            sample_latency t
+            sample_latency t ~src ~dst
             + (if f.reorder > 0 then Rng.int t.frng (f.reorder + 1) else 0)
         in
         let inc = t.incarnation.(dst) in

@@ -106,5 +106,41 @@ val messages_dropped : 'm t -> int
 
 val messages_duplicated : 'm t -> int
 
-val sample_latency : 'm t -> int
-(** Draw one latency sample from the model (for tests/calibration). *)
+(** {2 Geo topologies}
+
+    Every link defaults to the global [latency] model; directed per-link
+    overrides express region matrices (intra-DC vs cross-region
+    distributions) for leader-placement and follower-read experiments.
+    With no overrides installed, sampling draws exactly the same RNG
+    sequence as the historical single-model network. *)
+
+val set_link_latency : 'm t -> src:int -> dst:int -> latency_model -> unit
+(** Directed per-link override of the global latency model.
+    @raise Invalid_argument on a malformed model. *)
+
+val link_latency_model : 'm t -> src:int -> dst:int -> latency_model
+(** The model governing [src -> dst] (the override, or the global one). *)
+
+val apply_regions :
+  'm t -> regions:int array -> intra:latency_model -> inter:latency_model -> unit
+(** Install a region matrix: [regions.(i)] is node [i]'s region; every
+    ordered pair of covered nodes gets [intra] when co-located and
+    [inter] across regions. Nodes beyond the array keep the global
+    model. *)
+
+type wan_profile = {
+  wp_regions : int;  (** region count nodes are assigned to round-robin *)
+  wp_intra : latency_model;
+  wp_inter : latency_model;
+}
+
+val wan_profile : string -> wan_profile option
+(** Named profiles: ["wan3"] (3 regions, ~25 us intra-DC vs ~30 ms
+    cross-region one-way) and ["metro3"] (3 availability zones, ~1 ms
+    between zones). [None] for unknown names. *)
+
+val wan_profile_names : string list
+
+val sample_latency : 'm t -> src:int -> dst:int -> int
+(** Draw one latency sample from the link's model (for
+    tests/calibration). Consumes the network's latency RNG stream. *)

@@ -543,6 +543,7 @@ let app p =
           let kind = pick_kind p rng in
           fun txn -> run_kind st rng ~worker ~nworkers kind txn);
     client_op = None;
+    read_op = None;
   }
 
 (* ---- consistency checks ---- *)

@@ -64,4 +64,25 @@ let app p =
         let chooser = chooser_of p in
         fun () txn -> body p table chooser rng txn);
     client_op = None;
+    read_op =
+      Some
+        (fun db ~payload snap ->
+          let table = Silo.Db.table db table_name in
+          let last = ref "" in
+          List.iter
+            (fun s ->
+              match Silo.Db.snap_get snap table (key (int_of_string s)) with
+              | Some v -> last := v
+              | None -> ())
+            (String.split_on_char ' ' payload);
+          !last);
   }
+
+(* Read-session payload generator: [ops_per_txn] key indices drawn with
+   the workload's skew, space-separated — the read-only counterpart of
+   [body], interpreted by [read_op] against a pinned snapshot. *)
+let read_payload_gen p rng =
+  let chooser = chooser_of p in
+  fun () ->
+    String.concat " "
+      (List.init p.ops_per_txn (fun _ -> string_of_int (pick_key p chooser rng)))

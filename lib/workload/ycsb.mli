@@ -42,3 +42,10 @@ val txn_body : params -> Silo.Db.t -> Sim.Rng.t -> Silo.Txn.t -> unit
     random records. *)
 
 val app : params -> Rolis.App.t
+(** The cluster app. Its [read_op] interprets a read-session payload of
+    space-separated key indices as point reads against a pinned snapshot
+    (the read-only counterpart of {!txn_body}, for follower reads). *)
+
+val read_payload_gen : params -> Sim.Rng.t -> unit -> string
+(** Per-session generator of read payloads: [ops_per_txn] key indices
+    drawn with the workload's skew, space-separated. *)

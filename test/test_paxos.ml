@@ -85,7 +85,8 @@ let make_cluster ?(n = 3) ?(k = 2) ?(heartbeat = 20 * ms) ?(timeout = 100 * ms)
               | Paxos.Msg.Elect e -> Paxos.Election.handle r.election e ~from:m.Paxos.Msg.from
               | Paxos.Msg.Stream { stream; msg } ->
                   Paxos.Stream.handle r.streams.(stream) msg ~from:m.Paxos.Msg.from
-              | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _ -> ()
+              | Paxos.Msg.Client_req _ | Paxos.Msg.Client_rep _
+              | Paxos.Msg.Read_req _ | Paxos.Msg.Read_lease _ -> ()
             done)
       in
       r.dispatcher <- Some dispatcher;

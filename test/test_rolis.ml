@@ -261,6 +261,13 @@ let transfer_app ~accounts ~initial ~stopped =
               Silo.Txn.put txn t (key a) (string_of_int (va - amount));
               Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
           | _ -> Alcotest.failf "bad transfer payload %S" payload);
+    read_op =
+      Some
+        (fun db ~payload snap ->
+          let t = Silo.Db.table db "accounts" in
+          match Silo.Db.snap_get snap t (key (int_of_string payload)) with
+          | Some v -> v
+          | None -> string_of_int initial);
   }
 
 let total_money db ~accounts =
@@ -1127,6 +1134,137 @@ let test_admission_backpressure () =
           (total_money (Rolis.Replica.db r) ~accounts))
     (Rolis.Cluster.replicas c)
 
+(* ---------- follower reads ---------- *)
+
+(* End to end: read-only sessions mixed with write sessions; followers
+   serve snapshot reads under leases, the audited read sample passes the
+   snapshot oracle, and money stays conserved with the read traffic on. *)
+let test_follower_reads_e2e () =
+  let stopped = ref false in
+  let accounts = 40 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.clients = 4;
+      follower_reads = true;
+      read_lease = 150 * ms;
+      archive_entries = true;
+    }
+  in
+  let c = Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:1_000 ~stopped) in
+  let eng = Rolis.Cluster.engine c and net = Rolis.Cluster.network c in
+  (* cids 0-1 write transfers; cids 2-3 are read-only balance readers. *)
+  let writers =
+    Array.init 2 (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid ~stopped
+          ~gen:(fun () -> Rolis.Chaos.bank_payload crng ~accounts)
+          ())
+  in
+  let ro_stopped = ref false in
+  let readers =
+    Array.init 2 (fun i ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid:(2 + i) ~stopped:ro_stopped ~ro:true
+          ~stats:(Rolis.Cluster.client_read_stats c)
+          ~gen:(fun () -> Rolis.Chaos.bank_read_payload crng ~accounts)
+          ())
+  in
+  Rolis.Cluster.run c ~duration:(3 * s) ();
+  stopped := true;
+  ro_stopped := true;
+  Rolis.Cluster.run c ~duration:(1 * s) ();
+  let sum arr f = Array.fold_left (fun a cl -> a + f cl) 0 arr in
+  check_bool "write sessions acked" true (sum writers Rolis.Client.acked_count > 0);
+  check_bool "read sessions acked" true (sum readers Rolis.Client.acked_count > 0);
+  let leader_id =
+    match Rolis.Cluster.leader c with
+    | Some r -> Rolis.Replica.id r
+    | None -> Alcotest.fail "no leader"
+  in
+  let follower_served =
+    Array.fold_left
+      (fun a r ->
+        if Rolis.Replica.id r = leader_id then a
+        else a + Rolis.Stats.reads_served (Rolis.Replica.stats r))
+      0 (Rolis.Cluster.replicas c)
+  in
+  check_bool "followers served reads" true (follower_served > 0);
+  let viols = Rolis.Check.snapshot_reads c in
+  if viols <> [] then
+    Alcotest.failf "snapshot reads violated: %s"
+      (String.concat "; " (List.map (fun v -> v.Rolis.Check.detail) viols));
+  (* Only write acks feed the exactly-once audit — reads are idempotent. *)
+  let acked = Array.to_list writers |> List.concat_map Rolis.Client.acked_seqs in
+  let viols = Rolis.Check.exactly_once c ~acked in
+  if viols <> [] then
+    Alcotest.failf "exactly-once violated with follower reads: %s"
+      (String.concat "; " (List.map (fun v -> v.Rolis.Check.detail) viols));
+  (match Rolis.Cluster.leader c with
+  | Some r -> check_int "money conserved" (accounts * 1_000) (total_money (Rolis.Replica.db r) ~accounts)
+  | None -> ())
+
+(* Safety: a follower cut off from its peers keeps its lease only until
+   it lapses, then parks every read — it can never serve a stale snapshot
+   while a majority elects a new epoch elsewhere. Clients can still reach
+   the isolated follower throughout (only replica-replica links are cut),
+   so every request it sheds is a genuine lease park. *)
+let test_lease_partition_parks () =
+  let stopped = ref false in
+  let accounts = 20 in
+  let cfg =
+    {
+      (test_cfg ()) with
+      Rolis.Config.clients = 2;
+      follower_reads = true;
+      read_lease = 150 * ms;
+    }
+  in
+  let c = Rolis.Cluster.create cfg (transfer_app ~accounts ~initial:500 ~stopped) in
+  let eng = Rolis.Cluster.engine c and net = Rolis.Cluster.network c in
+  let _readers =
+    Array.init 2 (fun cid ->
+        let crng = Sim.Rng.split (Sim.Engine.rng eng) in
+        Rolis.Client.spawn net ~cfg ~cid ~stopped ~ro:true ~prefer:[| 2 |]
+          ~stats:(Rolis.Cluster.client_read_stats c)
+          ~gen:(fun () -> Rolis.Chaos.bank_read_payload crng ~accounts)
+          ())
+  in
+  Rolis.Cluster.run c ~duration:(1 * s) ();
+  let served () = Rolis.Stats.reads_served (Rolis.Replica.stats (Rolis.Cluster.replica c 2)) in
+  check_bool "follower served while leased" true (served () > 0);
+  Sim.Net.partition net 0 2;
+  Sim.Net.partition net 1 2;
+  Rolis.Cluster.run c ~duration:(cfg.Rolis.Config.read_lease + (200 * ms)) ();
+  check_bool "lease lapsed in isolation" false
+    (Rolis.Replica.lease_valid (Rolis.Cluster.replica c 2));
+  let served_mid = served () in
+  Rolis.Cluster.run c ~duration:(1 * s) ();
+  check_int "no reads served without a lease" served_mid (served ());
+  check_bool "reads parked instead" true
+    (Rolis.Stats.reads_parked (Rolis.Replica.stats (Rolis.Cluster.replica c 2)) > 0);
+  (* Heal: a fresh lease arrives with the next heartbeat and serving
+     resumes at the current epoch. *)
+  Sim.Net.heal net 0 2;
+  Sim.Net.heal net 1 2;
+  Rolis.Cluster.run c ~duration:(1 * s) ();
+  check_bool "serving resumed after heal" true (served () > served_mid)
+
+(* Chaos sweep with the read path on: crashes, partitions and elections
+   racing lease grants — exactly-once, money and the snapshot-read oracle
+   must all hold on every seed. *)
+let test_follower_reads_chaos () =
+  for seed = 0 to 2 do
+    let o = Rolis.Chaos.run_seed ~follower_reads:true ~seed () in
+    if not (Rolis.Chaos.ok o) then
+      Alcotest.failf "chaos seed %d with follower reads failed: %s" seed
+        (Format.asprintf "%a" Rolis.Chaos.pp_outcome o);
+    check_bool
+      (Printf.sprintf "seed %d exercised the read path" seed)
+      true
+      (o.Rolis.Chaos.reads_acked > 0)
+  done
+
 (* ---------- checkpoint ---------- *)
 
 let test_checkpoint_roundtrip () =
@@ -1754,6 +1892,14 @@ let () =
           Alcotest.test_case "release visibility across crash" `Quick
             test_release_visibility_across_crash;
           Alcotest.test_case "admission backpressure" `Quick test_admission_backpressure;
+        ] );
+      ( "reads",
+        [
+          Alcotest.test_case "follower reads e2e" `Quick test_follower_reads_e2e;
+          Alcotest.test_case "lease partition parks" `Quick
+            test_lease_partition_parks;
+          Alcotest.test_case "chaos with follower reads" `Quick
+            test_follower_reads_chaos;
         ] );
       ( "bootstrap",
         [

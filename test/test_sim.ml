@@ -463,6 +463,65 @@ let test_net_crash_in_flight () =
   Sim.Engine.run eng;
   check_int "in-flight message dropped" 0 (Sim.Net.inbox_length net 1)
 
+(* ---- WAN profiles ---- *)
+
+(* One end-to-end delivery on a region-profiled net: returns the arrival
+   time of a single message from [src] to [dst]. *)
+let wan_deliver_once ~seed ~profile ~src ~dst =
+  let eng = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+  let net = Sim.Net.create eng ~nodes:6 ~latency:(Sim.Net.Fixed 10) in
+  let p = Option.get (Sim.Net.wan_profile profile) in
+  let regions = Array.init 6 (fun i -> i mod p.Sim.Net.wp_regions) in
+  Sim.Net.apply_regions net ~regions ~intra:p.Sim.Net.wp_intra
+    ~inter:p.Sim.Net.wp_inter;
+  let got_at = ref (-1) in
+  let _receiver =
+    Sim.Engine.spawn eng (fun () ->
+        ignore (Sim.Net.recv net dst);
+        got_at := Sim.Engine.time ())
+  in
+  let _sender = Sim.Engine.spawn eng (fun () -> Sim.Net.send net ~src ~dst 0) in
+  Sim.Engine.run eng;
+  !got_at
+
+let model_base = function
+  | Sim.Net.Fixed d -> d
+  | Sim.Net.Uniform (lo, _) -> lo
+  | Sim.Net.Exp_jitter { base; _ } -> base
+
+(* Every named profile, on every ordered node pair: the delivery pays at
+   least the link class's base delay, an inter-region hop is never
+   cheaper than an intra-region one, and the sample is deterministic per
+   engine seed. *)
+let wan_profile_qcheck =
+  QCheck.Test.make ~name:"wan profile links respect region bounds" ~count:60
+    QCheck.(triple (int_range 0 5) (int_range 0 5) small_nat)
+    (fun (src, dst, seed) ->
+      QCheck.assume (src <> dst);
+      List.for_all
+        (fun name ->
+          let p = Option.get (Sim.Net.wan_profile name) in
+          let same_region =
+            src mod p.Sim.Net.wp_regions = dst mod p.Sim.Net.wp_regions
+          in
+          let lo =
+            model_base (if same_region then p.Sim.Net.wp_intra else p.Sim.Net.wp_inter)
+          in
+          let lat = wan_deliver_once ~seed ~profile:name ~src ~dst in
+          lat >= lo
+          && (same_region || lo > model_base p.Sim.Net.wp_intra)
+          && lat = wan_deliver_once ~seed ~profile:name ~src ~dst)
+        Sim.Net.wan_profile_names)
+
+let test_wan_profile_lookup () =
+  check_bool "wan3 known" true (Sim.Net.wan_profile "wan3" <> None);
+  check_bool "metro3 known" true (Sim.Net.wan_profile "metro3" <> None);
+  check_bool "default empty unknown" true (Sim.Net.wan_profile "" = None);
+  check_bool "typo unknown" true (Sim.Net.wan_profile "wan9" = None);
+  List.iter
+    (fun n -> check_bool n true (Sim.Net.wan_profile n <> None))
+    Sim.Net.wan_profile_names
+
 let test_net_partition () =
   let eng = Sim.Engine.create () in
   let net = Sim.Net.create eng ~nodes:3 ~latency:(Sim.Net.Fixed 10) in
@@ -682,6 +741,8 @@ let () =
           Alcotest.test_case "fault plan deterministic" `Quick
             test_fault_plan_deterministic;
           Alcotest.test_case "broadcast" `Quick test_net_broadcast;
+          Alcotest.test_case "wan profile lookup" `Quick test_wan_profile_lookup;
+          qc wan_profile_qcheck;
         ] );
       ( "metrics",
         [

@@ -482,6 +482,87 @@ let record_cas_monotone_qcheck =
           if won then after = (epoch, ts) && after > before else after = before)
         stamps)
 
+let test_record_snapshot_retention () =
+  let r = Store.Record.make ~epoch:1 ~ts:100 "v100" in
+  (* A pin >= floor may still need ts=100, so the install retains it. *)
+  ignore (Store.Record.cas_apply_retain r ~floor:90 ~epoch:1 ~ts:200 ~value:(Some "v200"));
+  check_bool "current at high pin" true
+    (Store.Record.read_at r ~pin:250 = Store.Record.Visible (Some "v200", 200));
+  check_bool "slot at mid pin" true
+    (Store.Record.read_at r ~pin:150 = Store.Record.Visible (Some "v100", 100));
+  check_bool "miss below the slot" true
+    (Store.Record.read_at r ~pin:50 = Store.Record.Miss);
+  (* Once the floor has passed the current stamp, retention reclaims. *)
+  ignore (Store.Record.cas_apply_retain r ~floor:300 ~epoch:1 ~ts:300 ~value:(Some "v300"));
+  check_bool "slot reclaimed" true (r.Store.Record.snap_ts = -1);
+  check_bool "below-pin key absent" true
+    (match Store.Record.read_at r ~pin:250 with
+    | Store.Record.Visible (None, -1) -> true
+    | _ -> false);
+  (* Tombstones are versions too: a deletion retained in the slot reads
+     back as [None] at an old pin. *)
+  ignore (Store.Record.cas_apply_retain r ~floor:250 ~epoch:1 ~ts:400 ~value:None);
+  check_bool "prior survives delete" true
+    (Store.Record.read_at r ~pin:350 = Store.Record.Visible (Some "v300", 300));
+  check_bool "delete visible above" true
+    (Store.Record.read_at r ~pin:400 = Store.Record.Visible (None, 400))
+
+let test_record_reject_refresh () =
+  (* Parallel per-stream replay: ts=300 lands first, then the slower
+     stream delivers ts=200. The CAS rejects it, but it is the newest
+     version below the current stamp — it must land in the slot so a read
+     pinned in [200, 300) still sees it. *)
+  let r = Store.Record.make ~epoch:1 ~ts:100 "v100" in
+  ignore (Store.Record.cas_apply_retain r ~floor:90 ~epoch:1 ~ts:300 ~value:(Some "v300"));
+  check_bool "crossed write rejected" false
+    (Store.Record.cas_apply_retain r ~floor:90 ~epoch:1 ~ts:200 ~value:(Some "v200"));
+  check_bool "current untouched" true (r.Store.Record.ts = 300);
+  check_bool "loser parked in slot" true
+    (Store.Record.read_at r ~pin:250 = Store.Record.Visible (Some "v200", 200));
+  (* A second, even older loser must not displace the newer slot entry. *)
+  check_bool "older loser rejected" false
+    (Store.Record.cas_apply_retain r ~floor:90 ~epoch:1 ~ts:150 ~value:(Some "v150"));
+  check_bool "slot keeps newer loser" true (r.Store.Record.snap_ts = 200)
+
+let test_record_byte_size_slot () =
+  let r = Store.Record.make ~epoch:1 ~ts:100 "aaaa" in
+  let base = Store.Record.byte_size ~key:"k" r in
+  check_int "no slot overhead while empty" base (64 + 1 + 4);
+  ignore
+    (Store.Record.cas_apply_retain r ~floor:90 ~epoch:1 ~ts:200
+       ~value:(Some "bbbbbbbb"));
+  (* Occupied slot: fixed 32-byte overhead plus the retained value. *)
+  check_int "slot overhead while occupied"
+    (64 + 1 + 8 + 32 + 4)
+    (Store.Record.byte_size ~key:"k" r);
+  Store.Record.snap_clear r;
+  check_int "reclaimed after snap_clear" (64 + 1 + 8)
+    (Store.Record.byte_size ~key:"k" r)
+
+(* Interleave retained installs and rejected crossed writes at random;
+   [read_at] must never surface a version stamped above the pin, and a
+   visible version must carry the value written at that stamp. *)
+let record_read_at_qcheck =
+  QCheck.Test.make ~name:"read_at never exceeds the pin" ~count:300
+    QCheck.(list (pair (int_range 1 60) (int_range 0 40)))
+    (fun writes ->
+      let r = Store.Record.make "init" in
+      List.for_all
+        (fun (ts, floor) ->
+          ignore
+            (Store.Record.cas_apply_retain r ~floor ~epoch:0 ~ts
+               ~value:(Some (string_of_int ts)));
+          List.for_all
+            (fun pin ->
+              match Store.Record.read_at r ~pin with
+              | Store.Record.Miss -> true
+              | Store.Record.Visible (None, vts) -> vts <= pin
+              | Store.Record.Visible (Some v, vts) ->
+                  (* ts=0 is the seed record's own stamp ("init"). *)
+                  vts <= pin && (vts = 0 || v = string_of_int vts))
+            [ 0; 10; 20; 30; 40; 50; 60 ])
+        writes)
+
 (* ---------- Table ---------- *)
 
 let test_table_tombstones () =
@@ -798,7 +879,13 @@ let () =
         [
           Alcotest.test_case "locking" `Quick test_record_lock;
           Alcotest.test_case "cas" `Quick test_record_cas;
+          Alcotest.test_case "snapshot retention" `Quick
+            test_record_snapshot_retention;
+          Alcotest.test_case "reject refresh" `Quick test_record_reject_refresh;
+          Alcotest.test_case "byte_size slot overhead" `Quick
+            test_record_byte_size_slot;
           qc record_cas_monotone_qcheck;
+          qc record_read_at_qcheck;
         ] );
       ( "table",
         [
