@@ -55,6 +55,7 @@ let encode_words () =
         {
           Store.Wire.ts = 1000 + i;
           req = (if i mod 2 = 0 then Some (i, i) else None);
+          decision = None;
           writes =
             List.init 8 (fun j ->
                 {

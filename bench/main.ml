@@ -37,6 +37,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("alloc", "words allocated per txn / encode (deterministic Gc counters)", Alloc.run);
     ("hashidx", "hash-index vs B-tree point lookups (YCSB-C / TPC-C item)", Hashidx.run);
     ("reads", "follower-read capacity: serving replicas sweep + WAN routing", Reads.run);
+    ("shards", "sharded scale-out: aggregate throughput + cross-shard 2PC penalty", Shards.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

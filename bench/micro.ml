@@ -49,7 +49,7 @@ let sample_entry =
         { Store.Wire.table = i; key = Printf.sprintf "key-%06d" i; value = Some (String.make 60 'v') })
   in
   Store.Wire.make_entry ~epoch:1
-    (List.init 100 (fun i -> { Store.Wire.ts = i; req = None; writes }))
+    (List.init 100 (fun i -> { Store.Wire.ts = i; req = None; decision = None; writes }))
 
 let test_wire_encode =
   Test.make ~name:"wire.encode (100-txn entry)"

@@ -36,10 +36,91 @@ let replay_batch_of_string s =
       Printf.eprintf "unknown replay batch mode %S (pertxn|bulk)\n" other;
       exit 2
 
+(* Sharded deployment: each shard is a full cluster; drivers route
+   single-shard transactions directly and commit cross-shard ones with
+   the replicated-2PC protocol (see Rolis.Shard). *)
+let run_sharded workload workers cores batch batch_policy shards cross_pct
+    drivers duration_ms warmup_ms seed =
+  let cfg =
+    {
+      Rolis.Config.default with
+      Rolis.Config.workers;
+      cores;
+      batch_size = batch;
+      batch_policy = batch_policy_of_string batch_policy;
+      clients = drivers;
+      seed = Int64.of_int seed;
+      shards;
+      cross_pct;
+    }
+  in
+  let router, app, veto, gen =
+    match workload with
+    | "tpcc" ->
+        let warehouses = workers * shards in
+        let p = Workload.Tpcc.with_warehouses Workload.Tpcc.default warehouses in
+        let router = Rolis.Router.tpcc ~warehouses ~shards in
+        ( router,
+          Workload.Tpcc.client_app p,
+          Some (Workload.Tpcc.veto p),
+          fun ~rng ~driver:_ -> Workload.Tpcc.shard_gen p router ~cross_pct ~rng )
+    | "ycsb" ->
+        let p = { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 } in
+        let router = Rolis.Router.ycsb ~keys:p.Workload.Ycsb.keys ~shards in
+        ( router,
+          Workload.Ycsb.client_app p,
+          None,
+          fun ~rng ~driver:_ -> Workload.Ycsb.shard_gen p router ~cross_pct ~rng )
+    | other ->
+        Printf.eprintf "unknown workload %S (tpcc|ycsb)\n" other;
+        exit 2
+  in
+  let dep =
+    try Rolis.Shard.create ?veto cfg router (fun ~shard:_ -> app) ~gen
+    with Invalid_argument msg ->
+      Printf.eprintf "sharded run: %s\n" msg;
+      exit 2
+  in
+  Rolis.Shard.run dep ~warmup:(warmup_ms * ms) ~duration:(duration_ms * ms) ();
+  let lat = Rolis.Shard.latency dep in
+  Printf.printf "workload:        %s, %d shards x %d workers, %.0f%% cross-shard, %d drivers\n"
+    workload shards workers (100.0 *. cross_pct) drivers;
+  Printf.printf "throughput:      %s TPS aggregate (logical transactions)\n"
+    (fmt_tps (Rolis.Shard.throughput dep));
+  Printf.printf "committed:       %d (aborted %d); cross-shard %d committed / %d aborted, %d prepares\n"
+    (Rolis.Shard.committed dep) (Rolis.Shard.aborted dep)
+    (Rolis.Shard.cross_committed dep) (Rolis.Shard.cross_aborted dep)
+    (Rolis.Shard.prepares dep);
+  Printf.printf "latency:         p50 %.1f ms, p95 %.1f ms\n"
+    (float_of_int (Sim.Metrics.Hist.quantile lat 0.5) /. 1e6)
+    (float_of_int (Sim.Metrics.Hist.quantile lat 0.95) /. 1e6);
+  if Rolis.Shard.cross_committed dep > 0 then begin
+    let xlat = Rolis.Shard.cross_latency dep in
+    Printf.printf "cross latency:   p50 %.1f ms, p95 %.1f ms\n"
+      (float_of_int (Sim.Metrics.Hist.quantile xlat 0.5) /. 1e6)
+      (float_of_int (Sim.Metrics.Hist.quantile xlat 0.95) /. 1e6)
+  end;
+  Printf.printf "released:        %d sub-transactions across %d shards; retries %d\n"
+    (Rolis.Shard.released dep) shards
+    (Rolis.Shard.client_retries dep);
+  Array.iteri
+    (fun s cluster ->
+      match Rolis.Cluster.leader cluster with
+      | Some r ->
+          Printf.printf "shard %d leader:  replica %d (epoch %d)\n" s
+            (Rolis.Replica.id r)
+            (Paxos.Election.epoch (Rolis.Replica.election r))
+      | None -> Printf.printf "shard %d leader:  none!\n" s)
+    (Rolis.Shard.clusters dep)
+
 let run_cluster workload workers cores batch batch_policy replay_batch
     replay_parallel hash_tables target_delay_us duration_ms warmup_ms networked
     single_stream crash_at_ms ckpt_interval_ms no_truncate follower_reads
-    read_lease_us wan_profile seed =
+    read_lease_us wan_profile shards cross_pct drivers seed =
+  if shards > 1 then
+    run_sharded workload workers cores batch batch_policy shards cross_pct
+      drivers duration_ms warmup_ms seed
+  else begin
   let ycsb_params = { Workload.Ycsb.default with Workload.Ycsb.keys = 200_000 } in
   let app, is_tpcc =
     match workload with
@@ -192,6 +273,7 @@ let run_cluster workload workers cores batch batch_policy replay_batch
           (if errors = [] then "OK" else String.concat "; " errors)
       end
   | None -> Printf.printf "leader:          none!\n")
+  end
 
 let workload_arg =
   Arg.(value & opt string "tpcc" & info [ "workload"; "w" ] ~doc:"Workload: tpcc or ycsb.")
@@ -310,6 +392,33 @@ let wan_profile_arg =
            $(b,wan3) (3 regions, ~30 ms cross-region), $(b,metro3) \
            (~1 ms). Empty = uniform latency.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Deploy this many complete shard groups (each a full replicated \
+           cluster) behind a key-range router, with cross-shard \
+           transactions committed through replicated 2PC. 1 = the classic \
+           single-group path, bit-identical to builds without the flag.")
+
+let cross_pct_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "cross-pct" ]
+        ~doc:
+          "Fraction of transactions spanning two shards (0.0-1.0): remote \
+           NewOrder/Payment for TPC-C, cross-range RMW pairs for YCSB. \
+           Only meaningful with $(b,--shards) > 1.")
+
+let drivers_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "drivers" ]
+        ~doc:
+          "Closed-loop driver processes issuing transactions to a sharded \
+           deployment (each holds one session per shard).")
+
 let run_cmd =
   let term =
     Term.(
@@ -318,7 +427,7 @@ let run_cmd =
       $ hash_tables_arg $ target_delay_arg $ duration_arg $ warmup_arg
       $ networked_arg $ single_arg $ crash_arg $ ckpt_interval_arg
       $ no_truncate_arg $ follower_reads_arg $ read_lease_arg $ wan_profile_arg
-      $ seed_arg)
+      $ shards_arg $ cross_pct_arg $ drivers_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a Rolis cluster in the simulator.") term
 
@@ -360,9 +469,57 @@ let dump_nemesis_log ~path ~replicas ~workers ~clients ~accounts ~duration
   Logs.set_level saved_level;
   close_out oc
 
+(* Sharded chaos: per-shard nemesis plans against a Shard deployment of
+   bank partitions; checks add cross-shard atomicity and global
+   conservation. Incompatible with the single-group-only extras. *)
+let run_sharded_chaos seeds seed0 shards cross_pct replicas workers drivers
+    accounts duration_ms verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let accounts_per_shard = max 8 (accounts / shards) in
+  Printf.printf
+    "chaos: %d sharded seed(s) starting at %d — %d shards (%.0f%% cross), \
+     %d replicas, %d workers, %d drivers, %d accounts/shard, %d ms of \
+     faults per seed\n\
+     %!"
+    seeds seed0 shards (100.0 *. cross_pct) replicas workers drivers
+    accounts_per_shard duration_ms;
+  let _, first_failure =
+    try
+      Rolis.Chaos.run_sharded_seeds ~shards ~cross_pct ~replicas ~workers
+        ~drivers ~accounts_per_shard ~duration:(duration_ms * ms) ~seed0 ~seeds
+        ~on_outcome:(fun o -> Format.printf "%a@." Rolis.Chaos.pp_outcome o)
+        ()
+    with Invalid_argument msg ->
+      Printf.eprintf "chaos: invalid parameters: %s\n" msg;
+      exit 2
+  in
+  match first_failure with
+  | None -> Printf.printf "chaos: all %d sharded seed(s) passed\n" seeds
+  | Some o ->
+      Printf.printf
+        "chaos: FIRST FAILING SEED = %d (reproduce with --shards %d --seeds 1 \
+         --seed0 %d)\n"
+        o.Rolis.Chaos.seed shards o.Rolis.Chaos.seed;
+      exit 1
+
 let run_chaos seeds seed0 replicas workers clients accounts duration_ms
     ckpt_interval_ms history_warmup_ms ops spares follower_reads read_lease_us
-    wan_profile verbose nemesis_log =
+    wan_profile shards cross_pct verbose nemesis_log =
+  if shards > 1 then begin
+    if ops || follower_reads || ckpt_interval_ms > 0 then begin
+      Printf.eprintf
+        "chaos: --shards is incompatible with --ops, --follower-reads and \
+         --checkpoint-interval (checkpoint truncation would drop \
+         decision-carrying slots the cross-shard oracle needs)\n";
+      exit 2
+    end;
+    run_sharded_chaos seeds seed0 shards cross_pct replicas workers clients
+      accounts duration_ms verbose;
+    exit 0
+  end;
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -518,14 +675,33 @@ let chaos_wan_profile_arg =
           "Named inter-region latency matrix ($(b,wan3), $(b,metro3)); \
            empty = uniform.")
 
+let chaos_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Run the sharded chaos harness instead: this many bank shard \
+           groups under independent per-shard nemesis plans, with \
+           cross-shard transfers committed through replicated 2PC. The \
+           $(b,--clients) sessions become cross-shard drivers and \
+           $(b,--accounts) is split across the shards. Adds the \
+           cross-shard atomicity and global-conservation checks.")
+
+let chaos_cross_pct_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "cross-pct" ]
+        ~doc:
+          "Fraction of transfers spanning two shards (sharded mode only).")
+
 let chaos_cmd =
   let term =
     Term.(
       const run_chaos $ seeds_arg $ seed0_arg $ replicas_arg $ chaos_workers_arg
       $ clients_arg $ accounts_arg $ chaos_duration_arg $ chaos_ckpt_interval_arg
       $ history_warmup_arg $ ops_arg $ spares_arg $ chaos_follower_reads_arg
-      $ chaos_read_lease_arg $ chaos_wan_profile_arg $ verbose_arg
-      $ nemesis_log_arg)
+      $ chaos_read_lease_arg $ chaos_wan_profile_arg $ chaos_shards_arg
+      $ chaos_cross_pct_arg $ verbose_arg $ nemesis_log_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -38,7 +38,7 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ?(replay_batch = Rolis.Config.PerTxn)
             match r.Silo.Db.tid with
             | Some tid ->
                 logs.(w) <-
-                  { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log } :: logs.(w)
+                  { Store.Wire.ts = tid.Silo.Tid.ts; req = None; decision = None; writes = r.Silo.Db.log } :: logs.(w)
             | None -> ()
           done)
     in

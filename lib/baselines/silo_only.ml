@@ -29,7 +29,7 @@ let run ?(seed = 42L) ?(cores = 32) ?costs ?(warmup = 0)
             | Some tid ->
                 let extra =
                   extra_cost_per_txn
-                    { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log }
+                    { Store.Wire.ts = tid.Silo.Tid.ts; req = None; decision = None; writes = r.Silo.Db.log }
                 in
                 if extra > 0 then Sim.Cpu.consume cpu extra
             | None -> ()

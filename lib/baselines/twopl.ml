@@ -151,7 +151,7 @@ let run ?(seed = 42L) ?(clients_per_partition = 96) ?(keys_per_partition = 35_00
                      List.map (fun k -> { Store.Wire.table = p; key = k; value = Some "1" }) keys
                    in
                    let entry =
-                     Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts; req = None; writes } ]
+                     Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts; req = None; decision = None; writes } ]
                    in
                    let iv = Sim.Sync.Ivar.create eng in
                    Hashtbl.replace part.waiting ts iv;

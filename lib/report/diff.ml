@@ -24,6 +24,9 @@ let direction_of_metric name =
        ground, so they gate upward like throughput. *)
   else if has_prefix ~prefix:"ratio" name || has_prefix ~prefix:"speedup" name
   then Higher_better
+    (* "penalty" metrics (cross-shard 2PC cost, bench shards) are relative
+       throughput losses: growth means distributed commits got dearer. *)
+  else if has_prefix ~prefix:"penalty" name then Lower_better
   else if
     String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_ms"
   then Lower_better
@@ -154,8 +157,13 @@ let pp fmt o =
   let alloc_note =
     worst_note ~label:"alloc words" [ "exec_words"; "encode_words" ]
   in
+  (* The sharding gate's one-liner: did the cross-shard 2PC penalty curve
+     (bench shards) get worse anywhere along the 0/1/5/15% sweep? *)
+  let shard_note =
+    worst_note ~label:"cross-shard penalty" [ "penalty_pct" ]
+  in
   Format.fprintf fmt
-    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s; %s; %s@."
+    "%d datapoint metric(s) compared, %d regression(s), %d missing; %s; %s; %s; %s@."
     (List.length o.verdicts) (List.length bad)
     (List.length o.missing)
-    batch_submit_note replay_note alloc_note
+    batch_submit_note replay_note alloc_note shard_note

@@ -10,15 +10,21 @@ let initial_balance = 1_000
 (* The paper's Fig. 3 workload: move a random amount between two random
    accounts in one transaction. Total money is the conserved quantity the
    final check asserts on every replica. [stopped] freezes generation so
-   the cluster can quiesce. *)
-let bank_app ~accounts ~stopped =
+   the cluster can quiesce. [range] loads only an inclusive slice of the
+   account space — how a sharded deployment gives each shard its own
+   partition (conservation then only holds *globally*, which is exactly
+   what {!Check.money_sharded} asserts). The client_op additionally
+   understands the one-sided halves a cross-shard transfer splits into:
+   ["w a amt"] withdraws, ["c a amt"] credits. *)
+let bank_app ?range ~accounts ~stopped () =
   let key i = Store.Keycodec.encode [ Store.Keycodec.I i ] in
+  let lo, hi = match range with Some r -> r | None -> (0, accounts - 1) in
   {
     App.name = "chaos-bank";
     setup =
       (fun db ->
         let t = Silo.Db.create_table db bank_table in
-        for i = 0 to accounts - 1 do
+        for i = lo to hi do
           Store.Table.insert t (key i)
             (Store.Record.make (string_of_int initial_balance))
         done);
@@ -44,15 +50,21 @@ let bank_app ~accounts ~stopped =
       Some
         (fun db ~payload txn ->
           let t = Silo.Db.table db bank_table in
+          let bal k =
+            match Silo.Txn.get txn t (key k) with
+            | Some v -> int_of_string v
+            | None -> failwith (Printf.sprintf "chaos: account %d missing" k)
+          in
           match String.split_on_char ' ' payload with
+          | [ "w"; a; amt ] ->
+              let a = int_of_string a and amount = int_of_string amt in
+              Silo.Txn.put txn t (key a) (string_of_int (bal a - amount))
+          | [ "c"; a; amt ] ->
+              let a = int_of_string a and amount = int_of_string amt in
+              Silo.Txn.put txn t (key a) (string_of_int (bal a + amount))
           | [ a; b; amt ] ->
               let a = int_of_string a and b = int_of_string b in
               let amount = int_of_string amt in
-              let bal k =
-                match Silo.Txn.get txn t (key k) with
-                | Some v -> int_of_string v
-                | None -> failwith (Printf.sprintf "chaos: account %d missing" k)
-              in
               let va = bal a and vb = bal b in
               Silo.Txn.put txn t (key a) (string_of_int (va - amount));
               Silo.Txn.put txn t (key b) (string_of_int (vb + amount))
@@ -100,6 +112,13 @@ type outcome = {
   reads_parked : int;
   reads_redirected : int;
   read_misses : int;
+  read_audit_skipped : int;
+      (* audit-eligible snapshot serves dropped after the per-replica
+         read-audit cap (4096) filled: non-zero means the snapshot-read
+         oracle saw a truncated sample of this run *)
+  shards : int; (* 1 for a classic single-group run *)
+  cross_committed : int;
+  cross_aborted : int;
 }
 
 let ok o = o.violations = []
@@ -116,9 +135,13 @@ let pp_outcome fmt o =
     o.rebuilds o.adds o.removes o.handoffs o.ops_skipped;
   if o.reads_acked + o.reads_served + o.reads_parked + o.reads_redirected > 0 then
     Format.fprintf fmt
-      " (reads: acked=%d served=%d parked=%d redirected=%d misses=%d)"
+      " (reads: acked=%d served=%d parked=%d redirected=%d misses=%d \
+       audit_skipped=%d)"
       o.reads_acked o.reads_served o.reads_parked o.reads_redirected
-      o.read_misses;
+      o.read_misses o.read_audit_skipped;
+  if o.shards > 1 then
+    Format.fprintf fmt " (shards=%d cross: committed=%d aborted=%d)" o.shards
+      o.cross_committed o.cross_aborted;
   List.iter (fun v -> Format.fprintf fmt "@.  %a" Check.pp_violation v) o.violations
 
 let chaos_costs =
@@ -169,7 +192,7 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
   let crashes = ref 0 and restarts = ref 0 in
   let cluster =
     Cluster.create ~on_durable:(Check.Oracle.observe oracle) cfg
-      (bank_app ~accounts ~stopped)
+      (bank_app ~accounts ~stopped ())
   in
   let eng = Cluster.engine cluster in
   let net = Cluster.network cluster in
@@ -326,7 +349,230 @@ let run_seed ?(replicas = 3) ?(workers = 4) ?(clients = 8) ?(accounts = 48)
     reads_parked = Cluster.reads_parked cluster;
     reads_redirected = Cluster.reads_redirected cluster;
     read_misses = Cluster.read_misses cluster;
+    read_audit_skipped = Cluster.read_audit_skipped cluster;
+    shards = 1;
+    cross_committed = 0;
+    cross_aborted = 0;
   }
+
+(* ---- sharded chaos: crash coordinators and participants mid-2PC ----
+
+   Each shard is a full cluster over its own partition of the account
+   space; drivers run cross-shard transfers (one-sided halves committed
+   through 2PC) at [cross_pct]. Every shard gets its own independent
+   nemesis plan, so coordinator and participant shards crash, partition
+   and fail over at uncorrelated moments — including between a prepare
+   and its decision, and between a decision and its applies. The final
+   audit layers the cross-shard oracle and *global* conservation on top
+   of every per-shard check. Checkpointing stays off: truncation could
+   drop decision-carrying slots the cross-shard oracle needs. *)
+let run_sharded_seed ?(shards = 2) ?(cross_pct = 0.2) ?(replicas = 3)
+    ?(workers = 4) ?(drivers = 6) ?(accounts_per_shard = 24)
+    ?(duration = 2 * Sim.Engine.s) ~seed () =
+  let accounts = shards * accounts_per_shard in
+  let router = Router.ycsb ~keys:accounts ~shards in
+  let cfg =
+    {
+      Config.default with
+      Config.replicas;
+      workers;
+      cores = 2 * workers;
+      batch_size = 50;
+      costs = chaos_costs;
+      physical_serialization = true;
+      archive_entries = true;
+      heartbeat_interval = 50 * ms;
+      election_timeout = 300 * ms;
+      clients = drivers;
+      seed = Int64.of_int seed;
+      shards;
+      cross_pct;
+    }
+  in
+  let oracles = Array.init shards (fun _ -> Check.Oracle.create ()) in
+  let crashes = ref 0 and restarts = ref 0 in
+  let dep =
+    Shard.create
+      ~on_durable:(fun ~shard -> Check.Oracle.observe oracles.(shard))
+      cfg router
+      (fun ~shard ->
+        bank_app
+          ~range:(Router.ycsb_key_range router ~keys:accounts shard)
+          ~accounts ~stopped:(ref false) ())
+      ~gen:(fun ~rng ~driver:_ () ->
+        let sa = Sim.Rng.int rng shards in
+        let lo, hi = Router.ycsb_key_range router ~keys:accounts sa in
+        let a = lo + Sim.Rng.int rng (hi - lo + 1) in
+        let amount = 1 + Sim.Rng.int rng 10 in
+        if shards > 1 && Sim.Rng.float rng 1.0 < cross_pct then begin
+          let sb =
+            let x = Sim.Rng.int rng (shards - 1) in
+            if x >= sa then x + 1 else x
+          in
+          let blo, bhi = Router.ycsb_key_range router ~keys:accounts sb in
+          let b = blo + Sim.Rng.int rng (bhi - blo + 1) in
+          Shard.Multi
+            [
+              (sa, Printf.sprintf "w %d %d" a amount);
+              (sb, Printf.sprintf "c %d %d" b amount);
+            ]
+        end
+        else
+          let b =
+            let x = lo + Sim.Rng.int rng (hi - lo) in
+            if x >= a then x + 1 else x
+          in
+          Shard.Single (sa, Printf.sprintf "%d %d %d" a b amount))
+  in
+  let eng = Shard.engine dep in
+  let clusters = Shard.clusters dep in
+  let violations =
+    try
+      Shard.run dep ~duration:(300 * ms) ();
+      (* One independent nemesis per shard, each a deterministic function
+         of the run seed via engine-RNG splits. *)
+      Array.iter
+        (fun cluster ->
+          let nrng = Sim.Rng.split (Sim.Engine.rng eng) in
+          let plan = Sim.Fault.random_plan nrng ~nodes:replicas () in
+          Log.debug (fun m -> m "seed %d plan:@.%a" seed Sim.Fault.pp_plan plan);
+          ignore
+            (Sim.Fault.spawn (Cluster.network cluster)
+               ~on_crash:(fun i ->
+                 incr crashes;
+                 Cluster.crash_replica cluster i)
+               ~on_restart:(fun i ->
+                 incr restarts;
+                 Cluster.restart_replica cluster i)
+               ~on_step:(fun a ->
+                 Log.debug (fun m -> m "nemesis: %a" Sim.Fault.pp_action a))
+               plan))
+        clusters;
+      Shard.run dep ~duration ();
+      (* Quiesce: freeze the drivers (each finishes its in-flight 2PC),
+         heal every shard's network, revive stragglers and tainted
+         ex-leaders, then drain replay everywhere. *)
+      let drivers_idled = Shard.quiesce dep in
+      Array.iter
+        (fun cluster ->
+          let net = Cluster.network cluster in
+          Sim.Net.heal_all net;
+          Sim.Net.clear_faults net;
+          Array.iter
+            (fun r ->
+              if not (Replica.is_alive r) then begin
+                incr restarts;
+                Cluster.restart_replica cluster (Replica.id r)
+              end)
+            (Cluster.replicas cluster))
+        clusters;
+      Shard.run dep ~duration:(500 * ms) ();
+      Array.iter
+        (fun cluster ->
+          Array.iter
+            (fun r ->
+              if Replica.is_tainted r then begin
+                incr restarts;
+                Cluster.restart_replica cluster (Replica.id r)
+              end)
+            (Cluster.replicas cluster))
+        clusters;
+      Shard.run dep ~duration:(2_500 * ms) ();
+      let stuck =
+        if Shard.quiesce ~timeout:(5 * Sim.Engine.s) dep then []
+        else
+          [
+            Check.
+              {
+                check = "quiesce";
+                detail = "a driver never finished its in-flight 2PC";
+              };
+          ]
+      in
+      ignore drivers_idled;
+      let per_shard =
+        Array.to_list
+          (Array.mapi
+             (fun s cluster ->
+               Check.Oracle.violations oracles.(s)
+               @ Check.agreement cluster
+               @ Check.watermark_agreement cluster
+               @ Check.convergence cluster
+               @ Check.exactly_once cluster ~acked:(Shard.acked_seqs dep s))
+             clusters)
+        |> List.concat
+      in
+      stuck @ per_shard
+      @ Check.cross_shard clusters
+      @ Check.money_sharded clusters ~table:bank_table
+          ~expected:(accounts * initial_balance)
+    with exn ->
+      [ { Check.check = "exception"; detail = Printexc.to_string exn } ]
+  in
+  let epochs =
+    Array.fold_left
+      (fun m cluster ->
+        Array.fold_left
+          (fun m r ->
+            if Replica.is_alive r then
+              max m (Paxos.Election.epoch (Replica.election r))
+            else m)
+          m (Cluster.replicas cluster))
+      0 clusters
+  in
+  {
+    seed;
+    violations;
+    released = Shard.released dep;
+    executed =
+      Array.fold_left (fun acc c -> acc + Cluster.executed c) 0 clusters;
+    crashes = !crashes;
+    restarts = !restarts;
+    epochs;
+    entries_checked =
+      Array.fold_left
+        (fun acc o -> acc + Check.Oracle.entries_checked o)
+        0 oracles;
+    acked =
+      List.init shards (fun s -> List.length (Shard.acked_seqs dep s))
+      |> List.fold_left ( + ) 0;
+    client_retries = Shard.client_retries dep;
+    busy_replies = 0;
+    parked = 0;
+    checkpoints = 0;
+    truncations = 0;
+    rebuilds = 0;
+    adds = 0;
+    removes = 0;
+    handoffs = 0;
+    ops_skipped = 0;
+    reads_acked = 0;
+    reads_served = 0;
+    reads_parked = 0;
+    reads_redirected = 0;
+    read_misses = 0;
+    read_audit_skipped =
+      Array.fold_left
+        (fun acc c -> acc + Cluster.read_audit_skipped c)
+        0 clusters;
+    shards;
+    cross_committed = Shard.cross_committed dep;
+    cross_aborted = Shard.cross_aborted dep;
+  }
+
+let run_sharded_seeds ?shards ?cross_pct ?replicas ?workers ?drivers
+    ?accounts_per_shard ?duration ?(seed0 = 1) ?on_outcome ~seeds () =
+  let outcomes = ref [] in
+  for i = 0 to seeds - 1 do
+    let o =
+      run_sharded_seed ?shards ?cross_pct ?replicas ?workers ?drivers
+        ?accounts_per_shard ?duration ~seed:(seed0 + i) ()
+    in
+    (match on_outcome with Some f -> f o | None -> ());
+    outcomes := o :: !outcomes
+  done;
+  let outcomes = List.rev !outcomes in
+  (outcomes, List.find_opt (fun o -> not (ok o)) outcomes)
 
 let run_seeds ?replicas ?workers ?clients ?accounts ?duration ?checkpoint_interval
     ?history_warmup ?ops ?spares ?follower_reads ?read_clients ?read_lease

@@ -26,11 +26,16 @@
 val bank_table : string
 val initial_balance : int
 
-val bank_app : accounts:int -> stopped:bool ref -> App.t
+val bank_app : ?range:int * int -> accounts:int -> stopped:bool ref -> unit -> App.t
 (** Random transfers between [accounts] accounts; conserves total money.
     Setting [stopped] freezes generation so the cluster can quiesce. The
-    app also carries a [client_op] parsing ["a b amount"] payloads, so it
-    can be driven by {!Client} sessions. *)
+    app also carries a [client_op] parsing ["a b amount"] (transfer),
+    ["w a amount"] (withdraw) and ["c a amount"] (credit) payloads, so it
+    can be driven by {!Client} sessions — the one-sided forms are the
+    cross-shard 2PC halves. [range] restricts setup to loading only the
+    inclusive account slice [(lo, hi)] (a shard's partition); money is
+    then conserved only globally, across all shards
+    ({!Check.money_sharded}). *)
 
 val bank_payload : Sim.Rng.t -> accounts:int -> string
 (** One random transfer request ["a b amount"] with [a <> b], suitable as
@@ -65,6 +70,12 @@ type outcome = {
   reads_parked : int;  (** read requests bounced Busy (lease lapse / backlog) *)
   reads_redirected : int;  (** read requests bounced Not_leader *)
   read_misses : int;  (** snapshot-miss retries (reclaimed version races) *)
+  read_audit_skipped : int;
+      (** audited read samples dropped past the per-replica cap — nonzero
+          means {!Check.snapshot_reads} saw a truncated sample *)
+  shards : int;  (** shard groups in the deployment (1 = classic run) *)
+  cross_committed : int;  (** cross-shard 2PC transactions committed *)
+  cross_aborted : int;  (** cross-shard 2PC transactions aborted *)
 }
 
 val ok : outcome -> bool
@@ -139,3 +150,45 @@ val run_seeds :
 (** Run seeds [seed0 .. seed0 + seeds - 1] (default [seed0 = 1]);
     returns all outcomes and the first failing one, if any.
     [on_outcome] fires after each seed (progress reporting). *)
+
+val run_sharded_seed :
+  ?shards:int ->
+  ?cross_pct:float ->
+  ?replicas:int ->
+  ?workers:int ->
+  ?drivers:int ->
+  ?accounts_per_shard:int ->
+  ?duration:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Sharded chaos: a {!Shard} deployment of [shards] (default 2) bank
+    clusters, each loading its own account partition, driven by
+    [drivers] (default 6) cross-session drivers issuing transfers —
+    one-sided withdraw/credit halves committed through 2PC at
+    [cross_pct] (default 0.2). Every shard gets its own independent
+    nemesis plan, so coordinator and participant shards crash,
+    partition and fail over at uncorrelated moments — including between
+    a prepare and its decision, and between a decision and its applies.
+    Final checks: every per-shard invariant (oracle, agreement,
+    watermarks, convergence, exactly-once) plus {!Check.cross_shard}
+    atomicity/exactly-once over the decision marks and
+    {!Check.money_sharded} global conservation. Checkpointing stays off
+    (truncation could drop decision-carrying slots the cross-shard
+    oracle needs). *)
+
+val run_sharded_seeds :
+  ?shards:int ->
+  ?cross_pct:float ->
+  ?replicas:int ->
+  ?workers:int ->
+  ?drivers:int ->
+  ?accounts_per_shard:int ->
+  ?duration:int ->
+  ?seed0:int ->
+  ?on_outcome:(outcome -> unit) ->
+  seeds:int ->
+  unit ->
+  outcome list * outcome option
+(** {!run_sharded_seed} over [seed0 .. seed0 + seeds - 1]; same contract
+    as {!run_seeds}. *)

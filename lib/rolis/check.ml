@@ -354,6 +354,137 @@ let snapshot_reads cluster =
     reps;
   List.rev !viols
 
+(* Cross-shard 2PC audit over the decision marks the journals carry
+   (see {!Shard}): every "!p"/"!c"/"!a"/"!x"/"!r" control transaction
+   stamps its wire record with a {!Store.Wire.decision}, so the protocol
+   history is replicated state, not driver-side memory. Ground truth per
+   shard is the union durable log filtered by the final-watermark rule
+   (exactly as {!exactly_once}). After quiesce:
+
+   - a transaction id may carry at most one of {Committed, Aborted};
+   - no (xid, shard) may be Applied more than once (the session layer
+     must have deduplicated the driver's apply retries);
+   - an Applied mark with an Aborted decision — or a Canceled mark with
+     a Committed decision — is an atomicity violation;
+   - a Committed decision names its participants, and each must carry an
+     Applied mark: a shard that failed over between prepare and apply
+     must have recovered the staged intent from its journal;
+   - an Applied mark with no Committed decision anywhere means a
+     participant applied state no coordinator decided.
+
+   Valid with checkpoint truncation off (sharded chaos keeps it off):
+   truncation could drop decision-carrying slots from every journal. *)
+let cross_shard clusters =
+  let applied_marks cluster =
+    let reps = alive_replicas cluster in
+    let final_w epoch =
+      List.fold_left
+        (fun acc r ->
+          match acc with Some _ -> acc | None -> Replica.final_watermark r ~epoch)
+        None reps
+    in
+    let union : (int * int, Store.Wire.entry) Hashtbl.t = Hashtbl.create 4096 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (s, idx, e) -> Hashtbl.replace union (s, idx) e)
+          (Replica.journal r))
+      reps;
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun _ (e : Store.Wire.entry) ->
+        let w = match final_w e.epoch with Some w -> w | None -> max_int in
+        List.iter
+          (fun (txn : Store.Wire.txn_log) ->
+            match txn.Store.Wire.decision with
+            | Some d when txn.Store.Wire.ts <= w -> acc := d :: !acc
+            | Some _ | None -> ())
+          e.txns)
+      union;
+    !acc
+  in
+  let decided : (int, (bool * int list * int) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let applied : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let canceled : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun shard cluster ->
+      List.iter
+        (fun (d : Store.Wire.decision) ->
+          match d.Store.Wire.d_phase with
+          | Store.Wire.Prepared -> ()
+          | Store.Wire.Committed | Store.Wire.Aborted ->
+              let commit = d.Store.Wire.d_phase = Store.Wire.Committed in
+              let cur =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt decided d.Store.Wire.d_xid)
+              in
+              Hashtbl.replace decided d.Store.Wire.d_xid
+                ((commit, d.Store.Wire.d_parts, shard) :: cur)
+          | Store.Wire.Applied ->
+              let key = (d.Store.Wire.d_xid, shard) in
+              let c = Option.value ~default:0 (Hashtbl.find_opt applied key) in
+              Hashtbl.replace applied key (c + 1)
+          | Store.Wire.Canceled ->
+              Hashtbl.replace canceled (d.Store.Wire.d_xid, shard) ())
+        (applied_marks cluster))
+    clusters;
+  let viols = ref [] and nviol = ref 0 in
+  let bad fmt =
+    Format.kasprintf
+      (fun detail ->
+        incr nviol;
+        if !nviol <= cap then
+          viols := { check = "cross-shard"; detail } :: !viols)
+      fmt
+  in
+  let outcome_of xid =
+    match Hashtbl.find_opt decided xid with
+    | None -> `Undecided
+    | Some ds ->
+        let commits = List.filter (fun (c, _, _) -> c) ds
+        and aborts = List.filter (fun (c, _, _) -> not c) ds in
+        if commits <> [] && aborts <> [] then `Conflict
+        else if commits <> [] then
+          let _, parts, shard = List.hd commits in
+          `Committed (parts, shard)
+        else `Aborted
+  in
+  Hashtbl.iter
+    (fun xid ds ->
+      (match outcome_of xid with
+      | `Conflict ->
+          bad "xid %d carries both commit and abort decisions" xid
+      | `Committed (parts, shard) ->
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem applied (xid, p)) then
+                bad
+                  "xid %d committed (decision on shard %d) but participant \
+                   shard %d never applied its intent"
+                  xid shard p)
+            parts
+      | `Aborted | `Undecided -> ());
+      ignore ds)
+    decided;
+  Hashtbl.iter
+    (fun (xid, shard) c ->
+      if c > 1 then bad "xid %d applied %d times on shard %d" xid c shard;
+      match outcome_of xid with
+      | `Aborted -> bad "xid %d applied on shard %d despite an abort decision" xid shard
+      | `Undecided -> bad "xid %d applied on shard %d with no decision in any log" xid shard
+      | `Committed _ | `Conflict -> ())
+    applied;
+  Hashtbl.iter
+    (fun (xid, shard) () ->
+      match outcome_of xid with
+      | `Committed _ ->
+          bad "xid %d canceled on shard %d despite a commit decision" xid shard
+      | `Aborted | `Undecided | `Conflict -> ())
+    canceled;
+  List.rev !viols
+
 let money cluster ~table ~expected =
   alive_replicas cluster
   |> List.filter_map (fun r ->
@@ -373,3 +504,47 @@ let money cluster ~table ~expected =
              (violation "money" "replica %d: sum(%S) = %d, expected %d"
                 (Replica.id r) table !sum expected)
          else None)
+
+(* Global conservation across a sharded deployment: each shard owns a
+   partition of the accounts and cross-shard transfers move money between
+   partitions through 2PC, so no single shard's sum is invariant — only
+   the total over one (converged — checked per shard) replica per shard.
+   A half-applied cross-shard transfer shows up here as leaked or
+   destroyed money even if every per-shard oracle is happy. *)
+let money_sharded clusters ~table ~expected =
+  let shard_sum cluster =
+    match alive_replicas cluster with
+    | [] -> None
+    | r :: _ ->
+        let t = Silo.Db.table (Replica.db r) table in
+        let sum = ref 0 and bad = ref 0 in
+        Store.Table.iter t (fun _ rec_ ->
+            if not rec_.Store.Record.deleted then
+              match int_of_string_opt rec_.Store.Record.value with
+              | Some v -> sum := !sum + v
+              | None -> incr bad);
+        Some (Replica.id r, !sum, !bad)
+  in
+  let total = ref 0 and viols = ref [] and missing = ref false in
+  Array.iteri
+    (fun shard cluster ->
+      match shard_sum cluster with
+      | None ->
+          missing := true;
+          viols :=
+            violation "money" "shard %d has no alive replica to audit" shard
+            :: !viols
+      | Some (rid, sum, bad) ->
+          total := !total + sum;
+          if bad > 0 then
+            viols :=
+              violation "money" "shard %d replica %d: %d non-numeric balances"
+                shard rid bad
+              :: !viols)
+    clusters;
+  if (not !missing) && !total <> expected then
+    viols :=
+      violation "money" "global sum(%S) over %d shards = %d, expected %d" table
+        (Array.length clusters) !total expected
+      :: !viols;
+  List.rev !viols

@@ -62,6 +62,28 @@ val money : Cluster.t -> table:string -> expected:int -> violation list
 (** The integer balances in [table] sum to [expected] on every alive
     replica. Quiescent points only. *)
 
+val cross_shard : Cluster.t array -> violation list
+(** Cross-shard 2PC audit of a {!Shard} deployment over the
+    {!Store.Wire.decision} marks its journals carry (one cluster per
+    shard; requires [archive_entries]). Ground truth per shard is the
+    union durable log filtered by the final-watermark rule (as
+    {!exactly_once}). Violations: a transaction id with both commit and
+    abort decisions; a participant applying its intent more than once
+    (apply-retry dedup failure), applying despite an abort decision,
+    applying with no decision anywhere, or canceling despite a commit
+    decision; and — atomicity's completeness half — a commit decision
+    whose named participant never applied (a shard that failed over
+    between prepare and apply must recover the intent from its journal).
+    Quiescent points only, with checkpoint truncation off. *)
+
+val money_sharded :
+  Cluster.t array -> table:string -> expected:int -> violation list
+(** Global conservation over a sharded deployment: the balances in
+    [table] summed over one alive replica per shard (per-shard
+    convergence checked separately) equal [expected]. A half-applied
+    cross-shard transfer leaks or destroys money here even when every
+    per-shard check passes. Quiescent points only. *)
+
 val exactly_once : Cluster.t -> acked:(int * int) list -> violation list
 (** End-to-end exactly-once audit of the client-session layer against the
     union durable log (every [(stream, idx)] slot committed on an alive

@@ -202,6 +202,20 @@ let drive t payload =
     end
   done
 
+(* Blocking single-request API for driver-managed sessions (the 2PC
+   coordinator in {!Shard}): issue one payload and drive it to a terminal
+   disposition from the calling process. [`Stopped] can only happen when
+   the session's [stopped] flag fires mid-request — drivers that must
+   finish a protocol (a write is never abandoned) pass a never-true flag
+   and quiesce between logical transactions instead. *)
+let request t payload =
+  t.seq <- t.seq + 1;
+  let aborted_before = t.aborted in
+  drive t payload;
+  if t.completed < t.seq then `Stopped
+  else if t.aborted > aborted_before then `Aborted
+  else `Ok
+
 let run t () =
   while true do
     if !(t.stopped) then
@@ -224,8 +238,8 @@ let run t () =
     end
   done
 
-let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ?(ro = false) ?prefer ~gen
-    () =
+let create net ~cfg ~cid ?(stopped = ref false) ?stats ?(ro = false) ?prefer
+    ?(gen = fun () -> invalid_arg "Client: no generator") () =
   if cid < 0 || cid >= cfg.Config.clients then invalid_arg "Client.spawn: bad cid";
   if ro && not cfg.Config.follower_reads then
     invalid_arg "Client.spawn: read-only sessions need Config.follower_reads";
@@ -243,34 +257,38 @@ let spawn net ~cfg ~cid ?(stopped = ref false) ?stats ?(ro = false) ?prefer ~gen
   in
   let eng = Sim.Net.engine net in
   let pref_i = cid mod Array.length prefer in
-  let t =
-    {
-      net;
-      cfg;
-      cid;
-      node = Config.pool cfg + cid;
-      rng = Sim.Rng.split (Sim.Engine.rng eng);
-      gen;
-      stopped;
-      stats;
-      ro;
-      prefer;
-      pref_i;
-      hint = (if ro then prefer.(pref_i) else cid mod cfg.Config.replicas);
-      seq = 0;
-      completed = 0;
-      t0 = 0;
-      acked = [];
-      aborted = 0;
-      retries = 0;
-      redirects = 0;
-      busy = 0;
-      timeouts = 0;
-      parked = 0;
-      req_parked_ns = 0;
-      req_redirects = 0;
-      lat = Sim.Metrics.Hist.create ();
-    }
-  in
-  ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "client-%d" cid) (run t));
+  {
+    net;
+    cfg;
+    cid;
+    node = Config.pool cfg + cid;
+    rng = Sim.Rng.split (Sim.Engine.rng eng);
+    gen;
+    stopped;
+    stats;
+    ro;
+    prefer;
+    pref_i;
+    hint = (if ro then prefer.(pref_i) else cid mod cfg.Config.replicas);
+    seq = 0;
+    completed = 0;
+    t0 = 0;
+    acked = [];
+    aborted = 0;
+    retries = 0;
+    redirects = 0;
+    busy = 0;
+    timeouts = 0;
+    parked = 0;
+    req_parked_ns = 0;
+    req_redirects = 0;
+    lat = Sim.Metrics.Hist.create ();
+  }
+
+let spawn net ~cfg ~cid ?stopped ?stats ?ro ?prefer ~gen () =
+  let t = create net ~cfg ~cid ?stopped ?stats ?ro ?prefer ~gen () in
+  ignore
+    (Sim.Engine.spawn (Sim.Net.engine net)
+       ~name:(Printf.sprintf "client-%d" cid)
+       (run t));
   t

@@ -64,6 +64,31 @@ val spawn :
     @raise Invalid_argument on an empty or out-of-pool [prefer], or if
     [ro] is set without [Config.follower_reads]. *)
 
+val create :
+  Paxos.Msg.t Sim.Net.t ->
+  cfg:Config.t ->
+  cid:int ->
+  ?stopped:bool ref ->
+  ?stats:Stats.t ->
+  ?ro:bool ->
+  ?prefer:int array ->
+  ?gen:(unit -> string) ->
+  unit ->
+  t
+(** Build a session {e without} spawning its closed-loop process, for
+    driver-managed use via {!request} (the cross-shard 2PC driver in
+    {!Shard} owns one such session per participant shard). [gen] is
+    unused on this path and defaults to a raising stub. Same validation
+    as {!spawn}. *)
+
+val request : t -> string -> [ `Ok | `Aborted | `Stopped ]
+(** [request t payload] issues one request on a {!create}d session and
+    drives it to a terminal disposition, blocking the calling process
+    (must run inside a simulator process on the session's engine).
+    [`Stopped] only if the session's [stopped] flag fired mid-request —
+    drivers that must finish a multi-step protocol pass a never-true
+    flag and check their own stop signal between protocol rounds. *)
+
 val cid : t -> int
 val node : t -> int
 

@@ -171,20 +171,29 @@ let leader t =
   Array.to_list t.replicas
   |> List.find_opt (fun r -> Replica.is_serving r && Replica.is_alive r)
 
+(* Window management is split out so a {!Shard} deployment — many
+   clusters on ONE shared engine — can advance virtual time once and
+   bracket every cluster's measurement window around it. *)
+let reset_window t =
+  Array.iter
+    (fun r ->
+      Stats.reset_window (Replica.stats r);
+      Sim.Cpu.reset_busy (Replica.cpu r))
+    t.replicas;
+  Stats.reset_window t.client_stats;
+  Stats.reset_window t.client_read_stats
+
+let open_window t = t.w_start <- Sim.Engine.now t.eng
+let close_window t = t.w_stop <- Sim.Engine.now t.eng
+
 let run t ?(warmup = 0) ~duration () =
   if warmup > 0 then begin
     Sim.Engine.run ~until:(Sim.Engine.now t.eng + warmup) t.eng;
-    Array.iter
-      (fun r ->
-        Stats.reset_window (Replica.stats r);
-        Sim.Cpu.reset_busy (Replica.cpu r))
-      t.replicas;
-    Stats.reset_window t.client_stats;
-    Stats.reset_window t.client_read_stats
+    reset_window t
   end;
-  t.w_start <- Sim.Engine.now t.eng;
+  open_window t;
   Sim.Engine.run ~until:(t.w_start + duration) t.eng;
-  t.w_stop <- Sim.Engine.now t.eng
+  close_window t
 
 let crash_replica t i =
   Sim.Net.crash t.net i;
@@ -334,9 +343,16 @@ let coordinator_loop t () =
       t.replicas
   done
 
-let create ?(initial_leader = Some 0) ?on_durable cfg app =
+let create ?(initial_leader = Some 0) ?on_durable ?eng cfg app =
   Config.validate cfg;
-  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  (* [?eng] lets a {!Shard} deployment host many clusters inside one
+     engine (one virtual clock, one scheduler); absent, the engine is
+     created exactly as before so single-cluster runs are untouched. *)
+  let eng =
+    match eng with
+    | Some e -> e
+    | None -> Sim.Engine.create ~seed:cfg.Config.seed ()
+  in
   let pool = Config.pool cfg in
   (* Client sessions live on the same net, as nodes
      [pool .. pool+clients-1]: their links share the latency and fault
@@ -682,6 +698,9 @@ let read_misses t =
   Array.fold_left
     (fun acc r -> acc + Stats.read_misses (Replica.stats r))
     0 t.replicas
+
+let read_audit_skipped t =
+  Array.fold_left (fun acc r -> acc + Replica.read_audit_skipped r) 0 t.replicas
 
 let read_staleness t =
   let h =

@@ -19,6 +19,7 @@ type t
 val create :
   ?initial_leader:int option ->
   ?on_durable:(replica:int -> stream:int -> idx:int -> Store.Wire.entry -> unit) ->
+  ?eng:Sim.Engine.t ->
   Config.t ->
   App.t ->
   t
@@ -30,7 +31,10 @@ val create :
     spare_replicas]: spare slots are created dark (crashed at birth) and
     only join through {!add_replica}; client sessions occupy
     [pool .. pool+clients-1] — spawn them with {!Client.spawn} on
-    {!network}, passing {!client_stats}. *)
+    {!network}, passing {!client_stats}. [eng] hosts the cluster on an
+    existing engine instead of creating one — how a {!Shard} deployment
+    runs many groups on one virtual clock; omitted, behaviour (and every
+    drawn random number) is exactly the historical single-cluster path. *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Paxos.Msg.t Sim.Net.t
@@ -74,6 +78,23 @@ val ops_skipped : t -> int
 val run : t -> ?warmup:int -> duration:int -> unit -> unit
 (** Advance virtual time by [warmup] (then reset all windowed stats) plus
     [duration]. May be called repeatedly to extend a run. *)
+
+(** {2 Window management for co-hosted clusters}
+
+    A {!Shard} deployment hosts many clusters on one shared engine: it
+    advances virtual time itself and brackets every cluster's measurement
+    window with these. [run] is exactly
+    [warmup-advance; reset_window; open_window; advance; close_window]. *)
+
+val reset_window : t -> unit
+(** Zero every windowed stat (replica, client and read-client side) —
+    the end-of-warmup reset. *)
+
+val open_window : t -> unit
+(** Mark the measurement window's start at the current virtual time. *)
+
+val close_window : t -> unit
+(** Mark the measurement window's end at the current virtual time. *)
 
 val crash_replica : t -> int -> unit
 (** Crash-stop a machine: kill its processes and cut it from the network. *)
@@ -189,6 +210,11 @@ val read_misses : t -> int
 (** [Snapshot_miss] retries: a read body touched a key whose
     below-pin version was already reclaimed (the read retried at a
     fresher pin). *)
+
+val read_audit_skipped : t -> int
+(** Audit-eligible serves dropped because a replica's snapshot-read audit
+    cap filled, summed over replicas. Non-zero means the snapshot-read
+    oracle audited a truncated sample of this run. *)
 
 val read_staleness : t -> (int * int * int) option
 (** Staleness summary over the last window, merged across replicas:

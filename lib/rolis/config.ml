@@ -57,6 +57,8 @@ type t = {
   read_workers : int;
   read_retry_limit : int;
   wan_profile : string;
+  shards : int;
+  cross_pct : float;
   trace_sample_interval : int;
   trace_buffer_capacity : int;
   seed : int64;
@@ -113,6 +115,8 @@ let default =
     read_workers = 2;
     read_retry_limit = 8;
     wan_profile = "";
+    shards = 1;
+    cross_pct = 0.0;
     trace_sample_interval = 64;
     trace_buffer_capacity = 4096;
     seed = 42L;
@@ -274,6 +278,19 @@ let validate t =
       (Printf.sprintf "Config: unknown wan_profile %S (known: %s, or \"\")"
          t.wan_profile
          (String.concat ", " Sim.Net.wan_profile_names));
+  if t.shards < 1 then invalid_arg "Config: shards must be >= 1";
+  if t.cross_pct < 0.0 || t.cross_pct > 1.0 then
+    invalid_arg "Config: cross_pct must be in [0, 1]";
+  if t.cross_pct > 0.0 && t.shards < 2 then
+    invalid_arg
+      "Config: cross_pct > 0 needs shards >= 2 — a cross-shard mix with a \
+       single shard would silently degrade to local transactions and the \
+       measured penalty curve would be a lie";
+  if t.shards > 1 && t.clients < 1 then
+    invalid_arg
+      "Config: shards > 1 requires clients >= 1 — a sharded deployment is \
+       driven end-to-end by client sessions (the 2PC coordinator rides the \
+       client path); the embedded per-worker generator cannot span shards";
   if t.trace_sample_interval < 0 then
     invalid_arg "Config: trace_sample_interval must be non-negative";
   if t.trace_buffer_capacity < 1 then

@@ -169,6 +169,15 @@ type t = {
       (** named {!Sim.Net.wan_profile} applied to the cluster's links
           (replicas and clients assigned to regions round-robin);
           [""] (default) keeps the uniform [net_latency] model *)
+  shards : int;
+      (** number of independent Rolis groups a {!Shard} deployment splits
+          the keyspace across; [1] (default) is the classic single-group
+          deployment — {!Cluster} ignores this field entirely, so the
+          single-group path stays bit-identical *)
+  cross_pct : float;
+      (** fraction of workload transactions made genuinely distributed
+          (cross-shard 2PC) by a partition-aware generator; [0.0] default.
+          Requires [shards >= 2] when positive *)
   trace_sample_interval : int;
       (** {!Trace} sampling: record stage spans for every [n]-th
           committed transaction per worker; [0] disables tracing. Purely

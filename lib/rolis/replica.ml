@@ -135,6 +135,10 @@ type t = {
   mutable read_seen : int;
   mutable read_audit : (int * (int * string * int) list) list;
   mutable read_audit_n : int;
+  mutable read_audit_skipped : int;
+      (* audit-eligible serves dropped because [read_audit_cap] was
+         reached — surfaced so "audit clean" is never misread as full
+         coverage of a long run *)
 }
 
 let id t = t.rid
@@ -297,11 +301,17 @@ let worker_loop t w () =
       if t.cfg.Config.networked_clients then
         Sim.Cpu.consume t.cpu t.cfg.Config.client_rpc_overhead;
       let r = Silo.Db.run t.db ~worker:w body in
+      let dec = Silo.Db.take_decision t.db ~worker:w in
       match r.Silo.Db.tid with
       | Some tid when t.serving ->
           Stats.note_executed t.stats;
           let txn_log =
-            { Store.Wire.ts = tid.Silo.Tid.ts; req = None; writes = r.Silo.Db.log }
+            {
+              Store.Wire.ts = tid.Silo.Tid.ts;
+              req = None;
+              decision = dec;
+              writes = r.Silo.Db.log;
+            }
           in
           let bytes = Store.Wire.txn_byte_size txn_log in
           let tok =
@@ -381,6 +391,7 @@ let client_worker_loop t w op () =
             let start = Sim.Engine.time () in
             Sim.Cpu.consume t.cpu t.cfg.Config.client_rpc_overhead;
             let r = Silo.Db.run t.db ~worker:w (op ~payload) in
+            let dec = Silo.Db.take_decision t.db ~worker:w in
             match r.Silo.Db.tid with
             | Some tid when t.serving ->
                 if seq > sess.s_applied then sess.s_applied <- seq;
@@ -389,6 +400,7 @@ let client_worker_loop t w op () =
                   {
                     Store.Wire.ts = tid.Silo.Tid.ts;
                     req = Some (cid, seq);
+                    decision = dec;
                     writes = r.Silo.Db.log;
                   }
                 in
@@ -857,10 +869,10 @@ let read_worker_loop t w rop () =
           end;
           let start = Sim.Engine.time () in
           t.read_seen <- t.read_seen + 1;
-          let audit =
-            (t.read_seen - 1) mod read_audit_interval = 0
-            && t.read_audit_n < read_audit_cap
-          in
+          let eligible = (t.read_seen - 1) mod read_audit_interval = 0 in
+          let audit = eligible && t.read_audit_n < read_audit_cap in
+          if eligible && not audit then
+            t.read_audit_skipped <- t.read_audit_skipped + 1;
           let rec attempt n =
             let pin = read_pin t in
             match Silo.Db.read_at t.db ~audit ~pin (fun s -> rop ~payload s) with
@@ -888,6 +900,7 @@ let read_worker_loop t w rop () =
   done
 
 let read_audits t = List.rev t.read_audit
+let read_audit_skipped t = t.read_audit_skipped
 let lease_valid t = may_serve_reads t
 
 let controller_loop t () =
@@ -1306,6 +1319,7 @@ let create cfg eng net ~id:rid ~app ?initial_leader ?membership ?(learner = fals
       read_seen = 0;
       read_audit = [];
       read_audit_n = 0;
+      read_audit_skipped = 0;
     }
   in
   let client_op =

@@ -127,6 +127,11 @@ val read_audits : t -> (int * (int * string * int) list) list
     body made ([-1] = key absent at the pin). Oldest first; bounded
     (1-in-64 sampling, capped per replica). *)
 
+val read_audit_skipped : t -> int
+(** Audit-eligible serves dropped because the per-replica audit cap was
+    reached. Non-zero means {!read_audits} is a truncated sample — the
+    snapshot-read oracle covered a prefix of the run, not all of it. *)
+
 val session_state : t -> cid:int -> (int * int) option
 (** [(applied, released)] highest sequence numbers this replica knows for
     client session [cid] — from its own execution on a leader, from

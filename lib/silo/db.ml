@@ -25,6 +25,10 @@ type t = {
   by_name : (string, Store.Table.t) Hashtbl.t;
   mutable by_id : Store.Table.t array;
   txn_pool : (int, Txn.t) Hashtbl.t;
+  pending_decisions : (int, Store.Wire.decision) Hashtbl.t;
+      (* per-worker decision mark of the last committed transaction;
+         populated only by 2PC control transactions, so the common path
+         never touches it beyond a lookup in an empty table *)
   mutable install_scratch : Txn.write_entry array;
   mutable cur_epoch : int;
   mutable ts_counter : int;
@@ -51,6 +55,7 @@ let create eng cpu ?(costs = Costs.default) ?(physical_deletes = true)
     by_name = Hashtbl.create 16;
     by_id = [||];
     txn_pool = Hashtbl.create 16;
+    pending_decisions = Hashtbl.create 4;
     install_scratch = [||];
     cur_epoch = 1;
     ts_counter = 0;
@@ -288,6 +293,9 @@ let run t ~worker f =
         { value = None; tid = None; log = []; retries; reads; writes }
     | `Committed (v, tid, log, txn) ->
         let reads, writes = counts txn in
+        (match txn.Txn.decision with
+        | None -> ()
+        | Some d -> Hashtbl.replace t.pending_decisions worker d);
         { value = Some v; tid = Some tid; log; retries; reads; writes }
     | `Conflict ->
         t.s_retries <- t.s_retries + 1;
@@ -302,8 +310,18 @@ let run_once t ~worker f =
       Some { value = None; tid = None; log = []; retries = 0; reads; writes }
   | `Committed (v, tid, log, txn) ->
       let reads, writes = counts txn in
+      (match txn.Txn.decision with
+      | None -> ()
+      | Some d -> Hashtbl.replace t.pending_decisions worker d);
       Some { value = Some v; tid = Some tid; log; retries = 0; reads; writes }
   | `Conflict -> None
+
+let take_decision t ~worker =
+  match Hashtbl.find_opt t.pending_decisions worker with
+  | None -> None
+  | Some _ as d ->
+      Hashtbl.remove t.pending_decisions worker;
+      d
 
 (* ---- replay ---- *)
 

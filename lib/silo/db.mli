@@ -88,6 +88,15 @@ val run_once : t -> worker:int -> (Txn.t -> 'a) -> 'a result option
 (** Single attempt; [None] on a conflict abort (no retry). For baselines
     that handle retry themselves. *)
 
+val take_decision : t -> worker:int -> Store.Wire.decision option
+(** Cross-shard 2PC mark the last committed transaction on [worker]
+    stamped via {!Txn.set_decision}, cleared by the take. Carried
+    out-of-band rather than on {!type-result} so ordinary transactions —
+    the overwhelming majority — pay nothing for the field: the common
+    path is a lookup in an empty table. [None] if the last commit on
+    [worker] stamped no decision (or the body aborted — an aborted body
+    decided nothing durable). *)
+
 val apply_replay :
   t -> Store.Wire.txn_log -> epoch:int -> writes:int -> applied:int ref -> unit
 (** Follower-side replay of one transaction's write-set: per-key

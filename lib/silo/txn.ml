@@ -37,6 +37,7 @@ type t = {
   mutable nscans : int;
   mutable nscan_rows : int;
   mutable nvalue_bytes : int;
+  mutable decision : Store.Wire.decision option;
 }
 
 let create ~worker ~costs =
@@ -56,6 +57,7 @@ let create ~worker ~costs =
     nscans = 0;
     nscan_rows = 0;
     nvalue_bytes = 0;
+    decision = None;
   }
 
 (* Return a transaction context to its just-created state so a worker can
@@ -75,7 +77,8 @@ let reset t =
   t.nwrites <- 0;
   t.nscans <- 0;
   t.nscan_rows <- 0;
-  t.nvalue_bytes <- 0
+  t.nvalue_bytes <- 0;
+  t.decision <- None
 
 let track_read t table key (r : Store.Record.t option) =
   let id = (Store.Table.id table, key) in
@@ -148,6 +151,7 @@ let last_live t table ~lo ~hi =
   Option.map (fun (k, (r : Store.Record.t)) -> (k, r.value)) found
 
 let abort () = raise Abort
+let set_decision t d = t.decision <- Some d
 
 let exec_cost_ns t =
   Costs.exec_cost t.costs ~hash_reads:t.nhash_reads ~reads:t.nreads

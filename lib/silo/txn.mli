@@ -60,6 +60,9 @@ type t = {
   mutable nscans : int;
   mutable nscan_rows : int;
   mutable nvalue_bytes : int;
+  mutable decision : Store.Wire.decision option;
+      (** cross-shard 2PC mark to stamp on this transaction's replicated
+          log record; cleared by {!reset} like the rest of the context *)
 }
 
 val create : worker:int -> costs:Costs.t -> t
@@ -88,6 +91,12 @@ val last_live : t -> Store.Table.t -> lo:string -> hi:string -> (string * string
 
 val abort : unit -> 'a
 (** [abort ()] raises {!Abort}. *)
+
+val set_decision : t -> Store.Wire.decision -> unit
+(** Stamp a cross-shard 2PC mark on the transaction. If it commits, the
+    mark rides its {!Store.Wire.txn_log} into the replicated log — making
+    the prepare vote / decision durable exactly when its row effects
+    are. *)
 
 val exec_cost_ns : t -> int
 (** Accumulated execution cost of the body so far. *)

@@ -1,5 +1,19 @@
 type write = { table : int; key : string; value : string option }
-type txn_log = { ts : int; req : (int * int) option; writes : write list }
+
+(* Cross-shard 2PC marks. A decision rides the transaction that recorded
+   it, so it is replicated (and replayed, and recovered after failover)
+   exactly like the data writes it governs. *)
+type phase2 = Prepared | Committed | Aborted | Applied | Canceled
+
+type decision = { d_xid : int; d_phase : phase2; d_parts : int list }
+
+type txn_log = {
+  ts : int;
+  req : (int * int) option;
+  decision : decision option;
+  writes : write list;
+}
+
 type member_change = { m_gen : int; m_old : int list; m_new : int list }
 
 type entry = {
@@ -26,11 +40,20 @@ let write_byte_size w =
   4 + 4 + String.length w.key + 1
   + match w.value with Some v -> 4 + String.length v | None -> 0
 
+(* Decision trailer: xid(8) + phase(1) + nparts(4) + 4*|parts|. *)
+let decision_byte_size = function
+  | None -> 0
+  | Some d -> 13 + (4 * List.length d.d_parts)
+
 let txn_byte_size t =
-  (* Per-transaction header: ts(8) + req tag(1) [+ client(4) + seq(4)]
-     + nkv(4) + nbytes(4). *)
+  (* Per-transaction header: ts(8) + tag(1) [+ client(4) + seq(4)]
+     [+ decision trailer] + nkv(4) + nbytes(4). The tag byte is a bit
+     set — bit 0: req present, bit 1: decision present — so transactions
+     without a decision (every pre-sharding entry) encode byte-identically
+     to the historical format. *)
   17
   + (match t.req with Some _ -> 8 | None -> 0)
+  + decision_byte_size t.decision
   + List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes
 
 (* Config trailer: tag(1) + gen(4) + n_old(4) + 4*|old| + n_new(4) +
@@ -117,12 +140,27 @@ let encode_into (scratch : Scratch.t) e =
   List.iter
     (fun t ->
       u64 t.ts;
+      u8
+        ((match t.req with Some _ -> 1 | None -> 0)
+        lor match t.decision with Some _ -> 2 | None -> 0);
       (match t.req with
       | Some (cid, seq) ->
-          u8 1;
           u32 cid;
           u32 seq
-      | None -> u8 0);
+      | None -> ());
+      (match t.decision with
+      | Some d ->
+          u64 d.d_xid;
+          u8
+            (match d.d_phase with
+            | Prepared -> 0
+            | Committed -> 1
+            | Aborted -> 2
+            | Applied -> 3
+            | Canceled -> 4);
+          u32 (List.length d.d_parts);
+          List.iter u32 d.d_parts
+      | None -> ());
       u32 (List.length t.writes);
       u32 (List.fold_left (fun acc w -> acc + write_byte_size w) 0 t.writes);
       List.iter
@@ -195,14 +233,31 @@ let decode s =
     let txns =
       List.init ntxns (fun _ ->
           let ts = u64 () in
+          let tag = u8 () in
+          if tag land lnot 3 <> 0 then raise (Malformed "bad request tag");
           let req =
-            match u8 () with
-            | 0 -> None
-            | 1 ->
-                let cid = u32 () in
-                let seq = u32 () in
-                Some (cid, seq)
-            | _ -> raise (Malformed "bad request tag")
+            if tag land 1 = 0 then None
+            else
+              let cid = u32 () in
+              let seq = u32 () in
+              Some (cid, seq)
+          in
+          let decision =
+            if tag land 2 = 0 then None
+            else
+              let d_xid = u64 () in
+              let d_phase =
+                match u8 () with
+                | 0 -> Prepared
+                | 1 -> Committed
+                | 2 -> Aborted
+                | 3 -> Applied
+                | 4 -> Canceled
+                | _ -> raise (Malformed "bad decision phase")
+              in
+              let nparts = u32 () in
+              let d_parts = List.init nparts (fun _ -> u32 ()) in
+              Some { d_xid; d_phase; d_parts }
           in
           let nwrites = u32 () in
           let _nbytes = u32 () in
@@ -221,7 +276,7 @@ let decode s =
                 in
                 { table; key; value })
           in
-          { ts; req; writes })
+          { ts; req; decision; writes })
     in
     let config =
       if !pos = len then None

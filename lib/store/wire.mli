@@ -17,12 +17,34 @@ type write = {
   value : string option;  (** [None] encodes a delete *)
 }
 
+(** Cross-shard 2PC lifecycle of one distributed transaction, as seen from
+    one shard's log. [Prepared] marks a participant's vote-yes (its intent
+    row is in the same transaction's write-set); [Committed] / [Aborted]
+    mark the coordinator shard's replicated decision; [Applied] marks a
+    participant installing a committed transaction's effects; [Canceled]
+    marks a participant discarding a prepared intent after an abort. *)
+type phase2 = Prepared | Committed | Aborted | Applied | Canceled
+
+type decision = {
+  d_xid : int;  (** globally unique cross-shard transaction id *)
+  d_phase : phase2;
+  d_parts : int list;
+      (** participant shard ids; populated on coordinator decisions so
+          recovery (and the atomicity oracle) knows the full cohort *)
+}
+
 type txn_log = {
   ts : int;
   req : (int * int) option;
       (** originating client request [(client_id, seq)], if the
           transaction was submitted by a networked client session; threads
           exactly-once identity through replication and replay *)
+  decision : decision option;
+      (** cross-shard 2PC mark: this transaction recorded a prepare vote,
+          a coordinator decision, or a participant apply/cancel. Encoded as
+          an optional trailer behind a tag bit, so transactions without one
+          — every single-shard transaction — keep the historical wire bytes
+          exactly *)
   writes : write list;
 }
 
@@ -59,6 +81,7 @@ val config_entry : epoch:int -> ts:int -> member_change -> entry
 val is_noop : entry -> bool
 
 val write_byte_size : write -> int
+val decision_byte_size : decision option -> int
 val txn_byte_size : txn_log -> int
 val byte_size : entry -> int
 val txn_count : entry -> int

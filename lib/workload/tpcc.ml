@@ -546,6 +546,324 @@ let app p =
     read_op = None;
   }
 
+(* ---- seed-based client transactions (sharded deployments) ----
+
+   The embedded worker bodies above draw every parameter from a
+   long-lived per-worker RNG, which is exactly right for a closed-loop
+   generator but useless for a networked request: a retry would re-draw.
+   The client-op path instead ships a compact payload — op code, home
+   warehouse, 31-bit seed — and derives every parameter from
+   [Sim.Rng.create seed] *inside* the body, so OCC re-execution and
+   cross-shard sub-transactions replay the identical transaction. The
+   embedded bodies are deliberately not refactored onto this path: they
+   feed the bit-identical default benchmarks.
+
+   Cross-shard transactions split into escrow-style halves sharing one
+   seed (same derived line list on both sides):
+
+     "nh w rw seed"  NewOrder home half: order/order-lines at [w], local
+                     stock updates; lines flagged remote name [rw] as
+                     supplier but skip the stock update here;
+     "nr rw seed"    NewOrder remote half: only the remote-flagged
+                     lines' stock updates, at [rw];
+     "ph w seed"     Payment home half: warehouse/district YTD at [w];
+     "pr cw seed"    Payment remote half: customer balance + history at
+                     the customer's warehouse [cw].
+
+   Both halves are relative adjustments, so applies commute across
+   shards; atomicity comes from the 2PC decision being replicated
+   (see {!Rolis.Shard}). *)
+
+(* Shared derivation for "n"/"nh"/"nr" and the prepare-time veto: one
+   seed fixes (district, customer, rollback, line list). Lines carry a
+   remote flag only the split ops honour; the first line is always
+   remote so a cross transaction really is distributed. *)
+let no_derive p seed =
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let d = 1 + Sim.Rng.int rng p.districts in
+  let c = 1 + Sim.Rng.int rng p.customers_per_district in
+  let ol_cnt = 5 + Sim.Rng.int rng 11 in
+  let rollback = Sim.Rng.int rng 100 = 0 in
+  let lines = ref [] in
+  for i = 0 to ol_cnt - 1 do
+    let i_id = 1 + Sim.Rng.int rng p.items in
+    let qty = 1 + Sim.Rng.int rng 10 in
+    let rflag = Sim.Rng.int rng 100 < 10 || i = 0 in
+    lines := (i_id, qty, rflag) :: !lines
+  done;
+  (d, c, rollback, List.rev !lines)
+
+let pay_derive p seed =
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let d = 1 + Sim.Rng.int rng p.districts in
+  let cd = 1 + Sim.Rng.int rng p.districts in
+  let c = 1 + Sim.Rng.int rng p.customers_per_district in
+  let amount = 100 + Sim.Rng.int rng 499_900 in
+  (d, cd, c, amount)
+
+let stock_update st txn ~supply_w ~i_id ~qty =
+  let tb = st.tb in
+  let s_key = k_stock supply_w i_id in
+  let s_row = get_exn txn tb.ts s_key "stock" in
+  let quantity = Row.to_int (Row.field s_row 0) in
+  let new_qty = if quantity >= qty + 10 then quantity - qty else quantity - qty + 91 in
+  match Row.unpack s_row with
+  | _ :: ytd :: cnt :: rest ->
+      Silo.Txn.put txn tb.ts s_key
+        (Row.pack
+           (Row.int_field new_qty
+           :: Row.int_field (Row.to_int ytd + qty)
+           :: Row.int_field (Row.to_int cnt + 1)
+           :: rest))
+  | _ -> failwith "tpcc: bad stock row"
+
+(* History keys carry a worker component; client-op transactions use a
+   sentinel outside any embedded worker id range. *)
+let client_worker_slot = 9_999
+
+let c_new_order st ~w ~remote ~seed txn =
+  let p = st.p and tb = st.tb in
+  let d, c, rollback, lines = no_derive p seed in
+  ignore (get_exn txn tb.tw (k_warehouse w) "warehouse");
+  ignore (get_exn txn tb.tc (k_customer w d c) "customer");
+  let o_id =
+    if p.fast_ids then fast_next_oid st w d
+    else begin
+      let d_row = get_exn txn tb.td (k_district w d) "district" in
+      let next = Row.to_int (Row.field d_row 0) in
+      Silo.Txn.put txn tb.td (k_district w d)
+        (Row.set_field d_row 0 (Row.int_field (next + 1)));
+      next
+    end
+  in
+  if p.fast_ids then ignore (get_exn txn tb.td (k_district w d) "district");
+  let n = List.length lines in
+  let all_local = ref 1 in
+  List.iteri
+    (fun i (i_id, qty, rflag) ->
+      (* The 1% rollback aborts on the last line, as the embedded body
+         does. A cross-shard "nh" never reaches here with [rollback]:
+         {!veto} surfaces it at prepare time as a global abort. *)
+      if rollback && i = n - 1 then Silo.Txn.abort ();
+      let supply_w, local =
+        match remote with
+        | Some rw when rflag ->
+            all_local := 0;
+            (rw, false)
+        | _ -> (w, true)
+      in
+      let i_row = get_exn txn tb.ti (k_item i_id) "item" in
+      let price = Row.to_int (Row.field i_row 0) in
+      if local then stock_update st txn ~supply_w:w ~i_id ~qty;
+      Silo.Txn.put txn tb.tol
+        (k_order_line w d o_id (i + 1))
+        (order_line_row ~i_id ~supply_w ~quantity:qty ~amount:(price * qty)
+           ~delivery_d:0))
+    lines;
+  Silo.Txn.put txn tb.to_ (k_order w d o_id)
+    (oorder_row ~c_id:c ~carrier:0 ~ol_cnt:n ~all_local:!all_local ~entry_d:0);
+  Silo.Txn.put txn tb.tbc (k_order_by_cust w d c o_id) (Row.int_field o_id);
+  Silo.Txn.put txn tb.tno (k_new_order w d o_id) new_order_row
+
+let c_new_order_remote st ~rw ~seed txn =
+  let _, _, _, lines = no_derive st.p seed in
+  List.iter
+    (fun (i_id, qty, rflag) ->
+      if rflag then stock_update st txn ~supply_w:rw ~i_id ~qty)
+    lines
+
+let pay_customer st txn ~cw ~cd ~c ~amount =
+  let tb = st.tb in
+  let c_key = k_customer cw cd c in
+  let c_row = get_exn txn tb.tc c_key "customer" in
+  (match Row.unpack c_row with
+  | bal :: ytd :: cnt :: rest ->
+      Silo.Txn.put txn tb.tc c_key
+        (Row.pack
+           (Row.int_field (Row.to_int bal - amount)
+           :: Row.int_field (Row.to_int ytd + amount)
+           :: Row.int_field (Row.to_int cnt + 1)
+           :: rest))
+  | _ -> failwith "tpcc: bad customer row");
+  st.history_seq <- st.history_seq + 1;
+  Silo.Txn.put txn tb.th
+    (k_history cw cd c client_worker_slot st.history_seq)
+    (history_row ~amount)
+
+let pay_home st txn ~w ~d ~amount =
+  let tb = st.tb in
+  let w_row = get_exn txn tb.tw (k_warehouse w) "warehouse" in
+  Silo.Txn.put txn tb.tw (k_warehouse w)
+    (Row.set_field w_row 0 (Row.int_field (Row.to_int (Row.field w_row 0) + amount)));
+  let d_row = get_exn txn tb.td (k_district w d) "district" in
+  Silo.Txn.put txn tb.td (k_district w d)
+    (Row.set_field d_row 1 (Row.int_field (Row.to_int (Row.field d_row 1) + amount)))
+
+let c_payment st ~w ~seed txn =
+  let p = st.p in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let d = 1 + Sim.Rng.int rng p.districts in
+  let amount = 100 + Sim.Rng.int rng 499_900 in
+  let c = choose_customer st rng txn w d in
+  pay_home st txn ~w ~d ~amount;
+  pay_customer st txn ~cw:w ~cd:d ~c ~amount
+
+let c_order_status st ~w ~seed txn =
+  let p = st.p and tb = st.tb in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let d = 1 + Sim.Rng.int rng p.districts in
+  let c = choose_customer st rng txn w d in
+  ignore (get_exn txn tb.tc (k_customer w d c) "customer");
+  let lo, hi = range [ I w; I d; I c ] in
+  match Silo.Txn.last_live txn tb.tbc ~lo ~hi with
+  | None -> ()
+  | Some (_, o_field) ->
+      let o = Row.to_int o_field in
+      let o_row = get_exn txn tb.to_ (k_order w d o) "order" in
+      let ol_cnt = Row.to_int (Row.field o_row 2) in
+      for ol = 1 to ol_cnt do
+        ignore (get_exn txn tb.tol (k_order_line w d o ol) "order_line")
+      done
+
+let c_stock_level st ~w ~seed txn =
+  let p = st.p and tb = st.tb in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let d = 1 + Sim.Rng.int rng p.districts in
+  let threshold = 10 + Sim.Rng.int rng 11 in
+  let next_o =
+    if p.fast_ids then peek_next_oid st w d
+    else Row.to_int (Row.field (get_exn txn tb.td (k_district w d) "district") 0)
+  in
+  let lo = k_order_line w d (max 1 (next_o - 20)) 0 in
+  let _, hi = range [ I w; I d ] in
+  let lines = Silo.Txn.scan txn tb.tol ~lo ~hi () in
+  let seen = Hashtbl.create 64 in
+  let low = ref 0 in
+  List.iter
+    (fun (_, row) ->
+      let i_id = Row.to_int (Row.field row 0) in
+      if not (Hashtbl.mem seen i_id) then begin
+        Hashtbl.add seen i_id ();
+        let s_row = get_exn txn tb.ts (k_stock w i_id) "stock" in
+        if Row.to_int (Row.field s_row 0) < threshold then incr low
+      end)
+    lines
+
+let c_delivery st ~w ~seed txn =
+  let p = st.p and tb = st.tb in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let carrier = 1 + Sim.Rng.int rng 10 in
+  for d = 1 to p.districts do
+    let lo, hi = range [ I w; I d ] in
+    match Silo.Txn.first_live txn tb.tno ~lo ~hi with
+    | None -> ()
+    | Some (no_key, _) ->
+        let o =
+          match Store.Keycodec.decode no_key with
+          | [ I _; I _; I o ] -> o
+          | _ -> failwith "tpcc: bad new_order key"
+        in
+        Silo.Txn.delete txn tb.tno no_key;
+        let o_key = k_order w d o in
+        let o_row = get_exn txn tb.to_ o_key "order" in
+        let c = Row.to_int (Row.field o_row 0) in
+        let ol_cnt = Row.to_int (Row.field o_row 2) in
+        Silo.Txn.put txn tb.to_ o_key (Row.set_field o_row 1 (Row.int_field carrier));
+        let total = ref 0 in
+        for ol = 1 to ol_cnt do
+          let ol_key = k_order_line w d o ol in
+          let ol_row = get_exn txn tb.tol ol_key "order_line" in
+          total := !total + Row.to_int (Row.field ol_row 3);
+          Silo.Txn.put txn tb.tol ol_key (Row.set_field ol_row 4 (Row.int_field 1))
+        done;
+        let c_key = k_customer w d c in
+        let c_row = get_exn txn tb.tc c_key "customer" in
+        let fields = Row.unpack c_row in
+        let c_row' =
+          match fields with
+          | bal :: ytd :: cnt :: dcnt :: rest ->
+              Row.pack
+                (Row.int_field (Row.to_int bal + !total)
+                :: ytd :: cnt
+                :: Row.int_field (Row.to_int dcnt + 1)
+                :: rest)
+          | _ -> failwith "tpcc: bad customer row"
+        in
+        Silo.Txn.put txn tb.tc c_key c_row'
+  done
+
+let client_op p db ~payload txn =
+  let st = state_for p db in
+  let i = int_of_string in
+  match String.split_on_char ' ' payload with
+  | [ "n"; w; seed ] -> c_new_order st ~w:(i w) ~remote:None ~seed:(i seed) txn
+  | [ "nh"; w; rw; seed ] ->
+      c_new_order st ~w:(i w) ~remote:(Some (i rw)) ~seed:(i seed) txn
+  | [ "nr"; rw; seed ] -> c_new_order_remote st ~rw:(i rw) ~seed:(i seed) txn
+  | [ "p"; w; seed ] -> c_payment st ~w:(i w) ~seed:(i seed) txn
+  | [ "ph"; w; seed ] ->
+      let d, _, _, amount = pay_derive p (i seed) in
+      pay_home st txn ~w:(i w) ~d ~amount
+  | [ "pr"; cw; seed ] ->
+      let _, cd, c, amount = pay_derive p (i seed) in
+      pay_customer st txn ~cw:(i cw) ~cd ~c ~amount
+  | [ "o"; w; seed ] -> c_order_status st ~w:(i w) ~seed:(i seed) txn
+  | [ "s"; w; seed ] -> c_stock_level st ~w:(i w) ~seed:(i seed) txn
+  | [ "d"; w; seed ] -> c_delivery st ~w:(i w) ~seed:(i seed) txn
+  | _ -> failwith ("tpcc: bad client payload " ^ payload)
+
+let client_app p = { (app p) with Rolis.App.client_op = Some (client_op p) }
+
+let veto p ~payload =
+  match String.split_on_char ' ' payload with
+  | [ "nh"; _; _; seed ] ->
+      let _, _, rollback, _ = no_derive p (int_of_string seed) in
+      rollback
+  | _ -> false
+
+(* Partition-aware logical-transaction generator for a {!Rolis.Shard}
+   deployment: route by home warehouse; with probability [cross_pct]
+   a NewOrder or Payment becomes a genuine distributed transaction
+   against a second shard's warehouse. *)
+let shard_gen p router ~cross_pct ~rng () =
+  let sp = Printf.sprintf in
+  let w = 1 + Sim.Rng.int rng p.warehouses in
+  let home = Rolis.Router.tpcc_shard_of_warehouse router w in
+  let kind = pick_kind p rng in
+  let seed = Sim.Rng.int rng 0x3FFF_FFFF in
+  let nshards = Rolis.Router.shards router in
+  let cross_eligible =
+    match kind with New_order | Payment -> nshards > 1 | _ -> false
+  in
+  if cross_eligible && Sim.Rng.float rng 1.0 < cross_pct then begin
+    let s' =
+      let x = Sim.Rng.int rng (nshards - 1) in
+      if x >= home then x + 1 else x
+    in
+    let lo, hi =
+      Rolis.Router.tpcc_warehouse_range router ~warehouses:p.warehouses s'
+    in
+    let rw = lo + Sim.Rng.int rng (hi - lo + 1) in
+    match kind with
+    | New_order ->
+        Rolis.Shard.Multi
+          [ (home, sp "nh %d %d %d" w rw seed); (s', sp "nr %d %d" rw seed) ]
+    | Payment ->
+        Rolis.Shard.Multi
+          [ (home, sp "ph %d %d" w seed); (s', sp "pr %d %d" rw seed) ]
+    | _ -> assert false
+  end
+  else
+    let op =
+      match kind with
+      | New_order -> "n"
+      | Payment -> "p"
+      | Order_status -> "o"
+      | Stock_level -> "s"
+      | Delivery -> "d"
+    in
+    Rolis.Shard.Single (home, sp "%s %d %d" op w seed)
+
 (* ---- consistency checks ---- *)
 
 let consistency_errors p db =

@@ -69,6 +69,37 @@ val run_kind :
 
 val app : params -> Rolis.App.t
 
+(** {2 Sharded deployments}
+
+    A parallel, seed-based client-op path: payloads carry an op code, a
+    home warehouse and a 31-bit seed, and every transaction parameter is
+    derived from [Sim.Rng.create seed] inside the body — so OCC
+    re-execution and retried network requests replay the identical
+    transaction. The embedded worker bodies above are untouched (they
+    feed the bit-identical default benchmarks). Cross-shard NewOrder and
+    Payment split into escrow-style halves sharing one seed; see
+    {!Rolis.Shard}. *)
+
+val client_app : params -> Rolis.App.t
+(** {!app} with [client_op] populated by the seed-based path. *)
+
+val veto : params -> payload:string -> bool
+(** Prepare-time veto for {!Rolis.Shard.wrap_app}: true for a
+    cross-shard NewOrder home half whose seed derives the spec's 1%%
+    rollback, so the abort surfaces as a clean global 2PC abort. *)
+
+val shard_gen :
+  params ->
+  Rolis.Router.t ->
+  cross_pct:float ->
+  rng:Sim.Rng.t ->
+  unit ->
+  Rolis.Shard.op
+(** Partition-aware logical-transaction generator: routes by home
+    warehouse; with probability [cross_pct] a NewOrder or Payment
+    becomes a distributed transaction against a second shard's
+    warehouse (remote supplier / remote customer). *)
+
 val consistency_errors : params -> Silo.Db.t -> string list
 (** TPC-C consistency conditions (adapted): W_YTD = sum of D_YTD; every
     order has exactly its OL_CNT order lines; every new-order row has an

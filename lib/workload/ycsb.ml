@@ -78,6 +78,78 @@ let app p =
           !last);
   }
 
+(* ---- sharded deployments ----
+
+   Client-op payloads carry their keys explicitly (no seed derivation
+   needed — the key list fixes the transaction), so retries and OCC
+   re-execution replay identically:
+
+     "t <ro> <k1,k2,...>"  a [ops_per_txn]-style transaction over the
+                           listed keys: reads when ro=1, RMWs when ro=0;
+     "m <k>"               a single-key RMW — the cross-range 2PC
+                           sub-transaction (byte-flips commute with
+                           nothing, but atomic durability is what the
+                           cross-shard oracle asserts; each half touches
+                           a different key, so applies never conflict). *)
+
+let rmw p table k txn =
+  let v' =
+    match Silo.Txn.get txn table k with
+    | Some s when String.length s > 0 ->
+        let b = Bytes.of_string s in
+        Bytes.set b 0 (if Bytes.get b 0 = 'x' then 'y' else 'x');
+        Bytes.to_string b
+    | Some _ | None -> Row.pad p.value_size
+  in
+  Silo.Txn.put txn table k v'
+
+let client_op p db ~payload txn =
+  let table = Silo.Db.table db table_name in
+  match String.split_on_char ' ' payload with
+  | [ "t"; ro; keys ] ->
+      let ro = ro = "1" in
+      List.iter
+        (fun k ->
+          let k = key (int_of_string k) in
+          if ro then ignore (Silo.Txn.get txn table k) else rmw p table k txn)
+        (String.split_on_char ',' keys)
+  | [ "m"; k ] -> rmw p table (key (int_of_string k)) txn
+  | _ -> failwith ("ycsb: bad client payload " ^ payload)
+
+let client_app p = { (app p) with Rolis.App.client_op = Some (client_op p) }
+
+(* Partition-aware generator: single-shard transactions keep all their
+   keys inside one shard's range (uniform within the shard — the Zipfian
+   chooser spans the global space and would break partitioning); with
+   probability [cross_pct] the transaction becomes a two-shard RMW pair
+   committed through 2PC. *)
+let shard_gen p router ~cross_pct ~rng () =
+  let nsh = Rolis.Router.shards router in
+  let key_in s =
+    let lo, hi = Rolis.Router.ycsb_key_range router ~keys:p.keys s in
+    lo + Sim.Rng.int rng (hi - lo + 1)
+  in
+  if nsh > 1 && Sim.Rng.float rng 1.0 < cross_pct then begin
+    let sa = Sim.Rng.int rng nsh in
+    let sb = (sa + 1 + Sim.Rng.int rng (nsh - 1)) mod nsh in
+    Rolis.Shard.Multi
+      [
+        (sa, Printf.sprintf "m %d" (key_in sa));
+        (sb, Printf.sprintf "m %d" (key_in sb));
+      ]
+  end
+  else begin
+    let s = Sim.Rng.int rng nsh in
+    let ro = Sim.Rng.float rng 1.0 < p.read_ratio in
+    (* Explicit loop: key draws must happen in a defined order. *)
+    let ks = ref [] in
+    for _ = 1 to p.ops_per_txn do
+      ks := string_of_int (key_in s) :: !ks
+    done;
+    let keys = String.concat "," (List.rev !ks) in
+    Rolis.Shard.Single (s, Printf.sprintf "t %d %s" (if ro then 1 else 0) keys)
+  end
+
 (* Read-session payload generator: [ops_per_txn] key indices drawn with
    the workload's skew, space-separated — the read-only counterpart of
    [body], interpreted by [read_op] against a pinned snapshot. *)

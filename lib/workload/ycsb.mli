@@ -49,3 +49,24 @@ val app : params -> Rolis.App.t
 val read_payload_gen : params -> Sim.Rng.t -> unit -> string
 (** Per-session generator of read payloads: [ops_per_txn] key indices
     drawn with the workload's skew, space-separated. *)
+
+(** {2 Sharded deployments} *)
+
+val client_app : params -> Rolis.App.t
+(** {!app} with [client_op] populated: ["t <ro> <k1,k2,...>"] runs a
+    transaction over the listed keys (reads when [ro=1], RMWs
+    otherwise); ["m <k>"] is a single-key RMW — the cross-range 2PC
+    sub-transaction. Keys travel in the payload, so retries replay
+    identically. *)
+
+val shard_gen :
+  params ->
+  Rolis.Router.t ->
+  cross_pct:float ->
+  rng:Sim.Rng.t ->
+  unit ->
+  Rolis.Shard.op
+(** Partition-aware generator: single-shard transactions draw all keys
+    inside one shard's range (uniform within the shard); with
+    probability [cross_pct] the transaction becomes a two-shard RMW
+    pair committed through 2PC. *)

@@ -10,7 +10,7 @@ let ms = Sim.Engine.ms
 
 let entry ~epoch ~ts =
   Store.Wire.make_entry ~epoch
-    [ { Store.Wire.ts; req = None; writes = [ { Store.Wire.table = 0; key = "k"; value = Some "v" } ] } ]
+    [ { Store.Wire.ts; req = None; decision = None; writes = [ { Store.Wire.table = 0; key = "k"; value = Some "v" } ] } ]
 
 type replica = {
   id : int;
@@ -436,7 +436,7 @@ let dup_reorder_qcheck =
 (* ---------- checkpoint bootstrap floor ---------- *)
 
 let test_entry i =
-  Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts = 100 + i; req = None; writes = [] } ]
+  Store.Wire.make_entry ~epoch:1 [ { Store.Wire.ts = 100 + i; req = None; decision = None; writes = [] } ]
 
 let mk_bare_stream eng =
   let net =

@@ -758,7 +758,7 @@ let batcher_adaptive_qcheck =
           let at = !last and ts = i + 1 in
           Hashtbl.replace submit_at ts at;
           Sim.Engine.schedule eng at (fun () ->
-              Rolis.Batcher.submit b { Store.Wire.ts; req = None; writes = [] }))
+              Rolis.Batcher.submit b { Store.Wire.ts; req = None; decision = None; writes = [] }))
         gaps;
       let horizon = !last + target + (2 * flush_iv) in
       let ticks = (horizon / flush_iv) + 1 in
@@ -1319,6 +1319,7 @@ let test_checkpoint_plus_log_replay () =
         {
           Store.Wire.ts = 1_000 + i;
           req = None;
+          decision = None;
           writes = [ { Store.Wire.table = 0; key = key i; value = Some "new" } ];
         })
   in
@@ -1433,6 +1434,7 @@ let checkpoint_fuzzy_tail_qcheck =
             {
               Store.Wire.ts = 1_000 + i;
               req = None;
+              decision = None;
               writes =
                 [
                   {
@@ -1660,6 +1662,189 @@ let test_chaos_ops_seed () =
       (Format.asprintf "%a" Rolis.Chaos.pp_outcome o);
   check_bool "management-plane operations ran" true
     (o.Rolis.Chaos.adds + o.Rolis.Chaos.removes + o.Rolis.Chaos.handoffs > 0)
+
+(* ---------- Sharding ---------- *)
+
+(* Router sanity: TPC-C warehouse partitioning and YCSB key ranges must
+   tile the keyspace — every warehouse/key maps to exactly the shard
+   whose range contains it. *)
+let test_router_partitioning () =
+  let warehouses = 13 and shards = 4 in
+  let r = Rolis.Router.tpcc ~warehouses ~shards in
+  check_int "router shard count" shards (Rolis.Router.shards r);
+  for s = 0 to shards - 1 do
+    let lo, hi = Rolis.Router.tpcc_warehouse_range r ~warehouses s in
+    check_bool (Printf.sprintf "shard %d range non-empty" s) true (lo <= hi);
+    for w = lo to hi do
+      check_int
+        (Printf.sprintf "warehouse %d maps to shard %d" w s)
+        s
+        (Rolis.Router.tpcc_shard_of_warehouse r w)
+    done;
+    (* The range map is also what shard_of_key sees for encoded keys. *)
+    let k = Store.Keycodec.encode [ Store.Keycodec.I lo; Store.Keycodec.I 7 ] in
+    check_int "district key routes with its warehouse" s
+      (Rolis.Router.shard_of_key r k)
+  done;
+  (* Ranges tile [1..warehouses] without gap or overlap. *)
+  let covered = ref 0 in
+  for s = 0 to shards - 1 do
+    let lo, hi = Rolis.Router.tpcc_warehouse_range r ~warehouses s in
+    covered := !covered + (hi - lo + 1)
+  done;
+  check_int "warehouse ranges tile the space" warehouses !covered;
+  let keys = 1000 and yshards = 3 in
+  let yr = Rolis.Router.ycsb ~keys ~shards:yshards in
+  let ycovered = ref 0 in
+  for s = 0 to yshards - 1 do
+    let lo, hi = Rolis.Router.ycsb_key_range yr ~keys s in
+    ycovered := !ycovered + (hi - lo + 1);
+    check_int
+      (Printf.sprintf "ycsb lo of shard %d routes home" s)
+      s
+      (Rolis.Router.shard_of_key yr (Store.Keycodec.encode [ Store.Keycodec.I lo ]));
+    check_int
+      (Printf.sprintf "ycsb hi of shard %d routes home" s)
+      s
+      (Rolis.Router.shard_of_key yr (Store.Keycodec.encode [ Store.Keycodec.I hi ]))
+  done;
+  check_int "ycsb ranges tile the space" keys !ycovered
+
+(* The satellite e2e: crash the coordinator shard's leader after a
+   prepare is durable but (with overwhelming likelihood) before the
+   decision lands — the classic 2PC in-doubt window. Every transaction
+   is cross-shard (cross_pct = 1), so the crash interrupts live 2PC
+   rounds; the freshly elected leader must recover the staged intents,
+   the session table and any already-replicated decision from its
+   journal, and the drivers' retries must drive every round to one
+   atomic outcome. Afterwards: cross-shard atomicity, per-shard
+   exactly-once, and global money conservation. *)
+let test_shard_coordinator_crash_recovers_decision () =
+  let shards = 2 and drivers = 4 and accounts_per_shard = 16 in
+  let accounts = shards * accounts_per_shard in
+  let router = Rolis.Router.ycsb ~keys:accounts ~shards in
+  let cfg =
+    {
+      Rolis.Config.default with
+      Rolis.Config.replicas = 3;
+      workers = 2;
+      cores = 4;
+      batch_size = 50;
+      physical_serialization = true;
+      archive_entries = true;
+      heartbeat_interval = 50 * ms;
+      election_timeout = 300 * ms;
+      clients = drivers;
+      seed = 7L;
+      shards;
+      cross_pct = 1.0;
+    }
+  in
+  let stopped = ref false in
+  let dep_ref = ref None in
+  let crashed = ref false in
+  (* Fires on every durability commit on shard 0; the first Prepared mark
+     schedules a leader crash 1 ms later — inside the in-doubt window of
+     whatever rounds are then in flight. *)
+  let on_durable ~shard ~replica:_ ~stream:_ ~idx:_ (e : Store.Wire.entry) =
+    if shard = 0 && not !crashed then
+      let has_prepare =
+        List.exists
+          (fun (t : Store.Wire.txn_log) ->
+            match t.Store.Wire.decision with
+            | Some d -> d.Store.Wire.d_phase = Store.Wire.Prepared
+            | None -> false)
+          e.Store.Wire.txns
+      in
+      if has_prepare then begin
+        crashed := true;
+        match !dep_ref with
+        | None -> ()
+        | Some dep ->
+            let cluster = Rolis.Shard.cluster dep 0 in
+            let eng = Rolis.Shard.engine dep in
+            Sim.Engine.schedule eng
+              (Sim.Engine.now eng + (1 * ms))
+              (fun () ->
+                match Rolis.Cluster.leader cluster with
+                | Some r ->
+                    Rolis.Cluster.crash_replica cluster (Rolis.Replica.id r)
+                | None -> ())
+      end
+  in
+  let dep =
+    Rolis.Shard.create ~on_durable cfg router
+      (fun ~shard ->
+        Rolis.Chaos.bank_app
+          ~range:(Rolis.Router.ycsb_key_range router ~keys:accounts shard)
+          ~accounts ~stopped ())
+      ~gen:(fun ~rng ~driver:_ () ->
+        (* Always cross-shard: a withdraw on one shard paired with a
+           credit on the other. *)
+        let sa = Sim.Rng.int rng shards in
+        let sb = (sa + 1) mod shards in
+        let alo, ahi = Rolis.Router.ycsb_key_range router ~keys:accounts sa in
+        let blo, bhi = Rolis.Router.ycsb_key_range router ~keys:accounts sb in
+        let a = alo + Sim.Rng.int rng (ahi - alo + 1) in
+        let b = blo + Sim.Rng.int rng (bhi - blo + 1) in
+        let amount = 1 + Sim.Rng.int rng 10 in
+        Rolis.Shard.Multi
+          [
+            (sa, Printf.sprintf "w %d %d" a amount);
+            (sb, Printf.sprintf "c %d %d" b amount);
+          ])
+  in
+  dep_ref := Some dep;
+  Rolis.Shard.run dep ~duration:(2 * s) ();
+  check_bool "a prepare was observed and the coordinator leader crashed" true
+    !crashed;
+  (* Quiesce, restart the dead replica, drain replay, then audit. *)
+  check_bool "drivers quiesced" true (Rolis.Shard.quiesce dep);
+  Array.iter
+    (fun cluster ->
+      Array.iter
+        (fun r ->
+          if not (Rolis.Replica.is_alive r) then
+            Rolis.Cluster.restart_replica cluster (Rolis.Replica.id r))
+        (Rolis.Cluster.replicas cluster))
+    (Rolis.Shard.clusters dep);
+  Rolis.Shard.run dep ~duration:(2 * s) ();
+  check_bool "cross-shard transactions committed through the crash" true
+    (Rolis.Shard.cross_committed dep > 0);
+  let clusters = Rolis.Shard.clusters dep in
+  let viols =
+    (Array.to_list clusters
+    |> List.concat_map (fun c ->
+           Rolis.Check.agreement c @ Rolis.Check.convergence c))
+    @ (List.init shards (fun sh ->
+           Rolis.Check.exactly_once clusters.(sh)
+             ~acked:(Rolis.Shard.acked_seqs dep sh))
+      |> List.concat)
+    @ Rolis.Check.cross_shard clusters
+    @ Rolis.Check.money_sharded clusters ~table:Rolis.Chaos.bank_table
+        ~expected:(accounts * Rolis.Chaos.initial_balance)
+  in
+  if viols <> [] then
+    Alcotest.failf "coordinator crash violated invariants: %s"
+      (String.concat "; "
+         (List.map
+            (fun v ->
+              Printf.sprintf "%s: %s" v.Rolis.Check.check v.Rolis.Check.detail)
+            viols))
+
+(* One deterministic sharded chaos seed end-to-end through the harness:
+   independent per-shard nemeses, cross-shard 2PC under fire, and the
+   full final audit (including the cross-shard oracle and global
+   conservation). *)
+let test_sharded_chaos_seed () =
+  let o = Rolis.Chaos.run_sharded_seed ~duration:(2 * s) ~seed:3 () in
+  if not (Rolis.Chaos.ok o) then
+    Alcotest.failf "sharded chaos seed failed: %s"
+      (Format.asprintf "%a" Rolis.Chaos.pp_outcome o);
+  check_int "outcome records the shard count" 2 o.Rolis.Chaos.shards;
+  check_bool "cross-shard transactions committed under chaos" true
+    (o.Rolis.Chaos.cross_committed > 0);
+  check_bool "faults actually fired" true (o.Rolis.Chaos.crashes > 0)
 
 (* ---------- Trace ---------- *)
 
@@ -1925,6 +2110,13 @@ let () =
           Alcotest.test_case "rolling restart exactly-once" `Quick
             test_rolling_restart_exactly_once;
           Alcotest.test_case "ops chaos seed" `Quick test_chaos_ops_seed;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "router partitioning" `Quick test_router_partitioning;
+          Alcotest.test_case "coordinator crash recovers decision" `Quick
+            test_shard_coordinator_crash_recovers_decision;
+          Alcotest.test_case "sharded chaos seed" `Quick test_sharded_chaos_seed;
         ] );
       ( "trace",
         [

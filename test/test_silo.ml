@@ -164,7 +164,7 @@ let test_replay_cas_semantics () =
   with_db ~physical_deletes:false (fun eng _cpu db ->
       let t = Silo.Db.create_table db "t" in
       let applied = ref 0 in
-      let mk ts writes = { Store.Wire.ts; req = None; writes } in
+      let mk ts writes = { Store.Wire.ts; req = None; decision = None; writes } in
       let w key value = { Store.Wire.table = 0; key; value } in
       let ap txn ~epoch = Silo.Db.apply_replay db txn ~epoch ~writes:1 ~applied in
       let _p =
@@ -192,7 +192,7 @@ let test_replay_cas_semantics () =
 let test_bulk_replay_entry () =
   with_db ~physical_deletes:false (fun eng _cpu db ->
       let t = Silo.Db.create_table db "t" in
-      let mk ts writes = { Store.Wire.ts; req = None; writes } in
+      let mk ts writes = { Store.Wire.ts; req = None; decision = None; writes } in
       let w key value = { Store.Wire.table = 0; key; value } in
       let entry =
         Store.Wire.make_entry ~epoch:1
@@ -243,7 +243,7 @@ let test_bulk_replay_upto_truncation () =
             (k, r.Store.Record.value, r.Store.Record.deleted))
           (Store.Btree.to_list (Store.Table.tree t)))
   in
-  let mk ts writes = { Store.Wire.ts; req = None; writes } in
+  let mk ts writes = { Store.Wire.ts; req = None; decision = None; writes } in
   let w key value = { Store.Wire.table = 0; key; value } in
   let entry =
     Store.Wire.make_entry ~epoch:1
@@ -292,7 +292,7 @@ let test_bulk_replay_upto_truncation () =
    [ways] (including more ways than keys) and for both index
    representations. *)
 let test_parallel_replay_ways_equivalence () =
-  let mk ts writes = { Store.Wire.ts; req = None; writes } in
+  let mk ts writes = { Store.Wire.ts; req = None; decision = None; writes } in
   let w key value = { Store.Wire.table = 0; key; value } in
   let entry =
     (* 6 txns over 20 keys with overwrites and deletes, so the merged run

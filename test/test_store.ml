@@ -47,6 +47,67 @@ let codec_decode_fuzz =
       | _ -> true
       | exception Invalid_argument _ -> true)
 
+(* TPC-C-shaped composite keys. The shard router splits each table's
+   keyspace on encoded warehouse prefixes, which is only sound if the
+   encoding preserves the tuple's lexicographic order — bytes of
+   different warehouses must never interleave. Tuples mirror the real
+   TPC-C key shapes: (w,d,o,ol) order-lines and (w,d,last,c) the
+   by-last-name customer index (string component in the middle). *)
+let tpcc_tuple_gen =
+  let open QCheck.Gen in
+  let last_name =
+    oneofl [ "BARBARBAR"; "OUGHT"; "ABLE"; "PRI"; "ESE"; "ANTICALLYATION" ]
+  in
+  oneof
+    [
+      map
+        (fun (w, d, o, ol) ->
+          Store.Keycodec.[ I w; I d; I o; I ol ])
+        (quad (1 -- 64) (1 -- 10) (0 -- 100_000) (1 -- 15));
+      map
+        (fun (w, d, last, c) ->
+          Store.Keycodec.[ I w; I d; S last; I c ])
+        (quad (1 -- 64) (1 -- 10) last_name (1 -- 3000));
+    ]
+
+let tpcc_tuple_arb =
+  let print cs =
+    String.concat ";"
+      (List.map
+         (function
+           | Store.Keycodec.I i -> string_of_int i
+           | Store.Keycodec.S s -> Printf.sprintf "%S" s)
+         cs)
+  in
+  QCheck.make ~print tpcc_tuple_gen
+
+let codec_tpcc_order =
+  QCheck.Test.make ~name:"keycodec preserves order on TPC-C-shaped tuples"
+    ~count:1000
+    (QCheck.pair tpcc_tuple_arb tpcc_tuple_arb)
+    (fun (a, b) ->
+      let ca = Store.Keycodec.compare_components a b in
+      let cb = compare (Store.Keycodec.encode a) (Store.Keycodec.encode b) in
+      (ca < 0) = (cb < 0) && (ca = 0) = (cb = 0))
+
+(* Split-key soundness: a router split key [enc [I w]] bounds every key
+   of warehouses < w strictly below it and every key of warehouses >= w
+   at or above it, whatever the key's tail looks like. *)
+let codec_split_key_soundness =
+  QCheck.Test.make ~name:"warehouse split keys bound all composite tails"
+    ~count:1000
+    (QCheck.pair (QCheck.make QCheck.Gen.(1 -- 64)) tpcc_tuple_arb)
+    (fun (w, tail_tuple) ->
+      let tuple =
+        match tail_tuple with
+        | _ :: rest -> Store.Keycodec.I w :: rest
+        | [] -> [ Store.Keycodec.I w ]
+      in
+      let split_lo = Store.Keycodec.encode [ Store.Keycodec.I w ] in
+      let split_hi = Store.Keycodec.encode [ Store.Keycodec.I (w + 1) ] in
+      let k = Store.Keycodec.encode tuple in
+      compare split_lo k <= 0 && compare k split_hi < 0)
+
 let test_next_prefix () =
   check_bool "simple bump" true (Store.Keycodec.next_prefix "ab" = Some "ac");
   check_bool "carries over 0xff" true
@@ -751,8 +812,14 @@ let sample_entry () =
   let w2 = { Store.Wire.table = 2; key = "k2"; value = None } in
   Store.Wire.make_entry ~epoch:3
     [
-      { Store.Wire.ts = 100; req = Some (7, 42); writes = [ w1; w2 ] };
-      { Store.Wire.ts = 105; req = None; writes = [ w1 ] };
+      {
+        Store.Wire.ts = 100;
+        req = Some (7, 42);
+        decision =
+          Some { Store.Wire.d_xid = 9001; d_phase = Store.Wire.Committed; d_parts = [ 0; 2 ] };
+        writes = [ w1; w2 ];
+      };
+      { Store.Wire.ts = 105; req = None; decision = None; writes = [ w1 ] };
     ]
 
 let test_wire_roundtrip () =
@@ -797,9 +864,25 @@ let wire_entry_gen =
     let req =
       option (map2 (fun cid seq -> (cid, seq)) (int_range 0 100) (int_range 1 1000))
     in
+    let decision =
+      option
+        (map3
+           (fun d_xid phase d_parts ->
+             let d_phase =
+               match phase with
+               | 0 -> Store.Wire.Prepared
+               | 1 -> Store.Wire.Committed
+               | 2 -> Store.Wire.Aborted
+               | 3 -> Store.Wire.Applied
+               | _ -> Store.Wire.Canceled
+             in
+             { Store.Wire.d_xid; d_phase; d_parts })
+           big_nat (int_range 0 4)
+           (list_size (0 -- 4) (int_range 0 7)))
+    in
     map3
-      (fun ts req writes -> { Store.Wire.ts; req; writes })
-      big_nat req
+      (fun ts (req, decision) writes -> { Store.Wire.ts; req; decision; writes })
+      big_nat (pair req decision)
       (list_size (0 -- 5) write)
   in
   map2
@@ -851,6 +934,8 @@ let () =
           Alcotest.test_case "prefix scan semantics" `Quick test_prefix_scan_semantics;
           qc codec_roundtrip;
           qc codec_order_preserving;
+          qc codec_tpcc_order;
+          qc codec_split_key_soundness;
           qc codec_decode_fuzz;
         ] );
       ( "btree",
